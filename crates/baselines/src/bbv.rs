@@ -1,0 +1,297 @@
+//! Basic-block-vector phase detection (Sherwood et al.).
+//!
+//! Each interval is fingerprinted by a fixed-dimension vector of basic
+//! block execution weights: every sample is attributed to the basic block
+//! containing its PC, and the block (identified by its start address) is
+//! hashed into one of `dims` buckets. The vector is normalized to sum to
+//! 1 and compared against the previous stable fingerprint with Manhattan
+//! (L1) distance, which ranges over `[0, 2]`. Distance below the
+//! threshold means "same phase"; a small hysteresis state machine
+//! mirrors the one used for the centroid detector so stable-time numbers
+//! are comparable.
+
+use regmon_binary::{Binary, BlockId, ProcId};
+use regmon_gpd::PhaseStats;
+use regmon_sampling::PcSample;
+
+/// Configuration of the BBV detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BbvConfig {
+    /// Fingerprint dimensionality (Sherwood's hardware proposal used a
+    /// small accumulator table; 32 buckets is the common software
+    /// setting).
+    pub dims: usize,
+    /// Manhattan distance (in `[0, 2]`) at or above which two
+    /// fingerprints are considered different phases.
+    pub threshold: f64,
+    /// Consecutive similar intervals required before the phase counts as
+    /// stable.
+    pub stable_timer: usize,
+}
+
+impl Default for BbvConfig {
+    fn default() -> Self {
+        Self {
+            dims: 32,
+            threshold: 0.5,
+            stable_timer: 2,
+        }
+    }
+}
+
+/// What one interval looked like to the detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BbvObservation {
+    /// Manhattan distance to the previous interval's fingerprint
+    /// (0 for the first interval).
+    pub distance: f64,
+    /// `true` when the phase is stable after this interval.
+    pub stable: bool,
+    /// `true` when stability flipped this interval.
+    pub phase_changed: bool,
+}
+
+/// The basic-block-vector detector.
+#[derive(Debug, Clone)]
+pub struct BbvDetector {
+    config: BbvConfig,
+    prev: Option<Vec<f64>>,
+    current: Vec<f64>,
+    streak: usize,
+    stable: bool,
+    stats: PhaseStats,
+}
+
+impl BbvDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0`.
+    #[must_use]
+    pub fn new(config: BbvConfig) -> Self {
+        assert!(config.dims > 0, "fingerprint needs at least one bucket");
+        Self {
+            config,
+            prev: None,
+            current: vec![0.0; config.dims],
+            streak: 0,
+            stable: false,
+            stats: PhaseStats::default(),
+        }
+    }
+
+    /// `true` while the detector considers the phase stable.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.stable
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> PhaseStats {
+        self.stats
+    }
+
+    /// Fingerprints one interval and updates the phase state.
+    ///
+    /// Returns `None` for an empty interval.
+    pub fn observe(&mut self, binary: &Binary, samples: &[PcSample]) -> Option<BbvObservation> {
+        if samples.is_empty() {
+            return None;
+        }
+        self.current.fill(0.0);
+        let mut total = 0.0;
+        for s in samples {
+            let Some(proc) = binary.procedure_at(s.addr) else {
+                continue;
+            };
+            let Some(block) = proc.block_at(s.addr) else {
+                continue;
+            };
+            let bucket = bucket_of(proc.id(), block.id(), self.config.dims);
+            self.current[bucket] += 1.0;
+            total += 1.0;
+        }
+        if total == 0.0 {
+            return None; // every sample outside the image
+        }
+        for v in &mut self.current {
+            *v /= total;
+        }
+
+        let distance = match &self.prev {
+            Some(prev) => manhattan(prev, &self.current),
+            None => 0.0,
+        };
+        let similar = self.prev.is_some() && distance < self.config.threshold;
+
+        let was_stable = self.stable;
+        if similar {
+            self.streak += 1;
+            if self.streak >= self.config.stable_timer {
+                self.stable = true;
+            }
+        } else {
+            self.streak = 0;
+            self.stable = false;
+        }
+
+        // The fingerprint history: always compare to the latest interval
+        // (Sherwood compares consecutive signatures).
+        match &mut self.prev {
+            Some(prev) => prev.copy_from_slice(&self.current),
+            None => self.prev = Some(self.current.clone()),
+        }
+
+        let phase_changed = was_stable != self.stable;
+        self.stats.intervals += 1;
+        if self.stable {
+            self.stats.stable_intervals += 1;
+        }
+        if phase_changed {
+            self.stats.phase_changes += 1;
+        }
+        Some(BbvObservation {
+            distance,
+            stable: self.stable,
+            phase_changed,
+        })
+    }
+}
+
+/// Deterministic bucket for a block (SplitMix64 of proc/block ids).
+fn bucket_of(proc: ProcId, block: BlockId, dims: usize) -> usize {
+    let mut z = (proc.0 as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(block.0 as u64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % dims as u64) as usize
+}
+
+/// L1 distance between two normalized vectors (range `[0, 2]`).
+fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::{Addr, BinaryBuilder};
+
+    fn binary() -> Binary {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.loop_(|l| {
+                l.straight(15);
+            });
+        });
+        b.procedure("g", |p| {
+            p.loop_(|l| {
+                l.straight(15);
+            });
+        });
+        b.build(Addr::new(0x1000))
+    }
+
+    fn samples_in(bin: &Binary, proc: &str, n: u64) -> Vec<PcSample> {
+        let r = bin.procedure_by_name(proc).unwrap().loops()[0].range();
+        (0..n)
+            .map(|k| PcSample {
+                addr: r.start() + (k % (r.len() / 4)) * 4,
+                cycle: k,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_intervals_stabilize() {
+        let bin = binary();
+        let mut det = BbvDetector::new(BbvConfig::default());
+        let s = samples_in(&bin, "f", 256);
+        for _ in 0..3 {
+            det.observe(&bin, &s);
+        }
+        assert!(det.is_stable());
+        assert_eq!(det.stats().phase_changes, 1); // entering stable
+    }
+
+    #[test]
+    fn working_set_change_is_detected() {
+        let bin = binary();
+        let mut det = BbvDetector::new(BbvConfig::default());
+        let f = samples_in(&bin, "f", 256);
+        let g = samples_in(&bin, "g", 256);
+        for _ in 0..3 {
+            det.observe(&bin, &f);
+        }
+        let obs = det.observe(&bin, &g).unwrap();
+        assert!(obs.distance > 0.5, "distance {}", obs.distance);
+        assert!(obs.phase_changed);
+        assert!(!det.is_stable());
+    }
+
+    #[test]
+    fn uniform_scaling_is_not_a_change() {
+        let bin = binary();
+        let mut det = BbvDetector::new(BbvConfig::default());
+        for _ in 0..3 {
+            det.observe(&bin, &samples_in(&bin, "f", 256));
+        }
+        // Same distribution, different total count.
+        let obs = det.observe(&bin, &samples_in(&bin, "f", 1024)).unwrap();
+        assert!(!obs.phase_changed);
+        assert!(obs.distance < 0.1, "distance {}", obs.distance);
+    }
+
+    #[test]
+    fn empty_interval_returns_none() {
+        let bin = binary();
+        let mut det = BbvDetector::new(BbvConfig::default());
+        assert!(det.observe(&bin, &[]).is_none());
+        let stray = vec![PcSample {
+            addr: Addr::new(0x9999_0000),
+            cycle: 0,
+        }];
+        assert!(det.observe(&bin, &stray).is_none());
+        assert_eq!(det.stats().intervals, 0);
+    }
+
+    #[test]
+    fn alternating_working_sets_thrash() {
+        // The global blind spot the paper targets: a program merely
+        // ping-ponging between sets looks permanently unstable.
+        let bin = binary();
+        let mut det = BbvDetector::new(BbvConfig::default());
+        let f = samples_in(&bin, "f", 256);
+        let g = samples_in(&bin, "g", 256);
+        for i in 0..32 {
+            let s = if (i / 4) % 2 == 0 { &f } else { &g };
+            det.observe(&bin, s);
+        }
+        assert!(det.stats().stable_fraction() < 0.8);
+        assert!(det.stats().phase_changes >= 4);
+    }
+
+    #[test]
+    fn bucket_is_deterministic_and_in_range() {
+        for p in 0..8 {
+            for b in 0..64 {
+                let x = bucket_of(ProcId(p), BlockId(b), 32);
+                assert!(x < 32);
+                assert_eq!(x, bucket_of(ProcId(p), BlockId(b), 32));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_dims_panics() {
+        let _ = BbvDetector::new(BbvConfig {
+            dims: 0,
+            ..BbvConfig::default()
+        });
+    }
+}

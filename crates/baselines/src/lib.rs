@@ -1,0 +1,59 @@
+//! Related-work global phase detectors, for comparison.
+//!
+//! The paper's §4 discusses two influential alternatives to the centroid
+//! scheme, both *global* (one verdict for the whole program per
+//! interval):
+//!
+//! * **Basic-block vectors** (Sherwood et al., PACT'01 / ASPLOS'02 /
+//!   ISCA'03): fingerprint each interval by the execution frequencies of
+//!   its basic blocks, hashed into a fixed-size vector; compare
+//!   consecutive fingerprints with Manhattan distance. Implemented in
+//!   [`bbv`].
+//! * **Working-set signatures** (Dhodapkar & Smith, ISCA'02 / MICRO'03):
+//!   fingerprint each interval by the *set* of blocks touched (a hashed
+//!   bit signature, no frequencies); compare with relative signature
+//!   distance (Jaccard). Implemented in [`wss`].
+//!
+//! Both consume the same PC-sample buffers as the centroid detector, so
+//! the three global schemes and per-region local detection can be swept
+//! side by side (`ext_baselines` binary in `regmon-bench`). As the paper
+//! notes, these schemes detect *working-set* changes well — and, being
+//! global, they inherit the same blind spot the paper diagnoses in the
+//! centroid scheme: a program that merely oscillates between two region
+//! sets looks like it changes phase constantly even though no region's
+//! behaviour changed.
+//!
+//! # Example
+//!
+//! ```
+//! use regmon_baselines::{BbvConfig, BbvDetector};
+//! use regmon_sampling::PcSample;
+//! use regmon_binary::{Addr, BinaryBuilder};
+//!
+//! let mut b = BinaryBuilder::new("toy");
+//! b.procedure("f", |p| { p.loop_(|l| { l.straight(9); }); });
+//! let bin = b.build(Addr::new(0x1000));
+//!
+//! let mut det = BbvDetector::new(BbvConfig::default());
+//! let samples: Vec<PcSample> = (0..256)
+//!     .map(|k| PcSample { addr: Addr::new(0x1000 + (k % 10) * 4), cycle: k })
+//!     .collect();
+//! for _ in 0..4 {
+//!     det.observe(&bin, &samples);
+//! }
+//! assert!(det.is_stable()); // identical fingerprints every interval
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod bbv;
+pub mod predictor;
+pub mod wss;
+
+pub use bbv::{BbvConfig, BbvDetector, BbvObservation};
+pub use predictor::{PhaseClassifier, PhaseId, PhasePredictor, PredictionStats};
+pub use wss::{WssConfig, WssDetector, WssObservation};
+
+/// Re-export: all global schemes share the same stats shape.
+pub use regmon_gpd::PhaseStats;

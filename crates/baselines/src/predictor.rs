@@ -1,0 +1,284 @@
+//! Phase classification and prediction (Sherwood et al., ISCA'03).
+//!
+//! The paper's related work (§4) covers Sherwood's *phase tracking and
+//! prediction*: intervals are classified into recurring phase ids by
+//! matching their fingerprints against a table of known phases, and a
+//! Markov predictor guesses the next interval's phase — letting a runtime
+//! optimizer prepare for a phase *before* it arrives (e.g. the paper's
+//! footnote about prefetching the next phase's instructions).
+//!
+//! [`PhaseClassifier`] assigns ids by nearest-fingerprint match (new
+//! phases allocate new ids); [`PhasePredictor`] layers a last-transition
+//! Markov table on top.
+
+use regmon_binary::Binary;
+use regmon_sampling::PcSample;
+
+/// Identifier of a recurring phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhaseId(pub usize);
+
+/// Classifies intervals into recurring phases by basic-block-vector
+/// fingerprint proximity.
+#[derive(Debug, Clone)]
+pub struct PhaseClassifier {
+    /// Match threshold: Manhattan distance (in `[0, 2]`) below which an
+    /// interval belongs to an existing phase.
+    threshold: f64,
+    /// One representative fingerprint per known phase.
+    leaders: Vec<Vec<f64>>,
+    scratch: Vec<f64>,
+}
+
+impl PhaseClassifier {
+    /// Creates a classifier with `dims`-bucket fingerprints and the given
+    /// match threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims == 0` or `threshold` is not in `(0, 2]`.
+    #[must_use]
+    pub fn new(dims: usize, threshold: f64) -> Self {
+        assert!(dims > 0, "fingerprint needs at least one bucket");
+        assert!(
+            threshold > 0.0 && threshold <= 2.0,
+            "threshold must be in (0, 2]"
+        );
+        Self {
+            threshold,
+            leaders: Vec::new(),
+            scratch: vec![0.0; dims],
+        }
+    }
+
+    /// Number of distinct phases seen so far.
+    #[must_use]
+    pub fn phases(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// Classifies one interval; allocates a new phase id when nothing in
+    /// the table is close enough. Returns `None` for an interval with no
+    /// attributable samples.
+    pub fn classify(&mut self, binary: &Binary, samples: &[PcSample]) -> Option<PhaseId> {
+        fingerprint(binary, samples, &mut self.scratch)?;
+        let mut best: Option<(usize, f64)> = None;
+        for (i, leader) in self.leaders.iter().enumerate() {
+            let d: f64 = leader
+                .iter()
+                .zip(&self.scratch)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            if best.map_or(true, |(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        match best {
+            Some((i, d)) if d < self.threshold => Some(PhaseId(i)),
+            _ => {
+                self.leaders.push(self.scratch.clone());
+                Some(PhaseId(self.leaders.len() - 1))
+            }
+        }
+    }
+}
+
+/// Builds a normalized block fingerprint into `out`; `None` when no
+/// sample hits the image.
+fn fingerprint(binary: &Binary, samples: &[PcSample], out: &mut [f64]) -> Option<()> {
+    out.fill(0.0);
+    let mut total = 0.0;
+    for s in samples {
+        let proc = binary.procedure_at(s.addr)?;
+        let block = proc.block_at(s.addr)?;
+        let mut z = (proc.id().0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(block.id().0 as u64)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let bucket = ((z ^ (z >> 31)) % out.len() as u64) as usize;
+        out[bucket] += 1.0;
+        total += 1.0;
+    }
+    if total == 0.0 {
+        return None;
+    }
+    for v in out.iter_mut() {
+        *v /= total;
+    }
+    Some(())
+}
+
+/// Prediction statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredictionStats {
+    /// Predictions made (intervals after the first).
+    pub predictions: usize,
+    /// Predictions that matched the observed next phase.
+    pub correct: usize,
+}
+
+impl PredictionStats {
+    /// Prediction accuracy in `[0, 1]` (0 before any prediction).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0 {
+            return 0.0;
+        }
+        self.correct as f64 / self.predictions as f64
+    }
+}
+
+/// Last-transition Markov predictor over phase ids.
+///
+/// Predicts that phase `a` is followed by whatever followed `a` last
+/// time (defaulting to "same phase again" for unseen transitions — the
+/// *last phase* predictor that Sherwood uses as the baseline).
+#[derive(Debug, Clone, Default)]
+pub struct PhasePredictor {
+    transitions: std::collections::HashMap<PhaseId, PhaseId>,
+    previous: Option<PhaseId>,
+    pending: Option<PhaseId>,
+    stats: PredictionStats,
+}
+
+impl PhasePredictor {
+    /// Creates an empty predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Lifetime accuracy statistics.
+    #[must_use]
+    pub fn stats(&self) -> PredictionStats {
+        self.stats
+    }
+
+    /// Feeds the current interval's phase; returns the prediction for the
+    /// *next* interval.
+    pub fn observe(&mut self, phase: PhaseId) -> PhaseId {
+        // Score the pending prediction.
+        if let Some(predicted) = self.pending {
+            self.stats.predictions += 1;
+            if predicted == phase {
+                self.stats.correct += 1;
+            }
+        }
+        // Learn the transition.
+        if let Some(prev) = self.previous {
+            self.transitions.insert(prev, phase);
+        }
+        self.previous = Some(phase);
+        let next = self.transitions.get(&phase).copied().unwrap_or(phase);
+        self.pending = Some(next);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::{Addr, BinaryBuilder};
+
+    fn binary() -> Binary {
+        let mut b = BinaryBuilder::new("t");
+        for name in ["f", "g", "h"] {
+            b.procedure(name, |p| {
+                p.straight(3);
+                p.loop_(|l| {
+                    l.straight(15);
+                });
+                p.straight(2);
+            });
+        }
+        b.build(Addr::new(0x1000))
+    }
+
+    /// Samples spread over the whole procedure so fingerprints cover
+    /// several blocks (single-block fingerprints can collide in the
+    /// hashed buckets).
+    fn samples_in(bin: &Binary, proc: &str) -> Vec<PcSample> {
+        let r = bin.procedure_by_name(proc).unwrap().range();
+        (0..128u64)
+            .map(|k| PcSample {
+                addr: r.start() + (k % (r.len() / 4)) * 4,
+                cycle: k,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recurring_phases_reuse_ids() {
+        let bin = binary();
+        let mut c = PhaseClassifier::new(32, 0.5);
+        let f = samples_in(&bin, "f");
+        let g = samples_in(&bin, "g");
+        let id_f1 = c.classify(&bin, &f).unwrap();
+        let id_g = c.classify(&bin, &g).unwrap();
+        let id_f2 = c.classify(&bin, &f).unwrap();
+        assert_ne!(id_f1, id_g);
+        assert_eq!(id_f1, id_f2, "recurring phase must reuse its id");
+        assert_eq!(c.phases(), 2);
+    }
+
+    #[test]
+    fn empty_interval_classifies_as_none() {
+        let bin = binary();
+        let mut c = PhaseClassifier::new(32, 0.5);
+        assert!(c.classify(&bin, &[]).is_none());
+    }
+
+    #[test]
+    fn markov_predictor_learns_alternation() {
+        let bin = binary();
+        let mut c = PhaseClassifier::new(32, 0.5);
+        let mut p = PhasePredictor::new();
+        let f = samples_in(&bin, "f");
+        let g = samples_in(&bin, "g");
+        // Strict alternation f, g, f, g, ...
+        for i in 0..32 {
+            let s = if i % 2 == 0 { &f } else { &g };
+            let id = c.classify(&bin, s).unwrap();
+            p.observe(id);
+        }
+        // After warm-up the alternation is fully predictable.
+        let acc = p.stats().accuracy();
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn last_phase_fallback_predicts_steady_streams_perfectly() {
+        let bin = binary();
+        let mut c = PhaseClassifier::new(32, 0.5);
+        let mut p = PhasePredictor::new();
+        let f = samples_in(&bin, "f");
+        for _ in 0..16 {
+            let id = c.classify(&bin, &f).unwrap();
+            p.observe(id);
+        }
+        assert_eq!(p.stats().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn three_phase_cycle_is_learned() {
+        let bin = binary();
+        let mut c = PhaseClassifier::new(32, 0.5);
+        let mut p = PhasePredictor::new();
+        let seqs = ["f", "g", "h"];
+        for i in 0..60 {
+            let s = samples_in(&bin, seqs[i % 3]);
+            let id = c.classify(&bin, &s).unwrap();
+            p.observe(id);
+        }
+        assert!(p.stats().accuracy() > 0.8);
+        assert_eq!(c.phases(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let _ = PhaseClassifier::new(32, 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Working-set-signature phase detection (Dhodapkar & Smith).
+//!
+//! Each interval is fingerprinted by the *set* of basic blocks it touched
+//! — a bit signature of `bits` positions, one hash per touched block —
+//! with no frequency information (the key difference from basic-block
+//! vectors, as the paper's related-work section notes). Consecutive
+//! signatures are compared with the *relative signature distance*
+//! `|A Δ B| / |A ∪ B|` (Jaccard distance); below the threshold means the
+//! working set, and hence the phase, is unchanged.
+
+use regmon_binary::{Binary, BlockId, ProcId};
+use regmon_gpd::PhaseStats;
+use regmon_sampling::PcSample;
+
+/// Configuration of the working-set-signature detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WssConfig {
+    /// Signature width in bits (Dhodapkar & Smith used 32–1024-bit
+    /// signatures; 256 keeps hash collisions rare at our block counts).
+    pub bits: usize,
+    /// Relative signature distance (in `[0, 1]`) at or above which the
+    /// working set counts as changed.
+    pub threshold: f64,
+    /// Consecutive similar intervals required before the phase counts as
+    /// stable.
+    pub stable_timer: usize,
+}
+
+impl Default for WssConfig {
+    fn default() -> Self {
+        Self {
+            bits: 256,
+            threshold: 0.5,
+            stable_timer: 2,
+        }
+    }
+}
+
+/// What one interval looked like to the detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WssObservation {
+    /// Relative signature distance to the previous interval (0 for the
+    /// first).
+    pub distance: f64,
+    /// `true` when the phase is stable after this interval.
+    pub stable: bool,
+    /// `true` when stability flipped this interval.
+    pub phase_changed: bool,
+}
+
+/// The working-set-signature detector.
+#[derive(Debug, Clone)]
+pub struct WssDetector {
+    config: WssConfig,
+    prev: Option<Vec<u64>>,
+    current: Vec<u64>,
+    streak: usize,
+    stable: bool,
+    stats: PhaseStats,
+}
+
+impl WssDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    #[must_use]
+    pub fn new(config: WssConfig) -> Self {
+        assert!(config.bits > 0, "signature needs at least one bit");
+        Self {
+            config,
+            prev: None,
+            current: vec![0; config.bits.div_ceil(64)],
+            streak: 0,
+            stable: false,
+            stats: PhaseStats::default(),
+        }
+    }
+
+    /// `true` while the detector considers the phase stable.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.stable
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> PhaseStats {
+        self.stats
+    }
+
+    /// Fingerprints one interval and updates the phase state.
+    ///
+    /// Returns `None` for an empty interval (or one whose samples all
+    /// miss the program image).
+    pub fn observe(&mut self, binary: &Binary, samples: &[PcSample]) -> Option<WssObservation> {
+        if samples.is_empty() {
+            return None;
+        }
+        self.current.fill(0);
+        let mut touched = false;
+        for s in samples {
+            let Some(proc) = binary.procedure_at(s.addr) else {
+                continue;
+            };
+            let Some(block) = proc.block_at(s.addr) else {
+                continue;
+            };
+            let bit = bit_of(proc.id(), block.id(), self.config.bits);
+            self.current[bit / 64] |= 1u64 << (bit % 64);
+            touched = true;
+        }
+        if !touched {
+            return None;
+        }
+
+        let distance = match &self.prev {
+            Some(prev) => relative_distance(prev, &self.current),
+            None => 0.0,
+        };
+        let similar = self.prev.is_some() && distance < self.config.threshold;
+
+        let was_stable = self.stable;
+        if similar {
+            self.streak += 1;
+            if self.streak >= self.config.stable_timer {
+                self.stable = true;
+            }
+        } else {
+            self.streak = 0;
+            self.stable = false;
+        }
+
+        match &mut self.prev {
+            Some(prev) => prev.copy_from_slice(&self.current),
+            None => self.prev = Some(self.current.clone()),
+        }
+
+        let phase_changed = was_stable != self.stable;
+        self.stats.intervals += 1;
+        if self.stable {
+            self.stats.stable_intervals += 1;
+        }
+        if phase_changed {
+            self.stats.phase_changes += 1;
+        }
+        Some(WssObservation {
+            distance,
+            stable: self.stable,
+            phase_changed,
+        })
+    }
+}
+
+/// Deterministic bit position for a block.
+fn bit_of(proc: ProcId, block: BlockId, bits: usize) -> usize {
+    let mut z = (proc.0 as u64)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(block.0 as u64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) % bits as u64) as usize
+}
+
+/// Relative signature distance `|A Δ B| / |A ∪ B|` (0 when both empty).
+fn relative_distance(a: &[u64], b: &[u64]) -> f64 {
+    let mut sym = 0u32;
+    let mut union = 0u32;
+    for (&x, &y) in a.iter().zip(b) {
+        sym += (x ^ y).count_ones();
+        union += (x | y).count_ones();
+    }
+    if union == 0 {
+        return 0.0;
+    }
+    f64::from(sym) / f64::from(union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::{Addr, BinaryBuilder};
+
+    fn binary() -> Binary {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.loop_(|l| {
+                l.straight(15);
+            });
+        });
+        b.procedure("g", |p| {
+            p.loop_(|l| {
+                l.straight(15);
+            });
+        });
+        b.build(Addr::new(0x1000))
+    }
+
+    fn samples_in(bin: &Binary, proc: &str, n: u64) -> Vec<PcSample> {
+        let r = bin.procedure_by_name(proc).unwrap().loops()[0].range();
+        (0..n)
+            .map(|k| PcSample {
+                addr: r.start() + (k % (r.len() / 4)) * 4,
+                cycle: k,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_working_sets_stabilize() {
+        let bin = binary();
+        let mut det = WssDetector::new(WssConfig::default());
+        let s = samples_in(&bin, "f", 128);
+        for _ in 0..3 {
+            det.observe(&bin, &s);
+        }
+        assert!(det.is_stable());
+    }
+
+    #[test]
+    fn frequency_changes_are_invisible_to_wss() {
+        // The defining property vs BBV: only *membership* matters. Shift
+        // most samples to one block of the same loop: same working set.
+        let bin = binary();
+        let mut det = WssDetector::new(WssConfig::default());
+        let r = bin.procedure_by_name("f").unwrap().loops()[0].range();
+        let uniform = samples_in(&bin, "f", 128);
+        // 90% on the first instruction but still touching every block.
+        let skewed: Vec<PcSample> = (0..128u64)
+            .map(|k| PcSample {
+                addr: if k % 10 == 0 {
+                    r.start() + (k % (r.len() / 4)) * 4
+                } else {
+                    r.start()
+                },
+                cycle: k,
+            })
+            .collect();
+        for _ in 0..3 {
+            det.observe(&bin, &uniform);
+        }
+        let obs = det.observe(&bin, &skewed).unwrap();
+        assert!(!obs.phase_changed, "distance {}", obs.distance);
+    }
+
+    #[test]
+    fn working_set_change_is_detected() {
+        let bin = binary();
+        let mut det = WssDetector::new(WssConfig::default());
+        for _ in 0..3 {
+            det.observe(&bin, &samples_in(&bin, "f", 128));
+        }
+        let obs = det.observe(&bin, &samples_in(&bin, "g", 128)).unwrap();
+        assert!(obs.distance > 0.9, "distance {}", obs.distance);
+        assert!(obs.phase_changed);
+    }
+
+    #[test]
+    fn empty_or_stray_interval_is_ignored() {
+        let bin = binary();
+        let mut det = WssDetector::new(WssConfig::default());
+        assert!(det.observe(&bin, &[]).is_none());
+        let stray = vec![PcSample {
+            addr: Addr::new(0x9999_0000),
+            cycle: 0,
+        }];
+        assert!(det.observe(&bin, &stray).is_none());
+    }
+
+    #[test]
+    fn distance_properties() {
+        assert_eq!(relative_distance(&[0], &[0]), 0.0);
+        assert_eq!(relative_distance(&[0b1010], &[0b1010]), 0.0);
+        assert_eq!(relative_distance(&[0b1100], &[0b0011]), 1.0);
+        let half = relative_distance(&[0b11], &[0b10]);
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_positions_in_range() {
+        for p in 0..4 {
+            for b in 0..64 {
+                assert!(bit_of(ProcId(p), BlockId(b), 256) < 256);
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Criterion bench behind Figure 16: sample attribution with the O(n)
+//! list vs the O(log n + k) interval tree, as the region count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use regmon::regions::{IndexKind, RegionKind, RegionMonitor};
+use regmon::sampling::PcSample;
+use regmon_binary::{Addr, AddrRange};
+
+/// Builds a monitor with `n` disjoint 128-byte regions and a sample
+/// stream spread over them (plus 20% UCR misses).
+fn setup(n: usize, kind: IndexKind) -> (RegionMonitor, Vec<PcSample>) {
+    let mut monitor = RegionMonitor::new(kind);
+    let base = 0x10000u64;
+    for i in 0..n {
+        let start = base + (i as u64) * 0x100;
+        monitor.add_region(
+            AddrRange::new(Addr::new(start), Addr::new(start + 0x80)),
+            RegionKind::Loop { depth: 0 },
+            0,
+        );
+    }
+    let span = n as u64 * 0x100;
+    let samples: Vec<PcSample> = (0..2032u64)
+        .map(|k| {
+            // Deterministic pseudo-random spread; ~50% land inside regions.
+            let x = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) % span;
+            PcSample {
+                addr: Addr::new(base + (x & !3)),
+                cycle: k,
+            }
+        })
+        .collect();
+    (monitor, samples)
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attribution");
+    for &n in &[4usize, 16, 64, 256] {
+        group.throughput(Throughput::Elements(2032));
+        for (label, kind) in [
+            ("list", IndexKind::Linear),
+            ("tree", IndexKind::IntervalTree),
+        ] {
+            let (mut monitor, samples) = setup(n, kind);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| black_box(monitor.distribute(black_box(&samples))));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_attribution
+}
+criterion_main!(benches);

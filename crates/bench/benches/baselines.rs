@@ -1,0 +1,71 @@
+//! Criterion bench: per-interval cost of every global detector (centroid,
+//! BBV, WSS, phase classifier) side by side.
+//!
+//! The centroid's selling point is cost: one mean per interval. The
+//! fingerprint schemes pay a per-sample block lookup; this bench
+//! quantifies the gap on a real suite interval.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use regmon::gpd::{CentroidDetector, GpdConfig};
+use regmon::sampling::{Interval, Sampler, SamplingConfig};
+use regmon::workload::suite;
+use regmon_baselines::{BbvConfig, BbvDetector, PhaseClassifier, WssConfig, WssDetector};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("global_detectors");
+    for name in ["172.mgrid", "186.crafty"] {
+        let w = suite::by_name(name).expect("suite name");
+        let config = SamplingConfig::new(45_000);
+        let intervals: Vec<Interval> = Sampler::new(&w, config).take(16).collect();
+
+        group.bench_with_input(BenchmarkId::new("centroid", name), name, |b, _| {
+            let mut det = CentroidDetector::new(GpdConfig::default());
+            let mut i = 0;
+            b.iter(|| {
+                let iv = &intervals[i % intervals.len()];
+                i += 1;
+                black_box(det.observe(black_box(&iv.samples)))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("bbv", name), name, |b, _| {
+            let mut det = BbvDetector::new(BbvConfig::default());
+            let mut i = 0;
+            b.iter(|| {
+                let iv = &intervals[i % intervals.len()];
+                i += 1;
+                black_box(det.observe(w.binary(), black_box(&iv.samples)))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("wss", name), name, |b, _| {
+            let mut det = WssDetector::new(WssConfig::default());
+            let mut i = 0;
+            b.iter(|| {
+                let iv = &intervals[i % intervals.len()];
+                i += 1;
+                black_box(det.observe(w.binary(), black_box(&iv.samples)))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("classifier", name), name, |b, _| {
+            let mut det = PhaseClassifier::new(64, 0.5);
+            let mut i = 0;
+            b.iter(|| {
+                let iv = &intervals[i % intervals.len()];
+                i += 1;
+                black_box(det.classify(w.binary(), black_box(&iv.samples)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench behind Figure 15: per-interval cost of the global
+//! (centroid) detector vs full region monitoring (distribution + local
+//! detection), on representative benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use regmon::gpd::{CentroidDetector, GpdConfig};
+use regmon::lpd::{LpdConfig, LpdManager};
+use regmon::regions::{FormationConfig, IndexKind, RegionFormation, RegionMonitor};
+use regmon::sampling::{Interval, Sampler, SamplingConfig};
+use regmon::workload::suite;
+
+/// Pre-sampled intervals plus a warmed-up monitor for a benchmark.
+fn setup(name: &str) -> (Vec<Interval>, RegionMonitor) {
+    let w = suite::by_name(name).expect("suite name");
+    let config = SamplingConfig::new(45_000);
+    let intervals: Vec<Interval> = Sampler::new(&w, config).take(64).collect();
+    let mut monitor = RegionMonitor::new(IndexKind::IntervalTree);
+    let formation = RegionFormation::new(FormationConfig::default());
+    for interval in &intervals {
+        let report = monitor.distribute(&interval.samples);
+        if formation.should_trigger(report.ucr_fraction()) {
+            formation.form(
+                w.binary(),
+                report.unattributed_samples(),
+                &mut monitor,
+                interval.index,
+            );
+        }
+    }
+    (intervals, monitor)
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_interval_cost");
+    for name in ["172.mgrid", "181.mcf", "186.crafty"] {
+        let (intervals, mut monitor) = setup(name);
+
+        group.bench_with_input(BenchmarkId::new("gpd_centroid", name), name, |b, _| {
+            let mut gpd = CentroidDetector::new(GpdConfig::default());
+            let mut i = 0;
+            b.iter(|| {
+                let interval = &intervals[i % intervals.len()];
+                i += 1;
+                black_box(gpd.observe(black_box(&interval.samples)))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("region_monitoring", name), name, |b, _| {
+            let mut lpd = LpdManager::new(LpdConfig::default());
+            let mut i = 0;
+            b.iter(|| {
+                let interval = &intervals[i % intervals.len()];
+                i += 1;
+                let report = monitor.distribute(black_box(&interval.samples));
+                black_box(lpd.observe_interval(&monitor, &report))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_detectors
+}
+criterion_main!(benches);

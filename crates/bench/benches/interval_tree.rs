@@ -1,0 +1,82 @@
+//! Criterion micro-bench of the interval tree itself: insert, remove and
+//! stabbing queries against the linear baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use regmon::regions::{IntervalTree, LinearIndex, RegionId, RegionIndex};
+use regmon_binary::{Addr, AddrRange};
+
+fn ranges(n: usize) -> Vec<(RegionId, AddrRange)> {
+    (0..n)
+        .map(|i| {
+            let start = 0x1000 + (i as u64).wrapping_mul(0x9E37) % 0x40000;
+            (
+                RegionId(i as u64),
+                AddrRange::new(
+                    Addr::new(start),
+                    Addr::new(start + 0x80 + (i as u64 % 7) * 0x20),
+                ),
+            )
+        })
+        .collect()
+}
+
+fn bench_tree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_tree");
+    for &n in &[16usize, 128, 1024] {
+        let items = ranges(n);
+
+        group.bench_with_input(BenchmarkId::new("insert_remove_all", n), &n, |b, _| {
+            b.iter(|| {
+                let mut t = IntervalTree::new();
+                for (id, r) in &items {
+                    t.insert(*id, *r);
+                }
+                for (id, r) in &items {
+                    black_box(t.remove(*id, *r));
+                }
+            });
+        });
+
+        let mut tree = IntervalTree::new();
+        let mut list = LinearIndex::new();
+        for (id, r) in &items {
+            tree.insert(*id, *r);
+            list.insert(*id, *r);
+        }
+        let probes: Vec<Addr> = (0..512u64)
+            .map(|k| Addr::new(0x1000 + k.wrapping_mul(0x2545F491) % 0x41000))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("stab512_tree", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for &p in &probes {
+                    out.clear();
+                    tree.stab(p, &mut out);
+                    black_box(&out);
+                }
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("stab512_list", n), &n, |b, _| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                for &p in &probes {
+                    out.clear();
+                    list.stab(p, &mut out);
+                    black_box(&out);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_tree_ops
+}
+criterion_main!(benches);

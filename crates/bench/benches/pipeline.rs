@@ -1,0 +1,67 @@
+//! Criterion bench of the whole pipeline: one sampling interval through
+//! sampling + distribution + formation + both detectors, per benchmark
+//! archetype (steady / switching / region-heavy / UCR-heavy), plus an
+//! ablation of the adaptive-threshold extension on 188.ammp.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use regmon::lpd::ThresholdPolicy;
+use regmon::sampling::{Interval, Sampler};
+use regmon::workload::suite;
+use regmon::{MonitoringSession, SessionConfig};
+
+fn intervals_of(name: &str, n: usize) -> (regmon::workload::Workload, Vec<Interval>) {
+    let w = suite::by_name(name).expect("suite name");
+    let config = SessionConfig::new(45_000);
+    let intervals = Sampler::new(&w, config.sampling).take(n).collect();
+    (w, intervals)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_interval");
+    for name in ["172.mgrid", "187.facerec", "176.gcc", "254.gap"] {
+        let (w, intervals) = intervals_of(name, 48);
+        group.bench_with_input(BenchmarkId::new("process", name), name, |b, _| {
+            let config = SessionConfig::new(45_000);
+            let mut session = MonitoringSession::new(config);
+            session.attach_binary(&w);
+            let mut i = 0;
+            b.iter(|| {
+                let interval = &intervals[i % intervals.len()];
+                i += 1;
+                black_box(session.process_interval(black_box(interval)))
+            });
+        });
+    }
+    group.finish();
+
+    // Ablation: fixed vs adaptive threshold on the big-region benchmark.
+    let mut group = c.benchmark_group("ammp_threshold_ablation");
+    let (w, intervals) = intervals_of("188.ammp", 48);
+    for (label, policy) in [
+        ("fixed_rt", ThresholdPolicy::Fixed(0.8)),
+        ("adaptive_rt", ThresholdPolicy::adaptive()),
+    ] {
+        group.bench_function(label, |b| {
+            let mut config = SessionConfig::new(45_000);
+            config.lpd.threshold = policy;
+            let mut session = MonitoringSession::new(config);
+            session.attach_binary(&w);
+            let mut i = 0;
+            b.iter(|| {
+                let interval = &intervals[i % intervals.len()];
+                i += 1;
+                black_box(session.process_interval(black_box(interval)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

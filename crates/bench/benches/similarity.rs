@@ -1,0 +1,54 @@
+//! Criterion bench for the paper's future-work question (§5): cheaper
+//! similarity metrics than Pearson's coefficient of correlation.
+//!
+//! Compares Pearson against cosine, normalized-Manhattan and rank
+//! correlation on histograms of the sizes real regions have.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use regmon::lpd::{Similarity, SimilarityKind};
+use regmon::stats::CountHistogram;
+
+fn histogram(slots: usize, seed: u64) -> CountHistogram {
+    let counts: Vec<u64> = (0..slots)
+        .map(|i| {
+            let x = (i as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56;
+            // A peaked shape plus noise, like a real region histogram.
+            let peak = slots / 3;
+            let d = (i as i64 - peak as i64).unsigned_abs();
+            (200 / (1 + d * d / 4)) + x % 8
+        })
+        .collect();
+    CountHistogram::from_counts(counts)
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    for &slots in &[16usize, 64, 256] {
+        let a = histogram(slots, 1);
+        let b = histogram(slots, 2);
+        for kind in [
+            SimilarityKind::Pearson,
+            SimilarityKind::Cosine,
+            SimilarityKind::Manhattan,
+            SimilarityKind::Rank,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), slots),
+                &slots,
+                |bench, _| {
+                    bench.iter(|| black_box(kind.score(black_box(&a), black_box(&b))));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_similarity
+}
+criterion_main!(benches);

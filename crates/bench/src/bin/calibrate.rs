@@ -1,0 +1,60 @@
+//! Calibration console: per-benchmark, per-period detector behaviour.
+//!
+//! Not a paper figure — a development tool that prints, for the chosen
+//! benchmarks and sampling periods, everything the models are calibrated
+//! against: GPD changes and stable time, UCR, region counts and the
+//! per-region LPD picture.
+//!
+//! ```text
+//! cargo run --release -p regmon-bench --bin calibrate [-- name...]
+//! REGMON_INTERVALS=400 cargo run ... # cap the interval budget
+//! ```
+
+use regmon::workload::suite;
+use regmon::{MonitoringSession, SessionConfig};
+use regmon_bench::SWEEP_PERIODS;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        suite::names()
+    } else {
+        suite::names()
+            .into_iter()
+            .filter(|n| args.iter().any(|a| n.contains(a.as_str())))
+            .collect()
+    };
+    let cap: usize = std::env::var("REGMON_INTERVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
+
+    for name in names {
+        let w = suite::by_name(name).unwrap();
+        println!("== {name} ==");
+        for period in SWEEP_PERIODS {
+            let config = SessionConfig::new(period);
+            let full = (w.total_cycles() / config.sampling.interval_cycles()) as usize;
+            let budget = full.min(cap);
+            let s = MonitoringSession::run_limited(&w, &config, budget);
+            println!(
+                "  p={period:>7} intervals={:>5} | GPD changes={:>5} stable={:>5.1}% | UCR med={:>5.1}% | regions={}",
+                s.intervals,
+                s.gpd.phase_changes,
+                s.gpd.stable_fraction() * 100.0,
+                s.ucr_median * 100.0,
+                s.regions_formed,
+            );
+            let mut regs: Vec<_> = s.lpd.iter().collect();
+            regs.sort_by_key(|(_, st)| std::cmp::Reverse(st.active_intervals));
+            for (id, st) in regs.iter().take(5) {
+                println!(
+                    "      {id}: active={:>5} stable={:>5.1}% changes={:>4}",
+                    st.active_intervals,
+                    st.stable_fraction() * 100.0,
+                    st.phase_changes,
+                );
+            }
+        }
+    }
+}

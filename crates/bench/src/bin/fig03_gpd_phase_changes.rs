@@ -1,0 +1,27 @@
+//! Figure 3: number of global (centroid) phase changes per benchmark at
+//! sampling periods 45K / 450K / 900K cycles per interrupt.
+//!
+//! Reproduction target (shape, not absolute counts): a handful of
+//! benchmarks — galgel, facerec, mcf, gap, wupwise — show hundreds to
+//! thousands of phase changes at 45K, collapsing to almost none at 900K;
+//! the rest sit near zero at every period. Short-running gzip and gcc are
+//! excluded, as in the paper.
+
+use regmon::workload::suite;
+use regmon_bench::{figure_header, row, run_session, SWEEP_PERIODS};
+
+fn main() {
+    figure_header(
+        "Figure 3",
+        "GPD phase changes per benchmark and sampling period",
+    );
+    println!("benchmark,pc45k,pc450k,pc900k");
+    for name in suite::fig3_names() {
+        let counts: Vec<f64> = SWEEP_PERIODS
+            .iter()
+            .map(|&p| run_session(name, p).gpd.phase_changes as f64)
+            .collect();
+        println!("{}", row(name, &counts));
+    }
+    println!("# paper shape: thrashy set {{galgel, facerec, gap, mcf, wupwise}} large at 45K, ~0 at 900K");
+}

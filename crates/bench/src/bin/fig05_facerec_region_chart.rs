@@ -1,0 +1,48 @@
+//! Figure 5: region chart for 187.facerec.
+//!
+//! The paper's chart shows facerec ping-ponging between two sets of
+//! regions for the whole run, with the GPD phase line flagging changes at
+//! nearly every switch — despite there being *no* real phase changes
+//! ("looking at the region chart for facerec, we see that there are few
+//! actual phase changes").
+
+use regmon::workload::activity::loop_range;
+use regmon::workload::suite;
+use regmon_bench::{downsample, figure_header, region_chart, row};
+
+fn main() {
+    figure_header(
+        "Figure 5",
+        "187.facerec per-region samples per interval + GPD phase line (45K cycles/interrupt)",
+    );
+    let w = suite::by_name("187.facerec").expect("facerec is in the suite");
+    let ranges: Vec<_> = (0..4)
+        .map(|i| loop_range(w.binary(), &format!("hot{i}"), 0))
+        .collect();
+    let max = regmon_bench::interval_budget(&w, 45_000).min(600);
+    let chart = region_chart(&w, 45_000, &ranges, max);
+
+    const COLS: usize = 160;
+    println!(
+        "# columns: {COLS} buckets over {} intervals",
+        chart.gpd_unstable.len()
+    );
+    for (i, range) in chart.ranges.iter().enumerate() {
+        let set = if i < 2 { "setX" } else { "setY" };
+        let series: Vec<f64> = chart.samples[i].iter().map(|&c| c as f64).collect();
+        println!(
+            "{}",
+            row(
+                &format!("samples {set} {range}"),
+                &downsample(&series, COLS)
+            )
+        );
+    }
+    println!(
+        "{}",
+        row("gpd_unstable", &downsample(&chart.gpd_unstable, COLS))
+    );
+    let unstable: f64 = chart.gpd_unstable.iter().sum::<f64>() / chart.gpd_unstable.len() as f64;
+    println!("# GPD unstable fraction over the window: {unstable:.3}");
+    println!("# paper: periodic switching between 2 region sets causes frequent (spurious) phase changes");
+}

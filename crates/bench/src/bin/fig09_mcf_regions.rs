@@ -1,0 +1,53 @@
+//! Figure 9: the three tracked regions of 181.mcf over time.
+//!
+//! The paper names them by address range: `146f0-14770` ("A") takes a
+//! large fraction of execution early and diminishes; `142c8-14318` ("B")
+//! starts small and grows; `13134-133d4` ("C") stays roughly constant.
+//! The run also transitions from non-periodic to periodic behaviour.
+
+use regmon::workload::suite::{self, mcf};
+use regmon_bench::{downsample, figure_header, region_chart, row};
+
+fn main() {
+    figure_header(
+        "Figure 9",
+        "Samples per interval for the three tracked 181.mcf regions",
+    );
+    let w = suite::by_name("181.mcf").expect("mcf is in the suite");
+    let ranges = mcf::tracked_regions(&w);
+    let labels = [
+        "A (analog 146f0-14770)",
+        "B (analog 142c8-14318)",
+        "C (analog 13134-133d4)",
+    ];
+    let max = regmon_bench::interval_budget(&w, 45_000);
+    let chart = region_chart(&w, 45_000, &ranges, max);
+
+    const COLS: usize = 160;
+    for (i, label) in labels.iter().enumerate() {
+        let series: Vec<f64> = chart.samples[i].iter().map(|&c| c as f64).collect();
+        println!(
+            "{}",
+            row(
+                &format!("{label} {}", chart.ranges[i]),
+                &downsample(&series, COLS)
+            )
+        );
+    }
+    // Quantify the A→B share migration.
+    let n = chart.samples[0].len();
+    let share = |i: usize, lo: usize, hi: usize| -> f64 {
+        let sum: u64 = chart.samples[i][lo..hi].iter().sum();
+        sum as f64 / (hi - lo) as f64
+    };
+    println!(
+        "# A: {:.0} samples/interval early -> {:.0} late; B: {:.0} early -> {:.0} late",
+        share(0, 0, n / 5),
+        share(0, 4 * n / 5, n),
+        share(1, 0, n / 5),
+        share(1, 4 * n / 5, n),
+    );
+    println!(
+        "# paper: region A large early and diminishing, region B growing, with a periodic tail"
+    );
+}

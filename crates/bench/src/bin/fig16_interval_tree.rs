@@ -1,0 +1,66 @@
+//! Figure 16: interval-tree sample attribution vs the simple list.
+//!
+//! The paper replaces the O(n)-per-sample region list with an interval
+//! tree (O(log n + k)) and reports per-benchmark cost normalized to the
+//! list scheme: slightly above 1 for programs with few regions (tree
+//! maintenance overhead), well below 1 for the region-heavy ones (gcc,
+//! crafty, fma3d, parser, bzip2).
+
+use std::time::{Duration, Instant};
+
+use regmon::regions::{FormationConfig, IndexKind, RegionFormation, RegionMonitor};
+use regmon::sampling::{Sampler, SamplingConfig};
+use regmon::workload::suite;
+use regmon_bench::figure_header;
+
+fn attribution_time(
+    w: &regmon::workload::Workload,
+    kind: IndexKind,
+    cap: usize,
+) -> (Duration, usize) {
+    let config = SamplingConfig::new(45_000);
+    let mut monitor = RegionMonitor::new(kind);
+    let formation = RegionFormation::new(FormationConfig::default());
+    let mut spent = Duration::ZERO;
+    for interval in Sampler::new(w, config).take(cap) {
+        let t = Instant::now();
+        let report = monitor.distribute(&interval.samples);
+        spent += t.elapsed();
+        // Formation (untimed) keeps the region set identical across kinds.
+        if formation.should_trigger(report.ucr_fraction()) {
+            formation.form(
+                w.binary(),
+                report.unattributed_samples(),
+                &mut monitor,
+                interval.index,
+            );
+        }
+    }
+    (spent, monitor.len())
+}
+
+fn main() {
+    figure_header(
+        "Figure 16",
+        "interval-tree attribution cost normalized to the simple-list scheme",
+    );
+    println!("benchmark,regions,list_ms,tree_ms,factor");
+    let cap: usize = if std::env::var_os("REGMON_FAST").is_some() {
+        40
+    } else {
+        400
+    };
+    for name in suite::names() {
+        let w = suite::by_name(name).expect("suite name");
+        let (list, regions) = attribution_time(&w, IndexKind::Linear, cap);
+        let (tree, regions2) = attribution_time(&w, IndexKind::IntervalTree, cap);
+        assert_eq!(regions, regions2, "index choice must not change formation");
+        let factor = tree.as_secs_f64() / list.as_secs_f64().max(1e-12);
+        println!(
+            "{name},{regions},{:.3},{:.3},{factor:.3}",
+            list.as_secs_f64() * 1e3,
+            tree.as_secs_f64() * 1e3
+        );
+    }
+    println!("# paper: factor slightly above 1 for few-region programs, significantly below 1 for region-heavy ones");
+}

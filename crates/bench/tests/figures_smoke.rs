@@ -1,0 +1,78 @@
+//! Smoke tests: every figure driver produces well-formed data quickly
+//! (the binaries themselves run the full-length versions; here we use the
+//! same library entry points on truncated runs).
+
+use regmon_bench::{
+    downsample, fig13_regions, fig13_stats, region_chart, row, run_session, FIG13_BENCHMARKS,
+};
+
+use regmon::workload::suite::{self, mcf};
+
+fn with_fast_env<T>(f: impl FnOnce() -> T) -> T {
+    // The bench library reads REGMON_FAST to cap interval budgets. Tests
+    // in this binary run single-threaded per process invocation of the
+    // env var; setting it for the whole test process is fine.
+    std::env::set_var("REGMON_FAST", "1");
+    f()
+}
+
+#[test]
+fn run_session_produces_consistent_summary() {
+    with_fast_env(|| {
+        let s = run_session("172.mgrid", 45_000);
+        assert!(s.intervals > 0);
+        assert!(s.gpd.intervals == s.intervals);
+        assert!(s.regions_formed > 0);
+    });
+}
+
+#[test]
+fn region_chart_series_are_aligned() {
+    with_fast_env(|| {
+        let w = suite::by_name("181.mcf").unwrap();
+        let ranges = mcf::tracked_regions(&w);
+        let chart = region_chart(&w, 45_000, &ranges, 12);
+        assert_eq!(chart.ranges.len(), 3);
+        for s in &chart.samples {
+            assert_eq!(s.len(), chart.gpd_unstable.len());
+        }
+        for r in &chart.r_values {
+            assert_eq!(r.len(), chart.gpd_unstable.len());
+        }
+        assert_eq!(chart.ucr.len(), chart.gpd_unstable.len());
+        // Samples per interval never exceed the buffer (no overlapping
+        // tracked ranges here).
+        for s in &chart.samples {
+            assert!(s.iter().all(|&c| c <= 2032));
+        }
+    });
+}
+
+#[test]
+fn fig13_stats_cover_every_tracked_region() {
+    with_fast_env(|| {
+        for name in FIG13_BENCHMARKS {
+            let w = suite::by_name(name).unwrap();
+            let tracked = fig13_regions(name, &w);
+            let stats = fig13_stats(name, 450_000);
+            assert_eq!(stats.len(), tracked.len(), "{name}");
+            for (label, _) in &stats {
+                assert!(label.starts_with('r'), "{name}: {label}");
+            }
+        }
+    });
+}
+
+#[test]
+fn csv_helpers_are_well_formed() {
+    let r = row("x", &[1.0, 2.5]);
+    assert_eq!(r.split(',').count(), 3);
+    assert_eq!(downsample(&[1.0; 100], 10).len(), 10);
+}
+
+#[test]
+#[should_panic(expected = "not a Figure 13 benchmark")]
+fn fig13_rejects_unknown_benchmarks() {
+    let w = suite::by_name("171.swim").unwrap();
+    let _ = fig13_regions("171.swim", &w);
+}

@@ -1,0 +1,264 @@
+//! Addresses and address ranges.
+//!
+//! The paper identifies regions by hexadecimal address ranges such as
+//! `146f0-14770`; [`Addr`] and [`AddrRange`] reproduce that vocabulary with
+//! newtype safety ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// A code address in the synthetic binary's address space.
+///
+/// Displays in lowercase hexadecimal, matching the paper's region names
+/// (`146f0-14770`).
+///
+/// # Example
+///
+/// ```
+/// use regmon_binary::Addr;
+///
+/// let a = Addr::new(0x146f0);
+/// assert_eq!(a.to_string(), "146f0");
+/// assert_eq!((a + 0x80).get(), 0x14770);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Wraps a raw address value.
+    #[must_use]
+    pub const fn new(value: u64) -> Self {
+        Self(value)
+    }
+
+    /// The raw address value.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Byte distance from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier > self` (underflow).
+    #[must_use]
+    pub fn offset_from(self, earlier: Addr) -> u64 {
+        self.0 - earlier.0
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(value: u64) -> Self {
+        Self(value)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for Addr {
+    type Output = Addr;
+
+    fn sub(self, rhs: u64) -> Addr {
+        Addr(self.0 - rhs)
+    }
+}
+
+/// A half-open address range `[start, end)`.
+///
+/// Displays as `start-end` in hexadecimal, matching the paper's region
+/// naming (`146f0-14770`).
+///
+/// # Example
+///
+/// ```
+/// use regmon_binary::{Addr, AddrRange};
+///
+/// let r = AddrRange::new(Addr::new(0x146f0), Addr::new(0x14770));
+/// assert!(r.contains(Addr::new(0x14700)));
+/// assert!(!r.contains(Addr::new(0x14770))); // half-open
+/// assert_eq!(r.to_string(), "146f0-14770");
+/// assert_eq!(r.len(), 0x80);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AddrRange {
+    start: Addr,
+    end: Addr,
+}
+
+impl AddrRange {
+    /// Creates the range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[must_use]
+    pub fn new(start: Addr, end: Addr) -> Self {
+        assert!(start <= end, "address range start {start} after end {end}");
+        Self { start, end }
+    }
+
+    /// Creates a range from a start address and a byte length.
+    #[must_use]
+    pub fn from_len(start: Addr, len: u64) -> Self {
+        Self {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// The inclusive lower bound.
+    #[must_use]
+    pub const fn start(self) -> Addr {
+        self.start
+    }
+
+    /// The exclusive upper bound.
+    #[must_use]
+    pub const fn end(self) -> Addr {
+        self.end
+    }
+
+    /// Byte length of the range.
+    #[must_use]
+    pub fn len(self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// `true` when the range covers no addresses.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` when `addr` lies within `[start, end)`.
+    #[must_use]
+    pub fn contains(self, addr: Addr) -> bool {
+        self.start <= addr && addr < self.end
+    }
+
+    /// `true` when `other` is entirely within `self`.
+    #[must_use]
+    pub fn contains_range(self, other: AddrRange) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// `true` when the two ranges share at least one address.
+    #[must_use]
+    pub fn overlaps(self, other: AddrRange) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_displays_as_lowercase_hex() {
+        assert_eq!(Addr::new(0x7BA2C).to_string(), "7ba2c");
+    }
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = Addr::new(0x100);
+        assert_eq!(a + 8, Addr::new(0x108));
+        assert_eq!(a - 0x10, Addr::new(0xf0));
+        assert_eq!((a + 8).offset_from(a), 8);
+    }
+
+    #[test]
+    fn addr_conversions() {
+        let a: Addr = 42u64.into();
+        let v: u64 = a.into();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn range_display_matches_paper_naming() {
+        let r = AddrRange::new(Addr::new(0x142c8), Addr::new(0x14318));
+        assert_eq!(r.to_string(), "142c8-14318");
+    }
+
+    #[test]
+    fn range_contains_is_half_open() {
+        let r = AddrRange::new(Addr::new(10), Addr::new(20));
+        assert!(r.contains(Addr::new(10)));
+        assert!(r.contains(Addr::new(19)));
+        assert!(!r.contains(Addr::new(20)));
+        assert!(!r.contains(Addr::new(9)));
+    }
+
+    #[test]
+    fn empty_range() {
+        let r = AddrRange::new(Addr::new(5), Addr::new(5));
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert!(!r.contains(Addr::new(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "start")]
+    fn inverted_range_panics() {
+        let _ = AddrRange::new(Addr::new(2), Addr::new(1));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        let a = AddrRange::new(Addr::new(0), Addr::new(10));
+        let b = AddrRange::new(Addr::new(5), Addr::new(15));
+        let c = AddrRange::new(Addr::new(10), Addr::new(20));
+        assert!(a.overlaps(b));
+        assert!(b.overlaps(a));
+        assert!(!a.overlaps(c)); // touching half-open ranges do not overlap
+        assert!(b.overlaps(c));
+    }
+
+    #[test]
+    fn contains_range_cases() {
+        let outer = AddrRange::new(Addr::new(0), Addr::new(100));
+        let inner = AddrRange::new(Addr::new(10), Addr::new(90));
+        assert!(outer.contains_range(inner));
+        assert!(!inner.contains_range(outer));
+        assert!(outer.contains_range(outer));
+    }
+
+    #[test]
+    fn from_len_constructs_half_open() {
+        let r = AddrRange::from_len(Addr::new(0x1000), 0x20);
+        assert_eq!(r.end(), Addr::new(0x1020));
+        assert_eq!(r.len(), 0x20);
+    }
+}

@@ -1,0 +1,530 @@
+//! A small DSL for laying out synthetic binaries.
+//!
+//! The workload crate describes each SPEC-like benchmark's code structure
+//! with this builder: procedures containing straight-line runs, (nested)
+//! loops and calls. The builder lays everything out contiguously in one
+//! address space, produces per-procedure CFGs (do-while style loops with a
+//! conditional back-edge branch), and resolves call targets across
+//! procedures.
+//!
+//! # Example
+//!
+//! ```
+//! use regmon_binary::{Addr, BinaryBuilder};
+//!
+//! let mut b = BinaryBuilder::new("toy");
+//! b.procedure("helper", |p| {
+//!     p.straight(6);
+//! });
+//! b.procedure("main", |p| {
+//!     p.loop_(|l| {
+//!         l.straight(2);
+//!         l.call("helper");
+//!         l.straight(1);
+//!     });
+//! });
+//! let bin = b.build(Addr::new(0x10000));
+//! assert_eq!(bin.procedures().len(), 2);
+//! assert_eq!(bin.call_sites().len(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, AddrRange};
+use crate::binary::{Binary, CallSite};
+use crate::cfg::{BasicBlock, BlockId, Cfg};
+use crate::inst::{InstKind, Instruction, INST_BYTES};
+use crate::proc::{ProcId, Procedure};
+
+/// Code-layout events recorded by the builder closures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Event {
+    Straight(usize),
+    LoopStart,
+    LoopEnd,
+    Call(String),
+}
+
+/// Builder for one procedure's body; see [`BinaryBuilder::procedure`].
+#[derive(Debug)]
+pub struct CodeBuilder {
+    events: Vec<Event>,
+    open_loops: usize,
+}
+
+impl CodeBuilder {
+    fn new() -> Self {
+        Self {
+            events: Vec::new(),
+            open_loops: 0,
+        }
+    }
+
+    /// Appends `n` straight-line (non-control) instructions.
+    pub fn straight(&mut self, n: usize) -> &mut Self {
+        if n > 0 {
+            self.events.push(Event::Straight(n));
+        }
+        self
+    }
+
+    /// Appends a loop whose body is described by `body`.
+    ///
+    /// Loops are do-while shaped: the body executes, then a conditional
+    /// branch returns to the loop header or falls through.
+    pub fn loop_(&mut self, body: impl FnOnce(&mut CodeBuilder)) -> &mut Self {
+        self.events.push(Event::LoopStart);
+        self.open_loops += 1;
+        body(self);
+        self.open_loops -= 1;
+        self.events.push(Event::LoopEnd);
+        self
+    }
+
+    /// Appends a call to the procedure named `callee`.
+    ///
+    /// The target is resolved when [`BinaryBuilder::build`] runs; calling
+    /// an unknown procedure makes `build` panic.
+    pub fn call(&mut self, callee: impl Into<String>) -> &mut Self {
+        self.events.push(Event::Call(callee.into()));
+        self
+    }
+}
+
+/// Builder for a complete synthetic [`Binary`].
+#[derive(Debug)]
+pub struct BinaryBuilder {
+    name: String,
+    procs: Vec<(String, Vec<Event>)>,
+}
+
+impl BinaryBuilder {
+    /// Starts a builder for a binary named `name` (e.g. `"181.mcf"`).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            procs: Vec::new(),
+        }
+    }
+
+    /// Adds a procedure whose body is described by `body`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a procedure with the same name already exists.
+    pub fn procedure(
+        &mut self,
+        name: impl Into<String>,
+        body: impl FnOnce(&mut CodeBuilder),
+    ) -> &mut Self {
+        let name = name.into();
+        assert!(
+            self.procs.iter().all(|(n, _)| *n != name),
+            "duplicate procedure name {name:?}"
+        );
+        let mut cb = CodeBuilder::new();
+        body(&mut cb);
+        self.procs.push((name, cb.events));
+        self
+    }
+
+    /// Lays the procedures out contiguously from `base` and builds the
+    /// binary. Call targets are resolved by procedure name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a call references an unknown procedure or the builder has
+    /// no procedures.
+    #[must_use]
+    pub fn build(&self, base: Addr) -> Binary {
+        assert!(!self.procs.is_empty(), "binary has no procedures");
+
+        // First pass: assemble every procedure at its final base address.
+        let mut procedures = Vec::with_capacity(self.procs.len());
+        let mut call_sites: Vec<(ProcId, usize, String)> = Vec::new();
+        let mut next = base;
+        for (idx, (name, events)) in self.procs.iter().enumerate() {
+            let pid = ProcId(idx);
+            let assembled = assemble(pid, next, events);
+            for (inst_idx, callee) in assembled.calls.iter() {
+                call_sites.push((pid, *inst_idx, callee.clone()));
+            }
+            next = align_up(assembled.end, 16);
+            procedures.push((name.clone(), assembled));
+        }
+
+        // Resolve call targets.
+        let entry_of: HashMap<String, Addr> = procedures
+            .iter()
+            .map(|(name, a)| (name.clone(), a.start))
+            .collect();
+        let mut resolved_sites = Vec::with_capacity(call_sites.len());
+        for (pid, inst_idx, callee) in &call_sites {
+            let target = *entry_of
+                .get(callee.as_str())
+                .unwrap_or_else(|| panic!("call to unknown procedure {callee:?}"));
+            let assembled = &mut procedures[pid.0].1;
+            let old = assembled.insts[*inst_idx];
+            assembled.insts[*inst_idx] = Instruction::new(old.addr(), InstKind::Call { target });
+            resolved_sites.push(CallSite::new(*pid, old.addr(), callee.clone(), target));
+        }
+
+        let procs: Vec<Procedure> = procedures
+            .into_iter()
+            .enumerate()
+            .map(|(idx, (name, a))| {
+                let range = AddrRange::new(a.start, a.end);
+                let blocks: Vec<BasicBlock> = a
+                    .blocks
+                    .iter()
+                    .enumerate()
+                    .map(|(bi, &(first, count))| {
+                        let start = a.start + first as u64 * INST_BYTES;
+                        BasicBlock::new(
+                            BlockId(bi),
+                            AddrRange::from_len(start, count as u64 * INST_BYTES),
+                            first,
+                            count,
+                        )
+                    })
+                    .collect();
+                let edges = a
+                    .edges
+                    .iter()
+                    .map(|&(f, t)| (BlockId(f), BlockId(t)))
+                    .collect();
+                let cfg = Cfg::new(blocks, edges, BlockId(0));
+                Procedure::new(ProcId(idx), name, range, a.insts, cfg)
+            })
+            .collect();
+
+        Binary::new(self.name.clone(), procs, resolved_sites)
+    }
+}
+
+fn align_up(addr: Addr, align: u64) -> Addr {
+    let v = addr.get();
+    Addr::new(v.div_ceil(align) * align)
+}
+
+/// Result of assembling one procedure.
+struct Assembled {
+    start: Addr,
+    end: Addr,
+    insts: Vec<Instruction>,
+    /// `(first_inst, inst_count)` per block.
+    blocks: Vec<(usize, usize)>,
+    /// Edges between block indices.
+    edges: Vec<(usize, usize)>,
+    /// `(inst_index, callee_name)` for later target resolution.
+    calls: Vec<(usize, String)>,
+}
+
+/// Assembles a procedure's events into instructions, blocks and edges.
+fn assemble(_pid: ProcId, base: Addr, events: &[Event]) -> Assembled {
+    let mut insts: Vec<Instruction> = Vec::new();
+    let mut blocks: Vec<(usize, usize)> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut calls: Vec<(usize, String)> = Vec::new();
+    // First instruction index of the currently-open block.
+    let mut open_first = 0usize;
+    // Stack of loop header addresses.
+    let mut loop_stack: Vec<Addr> = Vec::new();
+    // Map from block start address to block index (headers are always
+    // block starts, so back edges can be resolved through this map).
+    let mut block_at: HashMap<Addr, usize> = HashMap::new();
+
+    let addr_of = |i: usize| base + i as u64 * INST_BYTES;
+
+    /// How a block hands control to what follows it.
+    enum Close {
+        Fallthrough,
+        BackEdge(Addr),
+        End,
+    }
+
+    let close_block = |insts: &Vec<Instruction>,
+                       blocks: &mut Vec<(usize, usize)>,
+                       edges: &mut Vec<(usize, usize)>,
+                       block_at: &mut HashMap<Addr, usize>,
+                       open_first: &mut usize,
+                       how: Close| {
+        let count = insts.len() - *open_first;
+        if count == 0 {
+            return;
+        }
+        let id = blocks.len();
+        blocks.push((*open_first, count));
+        block_at.insert(addr_of_indexed(base, *open_first), id);
+        match how {
+            Close::Fallthrough => edges.push((id, id + 1)),
+            Close::BackEdge(header) => {
+                let header_id = if header == addr_of_indexed(base, *open_first) {
+                    id // self loop
+                } else {
+                    *block_at
+                        .get(&header)
+                        .expect("loop header must start a block")
+                };
+                edges.push((id, header_id));
+                edges.push((id, id + 1));
+            }
+            Close::End => {}
+        }
+        *open_first = insts.len();
+    };
+
+    let mut straight_emitted = 0usize;
+    for event in events {
+        match event {
+            Event::Straight(n) => {
+                for _ in 0..*n {
+                    let kind = straight_kind(straight_emitted);
+                    straight_emitted += 1;
+                    insts.push(Instruction::new(addr_of(insts.len()), kind));
+                }
+            }
+            Event::LoopStart => {
+                close_block(
+                    &insts,
+                    &mut blocks,
+                    &mut edges,
+                    &mut block_at,
+                    &mut open_first,
+                    Close::Fallthrough,
+                );
+                let header = addr_of(insts.len());
+                // Directly-nested loops would otherwise share a header
+                // block; pad with a nop so each loop has its own header.
+                if loop_stack.last() == Some(&header) {
+                    insts.push(Instruction::new(header, InstKind::Nop));
+                    close_block(
+                        &insts,
+                        &mut blocks,
+                        &mut edges,
+                        &mut block_at,
+                        &mut open_first,
+                        Close::Fallthrough,
+                    );
+                }
+                loop_stack.push(addr_of(insts.len()));
+            }
+            Event::LoopEnd => {
+                let header = loop_stack.pop().expect("loop_ keeps starts/ends balanced");
+                // A completely empty loop body still needs a header
+                // instruction for the back edge to target.
+                if addr_of(insts.len()) == header {
+                    insts.push(Instruction::new(header, InstKind::Nop));
+                }
+                let branch_addr = addr_of(insts.len());
+                insts.push(Instruction::new(
+                    branch_addr,
+                    InstKind::Branch { target: header },
+                ));
+                close_block(
+                    &insts,
+                    &mut blocks,
+                    &mut edges,
+                    &mut block_at,
+                    &mut open_first,
+                    Close::BackEdge(header),
+                );
+            }
+            Event::Call(callee) => {
+                let idx = insts.len();
+                // Placeholder target; patched during Binary::build.
+                insts.push(Instruction::new(
+                    addr_of(idx),
+                    InstKind::Call {
+                        target: Addr::new(0),
+                    },
+                ));
+                calls.push((idx, callee.clone()));
+            }
+        }
+    }
+
+    // Trailing return.
+    insts.push(Instruction::new(addr_of(insts.len()), InstKind::Ret));
+    close_block(
+        &insts,
+        &mut blocks,
+        &mut edges,
+        &mut block_at,
+        &mut open_first,
+        Close::End,
+    );
+
+    let end = addr_of(insts.len());
+    Assembled {
+        start: base,
+        end,
+        insts,
+        blocks,
+        edges,
+        calls,
+    }
+}
+
+fn addr_of_indexed(base: Addr, i: usize) -> Addr {
+    base + i as u64 * INST_BYTES
+}
+
+/// Deterministic instruction-kind pattern for straight-line code: a RISC-y
+/// mix of roughly 25% loads, 12% stores, the rest ALU.
+fn straight_kind(i: usize) -> InstKind {
+    match i % 8 {
+        0 | 4 => InstKind::Load,
+        3 => InstKind::Store,
+        5 => InstKind::FpAlu,
+        _ => InstKind::IntAlu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_procedure_gets_a_ret() {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("empty", |_| {});
+        let bin = b.build(Addr::new(0x100));
+        let p = bin.procedure_by_name("empty").unwrap();
+        assert_eq!(p.instructions().len(), 1);
+        assert_eq!(p.instructions()[0].kind(), InstKind::Ret);
+        assert!(p.loops().is_empty());
+    }
+
+    #[test]
+    fn single_loop_structure() {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.straight(2);
+            p.loop_(|l| {
+                l.straight(3);
+            });
+            p.straight(1);
+        });
+        let bin = b.build(Addr::new(0x1000));
+        let f = bin.procedure_by_name("f").unwrap();
+        assert_eq!(f.loops().len(), 1);
+        let lp = &f.loops()[0];
+        // Loop covers 3 body insts + 1 back-edge branch = 4 slots.
+        assert_eq!(lp.inst_slots(), 4);
+        // Loop starts after the 2 straight instructions.
+        assert_eq!(lp.range().start(), f.range().start() + 2 * INST_BYTES);
+    }
+
+    #[test]
+    fn empty_loop_body_gets_header_nop() {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.loop_(|_| {});
+        });
+        let bin = b.build(Addr::new(0x1000));
+        let f = bin.procedure_by_name("f").unwrap();
+        assert_eq!(f.loops().len(), 1);
+        assert_eq!(f.loops()[0].inst_slots(), 2); // nop + branch
+    }
+
+    #[test]
+    fn directly_nested_loops_have_distinct_headers() {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.loop_(|l| {
+                l.loop_(|inner| {
+                    inner.straight(2);
+                });
+            });
+        });
+        let bin = b.build(Addr::new(0x1000));
+        let f = bin.procedure_by_name("f").unwrap();
+        assert_eq!(f.loops().len(), 2, "nested loops must not merge");
+        assert_eq!(f.loops()[0].depth(), 0);
+        assert_eq!(f.loops()[1].depth(), 1);
+    }
+
+    #[test]
+    fn loop_after_loop_produces_siblings() {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.loop_(|l| {
+                l.straight(2);
+            });
+            p.straight(1);
+            p.loop_(|l| {
+                l.straight(4);
+            });
+        });
+        let bin = b.build(Addr::new(0x1000));
+        let f = bin.procedure_by_name("f").unwrap();
+        assert_eq!(f.loops().len(), 2);
+        assert!(f.loops().iter().all(|l| l.depth() == 0));
+        assert!(!f.loops()[0].range().overlaps(f.loops()[1].range()));
+    }
+
+    #[test]
+    fn calls_resolve_forward_and_backward() {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("a", |p| {
+            p.call("b"); // forward reference
+        });
+        b.procedure("b", |p| {
+            p.straight(1);
+            p.call("a"); // backward reference
+        });
+        let bin = b.build(Addr::new(0x1000));
+        assert_eq!(bin.call_sites().len(), 2);
+        let a_entry = bin.procedure_by_name("a").unwrap().range().start();
+        let b_entry = bin.procedure_by_name("b").unwrap().range().start();
+        let site_in_a = &bin.call_sites()[0];
+        assert_eq!(site_in_a.target(), b_entry);
+        let site_in_b = &bin.call_sites()[1];
+        assert_eq!(site_in_b.target(), a_entry);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown procedure")]
+    fn call_to_unknown_procedure_panics() {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("a", |p| {
+            p.call("missing");
+        });
+        let _ = b.build(Addr::new(0x1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate procedure")]
+    fn duplicate_procedure_panics() {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("a", |_| {});
+        b.procedure("a", |_| {});
+    }
+
+    #[test]
+    fn procedures_are_laid_out_disjoint_and_aligned() {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("a", |p| {
+            p.straight(3);
+        });
+        b.procedure("b", |p| {
+            p.straight(5);
+        });
+        let bin = b.build(Addr::new(0x1000));
+        let a = bin.procedure_by_name("a").unwrap().range();
+        let br = bin.procedure_by_name("b").unwrap().range();
+        assert!(!a.overlaps(br));
+        assert_eq!(br.start().get() % 16, 0);
+        assert!(br.start() >= a.end());
+    }
+
+    #[test]
+    fn straight_kind_mix_contains_loads_and_stores() {
+        let kinds: Vec<InstKind> = (0..8).map(straight_kind).collect();
+        assert!(kinds.contains(&InstKind::Load));
+        assert!(kinds.contains(&InstKind::Store));
+        assert!(kinds.contains(&InstKind::FpAlu));
+    }
+}

@@ -1,0 +1,523 @@
+//! Per-procedure control-flow graphs with dominator analysis.
+//!
+//! Region formation in the paper builds regions around *loops*; loops are
+//! recovered from the control-flow graph as natural loops of back edges
+//! (`u → v` where `v` dominates `u`). Dominators are computed with the
+//! Cooper–Harvey–Kennedy iterative algorithm over the reverse post-order.
+
+use core::fmt;
+
+use crate::addr::AddrRange;
+
+/// Index of a basic block within its procedure's CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A straight-line sequence of instructions with a single entry and exit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    id: BlockId,
+    range: AddrRange,
+    /// Index of the block's first instruction within the procedure.
+    first_inst: usize,
+    /// Number of instructions in the block.
+    inst_count: usize,
+}
+
+impl BasicBlock {
+    /// Creates a basic block.
+    #[must_use]
+    pub fn new(id: BlockId, range: AddrRange, first_inst: usize, inst_count: usize) -> Self {
+        Self {
+            id,
+            range,
+            first_inst,
+            inst_count,
+        }
+    }
+
+    /// The block's identifier.
+    #[must_use]
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// The block's address range.
+    #[must_use]
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+
+    /// Index of the first instruction within the procedure.
+    #[must_use]
+    pub fn first_inst(&self) -> usize {
+        self.first_inst
+    }
+
+    /// Number of instructions in the block.
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.inst_count
+    }
+}
+
+/// A control-flow graph over basic blocks.
+///
+/// # Example
+///
+/// ```
+/// use regmon_binary::{Addr, AddrRange, BasicBlock, BlockId, Cfg};
+///
+/// // bb0 -> bb1 -> bb1 (self loop) -> bb2
+/// let blocks = vec![
+///     BasicBlock::new(BlockId(0), AddrRange::new(Addr::new(0), Addr::new(8)), 0, 2),
+///     BasicBlock::new(BlockId(1), AddrRange::new(Addr::new(8), Addr::new(16)), 2, 2),
+///     BasicBlock::new(BlockId(2), AddrRange::new(Addr::new(16), Addr::new(24)), 4, 2),
+/// ];
+/// let edges = vec![(BlockId(0), BlockId(1)), (BlockId(1), BlockId(1)), (BlockId(1), BlockId(2))];
+/// let cfg = Cfg::new(blocks, edges, BlockId(0));
+/// assert_eq!(cfg.back_edges(), vec![(BlockId(1), BlockId(1))]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    entry: BlockId,
+}
+
+impl Cfg {
+    /// Builds a CFG from blocks and directed edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge endpoint or the entry is out of range, or if
+    /// block ids are not the dense sequence `0..blocks.len()`.
+    #[must_use]
+    pub fn new(blocks: Vec<BasicBlock>, edges: Vec<(BlockId, BlockId)>, entry: BlockId) -> Self {
+        let n = blocks.len();
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.id().0, i, "block ids must be dense and in order");
+        }
+        assert!(entry.0 < n, "entry block out of range");
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (from, to) in edges {
+            assert!(from.0 < n && to.0 < n, "edge endpoint out of range");
+            succs[from.0].push(to);
+            preds[to.0].push(from);
+        }
+        Self {
+            blocks,
+            succs,
+            preds,
+            entry,
+        }
+    }
+
+    /// The blocks, indexed by [`BlockId`].
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block with the given id.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// The entry block id.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// Successors of `id`.
+    #[must_use]
+    pub fn successors(&self, id: BlockId) -> &[BlockId] {
+        &self.succs[id.0]
+    }
+
+    /// Predecessors of `id`.
+    #[must_use]
+    pub fn predecessors(&self, id: BlockId) -> &[BlockId] {
+        &self.preds[id.0]
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when the CFG has no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Blocks in reverse post-order from the entry.
+    ///
+    /// Unreachable blocks are omitted.
+    #[must_use]
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let n = self.blocks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (node, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry, 0)];
+        visited[self.entry.0] = true;
+        while let Some(&(node, next)) = stack.last() {
+            if next < self.succs[node.0].len() {
+                stack.last_mut().expect("stack is non-empty").1 += 1;
+                let succ = self.succs[node.0][next];
+                if !visited[succ.0] {
+                    visited[succ.0] = true;
+                    stack.push((succ, 0));
+                }
+            } else {
+                post.push(node);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Immediate dominators, `idom[b]`, for every reachable block
+    /// (Cooper–Harvey–Kennedy). The entry's idom is itself; unreachable
+    /// blocks get `None`.
+    #[must_use]
+    pub fn immediate_dominators(&self) -> Vec<Option<BlockId>> {
+        let n = self.blocks.len();
+        let rpo = self.reverse_post_order();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b.0] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[self.entry.0] = Some(self.entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_index[a.0] > rpo_index[b.0] {
+                    a = idom[a.0].expect("processed block has idom");
+                }
+                while rpo_index[b.0] > rpo_index[a.0] {
+                    b = idom[b.0].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &self.preds[b.0] {
+                    if idom[p.0].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0] != Some(ni) {
+                        idom[b.0] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        idom
+    }
+
+    /// `true` when `a` dominates `b` (reflexively).
+    ///
+    /// Walks the idom chain; callers doing bulk queries should compute
+    /// [`Cfg::immediate_dominators`] once instead.
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let idom = self.immediate_dominators();
+        dominates_with(&idom, self.entry, a, b)
+    }
+
+    /// Back edges `u → v` (where `v` dominates `u`), in edge order.
+    #[must_use]
+    pub fn back_edges(&self) -> Vec<(BlockId, BlockId)> {
+        let idom = self.immediate_dominators();
+        let mut out = Vec::new();
+        for (u, succs) in self.succs.iter().enumerate() {
+            if idom[u].is_none() {
+                continue; // unreachable
+            }
+            for &v in succs {
+                if dominates_with(&idom, self.entry, v, BlockId(u)) {
+                    out.push((BlockId(u), v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the CFG in Graphviz dot syntax (block address ranges as
+    /// node labels, back edges dashed) — a debugging aid for inspecting
+    /// generated binaries.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use regmon_binary::{Addr, BinaryBuilder};
+    ///
+    /// let mut b = BinaryBuilder::new("t");
+    /// b.procedure("f", |p| { p.loop_(|l| { l.straight(3); }); });
+    /// let bin = b.build(Addr::new(0x1000));
+    /// let dot = bin.procedure_by_name("f").unwrap().cfg().to_dot("f");
+    /// assert!(dot.starts_with("digraph f {"));
+    /// assert!(dot.contains("style=dashed")); // the loop's back edge
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self, name: &str) -> String {
+        use core::fmt::Write as _;
+        let back: Vec<(BlockId, BlockId)> = self.back_edges();
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+        for b in &self.blocks {
+            let _ = writeln!(
+                out,
+                "  bb{} [label=\"bb{}\\n{}\"];",
+                b.id().0,
+                b.id().0,
+                b.range()
+            );
+        }
+        for (u, succs) in self.succs.iter().enumerate() {
+            for &v in succs {
+                let style = if back.contains(&(BlockId(u), v)) {
+                    " [style=dashed]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  bb{} -> bb{}{};", u, v.0, style);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Natural loops: for each back edge `u → v`, the header `v` and the
+    /// set of blocks that can reach `u` without passing through `v`.
+    ///
+    /// Loops sharing a header are merged (the classical convention).
+    /// Returned sorted by header id; each entry is `(header, body)` with
+    /// the body sorted and including the header.
+    #[must_use]
+    pub fn natural_loops(&self) -> Vec<(BlockId, Vec<BlockId>)> {
+        let mut loops: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for (tail, header) in self.back_edges() {
+            let mut body = vec![false; self.blocks.len()];
+            body[header.0] = true;
+            let mut stack = Vec::new();
+            if !body[tail.0] {
+                body[tail.0] = true;
+                stack.push(tail);
+            }
+            while let Some(b) = stack.pop() {
+                for &p in &self.preds[b.0] {
+                    if !body[p.0] {
+                        body[p.0] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let members: Vec<BlockId> = (0..self.blocks.len())
+                .filter(|&i| body[i])
+                .map(BlockId)
+                .collect();
+            if let Some(existing) = loops.iter_mut().find(|(h, _)| *h == header) {
+                let mut merged: Vec<BlockId> = existing.1.iter().copied().chain(members).collect();
+                merged.sort_unstable();
+                merged.dedup();
+                existing.1 = merged;
+            } else {
+                loops.push((header, members));
+            }
+        }
+        loops.sort_by_key(|(h, _)| *h);
+        loops
+    }
+}
+
+/// `true` when `a` dominates `b` given precomputed idoms.
+fn dominates_with(idom: &[Option<BlockId>], entry: BlockId, a: BlockId, b: BlockId) -> bool {
+    if idom[b.0].is_none() || idom[a.0].is_none() {
+        return false; // unreachable blocks dominate nothing
+    }
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        if cur == entry {
+            return false;
+        }
+        cur = idom[cur.0].expect("reachable block has idom");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{Addr, AddrRange};
+
+    fn block(i: usize) -> BasicBlock {
+        let start = Addr::new((i * 8) as u64);
+        BasicBlock::new(BlockId(i), AddrRange::from_len(start, 8), i * 2, 2)
+    }
+
+    fn make_cfg(n: usize, edges: &[(usize, usize)]) -> Cfg {
+        let blocks = (0..n).map(block).collect();
+        let edges = edges
+            .iter()
+            .map(|&(a, b)| (BlockId(a), BlockId(b)))
+            .collect();
+        Cfg::new(blocks, edges, BlockId(0))
+    }
+
+    #[test]
+    fn straight_line_has_no_back_edges() {
+        let cfg = make_cfg(3, &[(0, 1), (1, 2)]);
+        assert!(cfg.back_edges().is_empty());
+        assert!(cfg.natural_loops().is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let cfg = make_cfg(3, &[(0, 1), (1, 2)]);
+        assert_eq!(
+            cfg.reverse_post_order(),
+            vec![BlockId(0), BlockId(1), BlockId(2)]
+        );
+    }
+
+    #[test]
+    fn rpo_skips_unreachable() {
+        let cfg = make_cfg(3, &[(0, 1)]);
+        assert_eq!(cfg.reverse_post_order(), vec![BlockId(0), BlockId(1)]);
+    }
+
+    #[test]
+    fn simple_loop_detected() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let cfg = make_cfg(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        assert_eq!(cfg.back_edges(), vec![(BlockId(2), BlockId(1))]);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].0, BlockId(1));
+        assert_eq!(loops[0].1, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let cfg = make_cfg(2, &[(0, 0), (0, 1)]);
+        assert_eq!(cfg.back_edges(), vec![(BlockId(0), BlockId(0))]);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops[0].1, vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn nested_loops_detected() {
+        // 0 -> 1(outer hdr) -> 2(inner hdr) -> 3 -> 2 (inner back)
+        //                      3 -> 4 -> 1 (outer back), 4 -> 5
+        let cfg = make_cfg(6, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4), (4, 1), (4, 5)]);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 2);
+        let outer = loops.iter().find(|(h, _)| *h == BlockId(1)).unwrap();
+        let inner = loops.iter().find(|(h, _)| *h == BlockId(2)).unwrap();
+        assert_eq!(inner.1, vec![BlockId(2), BlockId(3)]);
+        assert_eq!(
+            outer.1,
+            vec![BlockId(1), BlockId(2), BlockId(3), BlockId(4)]
+        );
+        // Inner is properly nested inside outer.
+        assert!(inner.1.iter().all(|b| outer.1.contains(b)));
+    }
+
+    #[test]
+    fn loops_sharing_header_are_merged() {
+        // Two back edges to the same header 1: 2 -> 1 and 3 -> 1.
+        let cfg = make_cfg(4, &[(0, 1), (1, 2), (2, 1), (1, 3), (3, 1)]);
+        let loops = cfg.natural_loops();
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].1, vec![BlockId(1), BlockId(2), BlockId(3)]);
+    }
+
+    #[test]
+    fn idom_diamond() {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let cfg = make_cfg(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let idom = cfg.immediate_dominators();
+        assert_eq!(idom[0], Some(BlockId(0)));
+        assert_eq!(idom[1], Some(BlockId(0)));
+        assert_eq!(idom[2], Some(BlockId(0)));
+        assert_eq!(idom[3], Some(BlockId(0)));
+        assert!(cfg.dominates(BlockId(0), BlockId(3)));
+        assert!(!cfg.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_for_reachable() {
+        let cfg = make_cfg(2, &[(0, 1)]);
+        assert!(cfg.dominates(BlockId(1), BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let cfg = make_cfg(3, &[(0, 1)]);
+        let idom = cfg.immediate_dominators();
+        assert_eq!(idom[2], None);
+        assert!(!cfg.dominates(BlockId(2), BlockId(1)));
+        assert!(!cfg.dominates(BlockId(0), BlockId(2)));
+    }
+
+    #[test]
+    fn irreducible_region_yields_no_spurious_loop() {
+        // Classic irreducible graph: 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 1.
+        // Neither 1 nor 2 dominates the other, so no back edge exists.
+        let cfg = make_cfg(3, &[(0, 1), (0, 2), (1, 2), (2, 1)]);
+        assert!(cfg.back_edges().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn non_dense_ids_panic() {
+        let blocks = vec![BasicBlock::new(
+            BlockId(1),
+            AddrRange::from_len(Addr::new(0), 8),
+            0,
+            2,
+        )];
+        let _ = Cfg::new(blocks, vec![], BlockId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = make_cfg(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Instructions of the synthetic binary.
+//!
+//! Instructions are fixed-width (4 bytes, SPARC-like) so that an address
+//! maps to an instruction *slot* by simple arithmetic — the same property
+//! the paper's per-region histograms rely on.
+
+use crate::addr::Addr;
+use core::fmt;
+
+/// Fixed instruction width in bytes (SPARC-style RISC encoding).
+pub const INST_BYTES: u64 = 4;
+
+/// The operation class of a synthetic instruction.
+///
+/// The phase detectors never inspect instruction kinds, but the runtime
+/// optimizer simulator does: data prefetching targets [`InstKind::Load`]
+/// instructions, and region formation ends regions at control transfers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstKind {
+    /// Memory load; the prefetch candidate class.
+    Load,
+    /// Memory store.
+    Store,
+    /// Integer ALU operation.
+    IntAlu,
+    /// Floating-point operation.
+    FpAlu,
+    /// Conditional or unconditional branch to `target`.
+    Branch {
+        /// Branch target address.
+        target: Addr,
+    },
+    /// Procedure call to `target` (resolved by name in [`crate::Binary`]).
+    Call {
+        /// Entry address of the callee.
+        target: Addr,
+    },
+    /// Procedure return.
+    Ret,
+    /// No-op (padding).
+    Nop,
+}
+
+impl InstKind {
+    /// `true` for control-transfer instructions (branch/call/ret).
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(self, Self::Branch { .. } | Self::Call { .. } | Self::Ret)
+    }
+
+    /// `true` for memory-access instructions (load/store).
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(self, Self::Load | Self::Store)
+    }
+}
+
+impl fmt::Display for InstKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Load => write!(f, "ld"),
+            Self::Store => write!(f, "st"),
+            Self::IntAlu => write!(f, "alu"),
+            Self::FpAlu => write!(f, "fp"),
+            Self::Branch { target } => write!(f, "br {target}"),
+            Self::Call { target } => write!(f, "call {target}"),
+            Self::Ret => write!(f, "ret"),
+            Self::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// One instruction at a fixed address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    addr: Addr,
+    kind: InstKind,
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    #[must_use]
+    pub fn new(addr: Addr, kind: InstKind) -> Self {
+        Self { addr, kind }
+    }
+
+    /// The instruction's address.
+    #[must_use]
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// The instruction's operation class.
+    #[must_use]
+    pub fn kind(&self) -> InstKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:>8}: {}", self.addr.to_string(), self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_classification() {
+        assert!(InstKind::Ret.is_control());
+        assert!(InstKind::Branch {
+            target: Addr::new(0)
+        }
+        .is_control());
+        assert!(InstKind::Call {
+            target: Addr::new(0)
+        }
+        .is_control());
+        assert!(!InstKind::Load.is_control());
+        assert!(!InstKind::Nop.is_control());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(InstKind::Load.is_memory());
+        assert!(InstKind::Store.is_memory());
+        assert!(!InstKind::IntAlu.is_memory());
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction::new(
+            Addr::new(0x1000),
+            InstKind::Branch {
+                target: Addr::new(0xff0),
+            },
+        );
+        assert_eq!(i.to_string(), "    1000: br ff0");
+        assert_eq!(InstKind::Load.to_string(), "ld");
+    }
+
+    #[test]
+    fn accessors() {
+        let i = Instruction::new(Addr::new(8), InstKind::Store);
+        assert_eq!(i.addr(), Addr::new(8));
+        assert_eq!(i.kind(), InstKind::Store);
+    }
+}

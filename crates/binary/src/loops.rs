@@ -1,0 +1,219 @@
+//! Loop metadata derived from natural-loop detection.
+//!
+//! A [`LoopInfo`] is the unit the paper's region builder turns into a
+//! monitored region: an address range, a nesting depth and a link to its
+//! parent loop. Loop nesting is recovered from block-set containment.
+
+use crate::addr::AddrRange;
+use crate::cfg::BlockId;
+use core::fmt;
+
+/// Index of a loop within its procedure (outermost-first order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LoopId(pub usize);
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "loop{}", self.0)
+    }
+}
+
+/// One natural loop of a procedure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    id: LoopId,
+    header: BlockId,
+    blocks: Vec<BlockId>,
+    range: AddrRange,
+    depth: usize,
+    parent: Option<LoopId>,
+}
+
+impl LoopInfo {
+    /// Creates loop metadata; used by [`crate::Procedure`] construction.
+    #[must_use]
+    pub fn new(
+        id: LoopId,
+        header: BlockId,
+        blocks: Vec<BlockId>,
+        range: AddrRange,
+        depth: usize,
+        parent: Option<LoopId>,
+    ) -> Self {
+        Self {
+            id,
+            header,
+            blocks,
+            range,
+            depth,
+            parent,
+        }
+    }
+
+    /// The loop's identifier within its procedure.
+    #[must_use]
+    pub fn id(&self) -> LoopId {
+        self.id
+    }
+
+    /// The loop header block.
+    #[must_use]
+    pub fn header(&self) -> BlockId {
+        self.header
+    }
+
+    /// The blocks of the loop body (sorted, includes the header).
+    #[must_use]
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// The address span of the loop body.
+    #[must_use]
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+
+    /// Nesting depth: `0` for outermost loops.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The immediately-enclosing loop, if any.
+    #[must_use]
+    pub fn parent(&self) -> Option<LoopId> {
+        self.parent
+    }
+
+    /// Number of instruction slots covered by the loop's address range.
+    #[must_use]
+    pub fn inst_slots(&self) -> usize {
+        (self.range.len() / crate::inst::INST_BYTES) as usize
+    }
+}
+
+/// Computes nesting metadata for natural loops.
+///
+/// Input: `(header, body)` pairs from [`crate::Cfg::natural_loops`] and a
+/// function mapping a block id to its address range. Output is sorted
+/// outermost-first (by body size descending, then header), with `depth`
+/// and `parent` filled in by smallest-enclosing-superset.
+pub(crate) fn build_loop_infos(
+    natural: &[(BlockId, Vec<BlockId>)],
+    block_range: impl Fn(BlockId) -> AddrRange,
+) -> Vec<LoopInfo> {
+    // Sort outermost first so parents precede children.
+    let mut order: Vec<usize> = (0..natural.len()).collect();
+    order.sort_by_key(|&i| (usize::MAX - natural[i].1.len(), natural[i].0));
+
+    let mut infos: Vec<LoopInfo> = Vec::with_capacity(natural.len());
+    for (new_id, &orig) in order.iter().enumerate() {
+        let (header, body) = &natural[orig];
+        let mut start = None;
+        let mut end = None;
+        for &b in body {
+            let r = block_range(b);
+            start = Some(start.map_or(r.start(), |s: crate::addr::Addr| s.min(r.start())));
+            end = Some(end.map_or(r.end(), |e: crate::addr::Addr| e.max(r.end())));
+        }
+        let range = AddrRange::new(
+            start.expect("loop body is non-empty"),
+            end.expect("loop body is non-empty"),
+        );
+        // Parent: the smallest already-placed loop whose body strictly
+        // contains this body.
+        let mut parent: Option<LoopId> = None;
+        let mut parent_size = usize::MAX;
+        for prev in &infos {
+            let prev_body = prev.blocks();
+            if prev_body.len() > body.len()
+                && body.iter().all(|b| prev_body.contains(b))
+                && prev_body.len() < parent_size
+            {
+                parent = Some(prev.id());
+                parent_size = prev_body.len();
+            }
+        }
+        let depth = parent.map_or(0, |p| infos[p.0].depth() + 1);
+        infos.push(LoopInfo::new(
+            LoopId(new_id),
+            *header,
+            body.clone(),
+            range,
+            depth,
+            parent,
+        ));
+    }
+    infos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn range_of(b: BlockId) -> AddrRange {
+        AddrRange::from_len(Addr::new((b.0 * 16) as u64), 16)
+    }
+
+    #[test]
+    fn single_loop_depth_zero() {
+        let natural = vec![(BlockId(1), vec![BlockId(1), BlockId(2)])];
+        let infos = build_loop_infos(&natural, range_of);
+        assert_eq!(infos.len(), 1);
+        assert_eq!(infos[0].depth(), 0);
+        assert_eq!(infos[0].parent(), None);
+        assert_eq!(
+            infos[0].range(),
+            AddrRange::new(Addr::new(16), Addr::new(48))
+        );
+        assert_eq!(infos[0].inst_slots(), 8);
+    }
+
+    #[test]
+    fn nested_loops_get_parent_and_depth() {
+        let natural = vec![
+            (BlockId(2), vec![BlockId(2), BlockId(3)]),
+            (
+                BlockId(1),
+                vec![BlockId(1), BlockId(2), BlockId(3), BlockId(4)],
+            ),
+        ];
+        let infos = build_loop_infos(&natural, range_of);
+        assert_eq!(infos.len(), 2);
+        // Outermost first.
+        assert_eq!(infos[0].header(), BlockId(1));
+        assert_eq!(infos[0].depth(), 0);
+        assert_eq!(infos[1].header(), BlockId(2));
+        assert_eq!(infos[1].depth(), 1);
+        assert_eq!(infos[1].parent(), Some(infos[0].id()));
+    }
+
+    #[test]
+    fn triple_nesting() {
+        let natural = vec![
+            (BlockId(3), vec![BlockId(3)]),
+            (BlockId(2), vec![BlockId(2), BlockId(3), BlockId(4)]),
+            (
+                BlockId(1),
+                vec![BlockId(1), BlockId(2), BlockId(3), BlockId(4), BlockId(5)],
+            ),
+        ];
+        let infos = build_loop_infos(&natural, range_of);
+        assert_eq!(infos[0].depth(), 0);
+        assert_eq!(infos[1].depth(), 1);
+        assert_eq!(infos[2].depth(), 2);
+        assert_eq!(infos[2].parent(), Some(infos[1].id()));
+    }
+
+    #[test]
+    fn sibling_loops_share_no_parent() {
+        let natural = vec![
+            (BlockId(1), vec![BlockId(1), BlockId(2)]),
+            (BlockId(3), vec![BlockId(3), BlockId(4)]),
+        ];
+        let infos = build_loop_infos(&natural, range_of);
+        assert!(infos.iter().all(|l| l.depth() == 0 && l.parent().is_none()));
+    }
+}

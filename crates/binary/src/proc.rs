@@ -1,0 +1,245 @@
+//! Procedures: named address ranges with instructions, a CFG and loops.
+
+use crate::addr::{Addr, AddrRange};
+use crate::cfg::Cfg;
+use crate::inst::{Instruction, INST_BYTES};
+use crate::loops::{build_loop_infos, LoopId, LoopInfo};
+use core::fmt;
+
+/// Index of a procedure within its [`crate::Binary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub usize);
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// A procedure of the synthetic binary.
+///
+/// Loops are detected from the CFG at construction (natural loops via
+/// dominators) and exposed outermost-first with nesting metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    id: ProcId,
+    name: String,
+    range: AddrRange,
+    insts: Vec<Instruction>,
+    cfg: Cfg,
+    loops: Vec<LoopInfo>,
+}
+
+impl Procedure {
+    /// Assembles a procedure, running loop detection on `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction count does not match the address range
+    /// (`range.len() == insts.len() * INST_BYTES`) or instructions are not
+    /// laid out contiguously from `range.start()`.
+    #[must_use]
+    pub fn new(
+        id: ProcId,
+        name: impl Into<String>,
+        range: AddrRange,
+        insts: Vec<Instruction>,
+        cfg: Cfg,
+    ) -> Self {
+        assert_eq!(
+            range.len(),
+            insts.len() as u64 * INST_BYTES,
+            "address range does not match instruction count"
+        );
+        for (i, inst) in insts.iter().enumerate() {
+            assert_eq!(
+                inst.addr(),
+                range.start() + i as u64 * INST_BYTES,
+                "instructions must be contiguous from the range start"
+            );
+        }
+        let natural = cfg.natural_loops();
+        let loops = build_loop_infos(&natural, |b| cfg.block(b).range());
+        Self {
+            id,
+            name: name.into(),
+            range,
+            insts,
+            cfg,
+            loops,
+        }
+    }
+
+    /// The procedure's id within its binary.
+    #[must_use]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// The procedure's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The procedure's address range.
+    #[must_use]
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+
+    /// The instructions, in address order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.insts
+    }
+
+    /// The control-flow graph.
+    #[must_use]
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+
+    /// Natural loops, outermost-first, indexed by [`LoopId`].
+    #[must_use]
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// The loop with the given id.
+    #[must_use]
+    pub fn loop_info(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.0]
+    }
+
+    /// The innermost loop whose address range contains `addr`, if any.
+    ///
+    /// Useful because nested loop ranges all contain the inner loop's
+    /// addresses; region formation picks the innermost (deepest).
+    #[must_use]
+    pub fn innermost_loop_at(&self, addr: Addr) -> Option<&LoopInfo> {
+        self.loops
+            .iter()
+            .filter(|l| l.range().contains(addr))
+            .max_by_key(|l| l.depth())
+    }
+
+    /// The basic block containing `addr`, if `addr` lies within this
+    /// procedure.
+    ///
+    /// Blocks tile the procedure's range, so any in-range address
+    /// resolves to exactly one block.
+    #[must_use]
+    pub fn block_at(&self, addr: Addr) -> Option<&crate::cfg::BasicBlock> {
+        if !self.range.contains(addr) {
+            return None;
+        }
+        self.cfg.blocks().iter().find(|b| b.range().contains(addr))
+    }
+
+    /// The instruction at `addr`, if `addr` lies within this procedure and
+    /// on an instruction boundary.
+    #[must_use]
+    pub fn instruction_at(&self, addr: Addr) -> Option<&Instruction> {
+        if !self.range.contains(addr) {
+            return None;
+        }
+        let off = addr.offset_from(self.range.start());
+        if off % INST_BYTES != 0 {
+            return None;
+        }
+        self.insts.get((off / INST_BYTES) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BinaryBuilder;
+    use crate::inst::InstKind;
+
+    fn sample_binary() -> crate::binary::Binary {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.straight(2);
+            p.loop_(|l| {
+                l.straight(3);
+                l.loop_(|inner| {
+                    inner.straight(2);
+                });
+                l.straight(1);
+            });
+            p.straight(1);
+        });
+        b.build(Addr::new(0x1000))
+    }
+
+    #[test]
+    fn loops_are_outermost_first() {
+        let bin = sample_binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        assert_eq!(f.loops().len(), 2);
+        assert_eq!(f.loops()[0].depth(), 0);
+        assert_eq!(f.loops()[1].depth(), 1);
+        assert!(f.loops()[0].range().contains_range(f.loops()[1].range()));
+    }
+
+    #[test]
+    fn innermost_loop_lookup() {
+        let bin = sample_binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let inner = &f.loops()[1];
+        let found = f.innermost_loop_at(inner.range().start()).unwrap();
+        assert_eq!(found.id(), inner.id());
+        // An address in the outer loop but not the inner one resolves to
+        // the outer loop.
+        let outer = &f.loops()[0];
+        let found = f.innermost_loop_at(outer.range().start()).unwrap();
+        assert_eq!(found.id(), outer.id());
+    }
+
+    #[test]
+    fn block_at_resolves_every_in_range_address() {
+        let bin = sample_binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let mut addr = f.range().start();
+        while addr < f.range().end() {
+            let b = f.block_at(addr).unwrap();
+            assert!(b.range().contains(addr));
+            addr = addr + INST_BYTES;
+        }
+        assert!(f.block_at(f.range().end()).is_none());
+    }
+
+    #[test]
+    fn instruction_at_boundary_and_misaligned() {
+        let bin = sample_binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let start = f.range().start();
+        assert!(f.instruction_at(start).is_some());
+        assert!(f.instruction_at(start + 1).is_none()); // misaligned
+        assert!(f.instruction_at(f.range().end()).is_none()); // out of range
+    }
+
+    #[test]
+    fn instructions_are_contiguous() {
+        let bin = sample_binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        for w in f.instructions().windows(2) {
+            assert_eq!(w[1].addr().offset_from(w[0].addr()), INST_BYTES);
+        }
+    }
+
+    #[test]
+    fn back_edge_branch_targets_loop_header() {
+        let bin = sample_binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let inner = &f.loops()[1];
+        // The last instruction of the inner loop is its back-edge branch.
+        let last = f.instruction_at(inner.range().end() - INST_BYTES).unwrap();
+        match last.kind() {
+            InstKind::Branch { target } => assert_eq!(target, inner.range().start()),
+            other => panic!("expected back-edge branch, got {other}"),
+        }
+    }
+}

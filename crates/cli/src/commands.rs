@@ -1,0 +1,260 @@
+//! The CLI subcommands.
+
+use regmon::rto::{simulate, speedup_percent, RtoConfig, RtoMode};
+use regmon::sampling::Sampler;
+use regmon::workload::{suite, Workload};
+use regmon::{MonitoringSession, SessionConfig};
+use regmon_baselines::{BbvConfig, BbvDetector, WssConfig, WssDetector};
+
+use crate::args::parse;
+use crate::json::Json;
+
+/// Usage text.
+pub const USAGE: &str = "\
+regmon — region monitoring for local phase detection (CGO'06 reproduction)
+
+USAGE:
+  regmon list
+  regmon run <benchmark> [--period N] [--intervals N] [--skid N] [--interprocedural] [--json]
+  regmon sweep <benchmark> [--intervals N]
+  regmon rto <benchmark> [--period N] [--intervals N]
+  regmon baselines <benchmark> [--period N] [--intervals N]
+  regmon help
+
+Benchmarks are the synthetic SPEC CPU2000-like models (see `regmon list`).
+Periods are cycles per PMU interrupt (paper sweep: 45000/450000/900000).";
+
+fn workload(name: Option<&str>) -> Result<Workload, String> {
+    let name = name.ok_or("missing <benchmark> argument")?;
+    if let Some(w) = suite::by_name(name) {
+        return Ok(w);
+    }
+    // Ergonomics: allow the bare program name ("mcf" for "181.mcf") when
+    // it is unambiguous.
+    let matches: Vec<&str> = suite::names()
+        .into_iter()
+        .filter(|n| n.split('.').nth(1) == Some(name) || n.contains(name))
+        .collect();
+    match matches.as_slice() {
+        [one] => Ok(suite::by_name(one).expect("listed names build")),
+        [] => Err(format!("unknown benchmark {name:?}; try `regmon list`")),
+        many => Err(format!("ambiguous benchmark {name:?}: {many:?}")),
+    }
+}
+
+/// `regmon list`
+pub fn list() {
+    println!("{:<14} {:>7} {:>8}  notes", "benchmark", "procs", "loops");
+    for name in suite::names() {
+        let w = suite::by_name(name).expect("listed names build");
+        let procs = w.binary().procedures().len();
+        let loops: usize = w
+            .binary()
+            .procedures()
+            .iter()
+            .map(|p| p.loops().len())
+            .sum();
+        let note = match name {
+            "181.mcf" => "paper's running example (Figs 2, 9, 10, 17)",
+            "187.facerec" => "periodic region switching (Fig 5)",
+            "254.gap" | "186.crafty" => "high UCR: hot code called from loops (Figs 6, 7)",
+            "188.ammp" => "very large region, r near threshold (Fig 13)",
+            "178.galgel" => "GPD thrash champion (Fig 3)",
+            _ => "",
+        };
+        println!("{name:<14} {procs:>7} {loops:>8}  {note}");
+    }
+}
+
+/// `regmon run <benchmark>`
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let w = workload(p.positional(0))?;
+    let period: u64 = p.value_or("period", 45_000)?;
+    let intervals: usize = p.value_or("intervals", 200)?;
+    let skid: u64 = p.value_or("skid", 0)?;
+    if skid >= period {
+        return Err("--skid must be smaller than --period".into());
+    }
+    let mut config = SessionConfig::new(period);
+    config.sampling = config.sampling.with_skid(skid);
+    config.formation.interprocedural = p.flag("interprocedural");
+    let summary = MonitoringSession::run_limited(&w, &config, intervals);
+
+    if p.flag("json") {
+        let regions: Vec<Json> = summary
+            .lpd
+            .iter()
+            .map(|(id, s)| {
+                Json::obj(vec![
+                    ("region", Json::Str(id.to_string())),
+                    ("intervals", Json::Num(s.intervals as f64)),
+                    ("active", Json::Num(s.active_intervals as f64)),
+                    ("stable_fraction", Json::Num(s.stable_fraction())),
+                    ("phase_changes", Json::Num(s.phase_changes as f64)),
+                ])
+            })
+            .collect();
+        let out = Json::obj(vec![
+            ("benchmark", Json::Str(summary.workload.clone())),
+            ("period", Json::Num(summary.period as f64)),
+            ("intervals", Json::Num(summary.intervals as f64)),
+            ("interprocedural", Json::Bool(p.flag("interprocedural"))),
+            (
+                "gpd_phase_changes",
+                Json::Num(summary.gpd.phase_changes as f64),
+            ),
+            (
+                "gpd_stable_fraction",
+                Json::Num(summary.gpd.stable_fraction()),
+            ),
+            ("ucr_median", Json::Num(summary.ucr_median)),
+            ("regions_formed", Json::Num(summary.regions_formed as f64)),
+            ("regions", Json::Arr(regions)),
+        ]);
+        println!("{}", out.render());
+        return Ok(());
+    }
+
+    println!(
+        "== {} @ {} cycles/interrupt ==",
+        summary.workload, summary.period
+    );
+    println!("intervals      : {}", summary.intervals);
+    println!("regions formed : {}", summary.regions_formed);
+    println!("median UCR     : {:.1}%", summary.ucr_median * 100.0);
+    println!(
+        "GPD            : {} changes, {:.1}% stable",
+        summary.gpd.phase_changes,
+        summary.gpd.stable_fraction() * 100.0
+    );
+    println!(
+        "LPD            : {} changes across {} regions",
+        summary.lpd_total_phase_changes(),
+        summary.lpd.len()
+    );
+    for (id, s) in &summary.lpd {
+        println!(
+            "  {id}: active {:>4}/{:<4} stable {:>5.1}% changes {}",
+            s.active_intervals,
+            s.intervals,
+            s.stable_fraction() * 100.0,
+            s.phase_changes
+        );
+    }
+    Ok(())
+}
+
+/// `regmon sweep <benchmark>` — the paper's three sampling periods.
+pub fn sweep(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let w = workload(p.positional(0))?;
+    let intervals_45k: usize = p.value_or("intervals", 400)?;
+    println!(
+        "{:>8} | {:>11} {:>9} | {:>11} {:>9}",
+        "period", "GPD changes", "GPD %stab", "LPD changes", "LPD %stab"
+    );
+    for period in regmon::sampling::SWEEP_PERIODS {
+        let config = SessionConfig::new(period);
+        let budget = ((45_000 * intervals_45k as u64) / period).max(8) as usize;
+        let s = MonitoringSession::run_limited(&w, &config, budget);
+        println!(
+            "{:>8} | {:>11} {:>8.1}% | {:>11} {:>8.1}%",
+            period,
+            s.gpd.phase_changes,
+            s.gpd.stable_fraction() * 100.0,
+            s.lpd_total_phase_changes(),
+            s.lpd_mean_stable_fraction() * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `regmon rto <benchmark>` — optimizer comparison at one period.
+pub fn rto(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let w = workload(p.positional(0))?;
+    let period: u64 = p.value_or("period", 800_000)?;
+    let intervals: usize = p.value_or("intervals", usize::MAX)?;
+    let mut config = RtoConfig::new(period);
+    if intervals != usize::MAX {
+        config.max_intervals = Some(intervals);
+    }
+    let orig = simulate(&w, &config, RtoMode::Global);
+    let lpd = simulate(&w, &config, RtoMode::Local);
+    println!("== {} @ {period} cycles/interrupt ==", w.name());
+    for (label, r) in [
+        ("RTO_ORIG (GPD-gated)", &orig),
+        ("RTO_LPD  (per-region)", &lpd),
+    ] {
+        println!(
+            "{label}: speedup over baseline {:>6.2}%, stable {:>5.1}%, {} patches / {} unpatches",
+            r.speedup_over_baseline_percent(),
+            r.detector_stable_fraction * 100.0,
+            r.patch_events,
+            r.unpatch_events
+        );
+    }
+    println!(
+        "RTO_LPD over RTO_ORIG: {:+.2}%",
+        speedup_percent(&orig, &lpd)
+    );
+    Ok(())
+}
+
+/// `regmon baselines <benchmark>` — all three global schemes side by side.
+pub fn baselines(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let w = workload(p.positional(0))?;
+    let period: u64 = p.value_or("period", 45_000)?;
+    let intervals: usize = p.value_or("intervals", 400)?;
+
+    let config = SessionConfig::new(period);
+    let mut session = MonitoringSession::new(config.clone());
+    session.attach_binary(&w);
+    let mut bbv = BbvDetector::new(BbvConfig::default());
+    let mut wss = WssDetector::new(WssConfig::default());
+    for interval in Sampler::new(&w, config.sampling).take(intervals) {
+        bbv.observe(w.binary(), &interval.samples);
+        wss.observe(w.binary(), &interval.samples);
+        session.process_interval(&interval);
+    }
+    let summary = session.summary(w.name());
+
+    println!(
+        "== {} @ {period} cycles/interrupt, {} intervals ==",
+        w.name(),
+        summary.intervals
+    );
+    println!(
+        "{:<26} {:>13} {:>10}",
+        "detector", "phase changes", "% stable"
+    );
+    let rows = [
+        (
+            "centroid (paper GPD)",
+            summary.gpd.phase_changes,
+            summary.gpd.stable_fraction(),
+        ),
+        (
+            "basic-block vector",
+            bbv.stats().phase_changes,
+            bbv.stats().stable_fraction(),
+        ),
+        (
+            "working-set signature",
+            wss.stats().phase_changes,
+            wss.stats().stable_fraction(),
+        ),
+    ];
+    for (label, changes, frac) in rows {
+        println!("{label:<26} {changes:>13} {:>9.1}%", frac * 100.0);
+    }
+    println!(
+        "{:<26} {:>13} {:>9.1}%   (per-region; the paper's contribution)",
+        "local (LPD, mean region)",
+        summary.lpd_total_phase_changes(),
+        summary.lpd_mean_stable_fraction() * 100.0
+    );
+    Ok(())
+}

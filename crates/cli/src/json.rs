@@ -1,0 +1,115 @@
+//! A deliberately tiny JSON emitter (object/array/number/string), enough
+//! for machine-readable reports without pulling in a serializer.
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A JSON number (always emitted via `f64`).
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON boolean.
+    Bool(bool),
+    /// An ordered object.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Self {
+        Self::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serializes to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Self::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(out, "{}", *v as i64);
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+            Self::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Self::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Self::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Self::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            Self::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj(vec![
+            ("name", Json::Str("181.mcf".into())),
+            ("stable", Json::Bool(true)),
+            ("values", Json::Arr(vec![Json::Num(1.0), Json::Num(0.5)])),
+        ]);
+        assert_eq!(
+            j.render(),
+            r#"{"name":"181.mcf","stable":true,"values":[1,0.5]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(j.render(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn integers_render_without_point() {
+        assert_eq!(Json::Num(45000.0).render(), "45000");
+        assert_eq!(Json::Num(0.25).render(), "0.25");
+    }
+}

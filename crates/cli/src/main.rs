@@ -1,0 +1,50 @@
+//! `regmon` — command-line front end to the phase-detection library.
+//!
+//! ```text
+//! regmon list
+//! regmon run 181.mcf [--period 45000] [--intervals 200] [--json]
+//! regmon sweep 187.facerec [--intervals-45k 400]
+//! regmon rto 181.mcf [--period 1500000] [--intervals 200]
+//! regmon baselines 187.facerec [--period 45000] [--intervals 200]
+//! ```
+
+mod args;
+mod commands;
+mod json;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "list" => {
+            commands::list();
+            Ok(())
+        }
+        "run" => commands::run(rest),
+        "sweep" => commands::sweep(rest),
+        "rto" => commands::rto(rest),
+        "baselines" => commands::baselines(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end tests of the `regmon` binary.
+
+use std::process::Command;
+
+fn regmon(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_regmon"))
+        .args(args)
+        .output()
+        .expect("spawn regmon");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn list_names_every_benchmark() {
+    let (ok, stdout, _) = regmon(&["list"]);
+    assert!(ok);
+    for name in ["164.gzip", "181.mcf", "301.apsi"] {
+        assert!(stdout.contains(name), "{name} missing");
+    }
+}
+
+#[test]
+fn run_reports_both_detectors() {
+    let (ok, stdout, _) = regmon(&["run", "172.mgrid", "--intervals", "20"]);
+    assert!(ok);
+    assert!(stdout.contains("GPD"));
+    assert!(stdout.contains("LPD"));
+    assert!(stdout.contains("regions formed"));
+}
+
+#[test]
+fn run_json_is_parseable_shape() {
+    let (ok, stdout, _) = regmon(&["run", "mcf", "--intervals", "10", "--json"]);
+    assert!(ok);
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'));
+    assert!(line.contains("\"benchmark\":\"181.mcf\""));
+    assert!(line.contains("\"regions\":["));
+    // Balanced braces/brackets (the emitter is hand-rolled).
+    let opens = line.matches('{').count();
+    let closes = line.matches('}').count();
+    assert_eq!(opens, closes);
+}
+
+#[test]
+fn fuzzy_names_resolve_unambiguously() {
+    let (ok, stdout, _) = regmon(&["run", "facerec", "--intervals", "8"]);
+    assert!(ok);
+    assert!(stdout.contains("187.facerec"));
+}
+
+#[test]
+fn unknown_benchmark_fails_with_hint() {
+    let (ok, _, stderr) = regmon(&["run", "999.nope"]);
+    assert!(!ok);
+    assert!(stderr.contains("regmon list"));
+}
+
+#[test]
+fn unknown_subcommand_prints_usage() {
+    let (ok, _, stderr) = regmon(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn missing_flag_value_is_an_error() {
+    let (ok, _, stderr) = regmon(&["run", "172.mgrid", "--period"]);
+    assert!(!ok);
+    assert!(stderr.contains("requires a value"));
+}
+
+#[test]
+fn baselines_compares_four_detectors() {
+    let (ok, stdout, _) = regmon(&["baselines", "172.mgrid", "--intervals", "20"]);
+    assert!(ok);
+    for detector in [
+        "centroid",
+        "basic-block vector",
+        "working-set signature",
+        "local",
+    ] {
+        assert!(stdout.contains(detector), "{detector} missing");
+    }
+}
+
+#[test]
+fn rto_reports_speedup() {
+    let (ok, stdout, _) = regmon(&[
+        "rto",
+        "172.mgrid",
+        "--period",
+        "100000",
+        "--intervals",
+        "30",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("RTO_LPD over RTO_ORIG"));
+}

@@ -1,0 +1,331 @@
+//! The end-to-end monitoring pipeline.
+
+use std::collections::BTreeMap;
+
+use regmon_gpd::{CentroidDetector, GpdConfig, GpdObservation, PhaseStats};
+use regmon_lpd::{LpdConfig, LpdManager, LpdObservation, RegionPhaseStats};
+use regmon_regions::{
+    FormationConfig, IndexKind, Pruner, RegionFormation, RegionId, RegionMonitor, UcrTracker,
+};
+use regmon_sampling::{Interval, Sampler, SamplingConfig};
+use regmon_workload::Workload;
+
+/// Pruning policy for a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruningConfig {
+    /// Consecutive cold intervals before eviction.
+    pub cold_intervals: usize,
+    /// Minimum samples per interval to count as hot.
+    pub min_samples: u64,
+}
+
+/// Configuration of a [`MonitoringSession`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionConfig {
+    /// PMU sampling parameters.
+    pub sampling: SamplingConfig,
+    /// Region-formation policy.
+    pub formation: FormationConfig,
+    /// Attribution index implementation.
+    pub index: IndexKind,
+    /// Global (centroid) detector parameters.
+    pub gpd: GpdConfig,
+    /// Local (per-region) detector parameters.
+    pub lpd: LpdConfig,
+    /// Optional cold-region pruning.
+    pub pruning: Option<PruningConfig>,
+}
+
+impl SessionConfig {
+    /// A default-configured session at the given sampling period.
+    #[must_use]
+    pub fn new(period: u64) -> Self {
+        Self {
+            sampling: SamplingConfig::new(period),
+            formation: FormationConfig::default(),
+            index: IndexKind::IntervalTree,
+            gpd: GpdConfig::default(),
+            lpd: LpdConfig::default(),
+            pruning: None,
+        }
+    }
+}
+
+/// Everything one interval produced.
+#[derive(Debug, Clone)]
+pub struct IntervalOutcome {
+    /// The interval's index.
+    pub index: usize,
+    /// The global detector's observation (None for an empty interval).
+    pub gpd: Option<GpdObservation>,
+    /// Per-region local observations, in region-id order.
+    pub lpd: Vec<(RegionId, LpdObservation)>,
+    /// This interval's UCR fraction.
+    pub ucr_fraction: f64,
+    /// Regions formed this interval.
+    pub new_regions: Vec<RegionId>,
+    /// Regions pruned this interval.
+    pub pruned_regions: Vec<RegionId>,
+}
+
+/// Aggregated results of a completed session.
+#[derive(Debug, Clone)]
+pub struct SessionSummary {
+    /// The workload's name.
+    pub workload: String,
+    /// Sampling period used.
+    pub period: u64,
+    /// Intervals processed.
+    pub intervals: usize,
+    /// Global-detector lifetime stats.
+    pub gpd: PhaseStats,
+    /// Per-region local-detector lifetime stats (live + retired regions).
+    pub lpd: BTreeMap<RegionId, RegionPhaseStats>,
+    /// Median per-interval UCR fraction (0 when no intervals ran).
+    pub ucr_median: f64,
+    /// Total regions ever formed.
+    pub regions_formed: usize,
+    /// Total regions pruned.
+    pub regions_pruned: usize,
+}
+
+impl SessionSummary {
+    /// Total local phase changes summed over all regions.
+    #[must_use]
+    pub fn lpd_total_phase_changes(&self) -> usize {
+        self.lpd.values().map(|s| s.phase_changes).sum()
+    }
+
+    /// Mean per-region stable fraction (0 when no regions).
+    #[must_use]
+    pub fn lpd_mean_stable_fraction(&self) -> f64 {
+        if self.lpd.is_empty() {
+            return 0.0;
+        }
+        self.lpd
+            .values()
+            .map(RegionPhaseStats::stable_fraction)
+            .sum::<f64>()
+            / self.lpd.len() as f64
+    }
+}
+
+/// The assembled pipeline: region monitor + formation + UCR + GPD + LPD
+/// (+ optional pruning), fed one sampling interval at a time.
+#[derive(Debug)]
+pub struct MonitoringSession {
+    config: SessionConfig,
+    monitor: RegionMonitor,
+    formation: RegionFormation,
+    gpd: CentroidDetector,
+    lpd: LpdManager,
+    ucr: UcrTracker,
+    pruner: Option<Pruner>,
+    binary: Option<regmon_binary::Binary>,
+    intervals: usize,
+    regions_formed: usize,
+    regions_pruned: usize,
+}
+
+impl MonitoringSession {
+    /// Creates an empty session.
+    #[must_use]
+    pub fn new(config: SessionConfig) -> Self {
+        Self {
+            monitor: RegionMonitor::new(config.index),
+            formation: RegionFormation::new(config.formation),
+            gpd: CentroidDetector::new(config.gpd),
+            lpd: LpdManager::new(config.lpd),
+            ucr: UcrTracker::new(),
+            pruner: config
+                .pruning
+                .map(|p| Pruner::new(p.cold_intervals, p.min_samples)),
+            binary: None,
+            config,
+            intervals: 0,
+            regions_formed: 0,
+            regions_pruned: 0,
+        }
+    }
+
+    /// Processes one sampling interval through the whole pipeline:
+    /// distribute → UCR → (maybe) region formation → GPD → LPD →
+    /// (maybe) pruning.
+    pub fn process_interval(&mut self, interval: &Interval) -> IntervalOutcome {
+        self.intervals += 1;
+
+        let report = self.monitor.distribute(&interval.samples);
+        let ucr_fraction = report.ucr_fraction();
+        self.ucr.record(ucr_fraction);
+
+        // Formation must see the *current* interval's unattributed
+        // samples, then the detectors see the report of what was
+        // monitored during the interval.
+        let new_regions = if self.formation.should_trigger(ucr_fraction) {
+            let binary = self
+                .binary
+                .as_ref()
+                .expect("attach_binary must be called before processing intervals");
+            let outcome = self.formation.form(
+                binary,
+                report.unattributed_samples(),
+                &mut self.monitor,
+                interval.index,
+            );
+            self.regions_formed += outcome.new_regions.len();
+            outcome.new_regions
+        } else {
+            Vec::new()
+        };
+
+        let gpd_obs = self.gpd.observe(&interval.samples);
+        let lpd_obs = self.lpd.observe_interval(&self.monitor, &report);
+
+        let pruned_regions = match &mut self.pruner {
+            Some(p) => {
+                let evicted = p.observe(&report, &mut self.monitor);
+                self.regions_pruned += evicted.len();
+                evicted
+            }
+            None => Vec::new(),
+        };
+
+        IntervalOutcome {
+            index: interval.index,
+            gpd: gpd_obs,
+            lpd: lpd_obs,
+            ucr_fraction,
+            new_regions,
+            pruned_regions,
+        }
+    }
+
+    /// The monitored-region table.
+    #[must_use]
+    pub fn monitor(&self) -> &RegionMonitor {
+        &self.monitor
+    }
+
+    /// The global detector.
+    #[must_use]
+    pub fn gpd(&self) -> &CentroidDetector {
+        &self.gpd
+    }
+
+    /// The local-detector manager.
+    #[must_use]
+    pub fn lpd(&self) -> &LpdManager {
+        &self.lpd
+    }
+
+    /// The UCR tracker.
+    #[must_use]
+    pub fn ucr(&self) -> &UcrTracker {
+        &self.ucr
+    }
+
+    /// Summarizes the session so far.
+    #[must_use]
+    pub fn summary(&self, workload_name: &str) -> SessionSummary {
+        SessionSummary {
+            workload: workload_name.to_string(),
+            period: self.config.sampling.period(),
+            intervals: self.intervals,
+            gpd: self.gpd.stats(),
+            lpd: self.lpd.all_stats(),
+            ucr_median: self.ucr.median().unwrap_or(0.0),
+            regions_formed: self.regions_formed,
+            regions_pruned: self.regions_pruned,
+        }
+    }
+
+    /// Runs a whole workload through a fresh session.
+    #[must_use]
+    pub fn run(workload: &Workload, config: &SessionConfig) -> SessionSummary {
+        Self::run_limited(workload, config, usize::MAX)
+    }
+
+    /// Runs at most `max_intervals` of a workload through a fresh session.
+    #[must_use]
+    pub fn run_limited(
+        workload: &Workload,
+        config: &SessionConfig,
+        max_intervals: usize,
+    ) -> SessionSummary {
+        let mut session = Self::new(config.clone());
+        session.attach_binary(workload);
+        for interval in Sampler::new(workload, config.sampling).take(max_intervals) {
+            session.process_interval(&interval);
+        }
+        session.summary(workload.name())
+    }
+
+    // --- binary plumbing -------------------------------------------------
+    //
+    // Formation needs the program image to find loops around hot samples.
+    // Sessions created via `run`/`run_limited` hold a clone; sessions fed
+    // manually must call `attach_binary` first.
+
+    /// Attaches the workload's binary so region formation can build loop
+    /// regions. Must be called before [`MonitoringSession::process_interval`]
+    /// on manually-driven sessions.
+    pub fn attach_binary(&mut self, workload: &Workload) {
+        self.binary = Some(workload.binary().clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_workload::suite;
+
+    #[test]
+    fn session_forms_regions_and_detects() {
+        let w = suite::by_name("172.mgrid").unwrap();
+        let config = SessionConfig::new(45_000);
+        let summary = MonitoringSession::run_limited(&w, &config, 30);
+        assert_eq!(summary.intervals, 30);
+        assert!(summary.regions_formed > 0, "no regions formed");
+        // mgrid is steady: GPD stabilizes and stays.
+        assert!(summary.gpd.stable_fraction() > 0.5);
+        // The hot regions stabilize locally; cold ones may flap on
+        // sampling noise (the paper's "some regions with few samples show
+        // repeated phase changes"), which must not disturb the hot ones.
+        let very_stable = summary
+            .lpd
+            .values()
+            .filter(|s| s.stable_fraction() > 0.7)
+            .count();
+        assert!(very_stable >= 3, "only {very_stable} stable regions");
+        // Formation covered the working set: UCR low after warmup.
+        assert!(summary.ucr_median < 0.3, "ucr {}", summary.ucr_median);
+    }
+
+    #[test]
+    fn manual_session_without_binary_panics() {
+        let w = suite::by_name("172.mgrid").unwrap();
+        let config = SessionConfig::new(45_000);
+        let mut session = MonitoringSession::new(config.clone());
+        let interval = regmon_sampling::Sampler::new(&w, config.sampling)
+            .next()
+            .unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            session.process_interval(&interval)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pruning_config_evicts_dead_regions() {
+        // gap's short-lived region should eventually be pruned.
+        let w = suite::by_name("254.gap").unwrap();
+        let mut config = SessionConfig::new(450_000);
+        config.pruning = Some(PruningConfig {
+            cold_intervals: 10,
+            min_samples: 2,
+        });
+        let summary = MonitoringSession::run_limited(&w, &config, 100);
+        // Regions form (gap has loop regions despite its high UCR).
+        assert!(summary.regions_formed > 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Off-critical-path monitoring on a separate thread.
+//!
+//! The paper argues (§3.2.3, §5) that region monitoring's extra cost
+//! "is not on the critical path of program execution since region
+//! monitoring can occur in a separate thread, in parallel to the main
+//! program". This module realizes that split: a producer thread plays the
+//! role of the running program + PMU (the sampler), shipping each full
+//! buffer over a bounded channel to a consumer thread that runs the whole
+//! analysis pipeline.
+
+use crossbeam::channel;
+
+use regmon_sampling::{Interval, Sampler};
+use regmon_workload::Workload;
+
+use crate::session::{MonitoringSession, SessionConfig, SessionSummary};
+
+/// Statistics of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedRun {
+    /// The analysis results (identical to a single-threaded run).
+    pub summary: SessionSummary,
+    /// Number of times the producer had to wait because the monitor
+    /// thread fell behind (a full channel), i.e. how often monitoring
+    /// *would have* intruded on the critical path with this buffer depth.
+    pub backpressure_stalls: usize,
+}
+
+/// Runs `max_intervals` of `workload` with sampling on one thread and
+/// monitoring on another, connected by a channel holding up to
+/// `queue_depth` buffered intervals.
+///
+/// # Panics
+///
+/// Panics if `queue_depth == 0` or the monitor thread panics.
+#[must_use]
+pub fn run_threaded(
+    workload: &Workload,
+    config: &SessionConfig,
+    max_intervals: usize,
+    queue_depth: usize,
+) -> ThreadedRun {
+    assert!(queue_depth > 0, "queue depth must be positive");
+    let (tx, rx) = channel::bounded::<Interval>(queue_depth);
+
+    let mut stalls = 0usize;
+    let summary = std::thread::scope(|scope| {
+        let monitor_config = config.clone();
+        let consumer = scope.spawn(move || {
+            let mut session = MonitoringSession::new(monitor_config);
+            // The monitor thread needs the code image for formation.
+            session.attach_binary(workload);
+            for interval in rx {
+                session.process_interval(&interval);
+            }
+            session.summary(workload.name())
+        });
+
+        for interval in Sampler::new(workload, config.sampling).take(max_intervals) {
+            if tx.is_full() {
+                stalls += 1;
+            }
+            tx.send(interval).expect("monitor thread hung up early");
+        }
+        drop(tx);
+        consumer.join().expect("monitor thread panicked")
+    });
+
+    ThreadedRun {
+        summary,
+        backpressure_stalls: stalls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_workload::suite;
+
+    #[test]
+    fn threaded_run_matches_single_threaded() {
+        let w = suite::by_name("172.mgrid").unwrap();
+        let config = SessionConfig::new(45_000);
+        let single = MonitoringSession::run_limited(&w, &config, 20);
+        let threaded = run_threaded(&w, &config, 20, 4);
+        assert_eq!(single.intervals, threaded.summary.intervals);
+        assert_eq!(single.gpd, threaded.summary.gpd);
+        assert_eq!(
+            single.lpd_total_phase_changes(),
+            threaded.summary.lpd_total_phase_changes()
+        );
+        assert_eq!(single.regions_formed, threaded.summary.regions_formed);
+        assert!((single.ucr_median - threaded.summary.ucr_median).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth")]
+    fn zero_queue_depth_panics() {
+        let w = suite::by_name("172.mgrid").unwrap();
+        let config = SessionConfig::new(45_000);
+        let _ = run_threaded(&w, &config, 1, 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Adaptive analysis-window resizing for the centroid detector.
+//!
+//! The paper's related work (§4) highlights Nagpurkar et al., *"Online
+//! Phase Detection Algorithms"* (CGO 2006): constant-size profile windows
+//! are a liability, and *adaptive window resizing* — growing the window
+//! while the phase is stable, snapping back on a change — is more
+//! accurate. This module layers that idea over [`CentroidDetector`]:
+//! buffers are accumulated into an *analysis window* of `1..=max_buffers`
+//! buffers; each stable verdict doubles the window (more smoothing, less
+//! sensitivity to sampling artifacts), any instability resets it to one
+//! buffer (fast response to real changes).
+
+use regmon_sampling::PcSample;
+
+use crate::{CentroidDetector, GpdConfig, GpdObservation, PhaseStats};
+
+/// Configuration of the adaptive-window wrapper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveWindowConfig {
+    /// The wrapped centroid detector's parameters.
+    pub gpd: GpdConfig,
+    /// Maximum analysis-window length in buffers.
+    pub max_buffers: usize,
+}
+
+impl Default for AdaptiveWindowConfig {
+    fn default() -> Self {
+        Self {
+            gpd: GpdConfig::default(),
+            max_buffers: 8,
+        }
+    }
+}
+
+/// A centroid detector with an adaptive analysis window.
+///
+/// # Example
+///
+/// ```
+/// use regmon_gpd::adaptive::{AdaptiveWindowConfig, AdaptiveWindowDetector};
+/// use regmon_sampling::PcSample;
+/// use regmon_binary::Addr;
+///
+/// let mut det = AdaptiveWindowDetector::new(AdaptiveWindowConfig::default());
+/// for i in 0..64u64 {
+///     let samples: Vec<PcSample> = (0..32)
+///         .map(|k| PcSample { addr: Addr::new(0x4000 + k * 4), cycle: i * 100 + k })
+///         .collect();
+///     det.observe_buffer(&samples);
+/// }
+/// assert!(det.is_stable());
+/// assert!(det.window_buffers() > 1); // the window grew while stable
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveWindowDetector {
+    config: AdaptiveWindowConfig,
+    inner: CentroidDetector,
+    window: Vec<PcSample>,
+    buffered: usize,
+    window_buffers: usize,
+    /// Buffer-weighted statistics: a verdict over an n-buffer window
+    /// counts n intervals, so stable fractions are comparable with the
+    /// fixed-window detector's.
+    stats: PhaseStats,
+}
+
+impl AdaptiveWindowDetector {
+    /// Creates a detector with a one-buffer window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_buffers == 0`.
+    #[must_use]
+    pub fn new(config: AdaptiveWindowConfig) -> Self {
+        assert!(config.max_buffers > 0, "window needs at least one buffer");
+        Self {
+            inner: CentroidDetector::new(config.gpd),
+            config,
+            window: Vec::new(),
+            buffered: 0,
+            window_buffers: 1,
+            stats: PhaseStats::default(),
+        }
+    }
+
+    /// Current analysis-window length, in buffers.
+    #[must_use]
+    pub fn window_buffers(&self) -> usize {
+        self.window_buffers
+    }
+
+    /// `true` while the underlying detector's phase is stable.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.inner.is_stable()
+    }
+
+    /// Buffer-weighted lifetime statistics (an n-buffer window's verdict
+    /// counts n intervals), directly comparable with
+    /// [`CentroidDetector::stats`].
+    #[must_use]
+    pub fn stats(&self) -> PhaseStats {
+        self.stats
+    }
+
+    /// Feeds one buffer-overflow interval's samples.
+    ///
+    /// Returns the underlying observation when this buffer completed an
+    /// analysis window, `None` while the window is still filling.
+    pub fn observe_buffer(&mut self, samples: &[PcSample]) -> Option<GpdObservation> {
+        self.window.extend_from_slice(samples);
+        self.buffered += 1;
+        if self.buffered < self.window_buffers {
+            return None;
+        }
+        let obs = self.inner.observe(&self.window);
+        let buffers = self.buffered;
+        self.window.clear();
+        self.buffered = 0;
+        if let Some(o) = obs {
+            self.stats.intervals += buffers;
+            if o.state_after.is_stable() {
+                self.stats.stable_intervals += buffers;
+                self.window_buffers = (self.window_buffers * 2).min(self.config.max_buffers);
+            } else {
+                self.window_buffers = 1;
+            }
+            if o.phase_changed {
+                self.stats.phase_changes += 1;
+            }
+        }
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::Addr;
+
+    fn buffer(center: u64, n: u64, tick: u64) -> Vec<PcSample> {
+        (0..n)
+            .map(|k| PcSample {
+                addr: Addr::new(center - 64 + k * 2),
+                cycle: tick * 1000 + k,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn window_grows_while_stable_and_caps() {
+        let mut det = AdaptiveWindowDetector::new(AdaptiveWindowConfig::default());
+        for i in 0..200 {
+            det.observe_buffer(&buffer(0x40000, 64, i));
+        }
+        assert!(det.is_stable());
+        assert_eq!(det.window_buffers(), 8);
+    }
+
+    #[test]
+    fn window_snaps_back_on_instability() {
+        let mut det = AdaptiveWindowDetector::new(AdaptiveWindowConfig::default());
+        for i in 0..64 {
+            det.observe_buffer(&buffer(0x40000, 64, i));
+        }
+        assert!(det.window_buffers() > 1);
+        // A huge jump, repeated until the (possibly mid-fill) window
+        // completes and the first unstable verdict lands.
+        for i in 0..16 {
+            if let Some(obs) = det.observe_buffer(&buffer(0x70000, 64, 100 + i)) {
+                if !obs.state_after.is_stable() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(det.window_buffers(), 1, "window must snap back");
+        assert!(!det.is_stable());
+    }
+
+    #[test]
+    fn observation_only_on_window_completion() {
+        let mut det = AdaptiveWindowDetector::new(AdaptiveWindowConfig::default());
+        // Stabilize; the window grows to >1 buffers.
+        for i in 0..64 {
+            det.observe_buffer(&buffer(0x40000, 64, i));
+        }
+        let w = det.window_buffers();
+        assert!(w > 1);
+        // The first w-1 buffers of the next window return None.
+        let mut verdicts = 0;
+        for i in 0..w {
+            if det
+                .observe_buffer(&buffer(0x40000, 64, 500 + i as u64))
+                .is_some()
+            {
+                verdicts += 1;
+            }
+        }
+        assert_eq!(verdicts, 1);
+    }
+
+    #[test]
+    fn smooths_fast_alternation_better_than_fixed_window() {
+        // A steady warm-up (both detectors stabilize; the adaptive window
+        // grows), then a working set flipping every buffer with a spread
+        // too wide for the fixed detector's band-thickness check. The
+        // grown window averages each flip pair away and stays stable.
+        let mut fixed = CentroidDetector::new(GpdConfig::default());
+        let mut adaptive = AdaptiveWindowDetector::new(AdaptiveWindowConfig::default());
+        for i in 0..64u64 {
+            let buf = buffer(0x40000, 64, i);
+            fixed.observe(&buf);
+            adaptive.observe_buffer(&buf);
+        }
+        assert!(fixed.is_stable() && adaptive.is_stable());
+        for i in 64..256u64 {
+            let c = if i % 2 == 0 { 0x34000 } else { 0x4c000 }; // ±18%
+            let buf = buffer(c, 64, i);
+            fixed.observe(&buf);
+            adaptive.observe_buffer(&buf);
+        }
+        assert!(adaptive.is_stable(), "averaged windows must stay stable");
+        let fixed_frac = fixed.stats().stable_fraction();
+        let adaptive_frac = adaptive.stats().stable_fraction();
+        assert!(
+            adaptive_frac > fixed_frac,
+            "adaptive {adaptive_frac} vs fixed {fixed_frac}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buffer")]
+    fn zero_max_buffers_panics() {
+        let _ = AdaptiveWindowDetector::new(AdaptiveWindowConfig {
+            max_buffers: 0,
+            ..AdaptiveWindowConfig::default()
+        });
+    }
+}

@@ -1,0 +1,481 @@
+//! Global Phase Detection (GPD): the centroid approach of paper §2.
+//!
+//! The premise: the mean ("centroid") of the program-counter samples in
+//! one buffer does not deviate much while the program stays in one phase;
+//! when it deviates, the working set probably changed. The detector keeps
+//! a history of centroids, forms the *band of stability* `[E − SD, E + SD]`
+//! from the history's expectation `E` and standard deviation `SD`, and
+//! measures each new centroid's drift `Δ` outside that band. A small state
+//! machine (paper Figure 1) with empirically-chosen thresholds
+//! `TH1..TH4 = 1%, 5%, 10%, 67%` (fractions of `E`) and a stabilization
+//! timer decides between *unstable*, *less stable* and *stable*.
+//!
+//! The exact transition wiring of the paper's Figure 1 is only partially
+//! legible in the text; the reconstruction implemented here (documented on
+//! [`CentroidDetector::observe`]) preserves every stated property:
+//! centroid-per-overflow, BOS from history, Δ-drift thresholds, the
+//! `SD < E/6` band-thickness check guarding departure from the unstable
+//! state, and a timer before the stable state is entered.
+//!
+//! # Example
+//!
+//! ```
+//! use regmon_gpd::{CentroidDetector, GpdConfig};
+//! use regmon_sampling::PcSample;
+//! use regmon_binary::Addr;
+//!
+//! let mut det = CentroidDetector::new(GpdConfig::default());
+//! // A steady stream of buffers centred at the same address stabilizes.
+//! for i in 0..16u64 {
+//!     let samples: Vec<PcSample> = (0..64)
+//!         .map(|k| PcSample { addr: Addr::new(0x40000 + (k % 32) * 4), cycle: i * 1000 + k })
+//!         .collect();
+//!     det.observe(&samples);
+//! }
+//! assert!(det.is_stable());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod perf;
+
+use std::collections::VecDeque;
+
+use regmon_sampling::PcSample;
+
+/// Configuration of the centroid detector.
+///
+/// Defaults are the paper's empirical values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpdConfig {
+    /// Number of past centroids forming the band of stability (history
+    /// window).
+    pub history_len: usize,
+    /// TH1 = 1%: relative drift at or below this counts as "in band" for
+    /// the stabilization timer.
+    pub th1: f64,
+    /// TH2 = 5%: relative drift at or below this is tolerated without
+    /// resetting stabilization progress.
+    pub th2: f64,
+    /// TH3 = 10%: relative drift at or above this knocks a stable phase
+    /// back to less-stable (and resets the timer when less-stable).
+    pub th3: f64,
+    /// TH4 = 67%: relative drift at or above this forces the unstable
+    /// state from anywhere.
+    pub th4: f64,
+    /// Consecutive low-drift intervals required in the less-stable state
+    /// before declaring the phase stable.
+    pub stable_timer: usize,
+    /// The band-thickness guard: `SD < E * max_band_ratio` must hold
+    /// before the detector may leave the unstable state (paper: SD less
+    /// than 1/6 of E).
+    pub max_band_ratio: f64,
+}
+
+impl Default for GpdConfig {
+    fn default() -> Self {
+        Self {
+            history_len: 4,
+            th1: 0.01,
+            th2: 0.05,
+            th3: 0.10,
+            th4: 0.67,
+            stable_timer: 2,
+            max_band_ratio: 1.0 / 6.0,
+        }
+    }
+}
+
+/// The detector's phase state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpdState {
+    /// The centroid is drifting; no phase is established.
+    Unstable,
+    /// The centroid has settled but the stabilization timer is still
+    /// running.
+    LessStable,
+    /// An established stable phase.
+    Stable,
+}
+
+impl GpdState {
+    /// `true` only for [`GpdState::Stable`].
+    #[must_use]
+    pub fn is_stable(self) -> bool {
+        matches!(self, Self::Stable)
+    }
+}
+
+/// What [`CentroidDetector::observe`] saw and decided for one interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpdObservation {
+    /// The interval's centroid (mean sampled PC).
+    pub centroid: f64,
+    /// Drift outside the band of stability, relative to `E`
+    /// (0 when inside the band or when no band exists yet).
+    pub relative_drift: f64,
+    /// State before this interval.
+    pub state_before: GpdState,
+    /// State after this interval.
+    pub state_after: GpdState,
+    /// `true` when stability flipped (stable ↔ not-stable) — the event
+    /// counted as a *phase change* throughout the evaluation.
+    pub phase_changed: bool,
+}
+
+/// Lifetime statistics of a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Intervals observed.
+    pub intervals: usize,
+    /// Intervals spent in the stable state (after the transition).
+    pub stable_intervals: usize,
+    /// Number of stability flips (stable ↔ not-stable).
+    pub phase_changes: usize,
+}
+
+impl PhaseStats {
+    /// Fraction of observed intervals spent stable, in `[0, 1]`.
+    #[must_use]
+    pub fn stable_fraction(&self) -> f64 {
+        if self.intervals == 0 {
+            return 0.0;
+        }
+        self.stable_intervals as f64 / self.intervals as f64
+    }
+}
+
+/// The centroid-based global phase detector.
+#[derive(Debug, Clone)]
+pub struct CentroidDetector {
+    config: GpdConfig,
+    history: VecDeque<f64>,
+    state: GpdState,
+    timer: usize,
+    stats: PhaseStats,
+}
+
+impl CentroidDetector {
+    /// Creates a detector in the unstable state with an empty history.
+    #[must_use]
+    pub fn new(config: GpdConfig) -> Self {
+        Self {
+            config,
+            history: VecDeque::with_capacity(config.history_len),
+            state: GpdState::Unstable,
+            timer: 0,
+            stats: PhaseStats::default(),
+        }
+    }
+
+    /// The detector's configuration.
+    #[must_use]
+    pub fn config(&self) -> &GpdConfig {
+        &self.config
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> GpdState {
+        self.state
+    }
+
+    /// `true` when the current phase is stable.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.state.is_stable()
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> PhaseStats {
+        self.stats
+    }
+
+    /// Processes one buffer-overflow interval.
+    ///
+    /// Transition rules (δ = relative drift outside the band):
+    ///
+    /// * anywhere: δ ≥ TH4 ⇒ **unstable**;
+    /// * **unstable** → less-stable when δ ≤ TH1 *and* the band is thin
+    ///   enough (`SD < E/6`);
+    /// * **less-stable**: δ ≥ TH3 ⇒ unstable (timer reset); δ ≤ TH1
+    ///   advances the timer and promotes to **stable** once it expires;
+    ///   drift between TH1 and TH3 holds the state without progress;
+    /// * **stable**: δ ≥ TH3 ⇒ less-stable; δ ≥ TH2 merely holds (the
+    ///   band re-learns); otherwise stays stable.
+    ///
+    /// Returns `None` for an empty interval (no samples), which leaves the
+    /// detector untouched.
+    pub fn observe(&mut self, samples: &[PcSample]) -> Option<GpdObservation> {
+        let centroid = centroid(samples)?;
+        let state_before = self.state;
+
+        // Band of stability from the *previous* centroids.
+        let (delta_rel, band_thin) = match band(&self.history) {
+            Some((e, sd)) if e > 0.0 => {
+                let lo = e - sd;
+                let hi = e + sd;
+                let delta = if centroid < lo {
+                    lo - centroid
+                } else if centroid > hi {
+                    centroid - hi
+                } else {
+                    0.0
+                };
+                (delta / e, sd < e * self.config.max_band_ratio)
+            }
+            _ => (0.0, false), // no band yet: stay unstable, learn
+        };
+
+        let has_band = self.history.len() >= 2;
+        // No band yet (still learning) or a TH4-sized jump: unstable.
+        let next = if !has_band || delta_rel >= self.config.th4 {
+            GpdState::Unstable
+        } else {
+            match self.state {
+                GpdState::Unstable => {
+                    if delta_rel <= self.config.th1 && band_thin {
+                        self.timer = 0;
+                        GpdState::LessStable
+                    } else {
+                        GpdState::Unstable
+                    }
+                }
+                GpdState::LessStable => {
+                    if delta_rel >= self.config.th3 {
+                        self.timer = 0;
+                        GpdState::Unstable
+                    } else if delta_rel <= self.config.th1 {
+                        self.timer += 1;
+                        if self.timer >= self.config.stable_timer {
+                            GpdState::Stable
+                        } else {
+                            GpdState::LessStable
+                        }
+                    } else {
+                        GpdState::LessStable
+                    }
+                }
+                GpdState::Stable => {
+                    if delta_rel >= self.config.th3 {
+                        self.timer = 0;
+                        GpdState::LessStable
+                    } else {
+                        GpdState::Stable
+                    }
+                }
+            }
+        };
+
+        let phase_changed = state_before.is_stable() != next.is_stable();
+        self.state = next;
+
+        // Update history with the new centroid.
+        if self.history.len() == self.config.history_len {
+            self.history.pop_front();
+        }
+        self.history.push_back(centroid);
+
+        // Stats.
+        self.stats.intervals += 1;
+        if next.is_stable() {
+            self.stats.stable_intervals += 1;
+        }
+        if phase_changed {
+            self.stats.phase_changes += 1;
+        }
+
+        Some(GpdObservation {
+            centroid,
+            relative_drift: delta_rel,
+            state_before,
+            state_after: next,
+            phase_changed,
+        })
+    }
+}
+
+/// The mean sampled PC of one interval, or `None` when empty.
+#[must_use]
+pub fn centroid(samples: &[PcSample]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let sum: f64 = samples.iter().map(|s| s.addr.get() as f64).sum();
+    Some(sum / samples.len() as f64)
+}
+
+/// Expectation and standard deviation of the centroid history, or `None`
+/// below two entries.
+fn band(history: &VecDeque<f64>) -> Option<(f64, f64)> {
+    if history.len() < 2 {
+        return None;
+    }
+    let n = history.len() as f64;
+    let e: f64 = history.iter().sum::<f64>() / n;
+    let var: f64 = history.iter().map(|c| (c - e) * (c - e)).sum::<f64>() / n;
+    Some((e, var.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::Addr;
+
+    /// A buffer of `n` samples spread ±`spread` around `center`.
+    fn buffer(center: u64, spread: u64, n: u64) -> Vec<PcSample> {
+        (0..n)
+            .map(|k| PcSample {
+                addr: Addr::new(center - spread + (k * 2 * spread.max(1) / n.max(1))),
+                cycle: k,
+            })
+            .collect()
+    }
+
+    fn feed(det: &mut CentroidDetector, center: u64, times: usize) {
+        for _ in 0..times {
+            det.observe(&buffer(center, 64, 64));
+        }
+    }
+
+    #[test]
+    fn empty_interval_is_ignored() {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        assert!(det.observe(&[]).is_none());
+        assert_eq!(det.stats().intervals, 0);
+    }
+
+    #[test]
+    fn centroid_of_buffer() {
+        let samples = vec![
+            PcSample {
+                addr: Addr::new(100),
+                cycle: 0,
+            },
+            PcSample {
+                addr: Addr::new(300),
+                cycle: 1,
+            },
+        ];
+        assert_eq!(centroid(&samples), Some(200.0));
+    }
+
+    #[test]
+    fn starts_unstable() {
+        let det = CentroidDetector::new(GpdConfig::default());
+        assert_eq!(det.state(), GpdState::Unstable);
+        assert!(!det.is_stable());
+    }
+
+    #[test]
+    fn steady_stream_stabilizes() {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        feed(&mut det, 0x40000, 16);
+        assert!(det.is_stable());
+        // Exactly one phase change: entering stable.
+        assert_eq!(det.stats().phase_changes, 1);
+    }
+
+    #[test]
+    fn stabilization_respects_timer() {
+        let cfg = GpdConfig {
+            stable_timer: 6,
+            ..GpdConfig::default()
+        };
+        let mut det = CentroidDetector::new(cfg);
+        // 2 to build band + 1 to enter less-stable + 5 ticks: still not stable.
+        feed(&mut det, 0x40000, 8);
+        assert!(!det.is_stable());
+        feed(&mut det, 0x40000, 4);
+        assert!(det.is_stable());
+    }
+
+    #[test]
+    fn huge_jump_destabilizes() {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        feed(&mut det, 0x40000, 16);
+        assert!(det.is_stable());
+        // A 75% jump in centroid: beyond TH4.
+        let obs = det.observe(&buffer(0x70000, 64, 64)).unwrap();
+        assert_eq!(obs.state_after, GpdState::Unstable);
+        assert!(obs.phase_changed);
+    }
+
+    #[test]
+    fn moderate_jump_goes_less_stable() {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        feed(&mut det, 0x40000, 16);
+        assert!(det.is_stable());
+        // ~12% jump: beyond TH3, below TH4.
+        let obs = det.observe(&buffer(0x48000, 64, 64)).unwrap();
+        assert_eq!(obs.state_after, GpdState::LessStable);
+        assert!(obs.phase_changed);
+    }
+
+    #[test]
+    fn small_drift_keeps_stable() {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        feed(&mut det, 0x40000, 16);
+        // 2% drift: inside TH3.
+        let obs = det.observe(&buffer(0x41400, 64, 64)).unwrap();
+        assert_eq!(obs.state_after, GpdState::Stable);
+        assert!(!obs.phase_changed);
+    }
+
+    #[test]
+    fn restabilizes_after_jump() {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        feed(&mut det, 0x40000, 16);
+        feed(&mut det, 0x70000, 20);
+        assert!(det.is_stable());
+        assert_eq!(det.stats().phase_changes, 3); // in, out, in
+    }
+
+    #[test]
+    fn alternating_centroids_thrash() {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        // Alternate far apart every 4 intervals: never enough quiet time.
+        for i in 0..64 {
+            let c = if (i / 4) % 2 == 0 { 0x40000 } else { 0x70000 };
+            det.observe(&buffer(c, 64, 64));
+        }
+        let stats = det.stats();
+        assert!(
+            stats.stable_fraction() < 0.5,
+            "stable fraction {}",
+            stats.stable_fraction()
+        );
+    }
+
+    #[test]
+    fn wide_scatter_blocks_stabilization() {
+        // Samples scattered so widely that SD of centroids stays large
+        // relative to E: the band-thickness check must block stability.
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        for i in 0..32u64 {
+            // Centroid bounces ±40% around 0x40000.
+            let c = if i % 2 == 0 { 0x26000 } else { 0x5a000 };
+            det.observe(&buffer(c, 64, 64));
+        }
+        assert!(!det.is_stable());
+        assert_eq!(det.stats().phase_changes, 0);
+    }
+
+    #[test]
+    fn stable_fraction_of_fresh_detector_is_zero() {
+        let det = CentroidDetector::new(GpdConfig::default());
+        assert_eq!(det.stats().stable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn observation_reports_drift() {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        feed(&mut det, 0x40000, 8);
+        let obs = det.observe(&buffer(0x48000, 64, 64)).unwrap();
+        assert!(obs.relative_drift > 0.05, "drift {}", obs.relative_drift);
+        assert!(obs.centroid > 0x47000 as f64);
+    }
+}

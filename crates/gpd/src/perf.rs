@@ -1,0 +1,302 @@
+//! Performance-metric phase signals: the CPI/DPI leg of global phase
+//! detection.
+//!
+//! The paper (§1): *"In GPD, global metrics like average program counter
+//! value are used to find new code regions, and other metrics of
+//! performance, such as CPI and DPI (Data Cache Misses per Instruction),
+//! are used to determine if the program performance characteristics have
+//! changed."* The centroid answers "did the code move?"; these metrics
+//! answer "did the same code start behaving differently?" — e.g. a
+//! working set outgrowing the cache.
+//!
+//! [`MetricBandDetector`] applies the same band-of-stability idea to any
+//! scalar per-interval metric; [`PerfDetector`] bundles a CPI band and a
+//! DPI band, flagging a performance-phase change when either moves.
+
+use std::collections::VecDeque;
+
+use crate::PhaseStats;
+
+/// Band-of-stability change detection over one scalar metric stream.
+///
+/// Keeps a history of metric values; a new value drifting more than
+/// `tolerance` (relative to the history mean) outside the mean ± SD band
+/// is a change. Mirrors the centroid detector's structure with a
+/// single-knob threshold, because CPI/DPI need a different (coarser)
+/// tolerance than addresses.
+#[derive(Debug, Clone)]
+pub struct MetricBandDetector {
+    history: VecDeque<f64>,
+    history_len: usize,
+    tolerance: f64,
+    stats: PhaseStats,
+    stable: bool,
+    streak: usize,
+    stable_timer: usize,
+}
+
+impl MetricBandDetector {
+    /// Creates a detector: `history_len` past values form the band;
+    /// relative drift beyond `tolerance` is a change; `stable_timer`
+    /// quiet intervals re-establish stability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `history_len >= 2`, `tolerance > 0`.
+    #[must_use]
+    pub fn new(history_len: usize, tolerance: f64, stable_timer: usize) -> Self {
+        assert!(history_len >= 2, "band needs at least two history entries");
+        assert!(tolerance > 0.0, "tolerance must be positive");
+        Self {
+            history: VecDeque::with_capacity(history_len),
+            history_len,
+            tolerance,
+            stats: PhaseStats::default(),
+            stable: false,
+            streak: 0,
+            stable_timer,
+        }
+    }
+
+    /// `true` while the metric is in a stable phase.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.stable
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> PhaseStats {
+        self.stats
+    }
+
+    /// Observes one interval's metric value; returns the relative drift
+    /// outside the band (0 while learning or in band).
+    pub fn observe(&mut self, value: f64) -> f64 {
+        let drift = if self.history.len() >= 2 {
+            let n = self.history.len() as f64;
+            let mean: f64 = self.history.iter().sum::<f64>() / n;
+            let var: f64 = self
+                .history
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / n;
+            let sd = var.sqrt();
+            let dev = (value - mean).abs();
+            if mean.abs() > f64::EPSILON {
+                ((dev - sd).max(0.0)) / mean.abs()
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        let was_stable = self.stable;
+        if self.history.len() >= 2 && drift <= self.tolerance {
+            self.streak += 1;
+            if self.streak >= self.stable_timer {
+                self.stable = true;
+            }
+        } else {
+            self.streak = 0;
+            self.stable = false;
+        }
+
+        if self.history.len() == self.history_len {
+            self.history.pop_front();
+        }
+        self.history.push_back(value);
+
+        self.stats.intervals += 1;
+        if self.stable {
+            self.stats.stable_intervals += 1;
+        }
+        if was_stable != self.stable {
+            self.stats.phase_changes += 1;
+        }
+        drift
+    }
+}
+
+/// Configuration of the combined CPI + DPI performance detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfConfig {
+    /// History window (intervals) for both metric bands.
+    pub history_len: usize,
+    /// Relative CPI drift tolerated within a phase.
+    pub cpi_tolerance: f64,
+    /// Relative DPI drift tolerated within a phase.
+    pub dpi_tolerance: f64,
+    /// Quiet intervals before (re-)declaring stability.
+    pub stable_timer: usize,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        Self {
+            history_len: 4,
+            cpi_tolerance: 0.05,
+            dpi_tolerance: 0.10,
+            stable_timer: 2,
+        }
+    }
+}
+
+/// What one interval looked like to the performance detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfObservation {
+    /// Relative CPI drift outside its band.
+    pub cpi_drift: f64,
+    /// Relative DPI drift outside its band.
+    pub dpi_drift: f64,
+    /// `true` when both metrics are in stable phases.
+    pub stable: bool,
+    /// `true` when combined stability flipped this interval.
+    pub phase_changed: bool,
+}
+
+/// The CPI/DPI performance-phase detector.
+#[derive(Debug, Clone)]
+pub struct PerfDetector {
+    cpi: MetricBandDetector,
+    dpi: MetricBandDetector,
+    stats: PhaseStats,
+    was_stable: bool,
+}
+
+impl PerfDetector {
+    /// Creates a detector.
+    #[must_use]
+    pub fn new(config: PerfConfig) -> Self {
+        Self {
+            cpi: MetricBandDetector::new(
+                config.history_len,
+                config.cpi_tolerance,
+                config.stable_timer,
+            ),
+            dpi: MetricBandDetector::new(
+                config.history_len,
+                config.dpi_tolerance,
+                config.stable_timer,
+            ),
+            stats: PhaseStats::default(),
+            was_stable: false,
+        }
+    }
+
+    /// `true` while both CPI and DPI are stable.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.cpi.is_stable() && self.dpi.is_stable()
+    }
+
+    /// Combined lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> PhaseStats {
+        self.stats
+    }
+
+    /// Observes one interval's CPI and DPI.
+    pub fn observe(&mut self, cpi: f64, dpi: f64) -> PerfObservation {
+        let cpi_drift = self.cpi.observe(cpi);
+        let dpi_drift = self.dpi.observe(dpi);
+        let stable = self.is_stable();
+        let phase_changed = stable != self.was_stable;
+        self.was_stable = stable;
+        self.stats.intervals += 1;
+        if stable {
+            self.stats.stable_intervals += 1;
+        }
+        if phase_changed {
+            self.stats.phase_changes += 1;
+        }
+        PerfObservation {
+            cpi_drift,
+            dpi_drift,
+            stable,
+            phase_changed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_metric_stabilizes() {
+        let mut d = MetricBandDetector::new(4, 0.05, 2);
+        for _ in 0..8 {
+            d.observe(1.5);
+        }
+        assert!(d.is_stable());
+        assert_eq!(d.stats().phase_changes, 1);
+    }
+
+    #[test]
+    fn step_change_is_detected() {
+        let mut d = MetricBandDetector::new(4, 0.05, 2);
+        for _ in 0..8 {
+            d.observe(1.5);
+        }
+        let drift = d.observe(2.5);
+        assert!(drift > 0.05, "drift {drift}");
+        assert!(!d.is_stable());
+    }
+
+    #[test]
+    fn noise_within_tolerance_is_ignored() {
+        let mut d = MetricBandDetector::new(4, 0.05, 2);
+        for i in 0..32 {
+            // ±1% wobble.
+            d.observe(1.5 * (1.0 + 0.01 * f64::from(i % 3 - 1)));
+        }
+        assert!(d.is_stable());
+        assert_eq!(d.stats().phase_changes, 1);
+    }
+
+    #[test]
+    fn restabilizes_at_the_new_level() {
+        let mut d = MetricBandDetector::new(4, 0.05, 2);
+        for _ in 0..8 {
+            d.observe(1.0);
+        }
+        for _ in 0..10 {
+            d.observe(3.0);
+        }
+        assert!(d.is_stable());
+        assert_eq!(d.stats().phase_changes, 3); // in, out, in
+    }
+
+    #[test]
+    fn perf_detector_combines_both_metrics() {
+        let mut d = PerfDetector::new(PerfConfig::default());
+        for _ in 0..8 {
+            d.observe(2.0, 0.01);
+        }
+        assert!(d.is_stable());
+        // DPI doubles (cache behaviour changed) while CPI holds: still a
+        // performance phase change.
+        let obs = d.observe(2.0, 0.02);
+        assert!(obs.phase_changed);
+        assert!(obs.dpi_drift > 0.10);
+        assert!(obs.cpi_drift < 0.05);
+    }
+
+    #[test]
+    fn zero_mean_metric_never_divides_by_zero() {
+        let mut d = MetricBandDetector::new(2, 0.05, 1);
+        for _ in 0..8 {
+            let drift = d.observe(0.0);
+            assert!(drift.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn zero_tolerance_panics() {
+        let _ = MetricBandDetector::new(4, 0.0, 2);
+    }
+}

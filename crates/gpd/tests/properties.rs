@@ -1,0 +1,105 @@
+//! Property tests for the centroid detector.
+
+use proptest::prelude::*;
+
+use regmon_binary::Addr;
+use regmon_gpd::{CentroidDetector, GpdConfig, GpdState};
+use regmon_sampling::PcSample;
+
+/// Builds a buffer from (base, spread-coded) values.
+fn buffer(addrs: &[u64]) -> Vec<PcSample> {
+    addrs
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| PcSample {
+            addr: Addr::new(a),
+            cycle: i as u64,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn detector_never_panics_and_invariants_hold(
+        intervals in prop::collection::vec(
+            prop::collection::vec(1u64..1_000_000, 1..64),
+            1..40
+        )
+    ) {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        let mut flips = 0usize;
+        let mut was_stable = false;
+        for addrs in &intervals {
+            let obs = det.observe(&buffer(addrs)).expect("non-empty buffer");
+            // Drift is non-negative and finite.
+            prop_assert!(obs.relative_drift >= 0.0);
+            prop_assert!(obs.relative_drift.is_finite());
+            // phase_changed is exactly a stability flip.
+            prop_assert_eq!(
+                obs.phase_changed,
+                obs.state_before.is_stable() != obs.state_after.is_stable()
+            );
+            if det.is_stable() != was_stable {
+                flips += 1;
+                was_stable = det.is_stable();
+            }
+        }
+        let stats = det.stats();
+        prop_assert_eq!(stats.intervals, intervals.len());
+        prop_assert_eq!(stats.phase_changes, flips);
+        prop_assert!(stats.stable_intervals <= stats.intervals);
+        prop_assert!((0.0..=1.0).contains(&stats.stable_fraction()));
+    }
+
+    #[test]
+    fn decisions_are_scale_invariant(
+        centers in prop::collection::vec(1_000u64..1_000_000, 4..32),
+        scale in 2u64..8,
+    ) {
+        // Thresholds are *relative* to E, so multiplying every address by
+        // a constant must reproduce the same state sequence.
+        let mut a = CentroidDetector::new(GpdConfig::default());
+        let mut b = CentroidDetector::new(GpdConfig::default());
+        for &c in &centers {
+            let buf_a: Vec<u64> = (0..16).map(|k| c + k).collect();
+            let buf_b: Vec<u64> = (0..16).map(|k| (c + k) * scale).collect();
+            let oa = a.observe(&buffer(&buf_a)).unwrap();
+            let ob = b.observe(&buffer(&buf_b)).unwrap();
+            prop_assert_eq!(oa.state_after, ob.state_after, "diverged at center {}", c);
+        }
+    }
+
+    #[test]
+    fn constant_stream_always_stabilizes(
+        center in 1_000u64..10_000_000,
+        n in 8usize..32,
+    ) {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        let addrs: Vec<u64> = (0..64).map(|k| center + k * 2).collect();
+        for _ in 0..n {
+            det.observe(&buffer(&addrs));
+        }
+        prop_assert_eq!(det.state(), GpdState::Stable);
+        prop_assert_eq!(det.stats().phase_changes, 1);
+    }
+
+    #[test]
+    fn th4_jump_always_destabilizes(
+        center in 100_000u64..1_000_000,
+        n in 8usize..16,
+    ) {
+        let mut det = CentroidDetector::new(GpdConfig::default());
+        let addrs: Vec<u64> = (0..64).map(|k| center + k).collect();
+        for _ in 0..n {
+            det.observe(&buffer(&addrs));
+        }
+        prop_assert!(det.is_stable());
+        // A 3x jump is > TH4 = 67% of E for any center.
+        let jumped: Vec<u64> = (0..64).map(|k| center * 3 + k).collect();
+        let obs = det.observe(&buffer(&jumped)).unwrap();
+        prop_assert_eq!(obs.state_after, GpdState::Unstable);
+        prop_assert!(obs.phase_changed);
+    }
+}

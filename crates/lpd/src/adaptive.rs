@@ -1,0 +1,116 @@
+//! Region-size-aware correlation thresholds.
+//!
+//! The paper observes that 188.ammp's very large region keeps its `r`
+//! "just below the threshold" at short sampling periods — with thousands
+//! of samples spread over hundreds of instruction slots, per-slot counts
+//! are noisy and Pearson's r is biased downward even for an unchanged
+//! distribution. §3.2.2: *"We are investigating the use of a threshold
+//! based on the size of region."* [`ThresholdPolicy::Adaptive`] is that
+//! investigation: the threshold relaxes logarithmically with region size
+//! above a reference, down to a floor.
+
+/// How the per-region threshold `rt` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThresholdPolicy {
+    /// One threshold for every region (the paper's `rt = 0.8`).
+    Fixed(f64),
+    /// `rt(slots) = base − slope · log2(slots / reference_slots)` for
+    /// regions larger than the reference, clamped to `floor`.
+    Adaptive {
+        /// Threshold for regions at or below the reference size.
+        base: f64,
+        /// Region size (slots) at which relaxation starts.
+        reference_slots: usize,
+        /// Threshold reduction per doubling of region size.
+        slope: f64,
+        /// Lower clamp of the relaxed threshold.
+        floor: f64,
+    },
+}
+
+impl Default for ThresholdPolicy {
+    fn default() -> Self {
+        Self::Fixed(crate::DEFAULT_RT)
+    }
+}
+
+impl ThresholdPolicy {
+    /// The paper's recommended adaptive setting.
+    #[must_use]
+    pub fn adaptive() -> Self {
+        Self::Adaptive {
+            base: crate::DEFAULT_RT,
+            reference_slots: 64,
+            slope: 0.05,
+            floor: 0.6,
+        }
+    }
+
+    /// The threshold for a region covering `slots` instruction slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    #[must_use]
+    pub fn rt_for(&self, slots: usize) -> f64 {
+        assert!(slots > 0, "a region has at least one slot");
+        match *self {
+            Self::Fixed(rt) => rt,
+            Self::Adaptive {
+                base,
+                reference_slots,
+                slope,
+                floor,
+            } => {
+                if slots <= reference_slots {
+                    base
+                } else {
+                    let doublings = (slots as f64 / reference_slots as f64).log2();
+                    (base - slope * doublings).max(floor)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ignores_size() {
+        let p = ThresholdPolicy::Fixed(0.8);
+        assert_eq!(p.rt_for(2), 0.8);
+        assert_eq!(p.rt_for(2000), 0.8);
+    }
+
+    #[test]
+    fn adaptive_relaxes_with_size() {
+        let p = ThresholdPolicy::adaptive();
+        let small = p.rt_for(32);
+        let medium = p.rt_for(64);
+        let large = p.rt_for(256);
+        assert_eq!(small, 0.8);
+        assert_eq!(medium, 0.8);
+        assert!(large < medium, "large={large}");
+        // 256 = 64 * 2^2 → 0.8 - 2*0.05 = 0.7
+        assert!((large - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adaptive_clamps_at_floor() {
+        let p = ThresholdPolicy::adaptive();
+        assert_eq!(p.rt_for(1 << 20), 0.6);
+    }
+
+    #[test]
+    fn default_is_papers_fixed_rt() {
+        assert_eq!(ThresholdPolicy::default().rt_for(10), crate::DEFAULT_RT);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_panics() {
+        let _ = ThresholdPolicy::default().rt_for(0);
+    }
+}

@@ -1,0 +1,384 @@
+//! One region's phase detector.
+
+use regmon_stats::CountHistogram;
+
+use crate::adaptive::ThresholdPolicy;
+use crate::similarity::{Similarity, SimilarityKind};
+use crate::state::LpdState;
+
+/// Configuration shared by all per-region detectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpdConfig {
+    /// How the correlation threshold is chosen per region.
+    pub threshold: ThresholdPolicy,
+    /// Which similarity metric scores interval histograms.
+    pub similarity: SimilarityKind,
+    /// Minimum samples an interval must contribute to a region before its
+    /// histogram is compared; sparser intervals are treated like empty
+    /// ones (state held, `r` repeated). This extends the paper's
+    /// empty-interval rule to intervals too thin to form a meaningful
+    /// distribution — e.g. the sliver a region receives when a sampling
+    /// interval straddles a working-set switch.
+    pub min_samples: u64,
+}
+
+impl Default for LpdConfig {
+    fn default() -> Self {
+        Self {
+            threshold: ThresholdPolicy::default(),
+            similarity: SimilarityKind::default(),
+            min_samples: 64,
+        }
+    }
+}
+
+/// What one `observe` call saw and decided.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LpdObservation {
+    /// The similarity score used this interval. For an inactive interval
+    /// (no samples for the region) this repeats the last value, as the
+    /// paper specifies.
+    pub r: f64,
+    /// Whether the region received samples this interval.
+    pub active: bool,
+    /// State before the interval.
+    pub state_before: LpdState,
+    /// State after the interval.
+    pub state_after: LpdState,
+    /// `true` when stability flipped — a local phase change.
+    pub phase_changed: bool,
+}
+
+/// Lifetime statistics of one region's detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegionPhaseStats {
+    /// Intervals observed (including inactive ones).
+    pub intervals: usize,
+    /// Intervals in which the region received samples.
+    pub active_intervals: usize,
+    /// Intervals spent in the stable state.
+    pub stable_intervals: usize,
+    /// Stability flips (stable ↔ not-stable).
+    pub phase_changes: usize,
+    /// Total samples the region received across all observed intervals.
+    pub samples: u64,
+}
+
+impl RegionPhaseStats {
+    /// Fraction of observed intervals spent stable, in `[0, 1]`.
+    #[must_use]
+    pub fn stable_fraction(&self) -> f64 {
+        if self.intervals == 0 {
+            return 0.0;
+        }
+        self.stable_intervals as f64 / self.intervals as f64
+    }
+
+    /// Mean samples per observed interval — a hotness measure for
+    /// report filtering (cold regions' flapping is sampling noise).
+    #[must_use]
+    pub fn mean_samples(&self) -> f64 {
+        if self.intervals == 0 {
+            return 0.0;
+        }
+        self.samples as f64 / self.intervals as f64
+    }
+}
+
+/// The per-region detector: stable histogram + current comparison +
+/// Figure 12 state machine.
+#[derive(Debug, Clone)]
+pub struct RegionPhaseDetector {
+    config: LpdConfig,
+    rt: f64,
+    prev_hist: CountHistogram,
+    prev_empty: bool,
+    state: LpdState,
+    last_r: f64,
+    stats: RegionPhaseStats,
+}
+
+impl RegionPhaseDetector {
+    /// Creates a detector for a region of `slots` instruction slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots < 2` — Pearson's r needs at least two paired
+    /// observations, so such a region cannot be phase-analyzed.
+    #[must_use]
+    pub fn new(slots: usize, config: LpdConfig) -> Self {
+        assert!(slots >= 2, "local phase detection needs at least 2 slots");
+        Self {
+            config,
+            rt: config.threshold.rt_for(slots),
+            prev_hist: CountHistogram::new(slots),
+            prev_empty: true,
+            state: LpdState::Unstable,
+            last_r: 0.0,
+            stats: RegionPhaseStats::default(),
+        }
+    }
+
+    /// The effective correlation threshold for this region.
+    #[must_use]
+    pub fn rt(&self) -> f64 {
+        self.rt
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> LpdState {
+        self.state
+    }
+
+    /// `true` when the region's phase is stable.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.state.is_stable()
+    }
+
+    /// The most recent similarity value (0 before the region first
+    /// executes, matching the paper's Figure 11).
+    #[must_use]
+    pub fn last_r(&self) -> f64 {
+        self.last_r
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> RegionPhaseStats {
+        self.stats
+    }
+
+    /// The frozen (or tracking) stable histogram.
+    #[must_use]
+    pub fn stable_histogram(&self) -> &CountHistogram {
+        &self.prev_hist
+    }
+
+    /// Processes one interval.
+    ///
+    /// `current` is the region's histogram for the interval; `None`, an
+    /// all-zero histogram, or one with fewer than
+    /// [`LpdConfig::min_samples`] samples counts as an *inactive*
+    /// interval — the detector holds its state and repeats its last `r`,
+    /// exactly as the paper prescribes for empty intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current` has a different slot count than this region.
+    pub fn observe(&mut self, current: Option<&CountHistogram>) -> LpdObservation {
+        let state_before = self.state;
+        self.stats.intervals += 1;
+
+        let Some(current) = current.filter(|h| h.total() >= self.config.min_samples.max(1)) else {
+            if self.state.is_stable() {
+                self.stats.stable_intervals += 1;
+            }
+            return LpdObservation {
+                r: self.last_r,
+                active: false,
+                state_before,
+                state_after: self.state,
+                phase_changed: false,
+            };
+        };
+        self.stats.active_intervals += 1;
+        self.stats.samples += current.total();
+
+        let (r, next) = if self.prev_empty {
+            // First active interval: nothing to compare against yet.
+            (0.0, LpdState::Unstable)
+        } else {
+            let r = self.config.similarity.score(&self.prev_hist, current);
+            (r, self.state.next(r >= self.rt))
+        };
+
+        // Figure 12: the stable set tracks the current set until the
+        // phase stabilizes, then freezes.
+        if next.tracks_current() {
+            self.prev_hist.copy_from(current);
+            self.prev_empty = false;
+        }
+
+        let phase_changed = state_before.is_stable() != next.is_stable();
+        self.state = next;
+        self.last_r = r;
+        if next.is_stable() {
+            self.stats.stable_intervals += 1;
+        }
+        if phase_changed {
+            self.stats.phase_changes += 1;
+        }
+        LpdObservation {
+            r,
+            active: true,
+            state_before,
+            state_after: next,
+            phase_changed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(counts: &[u64]) -> CountHistogram {
+        CountHistogram::from_counts(counts.to_vec())
+    }
+
+    fn det() -> RegionPhaseDetector {
+        RegionPhaseDetector::new(8, LpdConfig::default())
+    }
+
+    const SHAPE: [u64; 8] = [1, 9, 40, 200, 30, 8, 2, 1];
+
+    #[test]
+    fn first_interval_r_is_zero() {
+        let mut d = det();
+        let obs = d.observe(Some(&h(&SHAPE)));
+        assert_eq!(obs.r, 0.0);
+        assert_eq!(obs.state_after, LpdState::Unstable);
+        assert!(!obs.phase_changed);
+    }
+
+    #[test]
+    fn stabilizes_after_three_consistent_intervals() {
+        let mut d = det();
+        d.observe(Some(&h(&SHAPE)));
+        let o2 = d.observe(Some(&h(&SHAPE)));
+        assert_eq!(o2.state_after, LpdState::LessUnstable);
+        let o3 = d.observe(Some(&h(&SHAPE)));
+        assert_eq!(o3.state_after, LpdState::Stable);
+        assert!(o3.phase_changed);
+        assert_eq!(d.stats().phase_changes, 1);
+    }
+
+    #[test]
+    fn scaling_does_not_change_phase() {
+        let mut d = det();
+        for _ in 0..3 {
+            d.observe(Some(&h(&SHAPE)));
+        }
+        let scaled: Vec<u64> = SHAPE.iter().map(|c| c * 7).collect();
+        let obs = d.observe(Some(&h(&scaled)));
+        assert!(obs.r > 0.99);
+        assert!(!obs.phase_changed);
+        assert!(d.is_stable());
+    }
+
+    #[test]
+    fn bottleneck_shift_is_a_phase_change() {
+        let mut d = det();
+        for _ in 0..3 {
+            d.observe(Some(&h(&SHAPE)));
+        }
+        let shifted = [1, 1, 9, 40, 200, 30, 8, 2];
+        let obs = d.observe(Some(&h(&shifted)));
+        assert!(obs.r < 0.8, "r={}", obs.r);
+        assert!(obs.phase_changed);
+        assert_eq!(obs.state_after, LpdState::Unstable);
+    }
+
+    #[test]
+    fn stable_histogram_freezes_on_stabilization() {
+        let mut d = det();
+        for _ in 0..3 {
+            d.observe(Some(&h(&SHAPE)));
+        }
+        let frozen = d.stable_histogram().clone();
+        // While stable, a correlated but different-scale histogram must
+        // NOT replace the frozen stable set.
+        let scaled: Vec<u64> = SHAPE.iter().map(|c| c * 3).collect();
+        d.observe(Some(&h(&scaled)));
+        assert_eq!(d.stable_histogram(), &frozen);
+    }
+
+    #[test]
+    fn stable_histogram_tracks_while_unstable() {
+        let mut d = det();
+        let a = h(&SHAPE);
+        d.observe(Some(&a));
+        assert_eq!(d.stable_histogram(), &a);
+        let b = h(&[200, 1, 9, 40, 30, 8, 2, 1]);
+        d.observe(Some(&b));
+        assert_eq!(d.stable_histogram(), &b);
+    }
+
+    #[test]
+    fn inactive_interval_repeats_r_and_holds_state() {
+        let mut d = det();
+        for _ in 0..3 {
+            d.observe(Some(&h(&SHAPE)));
+        }
+        let r_before = d.last_r();
+        let obs = d.observe(None);
+        assert!(!obs.active);
+        assert_eq!(obs.r, r_before);
+        assert!(d.is_stable());
+        // An all-zero histogram counts as inactive too.
+        let obs = d.observe(Some(&h(&[0; 8])));
+        assert!(!obs.active);
+        assert!(d.is_stable());
+    }
+
+    #[test]
+    fn inactive_intervals_count_toward_stable_time() {
+        let mut d = det();
+        for _ in 0..3 {
+            d.observe(Some(&h(&SHAPE)));
+        }
+        for _ in 0..7 {
+            d.observe(None);
+        }
+        let stats = d.stats();
+        assert_eq!(stats.intervals, 10);
+        assert_eq!(stats.active_intervals, 3);
+        assert_eq!(stats.stable_intervals, 8); // interval 3 onward
+    }
+
+    #[test]
+    fn flapping_counts_every_transition() {
+        let mut d = det();
+        let a = h(&SHAPE);
+        let b = h(&[200, 1, 9, 40, 30, 8, 2, 1]);
+        // Stabilize, break, restabilize, break...
+        for _ in 0..3 {
+            d.observe(Some(&a));
+        }
+        d.observe(Some(&b)); // change 1 (out)
+        d.observe(Some(&b));
+        d.observe(Some(&b)); // change 2 (in)
+        d.observe(Some(&a)); // change 3 (out)
+        assert_eq!(d.stats().phase_changes, 4); // initial in + 3 above
+    }
+
+    #[test]
+    fn adaptive_threshold_applies_per_region_size() {
+        let config = LpdConfig {
+            threshold: ThresholdPolicy::adaptive(),
+            ..LpdConfig::default()
+        };
+        let small = RegionPhaseDetector::new(32, config);
+        let large = RegionPhaseDetector::new(256, config);
+        assert_eq!(small.rt(), 0.8);
+        assert!((large.rt() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 slots")]
+    fn one_slot_region_panics() {
+        let _ = RegionPhaseDetector::new(1, LpdConfig::default());
+    }
+
+    #[test]
+    fn stable_fraction_computation() {
+        let mut d = det();
+        for _ in 0..10 {
+            d.observe(Some(&h(&SHAPE)));
+        }
+        let f = d.stats().stable_fraction();
+        assert!((f - 0.8).abs() < 1e-9, "f={f}"); // stable from interval 3
+    }
+}

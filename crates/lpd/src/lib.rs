@@ -1,0 +1,60 @@
+//! Local Phase Detection (LPD): per-region phase state machines driven by
+//! Pearson's coefficient of correlation (paper §3.2).
+//!
+//! Each monitored region gets its own detector comparing the *current*
+//! interval's per-instruction sample histogram against a frozen *stable*
+//! histogram. High correlation (`r ≥ rt`, `rt = 0.8` in the paper) means
+//! the region's internal behaviour is unchanged — even if its share of
+//! total execution moved, which is precisely what confuses the global
+//! centroid detector. Low or negative correlation means the bottleneck
+//! distribution shifted: a genuine local phase change worth re-optimizing
+//! for.
+//!
+//! * [`similarity`] — the Pearson metric plus the cheaper alternatives the
+//!   paper's future work asks about (cosine, normalized-Manhattan, rank).
+//! * [`state`] — the three-state machine of Figure 12.
+//! * [`detector`] — one region's detector: histograms + state machine.
+//! * [`manager`] — a detector per monitored region, fed from the region
+//!   monitor's per-interval distribution reports.
+//! * [`adaptive`] — region-size-aware thresholds (the paper's proposed fix
+//!   for the 188.ammp granularity aberration).
+//!
+//! # Example
+//!
+//! ```
+//! use regmon_lpd::{RegionPhaseDetector, LpdConfig};
+//! use regmon_stats::CountHistogram;
+//!
+//! let mut det = RegionPhaseDetector::new(8, LpdConfig::default());
+//! let shape = CountHistogram::from_counts(vec![1, 9, 40, 200, 30, 8, 2, 1]);
+//! for _ in 0..4 {
+//!     det.observe(Some(&shape));
+//! }
+//! assert!(det.is_stable()); // same shape every interval
+//!
+//! // Scaling all counts is NOT a phase change (Figure 8)...
+//! let scaled = CountHistogram::from_counts(vec![3, 27, 120, 600, 90, 24, 6, 3]);
+//! assert!(!det.observe(Some(&scaled)).phase_changed);
+//!
+//! // ...but shifting the bottleneck is.
+//! let shifted = CountHistogram::from_counts(vec![1, 1, 9, 40, 200, 30, 8, 2]);
+//! assert!(det.observe(Some(&shifted)).phase_changed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod detector;
+pub mod manager;
+pub mod similarity;
+pub mod state;
+
+pub use adaptive::ThresholdPolicy;
+pub use detector::{LpdConfig, LpdObservation, RegionPhaseDetector, RegionPhaseStats};
+pub use manager::LpdManager;
+pub use similarity::{Similarity, SimilarityKind};
+pub use state::LpdState;
+
+/// The paper's correlation threshold `rt`.
+pub const DEFAULT_RT: f64 = 0.8;

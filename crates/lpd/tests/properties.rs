@@ -1,0 +1,105 @@
+//! Property tests for the per-region detector's state machine.
+
+use proptest::prelude::*;
+
+use regmon_lpd::{LpdConfig, RegionPhaseDetector};
+use regmon_stats::CountHistogram;
+
+fn hist(counts: &[u64]) -> CountHistogram {
+    CountHistogram::from_counts(counts.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn detector_never_panics_and_counts_flips(
+        histograms in prop::collection::vec(
+            prop::collection::vec(0u64..400, 8),
+            1..60
+        )
+    ) {
+        let mut det = RegionPhaseDetector::new(8, LpdConfig::default());
+        let mut flips = 0usize;
+        let mut was_stable = false;
+        for counts in &histograms {
+            let h = hist(counts);
+            let obs = det.observe(Some(&h));
+            prop_assert!((-1.0..=1.0).contains(&obs.r), "r = {}", obs.r);
+            prop_assert_eq!(
+                obs.phase_changed,
+                obs.state_before.is_stable() != obs.state_after.is_stable()
+            );
+            if det.is_stable() != was_stable {
+                flips += 1;
+                was_stable = det.is_stable();
+            }
+        }
+        let stats = det.stats();
+        prop_assert_eq!(stats.phase_changes, flips);
+        prop_assert_eq!(stats.intervals, histograms.len());
+        prop_assert!(stats.active_intervals <= stats.intervals);
+        prop_assert!((0.0..=1.0).contains(&stats.stable_fraction()));
+    }
+
+    #[test]
+    fn repeated_shape_always_stabilizes(
+        shape in prop::collection::vec(1u64..500, 8..64),
+        repeats in 3usize..12,
+    ) {
+        // Any fixed histogram with some variation across slots repeated
+        // identically must stabilize by the third interval and never flap.
+        prop_assume!(shape.iter().any(|&c| c != shape[0]));
+        prop_assume!(shape.iter().sum::<u64>() >= 64);
+        let mut det = RegionPhaseDetector::new(shape.len(), LpdConfig::default());
+        let h = hist(&shape);
+        for _ in 0..repeats {
+            det.observe(Some(&h));
+        }
+        prop_assert!(det.is_stable());
+        prop_assert_eq!(det.stats().phase_changes, 1);
+    }
+
+    #[test]
+    fn positive_scaling_never_destabilizes(
+        shape in prop::collection::vec(1u64..200, 8..32),
+        scales in prop::collection::vec(1u64..9, 4..12),
+    ) {
+        // The paper's key requirement (Figure 8): sampling-rate changes
+        // (uniform count scaling) must never register as phase changes.
+        prop_assume!(shape.iter().any(|&c| c != shape[0]));
+        prop_assume!(shape.iter().sum::<u64>() >= 64);
+        let mut det = RegionPhaseDetector::new(shape.len(), LpdConfig::default());
+        for _ in 0..3 {
+            det.observe(Some(&hist(&shape)));
+        }
+        prop_assert!(det.is_stable());
+        for s in scales {
+            let scaled: Vec<u64> = shape.iter().map(|c| c * s).collect();
+            let obs = det.observe(Some(&hist(&scaled)));
+            prop_assert!(!obs.phase_changed, "scale {} flagged a change", s);
+        }
+        prop_assert!(det.is_stable());
+    }
+
+    #[test]
+    fn inactive_runs_preserve_state_and_r(
+        shape in prop::collection::vec(1u64..200, 8..32),
+        gaps in 1usize..20,
+    ) {
+        prop_assume!(shape.iter().any(|&c| c != shape[0]));
+        prop_assume!(shape.iter().sum::<u64>() >= 64);
+        let mut det = RegionPhaseDetector::new(shape.len(), LpdConfig::default());
+        for _ in 0..3 {
+            det.observe(Some(&hist(&shape)));
+        }
+        let state = det.state();
+        let r = det.last_r();
+        for _ in 0..gaps {
+            let obs = det.observe(None);
+            prop_assert!(!obs.active);
+            prop_assert_eq!(obs.r, r);
+        }
+        prop_assert_eq!(det.state(), state);
+    }
+}

@@ -1,0 +1,190 @@
+//! Pluggable sample-attribution indexes.
+//!
+//! Attribution maps a sampled PC to *all* monitored regions containing it.
+//! [`LinearIndex`] is the prototype's O(n) list walk; [`IntervalTreeIndex`]
+//! is the paper's proposed O(log n + k) replacement. Both answer exactly
+//! the same queries — Figure 16 compares only their cost.
+
+use core::fmt;
+
+use regmon_binary::{Addr, AddrRange};
+
+use crate::interval_tree::IntervalTree;
+use crate::region::RegionId;
+
+/// A container of `(RegionId, AddrRange)` pairs supporting stabbing
+/// queries.
+pub trait RegionIndex: fmt::Debug {
+    /// Adds an interval.
+    fn insert(&mut self, id: RegionId, range: AddrRange);
+    /// Removes an interval; returns `true` when it was present.
+    fn remove(&mut self, id: RegionId, range: AddrRange) -> bool;
+    /// Appends all ids whose interval contains `addr` to `out`.
+    fn stab(&self, addr: Addr, out: &mut Vec<RegionId>);
+    /// Number of stored intervals.
+    fn len(&self) -> usize;
+    /// `true` when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which index implementation a [`crate::RegionMonitor`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexKind {
+    /// O(n) list scan per sample (the prototype's scheme).
+    Linear,
+    /// O(log n + k) augmented-tree stab per sample (paper §3.2.3).
+    #[default]
+    IntervalTree,
+}
+
+impl IndexKind {
+    /// Instantiates the chosen index.
+    #[must_use]
+    pub fn make(self) -> Box<dyn RegionIndex + Send> {
+        match self {
+            Self::Linear => Box::new(LinearIndex::new()),
+            Self::IntervalTree => Box::new(IntervalTreeIndex::new()),
+        }
+    }
+}
+
+/// The O(n) per-sample list scan.
+#[derive(Debug, Clone, Default)]
+pub struct LinearIndex {
+    entries: Vec<(RegionId, AddrRange)>,
+}
+
+impl LinearIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RegionIndex for LinearIndex {
+    fn insert(&mut self, id: RegionId, range: AddrRange) {
+        self.entries.push((id, range));
+    }
+
+    fn remove(&mut self, id: RegionId, range: AddrRange) -> bool {
+        match self.entries.iter().position(|e| *e == (id, range)) {
+            Some(pos) => {
+                self.entries.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn stab(&self, addr: Addr, out: &mut Vec<RegionId>) {
+        for (id, range) in &self.entries {
+            if range.contains(addr) {
+                out.push(*id);
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// The O(log n + k) augmented-tree index.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalTreeIndex {
+    tree: IntervalTree,
+}
+
+impl IntervalTreeIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RegionIndex for IntervalTreeIndex {
+    fn insert(&mut self, id: RegionId, range: AddrRange) {
+        self.tree.insert(id, range);
+    }
+
+    fn remove(&mut self, id: RegionId, range: AddrRange) -> bool {
+        self.tree.remove(id, range)
+    }
+
+    fn stab(&self, addr: Addr, out: &mut Vec<RegionId>) {
+        self.tree.stab(addr, out);
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(start: u64, end: u64) -> AddrRange {
+        AddrRange::new(Addr::new(start), Addr::new(end))
+    }
+
+    fn exercise(mut idx: Box<dyn RegionIndex + Send>) {
+        assert!(idx.is_empty());
+        idx.insert(RegionId(1), r(0, 10));
+        idx.insert(RegionId(2), r(5, 15));
+        assert_eq!(idx.len(), 2);
+        let mut out = Vec::new();
+        idx.stab(Addr::new(7), &mut out);
+        out.sort();
+        assert_eq!(out, vec![RegionId(1), RegionId(2)]);
+        assert!(idx.remove(RegionId(1), r(0, 10)));
+        assert!(!idx.remove(RegionId(1), r(0, 10)));
+        out.clear();
+        idx.stab(Addr::new(7), &mut out);
+        assert_eq!(out, vec![RegionId(2)]);
+    }
+
+    #[test]
+    fn linear_index_basic() {
+        exercise(IndexKind::Linear.make());
+    }
+
+    #[test]
+    fn tree_index_basic() {
+        exercise(IndexKind::IntervalTree.make());
+    }
+
+    #[test]
+    fn default_kind_is_tree() {
+        assert_eq!(IndexKind::default(), IndexKind::IntervalTree);
+    }
+
+    proptest! {
+        #[test]
+        fn implementations_agree(
+            intervals in prop::collection::vec((0u64..200, 1u64..50), 0..80),
+            probes in prop::collection::vec(0u64..260, 1..40),
+        ) {
+            let mut lin = LinearIndex::new();
+            let mut tree = IntervalTreeIndex::new();
+            for (i, (s, l)) in intervals.iter().enumerate() {
+                lin.insert(RegionId(i as u64), r(*s, s + l));
+                tree.insert(RegionId(i as u64), r(*s, s + l));
+            }
+            for p in probes {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                lin.stab(Addr::new(p), &mut a);
+                tree.stab(Addr::new(p), &mut b);
+                a.sort();
+                b.sort();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

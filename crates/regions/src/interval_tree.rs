@@ -1,0 +1,550 @@
+//! An augmented interval tree with `O(log n + k)` stabbing queries.
+//!
+//! The paper (§3.2.3) proposes replacing the O(n) per-sample region list
+//! scan with an interval tree (citing CLRS), reducing attribution to
+//! `O(log n + k)` where `k` is the number of regions containing the
+//! sample. CLRS builds on a red-black tree; this implementation uses a
+//! *treap* with deterministic pseudo-random priorities — the same
+//! max-endpoint augmentation and the same expected asymptotics, with far
+//! less rebalancing machinery. Equivalence with a linear scan is
+//! property-tested.
+//!
+//! Intervals are half-open `[start, end)` and identified by a
+//! [`RegionId`]; duplicate ranges with distinct ids are allowed.
+
+use regmon_binary::{Addr, AddrRange};
+
+use crate::region::RegionId;
+
+/// Deterministic node priority (SplitMix64 of the key).
+fn priority(range: AddrRange, id: RegionId) -> u64 {
+    let mut z = range
+        .start()
+        .get()
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(id.0)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    start: u64,
+    end: u64,
+    id: RegionId,
+    prio: u64,
+    /// Max `end` within this subtree — the stabbing-query augmentation.
+    max_end: u64,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl Node {
+    fn key(&self) -> (u64, u64, u64) {
+        (self.start, self.end, self.id.0)
+    }
+}
+
+/// The interval tree.
+///
+/// # Example
+///
+/// ```
+/// use regmon_regions::{IntervalTree, RegionId};
+/// use regmon_binary::{Addr, AddrRange};
+///
+/// let mut t = IntervalTree::new();
+/// let outer = AddrRange::new(Addr::new(0x100), Addr::new(0x200));
+/// let inner = AddrRange::new(Addr::new(0x140), Addr::new(0x180));
+/// t.insert(RegionId(1), outer);
+/// t.insert(RegionId(2), inner);
+///
+/// let mut hits = Vec::new();
+/// t.stab(Addr::new(0x150), &mut hits);
+/// hits.sort();
+/// assert_eq!(hits, vec![RegionId(1), RegionId(2)]); // nested: both count
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct IntervalTree {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    root: Option<usize>,
+    len: usize,
+}
+
+impl IntervalTree {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored intervals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no intervals are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `range` under `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty — empty intervals can never be stabbed
+    /// and would only poison the augmentation.
+    pub fn insert(&mut self, id: RegionId, range: AddrRange) {
+        assert!(!range.is_empty(), "cannot index an empty range");
+        let idx = self.alloc(Node {
+            start: range.start().get(),
+            end: range.end().get(),
+            id,
+            prio: priority(range, id),
+            max_end: range.end().get(),
+            left: None,
+            right: None,
+        });
+        self.root = Some(self.insert_at(self.root, idx));
+        self.len += 1;
+    }
+
+    /// Removes the interval `(id, range)`. Returns `true` when found.
+    pub fn remove(&mut self, id: RegionId, range: AddrRange) -> bool {
+        let key = (range.start().get(), range.end().get(), id.0);
+        let (root, removed) = self.remove_at(self.root, key);
+        self.root = root;
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Appends the ids of all intervals containing `addr` to `out`
+    /// (order unspecified).
+    pub fn stab(&self, addr: Addr, out: &mut Vec<RegionId>) {
+        self.stab_at(self.root, addr.get(), out);
+    }
+
+    /// Appends the ids of all intervals overlapping `range` to `out`
+    /// (order unspecified). Half-open semantics: intervals merely
+    /// touching `range`'s endpoints do not overlap.
+    pub fn overlapping(&self, range: AddrRange, out: &mut Vec<RegionId>) {
+        if !range.is_empty() {
+            self.overlap_at(self.root, range.start().get(), range.end().get(), out);
+        }
+    }
+
+    /// All `(id, range)` pairs in key order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(RegionId, AddrRange)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.inorder(self.root, &mut out);
+        out
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn fix(&mut self, n: usize) {
+        let mut max_end = self.nodes[n].end;
+        if let Some(l) = self.nodes[n].left {
+            max_end = max_end.max(self.nodes[l].max_end);
+        }
+        if let Some(r) = self.nodes[n].right {
+            max_end = max_end.max(self.nodes[r].max_end);
+        }
+        self.nodes[n].max_end = max_end;
+    }
+
+    /// Right rotation: left child becomes the root of this subtree.
+    fn rotate_right(&mut self, n: usize) -> usize {
+        let l = self.nodes[n].left.expect("rotate_right needs a left child");
+        self.nodes[n].left = self.nodes[l].right;
+        self.nodes[l].right = Some(n);
+        self.fix(n);
+        self.fix(l);
+        l
+    }
+
+    /// Left rotation: right child becomes the root of this subtree.
+    fn rotate_left(&mut self, n: usize) -> usize {
+        let r = self.nodes[n]
+            .right
+            .expect("rotate_left needs a right child");
+        self.nodes[n].right = self.nodes[r].left;
+        self.nodes[r].left = Some(n);
+        self.fix(n);
+        self.fix(r);
+        r
+    }
+
+    fn insert_at(&mut self, node: Option<usize>, new: usize) -> usize {
+        let Some(n) = node else {
+            return new;
+        };
+        if self.nodes[new].key() < self.nodes[n].key() {
+            let child = self.insert_at(self.nodes[n].left, new);
+            self.nodes[n].left = Some(child);
+            self.fix(n);
+            if self.nodes[child].prio > self.nodes[n].prio {
+                return self.rotate_right(n);
+            }
+        } else {
+            let child = self.insert_at(self.nodes[n].right, new);
+            self.nodes[n].right = Some(child);
+            self.fix(n);
+            if self.nodes[child].prio > self.nodes[n].prio {
+                return self.rotate_left(n);
+            }
+        }
+        n
+    }
+
+    fn remove_at(&mut self, node: Option<usize>, key: (u64, u64, u64)) -> (Option<usize>, bool) {
+        let Some(n) = node else {
+            return (None, false);
+        };
+        let nkey = self.nodes[n].key();
+        if key < nkey {
+            let (child, removed) = self.remove_at(self.nodes[n].left, key);
+            self.nodes[n].left = child;
+            self.fix(n);
+            (Some(n), removed)
+        } else if key > nkey {
+            let (child, removed) = self.remove_at(self.nodes[n].right, key);
+            self.nodes[n].right = child;
+            self.fix(n);
+            (Some(n), removed)
+        } else {
+            // Found: rotate down until it is a leaf-ish node, then unlink.
+            let replacement = self.sink_and_unlink(n);
+            self.free.push(n);
+            (replacement, true)
+        }
+    }
+
+    /// Rotates `n` down by priority until it can be unlinked; returns the
+    /// subtree that replaces it.
+    fn sink_and_unlink(&mut self, n: usize) -> Option<usize> {
+        match (self.nodes[n].left, self.nodes[n].right) {
+            (None, None) => None,
+            (Some(_), None) => {
+                let top = self.rotate_right(n);
+                self.nodes[top].right = self.sink_and_unlink(n);
+                self.fix(top);
+                Some(top)
+            }
+            (None, Some(_)) => {
+                let top = self.rotate_left(n);
+                self.nodes[top].left = self.sink_and_unlink(n);
+                self.fix(top);
+                Some(top)
+            }
+            (Some(l), Some(r)) => {
+                if self.nodes[l].prio > self.nodes[r].prio {
+                    let top = self.rotate_right(n);
+                    self.nodes[top].right = self.sink_and_unlink(n);
+                    self.fix(top);
+                    Some(top)
+                } else {
+                    let top = self.rotate_left(n);
+                    self.nodes[top].left = self.sink_and_unlink(n);
+                    self.fix(top);
+                    Some(top)
+                }
+            }
+        }
+    }
+
+    fn stab_at(&self, node: Option<usize>, addr: u64, out: &mut Vec<RegionId>) {
+        let Some(n) = node else { return };
+        let node = &self.nodes[n];
+        // Nothing in this subtree ends after addr ⇒ nothing contains it.
+        if node.max_end <= addr {
+            return;
+        }
+        self.stab_at(node.left, addr, out);
+        if node.start <= addr && addr < node.end {
+            out.push(node.id);
+        }
+        // Right subtree keys start at or after node.start; they can only
+        // contain addr when node.start <= addr.
+        if node.start <= addr {
+            self.stab_at(node.right, addr, out);
+        }
+    }
+
+    fn overlap_at(&self, node: Option<usize>, start: u64, end: u64, out: &mut Vec<RegionId>) {
+        let Some(n) = node else { return };
+        let node = &self.nodes[n];
+        // Nothing in this subtree ends after the query start.
+        if node.max_end <= start {
+            return;
+        }
+        self.overlap_at(node.left, start, end, out);
+        if node.start < end && start < node.end {
+            out.push(node.id);
+        }
+        // Right-subtree keys start at or after node.start; they can only
+        // overlap when node.start < end.
+        if node.start < end {
+            self.overlap_at(node.right, start, end, out);
+        }
+    }
+
+    fn inorder(&self, node: Option<usize>, out: &mut Vec<(RegionId, AddrRange)>) {
+        let Some(n) = node else { return };
+        self.inorder(self.nodes[n].left, out);
+        let node = &self.nodes[n];
+        out.push((
+            node.id,
+            AddrRange::new(Addr::new(node.start), Addr::new(node.end)),
+        ));
+        self.inorder(self.nodes[n].right, out);
+    }
+
+    /// Validates the treap and augmentation invariants (test support).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        fn walk(
+            t: &IntervalTree,
+            n: Option<usize>,
+            lo: Option<(u64, u64, u64)>,
+            hi: Option<(u64, u64, u64)>,
+        ) -> (u64, usize) {
+            let Some(i) = n else { return (0, 0) };
+            let node = &t.nodes[i];
+            let key = node.key();
+            if let Some(lo) = lo {
+                assert!(key > lo, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(key < hi, "BST order violated");
+            }
+            for child in [node.left, node.right].into_iter().flatten() {
+                assert!(t.nodes[child].prio <= node.prio, "heap priority violated");
+            }
+            let (lmax, lcount) = walk(t, node.left, lo, Some(key));
+            let (rmax, rcount) = walk(t, node.right, Some(key), hi);
+            let expect = node.end.max(lmax).max(rmax);
+            assert_eq!(node.max_end, expect, "max_end augmentation stale");
+            (expect, lcount + rcount + 1)
+        }
+        let (_, count) = walk(self, self.root, None, None);
+        assert_eq!(count, self.len, "len out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(start: u64, end: u64) -> AddrRange {
+        AddrRange::new(Addr::new(start), Addr::new(end))
+    }
+
+    #[test]
+    fn empty_tree_stabs_nothing() {
+        let t = IntervalTree::new();
+        let mut out = Vec::new();
+        t.stab(Addr::new(5), &mut out);
+        assert!(out.is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_interval() {
+        let mut t = IntervalTree::new();
+        t.insert(RegionId(1), r(10, 20));
+        let mut out = Vec::new();
+        t.stab(Addr::new(10), &mut out);
+        assert_eq!(out, vec![RegionId(1)]);
+        out.clear();
+        t.stab(Addr::new(20), &mut out); // half-open: end excluded
+        assert!(out.is_empty());
+        out.clear();
+        t.stab(Addr::new(9), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_and_overlapping() {
+        let mut t = IntervalTree::new();
+        t.insert(RegionId(1), r(0, 100));
+        t.insert(RegionId(2), r(20, 40));
+        t.insert(RegionId(3), r(30, 60));
+        t.insert(RegionId(4), r(90, 200));
+        let mut out = Vec::new();
+        t.stab(Addr::new(35), &mut out);
+        out.sort();
+        assert_eq!(out, vec![RegionId(1), RegionId(2), RegionId(3)]);
+        out.clear();
+        t.stab(Addr::new(95), &mut out);
+        out.sort();
+        assert_eq!(out, vec![RegionId(1), RegionId(4)]);
+    }
+
+    #[test]
+    fn remove_restores_behavior() {
+        let mut t = IntervalTree::new();
+        t.insert(RegionId(1), r(0, 100));
+        t.insert(RegionId(2), r(20, 40));
+        assert!(t.remove(RegionId(1), r(0, 100)));
+        assert!(!t.remove(RegionId(1), r(0, 100))); // already gone
+        let mut out = Vec::new();
+        t.stab(Addr::new(35), &mut out);
+        assert_eq!(out, vec![RegionId(2)]);
+        assert_eq!(t.len(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_ranges_distinct_ids() {
+        let mut t = IntervalTree::new();
+        t.insert(RegionId(1), r(10, 20));
+        t.insert(RegionId(2), r(10, 20));
+        let mut out = Vec::new();
+        t.stab(Addr::new(15), &mut out);
+        out.sort();
+        assert_eq!(out, vec![RegionId(1), RegionId(2)]);
+        assert!(t.remove(RegionId(1), r(10, 20)));
+        out.clear();
+        t.stab(Addr::new(15), &mut out);
+        assert_eq!(out, vec![RegionId(2)]);
+    }
+
+    #[test]
+    fn entries_are_in_key_order() {
+        let mut t = IntervalTree::new();
+        t.insert(RegionId(3), r(30, 40));
+        t.insert(RegionId(1), r(10, 20));
+        t.insert(RegionId(2), r(10, 30));
+        let e = t.entries();
+        assert_eq!(
+            e.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![RegionId(1), RegionId(2), RegionId(3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_interval_panics() {
+        let mut t = IntervalTree::new();
+        t.insert(RegionId(0), r(5, 5));
+    }
+
+    #[test]
+    fn node_slots_are_reused_after_removal() {
+        let mut t = IntervalTree::new();
+        for i in 0..10u64 {
+            t.insert(RegionId(i), r(i * 10, i * 10 + 5));
+        }
+        for i in 0..10u64 {
+            assert!(t.remove(RegionId(i), r(i * 10, i * 10 + 5)));
+        }
+        let arena = t.nodes.len();
+        for i in 10..20u64 {
+            t.insert(RegionId(i), r(i * 10, i * 10 + 5));
+        }
+        assert_eq!(t.nodes.len(), arena, "freed slots must be reused");
+        t.check_invariants();
+    }
+
+    #[test]
+    fn overlapping_finds_partial_and_full_overlaps() {
+        let mut t = IntervalTree::new();
+        t.insert(RegionId(1), r(0, 10));
+        t.insert(RegionId(2), r(20, 30));
+        t.insert(RegionId(3), r(5, 25));
+        let mut out = Vec::new();
+        t.overlapping(r(8, 22), &mut out);
+        out.sort();
+        assert_eq!(out, vec![RegionId(1), RegionId(2), RegionId(3)]);
+        out.clear();
+        t.overlapping(r(10, 20), &mut out); // touches 1 and 2 only at endpoints
+        assert_eq!(out, vec![RegionId(3)]);
+        out.clear();
+        t.overlapping(r(30, 40), &mut out);
+        assert!(out.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn overlapping_matches_linear_scan(
+            intervals in prop::collection::vec((0u64..120, 1u64..30), 0..60),
+            queries in prop::collection::vec((0u64..140, 1u64..40), 1..20),
+        ) {
+            let mut tree = IntervalTree::new();
+            let mut reference: Vec<(RegionId, AddrRange)> = Vec::new();
+            for (i, (s, l)) in intervals.iter().enumerate() {
+                let id = RegionId(i as u64);
+                tree.insert(id, r(*s, s + l));
+                reference.push((id, r(*s, s + l)));
+            }
+            for (qs, ql) in queries {
+                let q = r(qs, qs + ql);
+                let mut got = Vec::new();
+                tree.overlapping(q, &mut got);
+                got.sort();
+                let mut want: Vec<RegionId> = reference
+                    .iter()
+                    .filter(|(_, range)| range.overlaps(q))
+                    .map(|(id, _)| *id)
+                    .collect();
+                want.sort();
+                prop_assert_eq!(got, want);
+            }
+        }
+
+        #[test]
+        fn matches_linear_scan(
+            ops in prop::collection::vec(
+                (0u64..64, 1u64..32, prop::bool::weighted(0.3)),
+                1..120
+            ),
+            probes in prop::collection::vec(0u64..100, 1..40),
+        ) {
+            let mut tree = IntervalTree::new();
+            let mut reference: Vec<(RegionId, AddrRange)> = Vec::new();
+            for (i, (start, len, is_remove)) in ops.iter().enumerate() {
+                if *is_remove && !reference.is_empty() {
+                    let victim = reference.remove(i % reference.len());
+                    prop_assert!(tree.remove(victim.0, victim.1));
+                } else {
+                    let id = RegionId(i as u64);
+                    let range = r(*start, start + len);
+                    tree.insert(id, range);
+                    reference.push((id, range));
+                }
+                tree.check_invariants();
+            }
+            prop_assert_eq!(tree.len(), reference.len());
+            for p in probes {
+                let mut got = Vec::new();
+                tree.stab(Addr::new(p), &mut got);
+                got.sort();
+                let mut want: Vec<RegionId> = reference
+                    .iter()
+                    .filter(|(_, range)| range.contains(Addr::new(p)))
+                    .map(|(id, _)| *id)
+                    .collect();
+                want.sort();
+                prop_assert_eq!(got, want, "probe at {}", p);
+            }
+        }
+    }
+}

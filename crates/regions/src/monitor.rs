@@ -1,0 +1,289 @@
+//! The region monitor: holds regions and distributes samples to them.
+
+use std::collections::BTreeMap;
+
+use regmon_binary::{AddrRange, INST_BYTES};
+use regmon_sampling::PcSample;
+use regmon_stats::CountHistogram;
+
+use crate::index::{IndexKind, RegionIndex};
+use crate::region::{Region, RegionId, RegionKind};
+
+/// Per-interval result of distributing a buffer of samples.
+///
+/// Overlapping regions each receive the sample (the paper's stacked
+/// region charts exceed the buffer size for exactly this reason), so the
+/// per-region totals may sum to more than `total_samples`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionReport {
+    per_region: BTreeMap<RegionId, CountHistogram>,
+    unattributed: Vec<PcSample>,
+    total_samples: usize,
+}
+
+impl DistributionReport {
+    /// The histogram of one region, or `None` when it received no samples
+    /// this interval.
+    #[must_use]
+    pub fn histogram(&self, id: RegionId) -> Option<&CountHistogram> {
+        self.per_region.get(&id)
+    }
+
+    /// All `(region, histogram)` pairs that received samples, in id order.
+    pub fn histograms(&self) -> impl Iterator<Item = (RegionId, &CountHistogram)> {
+        self.per_region.iter().map(|(id, h)| (*id, h))
+    }
+
+    /// Number of regions that received samples.
+    #[must_use]
+    pub fn active_regions(&self) -> usize {
+        self.per_region.len()
+    }
+
+    /// Samples that fell in no monitored region — the unmonitored code
+    /// region (UCR).
+    #[must_use]
+    pub fn unattributed_samples(&self) -> &[PcSample] {
+        &self.unattributed
+    }
+
+    /// Total samples distributed this interval.
+    #[must_use]
+    pub fn total_samples(&self) -> usize {
+        self.total_samples
+    }
+
+    /// Fraction of samples in the UCR, in `[0, 1]` (0 for an empty
+    /// interval).
+    #[must_use]
+    pub fn ucr_fraction(&self) -> f64 {
+        if self.total_samples == 0 {
+            return 0.0;
+        }
+        self.unattributed.len() as f64 / self.total_samples as f64
+    }
+}
+
+/// Holds the monitored regions and their attribution index.
+#[derive(Debug)]
+pub struct RegionMonitor {
+    regions: BTreeMap<RegionId, Region>,
+    index: Box<dyn RegionIndex + Send>,
+    next_id: u64,
+    scratch: Vec<RegionId>,
+}
+
+impl RegionMonitor {
+    /// Creates an empty monitor using the given attribution index.
+    #[must_use]
+    pub fn new(index: IndexKind) -> Self {
+        Self {
+            regions: BTreeMap::new(),
+            index: index.make(),
+            next_id: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Adds a region and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
+    pub fn add_region(
+        &mut self,
+        range: AddrRange,
+        kind: RegionKind,
+        created_interval: usize,
+    ) -> RegionId {
+        let id = RegionId(self.next_id);
+        self.next_id += 1;
+        let region = Region::new(id, range, kind, created_interval);
+        self.index.insert(id, range);
+        self.regions.insert(id, region);
+        id
+    }
+
+    /// Removes a region. Returns `true` when it existed.
+    pub fn remove_region(&mut self, id: RegionId) -> bool {
+        match self.regions.remove(&id) {
+            Some(region) => {
+                let removed = self.index.remove(id, region.range());
+                debug_assert!(removed, "index out of sync with region table");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The region with the given id.
+    #[must_use]
+    pub fn region(&self, id: RegionId) -> Option<&Region> {
+        self.regions.get(&id)
+    }
+
+    /// All monitored regions in id (creation) order.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.values()
+    }
+
+    /// Number of monitored regions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// `true` when no regions are monitored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// `true` when some monitored region covers exactly `range`.
+    #[must_use]
+    pub fn has_range(&self, range: AddrRange) -> bool {
+        self.regions.values().any(|r| r.range() == range)
+    }
+
+    /// The monitored region whose range equals `range`, if any.
+    #[must_use]
+    pub fn region_by_range(&self, range: AddrRange) -> Option<&Region> {
+        self.regions.values().find(|r| r.range() == range)
+    }
+
+    /// Distributes one interval's samples across the monitored regions.
+    ///
+    /// Every region containing a sample's PC receives it in the slot
+    /// `(pc − region.start) / INST_BYTES`; samples contained by no region
+    /// are collected as the UCR.
+    pub fn distribute(&mut self, samples: &[PcSample]) -> DistributionReport {
+        let mut per_region: BTreeMap<RegionId, CountHistogram> = BTreeMap::new();
+        let mut unattributed = Vec::new();
+        for sample in samples {
+            self.scratch.clear();
+            self.index.stab(sample.addr, &mut self.scratch);
+            if self.scratch.is_empty() {
+                unattributed.push(*sample);
+                continue;
+            }
+            for &id in &self.scratch {
+                let region = &self.regions[&id];
+                let slot = (sample.addr.offset_from(region.range().start()) / INST_BYTES) as usize;
+                per_region
+                    .entry(id)
+                    .or_insert_with(|| CountHistogram::new(region.slots()))
+                    .record(slot);
+            }
+        }
+        DistributionReport {
+            per_region,
+            unattributed,
+            total_samples: samples.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::Addr;
+
+    fn sample(addr: u64) -> PcSample {
+        PcSample {
+            addr: Addr::new(addr),
+            cycle: 0,
+        }
+    }
+
+    fn range(start: u64, end: u64) -> AddrRange {
+        AddrRange::new(Addr::new(start), Addr::new(end))
+    }
+
+    #[test]
+    fn add_and_remove_regions() {
+        let mut mon = RegionMonitor::new(IndexKind::Linear);
+        let a = mon.add_region(range(0x100, 0x140), RegionKind::Custom, 0);
+        let b = mon.add_region(range(0x200, 0x240), RegionKind::Custom, 1);
+        assert_ne!(a, b);
+        assert_eq!(mon.len(), 2);
+        assert!(mon.remove_region(a));
+        assert!(!mon.remove_region(a));
+        assert_eq!(mon.len(), 1);
+        assert!(mon.region(b).is_some());
+        assert!(mon.region(a).is_none());
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut mon = RegionMonitor::new(IndexKind::Linear);
+        let a = mon.add_region(range(0x100, 0x140), RegionKind::Custom, 0);
+        mon.remove_region(a);
+        let b = mon.add_region(range(0x100, 0x140), RegionKind::Custom, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distribute_fills_slots() {
+        let mut mon = RegionMonitor::new(IndexKind::IntervalTree);
+        let id = mon.add_region(range(0x100, 0x120), RegionKind::Custom, 0);
+        let report = mon.distribute(&[sample(0x100), sample(0x104), sample(0x104)]);
+        let h = report.histogram(id).unwrap();
+        assert_eq!(h.counts(), &[1, 2, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(report.ucr_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overlapping_regions_both_count() {
+        let mut mon = RegionMonitor::new(IndexKind::IntervalTree);
+        let outer = mon.add_region(range(0x100, 0x200), RegionKind::Loop { depth: 0 }, 0);
+        let inner = mon.add_region(range(0x140, 0x180), RegionKind::Loop { depth: 1 }, 0);
+        let report = mon.distribute(&[sample(0x150)]);
+        assert_eq!(report.histogram(outer).unwrap().total(), 1);
+        assert_eq!(report.histogram(inner).unwrap().total(), 1);
+        // The stacked total exceeds the number of samples, as in Figure 2.
+        let stacked: u64 = report.histograms().map(|(_, h)| h.total()).sum();
+        assert_eq!(stacked, 2);
+        assert_eq!(report.total_samples(), 1);
+    }
+
+    #[test]
+    fn unattributed_samples_form_the_ucr() {
+        let mut mon = RegionMonitor::new(IndexKind::IntervalTree);
+        mon.add_region(range(0x100, 0x140), RegionKind::Custom, 0);
+        let report = mon.distribute(&[sample(0x100), sample(0x500), sample(0x600)]);
+        assert_eq!(report.unattributed_samples().len(), 2);
+        assert!((report.ucr_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_interval_reports_zero_ucr() {
+        let mut mon = RegionMonitor::new(IndexKind::Linear);
+        let report = mon.distribute(&[]);
+        assert_eq!(report.total_samples(), 0);
+        assert_eq!(report.ucr_fraction(), 0.0);
+        assert_eq!(report.active_regions(), 0);
+    }
+
+    #[test]
+    fn has_range_and_lookup() {
+        let mut mon = RegionMonitor::new(IndexKind::Linear);
+        let id = mon.add_region(range(0x100, 0x140), RegionKind::Custom, 3);
+        assert!(mon.has_range(range(0x100, 0x140)));
+        assert!(!mon.has_range(range(0x100, 0x144)));
+        assert_eq!(mon.region_by_range(range(0x100, 0x140)).unwrap().id(), id);
+    }
+
+    #[test]
+    fn linear_and_tree_monitors_agree() {
+        let mut a = RegionMonitor::new(IndexKind::Linear);
+        let mut b = RegionMonitor::new(IndexKind::IntervalTree);
+        for (s, e) in [(0x100u64, 0x180u64), (0x140, 0x1c0), (0x300, 0x340)] {
+            a.add_region(range(s, e), RegionKind::Custom, 0);
+            b.add_region(range(s, e), RegionKind::Custom, 0);
+        }
+        let samples: Vec<PcSample> = (0..200).map(|i| sample(0x100 + i * 4)).collect();
+        let ra = a.distribute(&samples);
+        let rb = b.distribute(&samples);
+        assert_eq!(ra, rb);
+    }
+}

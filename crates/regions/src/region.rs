@@ -1,0 +1,146 @@
+//! Monitored regions.
+
+use core::fmt;
+use regmon_binary::{AddrRange, INST_BYTES};
+
+/// Identifier of a monitored region, unique within its
+/// [`crate::RegionMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(pub u64);
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// What kind of code a region covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A natural loop at the given nesting depth — the paper's primary
+    /// unit of optimization.
+    Loop {
+        /// Nesting depth, `0` for outermost.
+        depth: usize,
+    },
+    /// A whole procedure — produced only by the inter-procedural
+    /// formation extension.
+    Procedure,
+    /// A hot path (superblock) through a procedure's CFG — produced by
+    /// the trace-formation extension; the monitored range is the trace's
+    /// convex hull.
+    Trace,
+    /// A caller-supplied range (tests, ad-hoc monitoring).
+    Custom,
+}
+
+/// A monitored code region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    id: RegionId,
+    range: AddrRange,
+    kind: RegionKind,
+    created_interval: usize,
+}
+
+impl Region {
+    /// Creates a region record; normally done via
+    /// [`crate::RegionMonitor::add_region`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty.
+    #[must_use]
+    pub fn new(id: RegionId, range: AddrRange, kind: RegionKind, created_interval: usize) -> Self {
+        assert!(
+            !range.is_empty(),
+            "a region must cover at least one address"
+        );
+        Self {
+            id,
+            range,
+            kind,
+            created_interval,
+        }
+    }
+
+    /// The region's identifier.
+    #[must_use]
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// The covered address range.
+    #[must_use]
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+
+    /// The region's kind.
+    #[must_use]
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// Index of the sampling interval in which the region was formed.
+    #[must_use]
+    pub fn created_interval(&self) -> usize {
+        self.created_interval
+    }
+
+    /// Number of instruction slots the region covers.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        (self.range.len() / INST_BYTES) as usize
+    }
+
+    /// The paper-style name of the region: its hex range (`146f0-14770`).
+    #[must_use]
+    pub fn name(&self) -> String {
+        self.range.to_string()
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.id, self.range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::Addr;
+
+    fn range() -> AddrRange {
+        AddrRange::new(Addr::new(0x146f0), Addr::new(0x14770))
+    }
+
+    #[test]
+    fn region_name_matches_paper_style() {
+        let r = Region::new(RegionId(1), range(), RegionKind::Loop { depth: 0 }, 5);
+        assert_eq!(r.name(), "146f0-14770");
+        assert_eq!(r.to_string(), "R1 [146f0-14770]");
+    }
+
+    #[test]
+    fn slots_divides_by_inst_width() {
+        let r = Region::new(RegionId(0), range(), RegionKind::Custom, 0);
+        assert_eq!(r.slots(), 0x80 / 4);
+    }
+
+    #[test]
+    fn accessors() {
+        let r = Region::new(RegionId(3), range(), RegionKind::Procedure, 7);
+        assert_eq!(r.id(), RegionId(3));
+        assert_eq!(r.kind(), RegionKind::Procedure);
+        assert_eq!(r.created_interval(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one address")]
+    fn empty_range_panics() {
+        let empty = AddrRange::new(Addr::new(8), Addr::new(8));
+        let _ = Region::new(RegionId(0), empty, RegionKind::Custom, 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Trace formation: hot paths through a procedure's CFG as monitoring
+//! units.
+//!
+//! The paper's region builder produces loops, but notes (§3.1) that "in
+//! the future, regions can also include functions or traces". This module
+//! implements the trace option: starting from the hottest sampled basic
+//! block, a trace greedily follows the hottest successor until the path
+//! goes cold, revisits itself (a loop closed), or hits the length cap —
+//! the classic superblock-selection heuristic of trace-based optimizers
+//! (Dynamo's NET, Merten's hot-spot detector).
+//!
+//! A trace's blocks need not be contiguous, while a monitored region is
+//! one address range; the monitored range is the trace's convex hull
+//! ([`Trace::hull`]), which is exact for the common fall-through-heavy
+//! traces and a documented over-approximation otherwise.
+
+use std::collections::HashMap;
+
+use regmon_binary::{AddrRange, Binary, BlockId, ProcId};
+use regmon_sampling::PcSample;
+
+use crate::monitor::RegionMonitor;
+use crate::region::{RegionId, RegionKind};
+
+/// Trace-formation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Minimum samples a block needs to seed a trace.
+    pub min_seed_samples: usize,
+    /// A successor is followed only while its sample count is at least
+    /// this fraction of the seed block's.
+    pub continuation_ratio: f64,
+    /// Maximum blocks per trace.
+    pub max_blocks: usize,
+    /// Maximum traces built per invocation.
+    pub max_traces: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            min_seed_samples: 32,
+            continuation_ratio: 0.25,
+            max_blocks: 16,
+            max_traces: 8,
+        }
+    }
+}
+
+/// A selected hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    proc: ProcId,
+    blocks: Vec<BlockId>,
+    ranges: Vec<AddrRange>,
+    samples: usize,
+}
+
+impl Trace {
+    /// The procedure the trace lives in.
+    #[must_use]
+    pub fn proc(&self) -> ProcId {
+        self.proc
+    }
+
+    /// The trace's blocks, in selection (execution) order.
+    #[must_use]
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// The address ranges of the trace's blocks, in selection order.
+    #[must_use]
+    pub fn ranges(&self) -> &[AddrRange] {
+        &self.ranges
+    }
+
+    /// Samples that landed in the trace's blocks.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The convex hull of the trace's blocks — the range monitored when
+    /// the trace is registered as a region.
+    #[must_use]
+    pub fn hull(&self) -> AddrRange {
+        let start = self
+            .ranges
+            .iter()
+            .map(|r| r.start())
+            .min()
+            .expect("traces are non-empty");
+        let end = self
+            .ranges
+            .iter()
+            .map(|r| r.end())
+            .max()
+            .expect("traces are non-empty");
+        AddrRange::new(start, end)
+    }
+}
+
+/// The trace builder.
+#[derive(Debug, Clone, Default)]
+pub struct TraceFormation {
+    config: TraceConfig,
+}
+
+impl TraceFormation {
+    /// Creates a builder with the given policy.
+    #[must_use]
+    pub fn new(config: TraceConfig) -> Self {
+        Self { config }
+    }
+
+    /// Selects hot traces from one interval's samples.
+    ///
+    /// Traces are returned hottest-first; blocks already claimed by an
+    /// earlier trace are not reused as seeds (they may be *shared* as
+    /// continuations, like overlapping superblocks).
+    #[must_use]
+    pub fn select(&self, binary: &Binary, samples: &[PcSample]) -> Vec<Trace> {
+        // Per-(proc, block) sample counts.
+        let mut counts: HashMap<(ProcId, BlockId), usize> = HashMap::new();
+        for s in samples {
+            if let Some(proc) = binary.procedure_at(s.addr) {
+                if let Some(block) = proc.block_at(s.addr) {
+                    *counts.entry((proc.id(), block.id())).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // Hottest-first seed order, deterministic tie-break by ids.
+        let mut seeds: Vec<((ProcId, BlockId), usize)> = counts
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .filter(|&(_, v)| v >= self.config.min_seed_samples)
+            .collect();
+        seeds.sort_by_key(|&((p, b), v)| (usize::MAX - v, p, b));
+
+        let mut used_seeds: HashMap<(ProcId, BlockId), ()> = HashMap::new();
+        let mut traces = Vec::new();
+        for ((proc_id, seed), seed_count) in seeds {
+            if traces.len() >= self.config.max_traces {
+                break;
+            }
+            if used_seeds.contains_key(&(proc_id, seed)) {
+                continue;
+            }
+            let trace = self.grow(binary, proc_id, seed, seed_count, &counts);
+            for &b in trace.blocks() {
+                used_seeds.insert((proc_id, b), ());
+            }
+            traces.push(trace);
+        }
+        traces
+    }
+
+    /// Grows one trace forward from `seed` by hottest-successor.
+    fn grow(
+        &self,
+        binary: &Binary,
+        proc_id: ProcId,
+        seed: BlockId,
+        seed_count: usize,
+        counts: &HashMap<(ProcId, BlockId), usize>,
+    ) -> Trace {
+        let proc = binary.procedure(proc_id);
+        let cfg = proc.cfg();
+        let floor = ((seed_count as f64 * self.config.continuation_ratio) as usize).max(1);
+
+        let mut blocks = vec![seed];
+        let mut samples = seed_count;
+        let mut current = seed;
+        while blocks.len() < self.config.max_blocks {
+            let next = cfg
+                .successors(current)
+                .iter()
+                .copied()
+                .filter(|b| !blocks.contains(b))
+                .max_by_key(|b| {
+                    (
+                        counts.get(&(proc_id, *b)).copied().unwrap_or(0),
+                        // Deterministic tie-break: lowest id wins (Reverse).
+                        usize::MAX - b.0,
+                    )
+                });
+            let Some(next) = next else { break };
+            let count = counts.get(&(proc_id, next)).copied().unwrap_or(0);
+            if count < floor {
+                break;
+            }
+            blocks.push(next);
+            samples += count;
+            current = next;
+        }
+        let ranges = blocks.iter().map(|&b| cfg.block(b).range()).collect();
+        Trace {
+            proc: proc_id,
+            blocks,
+            ranges,
+            samples,
+        }
+    }
+
+    /// Selects traces and registers each hull as a [`RegionKind::Trace`]
+    /// region (skipping hulls already monitored). Returns the new ids.
+    pub fn form(
+        &self,
+        binary: &Binary,
+        samples: &[PcSample],
+        monitor: &mut RegionMonitor,
+        interval: usize,
+    ) -> Vec<RegionId> {
+        self.select(binary, samples)
+            .into_iter()
+            .filter_map(|t| {
+                let hull = t.hull();
+                if monitor.has_range(hull) {
+                    None
+                } else {
+                    Some(monitor.add_region(hull, RegionKind::Trace, interval))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use regmon_binary::{Addr, BinaryBuilder};
+
+    /// A procedure with a loop containing a nested loop: the CFG has a
+    /// fork (inner loop back edge vs fall-through).
+    fn binary() -> Binary {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.straight(4);
+            p.loop_(|l| {
+                l.straight(6);
+                l.loop_(|inner| {
+                    inner.straight(4);
+                });
+                l.straight(3);
+            });
+            p.straight(2);
+        });
+        b.build(Addr::new(0x1000))
+    }
+
+    /// `n` samples spread over `range`.
+    fn spread(range: AddrRange, n: usize) -> Vec<PcSample> {
+        (0..n)
+            .map(|i| PcSample {
+                addr: range.start() + ((i as u64 * 4) % range.len()),
+                cycle: i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hot_loop_body_becomes_a_trace() {
+        let bin = binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let inner = f.loops()[1].range();
+        let samples = spread(inner, 200);
+        let traces = TraceFormation::new(TraceConfig::default()).select(&bin, &samples);
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert!(t.samples() >= 150);
+        assert!(t.hull().overlaps(inner));
+        // Every trace block actually received samples or continues the path.
+        assert!(!t.blocks().is_empty());
+    }
+
+    #[test]
+    fn trace_follows_the_hot_path_not_the_cold_one() {
+        let bin = binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let outer = f.loops()[0].range();
+        let inner = f.loops()[1].range();
+        // Hot: outer loop body excluding the inner loop. Cold: inner loop.
+        let mut samples = Vec::new();
+        let mut addr = outer.start();
+        let mut i = 0u64;
+        while addr < outer.end() {
+            if !inner.contains(addr) {
+                for _ in 0..50 {
+                    samples.push(PcSample { addr, cycle: i });
+                    i += 1;
+                }
+            }
+            addr = addr + 4;
+        }
+        let traces = TraceFormation::new(TraceConfig::default()).select(&bin, &samples);
+        assert!(!traces.is_empty());
+        // The hottest trace must not dive into the cold inner loop's body
+        // beyond its (shared) header region.
+        let t = &traces[0];
+        let inner_blocks_hit = t
+            .ranges()
+            .iter()
+            .filter(|r| inner.contains_range(**r))
+            .count();
+        assert!(
+            inner_blocks_hit <= 1,
+            "trace should skip the cold inner loop, hit {inner_blocks_hit}"
+        );
+    }
+
+    #[test]
+    fn cold_samples_produce_no_traces() {
+        let bin = binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let samples = spread(f.range(), 10); // below min_seed_samples
+        let traces = TraceFormation::new(TraceConfig::default()).select(&bin, &samples);
+        assert!(traces.is_empty());
+    }
+
+    #[test]
+    fn max_blocks_caps_trace_length() {
+        let bin = binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let samples = spread(f.range(), 500);
+        let config = TraceConfig {
+            max_blocks: 2,
+            ..TraceConfig::default()
+        };
+        for t in TraceFormation::new(config).select(&bin, &samples) {
+            assert!(t.blocks().len() <= 2);
+        }
+    }
+
+    #[test]
+    fn form_registers_trace_regions() {
+        let bin = binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let inner = f.loops()[1].range();
+        let samples = spread(inner, 200);
+        let mut monitor = RegionMonitor::new(IndexKind::IntervalTree);
+        let formation = TraceFormation::new(TraceConfig::default());
+        let ids = formation.form(&bin, &samples, &mut monitor, 3);
+        assert!(!ids.is_empty());
+        let region = monitor.region(ids[0]).unwrap();
+        assert_eq!(region.kind(), RegionKind::Trace);
+        assert_eq!(region.created_interval(), 3);
+        // Idempotent: the same hull is not re-registered.
+        let again = formation.form(&bin, &samples, &mut monitor, 4);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let bin = binary();
+        let f = bin.procedure_by_name("f").unwrap();
+        let samples = spread(f.range(), 300);
+        let formation = TraceFormation::new(TraceConfig::default());
+        assert_eq!(
+            formation.select(&bin, &samples),
+            formation.select(&bin, &samples)
+        );
+    }
+}

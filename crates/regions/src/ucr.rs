@@ -1,0 +1,100 @@
+//! Unmonitored-code-region (UCR) accounting.
+//!
+//! Figure 6 reports the *median* per-interval UCR percentage per
+//! benchmark; Figure 7 plots the UCR timeline for 254.gap and 186.crafty.
+//! [`UcrTracker`] keeps that history.
+
+use regmon_stats::{median, Summary};
+
+/// Tracks the per-interval UCR fraction over a run.
+///
+/// # Example
+///
+/// ```
+/// let mut t = regmon_regions::UcrTracker::new();
+/// t.record(0.10);
+/// t.record(0.50);
+/// t.record(0.20);
+/// assert_eq!(t.median(), Some(0.20));
+/// assert_eq!(t.timeline().len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UcrTracker {
+    fractions: Vec<f64>,
+}
+
+impl UcrTracker {
+    /// Creates an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one interval's UCR fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn record(&mut self, fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "UCR fraction must be in [0,1]"
+        );
+        self.fractions.push(fraction);
+    }
+
+    /// The per-interval timeline, oldest first.
+    #[must_use]
+    pub fn timeline(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// Median UCR fraction, or `None` before any interval.
+    #[must_use]
+    pub fn median(&self) -> Option<f64> {
+        median(&self.fractions)
+    }
+
+    /// Full distribution summary, or `None` before any interval.
+    #[must_use]
+    pub fn summary(&self) -> Option<Summary> {
+        Summary::of(&self.fractions)
+    }
+
+    /// Number of intervals above `threshold` (e.g. how often formation
+    /// would trigger at the paper's 30%).
+    #[must_use]
+    pub fn intervals_above(&self, threshold: f64) -> usize {
+        self.fractions.iter().filter(|&&f| f > threshold).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker() {
+        let t = UcrTracker::new();
+        assert_eq!(t.median(), None);
+        assert!(t.summary().is_none());
+        assert_eq!(t.intervals_above(0.3), 0);
+    }
+
+    #[test]
+    fn median_and_counts() {
+        let mut t = UcrTracker::new();
+        for f in [0.1, 0.4, 0.35, 0.05, 0.45] {
+            t.record(f);
+        }
+        assert_eq!(t.median(), Some(0.35));
+        assert_eq!(t.intervals_above(0.3), 3);
+        assert_eq!(t.summary().unwrap().count, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn rejects_out_of_range() {
+        UcrTracker::new().record(1.5);
+    }
+}

@@ -1,0 +1,60 @@
+//! Runtime-optimizer simulator: global vs local phase detection as the
+//! gate for deploying (and un-deploying) optimized traces.
+//!
+//! This reproduces the paper's Figure 17 experiment. The real systems
+//! (ADORE on UltraSPARC) patch hot loops with data-prefetching traces;
+//! deployed traces are *unpatched* whenever the phase detector reports an
+//! unstable phase, so optimizations can be re-evaluated (the paper
+//! modified the original RTO to do exactly this for a fair comparison).
+//! What Figure 17 measures is therefore *how much optimized-code
+//! residency each detector permits*:
+//!
+//! * **RTO_ORIG** — gated by the global centroid detector: every region is
+//!   unpatched while the *whole program's* phase is unstable, even if the
+//!   region itself never changed.
+//! * **RTO_LPD** — gated per region by local phase detection: a region is
+//!   patched while *its own* phase is stable.
+//!
+//! The optimization itself is simulated by an explicit cost model
+//! ([`OptimizationModel`]): a patched region recovers a fraction of its
+//! data-cache miss-stall cycles (known analytically from the workload's
+//! [`regmon_workload::Workload::window_usage`]), and each patch event
+//! costs a fixed overhead. The *self-monitoring* extension (paper §5)
+//! detects regions whose "optimization" hurts and blacklists them.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use regmon_rto::{simulate, RtoConfig, RtoMode};
+//! use regmon_workload::suite;
+//!
+//! let w = suite::by_name("181.mcf").unwrap();
+//! let config = RtoConfig::new(1_500_000);
+//! let orig = simulate(&w, &config, RtoMode::Global);
+//! let lpd = simulate(&w, &config, RtoMode::Local);
+//! println!("speedup: {:.2}%", regmon_rto::speedup_percent(&orig, &lpd));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod model;
+mod report;
+mod self_monitor;
+mod sim;
+
+pub use model::OptimizationModel;
+pub use report::RtoReport;
+pub use self_monitor::{SelfMonitor, SelfMonitorConfig};
+pub use sim::{simulate, RtoConfig, RtoMode};
+
+/// Percentage speedup of the local-detection optimizer over the global
+/// one: `(T_orig / T_lpd − 1) · 100`.
+///
+/// # Example
+///
+/// See the crate-level example.
+#[must_use]
+pub fn speedup_percent(orig: &RtoReport, lpd: &RtoReport) -> f64 {
+    (orig.realized_cycles / lpd.realized_cycles - 1.0) * 100.0
+}

@@ -1,0 +1,81 @@
+//! The optimization cost model.
+
+use regmon_binary::AddrRange;
+
+/// How much a deployed optimization helps (or hurts) a region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationModel {
+    /// Fraction of a patched region's miss-stall cycles recovered by the
+    /// prefetching traces, in `[0, 1]`.
+    pub prefetch_efficiency: f64,
+    /// One-time cost, in cycles, of building and patching a trace
+    /// (runtime codegen, patching, I-cache disturbance).
+    pub patch_overhead_cycles: f64,
+    /// Ranges where the speculative optimization *backfires*: patched
+    /// code there runs `hostile_penalty` × its miss cycles *slower*
+    /// (e.g. prefetches that evict useful lines). Used to exercise the
+    /// self-monitoring extension.
+    pub hostile_ranges: Vec<AddrRange>,
+    /// Extra miss cycles (as a fraction of the region's miss cycles)
+    /// incurred when a hostile range is patched.
+    pub hostile_penalty: f64,
+}
+
+impl Default for OptimizationModel {
+    fn default() -> Self {
+        Self {
+            prefetch_efficiency: 0.6,
+            patch_overhead_cycles: 2_000_000.0,
+            hostile_ranges: Vec::new(),
+            hostile_penalty: 0.3,
+        }
+    }
+}
+
+impl OptimizationModel {
+    /// Cycles saved (negative: lost) when a patched region covering
+    /// `miss_cycles` of miss stalls executes for one interval.
+    #[must_use]
+    pub fn interval_benefit(&self, range: AddrRange, miss_cycles: f64) -> f64 {
+        if self.hostile_ranges.iter().any(|h| h.overlaps(range)) {
+            -miss_cycles * self.hostile_penalty
+        } else {
+            miss_cycles * self.prefetch_efficiency
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::Addr;
+
+    fn r(start: u64, end: u64) -> AddrRange {
+        AddrRange::new(Addr::new(start), Addr::new(end))
+    }
+
+    #[test]
+    fn default_model_is_beneficial() {
+        let m = OptimizationModel::default();
+        assert!(m.interval_benefit(r(0, 10), 1000.0) > 0.0);
+        assert_eq!(m.interval_benefit(r(0, 10), 1000.0), 600.0);
+    }
+
+    #[test]
+    fn hostile_range_backfires() {
+        let m = OptimizationModel {
+            hostile_ranges: vec![r(100, 200)],
+            ..OptimizationModel::default()
+        };
+        assert!(m.interval_benefit(r(120, 180), 1000.0) < 0.0);
+        assert_eq!(m.interval_benefit(r(120, 180), 1000.0), -300.0);
+        // Non-overlapping ranges are unaffected.
+        assert!(m.interval_benefit(r(300, 400), 1000.0) > 0.0);
+    }
+
+    #[test]
+    fn zero_miss_cycles_zero_benefit() {
+        let m = OptimizationModel::default();
+        assert_eq!(m.interval_benefit(r(0, 10), 0.0), 0.0);
+    }
+}

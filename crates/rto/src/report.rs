@@ -1,0 +1,59 @@
+//! Simulation results.
+
+/// Outcome of one optimizer simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtoReport {
+    /// The workload's nominal execution time (no optimizer), in cycles.
+    pub baseline_cycles: f64,
+    /// Execution time with the optimizer, in cycles (baseline − savings +
+    /// overheads).
+    pub realized_cycles: f64,
+    /// Total cycles recovered by deployed optimizations.
+    pub saved_cycles: f64,
+    /// Total patching overhead charged.
+    pub overhead_cycles: f64,
+    /// Number of patch deployments.
+    pub patch_events: usize,
+    /// Number of unpatch events.
+    pub unpatch_events: usize,
+    /// Intervals processed.
+    pub intervals: usize,
+    /// Mean fraction of monitored regions patched per interval.
+    pub mean_patched_fraction: f64,
+    /// Fraction of intervals the gating detector reported stable (for the
+    /// global mode this is the GPD stable fraction; for local mode, the
+    /// mean per-region stable fraction).
+    pub detector_stable_fraction: f64,
+    /// Regions blacklisted by self-monitoring (0 when disabled).
+    pub blacklisted_regions: usize,
+}
+
+impl RtoReport {
+    /// Speedup over running without the optimizer, in percent.
+    #[must_use]
+    pub fn speedup_over_baseline_percent(&self) -> f64 {
+        (self.baseline_cycles / self.realized_cycles - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_over_baseline() {
+        let r = RtoReport {
+            baseline_cycles: 1100.0,
+            realized_cycles: 1000.0,
+            saved_cycles: 100.0,
+            overhead_cycles: 0.0,
+            patch_events: 1,
+            unpatch_events: 0,
+            intervals: 10,
+            mean_patched_fraction: 1.0,
+            detector_stable_fraction: 1.0,
+            blacklisted_regions: 0,
+        };
+        assert!((r.speedup_over_baseline_percent() - 10.0).abs() < 1e-9);
+    }
+}

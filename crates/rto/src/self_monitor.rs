@@ -1,0 +1,147 @@
+//! Self-monitoring of deployed optimizations (paper §5 / §3 "dual goal").
+//!
+//! Region monitoring's second purpose is verifying that a deployed
+//! optimization actually helps: speculative optimizations like data
+//! prefetching can backfire. The self-monitor accumulates each patched
+//! region's observed benefit over a window of intervals; a region whose
+//! cumulative benefit is negative is *blacklisted* — its trace is undone
+//! and never redeployed.
+
+use std::collections::{HashMap, HashSet};
+
+use regmon_regions::RegionId;
+
+/// Self-monitoring policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelfMonitorConfig {
+    /// Number of patched intervals observed before judging a region.
+    pub evaluation_intervals: usize,
+}
+
+impl Default for SelfMonitorConfig {
+    fn default() -> Self {
+        Self {
+            evaluation_intervals: 4,
+        }
+    }
+}
+
+/// Tracks observed per-region benefit and blacklists harmful patches.
+#[derive(Debug, Clone, Default)]
+pub struct SelfMonitor {
+    config: SelfMonitorConfig,
+    observed: HashMap<RegionId, (usize, f64)>, // (patched intervals, cumulative benefit)
+    blacklist: HashSet<RegionId>,
+}
+
+impl SelfMonitor {
+    /// Creates a self-monitor.
+    #[must_use]
+    pub fn new(config: SelfMonitorConfig) -> Self {
+        Self {
+            config,
+            observed: HashMap::new(),
+            blacklist: HashSet::new(),
+        }
+    }
+
+    /// Records one patched interval's observed benefit for `region`.
+    /// Returns `true` when the region was just blacklisted.
+    pub fn record(&mut self, region: RegionId, benefit_cycles: f64) -> bool {
+        if self.blacklist.contains(&region) {
+            return false;
+        }
+        let entry = self.observed.entry(region).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += benefit_cycles;
+        if entry.0 >= self.config.evaluation_intervals {
+            let harmful = entry.1 <= 0.0;
+            // Restart the window either way so a later behaviour change
+            // can still be caught.
+            *entry = (0, 0.0);
+            if harmful {
+                self.observed.remove(&region);
+                self.blacklist.insert(region);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `true` when `region` must not be (re)patched.
+    #[must_use]
+    pub fn is_blacklisted(&self, region: RegionId) -> bool {
+        self.blacklist.contains(&region)
+    }
+
+    /// Number of blacklisted regions.
+    #[must_use]
+    pub fn blacklisted(&self) -> usize {
+        self.blacklist.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beneficial_region_is_never_blacklisted() {
+        let mut sm = SelfMonitor::new(SelfMonitorConfig::default());
+        for _ in 0..20 {
+            sm.record(RegionId(1), 100.0);
+        }
+        assert!(!sm.is_blacklisted(RegionId(1)));
+        assert_eq!(sm.blacklisted(), 0);
+    }
+
+    #[test]
+    fn harmful_region_is_blacklisted_after_window() {
+        let mut sm = SelfMonitor::new(SelfMonitorConfig {
+            evaluation_intervals: 3,
+        });
+        assert!(!sm.is_blacklisted(RegionId(2)));
+        sm.record(RegionId(2), -50.0);
+        sm.record(RegionId(2), -50.0);
+        assert!(!sm.is_blacklisted(RegionId(2)));
+        sm.record(RegionId(2), -50.0);
+        assert!(sm.is_blacklisted(RegionId(2)));
+        assert_eq!(sm.blacklisted(), 1);
+    }
+
+    #[test]
+    fn mixed_but_net_positive_survives() {
+        let mut sm = SelfMonitor::new(SelfMonitorConfig {
+            evaluation_intervals: 2,
+        });
+        sm.record(RegionId(3), -10.0);
+        sm.record(RegionId(3), 30.0);
+        assert!(!sm.is_blacklisted(RegionId(3)));
+    }
+
+    #[test]
+    fn blacklisted_region_stays_blacklisted() {
+        let mut sm = SelfMonitor::new(SelfMonitorConfig {
+            evaluation_intervals: 1,
+        });
+        sm.record(RegionId(4), -1.0);
+        assert!(sm.is_blacklisted(RegionId(4)));
+        sm.record(RegionId(4), 1_000.0);
+        assert!(sm.is_blacklisted(RegionId(4)));
+    }
+
+    #[test]
+    fn late_turn_to_harmful_is_caught() {
+        let mut sm = SelfMonitor::new(SelfMonitorConfig {
+            evaluation_intervals: 2,
+        });
+        // Two good windows...
+        for _ in 0..4 {
+            sm.record(RegionId(5), 10.0);
+        }
+        // ...then the behaviour flips.
+        sm.record(RegionId(5), -100.0);
+        sm.record(RegionId(5), -100.0);
+        assert!(sm.is_blacklisted(RegionId(5)));
+    }
+}

@@ -1,0 +1,464 @@
+//! The optimizer simulation loop.
+
+use std::collections::HashSet;
+
+use regmon_gpd::{CentroidDetector, GpdConfig};
+use regmon_lpd::{LpdConfig, LpdManager};
+use regmon_regions::{FormationConfig, IndexKind, RegionFormation, RegionId, RegionMonitor};
+use regmon_sampling::{Sampler, SamplingConfig};
+use regmon_workload::Workload;
+
+use crate::model::OptimizationModel;
+
+/// How many intervals a region stays a patch candidate after it was last
+/// hot (bridges brief inactivity during working-set alternation).
+const HOT_WINDOW: usize = 8;
+use crate::report::RtoReport;
+use crate::self_monitor::{SelfMonitor, SelfMonitorConfig};
+
+/// Which phase detector gates trace deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtoMode {
+    /// RTO_ORIG: the global centroid detector gates *all* regions — an
+    /// unstable program unpatches everything.
+    Global,
+    /// RTO_LPD: each region is gated by its own local detector.
+    Local,
+    /// Upper bound: every hot region stays patched regardless of any
+    /// phase detector — how much an optimizer with perfect phase
+    /// knowledge could keep deployed. Not a real system; used to
+    /// contextualize the Figure 17 comparison.
+    Oracle,
+}
+
+/// Full configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtoConfig {
+    /// PMU sampling configuration.
+    pub sampling: SamplingConfig,
+    /// Region-formation policy.
+    pub formation: FormationConfig,
+    /// Attribution index used by the monitor.
+    pub index: IndexKind,
+    /// Global detector configuration.
+    pub gpd: GpdConfig,
+    /// Local detector configuration.
+    pub lpd: LpdConfig,
+    /// Optimization cost model.
+    pub model: OptimizationModel,
+    /// Self-monitoring policy (None disables it).
+    pub self_monitor: Option<SelfMonitorConfig>,
+    /// Optional cap on processed intervals (tests / quick runs).
+    pub max_intervals: Option<usize>,
+    /// A region is a patch candidate only while *hot*: it received at
+    /// least this many samples in one of the last few intervals. Both
+    /// optimizer variants apply the same filter (ADORE only optimizes hot
+    /// traces), so cold-region noise cannot skew the comparison.
+    pub hot_min_samples: u64,
+}
+
+impl RtoConfig {
+    /// A default configuration at the given sampling period.
+    #[must_use]
+    pub fn new(period: u64) -> Self {
+        Self {
+            sampling: SamplingConfig::new(period),
+            formation: FormationConfig::default(),
+            index: IndexKind::IntervalTree,
+            gpd: GpdConfig::default(),
+            lpd: LpdConfig::default(),
+            model: OptimizationModel::default(),
+            self_monitor: None,
+            max_intervals: None,
+            hot_min_samples: 100,
+        }
+    }
+}
+
+/// Runs the optimizer simulation over `workload`.
+///
+/// Patch decisions made at the end of interval *i* take effect during
+/// interval *i+1* (deployment lag), and every deployment charges
+/// [`OptimizationModel::patch_overhead_cycles`].
+#[must_use]
+pub fn simulate(workload: &Workload, config: &RtoConfig, mode: RtoMode) -> RtoReport {
+    let mut monitor = RegionMonitor::new(config.index);
+    let formation = RegionFormation::new(config.formation);
+    let mut gpd = CentroidDetector::new(config.gpd);
+    let mut lpd = LpdManager::new(config.lpd);
+    let mut self_monitor = config.self_monitor.map(SelfMonitor::new);
+
+    let mut patched: HashSet<RegionId> = HashSet::new();
+    let mut last_hot: std::collections::HashMap<RegionId, usize> = std::collections::HashMap::new();
+    let mut saved = 0.0f64;
+    let mut overhead = 0.0f64;
+    let mut patch_events = 0usize;
+    let mut unpatch_events = 0usize;
+    let mut intervals = 0usize;
+    let mut processed_cycles = 0u64;
+    let mut patched_fraction_sum = 0.0f64;
+    let mut stable_fraction_sum = 0.0f64;
+
+    for interval in Sampler::new(workload, config.sampling) {
+        if let Some(max) = config.max_intervals {
+            if interval.index >= max {
+                break;
+            }
+        }
+        intervals += 1;
+        processed_cycles = interval.end_cycle;
+
+        // 1. Benefits of the currently-deployed traces over this interval.
+        let usage = workload.window_usage(interval.start_cycle, interval.end_cycle);
+        let mut just_blacklisted = Vec::new();
+        for &id in &patched {
+            let Some(region) = monitor.region(id) else {
+                continue;
+            };
+            let range = region.range();
+            let miss: f64 = usage
+                .iter()
+                .filter(|u| range.contains_range(u.range) || u.range.contains_range(range))
+                .map(|u| u.miss_cycles)
+                .sum();
+            let benefit = config.model.interval_benefit(range, miss);
+            saved += benefit;
+            if let Some(sm) = &mut self_monitor {
+                if sm.record(id, benefit) {
+                    just_blacklisted.push(id);
+                }
+            }
+        }
+        drop(just_blacklisted);
+
+        // 2. Distribute samples; form regions; run detectors.
+        let report = monitor.distribute(&interval.samples);
+        for (id, hist) in report.histograms() {
+            if hist.total() >= config.hot_min_samples {
+                last_hot.insert(id, interval.index);
+            }
+        }
+        if formation.should_trigger(report.ucr_fraction()) {
+            formation.form(
+                workload.binary(),
+                report.unattributed_samples(),
+                &mut monitor,
+                interval.index,
+            );
+        }
+        gpd.observe(&interval.samples);
+        lpd.observe_interval(&monitor, &report);
+
+        // 3. Decide next interval's patch set.
+        let blacklisted = |id: RegionId| {
+            self_monitor
+                .as_ref()
+                .is_some_and(|sm| sm.is_blacklisted(id))
+        };
+        // "Hot" = received enough samples within the last few intervals.
+        let hot = |id: RegionId| {
+            last_hot
+                .get(&id)
+                .is_some_and(|&seen| interval.index - seen <= HOT_WINDOW)
+        };
+        let desired: HashSet<RegionId> = match mode {
+            RtoMode::Global => {
+                if gpd.is_stable() {
+                    monitor
+                        .regions()
+                        .map(|r| r.id())
+                        .filter(|&id| hot(id) && !blacklisted(id))
+                        .collect()
+                } else {
+                    HashSet::new()
+                }
+            }
+            RtoMode::Local => monitor
+                .regions()
+                .map(|r| r.id())
+                .filter(|&id| {
+                    hot(id) && lpd.detector(id).is_some_and(|d| d.is_stable()) && !blacklisted(id)
+                })
+                .collect(),
+            RtoMode::Oracle => monitor
+                .regions()
+                .map(|r| r.id())
+                .filter(|&id| hot(id) && !blacklisted(id))
+                .collect(),
+        };
+        for id in desired.difference(&patched) {
+            let _ = id;
+            patch_events += 1;
+            overhead += config.model.patch_overhead_cycles;
+        }
+        unpatch_events += patched.difference(&desired).count();
+        patched = desired;
+
+        // 4. Bookkeeping for the report.
+        if !monitor.is_empty() {
+            patched_fraction_sum += patched.len() as f64 / monitor.len() as f64;
+        }
+        stable_fraction_sum += match mode {
+            RtoMode::Global => f64::from(u8::from(gpd.is_stable())),
+            RtoMode::Oracle => 1.0,
+            RtoMode::Local => {
+                if lpd.is_empty() {
+                    0.0
+                } else {
+                    let stable = monitor
+                        .regions()
+                        .filter(|r| lpd.detector(r.id()).is_some_and(|d| d.is_stable()))
+                        .count();
+                    stable as f64 / lpd.len() as f64
+                }
+            }
+        };
+    }
+
+    let baseline_cycles = processed_cycles as f64;
+    RtoReport {
+        baseline_cycles,
+        realized_cycles: baseline_cycles - saved + overhead,
+        saved_cycles: saved,
+        overhead_cycles: overhead,
+        patch_events,
+        unpatch_events,
+        intervals,
+        mean_patched_fraction: if intervals == 0 {
+            0.0
+        } else {
+            patched_fraction_sum / intervals as f64
+        },
+        detector_stable_fraction: if intervals == 0 {
+            0.0
+        } else {
+            stable_fraction_sum / intervals as f64
+        },
+        blacklisted_regions: self_monitor.map_or(0, |sm| sm.blacklisted()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedup_percent;
+    use regmon_binary::{Addr, BinaryBuilder};
+    use regmon_workload::{
+        activity::{loop_range, Activity},
+        Behavior, InstProfile, Mix, PhaseScript, Segment,
+    };
+
+    /// One steady memory-bound loop.
+    fn steady_workload() -> Workload {
+        let mut b = BinaryBuilder::new("steady");
+        b.procedure("f", |p| {
+            p.loop_(|l| {
+                l.straight(19);
+            });
+        });
+        let bin = b.build(Addr::new(0x10000));
+        let r = loop_range(&bin, "f", 0);
+        let mix = Mix::new(vec![Activity::new(
+            r,
+            1.0,
+            InstProfile::peaked(5, 2.0),
+            0.5,
+        )]);
+        let script = PhaseScript::new(vec![Segment::new(400_000_000, Behavior::Steady(mix))]);
+        Workload::new("steady", bin, script, 3)
+    }
+
+    /// Two region sets, far apart, switching every ~1.5 intervals at the
+    /// test's sampling period: GPD thrashes, each region is locally stable.
+    fn switching_workload() -> Workload {
+        let mut b = BinaryBuilder::new("switchy");
+        b.procedure("f", |p| {
+            p.loop_(|l| {
+                l.straight(19);
+            });
+        });
+        b.procedure("gapfill", |p| {
+            p.straight(20_000);
+        });
+        b.procedure("g", |p| {
+            p.loop_(|l| {
+                l.straight(19);
+            });
+        });
+        let bin = b.build(Addr::new(0x10000));
+        let rf = loop_range(&bin, "f", 0);
+        let rg = loop_range(&bin, "g", 0);
+        let mf = Mix::new(vec![Activity::new(
+            rf,
+            1.0,
+            InstProfile::peaked(5, 2.0),
+            0.5,
+        )]);
+        let mg = Mix::new(vec![Activity::new(
+            rg,
+            1.0,
+            InstProfile::peaked(5, 2.0),
+            0.5,
+        )]);
+        let script = PhaseScript::new(vec![Segment::new(
+            600_000_000,
+            Behavior::PeriodicSwitch {
+                period: 1_500_000, // 1.5x the 1M-cycle interval below
+                mixes: vec![mf, mg],
+            },
+        )]);
+        Workload::new("switchy", bin, script, 5)
+    }
+
+    fn test_config() -> RtoConfig {
+        let mut c = RtoConfig::new(10_000);
+        c.sampling = SamplingConfig::with_buffer(10_000, 100); // 1M-cycle intervals
+        c.formation = FormationConfig {
+            min_region_samples: 8,
+            ..FormationConfig::default()
+        };
+        c
+    }
+
+    #[test]
+    fn steady_workload_gets_optimized_by_both() {
+        let w = steady_workload();
+        let c = test_config();
+        let orig = simulate(&w, &c, RtoMode::Global);
+        let lpd = simulate(&w, &c, RtoMode::Local);
+        assert!(orig.speedup_over_baseline_percent() > 5.0, "{orig:?}");
+        assert!(lpd.speedup_over_baseline_percent() > 5.0, "{lpd:?}");
+        // Both detectors are happy on a steady phase; the difference
+        // between them should be small.
+        assert!(speedup_percent(&orig, &lpd).abs() < 5.0);
+    }
+
+    #[test]
+    fn switching_workload_favors_local_detection() {
+        let w = switching_workload();
+        let c = test_config();
+        let orig = simulate(&w, &c, RtoMode::Global);
+        let lpd = simulate(&w, &c, RtoMode::Local);
+        assert!(
+            lpd.detector_stable_fraction > orig.detector_stable_fraction,
+            "lpd {} vs gpd {}",
+            lpd.detector_stable_fraction,
+            orig.detector_stable_fraction
+        );
+        let speedup = speedup_percent(&orig, &lpd);
+        assert!(speedup > 2.0, "speedup {speedup}%");
+    }
+
+    #[test]
+    fn patch_decisions_lag_one_interval() {
+        let w = steady_workload();
+        let mut c = test_config();
+        c.max_intervals = Some(1);
+        // After a single interval no savings can have accrued: the first
+        // patch decision only takes effect in interval 2.
+        let r = simulate(&w, &c, RtoMode::Local);
+        assert_eq!(r.saved_cycles, 0.0);
+    }
+
+    #[test]
+    fn self_monitor_blacklists_hostile_region() {
+        let w = steady_workload();
+        let hostile = loop_range(w.binary(), "f", 0);
+        let mut c = test_config();
+        c.model.hostile_ranges = vec![hostile];
+        c.self_monitor = Some(SelfMonitorConfig {
+            evaluation_intervals: 3,
+        });
+        let with_sm = simulate(&w, &c, RtoMode::Local);
+        assert_eq!(with_sm.blacklisted_regions, 1);
+
+        // Without self-monitoring the harmful patch keeps hurting.
+        c.self_monitor = None;
+        let without = simulate(&w, &c, RtoMode::Local);
+        assert!(
+            with_sm.realized_cycles < without.realized_cycles,
+            "self-monitoring must undo the harmful optimization"
+        );
+        assert!(without.saved_cycles < 0.0);
+    }
+
+    #[test]
+    fn max_intervals_caps_processing() {
+        let w = steady_workload();
+        let mut c = test_config();
+        c.max_intervals = Some(5);
+        let r = simulate(&w, &c, RtoMode::Global);
+        assert_eq!(r.intervals, 5);
+    }
+
+    #[test]
+    fn oracle_bounds_both_real_modes() {
+        let w = switching_workload();
+        let c = test_config();
+        let oracle = simulate(&w, &c, RtoMode::Oracle);
+        let orig = simulate(&w, &c, RtoMode::Global);
+        let lpd = simulate(&w, &c, RtoMode::Local);
+        assert!(oracle.realized_cycles <= orig.realized_cycles + 1e-6);
+        assert!(oracle.realized_cycles <= lpd.realized_cycles + 1e-6);
+        // And LPD sits between ORIG and the oracle on a switcher.
+        assert!(lpd.realized_cycles <= orig.realized_cycles);
+    }
+
+    #[test]
+    fn cold_regions_are_not_patched_by_either_mode() {
+        // Add a region-rich workload where one loop is far below the
+        // hot threshold: neither optimizer may patch it, so the
+        // comparison cannot be skewed by cold-region noise.
+        let mut b = BinaryBuilder::new("coldish");
+        b.procedure("hotloop", |p| {
+            p.loop_(|l| {
+                l.straight(19);
+            });
+        });
+        b.procedure("coldloop", |p| {
+            p.loop_(|l| {
+                l.straight(19);
+            });
+        });
+        let bin = b.build(Addr::new(0x10000));
+        let rh = loop_range(&bin, "hotloop", 0);
+        let rc = loop_range(&bin, "coldloop", 0);
+        let mix = Mix::new(vec![
+            Activity::new(rh, 0.97, InstProfile::peaked(5, 2.0), 0.5),
+            // ~3% of 100 samples/interval: forms a region (if sampled
+            // heavily enough) but never crosses hot_min_samples.
+            Activity::new(rc, 0.03, InstProfile::peaked(5, 2.0), 0.9),
+        ]);
+        let script = PhaseScript::new(vec![Segment::new(300_000_000, Behavior::Steady(mix))]);
+        let w = Workload::new("coldish", bin, script, 9);
+
+        let mut c = test_config();
+        c.formation.min_region_samples = 2;
+        c.hot_min_samples = 50;
+        for mode in [RtoMode::Global, RtoMode::Local] {
+            let r = simulate(&w, &c, mode);
+            // The cold loop's 90% miss fraction would be visible in the
+            // savings if it were ever patched; with ~3 samples/interval
+            // it must not be.
+            let max_hot_savings = 300_000_000.0 * 0.97 * 0.5 * c.model.prefetch_efficiency;
+            assert!(
+                r.saved_cycles <= max_hot_savings * 1.01,
+                "{mode:?} patched the cold region: saved {}",
+                r.saved_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let w = steady_workload();
+        let c = test_config();
+        let r = simulate(&w, &c, RtoMode::Local);
+        assert!(
+            (r.realized_cycles - (r.baseline_cycles - r.saved_cycles + r.overhead_cycles)).abs()
+                < 1e-6
+        );
+        assert!(r.patch_events >= r.unpatch_events);
+        assert!(r.mean_patched_fraction >= 0.0 && r.mean_patched_fraction <= 1.0);
+    }
+}

@@ -1,0 +1,482 @@
+//! Simulated hardware performance-counter sampling.
+//!
+//! The paper's systems program the UltraSPARC PMU to interrupt every *N*
+//! cycles, record the interrupted PC into a user buffer, and run phase
+//! detection on every buffer overflow (buffer size 2032 in the paper's
+//! Figure 2 setup). This crate reproduces that pipeline over the virtual
+//! execution of a [`regmon_workload::Workload`]:
+//!
+//! * [`PcSample`] — one interrupt's PC + cycle.
+//! * [`SampleBuffer`] — the fixed-capacity user buffer.
+//! * [`Sampler`] — an iterator of buffer-overflow [`Interval`]s.
+//! * [`SamplingConfig`] — period/buffer knobs plus the paper's standard
+//!   sweep constants.
+//!
+//! # Example
+//!
+//! ```
+//! use regmon_sampling::{Sampler, SamplingConfig};
+//! use regmon_workload::suite;
+//!
+//! let w = suite::by_name("172.mgrid").unwrap();
+//! let config = SamplingConfig::new(45_000);
+//! let mut sampler = Sampler::new(&w, config);
+//! let interval = sampler.next().unwrap();
+//! assert_eq!(interval.samples.len(), 2032);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use regmon_binary::Addr;
+use regmon_workload::Workload;
+
+/// The paper's default user-buffer capacity (samples per interval).
+pub const DEFAULT_BUFFER_CAPACITY: usize = 2032;
+
+/// The sampling periods of the paper's Figure 3/4/13/14 sweep
+/// (cycles per interrupt).
+pub const SWEEP_PERIODS: [u64; 3] = [45_000, 450_000, 900_000];
+
+/// The sampling periods of the paper's optimizer study (Figure 17).
+pub const RTO_PERIODS: [u64; 3] = [100_000, 800_000, 1_500_000];
+
+/// One performance-counter interrupt: the sampled PC and when it fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PcSample {
+    /// The interrupted program counter.
+    pub addr: Addr,
+    /// The virtual cycle at which the interrupt fired.
+    pub cycle: u64,
+}
+
+/// Sampling configuration: interrupt period, buffer capacity and skid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingConfig {
+    period: u64,
+    buffer_capacity: usize,
+    max_skid: u64,
+}
+
+impl SamplingConfig {
+    /// Creates a config with the paper's default buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    #[must_use]
+    pub fn new(period: u64) -> Self {
+        Self::with_buffer(period, DEFAULT_BUFFER_CAPACITY)
+    }
+
+    /// Creates a config with an explicit buffer capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `buffer_capacity == 0`.
+    #[must_use]
+    pub fn with_buffer(period: u64, buffer_capacity: usize) -> Self {
+        assert!(period > 0, "sampling period must be positive");
+        assert!(buffer_capacity > 0, "buffer capacity must be positive");
+        Self {
+            period,
+            buffer_capacity,
+            max_skid: 0,
+        }
+    }
+
+    /// Returns a copy with PMU *skid* enabled: each interrupt fires up to
+    /// `max_skid` cycles after its nominal time (real PMUs attribute
+    /// samples several instructions late). The skid of each interrupt is
+    /// a deterministic hash of its nominal cycle, so runs stay
+    /// reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_skid >= period` — interrupts must stay ordered.
+    #[must_use]
+    pub fn with_skid(mut self, max_skid: u64) -> Self {
+        assert!(
+            max_skid < self.period,
+            "skid must be smaller than the sampling period"
+        );
+        self.max_skid = max_skid;
+        self
+    }
+
+    /// Maximum interrupt skid in cycles (0 = precise sampling).
+    #[must_use]
+    pub fn max_skid(&self) -> u64 {
+        self.max_skid
+    }
+
+    /// Cycles per interrupt.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Samples per buffer overflow.
+    #[must_use]
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer_capacity
+    }
+
+    /// Virtual cycles covered by one full buffer (one analysis interval).
+    #[must_use]
+    pub fn interval_cycles(&self) -> u64 {
+        self.period * self.buffer_capacity as u64
+    }
+}
+
+/// The fixed-capacity user buffer the PMU interrupt handler fills.
+///
+/// # Example
+///
+/// ```
+/// use regmon_sampling::{PcSample, SampleBuffer};
+/// use regmon_binary::Addr;
+///
+/// let mut buf = SampleBuffer::new(2);
+/// assert!(!buf.push(PcSample { addr: Addr::new(1), cycle: 10 }));
+/// assert!(buf.push(PcSample { addr: Addr::new(2), cycle: 20 })); // full
+/// let drained = buf.drain();
+/// assert_eq!(drained.len(), 2);
+/// assert!(buf.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleBuffer {
+    capacity: usize,
+    samples: Vec<PcSample>,
+}
+
+impl SampleBuffer {
+    /// Creates an empty buffer of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            capacity,
+            samples: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a sample; returns `true` when the buffer just became full
+    /// (the overflow condition that triggers analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics when pushing into an already-full buffer: the driver must
+    /// drain on overflow.
+    pub fn push(&mut self, sample: PcSample) -> bool {
+        assert!(
+            self.samples.len() < self.capacity,
+            "pushed into a full sample buffer"
+        );
+        self.samples.push(sample);
+        self.samples.len() == self.capacity
+    }
+
+    /// Removes and returns all buffered samples.
+    pub fn drain(&mut self) -> Vec<PcSample> {
+        std::mem::take(&mut self.samples)
+    }
+
+    /// The buffered samples.
+    #[must_use]
+    pub fn samples(&self) -> &[PcSample] {
+        &self.samples
+    }
+
+    /// Number of buffered samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The buffer's capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Deterministic per-interrupt skid: SplitMix64 of the nominal cycle,
+/// reduced to `[0, max_skid]`.
+fn skid_of(nominal: u64, max_skid: u64) -> u64 {
+    if max_skid == 0 {
+        return 0;
+    }
+    let mut z = nominal.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % (max_skid + 1)
+}
+
+/// One analysis interval: a full buffer of samples and the cycle window it
+/// covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval {
+    /// Zero-based interval index.
+    pub index: usize,
+    /// First cycle of the window (inclusive).
+    pub start_cycle: u64,
+    /// Last cycle of the window (exclusive).
+    pub end_cycle: u64,
+    /// The buffered samples, in interrupt order.
+    pub samples: Vec<PcSample>,
+}
+
+/// Iterates buffer-overflow intervals over a workload's execution.
+///
+/// The final partial buffer (fewer samples than the capacity) never
+/// overflows and is therefore never analyzed — matching the real systems,
+/// which only run phase detection on overflow.
+#[derive(Debug)]
+pub struct Sampler<'a> {
+    workload: &'a Workload,
+    config: SamplingConfig,
+    next_cycle: u64,
+    index: usize,
+}
+
+impl<'a> Sampler<'a> {
+    /// Creates a sampler over `workload`.
+    #[must_use]
+    pub fn new(workload: &'a Workload, config: SamplingConfig) -> Self {
+        Self {
+            workload,
+            config,
+            next_cycle: config.period(),
+            index: 0,
+        }
+    }
+
+    /// The sampler's configuration.
+    #[must_use]
+    pub fn config(&self) -> SamplingConfig {
+        self.config
+    }
+
+    /// Total number of full intervals this sampler will yield.
+    #[must_use]
+    pub fn interval_count(&self) -> usize {
+        (self.workload.total_cycles() / self.config.interval_cycles()) as usize
+    }
+}
+
+impl Iterator for Sampler<'_> {
+    type Item = Interval;
+
+    fn next(&mut self) -> Option<Interval> {
+        let start_cycle = self.next_cycle - self.config.period();
+        let mut buffer = SampleBuffer::new(self.config.buffer_capacity());
+        let total = self.workload.total_cycles();
+        let mut cycle = self.next_cycle;
+        loop {
+            if cycle > total {
+                // Execution ended before the buffer overflowed.
+                return None;
+            }
+            let fire = (cycle + skid_of(cycle, self.config.max_skid)).min(total);
+            let full = buffer.push(PcSample {
+                addr: self.workload.sample_pc(fire),
+                cycle: fire,
+            });
+            cycle += self.config.period();
+            if full {
+                break;
+            }
+        }
+        self.next_cycle = cycle;
+        let index = self.index;
+        self.index += 1;
+        Some(Interval {
+            index,
+            start_cycle,
+            end_cycle: cycle - self.config.period(),
+            samples: buffer.drain(),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.interval_count().saturating_sub(self.index);
+        (remaining, Some(remaining))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::{Addr as A, BinaryBuilder};
+    use regmon_workload::{
+        activity::{loop_range, Activity},
+        Behavior, InstProfile, Mix, PhaseScript, Segment,
+    };
+
+    fn tiny_workload(total: u64) -> Workload {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.loop_(|l| {
+                l.straight(9);
+            });
+        });
+        let bin = b.build(A::new(0x1000));
+        let r = loop_range(&bin, "f", 0);
+        let mix = Mix::new(vec![Activity::new(r, 1.0, InstProfile::Uniform, 0.0)]);
+        let script = PhaseScript::new(vec![Segment::new(total, Behavior::Steady(mix))]);
+        Workload::new("t", bin, script, 7)
+    }
+
+    #[test]
+    fn interval_cycles_is_product() {
+        let c = SamplingConfig::with_buffer(45_000, 2032);
+        assert_eq!(c.interval_cycles(), 45_000 * 2032);
+    }
+
+    #[test]
+    fn sampler_yields_full_buffers() {
+        let w = tiny_workload(10_000);
+        let cfg = SamplingConfig::with_buffer(10, 100);
+        let intervals: Vec<_> = Sampler::new(&w, cfg).collect();
+        assert_eq!(intervals.len(), 10);
+        for (i, iv) in intervals.iter().enumerate() {
+            assert_eq!(iv.index, i);
+            assert_eq!(iv.samples.len(), 100);
+        }
+    }
+
+    #[test]
+    fn intervals_tile_the_execution() {
+        let w = tiny_workload(10_000);
+        let cfg = SamplingConfig::with_buffer(10, 100);
+        let intervals: Vec<_> = Sampler::new(&w, cfg).collect();
+        for pair in intervals.windows(2) {
+            assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+        }
+        assert_eq!(intervals[0].start_cycle, 0);
+    }
+
+    #[test]
+    fn trailing_partial_buffer_is_dropped() {
+        let w = tiny_workload(1_050); // 105 sample slots at period 10: one full buffer of 100
+        let cfg = SamplingConfig::with_buffer(10, 100);
+        let intervals: Vec<_> = Sampler::new(&w, cfg).collect();
+        assert_eq!(intervals.len(), 1);
+    }
+
+    #[test]
+    fn interval_count_matches_iteration() {
+        let w = tiny_workload(123_456);
+        let cfg = SamplingConfig::with_buffer(7, 97);
+        let s = Sampler::new(&w, cfg);
+        let predicted = s.interval_count();
+        assert_eq!(predicted, s.count());
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let w = tiny_workload(10_000);
+        let cfg = SamplingConfig::with_buffer(10, 100);
+        let mut s = Sampler::new(&w, cfg);
+        assert_eq!(s.size_hint(), (10, Some(10)));
+        s.next();
+        assert_eq!(s.size_hint(), (9, Some(9)));
+    }
+
+    #[test]
+    fn samples_are_period_spaced() {
+        let w = tiny_workload(5_000);
+        let cfg = SamplingConfig::with_buffer(25, 50);
+        let iv = Sampler::new(&w, cfg).next().unwrap();
+        for pair in iv.samples.windows(2) {
+            assert_eq!(pair[1].cycle - pair[0].cycle, 25);
+        }
+        assert_eq!(iv.samples[0].cycle, 25);
+    }
+
+    #[test]
+    fn different_periods_observe_same_execution() {
+        // A sample taken at cycle c is identical regardless of period.
+        let w = tiny_workload(100_000);
+        let fast: Vec<_> = Sampler::new(&w, SamplingConfig::with_buffer(10, 100)).collect();
+        let slow: Vec<_> = Sampler::new(&w, SamplingConfig::with_buffer(20, 100)).collect();
+        let fast_at: std::collections::HashMap<u64, Addr> = fast
+            .iter()
+            .flat_map(|iv| iv.samples.iter().map(|s| (s.cycle, s.addr)))
+            .collect();
+        for iv in &slow {
+            for s in &iv.samples {
+                assert_eq!(fast_at[&s.cycle], s.addr);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "full sample buffer")]
+    fn overfilling_buffer_panics() {
+        let mut buf = SampleBuffer::new(1);
+        let s = PcSample {
+            addr: Addr::new(0),
+            cycle: 0,
+        };
+        let _ = buf.push(s);
+        let _ = buf.push(s);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = SamplingConfig::new(0);
+    }
+
+    #[test]
+    fn zero_skid_is_precise() {
+        let w = tiny_workload(10_000);
+        let precise: Vec<_> = Sampler::new(&w, SamplingConfig::with_buffer(10, 100)).collect();
+        let skidless: Vec<_> =
+            Sampler::new(&w, SamplingConfig::with_buffer(10, 100).with_skid(0)).collect();
+        assert_eq!(precise, skidless);
+    }
+
+    #[test]
+    fn skid_stays_bounded_and_ordered() {
+        let w = tiny_workload(100_000);
+        let cfg = SamplingConfig::with_buffer(50, 64).with_skid(20);
+        for iv in Sampler::new(&w, cfg) {
+            for (k, s) in iv.samples.iter().enumerate() {
+                let nominal = iv.start_cycle + (k as u64 + 1) * 50;
+                assert!(s.cycle >= nominal, "fired before nominal");
+                assert!(s.cycle <= nominal + 20, "skid exceeded bound");
+            }
+            for pair in iv.samples.windows(2) {
+                assert!(pair[0].cycle < pair[1].cycle, "interrupts reordered");
+            }
+        }
+    }
+
+    #[test]
+    fn skid_is_deterministic() {
+        let w = tiny_workload(50_000);
+        let cfg = SamplingConfig::with_buffer(25, 64).with_skid(7);
+        let a: Vec<_> = Sampler::new(&w, cfg).collect();
+        let b: Vec<_> = Sampler::new(&w, cfg).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "skid must be smaller")]
+    fn skid_at_period_panics() {
+        let _ = SamplingConfig::new(100).with_skid(100);
+    }
+}

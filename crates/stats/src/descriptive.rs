@@ -1,0 +1,265 @@
+//! Two-pass descriptive statistics over slices.
+//!
+//! The centroid-based global phase detector (paper §2.1) computes the
+//! expectation value `E` and standard deviation `SD` of a history of
+//! centroids to form the *band of stability* `[E - SD, E + SD]`. These
+//! helpers provide that computation, plus medians/percentiles used by the
+//! UCR study (paper Figure 6 reports the *median* of the per-interval
+//! unmonitored-code percentage).
+
+/// Arithmetic mean of `values`.
+///
+/// Returns `None` for an empty slice: the mean of nothing is undefined and
+/// callers (e.g. the centroid detector on an empty sample buffer) must
+/// decide what to do, rather than silently receiving `0.0`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(regmon_stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(regmon_stats::mean(&[]), None);
+/// ```
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Unbiased sample variance (divisor `n - 1`).
+///
+/// Returns `None` when fewer than two values are present.
+///
+/// # Example
+///
+/// ```
+/// let v = regmon_stats::sample_variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert!((v - 4.571428571428571).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn sample_variance(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Some(ss / (values.len() - 1) as f64)
+}
+
+/// Population variance (divisor `n`).
+///
+/// Returns `None` for an empty slice. This is the variance the paper's
+/// centroid detector uses over its (complete, not sampled) centroid
+/// history.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(regmon_stats::population_variance(&[1.0, 3.0]), Some(1.0));
+/// ```
+#[must_use]
+pub fn population_variance(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Some(ss / values.len() as f64)
+}
+
+/// Median of `values` (average of the two middle elements for even `n`).
+///
+/// Returns `None` for an empty slice. The input is copied and sorted; this
+/// is intended for modest-sized interval reports, not bulk data.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(regmon_stats::median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// assert_eq!(regmon_stats::median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+/// ```
+#[must_use]
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Linear-interpolation percentile (`p` in `[0, 100]`).
+///
+/// Returns `None` for an empty slice or a `p` outside `[0, 100]` or NaN
+/// input values.
+///
+/// # Example
+///
+/// ```
+/// let xs = [10.0, 20.0, 30.0, 40.0];
+/// assert_eq!(regmon_stats::percentile(&xs, 0.0), Some(10.0));
+/// assert_eq!(regmon_stats::percentile(&xs, 100.0), Some(40.0));
+/// assert_eq!(regmon_stats::percentile(&xs, 50.0), Some(25.0));
+/// ```
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    if values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// A complete one-shot summary of a data set.
+///
+/// Used by the figure binaries to report per-benchmark distributions in a
+/// single row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`.
+    ///
+    /// Returns `None` for an empty slice.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let s = regmon_stats::Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+    /// assert_eq!(s.count, 4);
+    /// assert_eq!(s.median, 2.5);
+    /// assert_eq!(s.min, 1.0);
+    /// assert_eq!(s.max, 4.0);
+    /// ```
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mean = mean(values)?;
+        let var = population_variance(values)?;
+        let median = median(values)?;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some(Self {
+            count: values.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            median,
+            max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn mean_of_single_value_is_the_value() {
+        assert_eq!(mean(&[42.5]), Some(42.5));
+    }
+
+    #[test]
+    fn mean_of_symmetric_values() {
+        assert_eq!(mean(&[-5.0, 5.0]), Some(0.0));
+    }
+
+    #[test]
+    fn sample_variance_needs_two_values() {
+        assert_eq!(sample_variance(&[]), None);
+        assert_eq!(sample_variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn population_variance_of_constant_is_zero() {
+        assert_eq!(population_variance(&[7.0, 7.0, 7.0]), Some(0.0));
+    }
+
+    #[test]
+    fn population_vs_sample_variance_relation() {
+        // sample variance = population variance * n / (n - 1)
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let pop = population_variance(&xs).unwrap();
+        let samp = sample_variance(&xs).unwrap();
+        assert!((samp - pop * 5.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[5.0]), Some(5.0));
+        assert_eq!(median(&[1.0, 9.0]), Some(5.0));
+        assert_eq!(median(&[9.0, 1.0, 5.0]), Some(5.0));
+    }
+
+    #[test]
+    fn percentile_rejects_out_of_range_p() {
+        assert_eq!(percentile(&[1.0], -0.1), None);
+        assert_eq!(percentile(&[1.0], 100.1), None);
+    }
+
+    #[test]
+    fn percentile_rejects_nan_values() {
+        assert_eq!(percentile(&[1.0, f64::NAN], 50.0), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0), Some(2.5));
+        assert_eq!(percentile(&xs, 75.0), Some(7.5));
+    }
+
+    #[test]
+    fn percentile_is_order_insensitive() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let b = [5.0, 4.0, 3.0, 1.0, 1.0];
+        assert_eq!(percentile(&a, 37.0), percentile(&b, 37.0));
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let s = Summary::of(&[2.0, 8.0]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 3.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 8.0);
+        assert_eq!(s.median, 5.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Single-pass (online) statistics accumulators.
+//!
+//! The region monitor processes an unbounded stream of sampling intervals;
+//! keeping every observation alive just to compute a mean and standard
+//! deviation would grow without bound. [`OnlineStats`] implements Welford's
+//! algorithm, which is numerically stable and supports an exact merge of two
+//! accumulators (Chan et al.), so per-interval statistics computed on a
+//! separate monitor thread can be combined with a running total.
+
+/// Welford single-pass accumulator for count / mean / variance / extrema.
+///
+/// # Example
+///
+/// ```
+/// use regmon_stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.count(), 8);
+/// assert_eq!(s.mean(), Some(5.0));
+/// assert_eq!(s.population_variance(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations pushed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Population variance (divisor `n`), or `None` when empty.
+    #[must_use]
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Unbiased sample variance (divisor `n - 1`), or `None` below two
+    /// observations.
+    #[must_use]
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    #[must_use]
+    pub fn std_dev(&self) -> Option<f64> {
+        self.population_variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges `other` into `self` as if every observation of `other` had
+    /// been pushed into `self` (Chan et al. parallel combination).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use regmon_stats::OnlineStats;
+    ///
+    /// let mut a = OnlineStats::new();
+    /// let mut b = OnlineStats::new();
+    /// a.push(1.0);
+    /// a.push(2.0);
+    /// b.push(3.0);
+    /// a.merge(&b);
+    /// assert_eq!(a.count(), 3);
+    /// assert_eq!(a.mean(), Some(2.0));
+    /// ```
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_accumulator_reports_none() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.population_variance(), None);
+        assert_eq!(s.sample_variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut s = OnlineStats::new();
+        s.push(3.5);
+        assert_eq!(s.mean(), Some(3.5));
+        assert_eq!(s.population_variance(), Some(0.0));
+        assert_eq!(s.sample_variance(), None);
+        assert_eq!(s.min(), Some(3.5));
+        assert_eq!(s.max(), Some(3.5));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: OnlineStats = [1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s: OnlineStats = [1.0].into_iter().collect();
+        s.extend([3.0]);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_matches_two_pass(values in prop::collection::vec(-1e6..1e6f64, 1..200)) {
+            let s: OnlineStats = values.iter().copied().collect();
+            let m = descriptive::mean(&values).unwrap();
+            let v = descriptive::population_variance(&values).unwrap();
+            prop_assert!((s.mean().unwrap() - m).abs() < 1e-6 * (1.0 + m.abs()));
+            prop_assert!((s.population_variance().unwrap() - v).abs() < 1e-4 * (1.0 + v.abs()));
+        }
+
+        #[test]
+        fn merge_matches_concatenation(
+            xs in prop::collection::vec(-1e6..1e6f64, 0..100),
+            ys in prop::collection::vec(-1e6..1e6f64, 0..100),
+        ) {
+            let mut merged: OnlineStats = xs.iter().copied().collect();
+            let right: OnlineStats = ys.iter().copied().collect();
+            merged.merge(&right);
+
+            let all: OnlineStats = xs.iter().chain(ys.iter()).copied().collect();
+            prop_assert_eq!(merged.count(), all.count());
+            if all.count() > 0 {
+                prop_assert!((merged.mean().unwrap() - all.mean().unwrap()).abs() < 1e-6);
+                prop_assert!(
+                    (merged.population_variance().unwrap() - all.population_variance().unwrap()).abs()
+                        < 1e-4 * (1.0 + all.population_variance().unwrap())
+                );
+                prop_assert_eq!(merged.min(), all.min());
+                prop_assert_eq!(merged.max(), all.max());
+            }
+        }
+
+        #[test]
+        fn variance_is_never_negative(values in prop::collection::vec(-1e9..1e9f64, 1..100)) {
+            let s: OnlineStats = values.iter().copied().collect();
+            prop_assert!(s.population_variance().unwrap() >= -1e-9);
+        }
+    }
+}

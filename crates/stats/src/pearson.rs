@@ -1,0 +1,384 @@
+//! Pearson's coefficient of correlation — the paper's similarity metric.
+//!
+//! Local phase detection (paper §3.2.1) compares the *stable* set of
+//! samples for a region against the *current* set by computing Pearson's
+//! `r` over the per-instruction sample counts:
+//!
+//! ```text
+//!           Σxy − (Σx Σy)/n
+//! r = ─────────────────────────────
+//!     √(Σx² − (Σx)²/n) √(Σy² − (Σy)²/n)
+//! ```
+//!
+//! `r` near 1 means the same instructions are hot in the same proportions
+//! (no phase change, even if the absolute number of samples changed — the
+//! paper's Figure 8 "more samples but similar frequencies" case, r = 0.998);
+//! `r` near 0 or negative means the distribution of hot instructions moved
+//! (a phase change — Figure 8's "shift bottleneck by 1 instruction" case,
+//! r = −0.056).
+
+use core::fmt;
+
+/// Error returned when Pearson's `r` is undefined for the given inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PearsonError {
+    /// The two slices have different lengths (`x_len`, `y_len`).
+    LengthMismatch {
+        /// Length of the first input.
+        x_len: usize,
+        /// Length of the second input.
+        y_len: usize,
+    },
+    /// Fewer than two paired observations were supplied.
+    TooFewObservations,
+}
+
+impl fmt::Display for PearsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::LengthMismatch { x_len, y_len } => {
+                write!(f, "input lengths differ: {x_len} vs {y_len}")
+            }
+            Self::TooFewObservations => {
+                write!(f, "pearson correlation requires at least two observations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PearsonError {}
+
+/// Computes Pearson's coefficient of correlation between `xs` and `ys`.
+///
+/// Degenerate (zero-variance) inputs are given a *defined* value because
+/// the per-region detectors must always produce an `r` to feed their state
+/// machine:
+///
+/// * both sets constant (e.g. a one-instruction region that is hot in both
+///   intervals, or two all-zero histograms): the distributions are
+///   trivially "the same shape", so `r = 1.0`;
+/// * exactly one set constant: one interval concentrated everything while
+///   the other spread out — no linear association, `r = 0.0`.
+///
+/// This matches the detector semantics in the paper: a region whose sample
+/// *shape* is unchanged must not trigger a phase change.
+///
+/// # Errors
+///
+/// Returns [`PearsonError::LengthMismatch`] when the slices differ in
+/// length and [`PearsonError::TooFewObservations`] when fewer than two
+/// pairs are supplied.
+///
+/// # Example
+///
+/// ```
+/// use regmon_stats::pearson::pearson_r;
+///
+/// let r = pearson_r(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0])?;
+/// assert!((r - 1.0).abs() < 1e-12);
+///
+/// let anti = pearson_r(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0])?;
+/// assert!((anti + 1.0).abs() < 1e-12);
+/// # Ok::<(), regmon_stats::PearsonError>(())
+/// ```
+pub fn pearson_r(xs: &[f64], ys: &[f64]) -> Result<f64, PearsonError> {
+    if xs.len() != ys.len() {
+        return Err(PearsonError::LengthMismatch {
+            x_len: xs.len(),
+            y_len: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(PearsonError::TooFewObservations);
+    }
+    let mut acc = PearsonAccumulator::new();
+    for (&x, &y) in xs.iter().zip(ys) {
+        acc.push(x, y);
+    }
+    acc.r().ok_or(PearsonError::TooFewObservations)
+}
+
+/// Incremental accumulator for Pearson's `r` over paired observations.
+///
+/// Uses shifted (first-observation-centred) sums so that large instruction
+/// counts do not lose precision in `Σx²`-style terms.
+///
+/// # Example
+///
+/// ```
+/// use regmon_stats::PearsonAccumulator;
+///
+/// let mut acc = PearsonAccumulator::new();
+/// for (x, y) in [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)] {
+///     acc.push(x, y);
+/// }
+/// assert!((acc.r().unwrap() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PearsonAccumulator {
+    n: u64,
+    // Shift values: the first observation, used to centre all later sums.
+    x0: f64,
+    y0: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    syy: f64,
+    sxy: f64,
+}
+
+impl PearsonAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one paired observation.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if self.n == 0 {
+            self.x0 = x;
+            self.y0 = y;
+        }
+        let dx = x - self.x0;
+        let dy = y - self.y0;
+        self.n += 1;
+        self.sx += dx;
+        self.sy += dy;
+        self.sxx += dx * dx;
+        self.syy += dy * dy;
+        self.sxy += dx * dy;
+    }
+
+    /// Number of pairs pushed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Pearson's `r`, or `None` below two observations.
+    ///
+    /// Degenerate inputs follow the same convention as [`pearson_r`]: both
+    /// sides constant gives `1.0`, one side constant gives `0.0`.
+    #[must_use]
+    pub fn r(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let cov = self.sxy - self.sx * self.sy / n;
+        let vx = self.sxx - self.sx * self.sx / n;
+        let vy = self.syy - self.sy * self.sy / n;
+        // Clamp tiny negative values caused by floating-point cancellation.
+        let vx = vx.max(0.0);
+        let vy = vy.max(0.0);
+        const EPS: f64 = 1e-12;
+        let x_degenerate = vx <= EPS * (1.0 + self.sxx.abs());
+        let y_degenerate = vy <= EPS * (1.0 + self.syy.abs());
+        match (x_degenerate, y_degenerate) {
+            (true, true) => Some(1.0),
+            (true, false) | (false, true) => Some(0.0),
+            (false, false) => Some((cov / (vx.sqrt() * vy.sqrt())).clamp(-1.0, 1.0)),
+        }
+    }
+}
+
+impl FromIterator<(f64, f64)> for PearsonAccumulator {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        let mut acc = Self::new();
+        for (x, y) in iter {
+            acc.push(x, y);
+        }
+        acc
+    }
+}
+
+/// Pearson's `r` over two `u64` count histograms of equal length.
+///
+/// Convenience wrapper used by the per-region detectors, which store
+/// integer sample counts.
+///
+/// # Errors
+///
+/// Same as [`pearson_r`].
+///
+/// # Example
+///
+/// ```
+/// use regmon_stats::pearson::pearson_counts;
+///
+/// let r = pearson_counts(&[10, 80, 40], &[20, 160, 80])?;
+/// assert!((r - 1.0).abs() < 1e-12);
+/// # Ok::<(), regmon_stats::PearsonError>(())
+/// ```
+pub fn pearson_counts(xs: &[u64], ys: &[u64]) -> Result<f64, PearsonError> {
+    if xs.len() != ys.len() {
+        return Err(PearsonError::LengthMismatch {
+            x_len: xs.len(),
+            y_len: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(PearsonError::TooFewObservations);
+    }
+    let acc: PearsonAccumulator = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x as f64, y as f64))
+        .collect();
+    acc.r().ok_or(PearsonError::TooFewObservations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert_eq!(
+            pearson_r(&[1.0], &[1.0, 2.0]),
+            Err(PearsonError::LengthMismatch { x_len: 1, y_len: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_too_few_observations() {
+        assert_eq!(pearson_r(&[], &[]), Err(PearsonError::TooFewObservations));
+        assert_eq!(
+            pearson_r(&[1.0], &[2.0]),
+            Err(PearsonError::TooFewObservations)
+        );
+    }
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let r = pearson_r(&[1.0, 2.0, 3.0, 4.0], &[2.0, 4.0, 6.0, 8.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let r = pearson_r(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_constant_defined_as_one() {
+        assert_eq!(pearson_r(&[5.0, 5.0, 5.0], &[2.0, 2.0, 2.0]), Ok(1.0));
+        assert_eq!(pearson_r(&[0.0, 0.0], &[0.0, 0.0]), Ok(1.0));
+    }
+
+    #[test]
+    fn one_constant_defined_as_zero() {
+        assert_eq!(pearson_r(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), Ok(0.0));
+        assert_eq!(pearson_r(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]), Ok(0.0));
+    }
+
+    #[test]
+    fn figure8_bottleneck_shift_kills_correlation() {
+        // Paper Figure 8: a peaked distribution compared against itself
+        // shifted by one instruction yields r ≈ -0.056 (near zero).
+        let original = [5.0, 10.0, 30.0, 350.0, 60.0, 20.0, 10.0, 5.0, 5.0, 5.0];
+        let shifted = [5.0, 5.0, 10.0, 30.0, 350.0, 60.0, 20.0, 10.0, 5.0, 5.0];
+        let r = pearson_r(&original, &shifted).unwrap();
+        assert!(
+            r.abs() < 0.3,
+            "shifted bottleneck should decorrelate, r={r}"
+        );
+    }
+
+    #[test]
+    fn figure8_uniform_scaling_keeps_correlation() {
+        let original = [5.0, 10.0, 30.0, 350.0, 60.0, 20.0, 10.0, 5.0, 5.0, 5.0];
+        let scaled: Vec<f64> = original.iter().map(|v| v * 1.4 + 0.0).collect();
+        let r = pearson_r(&original, &scaled).unwrap();
+        assert!(
+            r > 0.99,
+            "uniform scaling must not look like a phase change, r={r}"
+        );
+    }
+
+    #[test]
+    fn pearson_counts_matches_float_version() {
+        let xs = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let ys = [2u64, 7, 1, 8, 2, 8, 1, 8];
+        let fx: Vec<f64> = xs.iter().map(|&v| v as f64).collect();
+        let fy: Vec<f64> = ys.iter().map(|&v| v as f64).collect();
+        let a = pearson_counts(&xs, &ys).unwrap();
+        let b = pearson_r(&fx, &fy).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_needs_two_points() {
+        let mut acc = PearsonAccumulator::new();
+        assert_eq!(acc.r(), None);
+        acc.push(1.0, 1.0);
+        assert_eq!(acc.r(), None);
+        acc.push(2.0, 2.0);
+        assert!(acc.r().is_some());
+    }
+
+    #[test]
+    fn accumulator_counts() {
+        let acc: PearsonAccumulator = [(1.0, 1.0), (2.0, 2.0)].into_iter().collect();
+        assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn large_offset_counts_remain_precise() {
+        // Shifted sums should survive values around 1e9 without
+        // catastrophic cancellation.
+        let base = 1.0e9;
+        let xs: Vec<f64> = (0..50).map(|i| base + i as f64).collect();
+        let ys: Vec<f64> = (0..50).map(|i| base + 2.0 * i as f64).collect();
+        let r = pearson_r(&xs, &ys).unwrap();
+        assert!((r - 1.0).abs() < 1e-9, "r={r}");
+    }
+
+    proptest! {
+        #[test]
+        fn r_is_always_in_unit_interval(
+            pairs in prop::collection::vec((-1e6..1e6f64, -1e6..1e6f64), 2..100)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = pearson_r(&xs, &ys).unwrap();
+            prop_assert!((-1.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn r_is_symmetric(
+            pairs in prop::collection::vec((-1e6..1e6f64, -1e6..1e6f64), 2..100)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let a = pearson_r(&xs, &ys).unwrap();
+            let b = pearson_r(&ys, &xs).unwrap();
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+
+        #[test]
+        fn r_invariant_under_positive_affine_transform(
+            pairs in prop::collection::vec((0.0..1e5f64, 0.0..1e5f64), 2..100),
+            scale in 0.001..1000.0f64,
+            offset in -1e4..1e4f64,
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let ys2: Vec<f64> = ys.iter().map(|v| v * scale + offset).collect();
+            let a = pearson_r(&xs, &ys).unwrap();
+            let b = pearson_r(&xs, &ys2).unwrap();
+            prop_assert!((a - b).abs() < 1e-5, "a={} b={}", a, b);
+        }
+
+        #[test]
+        fn self_correlation_is_one(
+            xs in prop::collection::vec(0.0..1e6f64, 2..100)
+        ) {
+            let r = pearson_r(&xs, &xs).unwrap();
+            prop_assert!((r - 1.0).abs() < 1e-6);
+        }
+    }
+}

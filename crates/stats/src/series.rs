@@ -1,0 +1,165 @@
+//! Labelled time series used by the figure-regeneration binaries.
+//!
+//! Every evaluation figure in the paper is either a per-interval time
+//! series (region charts, UCR timelines, per-region `r` values) or a
+//! per-benchmark bar group. [`Series`] is the small shared currency the
+//! `fig*` binaries print.
+
+use crate::descriptive::Summary;
+
+/// A named sequence of `f64` observations, one per sampling interval.
+///
+/// # Example
+///
+/// ```
+/// use regmon_stats::Series;
+///
+/// let mut s = Series::new("region 146f0-14770");
+/// s.push(0.95);
+/// s.push(0.97);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.label(), "region 146f0-14770");
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Series {
+    label: String,
+    values: Vec<f64>,
+}
+
+impl Series {
+    /// Creates an empty series with the given label.
+    #[must_use]
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a series from existing values.
+    #[must_use]
+    pub fn from_values(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self {
+            label: label.into(),
+            values,
+        }
+    }
+
+    /// The series label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The observations in insertion order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the series has no observations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends one observation.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Descriptive summary of the series, or `None` when empty.
+    #[must_use]
+    pub fn summary(&self) -> Option<Summary> {
+        Summary::of(&self.values)
+    }
+
+    /// Writes the series as one CSV row: `label,v0,v1,...`.
+    ///
+    /// Values are printed with up to 6 significant decimals, which is
+    /// enough for every figure in the paper.
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        let mut row = String::with_capacity(self.label.len() + self.values.len() * 8);
+        row.push_str(&self.label);
+        for v in &self.values {
+            row.push(',');
+            row.push_str(&format_compact(*v));
+        }
+        row
+    }
+}
+
+impl Extend<f64> for Series {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+/// Formats a float compactly: integers without a decimal point, other
+/// values with 6 decimals, trailing zeroes trimmed.
+fn format_compact(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0');
+        let s = s.trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series() {
+        let s = Series::new("x");
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.summary().is_none());
+        assert_eq!(s.to_csv_row(), "x");
+    }
+
+    #[test]
+    fn push_and_extend() {
+        let mut s = Series::new("x");
+        s.push(1.0);
+        s.extend([2.0, 3.0]);
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn csv_row_formats_integers_without_point() {
+        let s = Series::from_values("r1", vec![3.0, 0.5, 0.123456789]);
+        assert_eq!(s.to_csv_row(), "r1,3,0.5,0.123457");
+    }
+
+    #[test]
+    fn csv_row_trims_trailing_zeroes() {
+        let s = Series::from_values("a", vec![1.25]);
+        assert_eq!(s.to_csv_row(), "a,1.25");
+    }
+
+    #[test]
+    fn summary_reflects_values() {
+        let s = Series::from_values("a", vec![1.0, 3.0]);
+        let sum = s.summary().unwrap();
+        assert_eq!(sum.mean, 2.0);
+        assert_eq!(sum.count, 2);
+    }
+
+    #[test]
+    fn negative_compact_format() {
+        assert_eq!(format_compact(-2.0), "-2");
+        assert_eq!(format_compact(-0.056), "-0.056");
+    }
+}

@@ -1,0 +1,346 @@
+//! Activities: a code range with an execution share, instruction profile
+//! and cache-miss intensity.
+
+use std::sync::{Arc, OnceLock};
+
+use regmon_binary::{AddrRange, Binary};
+
+use crate::profile::InstProfile;
+use crate::rng::KeyedRng;
+use regmon_binary::{Addr, INST_BYTES};
+
+/// One strand of a program's execution: a code range, the share of cycles
+/// it consumes, how samples distribute within it, and what fraction of its
+/// cycles are data-cache miss stalls (the optimizer's opportunity).
+///
+/// Cloning is cheap: the lazily-built slot CDF used for fast sampling is
+/// shared between clones.
+#[derive(Debug, Clone)]
+pub struct Activity {
+    range: AddrRange,
+    weight: f64,
+    profile: InstProfile,
+    miss_fraction: f64,
+    /// Cumulative weights of the *static* part of the profile, built on
+    /// first sample and shared across clones so that the per-sample cost
+    /// is O(log slots) instead of O(slots).
+    static_cdf: Arc<OnceLock<Vec<f64>>>,
+}
+
+impl PartialEq for Activity {
+    fn eq(&self, other: &Self) -> bool {
+        self.range == other.range
+            && self.weight == other.weight
+            && self.profile == other.profile
+            && self.miss_fraction == other.miss_fraction
+    }
+}
+
+impl Activity {
+    /// Creates an activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is empty, `weight` is negative or non-finite, or
+    /// `miss_fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(range: AddrRange, weight: f64, profile: InstProfile, miss_fraction: f64) -> Self {
+        assert!(!range.is_empty(), "activity range must be non-empty");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "activity weight must be a non-negative finite number"
+        );
+        assert!(
+            (0.0..=1.0).contains(&miss_fraction),
+            "miss fraction must be in [0,1]"
+        );
+        Self {
+            range,
+            weight,
+            profile,
+            miss_fraction,
+            static_cdf: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Shorthand: uniform profile, no cache misses.
+    #[must_use]
+    pub fn plain(range: AddrRange, weight: f64) -> Self {
+        Self::new(range, weight, InstProfile::Uniform, 0.0)
+    }
+
+    /// The activity's code range.
+    #[must_use]
+    pub fn range(&self) -> AddrRange {
+        self.range
+    }
+
+    /// The activity's share weight (relative to its [`crate::Mix`]).
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The instruction profile.
+    #[must_use]
+    pub fn profile(&self) -> &InstProfile {
+        &self.profile
+    }
+
+    /// Fraction of this activity's cycles that are miss stalls.
+    #[must_use]
+    pub fn miss_fraction(&self) -> f64 {
+        self.miss_fraction
+    }
+
+    /// Returns a copy with a different weight.
+    ///
+    /// The copy shares this activity's sampling cache, so reweighting on
+    /// the hot path (e.g. inside [`crate::Behavior::Blend`]) stays cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or non-finite.
+    #[must_use]
+    pub fn with_weight(&self, weight: f64) -> Self {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "activity weight must be a non-negative finite number"
+        );
+        let mut copy = self.clone();
+        copy.weight = weight;
+        copy
+    }
+
+    /// Number of instruction slots in the range.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        (self.range.len() / INST_BYTES) as usize
+    }
+
+    /// Draws the address of one sample landing in this activity at `cycle`.
+    ///
+    /// Static profiles sample by binary search over a cached CDF; wander
+    /// profiles layer bounded rejection sampling on top of the static base
+    /// CDF. The resulting distribution is identical to
+    /// [`InstProfile::sample_slot`], just O(log slots) per draw.
+    pub(crate) fn sample_addr(&self, cycle: u64, rng: &mut KeyedRng) -> Addr {
+        let slots = self.slots();
+        let cdf = self.static_cdf.get_or_init(|| {
+            let base = match &self.profile {
+                InstProfile::Wander { base, .. } => base.as_ref(),
+                p => p,
+            };
+            let mut acc = 0.0;
+            (0..slots)
+                .map(|i| {
+                    acc += base.weight_at(i, slots, 0);
+                    acc
+                })
+                .collect()
+        });
+        let slot = match &self.profile {
+            InstProfile::Wander { base, depth, .. } => {
+                let bound = 1.0 + depth;
+                let mut chosen = None;
+                for _ in 0..64 {
+                    let i = sample_from_cdf(cdf, rng);
+                    let b = base.weight_at(i, slots, cycle);
+                    if b <= 0.0 {
+                        continue;
+                    }
+                    let w = self.profile.weight_at(i, slots, cycle);
+                    if rng.next_f64() * bound * b <= w {
+                        chosen = Some(i);
+                        break;
+                    }
+                }
+                chosen.unwrap_or_else(|| sample_from_cdf(cdf, rng))
+            }
+            _ => sample_from_cdf(cdf, rng),
+        };
+        self.range.start() + slot as u64 * INST_BYTES
+    }
+}
+
+/// Draws an index distributed by the cumulative weights in `cdf`.
+///
+/// Falls back to uniform when the CDF has no mass.
+fn sample_from_cdf(cdf: &[f64], rng: &mut KeyedRng) -> usize {
+    debug_assert!(!cdf.is_empty());
+    let total = *cdf.last().expect("cdf is non-empty");
+    if total <= 0.0 {
+        return rng.next_index(cdf.len());
+    }
+    let u = rng.next_f64() * total;
+    cdf.partition_point(|&c| c <= u).min(cdf.len() - 1)
+}
+
+/// Address range of the `idx`-th loop (outermost-first) of `proc` in `bin`.
+///
+/// The workhorse lookup for building benchmark models.
+///
+/// # Panics
+///
+/// Panics when the procedure or loop does not exist; model construction
+/// errors should fail loudly.
+#[must_use]
+pub fn loop_range(bin: &Binary, proc: &str, idx: usize) -> AddrRange {
+    let p = bin
+        .procedure_by_name(proc)
+        .unwrap_or_else(|| panic!("no procedure named {proc:?} in {}", bin.name()));
+    p.loops()
+        .get(idx)
+        .unwrap_or_else(|| panic!("procedure {proc:?} has no loop #{idx}"))
+        .range()
+}
+
+/// Address range of the whole procedure `proc` in `bin`.
+///
+/// Used for hot code *not* inside any loop of its own procedure — the
+/// paper's §3.1 pathology where loop-based region formation cannot cover
+/// the samples.
+///
+/// # Panics
+///
+/// Panics when the procedure does not exist.
+#[must_use]
+pub fn proc_range(bin: &Binary, proc: &str) -> AddrRange {
+    bin.procedure_by_name(proc)
+        .unwrap_or_else(|| panic!("no procedure named {proc:?} in {}", bin.name()))
+        .range()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_binary::{Addr, BinaryBuilder};
+
+    fn bin() -> Binary {
+        let mut b = BinaryBuilder::new("t");
+        b.procedure("f", |p| {
+            p.straight(2);
+            p.loop_(|l| {
+                l.straight(6);
+            });
+        });
+        b.build(Addr::new(0x1000))
+    }
+
+    #[test]
+    fn loop_range_resolves() {
+        let bin = bin();
+        let r = loop_range(&bin, "f", 0);
+        assert_eq!(r.len() / INST_BYTES, 7); // 6 body + back-edge branch
+    }
+
+    #[test]
+    #[should_panic(expected = "no loop #3")]
+    fn missing_loop_panics() {
+        let bin = bin();
+        let _ = loop_range(&bin, "f", 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no procedure")]
+    fn missing_proc_panics() {
+        let bin = bin();
+        let _ = proc_range(&bin, "missing");
+    }
+
+    #[test]
+    fn activity_samples_stay_in_range() {
+        let bin = bin();
+        let r = loop_range(&bin, "f", 0);
+        let a = Activity::new(r, 1.0, InstProfile::Uniform, 0.1);
+        let mut rng = KeyedRng::new(0, 0);
+        for c in 0..500 {
+            let addr = a.sample_addr(c, &mut rng);
+            assert!(r.contains(addr));
+            assert_eq!(addr.offset_from(r.start()) % INST_BYTES, 0);
+        }
+    }
+
+    #[test]
+    fn with_weight_copies_everything_else() {
+        let bin = bin();
+        let r = loop_range(&bin, "f", 0);
+        let a = Activity::new(r, 1.0, InstProfile::peaked(2, 1.0), 0.3);
+        let b = a.with_weight(0.5);
+        assert_eq!(b.weight(), 0.5);
+        assert_eq!(b.range(), a.range());
+        assert_eq!(b.miss_fraction(), a.miss_fraction());
+        assert_eq!(b.profile(), a.profile());
+    }
+
+    #[test]
+    #[should_panic(expected = "miss fraction")]
+    fn bad_miss_fraction_panics() {
+        let bin = bin();
+        let r = loop_range(&bin, "f", 0);
+        let _ = Activity::new(r, 1.0, InstProfile::Uniform, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn negative_weight_panics() {
+        let bin = bin();
+        let r = loop_range(&bin, "f", 0);
+        let _ = Activity::new(r, -0.1, InstProfile::Uniform, 0.0);
+    }
+
+    #[test]
+    fn fast_peaked_sampling_matches_weights() {
+        let bin = bin();
+        let r = loop_range(&bin, "f", 0);
+        let a = Activity::new(r, 1.0, InstProfile::peaked(3, 1.0), 0.0);
+        let slots = a.slots();
+        let mut counts = vec![0u64; slots];
+        let mut rng = KeyedRng::new(11, 0);
+        let n = 40_000;
+        for c in 0..n {
+            let addr = a.sample_addr(c, &mut rng);
+            counts[(addr.offset_from(r.start()) / INST_BYTES) as usize] += 1;
+        }
+        let weights: Vec<f64> = (0..slots)
+            .map(|i| a.profile().weight_at(i, slots, 0))
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = weights[i] / wsum;
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.02,
+                "slot {i}: expect {expect:.3} got {got:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn wander_activity_samples_stay_in_range() {
+        let bin = bin();
+        let r = loop_range(&bin, "f", 0);
+        let a = Activity::new(
+            r,
+            1.0,
+            InstProfile::wander(InstProfile::peaked(2, 2.0), 0.7, 10_000.0),
+            0.0,
+        );
+        let mut rng = KeyedRng::new(3, 0);
+        for c in (0..100_000u64).step_by(997) {
+            assert!(r.contains(a.sample_addr(c, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn clones_share_the_cdf_cache() {
+        let bin = bin();
+        let r = loop_range(&bin, "f", 0);
+        let a = Activity::new(r, 1.0, InstProfile::peaked(3, 1.0), 0.0);
+        let b = a.clone();
+        let mut rng = KeyedRng::new(1, 1);
+        let _ = a.sample_addr(0, &mut rng);
+        // The clone sees the initialized cache.
+        assert!(b.static_cdf.get().is_some());
+    }
+}

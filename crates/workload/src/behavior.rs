@@ -1,0 +1,299 @@
+//! Mixes and behaviors: what a program does and how it evolves.
+
+use crate::activity::Activity;
+
+/// A weighted set of concurrent activities — the program's working set at
+/// one instant. Weights are normalized to fractions at construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    activities: Vec<Activity>,
+}
+
+impl Mix {
+    /// Creates a mix, normalizing activity weights to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activities` is empty or the total weight is zero.
+    #[must_use]
+    pub fn new(activities: Vec<Activity>) -> Self {
+        assert!(!activities.is_empty(), "a mix needs at least one activity");
+        let total: f64 = activities.iter().map(Activity::weight).sum();
+        assert!(total > 0.0, "mix weights must not all be zero");
+        let activities = activities
+            .into_iter()
+            .map(|a| {
+                let w = a.weight() / total;
+                a.with_weight(w)
+            })
+            .collect();
+        Self { activities }
+    }
+
+    /// The normalized activities.
+    #[must_use]
+    pub fn activities(&self) -> &[Activity] {
+        &self.activities
+    }
+
+    /// Number of activities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Always `false`: mixes are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// How a segment's mix evolves over the segment's lifetime.
+///
+/// Each variant reproduces one phenomenon from the paper:
+///
+/// * [`Behavior::Steady`] — a stable phase.
+/// * [`Behavior::PeriodicSwitch`] — facerec's oscillation between two
+///   region sets (Figure 5), the pattern that thrashes the global detector
+///   at short sampling intervals.
+/// * [`Behavior::Blend`] — mcf's slow working-set migration (Figure 9):
+///   one region's share fades while another's grows, with every region's
+///   *internal* histogram unchanged (so local detection stays stable,
+///   Figure 10).
+/// * [`Behavior::BottleneckShift`] — a genuine local phase change: at a
+///   fraction of the segment, the hot instruction inside the affected
+///   activities moves (Figure 8's "shift bottleneck by one instruction").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// One unchanging mix.
+    Steady(Mix),
+    /// Rotate through `mixes`, spending `period` cycles in each.
+    PeriodicSwitch {
+        /// Cycles spent in each mix before switching to the next.
+        period: u64,
+        /// The mixes rotated through.
+        mixes: Vec<Mix>,
+    },
+    /// Linear cross-fade from `from` to `to` across the whole segment.
+    Blend {
+        /// Mix at the start of the segment.
+        from: Mix,
+        /// Mix at the end of the segment.
+        to: Mix,
+    },
+    /// `before` until `at_fraction` of the segment has elapsed, then
+    /// `after`. Typically the same ranges with shifted profiles.
+    BottleneckShift {
+        /// Mix before the shift.
+        before: Mix,
+        /// Mix after the shift.
+        after: Mix,
+        /// Segment fraction (in `[0,1]`) at which the shift happens.
+        at_fraction: f64,
+    },
+}
+
+impl Behavior {
+    /// The active activities (with effective weights) at `offset` cycles
+    /// into a segment of `seg_len` cycles.
+    ///
+    /// For [`Behavior::Blend`] the result is an owned, reweighted union of
+    /// the two mixes; other variants borrow.
+    #[must_use]
+    pub fn activities_at(&self, offset: u64, seg_len: u64) -> std::borrow::Cow<'_, [Activity]> {
+        use std::borrow::Cow;
+        match self {
+            Self::Steady(mix) => Cow::Borrowed(mix.activities()),
+            Self::PeriodicSwitch { period, mixes } => {
+                let idx = ((offset / period.max(&1)) % mixes.len() as u64) as usize;
+                Cow::Borrowed(mixes[idx].activities())
+            }
+            Self::Blend { from, to } => {
+                let alpha = if seg_len == 0 {
+                    0.0
+                } else {
+                    (offset as f64 / seg_len as f64).clamp(0.0, 1.0)
+                };
+                let mut all = Vec::with_capacity(from.len() + to.len());
+                for a in from.activities() {
+                    let w = a.weight() * (1.0 - alpha);
+                    if w > 0.0 {
+                        all.push(a.with_weight(w));
+                    }
+                }
+                for a in to.activities() {
+                    let w = a.weight() * alpha;
+                    if w > 0.0 {
+                        all.push(a.with_weight(w));
+                    }
+                }
+                if all.is_empty() {
+                    // alpha exactly 0 or 1 with the other side empty cannot
+                    // happen (mixes are non-empty), but guard against an
+                    // all-zero product anyway.
+                    Cow::Borrowed(from.activities())
+                } else {
+                    Cow::Owned(all)
+                }
+            }
+            Self::BottleneckShift {
+                before,
+                after,
+                at_fraction,
+            } => {
+                let cut = (*at_fraction * seg_len as f64) as u64;
+                if offset < cut {
+                    Cow::Borrowed(before.activities())
+                } else {
+                    Cow::Borrowed(after.activities())
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::InstProfile;
+    use regmon_binary::{Addr, AddrRange};
+
+    fn act(start: u64, weight: f64) -> Activity {
+        Activity::new(
+            AddrRange::from_len(Addr::new(start), 64),
+            weight,
+            InstProfile::Uniform,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn mix_normalizes_weights() {
+        let m = Mix::new(vec![act(0x1000, 2.0), act(0x2000, 6.0)]);
+        let w: Vec<f64> = m.activities().iter().map(Activity::weight).collect();
+        assert_eq!(w, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one activity")]
+    fn empty_mix_panics() {
+        let _ = Mix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn zero_weight_mix_panics() {
+        let _ = Mix::new(vec![act(0x1000, 0.0)]);
+    }
+
+    #[test]
+    fn steady_returns_same_mix_everywhere() {
+        let m = Mix::new(vec![act(0x1000, 1.0)]);
+        let b = Behavior::Steady(m.clone());
+        assert_eq!(b.activities_at(0, 100).as_ref(), m.activities());
+        assert_eq!(b.activities_at(99, 100).as_ref(), m.activities());
+    }
+
+    #[test]
+    fn periodic_switch_rotates() {
+        let m0 = Mix::new(vec![act(0x1000, 1.0)]);
+        let m1 = Mix::new(vec![act(0x2000, 1.0)]);
+        let b = Behavior::PeriodicSwitch {
+            period: 100,
+            mixes: vec![m0.clone(), m1.clone()],
+        };
+        assert_eq!(b.activities_at(0, 1000).as_ref(), m0.activities());
+        assert_eq!(b.activities_at(150, 1000).as_ref(), m1.activities());
+        assert_eq!(b.activities_at(200, 1000).as_ref(), m0.activities());
+        assert_eq!(b.activities_at(399, 1000).as_ref(), m1.activities());
+    }
+
+    #[test]
+    fn blend_endpoints_match_mixes() {
+        let from = Mix::new(vec![act(0x1000, 1.0)]);
+        let to = Mix::new(vec![act(0x2000, 1.0)]);
+        let b = Behavior::Blend {
+            from: from.clone(),
+            to: to.clone(),
+        };
+        let at_start = b.activities_at(0, 1000);
+        assert_eq!(at_start.len(), 1);
+        assert_eq!(at_start[0].range(), from.activities()[0].range());
+
+        let at_end = b.activities_at(1000, 1000);
+        assert_eq!(at_end.len(), 1);
+        assert_eq!(at_end[0].range(), to.activities()[0].range());
+    }
+
+    #[test]
+    fn blend_midpoint_mixes_both() {
+        let from = Mix::new(vec![act(0x1000, 1.0)]);
+        let to = Mix::new(vec![act(0x2000, 1.0)]);
+        let b = Behavior::Blend { from, to };
+        let mid = b.activities_at(500, 1000);
+        assert_eq!(mid.len(), 2);
+        let total: f64 = mid.iter().map(Activity::weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((mid[0].weight() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_shift_cuts_over() {
+        let before = Mix::new(vec![act(0x1000, 1.0)]);
+        let after = Mix::new(vec![act(0x2000, 1.0)]);
+        let b = Behavior::BottleneckShift {
+            before,
+            after,
+            at_fraction: 0.5,
+        };
+        assert_eq!(
+            b.activities_at(0, 100)[0].range().start(),
+            Addr::new(0x1000)
+        );
+        assert_eq!(
+            b.activities_at(49, 100)[0].range().start(),
+            Addr::new(0x1000)
+        );
+        assert_eq!(
+            b.activities_at(50, 100)[0].range().start(),
+            Addr::new(0x2000)
+        );
+        assert_eq!(
+            b.activities_at(99, 100)[0].range().start(),
+            Addr::new(0x2000)
+        );
+    }
+
+    #[test]
+    fn activities_weights_sum_to_one_for_all_behaviors() {
+        let m0 = Mix::new(vec![act(0x1000, 1.0), act(0x2000, 3.0)]);
+        let m1 = Mix::new(vec![act(0x3000, 1.0)]);
+        let behaviors = vec![
+            Behavior::Steady(m0.clone()),
+            Behavior::PeriodicSwitch {
+                period: 10,
+                mixes: vec![m0.clone(), m1.clone()],
+            },
+            Behavior::Blend {
+                from: m0.clone(),
+                to: m1.clone(),
+            },
+            Behavior::BottleneckShift {
+                before: m0,
+                after: m1,
+                at_fraction: 0.3,
+            },
+        ];
+        for b in behaviors {
+            for offset in [0u64, 37, 500, 999] {
+                let total: f64 = b
+                    .activities_at(offset, 1000)
+                    .iter()
+                    .map(Activity::weight)
+                    .sum();
+                assert!((total - 1.0).abs() < 1e-9, "{b:?} at {offset}: {total}");
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Execution-behaviour engine and synthetic benchmark suite.
+//!
+//! The paper evaluates phase detection on SPEC CPU2000 binaries running on
+//! UltraSPARC hardware. Neither is available here, and neither is needed:
+//! every experiment in the paper consumes a *stream of program-counter
+//! samples* (plus, for the optimizer study, per-region cycle/miss
+//! accounting). This crate generates those streams from deterministic,
+//! seeded *phase scripts* — declarative descriptions of how a program's
+//! execution moves across its code regions over virtual time.
+//!
+//! The building blocks:
+//!
+//! * [`InstProfile`] — how samples distribute over the instruction slots
+//!   *within* one code range (uniform, peaked on a bottleneck instruction,
+//!   or slowly *wandering*, which reproduces sampling-period sensitivity).
+//! * [`Activity`] — a code range plus its share of execution time, its
+//!   instruction profile and its data-cache miss fraction.
+//! * [`Mix`] — a weighted set of activities: "what the program is doing".
+//! * [`Behavior`] — how a mix evolves inside a segment: steady, periodic
+//!   switching between mixes (the facerec pattern), linear cross-fade
+//!   between mixes (the mcf pattern), or a bottleneck shift (the Figure 8
+//!   pattern).
+//! * [`PhaseScript`] / [`Segment`] — a timeline of behaviors.
+//! * [`Workload`] — a script bound to a synthetic binary: the object the
+//!   sampler and optimizer simulator consume.
+//! * [`suite`] — SPEC CPU2000-like benchmark models calibrated to the
+//!   per-benchmark observations in the paper's figures.
+//!
+//! Determinism: a sample drawn at virtual cycle `c` from a workload with
+//! seed `s` is a pure function of `(s, c)`; two sweeps at different
+//! sampling periods observe the *same* underlying execution.
+//!
+//! # Example
+//!
+//! ```
+//! use regmon_workload::suite;
+//!
+//! let mcf = suite::by_name("181.mcf").unwrap();
+//! let pc = mcf.sample_pc(1_000_000);
+//! assert!(mcf.binary().procedure_at(pc).is_some());
+//! // Determinism: same cycle, same sample.
+//! assert_eq!(pc, mcf.sample_pc(1_000_000));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod activity;
+pub mod behavior;
+pub mod engine;
+pub mod profile;
+pub mod rng;
+pub mod script;
+pub mod suite;
+
+pub use activity::Activity;
+pub use behavior::{Behavior, Mix};
+pub use engine::{PerfSample, RangeUsage, Workload};
+pub use profile::InstProfile;
+pub use script::{PhaseScript, Segment};
+
+pub use regmon_binary as binary;

@@ -1,0 +1,324 @@
+//! Distribution of samples over the instruction slots of a code range.
+//!
+//! Local phase detection compares per-instruction sample histograms, so the
+//! interesting part of a workload model is *where inside a region* samples
+//! land and how that changes over time:
+//!
+//! * [`InstProfile::Uniform`] — flat; every slot equally hot.
+//! * [`InstProfile::Peaked`] — a bell around one bottleneck instruction
+//!   (e.g. a delinquent load); this is the histogram shape of Figure 8.
+//! * [`InstProfile::Custom`] — explicit weights.
+//! * [`InstProfile::Wander`] — per-slot weights modulated by slow
+//!   sinusoids of a given period. Within a *short* sampling interval the
+//!   modulation is frozen at a snapshot (each interval sees a different
+//!   shape → low Pearson correlation); a *long* interval averages a whole
+//!   modulation cycle (consistent shapes → high correlation). This is the
+//!   mechanism behind the paper's 188.ammp aberration and the general
+//!   sampling-period sensitivity of Figures 3 vs 13.
+
+use crate::rng::KeyedRng;
+
+/// How samples distribute across a code range's instruction slots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstProfile {
+    /// Every slot equally likely.
+    Uniform,
+    /// A Gaussian-shaped bump centred on `center` with standard deviation
+    /// `width` (in slots), on top of a small uniform floor.
+    Peaked {
+        /// Slot index of the bottleneck instruction.
+        center: usize,
+        /// Standard deviation of the bump, in slots.
+        width: f64,
+    },
+    /// Explicit non-negative weights, one per slot (normalized on use).
+    Custom(Vec<f64>),
+    /// `base` weights modulated per-slot by `1 + depth·sin(2πt/period + φᵢ)`
+    /// where `φᵢ` is a per-slot phase. `depth` must be in `[0, 1)`.
+    Wander {
+        /// The underlying profile being modulated.
+        base: Box<InstProfile>,
+        /// Modulation depth in `[0, 1)`.
+        depth: f64,
+        /// Modulation period in cycles.
+        period: f64,
+    },
+}
+
+impl InstProfile {
+    /// Convenience constructor for [`InstProfile::Peaked`].
+    #[must_use]
+    pub fn peaked(center: usize, width: f64) -> Self {
+        Self::Peaked { center, width }
+    }
+
+    /// Convenience constructor for [`InstProfile::Wander`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= depth < 1.0` and `period > 0`.
+    #[must_use]
+    pub fn wander(base: InstProfile, depth: f64, period: f64) -> Self {
+        assert!((0.0..1.0).contains(&depth), "wander depth must be in [0,1)");
+        assert!(period > 0.0, "wander period must be positive");
+        Self::Wander {
+            base: Box::new(base),
+            depth,
+            period,
+        }
+    }
+
+    /// Relative weight of `slot` (of `slots` total) at virtual `cycle`.
+    ///
+    /// Weights are relative, not normalized; callers compare or integrate
+    /// them. Always non-negative.
+    #[must_use]
+    pub fn weight_at(&self, slot: usize, slots: usize, cycle: u64) -> f64 {
+        debug_assert!(slot < slots);
+        match self {
+            Self::Uniform => 1.0,
+            Self::Peaked { center, width } => peaked_weight(slot, *center, *width),
+            Self::Custom(w) => w.get(slot).copied().unwrap_or(0.0),
+            Self::Wander {
+                base,
+                depth,
+                period,
+            } => {
+                let b = base.weight_at(slot, slots, cycle);
+                b * (1.0 + depth * wander_phase(slot, cycle, *period))
+            }
+        }
+    }
+
+    /// Draws a slot index in `[0, slots)` distributed by this profile at
+    /// `cycle`, using `rng` for randomness.
+    ///
+    /// Sampling is exact for static profiles and uses rejection sampling
+    /// for [`InstProfile::Wander`] (modulation factors are bounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn sample_slot(&self, slots: usize, cycle: u64, rng: &mut KeyedRng) -> usize {
+        assert!(slots > 0, "cannot sample a slot from an empty range");
+        match self {
+            Self::Uniform => rng.next_index(slots),
+            Self::Peaked { .. } | Self::Custom(_) => {
+                // Inverse-CDF over the (static) weights.
+                let total: f64 = (0..slots).map(|i| self.weight_at(i, slots, cycle)).sum();
+                if total <= 0.0 {
+                    return rng.next_index(slots);
+                }
+                let mut u = rng.next_f64() * total;
+                for i in 0..slots {
+                    u -= self.weight_at(i, slots, cycle);
+                    if u <= 0.0 {
+                        return i;
+                    }
+                }
+                slots - 1
+            }
+            Self::Wander { base, depth, .. } => {
+                // Rejection sampling: draw from base, accept with
+                // probability proportional to the modulation factor.
+                let bound = 1.0 + depth;
+                for _ in 0..64 {
+                    let i = base.sample_slot(slots, cycle, rng);
+                    let b = base.weight_at(i, slots, cycle);
+                    if b <= 0.0 {
+                        continue;
+                    }
+                    let w = self.weight_at(i, slots, cycle);
+                    if rng.next_f64() * bound * b <= w {
+                        return i;
+                    }
+                }
+                // Pathological rejection streak: fall back to base.
+                base.sample_slot(slots, cycle, rng)
+            }
+        }
+    }
+
+    /// Mean per-slot weights over the window `[start, end)`, normalized to
+    /// sum to 1, or all-zero when the profile has zero mass.
+    ///
+    /// Static profiles return their (normalized) weights directly; wander
+    /// profiles integrate the modulation numerically.
+    #[must_use]
+    pub fn mean_weights(&self, slots: usize, start: u64, end: u64) -> Vec<f64> {
+        let mut w: Vec<f64> = match self {
+            Self::Wander { period, .. } => {
+                // Integrate with enough steps to resolve the modulation.
+                let span = (end - start).max(1) as f64;
+                let steps = ((span / period * 8.0).ceil() as usize).clamp(4, 256);
+                let mut acc = vec![0.0; slots];
+                for s in 0..steps {
+                    let t = start + ((s as f64 + 0.5) / steps as f64 * span) as u64;
+                    for (i, a) in acc.iter_mut().enumerate() {
+                        *a += self.weight_at(i, slots, t);
+                    }
+                }
+                acc
+            }
+            _ => (0..slots)
+                .map(|i| self.weight_at(i, slots, start))
+                .collect(),
+        };
+        let total: f64 = w.iter().sum();
+        if total > 0.0 {
+            for v in &mut w {
+                *v /= total;
+            }
+        }
+        w
+    }
+}
+
+/// Gaussian bump plus a 2% uniform floor.
+fn peaked_weight(slot: usize, center: usize, width: f64) -> f64 {
+    let d = slot as f64 - center as f64;
+    let w = width.max(0.25);
+    (-0.5 * (d / w) * (d / w)).exp() + 0.02
+}
+
+/// Sinusoidal modulation in `[-1, 1]` with a per-slot phase.
+fn wander_phase(slot: usize, cycle: u64, period: f64) -> f64 {
+    use std::f64::consts::TAU;
+    // Per-slot golden-angle phase offsets give each instruction its own
+    // trajectory, so the *shape* of the histogram changes, not just its
+    // scale (a pure rescale would not perturb Pearson's r at all).
+    let phase = slot as f64 * 2.399_963_229_728_653;
+    (TAU * (cycle as f64 / period) + phase).sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> KeyedRng {
+        KeyedRng::new(1, 1)
+    }
+
+    #[test]
+    fn uniform_weights_are_flat() {
+        let p = InstProfile::Uniform;
+        assert_eq!(p.weight_at(0, 10, 0), p.weight_at(9, 10, 12345));
+    }
+
+    #[test]
+    fn peaked_weights_peak_at_center() {
+        let p = InstProfile::peaked(5, 1.5);
+        let at_center = p.weight_at(5, 10, 0);
+        assert!(at_center > p.weight_at(0, 10, 0));
+        assert!(at_center > p.weight_at(9, 10, 0));
+    }
+
+    #[test]
+    fn custom_weights_returned_verbatim() {
+        let p = InstProfile::Custom(vec![1.0, 0.0, 3.0]);
+        assert_eq!(p.weight_at(0, 3, 0), 1.0);
+        assert_eq!(p.weight_at(1, 3, 0), 0.0);
+        assert_eq!(p.weight_at(2, 3, 0), 3.0);
+    }
+
+    #[test]
+    fn custom_out_of_bounds_weight_is_zero() {
+        let p = InstProfile::Custom(vec![1.0]);
+        assert_eq!(p.weight_at(3, 4, 0), 0.0);
+    }
+
+    #[test]
+    fn wander_stays_non_negative() {
+        let p = InstProfile::wander(InstProfile::Uniform, 0.9, 1000.0);
+        for slot in 0..16 {
+            for t in (0..5000).step_by(97) {
+                assert!(p.weight_at(slot, 16, t) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn wander_depth_out_of_range_panics() {
+        let _ = InstProfile::wander(InstProfile::Uniform, 1.0, 100.0);
+    }
+
+    #[test]
+    fn sample_slot_respects_custom_zero_weights() {
+        let p = InstProfile::Custom(vec![0.0, 1.0, 0.0]);
+        let mut r = rng();
+        for _ in 0..200 {
+            assert_eq!(p.sample_slot(3, 0, &mut r), 1);
+        }
+    }
+
+    #[test]
+    fn sample_slot_distribution_tracks_weights() {
+        let p = InstProfile::Custom(vec![1.0, 3.0]);
+        let mut r = rng();
+        let n = 20_000;
+        let ones = (0..n).filter(|_| p.sample_slot(2, 0, &mut r) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn peaked_samples_concentrate() {
+        let p = InstProfile::peaked(10, 2.0);
+        let mut r = rng();
+        let n = 5000;
+        let near = (0..n)
+            .filter(|_| {
+                let s = p.sample_slot(40, 0, &mut r);
+                (6..=14).contains(&s)
+            })
+            .count();
+        assert!(near as f64 / n as f64 > 0.6);
+    }
+
+    #[test]
+    fn wander_short_window_changes_shape_long_window_does_not() {
+        use regmon_stats::pearson::pearson_r;
+        let p = InstProfile::wander(InstProfile::peaked(8, 4.0), 0.8, 1_000_000.0);
+        // Two snapshots half a modulation period apart look different...
+        let a = p.mean_weights(32, 0, 1000);
+        let b = p.mean_weights(32, 500_000, 501_000);
+        let r_short = pearson_r(&a, &b).unwrap();
+        // ...but two full-period averages look identical.
+        let c = p.mean_weights(32, 0, 4_000_000);
+        let d = p.mean_weights(32, 4_000_000, 8_000_000);
+        let r_long = pearson_r(&c, &d).unwrap();
+        assert!(r_long > 0.99, "r_long={r_long}");
+        assert!(r_short < r_long, "r_short={r_short} r_long={r_long}");
+    }
+
+    #[test]
+    fn mean_weights_normalized() {
+        for p in [
+            InstProfile::Uniform,
+            InstProfile::peaked(3, 1.0),
+            InstProfile::Custom(vec![2.0, 2.0, 4.0]),
+            InstProfile::wander(InstProfile::Uniform, 0.5, 100.0),
+        ] {
+            let w = p.mean_weights(8, 0, 1000);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "profile {p:?} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn zero_mass_profile_normalizes_to_zero() {
+        let p = InstProfile::Custom(vec![0.0, 0.0]);
+        assert_eq!(p.mean_weights(2, 0, 10), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sample_slot_is_deterministic_per_rng_key() {
+        let p = InstProfile::wander(InstProfile::peaked(4, 2.0), 0.5, 1000.0);
+        let mut a = KeyedRng::new(9, 77);
+        let mut b = KeyedRng::new(9, 77);
+        for t in 0..50 {
+            assert_eq!(p.sample_slot(16, t, &mut a), p.sample_slot(16, t, &mut b));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Phase scripts: the timeline of a workload's behavior.
+
+use crate::behavior::Behavior;
+
+/// A span of virtual time with one [`Behavior`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    cycles: u64,
+    behavior: Behavior,
+}
+
+impl Segment {
+    /// Creates a segment lasting `cycles` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles == 0`.
+    #[must_use]
+    pub fn new(cycles: u64, behavior: Behavior) -> Self {
+        assert!(cycles > 0, "segment must last at least one cycle");
+        Self { cycles, behavior }
+    }
+
+    /// The segment's duration in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// The segment's behavior.
+    #[must_use]
+    pub fn behavior(&self) -> &Behavior {
+        &self.behavior
+    }
+}
+
+/// A sequence of segments covering a workload's whole execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseScript {
+    segments: Vec<Segment>,
+    /// Cumulative end cycle of each segment, for binary-search lookup.
+    ends: Vec<u64>,
+}
+
+impl PhaseScript {
+    /// Creates a script from segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is empty.
+    #[must_use]
+    pub fn new(segments: Vec<Segment>) -> Self {
+        assert!(!segments.is_empty(), "a script needs at least one segment");
+        let mut ends = Vec::with_capacity(segments.len());
+        let mut acc = 0u64;
+        for s in &segments {
+            acc += s.cycles();
+            ends.push(acc);
+        }
+        Self { segments, ends }
+    }
+
+    /// The segments in timeline order.
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total duration in cycles.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        *self.ends.last().expect("script is non-empty")
+    }
+
+    /// The segment active at `cycle`, with the segment's start cycle.
+    ///
+    /// Cycles at or past the end clamp to the final segment, so samplers
+    /// and integrators never fall off the timeline.
+    #[must_use]
+    pub fn segment_at(&self, cycle: u64) -> (&Segment, u64) {
+        let idx = self.ends.partition_point(|&end| end <= cycle);
+        let idx = idx.min(self.segments.len() - 1);
+        let start = if idx == 0 { 0 } else { self.ends[idx - 1] };
+        (&self.segments[idx], start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::Activity;
+    use crate::behavior::{Behavior, Mix};
+    use crate::profile::InstProfile;
+    use regmon_binary::{Addr, AddrRange};
+
+    fn steady(tag: u64) -> Behavior {
+        Behavior::Steady(Mix::new(vec![Activity::new(
+            AddrRange::from_len(Addr::new(tag), 64),
+            1.0,
+            InstProfile::Uniform,
+            0.0,
+        )]))
+    }
+
+    fn script() -> PhaseScript {
+        PhaseScript::new(vec![
+            Segment::new(100, steady(0x1000)),
+            Segment::new(200, steady(0x2000)),
+            Segment::new(50, steady(0x3000)),
+        ])
+    }
+
+    #[test]
+    fn total_cycles_sums_segments() {
+        assert_eq!(script().total_cycles(), 350);
+    }
+
+    #[test]
+    fn segment_lookup_boundaries() {
+        let s = script();
+        assert_eq!(s.segment_at(0).1, 0);
+        assert_eq!(s.segment_at(99).1, 0);
+        assert_eq!(s.segment_at(100).1, 100); // boundary goes to next segment
+        assert_eq!(s.segment_at(299).1, 100);
+        assert_eq!(s.segment_at(300).1, 300);
+    }
+
+    #[test]
+    fn lookup_past_end_clamps_to_last() {
+        let s = script();
+        let (seg, start) = s.segment_at(10_000);
+        assert_eq!(start, 300);
+        assert_eq!(seg.cycles(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn empty_script_panics() {
+        let _ = PhaseScript::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_length_segment_panics() {
+        let _ = Segment::new(0, steady(0x1000));
+    }
+}

@@ -1,0 +1,119 @@
+//! 188.ammp — the granularity aberration (Figure 13).
+//!
+//! The paper: *"188.ammp is an aberration showing a large number of phase
+//! changes at low sampling periods. We observed that the r value lies just
+//! below the threshold. Since the region is very large, the granularity
+//! limitation breaks down."*
+//!
+//! Model: one very large region whose per-instruction profile *wanders*
+//! with a period longer than a short sampling interval but shorter than a
+//! long one. Short intervals snapshot a continuously-moving histogram →
+//! Pearson r hovers just below the 0.8 threshold → repeated phase flaps;
+//! long intervals average a whole wander cycle → r > 0.8 → stable. A
+//! second, small region stays stable throughout, showing the flapping is
+//! isolated (the whole point of *local* detection).
+
+use regmon_binary::{Addr, BinaryBuilder};
+
+use crate::activity::{loop_range, Activity};
+use crate::behavior::{Behavior, Mix};
+use crate::engine::Workload;
+use crate::profile::InstProfile;
+use crate::script::{PhaseScript, Segment};
+use crate::suite::archetypes::{loop_proc, seed_for, TOTAL_CYCLES};
+
+/// Slot count of the big region — "very large" per the paper.
+const BIG_SLOTS: usize = 150;
+/// Wander period: ≫ the 45K interval (91M cycles) so short intervals see
+/// moving snapshots, but well below the 450K/900K intervals (0.9B/1.8B),
+/// which average whole wander cycles away.
+const WANDER_PERIOD: f64 = 5.5e8;
+/// Wander depth tuned so snapshot-to-snapshot r sits just below 0.8.
+const WANDER_DEPTH: f64 = 0.18;
+
+/// Builds the 188.ammp model.
+#[must_use]
+pub fn build() -> Workload {
+    let mut b = BinaryBuilder::new("188.ammp");
+    b.procedure("mm_fv_update_nonbon", |p| {
+        p.straight(10);
+        p.loop_(|l| {
+            l.straight(BIG_SLOTS - 1);
+        });
+        p.straight(4);
+    });
+    loop_proc(&mut b, "hot1", 22);
+    let bin = b.build(Addr::new(0x30000));
+
+    let big = loop_range(&bin, "mm_fv_update_nonbon", 0);
+    let small = loop_range(&bin, "hot1", 0);
+
+    let mix = Mix::new(vec![
+        Activity::new(
+            big,
+            0.82,
+            InstProfile::wander(
+                InstProfile::peaked(BIG_SLOTS / 2, BIG_SLOTS as f64 / 6.0),
+                WANDER_DEPTH,
+                WANDER_PERIOD,
+            ),
+            0.30,
+        ),
+        Activity::new(small, 0.18, InstProfile::peaked(8, 3.0), 0.10),
+    ]);
+    let script = PhaseScript::new(vec![Segment::new(TOTAL_CYCLES, Behavior::Steady(mix))]);
+    Workload::new("188.ammp", bin, script, seed_for("188.ammp"))
+}
+
+/// The tracked ranges `(big wandering region, small stable region)`.
+#[must_use]
+pub fn tracked_regions(w: &Workload) -> [regmon_binary::AddrRange; 2] {
+    [
+        loop_range(w.binary(), "mm_fv_update_nonbon", 0),
+        loop_range(w.binary(), "hot1", 0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_stats::pearson::pearson_r;
+
+    #[test]
+    fn big_region_dominates() {
+        let w = build();
+        let [big, _] = tracked_regions(&w);
+        let usage = w.window_usage(0, 1_000_000_000);
+        let total: f64 = usage.iter().map(|u| u.cycles).sum();
+        let share = usage
+            .iter()
+            .find(|u| u.range == big)
+            .map_or(0.0, |u| u.cycles / total);
+        assert!(share > 0.7, "share={share}");
+    }
+
+    #[test]
+    fn short_snapshots_decorrelate_long_windows_correlate() {
+        let w = build();
+        let mix = match w.script().segments()[0].behavior() {
+            Behavior::Steady(m) => m,
+            other => panic!("unexpected behavior {other:?}"),
+        };
+        let big = &mix.activities()[0];
+        let p = big.profile();
+        let slots = big.slots();
+        let half = (WANDER_PERIOD / 2.0) as u64;
+        // Two snapshots half a wander period apart: clearly different.
+        let a = p.mean_weights(slots, 0, 1_000_000);
+        let b = p.mean_weights(slots, half, half + 1_000_000);
+        let r_short = pearson_r(&a, &b).unwrap();
+        // Two adjacent multi-period averages: nearly identical.
+        let span = (WANDER_PERIOD * 4.0) as u64;
+        let c = p.mean_weights(slots, 0, span);
+        let d = p.mean_weights(slots, span, 2 * span);
+        let r_long = pearson_r(&c, &d).unwrap();
+        assert!(r_long > 0.95, "r_long={r_long}");
+        assert!(r_short < 0.98, "r_short={r_short}");
+        assert!(r_short < r_long, "r_short={r_short} r_long={r_long}");
+    }
+}

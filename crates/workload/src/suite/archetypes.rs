@@ -1,0 +1,315 @@
+//! Reusable model shapes shared by the benchmark suite.
+//!
+//! Most SPEC CPU2000 programs fall into a handful of behavioural
+//! archetypes for phase-detection purposes; the per-benchmark modules
+//! compose these with calibrated parameters. All archetypes are
+//! deterministic given the benchmark seed.
+
+use regmon_binary::{Addr, Binary, BinaryBuilder};
+
+use crate::activity::{loop_range, Activity};
+use crate::behavior::{Behavior, Mix};
+use crate::engine::Workload;
+use crate::profile::InstProfile;
+use crate::rng::splitmix64;
+use crate::script::{PhaseScript, Segment};
+
+/// Default virtual execution length: long enough for thousands of
+/// sampling intervals at the paper's shortest period (45K cycles/interrupt
+/// with a 2032-sample buffer ⇒ ≈6.5K intervals).
+pub const TOTAL_CYCLES: u64 = 600_000_000_000;
+
+/// Deterministic per-benchmark seed derived from the name.
+#[must_use]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h
+}
+
+/// Adds a procedure containing one loop with `slots - 1` body
+/// instructions (so the loop region covers exactly `slots` instruction
+/// slots including the back-edge branch).
+pub fn loop_proc(b: &mut BinaryBuilder, name: &str, slots: usize) {
+    assert!(slots >= 2, "a loop region needs at least 2 slots");
+    b.procedure(name, |p| {
+        p.straight(4);
+        p.loop_(|l| {
+            l.straight(slots - 1);
+        });
+        p.straight(2);
+    });
+}
+
+/// Adds a flat (loop-free) procedure of `insts` instructions. Samples
+/// landing here cannot be covered by loop-based region formation — the
+/// paper's §3.1 unmonitored-code pathology.
+pub fn flat_proc(b: &mut BinaryBuilder, name: &str, insts: usize) {
+    b.procedure(name, |p| {
+        p.straight(insts);
+    });
+}
+
+/// Adds a driver procedure whose single loop calls each of `callees`,
+/// making every callee "called from a loop".
+pub fn driver_proc(b: &mut BinaryBuilder, name: &str, callees: &[&str]) {
+    let callees: Vec<String> = callees.iter().map(|s| (*s).to_string()).collect();
+    b.procedure(name, move |p| {
+        p.loop_(|l| {
+            l.straight(2);
+            for c in &callees {
+                l.call(c.clone());
+                l.straight(1);
+            }
+        });
+    });
+}
+
+/// Builds a binary of `n_loops` single-loop procedures named `hot0..` with
+/// the given slot counts repeating cyclically.
+#[must_use]
+pub fn loops_binary(name: &str, base: u64, n_loops: usize, slot_sizes: &[usize]) -> Binary {
+    assert!(n_loops > 0);
+    let mut b = BinaryBuilder::new(name);
+    for i in 0..n_loops {
+        let slots = slot_sizes[i % slot_sizes.len()];
+        loop_proc(&mut b, &format!("hot{i}"), slots);
+    }
+    b.build(Addr::new(base))
+}
+
+/// Exponentially decaying weights: hot0 dominates, the tail is cold.
+#[must_use]
+pub fn decaying_weights(n: usize, decay: f64) -> Vec<f64> {
+    (0..n).map(|i| decay.powi(i as i32)).collect()
+}
+
+/// A [`Mix`] putting `weights[i]` on `hot{i}`'s loop, with a shared
+/// peaked profile and the given miss fraction.
+#[must_use]
+pub fn mix_over_loops(bin: &Binary, weights: &[f64], miss: f64) -> Mix {
+    let acts = weights
+        .iter()
+        .enumerate()
+        .filter(|(_, &w)| w > 0.0)
+        .map(|(i, &w)| {
+            let r = loop_range(bin, &format!("hot{i}"), 0);
+            let slots = (r.len() / regmon_binary::INST_BYTES) as usize;
+            Activity::new(
+                r,
+                w,
+                InstProfile::peaked(slots / 3, (slots as f64 / 9.0).max(1.5)),
+                miss,
+            )
+        })
+        .collect();
+    Mix::new(acts)
+}
+
+/// Archetype: one unchanging working set for the whole run.
+///
+/// GPD and LPD both report a single long stable phase.
+#[must_use]
+pub fn steady(name: &str, base: u64, n_loops: usize, miss: f64) -> Workload {
+    let bin = loops_binary(name, base, n_loops, &[24, 40, 16, 32]);
+    let mix = mix_over_loops(&bin, &decaying_weights(n_loops, 0.6), miss);
+    let script = PhaseScript::new(vec![Segment::new(TOTAL_CYCLES, Behavior::Steady(mix))]);
+    Workload::new(name, bin, script, seed_for(name))
+}
+
+/// Archetype: a single working-set change at `switch_at` (fraction of the
+/// run). Both detectors should report one phase change.
+#[must_use]
+pub fn two_phase(name: &str, base: u64, n_loops: usize, switch_at: f64, miss: f64) -> Workload {
+    assert!((0.0..1.0).contains(&switch_at));
+    let n_half = (n_loops / 2).max(1);
+    // Lay the two halves out with a cold gap between them so the
+    // working-set change moves the centroid by a detectable distance.
+    let bin = {
+        let mut b = BinaryBuilder::new(name);
+        let sizes = [24usize, 40, 16, 32];
+        for i in 0..n_half {
+            loop_proc(&mut b, &format!("hot{i}"), sizes[i % sizes.len()]);
+        }
+        flat_proc(&mut b, "cold_gap", 9000);
+        for i in n_half..n_loops {
+            loop_proc(&mut b, &format!("hot{i}"), sizes[i % sizes.len()]);
+        }
+        b.build(Addr::new(base))
+    };
+    // First phase uses the front loops, second phase the back loops.
+    let mut w1 = decaying_weights(n_loops, 0.55);
+    for w in w1.iter_mut().skip(n_half) {
+        *w *= 0.05;
+    }
+    let mut w2: Vec<f64> = decaying_weights(n_loops, 0.55);
+    w2.reverse();
+    for w in w2.iter_mut().take(n_half) {
+        *w *= 0.05;
+    }
+    let m1 = mix_over_loops(&bin, &w1, miss);
+    let m2 = mix_over_loops(&bin, &w2, miss);
+    let c1 = ((TOTAL_CYCLES as f64) * switch_at) as u64;
+    let script = PhaseScript::new(vec![
+        Segment::new(c1.max(1), Behavior::Steady(m1)),
+        Segment::new(TOTAL_CYCLES - c1.max(1), Behavior::Steady(m2)),
+    ]);
+    Workload::new(name, bin, script, seed_for(name))
+}
+
+/// Archetype: periodic switching between two region sets, the pattern that
+/// destabilizes the centroid detector when the sampling interval is
+/// shorter than (or aliases against) the switch period.
+///
+/// `filler_insts` cold instructions separate the two sets in the address
+/// space so their centroids differ; `switch_period` is the residency time
+/// in each set.
+#[must_use]
+pub fn periodic(
+    name: &str,
+    base: u64,
+    loops_per_set: usize,
+    filler_insts: usize,
+    switch_period: u64,
+    miss: f64,
+) -> Workload {
+    let mut b = BinaryBuilder::new(name);
+    for i in 0..loops_per_set {
+        loop_proc(&mut b, &format!("hot{i}"), 24 + 8 * (i % 3));
+    }
+    flat_proc(&mut b, "cold_filler", filler_insts);
+    for i in loops_per_set..2 * loops_per_set {
+        loop_proc(&mut b, &format!("hot{i}"), 24 + 8 * (i % 3));
+    }
+    let bin = b.build(Addr::new(base));
+
+    let mut wa = vec![0.0; 2 * loops_per_set];
+    let mut wb = vec![0.0; 2 * loops_per_set];
+    for i in 0..loops_per_set {
+        wa[i] = 0.6f64.powi(i as i32);
+        wb[loops_per_set + i] = 0.6f64.powi(i as i32);
+    }
+    let ma = mix_over_loops(&bin, &wa, miss);
+    let mb = mix_over_loops(&bin, &wb, miss);
+    let script = PhaseScript::new(vec![Segment::new(
+        TOTAL_CYCLES,
+        Behavior::PeriodicSwitch {
+            period: switch_period,
+            mixes: vec![ma, mb],
+        },
+    )]);
+    Workload::new(name, bin, script, seed_for(name))
+}
+
+/// Archetype: a large *accumulating* population of regions (for the cost
+/// studies, Figures 15/16).
+///
+/// The execution rotates slowly through `sets` disjoint working sets of
+/// `loops_per_set` loops each. Region formation covers each set the first
+/// time it becomes hot, and the monitor never forgets: by the end,
+/// `sets × loops_per_set` regions are being checked on every sample —
+/// which is what makes O(n) list attribution expensive and the interval
+/// tree worthwhile, exactly as in gcc/crafty/parser/vortex.
+#[must_use]
+pub fn many_regions(
+    name: &str,
+    base: u64,
+    sets: usize,
+    loops_per_set: usize,
+    rotation_period: u64,
+    miss: f64,
+) -> Workload {
+    assert!(sets > 0 && loops_per_set > 0);
+    let n = sets * loops_per_set;
+    let bin = loops_binary(name, base, n, &[12, 20, 28, 16, 36, 24]);
+    let mixes: Vec<Mix> = (0..sets)
+        .map(|s| {
+            let mut w = vec![0.0; n];
+            for j in 0..loops_per_set {
+                // Flat-ish decay: every loop in the active set receives
+                // enough samples to become (and stay) a region.
+                w[s * loops_per_set + j] = 0.96f64.powi(j as i32);
+            }
+            mix_over_loops(&bin, &w, miss)
+        })
+        .collect();
+    let script = PhaseScript::new(vec![Segment::new(
+        TOTAL_CYCLES,
+        Behavior::PeriodicSwitch {
+            period: rotation_period,
+            mixes,
+        },
+    )]);
+    Workload::new(name, bin, script, seed_for(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_is_stable_and_distinct() {
+        assert_eq!(seed_for("181.mcf"), seed_for("181.mcf"));
+        assert_ne!(seed_for("181.mcf"), seed_for("254.gap"));
+    }
+
+    #[test]
+    fn steady_model_samples_resolve() {
+        let w = steady("t.steady", 0x10000, 4, 0.2);
+        for c in (0..1_000_000u64).step_by(99_991) {
+            let pc = w.sample_pc(c);
+            assert!(w.binary().procedure_at(pc).is_some());
+        }
+    }
+
+    #[test]
+    fn two_phase_changes_working_set() {
+        let w = two_phase("t.twophase", 0x10000, 6, 0.5, 0.1);
+        let early = w.window_usage(0, 1_000_000);
+        let late_start = w.total_cycles() - 1_000_000;
+        let late = w.window_usage(late_start, w.total_cycles());
+        let hottest_early = early
+            .iter()
+            .max_by(|a, b| a.cycles.partial_cmp(&b.cycles).unwrap())
+            .unwrap()
+            .range;
+        let hottest_late = late
+            .iter()
+            .max_by(|a, b| a.cycles.partial_cmp(&b.cycles).unwrap())
+            .unwrap()
+            .range;
+        assert_ne!(hottest_early, hottest_late);
+    }
+
+    #[test]
+    fn periodic_model_alternates_sets() {
+        let p = 10_000_000u64;
+        let w = periodic("t.periodic", 0x10000, 2, 1000, p, 0.1);
+        // Usage over one full pair of periods is split between both sets.
+        let usage = w.window_usage(0, 2 * p);
+        let total: f64 = usage.iter().map(|u| u.cycles).sum();
+        assert!((total - 2.0 * p as f64).abs() / total < 0.01);
+        assert!(usage.len() >= 2);
+    }
+
+    #[test]
+    fn many_regions_rotates_through_sets() {
+        let w = many_regions("t.many", 0x10000, 3, 10, 1_000_000, 0.1);
+        // Within one rotation slot only one set (10 loops) is active...
+        let first = w.window_usage(0, 900_000);
+        assert!(first.len() <= 12, "got {}", first.len());
+        // ...but a full cycle touches all 30 loops.
+        let cycle = w.window_usage(0, 3_000_000);
+        assert!(cycle.len() >= 28, "got {}", cycle.len());
+    }
+
+    #[test]
+    fn decaying_weights_decrease() {
+        let w = decaying_weights(5, 0.5);
+        for pair in w.windows(2) {
+            assert!(pair[0] > pair[1]);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! 186.crafty — persistent unmonitored code plus a large region
+//! population (Figures 6, 7, 15, 16).
+//!
+//! The paper shows crafty triggering region formation on nearly every
+//! buffer overflow without ever reducing its UCR share: its hot code is
+//! small leaf evaluators called from search loops higher in the call
+//! graph, so loop-only formation keeps failing. Crafty is also one of the
+//! region-heavy programs that make O(n) sample attribution expensive,
+//! motivating the interval tree.
+
+use regmon_binary::{Addr, BinaryBuilder};
+
+use crate::activity::{loop_range, proc_range, Activity};
+use crate::behavior::{Behavior, Mix};
+use crate::engine::Workload;
+use crate::profile::InstProfile;
+use crate::script::{PhaseScript, Segment};
+use crate::suite::archetypes::{driver_proc, flat_proc, loop_proc, seed_for, TOTAL_CYCLES};
+
+/// Number of leaf evaluators (flat, called from the search loop).
+const N_LEAVES: usize = 6;
+/// Number of ordinary loop regions (makes crafty region-heavy).
+const N_LOOPS: usize = 96;
+/// Slow oscillation between two loop subsets.
+const SWITCH_PERIOD: u64 = 1_500_000_000;
+
+/// Builds the 186.crafty model.
+#[must_use]
+pub fn build() -> Workload {
+    let mut b = BinaryBuilder::new("186.crafty");
+    let leaf_names: Vec<String> = (0..N_LEAVES).map(|i| format!("evaluate{i}")).collect();
+    for (i, n) in leaf_names.iter().enumerate() {
+        flat_proc(&mut b, n, 180 + 40 * i);
+    }
+    for i in 0..N_LOOPS {
+        loop_proc(&mut b, &format!("hot{i}"), 10 + (i * 7) % 30);
+    }
+    let leaf_refs: Vec<&str> = leaf_names.iter().map(String::as_str).collect();
+    driver_proc(&mut b, "search", &leaf_refs);
+    let bin = b.build(Addr::new(0x40000));
+
+    // ≈38% of cycles in flat leaves (the permanent UCR), 62% in loops.
+    let leaf_raw: Vec<f64> = (0..N_LEAVES).map(|i| 0.5f64.powi(i as i32)).collect();
+    let leaf_total: f64 = leaf_raw.iter().sum();
+    let mut base_acts = Vec::new();
+    for (i, n) in leaf_names.iter().enumerate() {
+        base_acts.push(Activity::new(
+            proc_range(&bin, n),
+            0.38 * leaf_raw[i] / leaf_total,
+            InstProfile::Uniform,
+            0.12,
+        ));
+    }
+    let loop_raw: Vec<f64> = (0..N_LOOPS / 2).map(|j| 0.92f64.powi(j as i32)).collect();
+    let loop_total: f64 = loop_raw.iter().sum();
+    let mut mix_a_acts = base_acts.clone();
+    let mut mix_b_acts = base_acts;
+    for i in 0..N_LOOPS {
+        let r = loop_range(&bin, &format!("hot{i}"), 0);
+        let w = 0.62 * loop_raw[i / 2] / loop_total;
+        let act = Activity::new(r, w, InstProfile::peaked(4, 2.5), 0.15);
+        if i % 2 == 0 {
+            mix_a_acts.push(act);
+        } else {
+            mix_b_acts.push(act);
+        }
+    }
+    let mix_a = Mix::new(mix_a_acts);
+    let mix_b = Mix::new(mix_b_acts);
+
+    let script = PhaseScript::new(vec![Segment::new(
+        TOTAL_CYCLES,
+        Behavior::PeriodicSwitch {
+            period: SWITCH_PERIOD,
+            mixes: vec![mix_a, mix_b],
+        },
+    )]);
+    Workload::new("186.crafty", bin, script, seed_for("186.crafty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaves_are_flat_and_called_from_loop() {
+        let w = build();
+        for i in 0..N_LEAVES {
+            let name = format!("evaluate{i}");
+            assert!(w
+                .binary()
+                .procedure_by_name(&name)
+                .unwrap()
+                .loops()
+                .is_empty());
+            assert!(w.binary().is_called_from_loop(&name));
+        }
+    }
+
+    #[test]
+    fn flat_share_is_persistently_high() {
+        let w = build();
+        let flat_ranges: Vec<_> = (0..N_LEAVES)
+            .map(|i| proc_range(w.binary(), &format!("evaluate{i}")))
+            .collect();
+        for t0 in [0u64, w.total_cycles() / 2, w.total_cycles() - 4_000_000_000] {
+            let usage = w.window_usage(t0, t0 + 3_000_000_000);
+            let total: f64 = usage.iter().map(|u| u.cycles).sum();
+            let flat: f64 = usage
+                .iter()
+                .filter(|u| flat_ranges.contains(&u.range))
+                .map(|u| u.cycles)
+                .sum();
+            assert!(
+                flat / total > 0.25,
+                "flat share {} at t0={t0}",
+                flat / total
+            );
+        }
+    }
+
+    #[test]
+    fn many_loop_regions_active() {
+        let w = build();
+        let usage = w.window_usage(0, 2 * SWITCH_PERIOD);
+        let loops = usage.len();
+        assert!(loops > N_LOOPS / 2, "active ranges {loops}");
+    }
+}

@@ -1,0 +1,95 @@
+//! 187.facerec — periodic switching between two region sets (Figure 5).
+//!
+//! The paper's region chart shows facerec ping-ponging between two sets of
+//! regions for its whole run. There are *no* real phase changes — each
+//! region's behaviour is rock-stable — but the global centroid jumps with
+//! every switch, so GPD flags frequent changes and spends most of its time
+//! unstable at short sampling periods (Figures 3/4), while LPD reports all
+//! regions stable (Figures 13/14).
+
+use regmon_binary::Addr;
+
+use crate::behavior::Behavior;
+use crate::engine::Workload;
+use crate::script::{PhaseScript, Segment};
+use crate::suite::archetypes::{flat_proc, loop_proc, mix_over_loops, seed_for, TOTAL_CYCLES};
+
+/// Residency in each region set before switching: ≈10 intervals at the
+/// 45K period (the centroid band narrows onto one set, then the switch
+/// registers as a phase change — over and over), but only ≈1 interval at
+/// 450K and half an interval at 900K, where the detector's history
+/// absorbs or averages the alternation.
+const SWITCH_PERIOD: u64 = 900_000_000;
+
+/// Builds the 187.facerec model.
+#[must_use]
+pub fn build() -> Workload {
+    let mut b = regmon_binary::BinaryBuilder::new("187.facerec");
+    // Set X: graph-match loops, low in the address space.
+    loop_proc(&mut b, "hot0", 28);
+    loop_proc(&mut b, "hot1", 36);
+    // Cold gap so the two sets have well-separated centroids.
+    flat_proc(&mut b, "cold_gap", 9000);
+    // Set Y: FFT loops, high in the address space.
+    loop_proc(&mut b, "hot2", 44);
+    loop_proc(&mut b, "hot3", 20);
+    let bin = b.build(Addr::new(0x20000));
+
+    let wx = [0.7, 0.3, 0.0, 0.0];
+    let wy = [0.0, 0.0, 0.65, 0.35];
+    let mx = mix_over_loops(&bin, &wx, 0.18);
+    let my = mix_over_loops(&bin, &wy, 0.22);
+
+    let script = PhaseScript::new(vec![Segment::new(
+        TOTAL_CYCLES,
+        Behavior::PeriodicSwitch {
+            period: SWITCH_PERIOD,
+            mixes: vec![mx, my],
+        },
+    )]);
+    Workload::new("187.facerec", bin, script, seed_for("187.facerec"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::loop_range;
+
+    #[test]
+    fn sets_alternate() {
+        let w = build();
+        let r0 = loop_range(w.binary(), "hot0", 0);
+        let r2 = loop_range(w.binary(), "hot2", 0);
+        // Mid-first-period sample lands in set X, mid-second in set Y.
+        let x_pc = w.sample_pc(SWITCH_PERIOD / 2);
+        let y_pc = w.sample_pc(SWITCH_PERIOD + SWITCH_PERIOD / 2);
+        let in_x = r0.contains(x_pc) || loop_range(w.binary(), "hot1", 0).contains(x_pc);
+        let in_y = r2.contains(y_pc) || loop_range(w.binary(), "hot3", 0).contains(y_pc);
+        assert!(in_x && in_y);
+    }
+
+    #[test]
+    fn long_window_shares_are_balanced() {
+        let w = build();
+        let usage = w.window_usage(0, 20 * SWITCH_PERIOD);
+        let total: f64 = usage.iter().map(|u| u.cycles).sum();
+        let set_x: f64 = usage
+            .iter()
+            .filter(|u| u.range.start() < loop_range(w.binary(), "hot2", 0).start())
+            .map(|u| u.cycles)
+            .sum();
+        let frac = set_x / total;
+        assert!((frac - 0.5).abs() < 0.05, "frac={frac}");
+    }
+
+    #[test]
+    fn centroid_separation_is_large() {
+        // The two sets' mean addresses differ by well over 10% of the
+        // overall mean — enough for the centroid detector to notice.
+        let w = build();
+        let r1 = loop_range(w.binary(), "hot1", 0);
+        let r2 = loop_range(w.binary(), "hot2", 0);
+        let gap = r2.start().get() - r1.end().get();
+        assert!(gap as f64 > 0.1 * r1.start().get() as f64, "gap={gap}");
+    }
+}

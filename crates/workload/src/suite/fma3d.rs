@@ -1,0 +1,138 @@
+//! 191.fma3d — region-heavy with a mild alternation (Figures 13, 16, 17).
+//!
+//! fma3d benefits from interval-tree attribution (many regions) and shows
+//! a small but consistent optimizer advantage for local phase detection:
+//! its regions are locally stable, while a mild working-set alternation
+//! nudges the centroid around at every sampling period.
+
+use regmon_binary::Addr;
+
+use crate::activity::{loop_range, Activity};
+use crate::behavior::{Behavior, Mix};
+use crate::engine::Workload;
+use crate::profile::InstProfile;
+use crate::script::{PhaseScript, Segment};
+use crate::suite::archetypes::{loop_proc, seed_for, TOTAL_CYCLES};
+
+/// Number of loop regions (region-heavy for the attribution study).
+const N_LOOPS: usize = 44;
+/// Alternation between the solver's element-block working sets.
+const SWITCH_PERIOD: u64 = 900_000_000;
+
+/// Builds the 191.fma3d model.
+#[must_use]
+pub fn build() -> Workload {
+    let mut b = regmon_binary::BinaryBuilder::new("191.fma3d");
+    // Three headline solver loops tracked in Figure 13...
+    b.procedure("platq_stress", |p| {
+        p.straight(8);
+        p.loop_(|l| {
+            l.straight(63);
+        });
+    });
+    b.procedure("platq_mass", |p| {
+        p.straight(4);
+        p.loop_(|l| {
+            l.straight(35);
+        });
+    });
+    b.procedure("force_gather", |p| {
+        p.loop_(|l| {
+            l.straight(27);
+        });
+    });
+    // ...plus a long tail of smaller loops: the element-block sets are
+    // laid out apart in the address space (even-indexed loops low,
+    // odd-indexed high) so alternating between them moves the centroid.
+    for i in (0..N_LOOPS).step_by(2) {
+        loop_proc(&mut b, &format!("hot{i}"), 8 + (i * 5) % 26);
+    }
+    crate::suite::archetypes::flat_proc(&mut b, "cold_gap", 4500);
+    for i in (1..N_LOOPS).step_by(2) {
+        loop_proc(&mut b, &format!("hot{i}"), 8 + (i * 5) % 26);
+    }
+    let bin = b.build(Addr::new(0x20000));
+
+    let main_acts = |w1: f64, w2: f64, w3: f64| {
+        vec![
+            Activity::new(
+                loop_range(&bin, "platq_stress", 0),
+                w1,
+                InstProfile::peaked(20, 3.0),
+                0.35,
+            ),
+            Activity::new(
+                loop_range(&bin, "platq_mass", 0),
+                w2,
+                InstProfile::peaked(12, 2.5),
+                0.30,
+            ),
+            Activity::new(
+                loop_range(&bin, "force_gather", 0),
+                w3,
+                InstProfile::peaked(9, 2.0),
+                0.25,
+            ),
+        ]
+    };
+    let tail = |mix: &mut Vec<Activity>, phase: usize| {
+        for i in 0..N_LOOPS {
+            if i % 2 == phase {
+                let r = loop_range(&bin, &format!("hot{i}"), 0);
+                mix.push(Activity::new(
+                    r,
+                    0.25 * 0.9f64.powi((i / 2) as i32),
+                    InstProfile::peaked(3, 1.5),
+                    0.15,
+                ));
+            }
+        }
+    };
+    let mut a_acts = main_acts(0.30, 0.18, 0.12);
+    tail(&mut a_acts, 0);
+    let mut b_acts = main_acts(0.16, 0.28, 0.16);
+    tail(&mut b_acts, 1);
+
+    let script = PhaseScript::new(vec![Segment::new(
+        TOTAL_CYCLES,
+        Behavior::PeriodicSwitch {
+            period: SWITCH_PERIOD,
+            mixes: vec![Mix::new(a_acts), Mix::new(b_acts)],
+        },
+    )]);
+    Workload::new("191.fma3d", bin, script, seed_for("191.fma3d"))
+}
+
+/// The three headline regions of Figure 13 `(r1, r2, r3)`.
+#[must_use]
+pub fn tracked_regions(w: &Workload) -> [regmon_binary::AddrRange; 3] {
+    [
+        loop_range(w.binary(), "platq_stress", 0),
+        loop_range(w.binary(), "platq_mass", 0),
+        loop_range(w.binary(), "force_gather", 0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn many_regions_active() {
+        let w = build();
+        let usage = w.window_usage(0, 2 * SWITCH_PERIOD);
+        assert!(usage.len() > 30, "active ranges: {}", usage.len());
+    }
+
+    #[test]
+    fn headline_regions_always_active() {
+        let w = build();
+        let regions = tracked_regions(&w);
+        for t0 in [0u64, 10 * SWITCH_PERIOD] {
+            let usage = w.window_usage(t0, t0 + SWITCH_PERIOD / 2);
+            for r in regions {
+                assert!(usage.iter().any(|u| u.range == r));
+            }
+        }
+    }
+}

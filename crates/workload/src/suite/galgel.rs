@@ -1,0 +1,68 @@
+//! 178.galgel — the centroid-thrash champion of Figure 3.
+//!
+//! At the 45K-cycle sampling period galgel produces by far the most GPD
+//! phase changes (thousands), collapsing to almost none at 900K. Model: a
+//! burst-wise alternation whose residency is a small number of 45K-period
+//! intervals — the detector re-stabilizes between jumps and flags a change
+//! at nearly every switch — while the 900K interval averages several full
+//! periods.
+
+use regmon_binary::Addr;
+
+use crate::behavior::Behavior;
+use crate::engine::Workload;
+use crate::script::{PhaseScript, Segment};
+use crate::suite::archetypes::{flat_proc, loop_proc, mix_over_loops, seed_for, TOTAL_CYCLES};
+
+/// Residency per set: ≈7-8 intervals at the 45K period (91M cycles each) —
+/// just long enough for the centroid band to re-stabilize before every
+/// jump, so nearly every switch is flagged.
+const SWITCH_PERIOD: u64 = 700_000_000;
+
+/// Builds the 178.galgel model.
+#[must_use]
+pub fn build() -> Workload {
+    let mut b = regmon_binary::BinaryBuilder::new("178.galgel");
+    loop_proc(&mut b, "hot0", 52);
+    loop_proc(&mut b, "hot1", 30);
+    flat_proc(&mut b, "cold_gap", 11000);
+    loop_proc(&mut b, "hot2", 40);
+    loop_proc(&mut b, "hot3", 26);
+    let bin = b.build(Addr::new(0x28000));
+
+    let ma = mix_over_loops(&bin, &[0.6, 0.4, 0.0, 0.0], 0.2);
+    let mb = mix_over_loops(&bin, &[0.0, 0.0, 0.55, 0.45], 0.2);
+    let script = PhaseScript::new(vec![Segment::new(
+        TOTAL_CYCLES,
+        Behavior::PeriodicSwitch {
+            period: SWITCH_PERIOD,
+            mixes: vec![ma, mb],
+        },
+    )]);
+    Workload::new("178.galgel", bin, script, seed_for("178.galgel"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residency_is_a_few_short_intervals() {
+        let short_interval = 2032u64 * 45_000;
+        let per_set = SWITCH_PERIOD / short_interval;
+        assert!((5..=10).contains(&per_set), "per_set={per_set}");
+        // And the long interval covers at least one full pair, so the
+        // centroid averages both sets.
+        let long_interval = 2032u64 * 900_000;
+        assert!(long_interval >= 2 * SWITCH_PERIOD);
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let a = build();
+        let b = build();
+        for c in (0..2_000_000_000u64).step_by(333_333_331) {
+            assert_eq!(a.sample_pc(c), b.sample_pc(c));
+        }
+    }
+}

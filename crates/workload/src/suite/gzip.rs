@@ -1,0 +1,101 @@
+//! 164.gzip (ref input 5) — a genuine local phase change (Figure 13).
+//!
+//! gzip is locally very stable except for a real bottleneck shift inside
+//! its match loop when the input's compressibility changes: exactly the
+//! event local phase detection *should* report (a handful of changes),
+//! unlike the sampling artifacts that plague the global detector
+//! elsewhere.
+
+use regmon_binary::Addr;
+
+use crate::activity::{loop_range, Activity};
+use crate::behavior::{Behavior, Mix};
+use crate::engine::Workload;
+use crate::profile::InstProfile;
+use crate::script::{PhaseScript, Segment};
+use crate::suite::archetypes::{seed_for, TOTAL_CYCLES};
+
+/// Builds the 164.gzip (ref5) model.
+#[must_use]
+pub fn build() -> Workload {
+    let mut b = regmon_binary::BinaryBuilder::new("164.gzip");
+    b.procedure("longest_match", |p| {
+        p.straight(6);
+        p.loop_(|l| {
+            l.straight(39);
+        });
+    });
+    b.procedure("deflate", |p| {
+        p.straight(4);
+        p.loop_(|l| {
+            l.straight(23);
+        });
+    });
+    let bin = b.build(Addr::new(0x18000));
+
+    let r1 = loop_range(&bin, "longest_match", 0);
+    let r2 = loop_range(&bin, "deflate", 0);
+
+    // The same two regions throughout; r1's bottleneck moves mid-run.
+    let mix = |peak: usize| {
+        Mix::new(vec![
+            Activity::new(r1, 0.6, InstProfile::peaked(peak, 3.0), 0.22),
+            Activity::new(r2, 0.4, InstProfile::peaked(8, 3.0), 0.15),
+        ])
+    };
+    let cut = TOTAL_CYCLES * 55 / 100;
+    let script = PhaseScript::new(vec![
+        Segment::new(cut, Behavior::Steady(mix(10))),
+        // The hot load moves 14 slots: a genuine local phase change.
+        Segment::new(TOTAL_CYCLES - cut, Behavior::Steady(mix(24))),
+    ]);
+    Workload::new("164.gzip", bin, script, seed_for("164.gzip"))
+}
+
+/// The two tracked regions `(longest_match loop, deflate loop)`.
+#[must_use]
+pub fn tracked_regions(w: &Workload) -> [regmon_binary::AddrRange; 2] {
+    [
+        loop_range(w.binary(), "longest_match", 0),
+        loop_range(w.binary(), "deflate", 0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regmon_stats::pearson::pearson_r;
+
+    #[test]
+    fn bottleneck_shift_changes_r1_histogram() {
+        let w = build();
+        let cut = TOTAL_CYCLES * 55 / 100;
+        let before = w.window_usage(cut - 1_000_000, cut);
+        let after = w.window_usage(cut, cut + 1_000_000);
+        assert_eq!(before.len(), after.len());
+        // Same ranges, same shares...
+        let [r1, _] = tracked_regions(&w);
+        let share = |usage: &[crate::engine::RangeUsage]| {
+            let total: f64 = usage.iter().map(|u| u.cycles).sum();
+            usage
+                .iter()
+                .find(|u| u.range == r1)
+                .map_or(0.0, |u| u.cycles / total)
+        };
+        assert!((share(&before) - share(&after)).abs() < 0.01);
+        // ...but the profiles across the cut decorrelate.
+        let seg = w.script().segments();
+        let get_weights = |b: &Behavior| match b {
+            Behavior::Steady(m) => {
+                m.activities()[0]
+                    .profile()
+                    .mean_weights(m.activities()[0].slots(), 0, 1)
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        let wa = get_weights(seg[0].behavior());
+        let wb = get_weights(seg[1].behavior());
+        let r = pearson_r(&wa, &wb).unwrap();
+        assert!(r < 0.5, "r={r}");
+    }
+}

@@ -1,0 +1,194 @@
+//! 181.mcf — the paper's running example (Figures 2, 9, 10, 17).
+//!
+//! Observed behaviour being modelled:
+//!
+//! * Three prominent regions; one (`146f0-14770` in the paper, region "A"
+//!   here) dominates early and fades, another (`142c8-14318`, "B") grows
+//!   (Figure 9).
+//! * Execution transitions from non-periodic to *periodic* region
+//!   switching towards the end (Figure 2), leaving the global detector
+//!   unstable for a long stretch.
+//! * Every region's internal sample histogram keeps its shape throughout,
+//!   so local Pearson correlation stays high (Figure 10) — LPD sees a
+//!   single long stable phase.
+//! * Heavily memory-bound: large data-cache miss fractions, which is why
+//!   the optimizer study (Figure 17) has so much to win here.
+//!
+//! Mechanisms: a slow alternation whose period is comparable to the
+//! sampling *interval* at long sampling periods (aliasing keeps the
+//! centroid wobbling → GPD unstable at 800K–1.5M cycles/interrupt), but
+//! much longer than the interval at 45K–100K (GPD tracks each sub-phase
+//! with quick re-stabilization → many changes yet high stable time).
+
+use regmon_binary::{Addr, BinaryBuilder};
+
+use crate::activity::{loop_range, proc_range, Activity};
+use crate::behavior::{Behavior, Mix};
+use crate::engine::Workload;
+use crate::profile::InstProfile;
+use crate::script::{PhaseScript, Segment};
+use crate::suite::archetypes::{flat_proc, seed_for, TOTAL_CYCLES};
+
+/// Slow alternation period for the mid-run working-set oscillation.
+const SLOW_PERIOD: u64 = 20_000_000_000;
+/// Alternation period of the periodic tail. At short sampling periods
+/// (45K-100K) each residency spans dozens of intervals, so the detector
+/// re-stabilizes quickly after every switch (many changes, high stable
+/// time); at 800K-1.5M the residency shrinks to a couple of intervals and
+/// the band of stability - too thick to pass the SD < E/6 check while it
+/// straddles both sets - keeps the detector stuck unstable.
+const TAIL_PERIOD: u64 = 9_000_000_000;
+
+/// Builds the 181.mcf model.
+#[must_use]
+pub fn build() -> Workload {
+    let mut b = BinaryBuilder::new("181.mcf");
+    // Region C: one big loop (the paper's 13134-133d4, 168 slots).
+    b.procedure("primal_bea_mpp", |p| {
+        p.straight(12);
+        p.loop_(|l| {
+            l.straight(167);
+        });
+        p.straight(4);
+    });
+    // Cold code spreads the hot regions apart so their centroids differ.
+    flat_proc(&mut b, "cold1", 8000);
+    // Region B: small tight loop (the paper's 142c8-14318, 20 slots).
+    b.procedure("price_out_impl", |p| {
+        p.straight(6);
+        p.loop_(|l| {
+            l.straight(19);
+        });
+    });
+    flat_proc(&mut b, "cold2", 40000);
+    // Region A: medium loop (the paper's 146f0-14770, 32 slots).
+    b.procedure("refresh_potential", |p| {
+        p.straight(8);
+        p.loop_(|l| {
+            l.straight(31);
+        });
+        p.straight(2);
+    });
+    flat_proc(&mut b, "misc", 300);
+    let bin = b.build(Addr::new(0x13000));
+
+    let ra = loop_range(&bin, "refresh_potential", 0);
+    let rb = loop_range(&bin, "price_out_impl", 0);
+    let rc = loop_range(&bin, "primal_bea_mpp", 0);
+    let rmisc = proc_range(&bin, "misc");
+
+    // Region profiles are fixed for the whole run: this is what makes mcf
+    // *locally* stable no matter how the weights shift.
+    let act = |r: regmon_binary::AddrRange, w: f64, peak: usize, width: f64, miss: f64| {
+        Activity::new(r, w, InstProfile::peaked(peak, width), miss)
+    };
+    let a = |w: f64| act(ra, w, 11, 3.0, 0.55);
+    let bq = |w: f64| act(rb, w, 7, 2.0, 0.50);
+    let c = |w: f64| act(rc, w, 60, 7.0, 0.40);
+    let misc = |w: f64| Activity::new(rmisc, w, InstProfile::Uniform, 0.10);
+
+    // Early: A dominates.
+    let early = Mix::new(vec![a(0.62), bq(0.10), c(0.20), misc(0.08)]);
+    // Mid-run oscillation variants: A fades, B rises.
+    let mid_a = Mix::new(vec![a(0.45), bq(0.25), c(0.22), misc(0.08)]);
+    let mid_b = Mix::new(vec![a(0.22), bq(0.48), c(0.22), misc(0.08)]);
+    // Tail oscillation: B-dominant alternating with a balanced mix.
+    let tail_a = Mix::new(vec![a(0.40), bq(0.30), c(0.22), misc(0.08)]);
+    let tail_b = Mix::new(vec![a(0.02), bq(0.68), c(0.22), misc(0.08)]);
+
+    let seg1 = TOTAL_CYCLES / 5; // 20%: steady
+    let seg2 = TOTAL_CYCLES * 3 / 10; // 30%: slow alternation
+    let seg3 = TOTAL_CYCLES - seg1 - seg2; // 50%: periodic tail
+    let script = PhaseScript::new(vec![
+        Segment::new(seg1, Behavior::Steady(early)),
+        Segment::new(
+            seg2,
+            Behavior::PeriodicSwitch {
+                period: SLOW_PERIOD,
+                mixes: vec![mid_a, mid_b],
+            },
+        ),
+        Segment::new(
+            seg3,
+            Behavior::PeriodicSwitch {
+                period: TAIL_PERIOD,
+                mixes: vec![tail_a, tail_b],
+            },
+        ),
+    ]);
+    Workload::new("181.mcf", bin, script, seed_for("181.mcf"))
+}
+
+/// The three tracked region ranges `(A, B, C)` used by the figure
+/// binaries, analogous to the paper's `146f0-14770`, `142c8-14318` and
+/// `13134-133d4`.
+#[must_use]
+pub fn tracked_regions(w: &Workload) -> [regmon_binary::AddrRange; 3] {
+    [
+        loop_range(w.binary(), "refresh_potential", 0),
+        loop_range(w.binary(), "price_out_impl", 0),
+        loop_range(w.binary(), "primal_bea_mpp", 0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_phase_is_a_dominant() {
+        let w = build();
+        let [ra, _, _] = tracked_regions(&w);
+        let usage = w.window_usage(0, 1_000_000_000);
+        let total: f64 = usage.iter().map(|u| u.cycles).sum();
+        let a_frac = usage
+            .iter()
+            .find(|u| u.range == ra)
+            .map_or(0.0, |u| u.cycles / total);
+        assert!(a_frac > 0.5, "a_frac={a_frac}");
+    }
+
+    #[test]
+    fn late_phase_is_b_dominant_on_average() {
+        let w = build();
+        let [ra, rb, _] = tracked_regions(&w);
+        let end = w.total_cycles();
+        let usage = w.window_usage(end - 10_000_000_000, end);
+        let total: f64 = usage.iter().map(|u| u.cycles).sum();
+        let frac = |r| {
+            usage
+                .iter()
+                .find(|u| u.range == r)
+                .map_or(0.0, |u| u.cycles / total)
+        };
+        assert!(frac(rb) > frac(ra), "b={} a={}", frac(rb), frac(ra));
+    }
+
+    #[test]
+    fn tail_oscillates() {
+        let w = build();
+        let [_, rb, _] = tracked_regions(&w);
+        // Two windows half a tail-period apart see different B shares.
+        let t0 = w.total_cycles() - 10 * TAIL_PERIOD;
+        let u1 = w.window_usage(t0, t0 + TAIL_PERIOD / 2);
+        let u2 = w.window_usage(t0 + TAIL_PERIOD / 2, t0 + TAIL_PERIOD);
+        let share = |usage: &[crate::engine::RangeUsage]| {
+            let total: f64 = usage.iter().map(|u| u.cycles).sum();
+            usage
+                .iter()
+                .find(|u| u.range == rb)
+                .map_or(0.0, |u| u.cycles / total)
+        };
+        let (s1, s2) = (share(&u1), share(&u2));
+        assert!((s1 - s2).abs() > 0.1, "s1={s1} s2={s2}");
+    }
+
+    #[test]
+    fn memory_bound_miss_fractions() {
+        let w = build();
+        let usage = w.window_usage(0, 1_000_000_000);
+        let cycles: f64 = usage.iter().map(|u| u.cycles).sum();
+        let misses: f64 = usage.iter().map(|u| u.miss_cycles).sum();
+        assert!(misses / cycles > 0.3, "miss share {}", misses / cycles);
+    }
+}

@@ -1,0 +1,167 @@
+//! The synthetic SPEC CPU2000-like benchmark suite.
+//!
+//! Each model reproduces the phase-behaviour phenomena the paper reports
+//! for that benchmark (see the per-module docs and `DESIGN.md` §2 for the
+//! substitution argument). Benchmarks with bespoke behaviour get their own
+//! module; the rest are instances of the [`archetypes`].
+//!
+//! # Example
+//!
+//! ```
+//! use regmon_workload::suite;
+//!
+//! assert_eq!(suite::names().len(), 23);
+//! let w = suite::by_name("187.facerec").unwrap();
+//! assert_eq!(w.name(), "187.facerec");
+//! ```
+
+pub mod ammp;
+pub mod archetypes;
+pub mod crafty;
+pub mod facerec;
+pub mod fma3d;
+pub mod galgel;
+pub mod gap;
+pub mod gzip;
+pub mod mcf;
+
+use crate::engine::Workload;
+use archetypes::{many_regions, periodic, steady, two_phase};
+
+pub use archetypes::TOTAL_CYCLES;
+
+/// Names of all 23 modelled benchmarks, in SPEC numbering order.
+#[must_use]
+pub fn names() -> Vec<&'static str> {
+    vec![
+        "164.gzip",
+        "168.wupwise",
+        "171.swim",
+        "172.mgrid",
+        "173.applu",
+        "175.vpr",
+        "176.gcc",
+        "177.mesa",
+        "178.galgel",
+        "181.mcf",
+        "183.equake",
+        "186.crafty",
+        "187.facerec",
+        "188.ammp",
+        "189.lucas",
+        "191.fma3d",
+        "197.parser",
+        "200.sixtrack",
+        "254.gap",
+        "255.vortex",
+        "256.bzip2",
+        "300.twolf",
+        "301.apsi",
+    ]
+}
+
+/// The 21 benchmarks of the paper's Figures 3/4 sweep (gzip and gcc were
+/// excluded there as short-running).
+#[must_use]
+pub fn fig3_names() -> Vec<&'static str> {
+    names()
+        .into_iter()
+        .filter(|n| *n != "164.gzip" && *n != "176.gcc")
+        .collect()
+}
+
+/// Builds the benchmark model named `name`, or `None` for an unknown name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    let w = match name {
+        "164.gzip" => gzip::build(),
+        "168.wupwise" => periodic("168.wupwise", 0x22000, 2, 4000, 1_100_000_000, 0.12),
+        "171.swim" => steady("171.swim", 0x14000, 6, 0.25),
+        "172.mgrid" => steady("172.mgrid", 0x16000, 8, 0.30),
+        "173.applu" => two_phase("173.applu", 0x1a000, 10, 0.45, 0.22),
+        "175.vpr" => steady("175.vpr", 0x1e000, 12, 0.12),
+        "176.gcc" => many_regions("176.gcc", 0x60000, 6, 40, 6_000_000_000, 0.08),
+        "177.mesa" => two_phase("177.mesa", 0x26000, 10, 0.60, 0.06),
+        "178.galgel" => galgel::build(),
+        "181.mcf" => mcf::build(),
+        "183.equake" => two_phase("183.equake", 0x2c000, 8, 0.35, 0.28),
+        "186.crafty" => crafty::build(),
+        "187.facerec" => facerec::build(),
+        "188.ammp" => ammp::build(),
+        "189.lucas" => steady("189.lucas", 0x34000, 4, 0.26),
+        "191.fma3d" => fma3d::build(),
+        "197.parser" => many_regions("197.parser", 0x44000, 5, 36, 6_500_000_000, 0.10),
+        "200.sixtrack" => steady("200.sixtrack", 0x3a000, 14, 0.05),
+        "254.gap" => gap::build(),
+        "255.vortex" => many_regions("255.vortex", 0x54000, 5, 30, 5_500_000_000, 0.09),
+        "256.bzip2" => two_phase("256.bzip2", 0x3c000, 40, 0.50, 0.18),
+        "300.twolf" => steady("300.twolf", 0x3e000, 16, 0.14),
+        "301.apsi" => many_regions("301.apsi", 0x5c000, 6, 28, 5_000_000_000, 0.07),
+        _ => return None,
+    };
+    Some(w)
+}
+
+/// Builds every benchmark model.
+#[must_use]
+pub fn all() -> Vec<Workload> {
+    names()
+        .into_iter()
+        .map(|n| by_name(n).expect("names() entries are all known"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_builds() {
+        for n in names() {
+            let w = by_name(n).unwrap_or_else(|| panic!("{n} missing"));
+            assert_eq!(w.name(), n);
+            assert!(w.total_cycles() > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("999.nothing").is_none());
+    }
+
+    #[test]
+    fn fig3_set_excludes_short_runners() {
+        let f = fig3_names();
+        assert_eq!(f.len(), 21);
+        assert!(!f.contains(&"164.gzip"));
+        assert!(!f.contains(&"176.gcc"));
+    }
+
+    #[test]
+    fn all_builds_everything() {
+        assert_eq!(all().len(), 23);
+    }
+
+    #[test]
+    fn samples_from_every_model_resolve_to_code() {
+        for w in all() {
+            for k in 0..20u64 {
+                let cycle = k * (w.total_cycles() / 21);
+                let pc = w.sample_pc(cycle);
+                assert!(
+                    w.binary().procedure_at(pc).is_some(),
+                    "{}: stray pc {pc} at cycle {cycle}",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn models_have_distinct_seeds() {
+        let mut seeds: Vec<u64> = names().iter().map(|n| archetypes::seed_for(n)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), names().len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the workload engine's invariants.
+
+use proptest::prelude::*;
+
+use regmon_binary::{Addr, BinaryBuilder};
+use regmon_workload::activity::{loop_range, Activity};
+use regmon_workload::{Behavior, InstProfile, Mix, PhaseScript, Segment, Workload};
+
+/// A workload over three loops with arbitrary weights/behavior built from
+/// the strategy inputs.
+fn build_workload(
+    weights: [f64; 3],
+    miss: [f64; 3],
+    periodic: bool,
+    period: u64,
+    total: u64,
+    seed: u64,
+) -> Workload {
+    let mut b = BinaryBuilder::new("prop");
+    for i in 0..3 {
+        let name = format!("p{i}");
+        b.procedure(name, |p| {
+            p.straight(2);
+            p.loop_(|l| {
+                l.straight(9 + 4 * i);
+            });
+        });
+    }
+    let bin = b.build(Addr::new(0x10000));
+    let act = |i: usize, w: f64| {
+        Activity::new(
+            loop_range(&bin, &format!("p{i}"), 0),
+            w,
+            InstProfile::peaked(3, 1.5),
+            miss[i],
+        )
+    };
+    let mix_a = Mix::new(vec![
+        act(0, weights[0]),
+        act(1, weights[1]),
+        act(2, weights[2]),
+    ]);
+    let mix_b = Mix::new(vec![
+        act(0, weights[2]),
+        act(1, weights[0]),
+        act(2, weights[1]),
+    ]);
+    let behavior = if periodic {
+        Behavior::PeriodicSwitch {
+            period,
+            mixes: vec![mix_a, mix_b],
+        }
+    } else {
+        Behavior::Blend {
+            from: mix_a,
+            to: mix_b,
+        }
+    };
+    let script = PhaseScript::new(vec![Segment::new(total, behavior)]);
+    Workload::new("prop", bin, script, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn window_usage_conserves_cycles(
+        w0 in 0.05..1.0f64,
+        w1 in 0.05..1.0f64,
+        w2 in 0.05..1.0f64,
+        periodic in prop::bool::ANY,
+        period in 1_000u64..100_000,
+        start_frac in 0.0..0.8f64,
+        len in 1_000u64..500_000,
+        seed in 0u64..1000,
+    ) {
+        let total = 1_000_000u64;
+        let w = build_workload([w0, w1, w2], [0.1, 0.2, 0.3], periodic, period, total, seed);
+        let start = (start_frac * total as f64) as u64;
+        let end = (start + len).min(total);
+        let usage = w.window_usage(start, end);
+        let cycles: f64 = usage.iter().map(|u| u.cycles).sum();
+        let expect = (end - start) as f64;
+        prop_assert!(
+            (cycles - expect).abs() < expect * 0.02 + 2.0,
+            "cycles {cycles} vs window {expect}"
+        );
+        // Miss cycles never exceed cycles, per range.
+        for u in &usage {
+            prop_assert!(u.miss_cycles <= u.cycles + 1e-9);
+            prop_assert!(u.miss_cycles >= 0.0);
+        }
+    }
+
+    #[test]
+    fn samples_land_in_declared_ranges(
+        w0 in 0.05..1.0f64,
+        w1 in 0.05..1.0f64,
+        w2 in 0.05..1.0f64,
+        periodic in prop::bool::ANY,
+        period in 1_000u64..100_000,
+        seed in 0u64..1000,
+        cycles in prop::collection::vec(0u64..1_000_000, 1..40),
+    ) {
+        let w = build_workload([w0, w1, w2], [0.0, 0.0, 0.0], periodic, period, 1_000_000, seed);
+        let ranges: Vec<_> = (0..3)
+            .map(|i| loop_range(w.binary(), &format!("p{i}"), 0))
+            .collect();
+        for c in cycles {
+            let pc = w.sample_pc(c);
+            prop_assert!(
+                ranges.iter().any(|r| r.contains(pc)),
+                "pc {pc} at cycle {c} outside every activity range"
+            );
+            // Aligned to an instruction slot.
+            prop_assert_eq!(pc.get() % 4, 0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_pure_in_seed_and_cycle(
+        seed in 0u64..1000,
+        cycle in 0u64..1_000_000,
+    ) {
+        let w1 = build_workload([0.5, 0.3, 0.2], [0.1, 0.1, 0.1], true, 10_000, 1_000_000, seed);
+        let w2 = build_workload([0.5, 0.3, 0.2], [0.1, 0.1, 0.1], true, 10_000, 1_000_000, seed);
+        // Draw in different orders; answers must match.
+        let a = w1.sample_pc(cycle);
+        let _ = w1.sample_pc(cycle / 2 + 1);
+        let b = w1.sample_pc(cycle);
+        let c = w2.sample_pc(cycle);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, c);
+    }
+
+    #[test]
+    fn empirical_shares_match_analytic_usage(
+        w0 in 0.1..1.0f64,
+        w1 in 0.1..1.0f64,
+        seed in 0u64..100,
+    ) {
+        // Steady two-activity mix: the sampled share of activity 0 must
+        // approach its analytic share.
+        let w = build_workload([w0, w1, 0.0001], [0.0, 0.0, 0.0], true, 1_000_000_000, 1_000_000, seed);
+        let r0 = loop_range(w.binary(), "p0", 0);
+        let usage = w.window_usage(0, 1_000_000);
+        let total: f64 = usage.iter().map(|u| u.cycles).sum();
+        let share = usage
+            .iter()
+            .find(|u| u.range == r0)
+            .map_or(0.0, |u| u.cycles / total);
+        let n = 4000u64;
+        let hits = (0..n)
+            .filter(|k| r0.contains(w.sample_pc(k * 250)))
+            .count();
+        let empirical = hits as f64 / n as f64;
+        prop_assert!(
+            (empirical - share).abs() < 0.05,
+            "empirical {empirical} vs analytic {share}"
+        );
+    }
+}

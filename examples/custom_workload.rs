@@ -1,0 +1,85 @@
+//! Building your own workload model from scratch.
+//!
+//! Everything the suite's SPEC-like models use is public API: describe a
+//! binary with the builder, script its phase behaviour, and run any part
+//! of the pipeline over it. This example models a tiny database engine
+//! whose scan loop is steady but whose join loop genuinely changes
+//! behaviour halfway through (its hot instruction moves), then shows that
+//! local phase detection isolates the change to the join loop.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use regmon::binary::{Addr, BinaryBuilder};
+use regmon::workload::activity::{loop_range, Activity};
+use regmon::workload::{Behavior, InstProfile, Mix, PhaseScript, Segment, Workload};
+use regmon::{MonitoringSession, SessionConfig};
+
+fn main() {
+    // 1. The code image: two procedures, one loop each.
+    let mut b = BinaryBuilder::new("tinydb");
+    b.procedure("scan_table", |p| {
+        p.straight(6);
+        p.loop_(|l| {
+            l.straight(23);
+        });
+    });
+    b.procedure("hash_join", |p| {
+        p.straight(4);
+        p.loop_(|l| {
+            l.straight(31);
+        });
+    });
+    let binary = b.build(Addr::new(0x40000));
+
+    let scan = loop_range(&binary, "scan_table", 0);
+    let join = loop_range(&binary, "hash_join", 0);
+
+    // 2. The behaviour: the scan loop never changes; the join loop's
+    //    bottleneck moves from the hash probe (slot 8) to a different
+    //    load (slot 24) when the build side stops fitting in cache.
+    let mix = |join_peak: usize| {
+        Mix::new(vec![
+            Activity::new(scan, 0.55, InstProfile::peaked(10, 3.0), 0.15),
+            Activity::new(join, 0.45, InstProfile::peaked(join_peak, 3.0), 0.40),
+        ])
+    };
+    let total = 30_000_000_000u64;
+    let script = PhaseScript::new(vec![
+        Segment::new(total / 2, Behavior::Steady(mix(8))),
+        Segment::new(total / 2, Behavior::Steady(mix(24))),
+    ]);
+    let workload = Workload::new("tinydb", binary, script, 0xDB);
+
+    // 3. Run the full monitoring pipeline.
+    let config = SessionConfig::new(45_000);
+    let summary = MonitoringSession::run(&workload, &config);
+
+    println!("== {} ==", summary.workload);
+    println!(
+        "intervals: {}, regions formed: {}",
+        summary.intervals, summary.regions_formed
+    );
+    println!();
+    for (id, stats) in &summary.lpd {
+        println!(
+            "region {id}: {} local phase changes, stable {:.0}% of the time",
+            stats.phase_changes,
+            stats.stable_fraction() * 100.0
+        );
+    }
+    println!();
+    println!("The join loop reports the mid-run bottleneck shift; the scan");
+    println!("loop stays stable — a per-region answer no global metric gives.");
+
+    // The change is isolated: exactly one region sees extra changes.
+    let changes: Vec<usize> = summary.lpd.values().map(|s| s.phase_changes).collect();
+    assert!(changes.iter().any(|&c| c >= 3), "join loop change missed");
+    assert!(
+        changes.iter().any(|&c| c <= 1),
+        "scan loop wrongly disturbed"
+    );
+}

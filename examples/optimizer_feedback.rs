@@ -1,0 +1,58 @@
+//! Self-monitoring: detecting and undoing a harmful optimization.
+//!
+//! Region monitoring's second purpose (paper §3, §5) is verifying that a
+//! deployed optimization actually helps. Here one region's "prefetching"
+//! backfires (it evicts useful cache lines); the self-monitor notices the
+//! negative benefit within a few intervals, undoes the trace and
+//! blacklists the region.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example optimizer_feedback
+//! ```
+
+use regmon::rto::{simulate, RtoConfig, RtoMode, SelfMonitorConfig};
+use regmon::workload::activity::loop_range;
+use regmon::workload::suite;
+
+fn main() {
+    let workload = suite::by_name("172.mgrid").expect("172.mgrid is in the suite");
+
+    // Make one hot loop prefetch-hostile.
+    let hostile = loop_range(workload.binary(), "hot1", 0);
+    let mut config = RtoConfig::new(100_000);
+    config.max_intervals = Some(150);
+    config.model.hostile_ranges = vec![hostile];
+
+    println!("hostile region: {hostile} (patching it *adds* miss cycles)");
+    println!();
+
+    // Without self-monitoring: the optimizer trusts every deployment.
+    config.self_monitor = None;
+    let blind = simulate(&workload, &config, RtoMode::Local);
+
+    // With self-monitoring: negative benefit gets the trace undone.
+    config.self_monitor = Some(SelfMonitorConfig {
+        evaluation_intervals: 4,
+    });
+    let guarded = simulate(&workload, &config, RtoMode::Local);
+
+    let fmt = |name: &str, r: &regmon::rto::RtoReport| {
+        println!(
+            "{name:<22} speedup {:>6.2}%  saved {:>12.0} cycles  blacklisted {}",
+            r.speedup_over_baseline_percent(),
+            r.saved_cycles,
+            r.blacklisted_regions
+        );
+    };
+    fmt("without self-monitor:", &blind);
+    fmt("with self-monitor:", &guarded);
+
+    assert!(guarded.realized_cycles <= blind.realized_cycles);
+    println!();
+    println!(
+        "self-monitoring recovered {:.2}% of execution time",
+        (blind.realized_cycles / guarded.realized_cycles - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,55 @@
+//! Phase classification and next-phase prediction on a periodic program.
+//!
+//! 187.facerec alternates between two region sets. Interval-to-interval
+//! comparison (the centroid detector) thrashes on it — but the *sequence*
+//! of phases is perfectly regular, so a classifier + Markov predictor can
+//! tell the optimizer which phase comes next (the paper's footnote:
+//! prefetch the next phase's instructions before it arrives).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example phase_prediction
+//! ```
+
+use regmon::sampling::{Sampler, SamplingConfig};
+use regmon::workload::suite;
+use regmon_baselines::{PhaseClassifier, PhasePredictor};
+
+fn main() {
+    let workload = suite::by_name("187.facerec").expect("187.facerec is in the suite");
+    let sampling = SamplingConfig::new(45_000);
+
+    let mut classifier = PhaseClassifier::new(64, 0.5);
+    let mut predictor = PhasePredictor::new();
+
+    let mut timeline = String::new();
+    for interval in Sampler::new(&workload, sampling).take(120) {
+        let Some(phase) = classifier.classify(workload.binary(), &interval.samples) else {
+            continue;
+        };
+        let glyph = char::from(b'A' + (phase.0 % 26) as u8);
+        timeline.push(glyph);
+        predictor.observe(phase);
+    }
+
+    println!("phase timeline (one glyph per 45K-period interval):");
+    for chunk in timeline.as_bytes().chunks(60) {
+        println!("  {}", String::from_utf8_lossy(chunk));
+    }
+    println!();
+    println!("distinct phases  : {}", classifier.phases());
+    println!(
+        "next-phase hits  : {}/{} ({:.1}%)",
+        predictor.stats().correct,
+        predictor.stats().predictions,
+        predictor.stats().accuracy() * 100.0
+    );
+    println!();
+    println!("The same program drives the centroid detector into hundreds of");
+    println!("spurious phase changes (Figure 3) — its phases are not unstable,");
+    println!("they are *recurring*, and therefore predictable.");
+
+    assert!(classifier.phases() <= 6, "facerec has few recurring phases");
+    assert!(predictor.stats().accuracy() > 0.5);
+}

@@ -1,0 +1,60 @@
+//! Integration: the related-work global detectors (basic-block vectors,
+//! working-set signatures) share the centroid scheme's blind spot — the
+//! whole point of the paper's per-region proposal.
+
+use regmon::sampling::{Sampler, SamplingConfig};
+use regmon::workload::suite;
+use regmon::{MonitoringSession, SessionConfig};
+use regmon_baselines::{BbvConfig, BbvDetector, WssConfig, WssDetector};
+
+fn run_globals(name: &str, intervals: usize) -> (usize, usize, usize) {
+    let w = suite::by_name(name).unwrap();
+    let sampling = SamplingConfig::new(45_000);
+    let mut bbv = BbvDetector::new(BbvConfig::default());
+    let mut wss = WssDetector::new(WssConfig::default());
+    let config = SessionConfig::new(45_000);
+    let mut session = MonitoringSession::new(config);
+    session.attach_binary(&w);
+    for interval in Sampler::new(&w, sampling).take(intervals) {
+        bbv.observe(w.binary(), &interval.samples);
+        wss.observe(w.binary(), &interval.samples);
+        session.process_interval(&interval);
+    }
+    (
+        bbv.stats().phase_changes,
+        wss.stats().phase_changes,
+        session.gpd().stats().phase_changes,
+    )
+}
+
+#[test]
+fn all_global_schemes_thrash_on_region_switchers() {
+    let (bbv, wss, gpd) = run_globals("187.facerec", 200);
+    assert!(bbv > 10, "bbv {bbv}");
+    assert!(wss > 10, "wss {wss}");
+    assert!(gpd > 10, "gpd {gpd}");
+}
+
+#[test]
+fn all_global_schemes_are_quiet_on_steady_programs() {
+    let (bbv, wss, gpd) = run_globals("172.mgrid", 100);
+    assert!(bbv <= 2, "bbv {bbv}");
+    assert!(wss <= 2, "wss {wss}");
+    assert!(gpd <= 2, "gpd {gpd}");
+}
+
+#[test]
+fn local_detection_sees_through_the_switching() {
+    // Same facerec window the globals thrash on: the hot regions' local
+    // detectors barely move.
+    let w = suite::by_name("187.facerec").unwrap();
+    let config = SessionConfig::new(45_000);
+    let summary = MonitoringSession::run_limited(&w, &config, 200);
+    let hot_changes: usize = summary
+        .lpd
+        .values()
+        .filter(|s| s.mean_samples() >= 200.0)
+        .map(|s| s.phase_changes)
+        .sum();
+    assert!(hot_changes <= 12, "hot-region changes {hot_changes}");
+}

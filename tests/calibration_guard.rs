@@ -1,0 +1,75 @@
+//! Full-length calibration guards: assert the figure-level anchors that
+//! EXPERIMENTS.md reports, over complete workload runs.
+//!
+//! These process millions of samples each and are meant for release
+//! builds, so they are `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release -p regmon --test calibration_guard -- --ignored
+//! ```
+
+use regmon::workload::suite;
+use regmon::{MonitoringSession, SessionConfig};
+
+fn full_run(name: &str, period: u64) -> regmon::SessionSummary {
+    let w = suite::by_name(name).unwrap();
+    let config = SessionConfig::new(period);
+    MonitoringSession::run(&w, &config)
+}
+
+#[test]
+#[ignore = "full-length run; use --release -- --ignored"]
+fn fig3_shape_thrashy_set_collapses_with_period() {
+    for (name, min_45k) in [("178.galgel", 800), ("187.facerec", 800), ("254.gap", 300)] {
+        let at_45k = full_run(name, 45_000).gpd.phase_changes;
+        let at_900k = full_run(name, 900_000).gpd.phase_changes;
+        assert!(at_45k >= min_45k, "{name}: {at_45k} changes @45K");
+        assert!(at_900k <= 20, "{name}: {at_900k} changes @900K");
+        assert!(at_45k > at_900k * 20, "{name}: collapse missing");
+    }
+}
+
+#[test]
+#[ignore = "full-length run; use --release -- --ignored"]
+fn fig4_mcf_fast_response_shape() {
+    let s45 = full_run("181.mcf", 45_000);
+    let s900 = full_run("181.mcf", 900_000);
+    // Many changes yet high stable time at 45K; few changes yet low
+    // stable time at 900K (stuck unstable in the periodic tail).
+    assert!(s45.gpd.phase_changes > 40, "{:?}", s45.gpd);
+    assert!(s45.gpd.stable_fraction() > 0.9, "{:?}", s45.gpd);
+    assert!(s900.gpd.phase_changes < 40, "{:?}", s900.gpd);
+    assert!(s900.gpd.stable_fraction() < 0.6, "{:?}", s900.gpd);
+}
+
+#[test]
+#[ignore = "full-length run; use --release -- --ignored"]
+fn fig6_ucr_threshold_crossers() {
+    for name in suite::names() {
+        let summary = full_run(name, 45_000);
+        let above = summary.ucr_median > 0.30;
+        let expected = name == "254.gap" || name == "186.crafty";
+        assert_eq!(
+            above, expected,
+            "{name}: median UCR {:.3}",
+            summary.ucr_median
+        );
+    }
+}
+
+#[test]
+#[ignore = "full-length run; use --release -- --ignored"]
+fn fig17_mcf_advantage_grows_with_period() {
+    use regmon::rto::{simulate, speedup_percent, RtoConfig, RtoMode};
+    let w = suite::by_name("181.mcf").unwrap();
+    let mut speedups = Vec::new();
+    for period in regmon::sampling::RTO_PERIODS {
+        let config = RtoConfig::new(period);
+        let orig = simulate(&w, &config, RtoMode::Global);
+        let lpd = simulate(&w, &config, RtoMode::Local);
+        speedups.push(speedup_percent(&orig, &lpd));
+    }
+    assert!(speedups[0] > 0.0, "{speedups:?}");
+    assert!(speedups[2] > speedups[0], "{speedups:?}");
+    assert!(speedups[2] > 15.0, "{speedups:?}");
+}

@@ -1,0 +1,211 @@
+//! The paper's qualitative claims, asserted end-to-end on the suite
+//! models (short prefixes of each run, so the suite stays fast; the
+//! figure binaries run the full-length versions).
+
+use regmon::workload::suite;
+use regmon::{MonitoringSession, SessionConfig};
+
+/// Intervals covering the same virtual time at different periods.
+fn intervals_for(period: u64, budget_intervals_at_45k: usize) -> usize {
+    ((45_000 * budget_intervals_at_45k as u64) / period).max(12) as usize
+}
+
+#[test]
+fn facerec_thrashes_gpd_but_is_locally_stable() {
+    // Paper §2.3 + Figure 5: facerec switches periodically between two
+    // region sets; GPD flags frequent changes at the short period while
+    // each region is locally stable.
+    let w = suite::by_name("187.facerec").unwrap();
+    let config = SessionConfig::new(45_000);
+    let summary = MonitoringSession::run_limited(&w, &config, 160);
+
+    assert!(
+        summary.gpd.phase_changes > 10,
+        "GPD should thrash: {:?}",
+        summary.gpd
+    );
+    // Hot regions: stable the vast majority of the time.
+    let hot: Vec<_> = summary
+        .lpd
+        .values()
+        .filter(|s| s.active_intervals * 2 > s.intervals)
+        .collect();
+    assert!(!hot.is_empty());
+    for s in &hot {
+        assert!(
+            s.stable_fraction() > 0.7,
+            "hot region should be locally stable: {s:?}"
+        );
+        assert!(s.phase_changes <= 4, "{s:?}");
+    }
+}
+
+#[test]
+fn mcf_is_locally_stable_while_globally_restless() {
+    // Paper Figures 9/10: mcf's regions swap execution share but keep
+    // their internal histograms; LPD sees few changes on the tracked
+    // regions.
+    let w = suite::by_name("181.mcf").unwrap();
+    let config = SessionConfig::new(45_000);
+    let summary = MonitoringSession::run_limited(&w, &config, 150);
+
+    let per_region_changes: Vec<usize> = summary.lpd.values().map(|s| s.phase_changes).collect();
+    let min_changes = per_region_changes.iter().min().copied().unwrap_or(999);
+    assert!(
+        min_changes <= 2,
+        "at least the dominant regions stay locally stable: {per_region_changes:?}"
+    );
+    // Mean local stable time is high.
+    assert!(
+        summary.lpd_mean_stable_fraction() > 0.6,
+        "mean {:?}",
+        summary.lpd_mean_stable_fraction()
+    );
+}
+
+#[test]
+fn gap_and_crafty_keep_high_ucr() {
+    // Paper Figures 6/7: gap and crafty have >30% of samples in the UCR
+    // no matter how often formation triggers, because their hot leaves
+    // are called from loops in other procedures.
+    for name in ["254.gap", "186.crafty"] {
+        let w = suite::by_name(name).unwrap();
+        let config = SessionConfig::new(450_000);
+        let summary = MonitoringSession::run_limited(&w, &config, 60);
+        assert!(
+            summary.ucr_median > 0.30,
+            "{name}: median UCR {:.2} should exceed the 30% threshold",
+            summary.ucr_median
+        );
+    }
+}
+
+#[test]
+fn most_benchmarks_have_low_ucr() {
+    // Paper Figure 6: most programs sit well below the 30% line.
+    for name in ["171.swim", "172.mgrid", "175.vpr", "300.twolf"] {
+        let w = suite::by_name(name).unwrap();
+        let config = SessionConfig::new(450_000);
+        let summary = MonitoringSession::run_limited(&w, &config, 40);
+        assert!(
+            summary.ucr_median < 0.30,
+            "{name}: median UCR {:.2}",
+            summary.ucr_median
+        );
+    }
+}
+
+#[test]
+fn interprocedural_extension_rescues_gap() {
+    // Paper §3.1: "There is no fundamental limitation to building
+    // inter-procedural regions... it can greatly reduce the number of
+    // region formation triggers."
+    let w = suite::by_name("254.gap").unwrap();
+    let mut config = SessionConfig::new(450_000);
+    config.formation.interprocedural = true;
+    let summary = MonitoringSession::run_limited(&w, &config, 60);
+    assert!(
+        summary.ucr_median < 0.15,
+        "median UCR {:.2} with inter-procedural formation",
+        summary.ucr_median
+    );
+}
+
+#[test]
+fn gpd_phase_changes_decrease_with_sampling_period() {
+    // Paper Figure 3's headline shape, on the thrashiest models.
+    for name in ["178.galgel", "187.facerec"] {
+        let w = suite::by_name(name).unwrap();
+        let mut changes = Vec::new();
+        for period in [45_000u64, 900_000] {
+            let config = SessionConfig::new(period);
+            let n = intervals_for(period, 400);
+            let summary = MonitoringSession::run_limited(&w, &config, n);
+            changes.push(summary.gpd.phase_changes);
+        }
+        assert!(
+            changes[0] > changes[1].saturating_mul(3),
+            "{name}: changes at 45K ({}) should dwarf 900K ({})",
+            changes[0],
+            changes[1]
+        );
+    }
+}
+
+#[test]
+fn lpd_is_insensitive_to_sampling_period_on_switchers() {
+    // Paper Figure 13 vs Figure 3: the same programs that thrash GPD at
+    // 45K have almost no local phase changes at any period.
+    let w = suite::by_name("187.facerec").unwrap();
+    for period in [45_000u64, 450_000] {
+        let config = SessionConfig::new(period);
+        let n = intervals_for(period, 200);
+        let summary = MonitoringSession::run_limited(&w, &config, n);
+        let hot_changes: usize = summary
+            .lpd
+            .values()
+            .filter(|s| s.active_intervals * 2 > s.intervals)
+            .map(|s| s.phase_changes)
+            .sum();
+        assert!(
+            hot_changes <= 8,
+            "period {period}: {hot_changes} local changes on hot regions"
+        );
+    }
+}
+
+#[test]
+fn ammp_flaps_at_short_periods_and_calms_at_long() {
+    // Paper §3.2.2: ammp's big region keeps r just below the threshold at
+    // short periods (granularity breakdown), much less so at long ones.
+    let w = suite::by_name("188.ammp").unwrap();
+    let mut changes = Vec::new();
+    for period in [45_000u64, 900_000] {
+        let config = SessionConfig::new(period);
+        let n = intervals_for(period, 400);
+        let summary = MonitoringSession::run_limited(&w, &config, n);
+        // The big region is the one with the most slots; take max changes.
+        let max_changes = summary
+            .lpd
+            .values()
+            .map(|s| s.phase_changes)
+            .max()
+            .unwrap_or(0);
+        changes.push(max_changes);
+    }
+    assert!(changes[0] > changes[1], "short-period flapping {changes:?}");
+}
+
+#[test]
+fn adaptive_threshold_tames_the_ammp_aberration() {
+    // The paper's proposed fix (§3.2.2): a size-aware threshold.
+    use regmon::lpd::ThresholdPolicy;
+    let w = suite::by_name("188.ammp").unwrap();
+    let mut fixed_cfg = SessionConfig::new(45_000);
+    let summary_fixed = MonitoringSession::run_limited(&w, &fixed_cfg, 120);
+    fixed_cfg.lpd.threshold = ThresholdPolicy::adaptive();
+    let summary_adaptive = MonitoringSession::run_limited(&w, &fixed_cfg, 120);
+    let max_changes =
+        |s: &regmon::SessionSummary| s.lpd.values().map(|r| r.phase_changes).max().unwrap_or(0);
+    assert!(
+        max_changes(&summary_adaptive) < max_changes(&summary_fixed),
+        "adaptive {} vs fixed {}",
+        max_changes(&summary_adaptive),
+        max_changes(&summary_fixed)
+    );
+}
+
+#[test]
+fn gzip_reports_a_genuine_local_phase_change() {
+    // 164.gzip's bottleneck shift must be seen by LPD as a real change.
+    let w = suite::by_name("164.gzip").unwrap();
+    let config = SessionConfig::new(450_000);
+    // Cover the whole run so the 55% cut-over is included.
+    let summary = MonitoringSession::run(&w, &config);
+    let total = summary.lpd_total_phase_changes();
+    assert!(total >= 2, "expected the shift to register, got {total}");
+    assert!(
+        total <= 12,
+        "too many changes for a 2-phase program: {total}"
+    );
+}

@@ -1,0 +1,129 @@
+//! Property tests for the end-to-end session: arbitrary small workloads
+//! through the whole pipeline without panics, with consistent accounting.
+
+use proptest::prelude::*;
+
+use regmon::binary::{Addr, BinaryBuilder};
+use regmon::sampling::SamplingConfig;
+use regmon::workload::activity::{loop_range, proc_range, Activity};
+use regmon::workload::{Behavior, InstProfile, Mix, PhaseScript, Segment, Workload};
+use regmon::{MonitoringSession, SessionConfig};
+
+/// A workload over `n_loops` loops plus optionally a flat procedure, with
+/// arbitrary weights and behavior.
+#[allow(clippy::too_many_arguments)]
+fn arbitrary_workload(
+    n_loops: usize,
+    weights: &[f64],
+    flat_weight: f64,
+    miss: f64,
+    periodic: bool,
+    period: u64,
+    total: u64,
+    seed: u64,
+) -> Workload {
+    let mut b = BinaryBuilder::new("prop");
+    for i in 0..n_loops {
+        b.procedure(format!("l{i}"), |p| {
+            p.straight(1 + i % 3);
+            p.loop_(|l| {
+                l.straight(7 + 4 * (i % 4));
+            });
+        });
+    }
+    b.procedure("flat", |p| {
+        p.straight(60);
+    });
+    let bin = b.build(Addr::new(0x10000));
+
+    let mut acts: Vec<Activity> = (0..n_loops)
+        .map(|i| {
+            Activity::new(
+                loop_range(&bin, &format!("l{i}"), 0),
+                weights[i % weights.len()].max(0.01),
+                InstProfile::peaked(2 + i % 4, 1.5),
+                miss,
+            )
+        })
+        .collect();
+    if flat_weight > 0.0 {
+        acts.push(Activity::new(
+            proc_range(&bin, "flat"),
+            flat_weight,
+            InstProfile::Uniform,
+            miss,
+        ));
+    }
+    let mix = Mix::new(acts);
+    let behavior = if periodic && n_loops >= 2 {
+        // Alternate between the full mix and a one-loop mix.
+        let solo = Mix::new(vec![Activity::new(
+            loop_range(&bin, "l0", 0),
+            1.0,
+            InstProfile::peaked(2, 1.5),
+            miss,
+        )]);
+        Behavior::PeriodicSwitch {
+            period,
+            mixes: vec![mix, solo],
+        }
+    } else {
+        Behavior::Steady(mix)
+    };
+    let script = PhaseScript::new(vec![Segment::new(total, behavior)]);
+    Workload::new("prop", bin, script, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sessions_never_panic_and_account_consistently(
+        n_loops in 1usize..6,
+        w in prop::collection::vec(0.01..1.0f64, 1..6),
+        flat_weight in 0.0..0.5f64,
+        miss in 0.0..0.9f64,
+        periodic in prop::bool::ANY,
+        period in 10_000u64..500_000,
+        seed in 0u64..500,
+        sampling_period in 500u64..5_000,
+        buffer in 32usize..128,
+        intervals in 2usize..20,
+    ) {
+        let total = 20_000_000u64;
+        let workload = arbitrary_workload(
+            n_loops, &w, flat_weight, miss, periodic, period, total, seed,
+        );
+        let mut config = SessionConfig::new(sampling_period);
+        config.sampling = SamplingConfig::with_buffer(sampling_period, buffer);
+        let summary = MonitoringSession::run_limited(&workload, &config, intervals);
+
+        let max = (total / config.sampling.interval_cycles()) as usize;
+        prop_assert!(summary.intervals <= intervals.min(max.max(1)));
+        prop_assert_eq!(summary.gpd.intervals, summary.intervals);
+        prop_assert!((0.0..=1.0).contains(&summary.gpd.stable_fraction()));
+        prop_assert!((0.0..=1.0).contains(&summary.ucr_median));
+        for stats in summary.lpd.values() {
+            prop_assert!(stats.intervals <= summary.intervals);
+            prop_assert!(stats.active_intervals <= stats.intervals);
+            prop_assert!((0.0..=1.0).contains(&stats.stable_fraction()));
+        }
+        // Regions formed are all loop regions within the binary.
+        prop_assert!(summary.regions_formed >= summary.lpd.len().saturating_sub(0) / 2 || summary.regions_formed <= n_loops + 1);
+    }
+
+    #[test]
+    fn skid_does_not_break_the_pipeline(
+        seed in 0u64..200,
+        skid in 1u64..400,
+    ) {
+        let workload = arbitrary_workload(
+            3, &[0.5, 0.3, 0.2], 0.0, 0.2, false, 0, 20_000_000, seed,
+        );
+        let mut config = SessionConfig::new(500);
+        config.sampling = SamplingConfig::with_buffer(500, 64).with_skid(skid);
+        let summary = MonitoringSession::run_limited(&workload, &config, 12);
+        prop_assert!(summary.intervals > 0);
+        prop_assert!(summary.regions_formed > 0);
+    }
+}

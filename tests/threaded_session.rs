@@ -1,0 +1,34 @@
+//! Integration test: monitoring on a separate thread (the paper's
+//! "not on the critical path" argument) is equivalent to inline
+//! monitoring.
+
+use regmon::threaded::run_threaded;
+use regmon::workload::suite;
+use regmon::{MonitoringSession, SessionConfig};
+
+#[test]
+fn threaded_monitoring_equals_inline_monitoring() {
+    for name in ["181.mcf", "187.facerec"] {
+        let w = suite::by_name(name).unwrap();
+        let config = SessionConfig::new(450_000);
+        let inline = MonitoringSession::run_limited(&w, &config, 25);
+        let threaded = run_threaded(&w, &config, 25, 8);
+        assert_eq!(inline.gpd, threaded.summary.gpd, "{name}");
+        assert_eq!(inline.lpd, threaded.summary.lpd, "{name}");
+        assert_eq!(
+            inline.regions_formed, threaded.summary.regions_formed,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn deep_queue_absorbs_bursts() {
+    let w = suite::by_name("172.mgrid").unwrap();
+    let config = SessionConfig::new(450_000);
+    let run = run_threaded(&w, &config, 20, 64);
+    assert_eq!(run.summary.intervals, 20);
+    // With a queue this deep and an analysis this cheap, the producer
+    // should rarely (if ever) catch a full queue.
+    assert!(run.backpressure_stalls <= 20);
+}

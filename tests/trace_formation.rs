@@ -1,0 +1,62 @@
+//! Integration: trace (superblock) formation on real suite workloads.
+
+use regmon::regions::{IndexKind, RegionKind, RegionMonitor, TraceConfig, TraceFormation};
+use regmon::sampling::{Sampler, SamplingConfig};
+use regmon::workload::suite::{self, mcf};
+
+#[test]
+fn traces_cover_mcf_hot_loops() {
+    let w = suite::by_name("181.mcf").unwrap();
+    let config = SamplingConfig::new(45_000);
+    let interval = Sampler::new(&w, config).next().unwrap();
+
+    let formation = TraceFormation::new(TraceConfig::default());
+    let traces = formation.select(w.binary(), &interval.samples);
+    assert!(!traces.is_empty(), "mcf's hot loops must seed traces");
+
+    // The hottest trace lies inside the early-phase dominant region (A).
+    let [ra, _, _] = mcf::tracked_regions(&w);
+    assert!(
+        traces[0].hull().overlaps(ra),
+        "hottest trace {} should overlap region A {ra}",
+        traces[0].hull()
+    );
+    // Traces follow CFG paths: every step's block is a successor of the
+    // previous one.
+    for t in &traces {
+        let cfg = w.binary().procedure(t.proc()).cfg();
+        for pair in t.blocks().windows(2) {
+            assert!(
+                cfg.successors(pair[0]).contains(&pair[1]),
+                "trace step {} -> {} is not a CFG edge",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_regions_can_be_monitored_like_loops() {
+    let w = suite::by_name("172.mgrid").unwrap();
+    let config = SamplingConfig::new(45_000);
+    let mut monitor = RegionMonitor::new(IndexKind::IntervalTree);
+    let formation = TraceFormation::new(TraceConfig::default());
+
+    let mut sampler = Sampler::new(&w, config);
+    let first = sampler.next().unwrap();
+    let ids = formation.form(w.binary(), &first.samples, &mut monitor, 0);
+    assert!(!ids.is_empty());
+    for id in &ids {
+        assert_eq!(monitor.region(*id).unwrap().kind(), RegionKind::Trace);
+    }
+
+    // Subsequent intervals distribute into the trace regions normally.
+    let second = sampler.next().unwrap();
+    let report = monitor.distribute(&second.samples);
+    let attributed: u64 = report.histograms().map(|(_, h)| h.total()).sum();
+    assert!(
+        attributed > 1000,
+        "trace regions should capture most samples, got {attributed}"
+    );
+}
