@@ -5,6 +5,7 @@ use regmon::sampling::Sampler;
 use regmon::workload::{suite, Workload};
 use regmon::{MonitoringSession, SessionConfig};
 use regmon_baselines::{BbvConfig, BbvDetector, WssConfig, WssDetector};
+use regmon_fleet::{run_fleet, FleetConfig, QueuePolicy, Schedule, TenantSpec};
 
 use crate::args::parse;
 use crate::json::Json;
@@ -19,6 +20,8 @@ USAGE:
   regmon sweep <benchmark> [--intervals N]
   regmon rto <benchmark> [--period N] [--intervals N]
   regmon baselines <benchmark> [--period N] [--intervals N]
+  regmon fleet <benchmark|all> [--tenants N] [--shards N] [--intervals N]
+               [--period N] [--queue-depth N] [--policy block|drop-oldest] [--json]
   regmon help
 
 Benchmarks are the synthetic SPEC CPU2000-like models (see `regmon list`).
@@ -199,6 +202,223 @@ pub fn rto(argv: &[String]) -> Result<(), String> {
         "RTO_LPD over RTO_ORIG: {:+.2}%",
         speedup_percent(&orig, &lpd)
     );
+    Ok(())
+}
+
+/// `regmon fleet <benchmark|all>` — a sharded multi-tenant fleet run.
+///
+/// With `all`, tenants cycle through the whole synthetic suite; with a
+/// benchmark name every tenant runs that workload. Without `--period`
+/// the tenants use heterogeneous sampling periods (45k/90k/450k cycles)
+/// to exercise per-tenant configs. The run is lockstep-paced, so the
+/// report — including every backpressure counter — is deterministic;
+/// `--json` emits it machine-readably (wall-clock excluded so identical
+/// invocations yield byte-identical output).
+pub fn fleet(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let target = p.positional(0).ok_or("missing <benchmark|all> argument")?;
+    let tenants: usize = p.value_or("tenants", 32)?;
+    let shards: usize = p.value_or("shards", 4)?;
+    let intervals: usize = p.value_or("intervals", 50)?;
+    let period: u64 = p.value_or("period", 0)?;
+    let queue_depth: usize = p.value_or("queue-depth", 16)?;
+    let policy = QueuePolicy::parse(&p.value_or("policy", "block".to_string())?)?;
+    if tenants == 0 || shards == 0 || intervals == 0 || queue_depth == 0 {
+        return Err("--tenants/--shards/--intervals/--queue-depth must be positive".into());
+    }
+
+    let workloads: Vec<Workload> = if target == "all" {
+        suite::names()
+            .into_iter()
+            .map(|n| suite::by_name(n).expect("listed names build"))
+            .collect()
+    } else {
+        vec![workload(Some(target))?]
+    };
+    // Resolved display label ("mcf" -> "181.mcf"; "all" stays "all").
+    let target = if target == "all" {
+        "all".to_string()
+    } else {
+        workloads[0].name().to_string()
+    };
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|i| {
+            let w = &workloads[i % workloads.len()];
+            let p = if period > 0 {
+                period
+            } else {
+                [45_000, 90_000, 450_000][i % 3]
+            };
+            TenantSpec::new(
+                format!("{}#{i}", w.name()),
+                w.clone(),
+                SessionConfig::new(p),
+                intervals,
+            )
+        })
+        .collect();
+
+    let config = FleetConfig::new(shards, queue_depth).with_policy(policy);
+    let report = run_fleet(&config, &specs, &Schedule::new());
+    let agg = &report.aggregate;
+
+    if p.flag("json") {
+        let tenants_json: Vec<Json> = report
+            .tenants
+            .iter()
+            .map(|t| {
+                let mut pairs = vec![
+                    ("id", Json::Num(f64::from(t.id.0))),
+                    ("name", Json::Str(t.name.clone())),
+                    ("workload", Json::Str(t.workload.clone())),
+                    ("shard", Json::Num(t.shard as f64)),
+                    ("state", Json::Str(t.state.label().to_string())),
+                    ("intervals_produced", Json::Num(t.intervals_produced as f64)),
+                    (
+                        "intervals_processed",
+                        Json::Num(t.intervals_processed as f64),
+                    ),
+                    ("restarts", Json::Num(t.restarts as f64)),
+                ];
+                if let Some(s) = &t.summary {
+                    pairs.extend([
+                        ("period", Json::Num(s.period as f64)),
+                        ("gpd_phase_changes", Json::Num(s.gpd.phase_changes as f64)),
+                        ("gpd_stable_fraction", Json::Num(s.gpd.stable_fraction())),
+                        (
+                            "lpd_phase_changes",
+                            Json::Num(s.lpd_total_phase_changes() as f64),
+                        ),
+                        (
+                            "lpd_stable_fraction",
+                            Json::Num(s.lpd_mean_stable_fraction()),
+                        ),
+                        ("ucr_median", Json::Num(s.ucr_median)),
+                        ("regions_formed", Json::Num(s.regions_formed as f64)),
+                        ("regions_pruned", Json::Num(s.regions_pruned as f64)),
+                    ]);
+                }
+                Json::obj(pairs)
+            })
+            .collect();
+        let shards_json: Vec<Json> = report
+            .shards
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("shard", Json::Num(s.shard as f64)),
+                    ("tenants", Json::Num(s.tenants as f64)),
+                    ("messages_processed", Json::Num(s.messages_processed as f64)),
+                    (
+                        "backpressure_stalls",
+                        Json::Num(s.backpressure_stalls as f64),
+                    ),
+                    ("dropped_intervals", Json::Num(s.dropped_intervals as f64)),
+                    ("queue_high_water", Json::Num(s.queue_high_water as f64)),
+                ])
+            })
+            .collect();
+        let out = Json::obj(vec![
+            ("benchmark", Json::Str(target.to_string())),
+            ("tenants", Json::Num(tenants as f64)),
+            ("shards", Json::Num(shards as f64)),
+            ("intervals", Json::Num(intervals as f64)),
+            ("queue_depth", Json::Num(queue_depth as f64)),
+            (
+                "policy",
+                Json::Str(
+                    match policy {
+                        QueuePolicy::Block => "block",
+                        QueuePolicy::DropOldest => "drop-oldest",
+                    }
+                    .to_string(),
+                ),
+            ),
+            (
+                "aggregate",
+                Json::obj(vec![
+                    ("completed", Json::Num(agg.completed as f64)),
+                    ("evicted", Json::Num(agg.evicted as f64)),
+                    ("failed", Json::Num(agg.failed as f64)),
+                    ("restarts", Json::Num(agg.restarts as f64)),
+                    (
+                        "intervals_produced",
+                        Json::Num(agg.intervals_produced as f64),
+                    ),
+                    (
+                        "intervals_processed",
+                        Json::Num(agg.intervals_processed as f64),
+                    ),
+                    ("dropped_intervals", Json::Num(agg.dropped_intervals as f64)),
+                    (
+                        "backpressure_stalls",
+                        Json::Num(agg.backpressure_stalls as f64),
+                    ),
+                    ("gpd_phase_changes", Json::Num(agg.gpd_phase_changes as f64)),
+                    (
+                        "gpd_stable_fraction_mean",
+                        Json::Num(agg.gpd_stable_fraction_mean),
+                    ),
+                    ("lpd_phase_changes", Json::Num(agg.lpd_phase_changes as f64)),
+                    (
+                        "lpd_stable_fraction_mean",
+                        Json::Num(agg.lpd_stable_fraction_mean),
+                    ),
+                    ("ucr_median_mean", Json::Num(agg.ucr_median_mean)),
+                    ("regions_formed", Json::Num(agg.regions_formed as f64)),
+                    ("regions_pruned", Json::Num(agg.regions_pruned as f64)),
+                ]),
+            ),
+            ("shards_detail", Json::Arr(shards_json)),
+            ("tenants_detail", Json::Arr(tenants_json)),
+        ]);
+        println!("{}", out.render());
+        return Ok(());
+    }
+
+    println!(
+        "== fleet: {target} x {tenants} tenants over {shards} shards (depth {queue_depth}, {policy:?}) =="
+    );
+    println!(
+        "completed {}  evicted {}  failed {}  restarts {}",
+        agg.completed, agg.evicted, agg.failed, agg.restarts
+    );
+    println!(
+        "intervals {} produced / {} processed  drops {}  stalls {}",
+        agg.intervals_produced,
+        agg.intervals_processed,
+        agg.dropped_intervals,
+        agg.backpressure_stalls
+    );
+    println!(
+        "GPD {} changes ({:.1}% stable mean)   LPD {} changes ({:.1}% stable mean)",
+        agg.gpd_phase_changes,
+        agg.gpd_stable_fraction_mean * 100.0,
+        agg.lpd_phase_changes,
+        agg.lpd_stable_fraction_mean * 100.0
+    );
+    println!(
+        "regions {} formed / {} pruned   mean median-UCR {:.1}%   wall {} ms",
+        agg.regions_formed,
+        agg.regions_pruned,
+        agg.ucr_median_mean * 100.0,
+        report.wall_ms
+    );
+    println!(
+        "{:>5} {:>8} {:>10} {:>8} {:>8} {:>11}",
+        "shard", "tenants", "messages", "stalls", "drops", "high-water"
+    );
+    for s in &report.shards {
+        println!(
+            "{:>5} {:>8} {:>10} {:>8} {:>8} {:>11}",
+            s.shard,
+            s.tenants,
+            s.messages_processed,
+            s.backpressure_stalls,
+            s.dropped_intervals,
+            s.queue_high_water
+        );
+    }
     Ok(())
 }
 

@@ -6,6 +6,7 @@
 //! regmon sweep 187.facerec [--intervals-45k 400]
 //! regmon rto 181.mcf [--period 1500000] [--intervals 200]
 //! regmon baselines 187.facerec [--period 45000] [--intervals 200]
+//! regmon fleet all [--tenants 64] [--shards 4] [--intervals 50] [--json]
 //! ```
 
 mod args;
@@ -41,6 +42,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "sweep" => commands::sweep(rest),
         "rto" => commands::rto(rest),
         "baselines" => commands::baselines(rest),
+        "fleet" => commands::fleet(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

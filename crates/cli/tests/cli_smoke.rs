@@ -89,6 +89,92 @@ fn baselines_compares_four_detectors() {
 }
 
 #[test]
+fn fleet_text_reports_shards_and_aggregate() {
+    let (ok, stdout, _) = regmon(&[
+        "fleet",
+        "all",
+        "--tenants",
+        "12",
+        "--shards",
+        "3",
+        "--intervals",
+        "10",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("12 tenants over 3 shards"));
+    assert!(stdout.contains("completed 12"));
+    assert!(stdout.contains("high-water"));
+}
+
+#[test]
+fn fleet_json_is_deterministic_across_runs() {
+    let args = [
+        "fleet",
+        "all",
+        "--tenants",
+        "16",
+        "--shards",
+        "4",
+        "--intervals",
+        "12",
+        "--json",
+    ];
+    let (ok_a, a, _) = regmon(&args);
+    let (ok_b, b, _) = regmon(&args);
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b, "fleet --json must be byte-identical across runs");
+    let line = a.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'));
+    for key in [
+        "\"aggregate\":",
+        "\"shards_detail\":",
+        "\"tenants_detail\":",
+        "\"backpressure_stalls\":",
+        "\"gpd_phase_changes\":",
+        "\"lpd_phase_changes\":",
+        "\"ucr_median",
+    ] {
+        assert!(line.contains(key), "{key} missing from fleet JSON");
+    }
+    assert!(
+        !line.contains("wall_ms"),
+        "wall clock must stay out of JSON"
+    );
+    assert_eq!(line.matches('{').count(), line.matches('}').count());
+}
+
+#[test]
+fn fleet_single_benchmark_and_drop_policy() {
+    let (ok, stdout, _) = regmon(&[
+        "fleet",
+        "mcf",
+        "--tenants",
+        "6",
+        "--shards",
+        "2",
+        "--intervals",
+        "8",
+        "--queue-depth",
+        "1",
+        "--policy",
+        "drop-oldest",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("181.mcf"));
+    assert!(stdout.contains("completed 6"));
+}
+
+#[test]
+fn fleet_rejects_bad_policy_and_zero_sizes() {
+    let (ok, _, stderr) = regmon(&["fleet", "all", "--policy", "newest-wins"]);
+    assert!(!ok);
+    assert!(stderr.contains("queue policy"));
+    let (ok, _, stderr) = regmon(&["fleet", "all", "--shards", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("positive"));
+}
+
+#[test]
 fn rto_reports_speedup() {
     let (ok, stdout, _) = regmon(&[
         "rto",

@@ -69,4 +69,6 @@ pub mod lpd {
 mod session;
 pub mod threaded;
 
-pub use session::{IntervalOutcome, MonitoringSession, SessionConfig, SessionSummary};
+pub use session::{
+    IntervalOutcome, MonitoringSession, PruningConfig, SessionConfig, SessionSummary,
+};

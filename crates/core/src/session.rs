@@ -272,6 +272,14 @@ impl MonitoringSession {
     pub fn attach_binary(&mut self, workload: &Workload) {
         self.binary = Some(workload.binary().clone());
     }
+
+    /// Attaches a program image directly (without a [`Workload`] in
+    /// hand). The fleet engine uses this: shard workers receive the
+    /// binary over the admission message rather than borrowing the
+    /// driver's workload.
+    pub fn attach_binary_image(&mut self, binary: regmon_binary::Binary) {
+        self.binary = Some(binary);
+    }
 }
 
 #[cfg(test)]

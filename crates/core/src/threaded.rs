@@ -3,12 +3,20 @@
 //! The paper argues (§3.2.3, §5) that region monitoring's extra cost
 //! "is not on the critical path of program execution since region
 //! monitoring can occur in a separate thread, in parallel to the main
-//! program". This module realizes that split: a producer thread plays the
-//! role of the running program + PMU (the sampler), shipping each full
-//! buffer over a bounded channel to a consumer thread that runs the whole
-//! analysis pipeline.
+//! program". This module realizes that split for a single monitored
+//! process: a producer thread plays the role of the running program + PMU
+//! (the sampler), shipping each full buffer over a bounded standard-library
+//! channel to a consumer thread that runs the whole analysis pipeline.
+//!
+//! This is the degenerate (one-tenant, one-shard) case of the sharded
+//! multi-tenant engine in the `regmon-fleet` crate, which generalizes the
+//! same producer → bounded queue → monitor-worker split to hundreds of
+//! concurrent sessions with lifecycle control and backpressure policies.
+//! `regmon-fleet` depends on this crate, so the generic engine lives
+//! there; its equivalence tests pin this function, the fleet engine and
+//! [`MonitoringSession::run_limited`] to byte-identical summaries.
 
-use crossbeam::channel;
+use std::sync::mpsc::{sync_channel, TrySendError};
 
 use regmon_sampling::{Interval, Sampler};
 use regmon_workload::Workload;
@@ -41,7 +49,7 @@ pub fn run_threaded(
     queue_depth: usize,
 ) -> ThreadedRun {
     assert!(queue_depth > 0, "queue depth must be positive");
-    let (tx, rx) = channel::bounded::<Interval>(queue_depth);
+    let (tx, rx) = sync_channel::<Interval>(queue_depth);
 
     let mut stalls = 0usize;
     let summary = std::thread::scope(|scope| {
@@ -57,10 +65,18 @@ pub fn run_threaded(
         });
 
         for interval in Sampler::new(workload, config.sampling).take(max_intervals) {
-            if tx.is_full() {
-                stalls += 1;
+            // `try_send` first so a full queue is observable: each
+            // fallback to the blocking `send` is one backpressure stall.
+            match tx.try_send(interval) {
+                Ok(()) => {}
+                Err(TrySendError::Full(interval)) => {
+                    stalls += 1;
+                    tx.send(interval).expect("monitor thread hung up early");
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("monitor thread hung up early");
+                }
             }
-            tx.send(interval).expect("monitor thread hung up early");
         }
         drop(tx);
         consumer.join().expect("monitor thread panicked")

@@ -1,0 +1,375 @@
+//! Offline stand-in for the crates-io `criterion` crate.
+//!
+//! The workspace must build with **zero network access**, so the bench
+//! harness cannot pull real criterion (plotters, rayon, serde, ...).
+//! This crate implements the subset the regmon benches use — groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, throughput
+//! annotation, `criterion_group!` / `criterion_main!` and `black_box` —
+//! as a simple wall-clock harness printing one line per benchmark:
+//!
+//! ```text
+//! group/name/param        time: [1.2340 µs]  (1234 iters)
+//! ```
+//!
+//! Statistical machinery (outlier rejection, HTML reports, regression
+//! detection) is intentionally out of scope; results are indicative
+//! timings, not publication-grade measurements. A `QUICK_BENCH=1`
+//! environment variable caps measurement at one batch per benchmark so
+//! smoke tests can execute every bench binary cheaply.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier under criterion's name.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id with only a parameter component.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.full.fmt(f)
+    }
+}
+
+/// Throughput annotation (recorded, echoed in the report line).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement configuration and report sink.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_one(self, &mut f);
+        print_line(&id.to_string(), None, &report);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let report = run_one(self.criterion, &mut f);
+        print_line(&label, self.throughput, &report);
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let report = run_one(self.criterion, &mut |b: &mut Bencher| f(b, input));
+        print_line(&label, self.throughput, &report);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; collects timed iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` consecutive calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times batches created by `setup` and consumed by `routine`
+    /// (setup time excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+#[derive(Debug)]
+struct Report {
+    mean_ns: f64,
+    iters: u64,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("QUICK_BENCH").is_ok_and(|v| v != "0")
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, f: &mut F) -> Report {
+    // Calibration: run single iterations until ~5% of the budget is
+    // spent (or 10 iterations) to estimate per-iteration cost.
+    let calibration_budget = config.measurement_time / 20;
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let calib_start = Instant::now();
+    let mut calib_runs = 0u32;
+    let mut calib_total = Duration::ZERO;
+    while calib_runs < 10 && calib_start.elapsed() < calibration_budget {
+        f(&mut calib);
+        calib_total += calib.elapsed;
+        calib_runs += 1;
+    }
+    let per_iter = calib_total
+        .checked_div(calib_runs.max(1))
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+
+    // Choose a batch size so `sample_size` batches fit the budget.
+    let budget = config.measurement_time;
+    let target_batch =
+        budget.as_nanos() / (per_iter.as_nanos().max(1) * config.sample_size as u128);
+    let batch = target_batch.clamp(1, u128::from(u32::MAX)) as u64;
+
+    let samples = if quick_mode() { 1 } else { config.sample_size };
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    let run_start = Instant::now();
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters += batch;
+        if run_start.elapsed() > budget * 2 {
+            break; // keep slow benches bounded
+        }
+    }
+    Report {
+        mean_ns: total.as_nanos() as f64 / iters.max(1) as f64,
+        iters,
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.4} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.4} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.4} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn print_line(label: &str, throughput: Option<Throughput>, report: &Report) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if report.mean_ns > 0.0 => {
+            let per_sec = n as f64 / (report.mean_ns / 1e9);
+            format!("  ({per_sec:.0} elem/s)")
+        }
+        Some(Throughput::Bytes(n)) if report.mean_ns > 0.0 => {
+            let per_sec = n as f64 / (report.mean_ns / 1e9);
+            format!("  ({per_sec:.0} B/s)")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<48} time: [{}]  ({} iters){rate}",
+        human_time(report.mean_ns),
+        report.iters
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+/// Supports both the `name = ..; config = ..; targets = ..` form and the
+/// positional `criterion_group!(benches, f1, f2)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_nop(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        group.bench_function("label", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(5).measurement_time(Duration::from_millis(5));
+        targets = bench_nop
+    }
+
+    #[test]
+    fn harness_runs_quickly() {
+        benches();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(human_time(12.0), "12.00 ns");
+        assert!(human_time(1_500.0).ends_with("µs"));
+        assert!(human_time(2_000_000.0).ends_with("ms"));
+        assert!(human_time(3e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,573 @@
+//! The fleet driver: owns the workloads and samplers, produces interval
+//! traffic round-robin across tenants and applies lifecycle schedules.
+//!
+//! # Pacing and determinism
+//!
+//! Backpressure counters of a free-running producer/consumer pair are
+//! inherently timing-dependent: whether a push finds the queue full
+//! depends on how far the consumer got. The driver therefore offers two
+//! pacing modes:
+//!
+//! - [`Pacing::Lockstep`] (default): production advances in rounds (one
+//!   interval per running tenant per round). Per shard, the driver
+//!   maintains a *local* bounded buffer with the configured depth and
+//!   applies the queue policy to it deterministically: an overflow under
+//!   [`QueuePolicy::Block`] counts one stall and flushes the buffer
+//!   (ship + barrier — the logical equivalent of the producer waiting
+//!   for the worker to catch up); an overflow under
+//!   [`QueuePolicy::DropOldest`] evicts the buffer head and counts one
+//!   drop — that interval is truly never delivered. All counters
+//!   (stalls, drops, high-water) are thus pure functions of tenant
+//!   placement, round sizes and queue depth: same inputs, same numbers,
+//!   every run, every machine.
+//! - [`Pacing::Freerun`]: intervals are pushed straight into the shard
+//!   queues and the *real* queue counters are reported. Results per
+//!   tenant are still exact under `Block` (the queue is lossless FIFO);
+//!   only the counters vary with scheduling. This is the mode for
+//!   benchmarks and stress tests.
+//!
+//! In both modes, per-tenant interval order is preserved end-to-end, so
+//! under `Block` every tenant's [`SessionSummary`] is byte-identical to
+//! a standalone [`MonitoringSession::run_limited`] run — the fleet
+//! equivalence tests assert exactly that, for several shard counts.
+//!
+//! [`MonitoringSession::run_limited`]: regmon::MonitoringSession::run_limited
+//! [`SessionSummary`]: regmon::SessionSummary
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use regmon_sampling::{Interval, Sampler};
+
+use crate::engine::{EngineConfig, FleetEngine};
+use crate::queue::QueuePolicy;
+use crate::report::{FleetReport, FleetSnapshot, ShardReport, TenantReport};
+use crate::tenant::{ColdTenantPolicy, EvictReason, TenantId, TenantSpec};
+
+/// How the driver paces production against the shard workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pacing {
+    /// Deterministic round-based production with driver-side
+    /// backpressure accounting (see module docs).
+    #[default]
+    Lockstep,
+    /// Free-running production against the live bounded queues.
+    Freerun,
+}
+
+/// Full configuration of a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Shard pool and queue parameters.
+    pub engine: EngineConfig,
+    /// Production pacing.
+    pub pacing: Pacing,
+    /// Optional cold-tenant eviction policy.
+    pub cold_tenant: Option<ColdTenantPolicy>,
+}
+
+impl FleetConfig {
+    /// A lockstep fleet with `shards` workers and `queue_depth` buffers.
+    #[must_use]
+    pub fn new(shards: usize, queue_depth: usize) -> Self {
+        Self {
+            engine: EngineConfig::new(shards, queue_depth),
+            pacing: Pacing::Lockstep,
+            cold_tenant: None,
+        }
+    }
+
+    /// Replaces the backpressure policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
+        self.engine = self.engine.with_policy(policy);
+        self
+    }
+
+    /// Switches pacing mode.
+    #[must_use]
+    pub fn with_pacing(mut self, pacing: Pacing) -> Self {
+        self.pacing = pacing;
+        self
+    }
+
+    /// Installs a cold-tenant eviction policy.
+    #[must_use]
+    pub fn with_cold_tenant(mut self, policy: ColdTenantPolicy) -> Self {
+        self.cold_tenant = Some(policy);
+        self
+    }
+}
+
+/// One lifecycle command in a [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlAction {
+    /// Stop producing for (and processing of) a tenant.
+    Pause(TenantId),
+    /// Resume a paused tenant where it left off.
+    Resume(TenantId),
+    /// Remove a tenant from the fleet.
+    Evict(TenantId),
+    /// Give a tenant a fresh session and replay its workload from the
+    /// start (works on running, completed, evicted and failed tenants).
+    Restart(TenantId),
+    /// Capture a fleet-wide snapshot into the report.
+    Snapshot,
+}
+
+/// A deterministic lifecycle script: actions applied at the *start* of
+/// given driver rounds (round 0 is before any interval is produced).
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    entries: Vec<(usize, ControlAction)>,
+}
+
+impl Schedule {
+    /// The empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `action` at the start of `round` (builder style).
+    #[must_use]
+    pub fn at(mut self, round: usize, action: ControlAction) -> Self {
+        self.entries.push((round, action));
+        self
+    }
+
+    fn max_round(&self) -> Option<usize> {
+        self.entries.iter().map(|(r, _)| *r).max()
+    }
+
+    fn at_round(&self, round: usize) -> impl Iterator<Item = ControlAction> + '_ {
+        self.entries
+            .iter()
+            .filter(move |(r, _)| *r == round)
+            .map(|(_, a)| *a)
+    }
+}
+
+/// Driver-side view of one tenant.
+struct DriverTenant<'a> {
+    id: TenantId,
+    spec: &'a TenantSpec,
+    sampler: Sampler<'a>,
+    /// Intervals produced since (re)start.
+    produced: usize,
+    cold_streak: usize,
+    producing: bool,
+    paused: bool,
+}
+
+impl<'a> DriverTenant<'a> {
+    fn new(id: TenantId, spec: &'a TenantSpec) -> Self {
+        Self {
+            id,
+            spec,
+            sampler: Sampler::new(&spec.workload, spec.config.sampling),
+            produced: 0,
+            cold_streak: 0,
+            producing: true,
+            paused: false,
+        }
+    }
+
+    fn restart(&mut self) {
+        self.sampler = Sampler::new(&self.spec.workload, self.spec.config.sampling);
+        self.produced = 0;
+        self.cold_streak = 0;
+        self.producing = true;
+        self.paused = false;
+    }
+
+    fn active(&self) -> bool {
+        self.producing && !self.paused
+    }
+}
+
+/// Deterministic per-shard backpressure accounting for lockstep pacing.
+#[derive(Debug, Clone, Copy, Default)]
+struct SimCounters {
+    stalls: usize,
+    drops: usize,
+    high_water: usize,
+}
+
+/// Runs a whole fleet to completion and reports.
+///
+/// Tenants are admitted in spec order, receiving dense ids `0..n`; a
+/// tenant's shard is `id % shards`. The run ends when no tenant is
+/// producing and the schedule has no future entries.
+///
+/// # Panics
+///
+/// Panics on an invalid configuration (zero shards / queue depth) or if
+/// a shard worker dies, which the quarantine design rules out for
+/// tenant-level failures.
+#[must_use]
+pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule) -> FleetReport {
+    let start = Instant::now();
+    let shards = config.engine.shards;
+    let mut engine = FleetEngine::new(config.engine);
+    let mut tenants: Vec<DriverTenant> = specs
+        .iter()
+        .map(|spec| DriverTenant::new(engine.admit(spec), spec))
+        .collect();
+
+    let mut buffers: Vec<VecDeque<(TenantId, Interval)>> = (0..shards)
+        .map(|_| VecDeque::with_capacity(config.engine.queue_depth))
+        .collect();
+    let mut sim: Vec<SimCounters> = vec![SimCounters::default(); shards];
+    let mut snapshots: Vec<FleetSnapshot> = Vec::new();
+
+    let lockstep = config.pacing == Pacing::Lockstep;
+    let max_sched_round = schedule.max_round();
+
+    let mut round = 0usize;
+    loop {
+        // --- lifecycle actions scheduled for this round ----------------
+        // (Lockstep buffers are empty here: every round ends in a flush.)
+        for action in schedule.at_round(round) {
+            apply_action(
+                action,
+                &mut tenants,
+                &engine,
+                &mut buffers,
+                lockstep,
+                round,
+                &mut snapshots,
+            );
+        }
+
+        // --- produce one interval per active tenant --------------------
+        let mut produced_any = false;
+        for tenant in &mut tenants {
+            if !tenant.active() {
+                continue;
+            }
+            let Some(interval) = tenant.sampler.next() else {
+                complete_tenant(tenant, &engine, &mut buffers, lockstep);
+                continue;
+            };
+            produced_any = true;
+            tenant.produced += 1;
+
+            // Cold-tenant accounting (same shape as region pruning: a
+            // streak of intervals under the sample floor evicts).
+            let cold_fire = config.cold_tenant.is_some_and(|ColdTenantPolicy(p)| {
+                if (interval.samples.len() as u64) < p.min_samples {
+                    tenant.cold_streak += 1;
+                } else {
+                    tenant.cold_streak = 0;
+                }
+                tenant.cold_streak >= p.cold_intervals
+            });
+
+            let id = tenant.id;
+            if lockstep {
+                push_lockstep(
+                    &engine,
+                    &mut buffers,
+                    &mut sim,
+                    id,
+                    interval,
+                    config.engine.policy,
+                );
+            } else {
+                // Freerun: the live queue applies the policy and counts.
+                let _ = engine.offer_interval(id, interval);
+            }
+
+            if cold_fire {
+                flush_shard(&engine, &mut buffers[id.shard(shards)], lockstep);
+                engine.evict(id, EvictReason::Cold);
+                tenant.producing = false;
+            } else if tenant.produced >= tenant.spec.max_intervals {
+                complete_tenant(tenant, &engine, &mut buffers, lockstep);
+            }
+        }
+
+        // --- end-of-round flush (lockstep) -----------------------------
+        if lockstep {
+            for buffer in &mut buffers {
+                flush_shard(&engine, buffer, true);
+            }
+        }
+
+        let future_actions = max_sched_round.is_some_and(|m| m > round);
+        if !produced_any && !future_actions {
+            break;
+        }
+        round += 1;
+    }
+
+    // --- shutdown and report assembly ----------------------------------
+    let finals = engine.shutdown();
+
+    let mut tenant_reports: Vec<TenantReport> = Vec::with_capacity(tenants.len());
+    for f in &finals {
+        for snap in &f.tenants {
+            let driver = tenants
+                .iter()
+                .find(|t| t.id == snap.id)
+                .expect("worker reported unknown tenant");
+            tenant_reports.push(TenantReport {
+                id: snap.id,
+                name: snap.name.clone(),
+                workload: driver.spec.workload.name().to_string(),
+                shard: f.shard,
+                state: snap.state.clone(),
+                intervals_produced: driver.produced,
+                intervals_processed: snap.intervals_processed,
+                intervals_ignored: snap.intervals_ignored,
+                restarts: snap.restarts,
+                summary: snap.summary.clone(),
+                error: snap.error.clone(),
+            });
+        }
+    }
+    tenant_reports.sort_by_key(|t| t.id);
+
+    let shard_reports: Vec<ShardReport> = finals
+        .iter()
+        .map(|f| {
+            let (stalls, drops, high_water) = if lockstep {
+                let s = sim[f.shard];
+                (s.stalls, s.drops, s.high_water)
+            } else {
+                (f.queue.stalls, f.queue.dropped, f.queue.high_water)
+            };
+            ShardReport {
+                shard: f.shard,
+                tenants: f.tenants.len(),
+                messages_processed: f.messages_processed,
+                backpressure_stalls: stalls,
+                dropped_intervals: drops,
+                queue_high_water: high_water,
+            }
+        })
+        .collect();
+
+    let aggregate = FleetReport::aggregate_from(&tenant_reports, &shard_reports);
+    FleetReport {
+        tenants: tenant_reports,
+        shards: shard_reports,
+        aggregate,
+        snapshots,
+        wall_ms: start.elapsed().as_millis(),
+    }
+}
+
+/// Lockstep push into the driver-side bounded buffer.
+fn push_lockstep(
+    engine: &FleetEngine,
+    buffers: &mut [VecDeque<(TenantId, Interval)>],
+    sim: &mut [SimCounters],
+    id: TenantId,
+    interval: Interval,
+    policy: QueuePolicy,
+) {
+    let shard = id.shard(engine.shards());
+    let depth = engine.config().queue_depth;
+    if buffers[shard].len() >= depth {
+        match policy {
+            QueuePolicy::Block => {
+                // The producer would wait here: one stall, then the
+                // worker drains (ship + barrier).
+                sim[shard].stalls += 1;
+                flush_shard(engine, &mut buffers[shard], true);
+            }
+            QueuePolicy::DropOldest => {
+                buffers[shard].pop_front();
+                sim[shard].drops += 1;
+            }
+        }
+    }
+    buffers[shard].push_back((id, interval));
+    sim[shard].high_water = sim[shard].high_water.max(buffers[shard].len());
+}
+
+/// Ships a shard's buffered intervals and waits for the worker to fully
+/// process them (no-op outside lockstep pacing, where buffers are unused).
+fn flush_shard(engine: &FleetEngine, buffer: &mut VecDeque<(TenantId, Interval)>, lockstep: bool) {
+    if !lockstep || buffer.is_empty() {
+        return;
+    }
+    let shard = buffer
+        .front()
+        .map(|(id, _)| id.shard(engine.shards()))
+        .expect("non-empty buffer");
+    while let Some((id, interval)) = buffer.pop_front() {
+        let _ = engine.send_interval_blocking(id, interval);
+    }
+    engine.drain_shard(shard);
+}
+
+/// Marks a tenant complete, ordering the Finish after its buffered
+/// intervals.
+fn complete_tenant(
+    tenant: &mut DriverTenant<'_>,
+    engine: &FleetEngine,
+    buffers: &mut [VecDeque<(TenantId, Interval)>],
+    lockstep: bool,
+) {
+    let shard = tenant.id.shard(engine.shards());
+    flush_shard(engine, &mut buffers[shard], lockstep);
+    engine.finish(tenant.id);
+    tenant.producing = false;
+}
+
+/// Applies one schedule action (round start; lockstep buffers empty
+/// except for cold/complete flushes, which have already run).
+fn apply_action(
+    action: ControlAction,
+    tenants: &mut [DriverTenant<'_>],
+    engine: &FleetEngine,
+    buffers: &mut [VecDeque<(TenantId, Interval)>],
+    lockstep: bool,
+    round: usize,
+    snapshots: &mut Vec<FleetSnapshot>,
+) {
+    let shards = engine.shards();
+    match action {
+        ControlAction::Pause(id) => {
+            if let Some(t) = tenants.iter_mut().find(|t| t.id == id) {
+                flush_shard(engine, &mut buffers[id.shard(shards)], lockstep);
+                engine.pause(id);
+                t.paused = true;
+            }
+        }
+        ControlAction::Resume(id) => {
+            if let Some(t) = tenants.iter_mut().find(|t| t.id == id) {
+                engine.resume(id);
+                t.paused = false;
+            }
+        }
+        ControlAction::Evict(id) => {
+            if let Some(t) = tenants.iter_mut().find(|t| t.id == id) {
+                flush_shard(engine, &mut buffers[id.shard(shards)], lockstep);
+                engine.evict(id, EvictReason::Requested);
+                t.producing = false;
+            }
+        }
+        ControlAction::Restart(id) => {
+            if let Some(t) = tenants.iter_mut().find(|t| t.id == id) {
+                flush_shard(engine, &mut buffers[id.shard(shards)], lockstep);
+                engine.restart(id);
+                t.restart();
+            }
+        }
+        ControlAction::Snapshot => {
+            if lockstep {
+                for buffer in buffers.iter_mut() {
+                    flush_shard(engine, buffer, true);
+                }
+                engine.drain_barrier();
+            }
+            snapshots.push(FleetSnapshot {
+                round,
+                shards: engine.snapshot(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantState;
+    use regmon::SessionConfig;
+    use regmon_workload::suite;
+
+    fn specs(n: usize, intervals: usize) -> Vec<TenantSpec> {
+        let names = suite::names();
+        (0..n)
+            .map(|i| {
+                let name = names[i % names.len()];
+                TenantSpec::new(
+                    format!("{name}#{i}"),
+                    suite::by_name(name).unwrap(),
+                    SessionConfig::new(45_000),
+                    intervals,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_counters_are_reproducible() {
+        let config = FleetConfig::new(3, 4);
+        let a = run_fleet(&config, &specs(9, 12), &Schedule::new());
+        let b = run_fleet(&config, &specs(9, 12), &Schedule::new());
+        assert_eq!(a.tenants.len(), 9);
+        for (x, y) in a.shards.iter().zip(&b.shards) {
+            assert_eq!(x.backpressure_stalls, y.backpressure_stalls);
+            assert_eq!(x.dropped_intervals, y.dropped_intervals);
+            assert_eq!(x.queue_high_water, y.queue_high_water);
+            assert_eq!(x.messages_processed, y.messages_processed);
+        }
+        for (x, y) in a.tenants.iter().zip(&b.tenants) {
+            assert_eq!(
+                format!("{:?}", x.summary),
+                format!("{:?}", y.summary),
+                "tenant {} summaries diverged",
+                x.id
+            );
+        }
+    }
+
+    #[test]
+    fn block_lockstep_stalls_when_round_exceeds_depth() {
+        // 6 tenants on 1 shard with depth 4: every round overflows once.
+        let config = FleetConfig::new(1, 4);
+        let report = run_fleet(&config, &specs(6, 5), &Schedule::new());
+        assert!(report.shards[0].backpressure_stalls > 0);
+        assert_eq!(report.aggregate.dropped_intervals, 0);
+        assert_eq!(report.aggregate.completed, 6);
+        // Lossless: everything produced was processed.
+        assert_eq!(
+            report.aggregate.intervals_produced,
+            report.aggregate.intervals_processed
+        );
+    }
+
+    #[test]
+    fn drop_oldest_lockstep_drops_deterministically() {
+        let config = FleetConfig::new(1, 4).with_policy(QueuePolicy::DropOldest);
+        let a = run_fleet(&config, &specs(6, 5), &Schedule::new());
+        let b = run_fleet(&config, &specs(6, 5), &Schedule::new());
+        assert!(a.shards[0].dropped_intervals > 0);
+        assert_eq!(a.shards[0].dropped_intervals, b.shards[0].dropped_intervals);
+        assert_eq!(a.shards[0].backpressure_stalls, 0);
+        assert!(a.aggregate.intervals_processed < a.aggregate.intervals_produced);
+    }
+
+    #[test]
+    fn schedule_pause_resume_completes() {
+        let config = FleetConfig::new(2, 8);
+        let schedule = Schedule::new()
+            .at(2, ControlAction::Pause(TenantId(0)))
+            .at(5, ControlAction::Resume(TenantId(0)))
+            .at(3, ControlAction::Snapshot);
+        let report = run_fleet(&config, &specs(4, 8), &schedule);
+        assert_eq!(report.aggregate.completed, 4);
+        assert_eq!(report.snapshots.len(), 1);
+        assert_eq!(report.snapshots[0].round, 3);
+        let t0 = report.tenant(TenantId(0)).unwrap();
+        assert_eq!(t0.intervals_processed, 8, "paused tenant must finish");
+    }
+
+    #[test]
+    fn cold_tenant_policy_evicts() {
+        // An absurd sample floor makes every interval cold: tenants are
+        // evicted after exactly `cold_intervals` intervals.
+        let config = FleetConfig::new(2, 8).with_cold_tenant(ColdTenantPolicy::new(3, u64::MAX));
+        let report = run_fleet(&config, &specs(4, 20), &Schedule::new());
+        assert_eq!(report.aggregate.evicted, 4);
+        for t in &report.tenants {
+            assert_eq!(t.state, TenantState::Evicted(EvictReason::Cold));
+            assert_eq!(t.intervals_produced, 3);
+        }
+    }
+}

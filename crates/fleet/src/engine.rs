@@ -1,0 +1,324 @@
+//! The fleet engine: a fixed pool of shard workers behind bounded
+//! queues, plus the lifecycle-command surface.
+//!
+//! The engine is transport + workers only; it does not run samplers.
+//! Interval production (and therefore pacing and admission ordering) is
+//! the [`crate::driver::FleetDriver`]'s job. Splitting the two keeps the
+//! engine free of borrows into workload storage and makes every engine
+//! operation available mid-run: tests and embedders can admit, pause,
+//! evict, restart and snapshot tenants while intervals are in flight.
+
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use regmon_sampling::Interval;
+
+use crate::queue::{BoundedQueue, QueuePolicy};
+use crate::shard::{run_worker, AdmitMsg, ShardFinal, ShardMsg, ShardSnapshot};
+use crate::tenant::{EvictReason, TenantId, TenantSpec};
+
+/// Engine-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of shard workers (and queues).
+    pub shards: usize,
+    /// Bounded depth of each shard queue, in messages.
+    pub queue_depth: usize,
+    /// Backpressure policy applied to interval traffic.
+    pub policy: QueuePolicy,
+}
+
+impl EngineConfig {
+    /// An engine with `shards` workers and the given queue depth,
+    /// blocking on full queues.
+    #[must_use]
+    pub fn new(shards: usize, queue_depth: usize) -> Self {
+        Self {
+            shards,
+            queue_depth,
+            policy: QueuePolicy::Block,
+        }
+    }
+
+    /// Replaces the backpressure policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: QueuePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// A running fleet: shard workers consuming from bounded queues.
+#[derive(Debug)]
+pub struct FleetEngine {
+    config: EngineConfig,
+    queues: Vec<Arc<BoundedQueue<ShardMsg>>>,
+    workers: Vec<JoinHandle<ShardFinal>>,
+    next_id: u32,
+}
+
+impl FleetEngine {
+    /// Spawns the shard workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` or `queue_depth == 0`.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        assert!(config.shards > 0, "fleet needs at least one shard");
+        let queues: Vec<_> = (0..config.shards)
+            .map(|_| Arc::new(BoundedQueue::new(config.queue_depth)))
+            .collect();
+        let workers = queues
+            .iter()
+            .enumerate()
+            .map(|(shard, queue)| {
+                let queue = Arc::clone(queue);
+                std::thread::Builder::new()
+                    .name(format!("regmon-fleet-shard-{shard}"))
+                    .spawn(move || run_worker(shard, &queue))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self {
+            config,
+            queues,
+            workers,
+            next_id: 0,
+        }
+    }
+
+    /// Engine configuration.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    fn queue_of(&self, id: TenantId) -> &BoundedQueue<ShardMsg> {
+        &self.queues[id.shard(self.config.shards)]
+    }
+
+    fn control(&self, id: TenantId, msg: ShardMsg) {
+        // Control messages always block (never dropped); a closed queue
+        // here is a bug in shutdown ordering, so it panics loudly.
+        self.queue_of(id)
+            .push(msg, QueuePolicy::Block)
+            .expect("shard queue closed while engine alive");
+    }
+
+    /// Admits a tenant, assigning the next dense [`TenantId`]. The
+    /// returned id also fixes the shard (`id % shards`).
+    pub fn admit(&mut self, spec: &TenantSpec) -> TenantId {
+        let id = TenantId(self.next_id);
+        self.next_id += 1;
+        self.control(
+            id,
+            ShardMsg::Admit(Box::new(AdmitMsg {
+                tenant: id,
+                name: spec.name.clone(),
+                config: spec.config.clone(),
+                binary: spec.workload.binary().clone(),
+                workload_name: spec.workload.name().to_string(),
+                fault: spec.fault,
+                throttle_us: spec.throttle_us,
+            })),
+        );
+        id
+    }
+
+    /// Ships one sampled interval to the tenant's shard under the
+    /// engine's backpressure policy. Returns `false` when the interval
+    /// was rejected because the queue is closed (shutdown race).
+    pub fn offer_interval(&self, id: TenantId, interval: Interval) -> bool {
+        self.queue_of(id)
+            .push(ShardMsg::Interval(id, interval), self.config.policy)
+            .is_ok()
+    }
+
+    /// Ships one interval with blocking semantics regardless of the
+    /// engine policy. Lockstep pacing uses this: the driver has already
+    /// applied the drop policy deterministically in its local buffer, so
+    /// the physical transfer must be lossless.
+    pub(crate) fn send_interval_blocking(&self, id: TenantId, interval: Interval) -> bool {
+        self.queue_of(id)
+            .push(ShardMsg::Interval(id, interval), QueuePolicy::Block)
+            .is_ok()
+    }
+
+    /// Pauses a tenant (its shard ignores further intervals until
+    /// [`FleetEngine::resume`]).
+    pub fn pause(&self, id: TenantId) {
+        self.control(id, ShardMsg::Pause(id));
+    }
+
+    /// Resumes a paused tenant.
+    pub fn resume(&self, id: TenantId) {
+        self.control(id, ShardMsg::Resume(id));
+    }
+
+    /// Evicts a tenant; its session is retired and its summary frozen.
+    pub fn evict(&self, id: TenantId, reason: EvictReason) {
+        self.control(id, ShardMsg::Evict(id, reason));
+    }
+
+    /// Restarts a tenant with a fresh session (restart counter bumps,
+    /// processed-interval counter resets).
+    pub fn restart(&self, id: TenantId) {
+        self.control(id, ShardMsg::Restart(id));
+    }
+
+    /// Marks a tenant's production as complete.
+    pub fn finish(&self, id: TenantId) {
+        self.control(id, ShardMsg::Finish(id));
+    }
+
+    /// Takes a consistent per-shard snapshot of every tenant, mid-run.
+    /// Each shard snapshots atomically with respect to its own queue
+    /// order (the snapshot request is itself a queued message).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<ShardSnapshot> {
+        let mut pending = Vec::with_capacity(self.queues.len());
+        for queue in &self.queues {
+            let (tx, rx) = sync_channel(1);
+            queue
+                .push(ShardMsg::Snapshot(tx), QueuePolicy::Block)
+                .expect("shard queue closed while engine alive");
+            pending.push(rx);
+        }
+        pending
+            .into_iter()
+            .map(|rx| rx.recv().expect("shard worker gone"))
+            .collect()
+    }
+
+    /// Waits until every message queued so far on every shard has been
+    /// fully processed (a barrier across the fleet).
+    pub fn drain_barrier(&self) {
+        let mut pending = Vec::with_capacity(self.queues.len());
+        for queue in &self.queues {
+            let (tx, rx) = sync_channel(1);
+            queue
+                .push(ShardMsg::Barrier(tx), QueuePolicy::Block)
+                .expect("shard queue closed while engine alive");
+            pending.push(rx);
+        }
+        for rx in pending {
+            rx.recv().expect("shard worker gone");
+        }
+    }
+
+    /// Waits for a single shard to fully process everything queued to it.
+    pub(crate) fn drain_shard(&self, shard: usize) {
+        let (tx, rx) = sync_channel(1);
+        self.queues[shard]
+            .push(ShardMsg::Barrier(tx), QueuePolicy::Block)
+            .expect("shard queue closed while engine alive");
+        rx.recv().expect("shard worker gone");
+    }
+
+    /// Closes every queue, joins every worker and returns their final
+    /// reports in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a shard worker itself panicked — which the quarantine
+    /// design rules out for tenant pipeline failures; a worker panic is
+    /// an engine bug.
+    #[must_use]
+    pub fn shutdown(self) -> Vec<ShardFinal> {
+        for queue in &self.queues {
+            queue.close();
+        }
+        self.workers
+            .into_iter()
+            .map(|w| w.join().expect("shard worker panicked (engine bug)"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tenant::TenantState;
+    use regmon::SessionConfig;
+    use regmon_sampling::Sampler;
+    use regmon_workload::suite;
+
+    fn spec(max_intervals: usize) -> TenantSpec {
+        let w = suite::by_name("172.mgrid").unwrap();
+        TenantSpec::new("mgrid", w, SessionConfig::new(45_000), max_intervals)
+    }
+
+    #[test]
+    fn admit_process_shutdown_roundtrip() {
+        let mut engine = FleetEngine::new(EngineConfig::new(2, 8));
+        let spec = spec(10);
+        let a = engine.admit(&spec);
+        let b = engine.admit(&spec);
+        assert_eq!(a.shard(2), 0);
+        assert_eq!(b.shard(2), 1);
+        for interval in Sampler::new(&spec.workload, spec.config.sampling).take(10) {
+            assert!(engine.offer_interval(a, interval.clone()));
+            assert!(engine.offer_interval(b, interval));
+        }
+        engine.finish(a);
+        engine.finish(b);
+        let finals = engine.shutdown();
+        assert_eq!(finals.len(), 2);
+        let all: Vec<_> = finals.iter().flat_map(|f| &f.tenants).collect();
+        assert_eq!(all.len(), 2);
+        for t in all {
+            assert_eq!(t.state, TenantState::Completed);
+            assert_eq!(t.intervals_processed, 10);
+            assert_eq!(t.summary.as_ref().unwrap().intervals, 10);
+        }
+    }
+
+    #[test]
+    fn snapshot_observes_mid_run_state() {
+        let mut engine = FleetEngine::new(EngineConfig::new(1, 16));
+        let spec = spec(6);
+        let id = engine.admit(&spec);
+        let intervals: Vec<_> = Sampler::new(&spec.workload, spec.config.sampling)
+            .take(6)
+            .collect();
+        for interval in &intervals[..3] {
+            assert!(engine.offer_interval(id, interval.clone()));
+        }
+        engine.drain_barrier();
+        let snap = engine.snapshot();
+        assert_eq!(snap[0].tenants[0].intervals_processed, 3);
+        for interval in &intervals[3..] {
+            assert!(engine.offer_interval(id, interval.clone()));
+        }
+        let finals = engine.shutdown();
+        assert_eq!(finals[0].tenants[0].intervals_processed, 6);
+    }
+
+    #[test]
+    fn pause_and_resume_gate_processing() {
+        let mut engine = FleetEngine::new(EngineConfig::new(1, 16));
+        let spec = spec(4);
+        let id = engine.admit(&spec);
+        let intervals: Vec<_> = Sampler::new(&spec.workload, spec.config.sampling)
+            .take(4)
+            .collect();
+        engine.pause(id);
+        assert!(engine.offer_interval(id, intervals[0].clone()));
+        engine.resume(id);
+        for interval in &intervals[1..] {
+            assert!(engine.offer_interval(id, interval.clone()));
+        }
+        let finals = engine.shutdown();
+        let t = &finals[0].tenants[0];
+        assert_eq!(t.intervals_processed, 3, "paused interval must be ignored");
+        assert_eq!(t.intervals_ignored, 1);
+    }
+}

@@ -1,0 +1,299 @@
+//! Bounded multi-producer queue with backpressure accounting.
+//!
+//! The fleet engine ships every shard's traffic — interval buffers *and*
+//! lifecycle control messages — through one bounded FIFO per shard. A
+//! plain `std::sync::mpsc::sync_channel` cannot express the
+//! `DropOldest` policy (there is no access to the queue head), so this
+//! is a small `Mutex<VecDeque> + Condvar` queue, standard library only.
+//!
+//! Two backpressure policies:
+//!
+//! - [`QueuePolicy::Block`]: a full queue makes the producer wait, and
+//!   each wait episode is counted as one **stall** — the paper's measure
+//!   of how often monitoring would have intruded on the critical path
+//!   with this buffer depth (§3.2.3).
+//! - [`QueuePolicy::DropOldest`]: a full queue evicts the oldest
+//!   *droppable* entry (interval buffers are droppable, control
+//!   messages never are) and counts one **drop**. The producer never
+//!   waits; monitoring degrades instead of the mutator.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What to do when a shard queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueuePolicy {
+    /// Producer waits for space (lossless; counts stalls).
+    Block,
+    /// Oldest droppable entry is evicted (lossy; counts drops).
+    DropOldest,
+}
+
+impl QueuePolicy {
+    /// Parses `"block"` / `"drop-oldest"` (CLI spelling).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input back as the error message payload.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "block" => Ok(Self::Block),
+            "drop-oldest" | "drop_oldest" | "dropoldest" => Ok(Self::DropOldest),
+            other => Err(format!(
+                "unknown queue policy {other:?} (block|drop-oldest)"
+            )),
+        }
+    }
+}
+
+/// Entries that may be sacrificed under [`QueuePolicy::DropOldest`].
+pub trait Droppable {
+    /// `true` when the entry may be dropped (interval payloads);
+    /// `false` for entries that must survive (control messages).
+    fn droppable(&self) -> bool;
+}
+
+/// Backpressure counters of one queue, all monotone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Entries accepted.
+    pub pushed: usize,
+    /// Entries handed to the consumer.
+    pub popped: usize,
+    /// Wait episodes of a blocked producer ([`QueuePolicy::Block`]).
+    pub stalls: usize,
+    /// Evicted entries ([`QueuePolicy::DropOldest`]).
+    pub dropped: usize,
+    /// Maximum occupancy ever observed (after a push).
+    pub high_water: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    stats: QueueStats,
+}
+
+/// Error returned when pushing into a closed queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+/// A bounded FIFO connecting the fleet driver to one shard worker.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T: Droppable> BoundedQueue<T> {
+    /// A queue holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue depth must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                stats: QueueStats::default(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item` under `policy`.
+    ///
+    /// Control messages (non-droppable items) always use blocking
+    /// semantics regardless of `policy`, so lifecycle commands are never
+    /// lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Closed`] when the queue has been closed.
+    pub fn push(&self, item: T, policy: QueuePolicy) -> Result<(), Closed> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            let drop_allowed = policy == QueuePolicy::DropOldest && item.droppable();
+            let evicted = if drop_allowed {
+                // Evict the oldest droppable entry, preserving control
+                // messages. `position` scans from the front: the victim
+                // is genuinely the oldest droppable.
+                inner.items.iter().position(Droppable::droppable)
+            } else {
+                None
+            };
+            if let Some(at) = evicted {
+                inner.items.remove(at);
+                inner.stats.dropped += 1;
+            } else {
+                // Block policy, or a DropOldest queue full of
+                // non-droppable entries: wait for space.
+                inner.stats.stalls += 1;
+                while inner.items.len() >= self.capacity && !inner.closed {
+                    inner = self.not_full.wait(inner).expect("queue poisoned");
+                }
+                if inner.closed {
+                    return Err(Closed);
+                }
+            }
+        }
+        inner.items.push_back(item);
+        inner.stats.pushed += 1;
+        let occupancy = inner.items.len();
+        if occupancy > inner.stats.high_water {
+            inner.stats.high_water = occupancy;
+        }
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest entry, waiting while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                inner.stats.popped += 1;
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers start failing, the consumer drains
+    /// the remaining entries and then sees end-of-stream.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// `true` when no entries are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the backpressure counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        self.inner.lock().expect("queue poisoned").stats
+    }
+
+    /// Maximum occupancy.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Debug, PartialEq)]
+    enum Msg {
+        Data(u32),
+        Ctrl(u32),
+    }
+
+    impl Droppable for Msg {
+        fn droppable(&self) -> bool {
+            matches!(self, Msg::Data(_))
+        }
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(Msg::Data(i), QueuePolicy::Block).unwrap();
+        }
+        q.close();
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            drained,
+            (0..5).map(Msg::Data).collect::<Vec<_>>(),
+            "FIFO violated"
+        );
+    }
+
+    #[test]
+    fn drop_oldest_evicts_front_droppable_only() {
+        let q = BoundedQueue::new(3);
+        q.push(Msg::Ctrl(0), QueuePolicy::DropOldest).unwrap();
+        q.push(Msg::Data(1), QueuePolicy::DropOldest).unwrap();
+        q.push(Msg::Data(2), QueuePolicy::DropOldest).unwrap();
+        // Full. The oldest *droppable* (Data(1)) goes, not Ctrl(0).
+        q.push(Msg::Data(3), QueuePolicy::DropOldest).unwrap();
+        let stats = q.stats();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.high_water, 3);
+        q.close();
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![Msg::Ctrl(0), Msg::Data(2), Msg::Data(3)]);
+    }
+
+    #[test]
+    fn block_policy_counts_stalls_and_delivers_everything() {
+        let q = Arc::new(BoundedQueue::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(m) = q.pop() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    got.push(m);
+                }
+                got
+            })
+        };
+        for i in 0..20 {
+            q.push(Msg::Data(i), QueuePolicy::Block).unwrap();
+        }
+        q.close();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len(), 20, "Block must be lossless");
+        assert!(q.stats().stalls > 0, "depth-1 queue must have stalled");
+        assert_eq!(q.stats().dropped, 0);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(Msg::Data(0), QueuePolicy::Block).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(Msg::Data(1), QueuePolicy::Block))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        q.close();
+        assert_eq!(producer.join().unwrap(), Err(Closed));
+    }
+}

@@ -1,0 +1,308 @@
+//! Shard workers: each owns the [`MonitoringSession`]s of the tenants
+//! hashed to it and drains its bounded queue until shutdown.
+//!
+//! A worker is a plain consumer loop. All tenant mutation happens here,
+//! single-threaded per shard, so sessions need no internal locking — the
+//! fleet scales by adding shards, not by locking sessions.
+//!
+//! **Panic quarantine:** every per-interval pipeline step runs under
+//! `catch_unwind`. A panicking tenant transitions to
+//! [`TenantState::Failed`] and its session is discarded; the worker, its
+//! queue and every co-resident tenant continue untouched. Nothing
+//! propagates across tenants or shards.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::SyncSender;
+
+use regmon::{MonitoringSession, SessionConfig, SessionSummary};
+use regmon_binary::Binary;
+use regmon_sampling::Interval;
+
+use crate::queue::{Droppable, QueueStats};
+use crate::tenant::{EvictReason, FaultPlan, TenantId, TenantState};
+
+/// One message on a shard queue.
+#[derive(Debug)]
+pub(crate) enum ShardMsg {
+    /// Registers a tenant on this shard.
+    Admit(Box<AdmitMsg>),
+    /// One sampled interval for a tenant.
+    Interval(TenantId, Interval),
+    /// Stops processing for a tenant (resumable).
+    Pause(TenantId),
+    /// Resumes a paused tenant.
+    Resume(TenantId),
+    /// Removes a tenant (session retired; summary retained).
+    Evict(TenantId, EvictReason),
+    /// Discards the tenant's session and starts a fresh one.
+    Restart(TenantId),
+    /// The tenant produced its last interval.
+    Finish(TenantId),
+    /// Requests a consistent snapshot of this shard's tenants.
+    Snapshot(SyncSender<ShardSnapshot>),
+    /// Lockstep pacing: acknowledge that every earlier message has been
+    /// fully processed.
+    Barrier(SyncSender<()>),
+}
+
+/// Payload of [`ShardMsg::Admit`] (boxed: it is much larger than the
+/// other variants).
+#[derive(Debug)]
+pub(crate) struct AdmitMsg {
+    pub tenant: TenantId,
+    pub name: String,
+    pub config: SessionConfig,
+    pub binary: Binary,
+    pub workload_name: String,
+    pub fault: Option<FaultPlan>,
+    pub throttle_us: u64,
+}
+
+impl Droppable for ShardMsg {
+    fn droppable(&self) -> bool {
+        // Only interval payloads may be sacrificed under DropOldest;
+        // losing a control message would corrupt lifecycle state.
+        matches!(self, ShardMsg::Interval(..))
+    }
+}
+
+/// Point-in-time view of one tenant, as seen by its shard.
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// The tenant.
+    pub id: TenantId,
+    /// Its display name.
+    pub name: String,
+    /// Lifecycle state at snapshot time.
+    pub state: TenantState,
+    /// Intervals fully processed by the pipeline (post-restart count).
+    pub intervals_processed: usize,
+    /// Intervals ignored (arrived while paused/evicted/failed).
+    pub intervals_ignored: usize,
+    /// Times the tenant was restarted with a fresh session.
+    pub restarts: usize,
+    /// The session summary (live sessions are summarized on demand;
+    /// `None` only for a failed tenant whose session was discarded).
+    pub summary: Option<SessionSummary>,
+    /// Panic message for failed tenants.
+    pub error: Option<String>,
+}
+
+/// Point-in-time view of one shard.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Every tenant ever admitted to this shard, in id order.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Messages processed so far.
+    pub messages_processed: usize,
+}
+
+/// Final report of a shard worker, produced at shutdown.
+#[derive(Debug, Clone)]
+pub struct ShardFinal {
+    /// Shard index.
+    pub shard: usize,
+    /// Final tenant snapshots, in id order.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Messages processed over the shard's lifetime.
+    pub messages_processed: usize,
+    /// Queue backpressure counters (freerun pacing; all zero under
+    /// lockstep pacing, where the driver accounts deterministically).
+    pub queue: QueueStats,
+}
+
+/// Per-tenant state owned by a worker.
+#[derive(Debug)]
+struct TenantEntry {
+    name: String,
+    workload_name: String,
+    config: SessionConfig,
+    binary: Binary,
+    fault: Option<FaultPlan>,
+    throttle_us: u64,
+    state: TenantState,
+    session: Option<MonitoringSession>,
+    /// Summary frozen at eviction time (session retired).
+    frozen_summary: Option<SessionSummary>,
+    intervals_processed: usize,
+    intervals_ignored: usize,
+    restarts: usize,
+}
+
+impl TenantEntry {
+    fn fresh_session(&self) -> MonitoringSession {
+        let mut session = MonitoringSession::new(self.config.clone());
+        session.attach_binary_image(self.binary.clone());
+        session
+    }
+
+    fn snapshot(&self, id: TenantId) -> TenantSnapshot {
+        let summary = match (&self.session, &self.frozen_summary) {
+            (Some(s), _) => Some(s.summary(&self.workload_name)),
+            (None, Some(frozen)) => Some(frozen.clone()),
+            (None, None) => None,
+        };
+        TenantSnapshot {
+            id,
+            name: self.name.clone(),
+            state: self.state.clone(),
+            intervals_processed: self.intervals_processed,
+            intervals_ignored: self.intervals_ignored,
+            restarts: self.restarts,
+            summary,
+            error: match &self.state {
+                TenantState::Failed(msg) => Some(msg.clone()),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// The worker loop for shard `shard`. Runs until the queue is closed and
+/// drained, then reports its final state.
+pub(crate) fn run_worker(shard: usize, queue: &crate::queue::BoundedQueue<ShardMsg>) -> ShardFinal {
+    let mut tenants: BTreeMap<TenantId, TenantEntry> = BTreeMap::new();
+    let mut messages = 0usize;
+
+    while let Some(msg) = queue.pop() {
+        messages += 1;
+        match msg {
+            ShardMsg::Admit(admit) => {
+                let entry = TenantEntry {
+                    name: admit.name,
+                    workload_name: admit.workload_name,
+                    config: admit.config,
+                    binary: admit.binary,
+                    fault: admit.fault,
+                    throttle_us: admit.throttle_us,
+                    state: TenantState::Running,
+                    session: None,
+                    frozen_summary: None,
+                    intervals_processed: 0,
+                    intervals_ignored: 0,
+                    restarts: 0,
+                };
+                let mut entry = entry;
+                entry.session = Some(entry.fresh_session());
+                tenants.insert(admit.tenant, entry);
+            }
+            ShardMsg::Interval(id, interval) => {
+                if let Some(entry) = tenants.get_mut(&id) {
+                    process_interval(entry, &interval);
+                }
+            }
+            ShardMsg::Pause(id) => {
+                if let Some(entry) = tenants.get_mut(&id) {
+                    if entry.state == TenantState::Running {
+                        entry.state = TenantState::Paused;
+                    }
+                }
+            }
+            ShardMsg::Resume(id) => {
+                if let Some(entry) = tenants.get_mut(&id) {
+                    if entry.state == TenantState::Paused {
+                        entry.state = TenantState::Running;
+                    }
+                }
+            }
+            ShardMsg::Evict(id, reason) => {
+                if let Some(entry) = tenants.get_mut(&id) {
+                    // A failed tenant stays failed (its error matters more
+                    // than the eviction); everyone else retires cleanly.
+                    if !matches!(entry.state, TenantState::Failed(_)) {
+                        if let Some(session) = entry.session.take() {
+                            entry.frozen_summary = Some(session.summary(&entry.workload_name));
+                        }
+                        entry.state = TenantState::Evicted(reason);
+                    }
+                }
+            }
+            ShardMsg::Restart(id) => {
+                if let Some(entry) = tenants.get_mut(&id) {
+                    entry.session = Some(entry.fresh_session());
+                    entry.frozen_summary = None;
+                    entry.state = TenantState::Running;
+                    entry.intervals_processed = 0;
+                    entry.restarts += 1;
+                }
+            }
+            ShardMsg::Finish(id) => {
+                if let Some(entry) = tenants.get_mut(&id) {
+                    if matches!(entry.state, TenantState::Running | TenantState::Paused) {
+                        entry.state = TenantState::Completed;
+                    }
+                }
+            }
+            ShardMsg::Snapshot(reply) => {
+                let snap = ShardSnapshot {
+                    shard,
+                    tenants: tenants.iter().map(|(id, e)| e.snapshot(*id)).collect(),
+                    messages_processed: messages,
+                };
+                // The driver may have given up waiting; ignore send errors.
+                let _ = reply.send(snap);
+            }
+            ShardMsg::Barrier(reply) => {
+                let _ = reply.send(());
+            }
+        }
+    }
+
+    ShardFinal {
+        shard,
+        tenants: tenants.iter().map(|(id, e)| e.snapshot(*id)).collect(),
+        messages_processed: messages,
+        queue: queue.stats(),
+    }
+}
+
+/// Runs one interval through a tenant's pipeline under quarantine.
+fn process_interval(entry: &mut TenantEntry, interval: &Interval) {
+    if entry.state != TenantState::Running {
+        // Paused / evicted / failed / completed tenants ignore in-flight
+        // intervals (the queue is FIFO per shard, so these only occur
+        // when a lifecycle command raced an already-queued interval).
+        entry.intervals_ignored += 1;
+        return;
+    }
+    if entry.throttle_us > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(entry.throttle_us));
+    }
+    let injected = entry
+        .fault
+        .is_some_and(|f| entry.intervals_processed >= f.panic_after);
+    let Some(session) = entry.session.as_mut() else {
+        entry.intervals_ignored += 1;
+        return;
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        assert!(
+            !injected,
+            "injected fault: tenant pipeline panicked after {} intervals",
+            entry.intervals_processed
+        );
+        session.process_interval(interval);
+    }));
+    match outcome {
+        Ok(()) => entry.intervals_processed += 1,
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            entry.state = TenantState::Failed(msg);
+            entry.session = None; // the session may be mid-mutation; discard
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "tenant pipeline panicked".to_string()
+    }
+}

@@ -176,7 +176,6 @@ mod tests {
         }
         assert!(mgr.detector(stable).unwrap().is_stable());
         assert!(!mgr.detector(unstable).unwrap().is_stable());
-        assert!(mgr.detector(unstable).unwrap().stats().phase_changes > 0 || true);
         assert_eq!(mgr.detector(stable).unwrap().stats().phase_changes, 1);
     }
 

@@ -1,0 +1,468 @@
+//! Offline stand-in for the crates-io `proptest` crate.
+//!
+//! The regmon workspace must build and test with **zero network access**:
+//! no registry index, no vendored tarballs. Real `proptest` (and its
+//! transitive dependency tree) cannot be downloaded in that environment,
+//! so this crate re-implements the small surface the workspace's property
+//! tests actually use, under the same package name, as a path dependency:
+//!
+//! - the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! - integer / float range strategies (`0u64..1_000`, `-1e4..1e4f64`),
+//! - tuple strategies (`(0u64..64, 1u64..32)`),
+//! - [`prop::collection::vec`] with a `usize` or `Range<usize>` size,
+//! - [`prop::bool::ANY`] and [`prop::bool::weighted`],
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`] and [`ProptestConfig::with_cases`].
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//!
+//! 1. **No shrinking.** A failing case panics with the generated inputs
+//!    in scope; reproduce it from the reported case number.
+//! 2. **Deterministic generation.** Inputs derive from a splitmix64
+//!    stream seeded by `fnv(test name) ^ case index` (overridable with
+//!    `PROPTEST_SHIM_SEED`), so every run and every machine exercises
+//!    the same cases — property failures are never flaky.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Run-configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim trims that to keep the
+        // offline test suite fast while still exploring a useful volume.
+        Self { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+/// FNV-1a, used to fold the test name into the seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TestRng {
+    /// The generator for case `case` of the property named `name`.
+    #[must_use]
+    pub fn for_case(name: &str, case: u32) -> Self {
+        let base = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        Self {
+            state: fnv1a(name.as_bytes()) ^ base.wrapping_add(u64::from(case) << 1),
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`. Panics when the range is empty.
+    pub fn gen_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A generator of test inputs (the shim keeps proptest's trait name but
+/// none of its shrinking machinery).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            #[allow(clippy::cast_possible_wrap, clippy::cast_lossless)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range");
+                let span = (hi - lo) as u128;
+                let draw = u128::from(rng.next_u64()) % span;
+                (lo + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            #[allow(clippy::cast_possible_wrap, clippy::cast_lossless)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u128 + 1;
+                let draw = u128::from(rng.next_u64()) % span;
+                (lo + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    #[allow(clippy::cast_possible_truncation)]
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (rng.gen_unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:ident),+))*) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($n,)+) = self;
+                ($($n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// A strategy that always yields a clone of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The size argument of [`prop::collection::vec`]: a fixed length or a
+/// half-open length range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from an inner strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.lo + 1 >= self.size.hi {
+            self.size.lo
+        } else {
+            rng.gen_u64(self.size.lo as u64, self.size.hi as u64) as usize
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy modules mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, VecStrategy};
+
+        /// A strategy generating vectors of `element` with a length drawn
+        /// from `size` (a `usize` for a fixed length, or a range).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// Uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The canonical uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+
+        /// Booleans that are `true` with probability `p`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Weighted(pub f64);
+
+        /// A strategy yielding `true` with probability `probability`.
+        #[must_use]
+        pub fn weighted(probability: f64) -> Weighted {
+            Weighted(probability)
+        }
+
+        impl Strategy for Weighted {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.gen_unit_f64() < self.0
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Mirrors proptest's macro of the same name:
+/// an optional leading `#![proptest_config(expr)]`, then `#[test]`
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                // The body may `continue` (via prop_assume!) to skip a case.
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure; the shim
+/// does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current generated case when its inputs do not satisfy a
+/// precondition. Expands to `continue` targeting the per-case loop, so it
+/// must appear at the top level of the property body (as in real
+/// proptest's common usage).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            let v = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (-2.0..3.0f64).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let s = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_honour_fixed_and_ranged() {
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..200 {
+            let fixed = prop::collection::vec(0u64..5, 8).generate(&mut rng);
+            assert_eq!(fixed.len(), 8);
+            let ranged = prop::collection::vec(0u64..5, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn weighted_bool_is_biased() {
+        let mut rng = TestRng::for_case("weighted", 0);
+        let trues = (0..10_000)
+            .filter(|_| prop::bool::weighted(0.3).generate(&mut rng))
+            .count();
+        assert!((2_500..3_500).contains(&trues), "trues = {trues}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(
+            xs in prop::collection::vec((0u64..10, 1u64..5), 1..6),
+            flag in prop::bool::ANY,
+            scale in 0.5..2.0f64,
+        ) {
+            prop_assume!(!xs.is_empty());
+            for (a, b) in &xs {
+                prop_assert!(*a < 10 && (1..5).contains(b));
+            }
+            let _ = flag;
+            prop_assert!((0.5..2.0).contains(&scale));
+            prop_assert_eq!(xs.len(), xs.len());
+            prop_assert_ne!(scale, 2.0);
+        }
+    }
+}

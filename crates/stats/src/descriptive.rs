@@ -122,7 +122,6 @@ pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
 /// Used by the figure binaries to report per-benchmark distributions in a
 /// single row.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,

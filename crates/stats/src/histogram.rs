@@ -23,7 +23,6 @@ use crate::pearson::{pearson_counts, PearsonError};
 /// assert_eq!(h.total(), 3);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CountHistogram {
     counts: Vec<u64>,
     total: u64,

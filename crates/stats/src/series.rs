@@ -21,7 +21,6 @@ use crate::descriptive::Summary;
 /// assert_eq!(s.label(), "region 146f0-14770");
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Series {
     label: String,
     values: Vec<f64>,

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Repository verification gate: formatting, lints, release build, tests.
+#
+# Everything here must work fully offline — the workspace has zero
+# external crate dependencies by design (see DESIGN.md §8).
+#
+# Usage: scripts/verify.sh [--quick]
+#   --quick   skip the release build (lints + tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+if cargo clippy --version >/dev/null 2>&1; then
+  step "cargo clippy -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
+else
+  echo "clippy unavailable; skipping lint step" >&2
+fi
+
+if [[ "$QUICK" -eq 0 ]]; then
+  step "cargo build --release"
+  cargo build --release
+fi
+
+step "cargo test"
+cargo test -q
+
+step "fleet JSON determinism"
+a="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --json)"
+b="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --json)"
+if [[ "$a" != "$b" ]]; then
+  echo "FAIL: fleet --json differed between identical runs" >&2
+  exit 1
+fi
+
+step "bench smoke (QUICK_BENCH=1)"
+QUICK_BENCH=1 cargo bench -q -p regmon-bench --bench fleet >/dev/null
+
+echo
+echo "verify: OK"
