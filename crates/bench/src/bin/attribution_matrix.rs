@@ -1,0 +1,272 @@
+//! Emits the attribution-engine benchmark matrix as JSON.
+//!
+//! Cells: attribution path × index kind × region count × samples per
+//! interval × sample locality, each measured as **median ns/sample**
+//! over repeated full-interval attributions. Two paths are timed:
+//!
+//! * `legacy` — the seed's per-sample algorithm, reconstructed here
+//!   exactly as `RegionMonitor::distribute` used to work: one `stab`
+//!   call per sample and a *fresh* `BTreeMap<RegionId, CountHistogram>`
+//!   allocated per interval. This is the baseline the ISSUE's ≥3×
+//!   acceptance criterion is measured against.
+//! * `batch` — today's engine: `stab_batch` with the validity-window
+//!   locality cache feeding the monitor's epoch-reset arena.
+//!
+//! Usage: `attribution_matrix [OUTPUT.json]` (default
+//! `BENCH_attribution.json` in the current directory). The `headline`
+//! object compares legacy/tree against batch/flat at the reference cell
+//! (64 regions, 2032-sample interval — one paper interval at the 45K
+//! period) and is what CI's regression guard reads.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use regmon::regions::{IndexKind, RegionId, RegionIndex, RegionKind, RegionMonitor};
+use regmon::sampling::PcSample;
+use regmon_binary::{Addr, AddrRange, INST_BYTES};
+use regmon_stats::CountHistogram;
+
+const BASE: u64 = 0x10000;
+const REGION_COUNTS: [usize; 4] = [4, 16, 64, 256];
+const SAMPLE_COUNTS: [usize; 2] = [508, 2032];
+const HEADLINE_REGIONS: usize = 64;
+const HEADLINE_SAMPLES: usize = 2032;
+
+fn region_table(n: usize) -> Vec<AddrRange> {
+    (0..n)
+        .map(|i| {
+            let start = BASE + (i as u64) * 0x100;
+            AddrRange::new(Addr::new(start), Addr::new(start + 0x80))
+        })
+        .collect()
+}
+
+fn random_samples(n: usize, count: usize) -> Vec<PcSample> {
+    let span = n as u64 * 0x100;
+    (0..count as u64)
+        .map(|k| {
+            let x = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) % span;
+            PcSample {
+                addr: Addr::new(BASE + (x & !3)),
+                cycle: k,
+            }
+        })
+        .collect()
+}
+
+fn local_samples(n: usize, count: usize) -> Vec<PcSample> {
+    (0..count as u64)
+        .map(|k| {
+            let region = (k / 97) % n as u64;
+            let offset = (k % 32) * 4;
+            PcSample {
+                addr: Addr::new(BASE + region * 0x100 + offset),
+                cycle: k,
+            }
+        })
+        .collect()
+}
+
+/// The seed's attribution loop, preserved for baseline measurement: a
+/// per-sample stab and per-interval histogram map allocation.
+struct LegacyDistributor {
+    index: Box<dyn RegionIndex + Send + Sync>,
+    meta: BTreeMap<RegionId, (u64, usize)>, // region id -> (start, slots)
+}
+
+impl LegacyDistributor {
+    fn new(kind: IndexKind, regions: &[AddrRange]) -> Self {
+        let mut index = kind.make();
+        let mut meta = BTreeMap::new();
+        for (i, r) in regions.iter().enumerate() {
+            let id = RegionId(i as u64);
+            index.insert(id, *r);
+            meta.insert(id, (r.start().get(), (r.len() / INST_BYTES) as usize));
+        }
+        Self { index, meta }
+    }
+
+    fn distribute(
+        &self,
+        samples: &[PcSample],
+    ) -> (BTreeMap<RegionId, CountHistogram>, Vec<PcSample>) {
+        let mut histograms: BTreeMap<RegionId, CountHistogram> = BTreeMap::new();
+        let mut unattributed = Vec::new();
+        let mut hits = Vec::new();
+        for sample in samples {
+            hits.clear();
+            self.index.stab(sample.addr, &mut hits);
+            if hits.is_empty() {
+                unattributed.push(*sample);
+                continue;
+            }
+            for &id in &hits {
+                let (start, slots) = self.meta[&id];
+                let hist = histograms
+                    .entry(id)
+                    .or_insert_with(|| CountHistogram::new(slots));
+                hist.record(((sample.addr.get() - start) / INST_BYTES) as usize);
+            }
+        }
+        (histograms, unattributed)
+    }
+}
+
+/// Median of `reps` timed runs of `f`, in ns per sample.
+fn median_ns_per_sample<F: FnMut()>(samples: usize, reps: usize, mut f: F) -> f64 {
+    // Warmup: populate arenas / caches / allocator pools.
+    for _ in 0..3 {
+        f();
+    }
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64 / samples as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Cell {
+    path: &'static str,
+    index: &'static str,
+    regions: usize,
+    samples: usize,
+    locality: &'static str,
+    ns_per_sample: f64,
+}
+
+fn fmt_cell(c: &Cell) -> String {
+    format!(
+        "    {{\"path\": \"{}\", \"index\": \"{}\", \"regions\": {}, \"samples\": {}, \
+         \"locality\": \"{}\", \"ns_per_sample\": {:.2}}}",
+        c.path, c.index, c.regions, c.samples, c.locality, c.ns_per_sample
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_attribution.json".to_string());
+    let reps: usize = if std::env::var_os("QUICK_BENCH").is_some() {
+        5
+    } else {
+        31
+    };
+
+    type SampleGen = fn(usize, usize) -> Vec<PcSample>;
+    let localities: [(&str, SampleGen); 2] = [("random", random_samples), ("local", local_samples)];
+    let kinds = [
+        ("list", IndexKind::Linear),
+        ("tree", IndexKind::IntervalTree),
+        ("flat", IndexKind::FlatSorted),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n in &REGION_COUNTS {
+        let regions = region_table(n);
+        for &count in &SAMPLE_COUNTS {
+            for (locality, gen) in localities {
+                let samples = gen(n, count);
+
+                // Baseline: the legacy per-sample path over the seed's
+                // default index (interval tree).
+                let legacy = LegacyDistributor::new(IndexKind::IntervalTree, &regions);
+                let ns = median_ns_per_sample(count, reps, || {
+                    black_box(legacy.distribute(black_box(&samples)));
+                });
+                cells.push(Cell {
+                    path: "legacy",
+                    index: "tree",
+                    regions: n,
+                    samples: count,
+                    locality,
+                    ns_per_sample: ns,
+                });
+
+                // Today's engine: batch stab + arena, per index kind.
+                for (label, kind) in kinds {
+                    let mut monitor = RegionMonitor::new(kind);
+                    for r in &regions {
+                        monitor.add_region(*r, RegionKind::Loop { depth: 0 }, 0);
+                    }
+                    // Cross-check before timing: the batch path must
+                    // reproduce the legacy histograms exactly.
+                    monitor.attribute(&samples);
+                    let (legacy_hists, legacy_unattr) = legacy.distribute(&samples);
+                    let report = monitor.report();
+                    assert_eq!(report.unattributed_samples().len(), legacy_unattr.len());
+                    for (id, hist) in report.histograms() {
+                        assert_eq!(Some(hist), legacy_hists.get(&id), "{id:?}");
+                    }
+
+                    let ns = median_ns_per_sample(count, reps, || {
+                        monitor.attribute(black_box(&samples));
+                        black_box(monitor.report().total_samples());
+                    });
+                    cells.push(Cell {
+                        path: "batch",
+                        index: label,
+                        regions: n,
+                        samples: count,
+                        locality,
+                        ns_per_sample: ns,
+                    });
+                }
+            }
+        }
+    }
+
+    let pick = |path: &str, index: &str| -> f64 {
+        cells
+            .iter()
+            .find(|c| {
+                c.path == path
+                    && c.index == index
+                    && c.regions == HEADLINE_REGIONS
+                    && c.samples == HEADLINE_SAMPLES
+                    && c.locality == "random"
+            })
+            .expect("headline cell measured")
+            .ns_per_sample
+    };
+    let legacy_ns = pick("legacy", "tree");
+    let flat_ns = pick("batch", "flat");
+    let speedup = legacy_ns / flat_ns;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"regmon-attribution-matrix-v1\",\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(
+        "  \"note\": \"median ns/sample; legacy = per-sample stab + fresh per-interval \
+         BTreeMap histograms (the seed's distribute), batch = stab_batch + epoch-reset \
+         arena (today's attribute)\",\n",
+    );
+    json.push_str("  \"headline\": {\n");
+    json.push_str(&format!("    \"regions\": {HEADLINE_REGIONS},\n"));
+    json.push_str(&format!("    \"samples\": {HEADLINE_SAMPLES},\n"));
+    json.push_str("    \"locality\": \"random\",\n");
+    json.push_str(&format!(
+        "    \"legacy_tree_ns_per_sample\": {legacy_ns:.2},\n"
+    ));
+    json.push_str(&format!(
+        "    \"flat_batch_ns_per_sample\": {flat_ns:.2},\n"
+    ));
+    json.push_str(&format!("    \"speedup\": {speedup:.2}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"cells\": [\n");
+    let rendered: Vec<String> = cells.iter().map(fmt_cell).collect();
+    json.push_str(&rendered.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write matrix json");
+    eprintln!(
+        "attribution matrix: {} cells -> {out_path} (headline speedup {speedup:.2}x: \
+         legacy/tree {legacy_ns:.1} ns/sample vs batch/flat {flat_ns:.1} ns/sample)",
+        cells.len()
+    );
+}

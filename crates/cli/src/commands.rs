@@ -1,5 +1,6 @@
 //! The CLI subcommands.
 
+use regmon::regions::IndexKind;
 use regmon::rto::{simulate, speedup_percent, RtoConfig, RtoMode};
 use regmon::sampling::Sampler;
 use regmon::workload::{suite, Workload};
@@ -16,12 +17,14 @@ regmon — region monitoring for local phase detection (CGO'06 reproduction)
 
 USAGE:
   regmon list
-  regmon run <benchmark> [--period N] [--intervals N] [--skid N] [--interprocedural] [--json]
+  regmon run <benchmark> [--period N] [--intervals N] [--skid N] [--interprocedural]
+             [--index linear|tree|flat] [--parallel-attrib N] [--json]
   regmon sweep <benchmark> [--intervals N]
   regmon rto <benchmark> [--period N] [--intervals N]
   regmon baselines <benchmark> [--period N] [--intervals N]
   regmon fleet <benchmark|all> [--tenants N] [--shards N] [--intervals N]
-               [--period N] [--queue-depth N] [--policy block|drop-oldest] [--json]
+               [--period N] [--queue-depth N] [--policy block|drop-oldest]
+               [--index linear|tree|flat] [--parallel-attrib N] [--json]
   regmon help
 
 Benchmarks are the synthetic SPEC CPU2000-like models (see `regmon list`).
@@ -82,6 +85,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut config = SessionConfig::new(period);
     config.sampling = config.sampling.with_skid(skid);
     config.formation.interprocedural = p.flag("interprocedural");
+    config.index = IndexKind::parse(&p.value_or("index", "tree".to_string())?)?;
+    config.parallel_attrib = p.value_or("parallel-attrib", 0)?;
     let summary = MonitoringSession::run_limited(&w, &config, intervals);
 
     if p.flag("json") {
@@ -223,6 +228,8 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     let period: u64 = p.value_or("period", 0)?;
     let queue_depth: usize = p.value_or("queue-depth", 16)?;
     let policy = QueuePolicy::parse(&p.value_or("policy", "block".to_string())?)?;
+    let index = IndexKind::parse(&p.value_or("index", "tree".to_string())?)?;
+    let parallel_attrib: usize = p.value_or("parallel-attrib", 0)?;
     if tenants == 0 || shards == 0 || intervals == 0 || queue_depth == 0 {
         return Err("--tenants/--shards/--intervals/--queue-depth must be positive".into());
     }
@@ -249,12 +256,10 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             } else {
                 [45_000, 90_000, 450_000][i % 3]
             };
-            TenantSpec::new(
-                format!("{}#{i}", w.name()),
-                w.clone(),
-                SessionConfig::new(p),
-                intervals,
-            )
+            let mut config = SessionConfig::new(p);
+            config.index = index;
+            config.parallel_attrib = parallel_attrib;
+            TenantSpec::new(format!("{}#{i}", w.name()), w.clone(), config, intervals)
         })
         .collect();
 

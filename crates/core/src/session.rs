@@ -34,6 +34,12 @@ pub struct SessionConfig {
     pub lpd: LpdConfig,
     /// Optional cold-region pruning.
     pub pruning: Option<PruningConfig>,
+    /// Worker threads for sample attribution. `0` or `1` keeps the
+    /// serial zero-allocation arena path; larger values split each
+    /// interval's samples across scoped threads sharing the index
+    /// (results are identical — see
+    /// [`regmon_regions::RegionMonitor::attribute_parallel`]).
+    pub parallel_attrib: usize,
 }
 
 impl SessionConfig {
@@ -47,12 +53,13 @@ impl SessionConfig {
             gpd: GpdConfig::default(),
             lpd: LpdConfig::default(),
             pruning: None,
+            parallel_attrib: 0,
         }
     }
 }
 
 /// Everything one interval produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalOutcome {
     /// The interval's index.
     pub index: usize,
@@ -154,24 +161,34 @@ impl MonitoringSession {
     pub fn process_interval(&mut self, interval: &Interval) -> IntervalOutcome {
         self.intervals += 1;
 
-        let report = self.monitor.distribute(&interval.samples);
-        let ucr_fraction = report.ucr_fraction();
+        // The zero-allocation hot path: samples are attributed into the
+        // monitor's reusable arena (optionally across scoped worker
+        // threads) and every downstream consumer reads the borrow-based
+        // arena report — no per-interval maps or histogram copies.
+        if self.config.parallel_attrib > 1 {
+            self.monitor
+                .attribute_parallel(&interval.samples, self.config.parallel_attrib);
+        } else {
+            self.monitor.attribute(&interval.samples);
+        }
+        let ucr_fraction = self.monitor.report().ucr_fraction();
         self.ucr.record(ucr_fraction);
 
         // Formation must see the *current* interval's unattributed
         // samples, then the detectors see the report of what was
-        // monitored during the interval.
+        // monitored during the interval. The UCR buffer is taken out of
+        // the arena (and restored afterwards) because formation mutates
+        // the monitor while reading the samples.
         let new_regions = if self.formation.should_trigger(ucr_fraction) {
             let binary = self
                 .binary
                 .as_ref()
                 .expect("attach_binary must be called before processing intervals");
-            let outcome = self.formation.form(
-                binary,
-                report.unattributed_samples(),
-                &mut self.monitor,
-                interval.index,
-            );
+            let unattributed = self.monitor.take_unattributed();
+            let outcome =
+                self.formation
+                    .form(binary, &unattributed, &mut self.monitor, interval.index);
+            self.monitor.restore_unattributed(unattributed);
             self.regions_formed += outcome.new_regions.len();
             outcome.new_regions
         } else {
@@ -179,11 +196,20 @@ impl MonitoringSession {
         };
 
         let gpd_obs = self.gpd.observe(&interval.samples);
-        let lpd_obs = self.lpd.observe_interval(&self.monitor, &report);
+        let lpd_obs = {
+            let report = self.monitor.report();
+            self.lpd.observe_interval(&self.monitor, &report)
+        };
 
         let pruned_regions = match &mut self.pruner {
             Some(p) => {
-                let evicted = p.observe(&report, &mut self.monitor);
+                let evicted = {
+                    let report = self.monitor.report();
+                    p.plan(&report, &self.monitor)
+                };
+                for &id in &evicted {
+                    self.monitor.remove_region(id);
+                }
                 self.regions_pruned += evicted.len();
                 evicted
             }

@@ -226,8 +226,23 @@ struct Report {
     iters: u64,
 }
 
+/// Process-wide quick-mode latch set by `--smoke` (see [`force_quick`]).
+static FORCED_QUICK: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Forces quick (one-batch-per-benchmark) mode for the rest of the
+/// process, exactly as if `QUICK_BENCH=1` were set in the environment.
+///
+/// [`criterion_main!`] calls this when the bench binary receives a
+/// `--smoke` argument (`cargo bench --bench foo -- --smoke`), which is
+/// how CI executes every bench as a cheap compile-and-run check without
+/// touching the environment of other steps.
+pub fn force_quick() {
+    FORCED_QUICK.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
 fn quick_mode() -> bool {
-    std::env::var("QUICK_BENCH").is_ok_and(|v| v != "0")
+    FORCED_QUICK.load(std::sync::atomic::Ordering::Relaxed)
+        || std::env::var("QUICK_BENCH").is_ok_and(|v| v != "0")
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(config: &Criterion, f: &mut F) -> Report {
@@ -331,10 +346,17 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench binary's `main`, invoking each group.
+///
+/// A `--smoke` argument (typically `cargo bench --bench x -- --smoke`)
+/// switches the harness to quick mode — one batch per benchmark — so CI
+/// can execute every bench binary in seconds.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            if std::env::args().any(|a| a == "--smoke") {
+                $crate::force_quick();
+            }
             $($group();)+
         }
     };

@@ -3,7 +3,7 @@
 use regmon_stats::CountHistogram;
 
 use crate::adaptive::ThresholdPolicy;
-use crate::similarity::{Similarity, SimilarityKind};
+use crate::similarity::{PearsonCache, Similarity, SimilarityKind};
 use crate::state::LpdState;
 
 /// Configuration shared by all per-region detectors.
@@ -92,6 +92,12 @@ pub struct RegionPhaseDetector {
     config: LpdConfig,
     rt: f64,
     prev_hist: CountHistogram,
+    /// Incremental stable-side Pearson sums, kept in lock-step with
+    /// `prev_hist` (only when the configured metric is Pearson). Scoring
+    /// an interval is then one pass over the *current* histogram instead
+    /// of a full two-sided recomputation — bit-identical by
+    /// construction (see [`PearsonCache`]).
+    pearson_cache: Option<PearsonCache>,
     prev_empty: bool,
     state: LpdState,
     last_r: f64,
@@ -108,10 +114,17 @@ impl RegionPhaseDetector {
     #[must_use]
     pub fn new(slots: usize, config: LpdConfig) -> Self {
         assert!(slots >= 2, "local phase detection needs at least 2 slots");
+        let prev_hist = CountHistogram::new(slots);
+        let pearson_cache = (config.similarity == SimilarityKind::Pearson).then(|| {
+            let mut cache = PearsonCache::new();
+            cache.rebuild(&prev_hist);
+            cache
+        });
         Self {
             config,
             rt: config.threshold.rt_for(slots),
-            prev_hist: CountHistogram::new(slots),
+            prev_hist,
+            pearson_cache,
             prev_empty: true,
             state: LpdState::Unstable,
             last_r: 0.0,
@@ -190,7 +203,10 @@ impl RegionPhaseDetector {
             // First active interval: nothing to compare against yet.
             (0.0, LpdState::Unstable)
         } else {
-            let r = self.config.similarity.score(&self.prev_hist, current);
+            let r = match &self.pearson_cache {
+                Some(cache) => cache.score(current),
+                None => self.config.similarity.score(&self.prev_hist, current),
+            };
             (r, self.state.next(r >= self.rt))
         };
 
@@ -199,6 +215,9 @@ impl RegionPhaseDetector {
         if next.tracks_current() {
             self.prev_hist.copy_from(current);
             self.prev_empty = false;
+            if let Some(cache) = &mut self.pearson_cache {
+                cache.rebuild(&self.prev_hist);
+            }
         }
 
         let phase_changed = state_before.is_stable() != next.is_stable();

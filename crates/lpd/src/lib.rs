@@ -53,7 +53,7 @@ pub mod state;
 pub use adaptive::ThresholdPolicy;
 pub use detector::{LpdConfig, LpdObservation, RegionPhaseDetector, RegionPhaseStats};
 pub use manager::LpdManager;
-pub use similarity::{Similarity, SimilarityKind};
+pub use similarity::{PearsonCache, Similarity, SimilarityKind};
 pub use state::LpdState;
 
 /// The paper's correlation threshold `rt`.

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use regmon_regions::{DistributionReport, RegionId, RegionMonitor};
+use regmon_regions::{AttributionView, RegionId, RegionMonitor};
 
 use crate::detector::{LpdConfig, LpdObservation, RegionPhaseDetector, RegionPhaseStats};
 
@@ -36,10 +36,14 @@ impl LpdManager {
     ///
     /// Regions present in the manager but no longer in the monitor are
     /// retired.
-    pub fn observe_interval(
+    ///
+    /// Accepts any [`AttributionView`] — the owned `DistributionReport`
+    /// or the monitor's borrow-based arena report — so the zero-copy hot
+    /// path and the legacy path share this code exactly.
+    pub fn observe_interval<V: AttributionView>(
         &mut self,
         monitor: &RegionMonitor,
-        report: &DistributionReport,
+        report: &V,
     ) -> Vec<(RegionId, LpdObservation)> {
         // Retire detectors for pruned regions.
         let pruned: Vec<RegionId> = self

@@ -8,7 +8,7 @@
 //! bench (`similarity.rs` in `regmon-bench`) compares their cost and
 //! their agreement with Pearson.
 
-use regmon_stats::CountHistogram;
+use regmon_stats::{CountHistogram, PearsonAccumulator, PearsonParts};
 
 /// A similarity score between two same-region histograms.
 ///
@@ -60,6 +60,112 @@ impl Similarity for SimilarityKind {
 
 fn pearson(a: &CountHistogram, b: &CountHistogram) -> f64 {
     a.pearson(b).unwrap_or(0.0)
+}
+
+/// Cached stable-side state for incremental Pearson scoring.
+///
+/// The paper notes (§5) that Pearson "involves time consuming
+/// calculations"; the bulk of that work in the steady state is redundant,
+/// because the *stable* histogram only changes while a region is
+/// restabilizing. This cache keeps the stable side's shifted sums
+/// (`x0`, `Σ(x−x0)`, `Σ(x−x0)²`) and per-slot deltas, so scoring an
+/// interval costs one pass over the *current* histogram only — and when
+/// the current histogram's first slot is empty (the common case for
+/// peaked loop regions), slots with zero samples are skipped entirely,
+/// which is exact: their contribution to every running sum is a signed
+/// zero, and adding a signed zero to a running sum that starts at `+0.0`
+/// never changes its bits.
+///
+/// [`PearsonCache::score`] is **bit-identical** to
+/// `SimilarityKind::Pearson.score(stable, current)` — the final `r` is
+/// produced by the same [`PearsonAccumulator::r`] code path, fed the
+/// same sums accumulated in the same order.
+#[derive(Debug, Clone, Default)]
+pub struct PearsonCache {
+    x0: f64,
+    sx: f64,
+    sxx: f64,
+    /// Per-slot `x_i − x0` of the stable histogram.
+    dx: Vec<f64>,
+}
+
+impl PearsonCache {
+    /// An empty cache (matches a zero-slot stable histogram).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recomputes the cached sums from `stable`. Call whenever the
+    /// stable histogram changes (the Figure 12 `prev_hist ← curr_hist`
+    /// tracking step); the per-slot buffer is reused.
+    pub fn rebuild(&mut self, stable: &CountHistogram) {
+        let counts = stable.counts();
+        self.x0 = counts.first().map_or(0.0, |&c| c as f64);
+        self.sx = 0.0;
+        self.sxx = 0.0;
+        self.dx.clear();
+        self.dx.reserve(counts.len());
+        for &c in counts {
+            let dx = c as f64 - self.x0;
+            self.dx.push(dx);
+            self.sx += dx;
+            self.sxx += dx * dx;
+        }
+    }
+
+    /// Scores `current` against the cached stable histogram. Bit-identical
+    /// to `SimilarityKind::Pearson.score(stable, current)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `current`'s slot count differs from the cached
+    /// histogram's — they must describe the same region.
+    #[must_use]
+    pub fn score(&self, current: &CountHistogram) -> f64 {
+        assert_eq!(
+            self.dx.len(),
+            current.slots(),
+            "histograms describe different regions"
+        );
+        let counts = current.counts();
+        if counts.len() < 2 {
+            return 0.0; // Pearson undefined, same as the full path.
+        }
+        let y0 = counts[0] as f64;
+        let (mut sy, mut syy, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
+        if y0 == 0.0 {
+            // dy == y_i: zero-count slots contribute signed zeros to
+            // every sum, so skipping them is exact (see type docs).
+            for (i, &c) in counts.iter().enumerate() {
+                if c != 0 {
+                    let dy = c as f64;
+                    sy += dy;
+                    syy += dy * dy;
+                    sxy += self.dx[i] * dy;
+                }
+            }
+        } else {
+            for (&c, &dx) in counts.iter().zip(&self.dx) {
+                let dy = c as f64 - y0;
+                sy += dy;
+                syy += dy * dy;
+                sxy += dx * dy;
+            }
+        }
+        PearsonAccumulator::from_parts(PearsonParts {
+            n: counts.len() as u64,
+            x0: self.x0,
+            y0,
+            sx: self.sx,
+            sy,
+            sxx: self.sxx,
+            syy,
+            sxy,
+        })
+        .r()
+        .unwrap_or(0.0)
+    }
 }
 
 fn cosine(a: &CountHistogram, b: &CountHistogram) -> f64 {
@@ -186,6 +292,45 @@ mod tests {
     }
 
     #[test]
+    fn pearson_cache_matches_full_score_bitwise() {
+        let stables = [
+            vec![1u64, 9, 40, 200, 30, 8, 2, 1],
+            vec![0, 0, 5, 100, 5, 0, 0, 0],
+            vec![7, 7, 7, 7, 7, 7, 7, 7],
+            vec![0, 0, 0, 0, 0, 0, 0, 0],
+        ];
+        let currents = [
+            vec![2u64, 18, 80, 400, 60, 16, 4, 2],
+            vec![0, 3, 0, 250, 0, 0, 1, 0], // sparse, first slot zero
+            vec![5, 0, 0, 0, 0, 0, 0, 9],   // first slot nonzero
+            vec![0, 0, 0, 0, 0, 0, 0, 0],
+        ];
+        for s in &stables {
+            let hs = h(s);
+            let mut cache = PearsonCache::new();
+            cache.rebuild(&hs);
+            for c in &currents {
+                let hc = h(c);
+                let full = SimilarityKind::Pearson.score(&hs, &hc);
+                let fast = cache.score(&hc);
+                assert_eq!(
+                    fast.to_bits(),
+                    full.to_bits(),
+                    "stable={s:?} current={c:?}: {fast} vs {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different regions")]
+    fn pearson_cache_rejects_mismatched_slots() {
+        let mut cache = PearsonCache::new();
+        cache.rebuild(&h(&[1, 2, 3]));
+        let _ = cache.score(&h(&[1, 2]));
+    }
+
+    #[test]
     fn rank_handles_ties() {
         assert_eq!(ranks(&[5, 5, 5]), vec![2.0, 2.0, 2.0]);
         assert_eq!(ranks(&[10, 20, 30]), vec![1.0, 2.0, 3.0]);
@@ -229,6 +374,20 @@ mod tests {
                 let s2 = kind.score(&ha, &hb_scaled);
                 prop_assert!((s1 - s2).abs() < 1e-6, "{:?}: {} vs {}", kind, s1, s2);
             }
+        }
+
+        #[test]
+        fn pearson_cache_always_bit_identical(
+            stable in prop::collection::vec(0u64..500, 2..48),
+            current in prop::collection::vec(0u64..500, 2..48),
+        ) {
+            let n = stable.len().min(current.len());
+            let (hs, hc) = (h(&stable[..n]), h(&current[..n]));
+            let mut cache = PearsonCache::new();
+            cache.rebuild(&hs);
+            let full = SimilarityKind::Pearson.score(&hs, &hc);
+            let fast = cache.score(&hc);
+            prop_assert_eq!(fast.to_bits(), full.to_bits(), "{} vs {}", fast, full);
         }
 
         #[test]

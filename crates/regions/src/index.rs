@@ -2,15 +2,85 @@
 //!
 //! Attribution maps a sampled PC to *all* monitored regions containing it.
 //! [`LinearIndex`] is the prototype's O(n) list walk; [`IntervalTreeIndex`]
-//! is the paper's proposed O(log n + k) replacement. Both answer exactly
-//! the same queries — Figure 16 compares only their cost.
+//! is the paper's proposed O(log n + k) replacement; [`FlatSortedIndex`]
+//! flattens the interval set into sorted elementary segments fronted by
+//! a direct-mapped bucket table, so a stab is one shift + one load + a
+//! short scan — no pointer chasing at all. All three answer exactly the
+//! same queries — Figure 16 compares only their cost.
+//!
+//! # Batch attribution
+//!
+//! The monitor's hot path hands the index a whole interval of samples at
+//! once via [`RegionIndex::stab_batch`]. The default implementation walks
+//! the samples in order through a one-entry **last-hit cache**
+//! ([`HitCache`]): every stab also reports the *validity window* — the
+//! maximal address range around the query on which the answer set is
+//! constant (bounded by the nearest region boundaries) — and consecutive
+//! samples that land in the same window are answered without touching the
+//! index at all. The paper observes exactly this locality: hot PCs
+//! cluster in a handful of regions, so intra-interval streams hit the
+//! cache far more often than they miss. [`FlatSortedIndex`] overrides
+//! the batch with the same window-cache structure inlined around its
+//! O(1) bucket-table lookup, so even locality-free streams stay cheap.
 
 use core::fmt;
 
 use regmon_binary::{Addr, AddrRange};
+use regmon_sampling::PcSample;
 
 use crate::interval_tree::IntervalTree;
 use crate::region::RegionId;
+
+/// A one-entry last-hit cache for stabbing queries.
+///
+/// Stores the answer of the previous stab together with the half-open
+/// address window `[lo, hi)` on which that answer remains valid (no
+/// region boundary lies strictly inside the window). Attribution streams
+/// exhibit strong sample locality — consecutive samples usually fall in
+/// the same elementary segment — so most lookups are answered here.
+#[derive(Debug, Clone, Default)]
+pub struct HitCache {
+    lo: u64,
+    hi: u64,
+    ids: Vec<RegionId>,
+    valid: bool,
+}
+
+impl HitCache {
+    /// Creates an empty (always-missing) cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when the cached answer covers `addr`.
+    #[must_use]
+    pub fn covers(&self, addr: Addr) -> bool {
+        self.valid && self.lo <= addr.get() && addr.get() < self.hi
+    }
+
+    /// The cached answer set (meaningful only after a fill).
+    #[must_use]
+    pub fn ids(&self) -> &[RegionId] {
+        &self.ids
+    }
+
+    /// Refills the cache for `addr` by querying `index`, then returns the
+    /// (now cached) answer set.
+    pub fn refill(&mut self, index: &(impl RegionIndex + ?Sized), addr: Addr) -> &[RegionId] {
+        self.ids.clear();
+        let (lo, hi) = index.stab_window(addr, &mut self.ids);
+        self.lo = lo;
+        self.hi = hi;
+        self.valid = true;
+        &self.ids
+    }
+
+    /// Invalidates the cache (e.g. after the index mutated).
+    pub fn clear(&mut self) {
+        self.valid = false;
+    }
+}
 
 /// A container of `(RegionId, AddrRange)` pairs supporting stabbing
 /// queries.
@@ -27,6 +97,43 @@ pub trait RegionIndex: fmt::Debug {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Like [`RegionIndex::stab`], but additionally returns the maximal
+    /// half-open window `[lo, hi)` containing `addr` on which the answer
+    /// set is constant (i.e. no region start/end lies in `(lo, hi)`
+    /// other than at `lo` itself). Implementations may return a
+    /// conservative (smaller) window; the default returns the degenerate
+    /// single-address window.
+    fn stab_window(&self, addr: Addr, out: &mut Vec<RegionId>) -> (u64, u64) {
+        self.stab(addr, out);
+        (addr.get(), addr.get().saturating_add(1))
+    }
+
+    /// Attributes a whole interval of samples: invokes
+    /// `emit(i, ids)` exactly once per sample, **in input order**, where
+    /// `i` is the sample's position in `samples` and `ids` the set of
+    /// containing regions (empty slice for UCR samples).
+    ///
+    /// The default implementation streams the samples through a
+    /// thread-local [`HitCache`] (invalidated on entry, so index
+    /// mutations between batches are safe) so runs of samples in the
+    /// same elementary segment cost one slice borrow each and the batch
+    /// performs no steady-state allocation. Implementations may override
+    /// with a sort-and-merge strategy; the emitted sets must be
+    /// identical.
+    fn stab_batch(&self, samples: &[PcSample], emit: &mut dyn FnMut(usize, &[RegionId])) {
+        BATCH_CACHE.with(|cell| {
+            let cache = &mut *cell.borrow_mut();
+            cache.clear();
+            for (i, sample) in samples.iter().enumerate() {
+                if cache.covers(sample.addr) {
+                    emit(i, cache.ids());
+                } else {
+                    emit(i, cache.refill(self, sample.addr));
+                }
+            }
+        });
+    }
 }
 
 /// Which index implementation a [`crate::RegionMonitor`] uses.
@@ -37,15 +144,46 @@ pub enum IndexKind {
     /// O(log n + k) augmented-tree stab per sample (paper §3.2.3).
     #[default]
     IntervalTree,
+    /// Flat sorted segment array behind a direct-mapped bucket table:
+    /// O(1) per stab with zero pointer chasing; rebuilds on mutation.
+    FlatSorted,
 }
 
 impl IndexKind {
     /// Instantiates the chosen index.
     #[must_use]
-    pub fn make(self) -> Box<dyn RegionIndex + Send> {
+    pub fn make(self) -> Box<dyn RegionIndex + Send + Sync> {
         match self {
             Self::Linear => Box::new(LinearIndex::new()),
             Self::IntervalTree => Box::new(IntervalTreeIndex::new()),
+            Self::FlatSorted => Box::new(FlatSortedIndex::new()),
+        }
+    }
+
+    /// Parses a CLI-style name (`linear`/`list`, `tree`/`interval-tree`,
+    /// `flat`/`flat-sorted`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message listing the accepted names.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "linear" | "list" => Ok(Self::Linear),
+            "tree" | "interval-tree" => Ok(Self::IntervalTree),
+            "flat" | "flat-sorted" => Ok(Self::FlatSorted),
+            other => Err(format!(
+                "unknown index kind {other:?}; expected linear|tree|flat"
+            )),
+        }
+    }
+
+    /// Stable short label (`linear`/`tree`/`flat`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Linear => "linear",
+            Self::IntervalTree => "tree",
+            Self::FlatSorted => "flat",
         }
     }
 }
@@ -87,6 +225,26 @@ impl RegionIndex for LinearIndex {
         }
     }
 
+    fn stab_window(&self, addr: Addr, out: &mut Vec<RegionId>) -> (u64, u64) {
+        let a = addr.get();
+        let (mut lo, mut hi) = (0u64, u64::MAX);
+        for (id, range) in &self.entries {
+            let (s, e) = (range.start().get(), range.end().get());
+            if s <= a && a < e {
+                out.push(*id);
+                lo = lo.max(s);
+                hi = hi.min(e);
+            } else if s > a {
+                hi = hi.min(s);
+            } else {
+                // Entire range at or below addr: its nearest boundary is
+                // its end (or its start, for empty ranges).
+                lo = lo.max(e.max(s));
+            }
+        }
+        (lo, hi)
+    }
+
     fn len(&self) -> usize {
         self.entries.len()
     }
@@ -119,8 +277,264 @@ impl RegionIndex for IntervalTreeIndex {
         self.tree.stab(addr, out);
     }
 
+    fn stab_window(&self, addr: Addr, out: &mut Vec<RegionId>) -> (u64, u64) {
+        self.tree.stab_window(addr, out)
+    }
+
     fn len(&self) -> usize {
         self.tree.len()
+    }
+}
+
+std::thread_local! {
+    /// Per-thread [`HitCache`] backing the default
+    /// [`RegionIndex::stab_batch`], so repeated batches on one thread
+    /// (the shard-worker steady state) never allocate.
+    static BATCH_CACHE: std::cell::RefCell<HitCache> =
+        std::cell::RefCell::new(HitCache::new());
+}
+
+/// Sentinel segment meaning "outside every elementary segment".
+const NO_SEG: u32 = u32::MAX;
+
+/// Upper bound on the bucket table's entry count (128 KiB of `u32`s).
+/// The shift widens until the covered span fits.
+const TABLE_MAX_ENTRIES: usize = 1 << 15;
+
+/// A flat, fully sorted attribution index.
+///
+/// The interval set is compiled into *elementary segments*: the sorted,
+/// deduplicated array of all region boundaries (`cuts`) splits the
+/// address space into runs on which the answer set is constant, and a
+/// CSR layout (`offsets` into `ids`) stores each run's covering regions
+/// (sorted by id). A stab is a segment lookup over a contiguous `u64`
+/// array plus one slice borrow — no pointer chasing, no per-node
+/// branching.
+///
+/// The segment lookup itself is served by a direct-mapped *bucket
+/// table*: the covered span is split into `2^shift`-byte buckets, each
+/// storing the segment containing its first address. A lookup shifts,
+/// loads one `u32` and advances past at most the cuts that fall inside
+/// that bucket — O(1) with dense monitored text, degrading gracefully
+/// (and still bounded by a binary search fallback never being needed)
+/// when regions are sparse. The shift widens until the table fits
+/// [`TABLE_MAX_ENTRIES`], so memory stays bounded for arbitrarily wide
+/// binaries.
+///
+/// Mutations recompile segments and table (O(n log n + coverage +
+/// buckets)). Regions change a few times per *run* (formation /
+/// pruning events) while stabs happen thousands of times per
+/// *interval*, so this is the right side of the trade.
+#[derive(Debug, Clone, Default)]
+pub struct FlatSortedIndex {
+    /// The authoritative interval set, sorted by `(start, end, id)`.
+    entries: Vec<(AddrRange, RegionId)>,
+    /// Sorted, deduplicated region boundaries. `cuts[i]..cuts[i+1]` is
+    /// elementary segment `i`.
+    cuts: Vec<u64>,
+    /// CSR row offsets into `ids`, one row per elementary segment.
+    offsets: Vec<u32>,
+    /// Concatenated per-segment answer sets, each sorted by id.
+    ids: Vec<RegionId>,
+    /// Direct-mapped bucket table: `table[(a - table_base) >>
+    /// table_shift]` is the segment containing the bucket's first
+    /// address.
+    table: Vec<u32>,
+    /// First covered address (`cuts[0]`); the table's origin.
+    table_base: u64,
+    /// log2 of the bucket width in bytes.
+    table_shift: u32,
+}
+
+impl FlatSortedIndex {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recompiles `cuts`/`offsets`/`ids` and the bucket table from
+    /// `entries`.
+    fn rebuild(&mut self) {
+        self.cuts.clear();
+        self.offsets.clear();
+        self.ids.clear();
+        self.table.clear();
+        if self.entries.is_empty() {
+            return;
+        }
+        for (range, _) in &self.entries {
+            if !range.is_empty() {
+                self.cuts.push(range.start().get());
+                self.cuts.push(range.end().get());
+            }
+        }
+        self.cuts.sort_unstable();
+        self.cuts.dedup();
+        let segs = self.cuts.len().saturating_sub(1);
+        if segs == 0 {
+            self.cuts.clear();
+            return;
+        }
+        // Coverage pairs (segment, id), then counting-sorted into CSR.
+        let mut pairs: Vec<(u32, RegionId)> = Vec::new();
+        for (range, id) in &self.entries {
+            if range.is_empty() {
+                continue;
+            }
+            let first = self.cuts.partition_point(|&c| c < range.start().get());
+            let last = self.cuts.partition_point(|&c| c < range.end().get());
+            for seg in first..last {
+                pairs.push((seg as u32, *id));
+            }
+        }
+        pairs.sort_unstable_by_key(|&(seg, id)| (seg, id.0));
+        self.offsets = Vec::with_capacity(segs + 1);
+        self.ids = Vec::with_capacity(pairs.len());
+        let mut next = 0usize;
+        self.offsets.push(0);
+        for seg in 0..segs as u32 {
+            while next < pairs.len() && pairs[next].0 == seg {
+                self.ids.push(pairs[next].1);
+                next += 1;
+            }
+            self.offsets.push(self.ids.len() as u32);
+        }
+
+        // Bucket table over the covered span [cuts[0], cuts[last]).
+        let lo = self.cuts[0];
+        let hi = *self.cuts.last().expect("non-empty cuts");
+        let span = hi - lo;
+        let mut shift = 0u32;
+        while ((span >> shift) as usize).saturating_add(1) > TABLE_MAX_ENTRIES {
+            shift += 1;
+        }
+        self.table_base = lo;
+        self.table_shift = shift;
+        let buckets = (span >> shift) as usize + 1;
+        self.table.reserve(buckets);
+        let mut seg = 0usize;
+        for b in 0..buckets {
+            let bucket_start = lo + ((b as u64) << shift);
+            while seg + 2 < self.cuts.len() && self.cuts[seg + 1] <= bucket_start {
+                seg += 1;
+            }
+            self.table.push(seg as u32);
+        }
+    }
+
+    /// The elementary segment containing `addr`, or [`NO_SEG`].
+    ///
+    /// One shift, one table load, then a forward scan past however many
+    /// cuts share the bucket — O(1) when buckets are at least as fine as
+    /// segments (the common case; the shift only widens on very large
+    /// spans).
+    #[inline]
+    fn segment_of(&self, addr: u64) -> u32 {
+        if self.table.is_empty()
+            || addr < self.table_base
+            || addr >= *self.cuts.last().expect("table implies cuts")
+        {
+            return NO_SEG;
+        }
+        let bucket = ((addr - self.table_base) >> self.table_shift) as usize;
+        let mut seg = self.table[bucket] as usize;
+        // `addr < cuts[last]` guarantees the scan stops in bounds.
+        while self.cuts[seg + 1] <= addr {
+            seg += 1;
+        }
+        seg as u32
+    }
+
+    /// The answer set of segment `seg` (empty for [`NO_SEG`]).
+    #[inline]
+    fn seg_ids(&self, seg: u32) -> &[RegionId] {
+        if seg == NO_SEG {
+            &[]
+        } else {
+            let s = self.offsets[seg as usize] as usize;
+            let e = self.offsets[seg as usize + 1] as usize;
+            &self.ids[s..e]
+        }
+    }
+}
+
+impl RegionIndex for FlatSortedIndex {
+    fn insert(&mut self, id: RegionId, range: AddrRange) {
+        let pos = self.entries.partition_point(|&(r, i)| {
+            (r.start(), r.end(), i.0) < (range.start(), range.end(), id.0)
+        });
+        self.entries.insert(pos, (range, id));
+        self.rebuild();
+    }
+
+    fn remove(&mut self, id: RegionId, range: AddrRange) -> bool {
+        match self.entries.iter().position(|e| *e == (range, id)) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                self.rebuild();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn stab(&self, addr: Addr, out: &mut Vec<RegionId>) {
+        out.extend_from_slice(self.seg_ids(self.segment_of(addr.get())));
+    }
+
+    fn stab_window(&self, addr: Addr, out: &mut Vec<RegionId>) -> (u64, u64) {
+        let seg = self.segment_of(addr.get());
+        out.extend_from_slice(self.seg_ids(seg));
+        if seg == NO_SEG {
+            // Outside the covered span: constant-empty until the nearest
+            // boundary on each side.
+            if self.cuts.is_empty() {
+                return (0, u64::MAX);
+            }
+            if addr.get() < self.cuts[0] {
+                return (0, self.cuts[0]);
+            }
+            return (*self.cuts.last().expect("non-empty"), u64::MAX);
+        }
+        (self.cuts[seg as usize], self.cuts[seg as usize + 1])
+    }
+
+    fn stab_batch(&self, samples: &[PcSample], emit: &mut dyn FnMut(usize, &[RegionId])) {
+        // Per-sample bucket-table lookup behind an inline validity-window
+        // cache: consecutive samples inside one elementary segment (the
+        // loop-dominated steady state) reuse the previous answer with a
+        // two-compare check, and a cache miss costs one shift + one load
+        // + a short scan. No sorting, no scratch, no allocation.
+        let mut lo = 1u64;
+        let mut hi = 0u64; // empty window: the first sample always misses
+        let mut ids: &[RegionId] = &[];
+        for (i, sample) in samples.iter().enumerate() {
+            let a = sample.addr.get();
+            if a < lo || a >= hi {
+                let seg = self.segment_of(a);
+                ids = self.seg_ids(seg);
+                if seg == NO_SEG {
+                    // Outside the covered span: constant-empty up to the
+                    // nearest boundary on each side.
+                    if self.cuts.is_empty() {
+                        (lo, hi) = (0, u64::MAX);
+                    } else if a < self.cuts[0] {
+                        (lo, hi) = (0, self.cuts[0]);
+                    } else {
+                        (lo, hi) = (*self.cuts.last().expect("non-empty"), u64::MAX);
+                    }
+                } else {
+                    lo = self.cuts[seg as usize];
+                    hi = self.cuts[seg as usize + 1];
+                }
+            }
+            emit(i, ids);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -133,7 +547,7 @@ mod tests {
         AddrRange::new(Addr::new(start), Addr::new(end))
     }
 
-    fn exercise(mut idx: Box<dyn RegionIndex + Send>) {
+    fn exercise(mut idx: Box<dyn RegionIndex + Send + Sync>) {
         assert!(idx.is_empty());
         idx.insert(RegionId(1), r(0, 10));
         idx.insert(RegionId(2), r(5, 15));
@@ -160,8 +574,136 @@ mod tests {
     }
 
     #[test]
+    fn flat_index_basic() {
+        exercise(IndexKind::FlatSorted.make());
+    }
+
+    #[test]
     fn default_kind_is_tree() {
         assert_eq!(IndexKind::default(), IndexKind::IntervalTree);
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::IntervalTree,
+            IndexKind::FlatSorted,
+        ] {
+            assert_eq!(IndexKind::parse(kind.label()), Ok(kind));
+        }
+        assert!(IndexKind::parse("btree").is_err());
+        assert_eq!(IndexKind::parse("list"), Ok(IndexKind::Linear));
+        assert_eq!(
+            IndexKind::parse("interval-tree"),
+            Ok(IndexKind::IntervalTree)
+        );
+        assert_eq!(IndexKind::parse("flat-sorted"), Ok(IndexKind::FlatSorted));
+    }
+
+    #[test]
+    fn flat_stab_outside_span_is_empty() {
+        let mut idx = FlatSortedIndex::new();
+        idx.insert(RegionId(1), r(100, 200));
+        let mut out = Vec::new();
+        for probe in [0, 99, 200, 300] {
+            out.clear();
+            idx.stab(Addr::new(probe), &mut out);
+            assert!(out.is_empty(), "probe {probe} hit {out:?}");
+        }
+    }
+
+    #[test]
+    fn windows_are_sound_and_stabs_agree() {
+        // Adjacent + nested + disjoint intervals; probe every address and
+        // check that each kind's window reproduces the exact answer set
+        // across the whole window.
+        let intervals = [
+            (1u64, r(10, 30)),
+            (2, r(20, 40)),
+            (3, r(25, 28)),
+            (4, r(40, 50)),
+            (5, r(60, 61)),
+        ];
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::IntervalTree,
+            IndexKind::FlatSorted,
+        ] {
+            let mut idx = kind.make();
+            for (id, range) in intervals {
+                idx.insert(RegionId(id), range);
+            }
+            for probe in 0..70u64 {
+                let mut expect = Vec::new();
+                idx.stab(Addr::new(probe), &mut expect);
+                expect.sort();
+                let mut got = Vec::new();
+                let (lo, hi) = idx.stab_window(Addr::new(probe), &mut got);
+                got.sort();
+                assert_eq!(got, expect, "{kind:?} probe {probe}");
+                assert!(lo <= probe && probe < hi, "{kind:?} window {lo}..{hi}");
+                // Every address in the window must share the answer.
+                for w in lo..hi.min(70) {
+                    let mut at_w = Vec::new();
+                    idx.stab(Addr::new(w), &mut at_w);
+                    at_w.sort();
+                    assert_eq!(at_w, expect, "{kind:?} window {lo}..{hi} probe {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stab_batch_matches_per_sample_and_preserves_order() {
+        let intervals = [(1u64, r(0, 40)), (2, r(16, 64)), (3, r(100, 140))];
+        let addrs = [5u64, 120, 5, 20, 80, 39, 40, 0, 139, 140, 200];
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::IntervalTree,
+            IndexKind::FlatSorted,
+        ] {
+            let mut idx = kind.make();
+            for (id, range) in intervals {
+                idx.insert(RegionId(id), range);
+            }
+            let samples: Vec<PcSample> = addrs
+                .iter()
+                .map(|&a| PcSample {
+                    addr: Addr::new(a),
+                    cycle: a,
+                })
+                .collect();
+            let mut seen = Vec::new();
+            idx.stab_batch(&samples, &mut |i, ids| {
+                let mut ids = ids.to_vec();
+                ids.sort();
+                seen.push((i, ids));
+            });
+            assert_eq!(seen.len(), samples.len(), "{kind:?}");
+            for (pos, (i, ids)) in seen.iter().enumerate() {
+                assert_eq!(pos, *i, "{kind:?} emitted out of order");
+                let mut expect = Vec::new();
+                idx.stab(samples[*i].addr, &mut expect);
+                expect.sort();
+                assert_eq!(ids, &expect, "{kind:?} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn hit_cache_reuses_windows() {
+        let mut idx = FlatSortedIndex::new();
+        idx.insert(RegionId(7), r(100, 200));
+        let mut cache = HitCache::new();
+        assert!(!cache.covers(Addr::new(150)));
+        assert_eq!(cache.refill(&idx, Addr::new(150)), &[RegionId(7)]);
+        assert!(cache.covers(Addr::new(199)));
+        assert!(cache.covers(Addr::new(100)));
+        assert!(!cache.covers(Addr::new(200)));
+        assert!(!cache.covers(Addr::new(99)));
+        cache.clear();
+        assert!(!cache.covers(Addr::new(150)));
     }
 
     proptest! {
@@ -172,18 +714,56 @@ mod tests {
         ) {
             let mut lin = LinearIndex::new();
             let mut tree = IntervalTreeIndex::new();
+            let mut flat = FlatSortedIndex::new();
             for (i, (s, l)) in intervals.iter().enumerate() {
                 lin.insert(RegionId(i as u64), r(*s, s + l));
                 tree.insert(RegionId(i as u64), r(*s, s + l));
+                flat.insert(RegionId(i as u64), r(*s, s + l));
             }
             for p in probes {
                 let mut a = Vec::new();
                 let mut b = Vec::new();
+                let mut c = Vec::new();
                 lin.stab(Addr::new(p), &mut a);
                 tree.stab(Addr::new(p), &mut b);
+                flat.stab(Addr::new(p), &mut c);
                 a.sort();
                 b.sort();
-                prop_assert_eq!(a, b);
+                c.sort();
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(&a, &c);
+            }
+        }
+
+        #[test]
+        fn windows_agree_with_exhaustive_scan(
+            intervals in prop::collection::vec((0u64..120, 1u64..40), 1..24),
+            probes in prop::collection::vec(0u64..200, 1..24),
+        ) {
+            for kind in [IndexKind::Linear, IndexKind::IntervalTree, IndexKind::FlatSorted] {
+                let mut idx = kind.make();
+                for (i, (s, l)) in intervals.iter().enumerate() {
+                    idx.insert(RegionId(i as u64), r(*s, s + l));
+                }
+                for &p in &probes {
+                    let mut expect = Vec::new();
+                    idx.stab(Addr::new(p), &mut expect);
+                    expect.sort();
+                    let mut got = Vec::new();
+                    let (lo, hi) = idx.stab_window(Addr::new(p), &mut got);
+                    got.sort();
+                    prop_assert_eq!(&got, &expect);
+                    prop_assert!(lo <= p && p < hi);
+                    // Soundness at the window's edges (cheap spot checks).
+                    for w in [lo, p.saturating_sub(1).max(lo), (hi - 1).min(200)] {
+                        if w >= lo && w < hi {
+                            let mut at_w = Vec::new();
+                            idx.stab(Addr::new(w), &mut at_w);
+                            at_w.sort();
+                            prop_assert_eq!(&at_w, &expect);
+                        }
+                    }
+                }
             }
         }
     }

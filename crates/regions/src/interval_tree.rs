@@ -131,6 +131,18 @@ impl IntervalTree {
         self.stab_at(self.root, addr.get(), out);
     }
 
+    /// Like [`IntervalTree::stab`], but also returns the maximal half-open
+    /// window `[lo, hi)` around `addr` on which the answer set is
+    /// constant. The window is computed from the boundaries encountered
+    /// during the treap descent; subtrees pruned by the `max_end`
+    /// augmentation contribute their `max_end` as a lower bound, which is
+    /// exact because every interval inside ends at or before it.
+    pub fn stab_window(&self, addr: Addr, out: &mut Vec<RegionId>) -> (u64, u64) {
+        let (mut lo, mut hi) = (0u64, u64::MAX);
+        self.stab_window_at(self.root, addr.get(), &mut lo, &mut hi, out);
+        (lo, hi)
+    }
+
     /// Appends the ids of all intervals overlapping `range` to `out`
     /// (order unspecified). Half-open semantics: intervals merely
     /// touching `range`'s endpoints do not overlap.
@@ -284,6 +296,39 @@ impl IntervalTree {
         // contain addr when node.start <= addr.
         if node.start <= addr {
             self.stab_at(node.right, addr, out);
+        }
+    }
+
+    fn stab_window_at(
+        &self,
+        node: Option<usize>,
+        addr: u64,
+        lo: &mut u64,
+        hi: &mut u64,
+        out: &mut Vec<RegionId>,
+    ) {
+        let Some(n) = node else { return };
+        let node = &self.nodes[n];
+        // Nothing in this subtree ends after addr: every boundary inside
+        // is at or below max_end, so the answer stays constant up to it.
+        if node.max_end <= addr {
+            *lo = (*lo).max(node.max_end);
+            return;
+        }
+        self.stab_window_at(node.left, addr, lo, hi, out);
+        if node.start <= addr {
+            if addr < node.end {
+                out.push(node.id);
+                *lo = (*lo).max(node.start);
+                *hi = (*hi).min(node.end);
+            } else {
+                *lo = (*lo).max(node.end);
+            }
+            self.stab_window_at(node.right, addr, lo, hi, out);
+        } else {
+            // This node and its whole right subtree start after addr;
+            // node.start is the nearest such boundary on this path.
+            *hi = (*hi).min(node.start);
         }
     }
 

@@ -16,7 +16,14 @@
 //!
 //! * [`LinearIndex`] — the O(n)-per-sample list scan of the prototype;
 //! * [`IntervalTreeIndex`] — an augmented balanced search tree with
-//!   O(log n + k) stabbing queries.
+//!   O(log n + k) stabbing queries;
+//! * [`FlatSortedIndex`] — the interval set compiled to sorted elementary
+//!   segments, answering a stab with one binary search over a flat array
+//!   and a whole interval with a sort-and-merge batch sweep.
+//!
+//! Attribution itself is allocation-free: the monitor owns a reusable
+//! [`monitor::AttributionArena`] and hands out borrow-based
+//! [`ArenaReport`]s (see [`RegionMonitor::attribute`]).
 //!
 //! # Example
 //!
@@ -52,9 +59,11 @@ pub mod traces;
 pub mod ucr;
 
 pub use formation::{FormationConfig, FormationOutcome, RegionFormation};
-pub use index::{IndexKind, IntervalTreeIndex, LinearIndex, RegionIndex};
+pub use index::{
+    FlatSortedIndex, HitCache, IndexKind, IntervalTreeIndex, LinearIndex, RegionIndex,
+};
 pub use interval_tree::IntervalTree;
-pub use monitor::{DistributionReport, RegionMonitor};
+pub use monitor::{ArenaReport, AttributionView, DistributionReport, RegionMonitor};
 pub use pruning::Pruner;
 pub use region::{Region, RegionId, RegionKind};
 pub use traces::{Trace, TraceConfig, TraceFormation};

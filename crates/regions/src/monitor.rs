@@ -1,13 +1,58 @@
 //! The region monitor: holds regions and distributes samples to them.
+//!
+//! # The attribution fast path
+//!
+//! Sample attribution is the hottest loop in the whole system (paper
+//! §3.2.3, Figures 15/16): every sample of every interval must find all
+//! regions containing its PC and bump one histogram slot per region.
+//! The monitor therefore owns a reusable [`AttributionArena`] — dense
+//! per-region histogram storage indexed directly by [`RegionId`] (ids are
+//! monotonic and never reused), epoch-stamped so an interval boundary is
+//! an O(touched) logical clear rather than an allocation. The whole
+//! interval is attributed in one [`RegionIndex::stab_batch`] call, which
+//! exploits sample locality (see [`crate::index::HitCache`]) or, for the
+//! flat index, a sort-and-merge sweep. Steady-state attribution performs
+//! **zero heap allocations**.
+//!
+//! Consumers read the interval's result through [`ArenaReport`], a
+//! borrow-based view equivalent to the owned [`DistributionReport`]; both
+//! implement [`AttributionView`] so detectors and pruning accept either.
+//! The owned report remains available via [`RegionMonitor::distribute`]
+//! (now itself materialized from the arena, so the two paths cannot
+//! drift).
 
 use std::collections::BTreeMap;
 
-use regmon_binary::{AddrRange, INST_BYTES};
+use regmon_binary::{Addr, AddrRange, INST_BYTES};
 use regmon_sampling::PcSample;
 use regmon_stats::CountHistogram;
 
 use crate::index::{IndexKind, RegionIndex};
 use crate::region::{Region, RegionId, RegionKind};
+
+/// Read-only access to one interval's attribution result.
+///
+/// Implemented by the owned [`DistributionReport`] and the borrow-based
+/// [`ArenaReport`]; detectors and pruning are generic over this so the
+/// zero-copy arena path and the legacy owned path share one consumer
+/// code base (and therefore cannot diverge).
+pub trait AttributionView {
+    /// The histogram of one region, or `None` when it received no
+    /// samples this interval.
+    fn histogram(&self, id: RegionId) -> Option<&CountHistogram>;
+    /// Total samples distributed this interval.
+    fn total_samples(&self) -> usize;
+    /// Samples that fell in no monitored region (the UCR).
+    fn unattributed_samples(&self) -> &[PcSample];
+    /// Fraction of samples in the UCR, in `[0, 1]` (0 for an empty
+    /// interval).
+    fn ucr_fraction(&self) -> f64 {
+        if self.total_samples() == 0 {
+            return 0.0;
+        }
+        self.unattributed_samples().len() as f64 / self.total_samples() as f64
+    }
+}
 
 /// Per-interval result of distributing a buffer of samples.
 ///
@@ -57,20 +102,201 @@ impl DistributionReport {
     /// interval).
     #[must_use]
     pub fn ucr_fraction(&self) -> f64 {
-        if self.total_samples == 0 {
-            return 0.0;
-        }
-        self.unattributed.len() as f64 / self.total_samples as f64
+        AttributionView::ucr_fraction(self)
     }
+}
+
+impl AttributionView for DistributionReport {
+    fn histogram(&self, id: RegionId) -> Option<&CountHistogram> {
+        DistributionReport::histogram(self, id)
+    }
+
+    fn total_samples(&self) -> usize {
+        self.total_samples
+    }
+
+    fn unattributed_samples(&self) -> &[PcSample] {
+        &self.unattributed
+    }
+}
+
+/// One region's reusable attribution state inside the arena.
+#[derive(Debug)]
+struct ArenaSlot {
+    hist: CountHistogram,
+    /// Cached region start so the hot loop never touches the region table.
+    start: u64,
+    /// Last epoch this slot received a sample; stale slots are logically
+    /// clear without being touched.
+    epoch: u64,
+}
+
+/// Reusable per-interval attribution storage.
+///
+/// Histograms are stored densely, indexed by `RegionId.0` (ids are
+/// monotonic per monitor and never reused, so the mapping is stable for
+/// a region's whole lifetime). An interval boundary bumps an epoch
+/// counter instead of clearing or reallocating anything; a slot is
+/// cleared lazily the first time it is touched in a new epoch. The
+/// unattributed buffer is likewise reused across intervals.
+#[derive(Debug, Default)]
+pub struct AttributionArena {
+    slots: Vec<Option<ArenaSlot>>,
+    /// Regions that received samples this epoch, sorted ascending after
+    /// [`AttributionArena::finish`].
+    touched: Vec<RegionId>,
+    unattributed: Vec<PcSample>,
+    epoch: u64,
+    total_samples: usize,
+}
+
+impl AttributionArena {
+    /// Starts a new interval: O(1), nothing is deallocated.
+    fn begin(&mut self, total_samples: usize) {
+        self.epoch += 1;
+        self.touched.clear();
+        self.unattributed.clear();
+        self.total_samples = total_samples;
+    }
+
+    /// Seals the interval: orders the touched set so reports iterate in
+    /// region-id order, exactly like the owned [`DistributionReport`].
+    fn finish(&mut self) {
+        self.touched.sort_unstable();
+    }
+
+    /// Records one sample for `id` at `addr`. `regions` is consulted only
+    /// on the very first sample a region ever receives (slot creation).
+    #[inline]
+    fn record(&mut self, id: RegionId, addr: Addr, regions: &BTreeMap<RegionId, Region>) {
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let epoch = self.epoch;
+        let slot = self.slots[idx].get_or_insert_with(|| {
+            let region = &regions[&id];
+            ArenaSlot {
+                hist: CountHistogram::new(region.slots()),
+                start: region.range().start().get(),
+                epoch: 0,
+            }
+        });
+        if slot.epoch != epoch {
+            slot.hist.clear();
+            slot.epoch = epoch;
+            self.touched.push(id);
+        }
+        slot.hist
+            .record(((addr.get() - slot.start) / INST_BYTES) as usize);
+    }
+
+    #[inline]
+    fn slot(&self, id: RegionId) -> Option<&ArenaSlot> {
+        self.slots
+            .get(id.0 as usize)
+            .and_then(Option::as_ref)
+            .filter(|s| s.epoch == self.epoch)
+    }
+}
+
+/// Borrow-based view of the current interval's attribution, backed by
+/// the monitor's [`AttributionArena`]. Equivalent to (and tested
+/// byte-identical with) [`DistributionReport`], without copying a single
+/// histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaReport<'a> {
+    arena: &'a AttributionArena,
+}
+
+impl ArenaReport<'_> {
+    /// The histogram of one region, or `None` when it received no
+    /// samples this interval.
+    #[must_use]
+    pub fn histogram(&self, id: RegionId) -> Option<&CountHistogram> {
+        self.arena.slot(id).map(|s| &s.hist)
+    }
+
+    /// All `(region, histogram)` pairs that received samples, in id order.
+    pub fn histograms(&self) -> impl Iterator<Item = (RegionId, &CountHistogram)> {
+        self.arena.touched.iter().map(|&id| {
+            let slot = self.arena.slot(id).expect("touched slot present");
+            (id, &slot.hist)
+        })
+    }
+
+    /// Number of regions that received samples.
+    #[must_use]
+    pub fn active_regions(&self) -> usize {
+        self.arena.touched.len()
+    }
+
+    /// Samples that fell in no monitored region — the unmonitored code
+    /// region (UCR).
+    #[must_use]
+    pub fn unattributed_samples(&self) -> &[PcSample] {
+        &self.arena.unattributed
+    }
+
+    /// Total samples distributed this interval.
+    #[must_use]
+    pub fn total_samples(&self) -> usize {
+        self.arena.total_samples
+    }
+
+    /// Fraction of samples in the UCR.
+    #[must_use]
+    pub fn ucr_fraction(&self) -> f64 {
+        AttributionView::ucr_fraction(self)
+    }
+
+    /// Materializes an owned [`DistributionReport`] (test support and
+    /// legacy callers; the hot path never does this).
+    #[must_use]
+    pub fn to_owned_report(&self) -> DistributionReport {
+        DistributionReport {
+            per_region: self.histograms().map(|(id, h)| (id, h.clone())).collect(),
+            unattributed: self.unattributed_samples().to_vec(),
+            total_samples: self.total_samples(),
+        }
+    }
+}
+
+impl AttributionView for ArenaReport<'_> {
+    fn histogram(&self, id: RegionId) -> Option<&CountHistogram> {
+        ArenaReport::histogram(self, id)
+    }
+
+    fn total_samples(&self) -> usize {
+        ArenaReport::total_samples(self)
+    }
+
+    fn unattributed_samples(&self) -> &[PcSample] {
+        ArenaReport::unattributed_samples(self)
+    }
+}
+
+/// Per-worker scratch for [`RegionMonitor::attribute_parallel`], pooled
+/// on the monitor so repeated parallel intervals reuse the buffers.
+#[derive(Debug, Default)]
+struct ParScratch {
+    /// `(region, sample address)` hits, in the chunk's sample order.
+    hits: Vec<(RegionId, Addr)>,
+    unattributed: Vec<PcSample>,
 }
 
 /// Holds the monitored regions and their attribution index.
 #[derive(Debug)]
 pub struct RegionMonitor {
     regions: BTreeMap<RegionId, Region>,
-    index: Box<dyn RegionIndex + Send>,
+    /// Exact-range lookup: every monitored range maps to its region ids
+    /// in ascending (creation) order. Kept in sync by `add_region` /
+    /// `remove_region` so `region_by_range` is O(log n).
+    by_range: BTreeMap<AddrRange, Vec<RegionId>>,
+    index: Box<dyn RegionIndex + Send + Sync>,
     next_id: u64,
-    scratch: Vec<RegionId>,
+    arena: AttributionArena,
+    par_pool: Vec<ParScratch>,
 }
 
 impl RegionMonitor {
@@ -79,9 +305,11 @@ impl RegionMonitor {
     pub fn new(index: IndexKind) -> Self {
         Self {
             regions: BTreeMap::new(),
+            by_range: BTreeMap::new(),
             index: index.make(),
             next_id: 0,
-            scratch: Vec::new(),
+            arena: AttributionArena::default(),
+            par_pool: Vec::new(),
         }
     }
 
@@ -101,6 +329,9 @@ impl RegionMonitor {
         let region = Region::new(id, range, kind, created_interval);
         self.index.insert(id, range);
         self.regions.insert(id, region);
+        // Ids are handed out in ascending order, so pushing keeps the
+        // per-range id list sorted.
+        self.by_range.entry(range).or_default().push(id);
         id
     }
 
@@ -110,6 +341,12 @@ impl RegionMonitor {
             Some(region) => {
                 let removed = self.index.remove(id, region.range());
                 debug_assert!(removed, "index out of sync with region table");
+                if let Some(ids) = self.by_range.get_mut(&region.range()) {
+                    ids.retain(|&i| i != id);
+                    if ids.is_empty() {
+                        self.by_range.remove(&region.range());
+                    }
+                }
                 true
             }
             None => false,
@@ -142,44 +379,126 @@ impl RegionMonitor {
     /// `true` when some monitored region covers exactly `range`.
     #[must_use]
     pub fn has_range(&self, range: AddrRange) -> bool {
-        self.regions.values().any(|r| r.range() == range)
+        self.by_range.contains_key(&range)
     }
 
-    /// The monitored region whose range equals `range`, if any.
+    /// The monitored region whose range equals `range`, if any (the
+    /// earliest-created one when duplicates exist).
     #[must_use]
     pub fn region_by_range(&self, range: AddrRange) -> Option<&Region> {
-        self.regions.values().find(|r| r.range() == range)
+        let id = self.by_range.get(&range)?.first()?;
+        self.regions.get(id)
     }
 
-    /// Distributes one interval's samples across the monitored regions.
+    /// Attributes one interval's samples into the monitor's arena —
+    /// the zero-allocation hot path. Read the result through
+    /// [`RegionMonitor::report`].
+    pub fn attribute(&mut self, samples: &[PcSample]) {
+        let Self {
+            regions,
+            index,
+            arena,
+            ..
+        } = self;
+        arena.begin(samples.len());
+        index.stab_batch(samples, &mut |i, ids| {
+            if ids.is_empty() {
+                arena.unattributed.push(samples[i]);
+            } else {
+                let addr = samples[i].addr;
+                for &id in ids {
+                    arena.record(id, addr, regions);
+                }
+            }
+        });
+        arena.finish();
+    }
+
+    /// Like [`RegionMonitor::attribute`], but splits the interval across
+    /// `threads` scoped worker threads, each stabbing its contiguous
+    /// chunk against the shared index; the hits are then merged into the
+    /// arena in chunk order, which reproduces the serial result exactly
+    /// (histogram addition commutes; the UCR buffer is concatenated in
+    /// input order).
+    pub fn attribute_parallel(&mut self, samples: &[PcSample], threads: usize) {
+        let threads = threads.clamp(1, samples.len().max(1));
+        if threads <= 1 {
+            return self.attribute(samples);
+        }
+        let chunk = samples.len().div_ceil(threads);
+        let nchunks = samples.len().div_ceil(chunk);
+        let Self {
+            regions,
+            index,
+            arena,
+            par_pool,
+            ..
+        } = self;
+        if par_pool.len() < nchunks {
+            par_pool.resize_with(nchunks, ParScratch::default);
+        }
+        arena.begin(samples.len());
+        std::thread::scope(|scope| {
+            let index: &(dyn RegionIndex + Send + Sync) = &**index;
+            for (scratch, chunk_samples) in par_pool.iter_mut().zip(samples.chunks(chunk)) {
+                scope.spawn(move || {
+                    scratch.hits.clear();
+                    scratch.unattributed.clear();
+                    index.stab_batch(chunk_samples, &mut |i, ids| {
+                        if ids.is_empty() {
+                            scratch.unattributed.push(chunk_samples[i]);
+                        } else {
+                            for &id in ids {
+                                scratch.hits.push((id, chunk_samples[i].addr));
+                            }
+                        }
+                    });
+                });
+            }
+        });
+        for scratch in par_pool.iter().take(nchunks) {
+            for &(id, addr) in &scratch.hits {
+                arena.record(id, addr, regions);
+            }
+            arena.unattributed.extend_from_slice(&scratch.unattributed);
+        }
+        arena.finish();
+    }
+
+    /// A borrow-based view of the most recent
+    /// [`RegionMonitor::attribute`] result.
+    #[must_use]
+    pub fn report(&self) -> ArenaReport<'_> {
+        ArenaReport { arena: &self.arena }
+    }
+
+    /// Takes the arena's unattributed buffer, leaving it empty, so the
+    /// caller can hold the UCR samples while mutating the monitor
+    /// (region formation). Pair with
+    /// [`RegionMonitor::restore_unattributed`].
+    #[must_use]
+    pub fn take_unattributed(&mut self) -> Vec<PcSample> {
+        std::mem::take(&mut self.arena.unattributed)
+    }
+
+    /// Returns a buffer taken by [`RegionMonitor::take_unattributed`],
+    /// preserving its allocation for the next interval.
+    pub fn restore_unattributed(&mut self, buf: Vec<PcSample>) {
+        self.arena.unattributed = buf;
+    }
+
+    /// Distributes one interval's samples across the monitored regions,
+    /// returning an owned report.
     ///
     /// Every region containing a sample's PC receives it in the slot
     /// `(pc − region.start) / INST_BYTES`; samples contained by no region
-    /// are collected as the UCR.
+    /// are collected as the UCR. This runs the same arena path as
+    /// [`RegionMonitor::attribute`] and then copies the result out; hot
+    /// callers should use `attribute` + [`RegionMonitor::report`]
+    /// instead.
     pub fn distribute(&mut self, samples: &[PcSample]) -> DistributionReport {
-        let mut per_region: BTreeMap<RegionId, CountHistogram> = BTreeMap::new();
-        let mut unattributed = Vec::new();
-        for sample in samples {
-            self.scratch.clear();
-            self.index.stab(sample.addr, &mut self.scratch);
-            if self.scratch.is_empty() {
-                unattributed.push(*sample);
-                continue;
-            }
-            for &id in &self.scratch {
-                let region = &self.regions[&id];
-                let slot = (sample.addr.offset_from(region.range().start()) / INST_BYTES) as usize;
-                per_region
-                    .entry(id)
-                    .or_insert_with(|| CountHistogram::new(region.slots()))
-                    .record(slot);
-            }
-        }
-        DistributionReport {
-            per_region,
-            unattributed,
-            total_samples: samples.len(),
-        }
+        self.attribute(samples);
+        self.report().to_owned_report()
     }
 }
 
@@ -274,6 +593,19 @@ mod tests {
     }
 
     #[test]
+    fn region_by_range_prefers_earliest_id_and_survives_removal() {
+        let mut mon = RegionMonitor::new(IndexKind::Linear);
+        let a = mon.add_region(range(0x100, 0x140), RegionKind::Custom, 0);
+        let b = mon.add_region(range(0x100, 0x140), RegionKind::Custom, 1);
+        assert_eq!(mon.region_by_range(range(0x100, 0x140)).unwrap().id(), a);
+        assert!(mon.remove_region(a));
+        assert_eq!(mon.region_by_range(range(0x100, 0x140)).unwrap().id(), b);
+        assert!(mon.remove_region(b));
+        assert!(mon.region_by_range(range(0x100, 0x140)).is_none());
+        assert!(!mon.has_range(range(0x100, 0x140)));
+    }
+
+    #[test]
     fn linear_and_tree_monitors_agree() {
         let mut a = RegionMonitor::new(IndexKind::Linear);
         let mut b = RegionMonitor::new(IndexKind::IntervalTree);
@@ -285,5 +617,98 @@ mod tests {
         let ra = a.distribute(&samples);
         let rb = b.distribute(&samples);
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn arena_report_matches_owned_report() {
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::IntervalTree,
+            IndexKind::FlatSorted,
+        ] {
+            let mut mon = RegionMonitor::new(kind);
+            mon.add_region(range(0x100, 0x180), RegionKind::Custom, 0);
+            mon.add_region(range(0x140, 0x1c0), RegionKind::Custom, 0);
+            let samples: Vec<PcSample> =
+                (0..300).map(|i| sample(0x100 + (i * 7) % 0x200)).collect();
+            let owned = mon.distribute(&samples);
+            // `distribute` went through the arena; the view must agree.
+            let view = mon.report();
+            assert_eq!(view.to_owned_report(), owned, "{kind:?}");
+            assert_eq!(view.active_regions(), owned.active_regions());
+            assert_eq!(view.ucr_fraction(), owned.ucr_fraction());
+            let ids_view: Vec<RegionId> = view.histograms().map(|(id, _)| id).collect();
+            let ids_owned: Vec<RegionId> = owned.histograms().map(|(id, _)| id).collect();
+            assert_eq!(ids_view, ids_owned, "id order must match");
+        }
+    }
+
+    #[test]
+    fn arena_is_reset_between_intervals() {
+        let mut mon = RegionMonitor::new(IndexKind::FlatSorted);
+        let id = mon.add_region(range(0x100, 0x120), RegionKind::Custom, 0);
+        mon.attribute(&[sample(0x104), sample(0x104)]);
+        assert_eq!(mon.report().histogram(id).unwrap().total(), 2);
+        mon.attribute(&[sample(0x500)]);
+        assert!(mon.report().histogram(id).is_none(), "stale epoch leaked");
+        assert_eq!(mon.report().unattributed_samples().len(), 1);
+        mon.attribute(&[sample(0x100)]);
+        assert_eq!(mon.report().histogram(id).unwrap().counts()[0], 1);
+        assert_eq!(
+            mon.report().histogram(id).unwrap().total(),
+            1,
+            "histogram must be cleared, not accumulated"
+        );
+    }
+
+    #[test]
+    fn take_restore_unattributed_round_trips() {
+        let mut mon = RegionMonitor::new(IndexKind::IntervalTree);
+        mon.add_region(range(0x100, 0x140), RegionKind::Custom, 0);
+        mon.attribute(&[sample(0x100), sample(0x900)]);
+        let buf = mon.take_unattributed();
+        assert_eq!(buf.len(), 1);
+        assert!(mon.report().unattributed_samples().is_empty());
+        mon.restore_unattributed(buf);
+        assert_eq!(mon.report().unattributed_samples().len(), 1);
+    }
+
+    #[test]
+    fn parallel_attribution_matches_serial() {
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::IntervalTree,
+            IndexKind::FlatSorted,
+        ] {
+            let mut serial = RegionMonitor::new(kind);
+            let mut par = RegionMonitor::new(kind);
+            for (s, e) in [(0x100u64, 0x200u64), (0x180, 0x280), (0x400, 0x440)] {
+                serial.add_region(range(s, e), RegionKind::Custom, 0);
+                par.add_region(range(s, e), RegionKind::Custom, 0);
+            }
+            let samples: Vec<PcSample> =
+                (0..997).map(|i| sample(0x80 + (i * 13) % 0x500)).collect();
+            serial.attribute(&samples);
+            let want = serial.report().to_owned_report();
+            for threads in [2, 3, 7, 64] {
+                par.attribute_parallel(&samples, threads);
+                assert_eq!(
+                    par.report().to_owned_report(),
+                    want,
+                    "{kind:?} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_attribution_handles_edge_sizes() {
+        let mut mon = RegionMonitor::new(IndexKind::FlatSorted);
+        mon.add_region(range(0x100, 0x140), RegionKind::Custom, 0);
+        mon.attribute_parallel(&[], 4);
+        assert_eq!(mon.report().total_samples(), 0);
+        mon.attribute_parallel(&[sample(0x100)], 8);
+        assert_eq!(mon.report().total_samples(), 1);
+        assert_eq!(mon.report().active_regions(), 1);
     }
 }

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::monitor::{DistributionReport, RegionMonitor};
+use crate::monitor::{AttributionView, RegionMonitor};
 use crate::region::RegionId;
 
 /// Evicts regions that stay cold for too long.
@@ -36,17 +36,19 @@ impl Pruner {
         }
     }
 
-    /// Updates streaks from this interval's report and evicts regions
-    /// whose streak reached the limit. Returns the evicted ids.
-    pub fn observe(
+    /// Updates streaks from this interval's report and returns the
+    /// regions whose streak reached the limit, **without** removing them
+    /// from the monitor. The borrow-based arena report keeps the monitor
+    /// immutably borrowed, so eviction is split: `plan` observes, the
+    /// caller applies [`RegionMonitor::remove_region`] afterwards.
+    pub fn plan<V: AttributionView>(
         &mut self,
-        report: &DistributionReport,
-        monitor: &mut RegionMonitor,
+        report: &V,
+        monitor: &RegionMonitor,
     ) -> Vec<RegionId> {
         // Update streaks for every *monitored* region, not just active ones.
-        let ids: Vec<RegionId> = monitor.regions().map(|r| r.id()).collect();
         let mut evicted = Vec::new();
-        for id in ids {
+        for id in monitor.regions().map(crate::region::Region::id) {
             let hot = report
                 .histogram(id)
                 .is_some_and(|h| h.total() >= self.min_samples);
@@ -57,10 +59,23 @@ impl Pruner {
             let streak = self.cold_streak.entry(id).or_insert(0);
             *streak += 1;
             if *streak >= self.cold_intervals {
-                monitor.remove_region(id);
                 self.cold_streak.remove(&id);
                 evicted.push(id);
             }
+        }
+        evicted
+    }
+
+    /// Updates streaks from this interval's report and evicts regions
+    /// whose streak reached the limit. Returns the evicted ids.
+    pub fn observe<V: AttributionView>(
+        &mut self,
+        report: &V,
+        monitor: &mut RegionMonitor,
+    ) -> Vec<RegionId> {
+        let evicted = self.plan(report, monitor);
+        for &id in &evicted {
+            monitor.remove_region(id);
         }
         evicted
     }

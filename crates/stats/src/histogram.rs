@@ -83,18 +83,27 @@ impl CountHistogram {
     /// Panics if `slot` is out of bounds; region attribution guarantees
     /// in-bounds slots, so an out-of-bounds record is a logic error.
     pub fn record(&mut self, slot: usize) {
-        self.counts[slot] += 1;
-        self.total += 1;
+        self.record_n(slot, 1);
     }
 
     /// Records `n` samples in `slot`.
+    ///
+    /// Counts saturate at `u64::MAX` instead of wrapping: long-lived
+    /// arena histograms accumulate across a whole session, and a pinned
+    /// count is a recoverable measurement artifact where an overflow
+    /// panic (or a silent wrap in release builds) would not be. Debug
+    /// builds still flag the saturation as a logic error.
     ///
     /// # Panics
     ///
     /// Panics if `slot` is out of bounds.
     pub fn record_n(&mut self, slot: usize, n: u64) {
-        self.counts[slot] += n;
-        self.total += n;
+        debug_assert!(
+            self.counts[slot].checked_add(n).is_some() && self.total.checked_add(n).is_some(),
+            "histogram count overflow (slot {slot}, n {n})"
+        );
+        self.counts[slot] = self.counts[slot].saturating_add(n);
+        self.total = self.total.saturating_add(n);
     }
 
     /// Resets every slot to zero, keeping the allocation.
@@ -124,6 +133,9 @@ impl CountHistogram {
 
     /// Adds the counts of `other` into `self` slot-wise.
     ///
+    /// Like [`CountHistogram::record_n`], counts saturate at `u64::MAX`
+    /// rather than wrapping (debug builds assert).
+    ///
     /// # Panics
     ///
     /// Panics if the slot counts differ.
@@ -134,9 +146,14 @@ impl CountHistogram {
             "histograms describe different regions"
         );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
+            debug_assert!(a.checked_add(*b).is_some(), "histogram count overflow");
+            *a = a.saturating_add(*b);
         }
-        self.total += other.total;
+        debug_assert!(
+            self.total.checked_add(other.total).is_some(),
+            "histogram total overflow"
+        );
+        self.total = self.total.saturating_add(other.total);
     }
 
     /// Per-slot fractions of the total (an all-zero vector when empty).
@@ -320,5 +337,46 @@ mod tests {
             ba.accumulate(&CountHistogram::from_counts(a.to_vec()));
             prop_assert_eq!(ab, ba);
         }
+    }
+
+    // Saturation behavior: release builds pin at u64::MAX instead of
+    // wrapping; debug builds treat the overflow as a logic error.
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn record_n_saturates_instead_of_wrapping() {
+        let mut h = CountHistogram::from_counts(vec![u64::MAX - 1, 0]);
+        h.record_n(0, 5);
+        assert_eq!(h.counts()[0], u64::MAX);
+        assert_eq!(h.total(), u64::MAX);
+        // Further records stay pinned.
+        h.record(0);
+        assert_eq!(h.counts()[0], u64::MAX);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn accumulate_saturates_instead_of_wrapping() {
+        let mut a = CountHistogram::from_counts(vec![u64::MAX - 2, 1]);
+        let b = CountHistogram::from_counts(vec![10, 1]);
+        a.accumulate(&b);
+        assert_eq!(a.counts(), &[u64::MAX, 2]);
+        assert_eq!(a.total(), u64::MAX);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "histogram count overflow")]
+    fn record_n_overflow_is_a_debug_assertion() {
+        let mut h = CountHistogram::from_counts(vec![u64::MAX - 1]);
+        h.record_n(0, 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "histogram count overflow")]
+    fn accumulate_overflow_is_a_debug_assertion() {
+        let mut a = CountHistogram::from_counts(vec![u64::MAX - 2]);
+        a.accumulate(&CountHistogram::from_counts(vec![10]));
     }
 }

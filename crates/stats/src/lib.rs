@@ -45,5 +45,5 @@ pub mod series;
 pub use descriptive::{mean, median, percentile, population_variance, sample_variance, Summary};
 pub use histogram::CountHistogram;
 pub use online::OnlineStats;
-pub use pearson::{pearson_r, PearsonAccumulator, PearsonError};
+pub use pearson::{pearson_r, PearsonAccumulator, PearsonError, PearsonParts};
 pub use series::Series;

@@ -127,11 +127,72 @@ pub struct PearsonAccumulator {
     sxy: f64,
 }
 
+/// Precomputed shifted sums for [`PearsonAccumulator::from_parts`].
+///
+/// Callers that maintain the sums incrementally (e.g. the LPD's cached
+/// stable-side Pearson state) assemble one of these and hand it to the
+/// accumulator so the degenerate-input handling of
+/// [`PearsonAccumulator::r`] stays in exactly one place. The sums must
+/// be *shifted*: every `x` term centred on `x0` (the first observation)
+/// and every `y` term on `y0`, accumulated in observation order — the
+/// same convention [`PearsonAccumulator::push`] uses internally.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PearsonParts {
+    /// Number of paired observations.
+    pub n: u64,
+    /// The first `x` observation (the shift for all `x` terms).
+    pub x0: f64,
+    /// The first `y` observation (the shift for all `y` terms).
+    pub y0: f64,
+    /// `Σ(x − x0)`.
+    pub sx: f64,
+    /// `Σ(y − y0)`.
+    pub sy: f64,
+    /// `Σ(x − x0)²`.
+    pub sxx: f64,
+    /// `Σ(y − y0)²`.
+    pub syy: f64,
+    /// `Σ(x − x0)(y − y0)`.
+    pub sxy: f64,
+}
+
 impl PearsonAccumulator {
     /// Creates an empty accumulator.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Reconstructs an accumulator from externally maintained shifted
+    /// sums. `PearsonAccumulator::from_parts(acc.parts())` is an exact
+    /// round trip.
+    #[must_use]
+    pub fn from_parts(p: PearsonParts) -> Self {
+        Self {
+            n: p.n,
+            x0: p.x0,
+            y0: p.y0,
+            sx: p.sx,
+            sy: p.sy,
+            sxx: p.sxx,
+            syy: p.syy,
+            sxy: p.sxy,
+        }
+    }
+
+    /// The accumulator's internal shifted sums.
+    #[must_use]
+    pub fn parts(&self) -> PearsonParts {
+        PearsonParts {
+            n: self.n,
+            x0: self.x0,
+            y0: self.y0,
+            sx: self.sx,
+            sy: self.sy,
+            sxx: self.sxx,
+            syy: self.syy,
+            sxy: self.sxy,
+        }
     }
 
     /// Adds one paired observation.
@@ -324,6 +385,16 @@ mod tests {
     fn accumulator_counts() {
         let acc: PearsonAccumulator = [(1.0, 1.0), (2.0, 2.0)].into_iter().collect();
         assert_eq!(acc.count(), 2);
+    }
+
+    #[test]
+    fn parts_round_trip_exactly() {
+        let acc: PearsonAccumulator = [(3.0, 2.0), (1.0, 7.0), (4.0, 1.0), (1.0, 8.0)]
+            .into_iter()
+            .collect();
+        let rebuilt = PearsonAccumulator::from_parts(acc.parts());
+        assert_eq!(rebuilt, acc);
+        assert_eq!(rebuilt.r().unwrap().to_bits(), acc.r().unwrap().to_bits());
     }
 
     #[test]

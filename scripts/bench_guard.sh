@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Attribution-engine performance regression guard.
+#
+# Re-measures the attribution matrix and compares the headline cell
+# (64 regions, 2032-sample intervals, random locality) against the
+# committed BENCH_attribution.json snapshot:
+#
+#   1. FAIL if the flat batch path's ns/sample regressed to more than
+#      2x the committed baseline.
+#   2. FAIL if the within-run speedup of batch/flat over the legacy
+#      per-sample path dropped below 3x (the repo's committed claim).
+#      This ratio compares two measurements from the *same* run on the
+#      *same* machine, so it is robust to slow CI hosts.
+#
+# Usage: scripts/bench_guard.sh [committed.json]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COMMITTED="${1:-BENCH_attribution.json}"
+FRESH="$(mktemp /tmp/attribution_matrix.XXXXXX.json)"
+trap 'rm -f "$FRESH"' EXIT
+
+[[ -f "$COMMITTED" ]] || { echo "FAIL: $COMMITTED missing" >&2; exit 1; }
+
+cargo run -q --release -p regmon-bench --bin attribution_matrix -- "$FRESH"
+
+# Pull one numeric field out of the headline object (no jq dependency).
+field() { # field <file> <name>
+  sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1" | head -1
+}
+
+committed_flat="$(field "$COMMITTED" flat_batch_ns_per_sample)"
+fresh_flat="$(field "$FRESH" flat_batch_ns_per_sample)"
+fresh_speedup="$(field "$FRESH" speedup)"
+
+[[ -n "$committed_flat" && -n "$fresh_flat" && -n "$fresh_speedup" ]] || {
+  echo "FAIL: could not parse headline fields" >&2
+  exit 1
+}
+
+echo "bench guard: flat batch ${fresh_flat} ns/sample (committed ${committed_flat})," \
+     "within-run speedup ${fresh_speedup}x over legacy per-sample path"
+
+awk -v fresh="$fresh_flat" -v committed="$committed_flat" 'BEGIN {
+  if (fresh > 2.0 * committed) {
+    printf "FAIL: flat batch regressed: %.2f ns/sample > 2x committed %.2f\n", fresh, committed
+    exit 1
+  }
+}'
+
+awk -v s="$fresh_speedup" 'BEGIN {
+  if (s < 3.0) {
+    printf "FAIL: batch/flat speedup %.2fx over legacy dropped below the committed 3x floor\n", s
+    exit 1
+  }
+}'
+
+echo "bench guard: OK"

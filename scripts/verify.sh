@@ -43,6 +43,12 @@ fi
 
 step "bench smoke (QUICK_BENCH=1)"
 QUICK_BENCH=1 cargo bench -q -p regmon-bench --bench fleet >/dev/null
+cargo bench -q -p regmon-bench --bench attribution -- --smoke >/dev/null
+
+if [[ "$QUICK" -eq 0 ]]; then
+  step "attribution-engine regression guard (vs committed BENCH_attribution.json)"
+  scripts/bench_guard.sh
+fi
 
 echo
 echo "verify: OK"
