@@ -1,0 +1,386 @@
+//! Emits the fleet ingestion-transport benchmark matrix as JSON.
+//!
+//! Measures the queue transport of the fleet ingest path in isolation —
+//! the cost of moving interval payloads from the producing driver to
+//! the shard workers — at several tenant/shard scales. Session compute
+//! (attribution, detection) is benchmarked separately
+//! (`BENCH_attribution.json`, `benches/detectors.rs`); here the
+//! consumers only account for the arriving intervals, so the numbers
+//! expose the synchronisation and message overhead that PR 3's fast
+//! path attacks. Two transports are timed:
+//!
+//! * `legacy` — the seed's shard queue, reconstructed exactly: a
+//!   `Mutex<VecDeque>` bounded queue that issues an **unconditional**
+//!   condvar notification on every push *and* every pop, carrying one
+//!   interval per message. This is the baseline the ISSUE's ≥3×
+//!   acceptance criterion is measured against.
+//! * `ring` — today's `RingQueue`: fixed-capacity ring storage,
+//!   waiter-gated notifications (uncontended pushes are syscall-free)
+//!   and `--batch N` interval coalescing (one message per N intervals
+//!   of one tenant, exactly like the driver's shipping policy).
+//!
+//! Usage: `fleet_matrix [OUTPUT.json]` (default `BENCH_fleet.json` in
+//! the current directory). The `headline` object compares the legacy
+//! per-interval transport against ring/batch-32 at the reference cell
+//! (64 tenants over 8 shards) and is what CI's regression guard reads.
+//! `QUICK_BENCH=1` (or the criterion-shim's `--smoke`) shrinks reps for
+//! CI smoke runs.
+
+use std::collections::VecDeque;
+use std::hint::black_box;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use regmon_fleet::{Droppable, QueuePolicy, RingQueue};
+
+/// Samples per synthetic interval payload (the payload travels by move,
+/// so this sets consumer accounting work, not copy volume).
+const PAYLOAD_PCS: usize = 64;
+const TENANT_COUNTS: [usize; 2] = [16, 64];
+const SHARD_COUNTS: [usize; 2] = [2, 8];
+const BATCHES: [usize; 3] = [1, 8, 32];
+const QUEUE_DEPTH: usize = 64;
+const HEADLINE_TENANTS: usize = 64;
+const HEADLINE_SHARDS: usize = 8;
+const HEADLINE_BATCH: usize = 32;
+
+/// The message shape of the fleet ingest path, minus session state.
+enum Msg {
+    /// One tenant interval (tenant tag, PC payload).
+    Interval(u32, Vec<u64>),
+    /// A coalesced chunk of one tenant's intervals.
+    Batch(u32, Vec<Vec<u64>>),
+}
+
+impl Droppable for Msg {
+    fn droppable(&self) -> bool {
+        true
+    }
+
+    fn units(&self) -> Option<usize> {
+        match self {
+            Msg::Interval(..) => Some(1),
+            Msg::Batch(_, chunk) => Some(chunk.len()),
+        }
+    }
+}
+
+fn payload(tenant: u32, seq: usize) -> Vec<u64> {
+    let seed = u64::from(tenant)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(seq as u64);
+    (0..PAYLOAD_PCS as u64)
+        .map(|k| seed.wrapping_add(k * 4))
+        .collect()
+}
+
+/// Wrapping checksum over a payload: the samples are full-range `u64`s,
+/// so a plain `sum::<u64>()` overflows (and aborts debug builds —
+/// consumer panics would deadlock the blocked producer).
+fn checksum(pcs: &[u64]) -> u64 {
+    pcs.iter().fold(0u64, |acc, &pc| acc.wrapping_add(pc))
+}
+
+/// Consumer-side accounting shared by both transports: touch every
+/// interval in the message and count it.
+fn account(msg: &Msg) -> usize {
+    match msg {
+        Msg::Interval(tag, pcs) => {
+            black_box((*tag, checksum(pcs)));
+            1
+        }
+        Msg::Batch(tag, chunk) => {
+            for pcs in chunk {
+                black_box((*tag, checksum(pcs)));
+            }
+            chunk.len()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The seed's transport: Mutex<VecDeque> + unconditional notifications
+// ---------------------------------------------------------------------------
+
+struct LegacyInner {
+    buf: VecDeque<Msg>,
+    closed: bool,
+}
+
+/// The pre-PR-3 shard queue, byte-for-byte in behaviour: every push and
+/// every pop hits a condvar `notify_one` whether or not anyone waits.
+struct LegacyQueue {
+    inner: Mutex<LegacyInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl LegacyQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(LegacyInner {
+                buf: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn push(&self, msg: Msg) {
+        let mut inner = self.inner.lock().expect("legacy queue poisoned");
+        while inner.buf.len() >= self.capacity {
+            inner = self.not_full.wait(inner).expect("legacy queue poisoned");
+        }
+        inner.buf.push_back(msg);
+        drop(inner);
+        self.not_empty.notify_one(); // unconditional: the herding cost
+    }
+
+    fn pop(&self) -> Option<Msg> {
+        let mut inner = self.inner.lock().expect("legacy queue poisoned");
+        loop {
+            if let Some(msg) = inner.buf.pop_front() {
+                drop(inner);
+                self.not_full.notify_one(); // unconditional
+                return Some(msg);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("legacy queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("legacy queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// One timed ingest run
+// ---------------------------------------------------------------------------
+
+/// One cell of the ingest matrix: fleet shape + batching factor.
+#[derive(Clone, Copy)]
+struct Shape {
+    tenants: usize,
+    shards: usize,
+    batch: usize,
+    per_tenant: usize,
+}
+
+/// Ships `per_tenant` intervals for each of `tenants` tenants through
+/// `shards` queues (tenant `t` homes on shard `t % shards`, coalesced
+/// in per-tenant chunks of `batch` like the driver) and waits for the
+/// sink consumers to account every interval. Returns elapsed seconds.
+fn run_ingest<Q, Push, Pop, Close>(
+    shape: Shape,
+    queues: Vec<Arc<Q>>,
+    push: Push,
+    pop: Pop,
+    close: Close,
+) -> f64
+where
+    Q: Send + Sync + 'static,
+    Push: Fn(&Q, Msg),
+    Pop: Fn(&Q) -> Option<Msg> + Send + Copy + 'static,
+    Close: Fn(&Q),
+{
+    let consumers: Vec<thread::JoinHandle<usize>> = queues
+        .iter()
+        .map(|q| {
+            let q = Arc::clone(q);
+            thread::spawn(move || {
+                let mut seen = 0usize;
+                while let Some(msg) = pop(&q) {
+                    seen += account(&msg);
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    let rounds = shape.per_tenant.div_ceil(shape.batch);
+    for round in 0..rounds {
+        for t in 0..shape.tenants {
+            let shard = t % shape.shards;
+            let produced = round * shape.batch;
+            let want = shape.batch.min(shape.per_tenant - produced);
+            if want == 0 {
+                continue;
+            }
+            let tag = u32::try_from(t).expect("tenant tag");
+            let msg = if want == 1 {
+                Msg::Interval(tag, payload(tag, produced))
+            } else {
+                Msg::Batch(tag, (0..want).map(|k| payload(tag, produced + k)).collect())
+            };
+            push(&queues[shard], msg);
+        }
+    }
+    for q in &queues {
+        close(q);
+    }
+    let seen: usize = consumers
+        .into_iter()
+        .map(|c| c.join().expect("consumer panicked"))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        seen,
+        shape.tenants * shape.per_tenant,
+        "transport lost intervals"
+    );
+    elapsed
+}
+
+fn run_legacy(shape: Shape) -> f64 {
+    let queues: Vec<Arc<LegacyQueue>> = (0..shape.shards)
+        .map(|_| Arc::new(LegacyQueue::new(QUEUE_DEPTH)))
+        .collect();
+    run_ingest(
+        Shape { batch: 1, ..shape },
+        queues,
+        LegacyQueue::push,
+        LegacyQueue::pop,
+        LegacyQueue::close,
+    )
+}
+
+fn run_ring(shape: Shape) -> f64 {
+    let queues: Vec<Arc<RingQueue<Msg>>> = (0..shape.shards)
+        .map(|_| Arc::new(RingQueue::new(QUEUE_DEPTH)))
+        .collect();
+    run_ingest(
+        shape,
+        queues,
+        |q, msg| q.push(msg, QueuePolicy::Block).expect("queue open"),
+        RingQueue::pop,
+        RingQueue::close,
+    )
+}
+
+/// Median throughput in million intervals per second over `reps` runs.
+fn median_mips<F: FnMut() -> f64>(total_intervals: usize, reps: usize, mut run: F) -> f64 {
+    run(); // warmup
+    let mut rates: Vec<f64> = (0..reps)
+        .map(|_| total_intervals as f64 / run() / 1.0e6)
+        .collect();
+    rates.sort_by(f64::total_cmp);
+    rates[rates.len() / 2]
+}
+
+struct Cell {
+    transport: &'static str,
+    batch: usize,
+    tenants: usize,
+    shards: usize,
+    mips: f64,
+}
+
+fn fmt_cell(c: &Cell) -> String {
+    format!(
+        "    {{\"transport\": \"{}\", \"batch\": {}, \"tenants\": {}, \"shards\": {}, \
+         \"m_intervals_per_sec\": {:.3}}}",
+        c.transport, c.batch, c.tenants, c.shards, c.mips
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    let quick = std::env::var_os("QUICK_BENCH").is_some();
+    let (reps, per_tenant) = if quick { (3, 120) } else { (11, 600) };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &tenants in &TENANT_COUNTS {
+        for &shards in &SHARD_COUNTS {
+            let total = tenants * per_tenant;
+            let shape = Shape {
+                tenants,
+                shards,
+                batch: 1,
+                per_tenant,
+            };
+            let mips = median_mips(total, reps, || run_legacy(shape));
+            cells.push(Cell {
+                transport: "legacy",
+                batch: 1,
+                tenants,
+                shards,
+                mips,
+            });
+            for &batch in &BATCHES {
+                let shape = Shape { batch, ..shape };
+                let mips = median_mips(total, reps, || run_ring(shape));
+                cells.push(Cell {
+                    transport: "ring",
+                    batch,
+                    tenants,
+                    shards,
+                    mips,
+                });
+            }
+        }
+    }
+
+    let pick = |transport: &str, batch: usize| -> f64 {
+        cells
+            .iter()
+            .find(|c| {
+                c.transport == transport
+                    && c.batch == batch
+                    && c.tenants == HEADLINE_TENANTS
+                    && c.shards == HEADLINE_SHARDS
+            })
+            .expect("headline cell measured")
+            .mips
+    };
+    let legacy_mips = pick("legacy", 1);
+    let ring_mips = pick("ring", HEADLINE_BATCH);
+    let speedup = ring_mips / legacy_mips;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"regmon-fleet-matrix-v1\",\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"intervals_per_tenant\": {per_tenant},\n"));
+    json.push_str(
+        "  \"note\": \"median million intervals/sec through the shard ingest transport; \
+         legacy = Mutex<VecDeque> + unconditional notify, one interval per message \
+         (the seed's shard queue); ring = RingQueue with waiter-gated notifies and \
+         per-tenant interval batching (PR 3 fast path)\",\n",
+    );
+    json.push_str("  \"headline\": {\n");
+    json.push_str(&format!("    \"tenants\": {HEADLINE_TENANTS},\n"));
+    json.push_str(&format!("    \"shards\": {HEADLINE_SHARDS},\n"));
+    json.push_str(&format!("    \"batch\": {HEADLINE_BATCH},\n"));
+    json.push_str(&format!(
+        "    \"legacy_m_intervals_per_sec\": {legacy_mips:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"ring_batch_m_intervals_per_sec\": {ring_mips:.3},\n"
+    ));
+    json.push_str(&format!("    \"speedup\": {speedup:.2}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"cells\": [\n");
+    let rendered: Vec<String> = cells.iter().map(fmt_cell).collect();
+    json.push_str(&rendered.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write matrix json");
+    eprintln!(
+        "fleet matrix: {} cells -> {out_path} (headline speedup {speedup:.2}x: \
+         legacy {legacy_mips:.2} M intervals/s vs ring/batch-{HEADLINE_BATCH} \
+         {ring_mips:.2} M intervals/s at {HEADLINE_TENANTS} tenants / {HEADLINE_SHARDS} shards)",
+        cells.len()
+    );
+}

@@ -54,6 +54,38 @@ smoke!(ext_perf_metrics_bin, "ext_perf_metrics");
 smoke!(ext_phase_prediction_bin, "ext_phase_prediction");
 smoke!(ext_rto_sensitivity_bin, "ext_rto_sensitivity");
 
+/// The fleet ingest matrix binary emits well-formed JSON with the
+/// headline fields the regression guard greps for.
+#[test]
+fn fleet_matrix_emits_headline_json() {
+    let out_path =
+        std::env::temp_dir().join(format!("fleet_matrix_smoke_{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_fleet_matrix"))
+        .arg(&out_path)
+        .env("QUICK_BENCH", "1")
+        .output()
+        .expect("spawn fleet_matrix");
+    assert!(
+        out.status.success(),
+        "fleet_matrix failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&out_path).expect("matrix json written");
+    let _ = std::fs::remove_file(&out_path);
+    for key in [
+        "\"schema\": \"regmon-fleet-matrix-v1\"",
+        "\"headline\"",
+        "\"legacy_m_intervals_per_sec\"",
+        "\"ring_batch_m_intervals_per_sec\"",
+        "\"speedup\"",
+        "\"transport\": \"legacy\"",
+        "\"transport\": \"ring\"",
+    ] {
+        assert!(json.contains(key), "{key} missing from fleet matrix JSON");
+    }
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+}
+
 #[test]
 fn fig03_rows_are_csv_with_three_periods() {
     let out = run_fast(env!("CARGO_BIN_EXE_fig03_gpd_phase_changes"));

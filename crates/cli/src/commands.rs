@@ -6,7 +6,10 @@ use regmon::sampling::Sampler;
 use regmon::workload::{suite, Workload};
 use regmon::{MonitoringSession, SessionConfig};
 use regmon_baselines::{BbvConfig, BbvDetector, WssConfig, WssDetector};
-use regmon_fleet::{run_fleet, FleetConfig, QueuePolicy, Schedule, TenantSpec};
+use regmon_fleet::{
+    batch_bucket_label, run_fleet, FleetConfig, Pacing, QueuePolicy, Schedule, TenantSpec,
+    BATCH_BUCKETS,
+};
 
 use crate::args::parse;
 use crate::json::Json;
@@ -24,6 +27,7 @@ USAGE:
   regmon baselines <benchmark> [--period N] [--intervals N]
   regmon fleet <benchmark|all> [--tenants N] [--shards N] [--intervals N]
                [--period N] [--queue-depth N] [--policy block|drop-oldest]
+               [--batch N] [--steal] [--pacing lockstep|freerun]
                [--index linear|tree|flat] [--parallel-attrib N] [--json]
   regmon help
 
@@ -228,10 +232,13 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     let period: u64 = p.value_or("period", 0)?;
     let queue_depth: usize = p.value_or("queue-depth", 16)?;
     let policy = QueuePolicy::parse(&p.value_or("policy", "block".to_string())?)?;
+    let batch: usize = p.value_or("batch", 1)?;
+    let steal = p.flag("steal");
+    let pacing = Pacing::parse(&p.value_or("pacing", "lockstep".to_string())?)?;
     let index = IndexKind::parse(&p.value_or("index", "tree".to_string())?)?;
     let parallel_attrib: usize = p.value_or("parallel-attrib", 0)?;
-    if tenants == 0 || shards == 0 || intervals == 0 || queue_depth == 0 {
-        return Err("--tenants/--shards/--intervals/--queue-depth must be positive".into());
+    if tenants == 0 || shards == 0 || intervals == 0 || queue_depth == 0 || batch == 0 {
+        return Err("--tenants/--shards/--intervals/--queue-depth/--batch must be positive".into());
     }
 
     let workloads: Vec<Workload> = if target == "all" {
@@ -263,7 +270,11 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         })
         .collect();
 
-    let config = FleetConfig::new(shards, queue_depth).with_policy(policy);
+    let config = FleetConfig::new(shards, queue_depth)
+        .with_policy(policy)
+        .with_batch(batch)
+        .with_steal(steal)
+        .with_pacing(pacing);
     let report = run_fleet(&config, &specs, &Schedule::new());
     let agg = &report.aggregate;
 
@@ -310,6 +321,12 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             .shards
             .iter()
             .map(|s| {
+                let labels: Vec<String> = (0..BATCH_BUCKETS).map(batch_bucket_label).collect();
+                let histogram: Vec<(&str, Json)> = labels
+                    .iter()
+                    .enumerate()
+                    .map(|(b, label)| (label.as_str(), Json::Num(s.batch_sizes[b] as f64)))
+                    .collect();
                 Json::obj(vec![
                     ("shard", Json::Num(s.shard as f64)),
                     ("tenants", Json::Num(s.tenants as f64)),
@@ -320,6 +337,8 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
                     ),
                     ("dropped_intervals", Json::Num(s.dropped_intervals as f64)),
                     ("queue_high_water", Json::Num(s.queue_high_water as f64)),
+                    ("tenants_stolen", Json::Num(s.tenants_stolen as f64)),
+                    ("batch_sizes", Json::obj(histogram)),
                 ])
             })
             .collect();
@@ -329,6 +348,18 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             ("shards", Json::Num(shards as f64)),
             ("intervals", Json::Num(intervals as f64)),
             ("queue_depth", Json::Num(queue_depth as f64)),
+            ("batch", Json::Num(batch as f64)),
+            ("steal", Json::Bool(steal)),
+            (
+                "pacing",
+                Json::Str(
+                    match pacing {
+                        Pacing::Lockstep => "lockstep",
+                        Pacing::Freerun => "freerun",
+                    }
+                    .to_string(),
+                ),
+            ),
             (
                 "policy",
                 Json::Str(
@@ -359,6 +390,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
                         "backpressure_stalls",
                         Json::Num(agg.backpressure_stalls as f64),
                     ),
+                    ("tenants_migrated", Json::Num(agg.tenants_migrated as f64)),
                     ("gpd_phase_changes", Json::Num(agg.gpd_phase_changes as f64)),
                     (
                         "gpd_stable_fraction_mean",
@@ -382,11 +414,12 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     }
 
     println!(
-        "== fleet: {target} x {tenants} tenants over {shards} shards (depth {queue_depth}, {policy:?}) =="
+        "== fleet: {target} x {tenants} tenants over {shards} shards (depth {queue_depth}, {policy:?}, batch {batch}{}) ==",
+        if steal { ", steal" } else { "" }
     );
     println!(
-        "completed {}  evicted {}  failed {}  restarts {}",
-        agg.completed, agg.evicted, agg.failed, agg.restarts
+        "completed {}  evicted {}  failed {}  restarts {}  migrations {}",
+        agg.completed, agg.evicted, agg.failed, agg.restarts, agg.tenants_migrated
     );
     println!(
         "intervals {} produced / {} processed  drops {}  stalls {}",
@@ -410,18 +443,25 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         report.wall_ms
     );
     println!(
-        "{:>5} {:>8} {:>10} {:>8} {:>8} {:>11}",
-        "shard", "tenants", "messages", "stalls", "drops", "high-water"
+        "{:>5} {:>8} {:>10} {:>8} {:>8} {:>11} {:>7}  batch sizes",
+        "shard", "tenants", "messages", "stalls", "drops", "high-water", "stolen"
     );
     for s in &report.shards {
+        let histogram = (0..BATCH_BUCKETS)
+            .filter(|&b| s.batch_sizes[b] > 0)
+            .map(|b| format!("{}:{}", batch_bucket_label(b), s.batch_sizes[b]))
+            .collect::<Vec<_>>()
+            .join(" ");
         println!(
-            "{:>5} {:>8} {:>10} {:>8} {:>8} {:>11}",
+            "{:>5} {:>8} {:>10} {:>8} {:>8} {:>11} {:>7}  {}",
             s.shard,
             s.tenants,
             s.messages_processed,
             s.backpressure_stalls,
             s.dropped_intervals,
-            s.queue_high_water
+            s.queue_high_water,
+            s.tenants_stolen,
+            histogram
         );
     }
     Ok(())

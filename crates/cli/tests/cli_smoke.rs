@@ -169,9 +169,90 @@ fn fleet_rejects_bad_policy_and_zero_sizes() {
     let (ok, _, stderr) = regmon(&["fleet", "all", "--policy", "newest-wins"]);
     assert!(!ok);
     assert!(stderr.contains("queue policy"));
+    for spelling in ["block", "drop-oldest", "drop_oldest", "dropoldest", "drop"] {
+        assert!(
+            stderr.contains(spelling),
+            "policy error must list the {spelling:?} spelling"
+        );
+    }
     let (ok, _, stderr) = regmon(&["fleet", "all", "--shards", "0"]);
     assert!(!ok);
     assert!(stderr.contains("positive"));
+    let (ok, _, stderr) = regmon(&["fleet", "all", "--batch", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("positive"));
+    let (ok, _, stderr) = regmon(&["fleet", "all", "--pacing", "warp"]);
+    assert!(!ok);
+    assert!(stderr.contains("lockstep"));
+}
+
+#[test]
+fn fleet_accepts_drop_alias() {
+    let (ok, stdout, _) = regmon(&[
+        "fleet",
+        "mcf",
+        "--tenants",
+        "4",
+        "--shards",
+        "2",
+        "--intervals",
+        "6",
+        "--queue-depth",
+        "1",
+        "--policy",
+        "drop",
+    ]);
+    assert!(ok, "--policy drop (short alias) must be accepted");
+    assert!(stdout.contains("DropOldest"));
+}
+
+#[test]
+fn fleet_batch_and_steal_json_matches_per_interval_baseline() {
+    let base = [
+        "fleet",
+        "all",
+        "--tenants",
+        "12",
+        "--shards",
+        "3",
+        "--intervals",
+        "10",
+        "--json",
+    ];
+    let (ok_a, a, _) = regmon(&base);
+    let mut batched: Vec<&str> = base.to_vec();
+    batched.extend(["--batch", "8", "--steal"]);
+    let (ok_b, b, _) = regmon(&batched);
+    assert!(ok_a && ok_b);
+    assert!(a.contains("\"batch\":1"));
+    assert!(b.contains("\"batch\":8"));
+    assert!(b.contains("\"steal\":true"));
+    assert!(b.contains("\"batch_sizes\":"));
+    assert!(b.contains("\"tenants_migrated\":"));
+    // The per-tenant detector results must not depend on transport
+    // batching or lease stealing: compare the tenants_detail blobs.
+    let detail = |s: &str| {
+        let start = s.find("\"tenants_detail\":").expect("tenants_detail");
+        s[start..].to_string()
+    };
+    // Tenant shard assignments may differ under stealing, so strip them.
+    let strip_shard = |s: String| -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut rest = s.as_str();
+        while let Some(at) = rest.find("\"shard\":") {
+            let (head, tail) = rest.split_at(at);
+            out.push_str(head);
+            let end = tail.find(',').expect("shard field terminated");
+            rest = &tail[end + 1..];
+        }
+        out.push_str(rest);
+        out
+    };
+    assert_eq!(
+        strip_shard(detail(&a)),
+        strip_shard(detail(&b)),
+        "batching + stealing must not change any tenant's results"
+    );
 }
 
 #[test]

@@ -226,6 +226,33 @@ impl MonitoringSession {
         }
     }
 
+    /// Processes a coalesced batch of intervals through the pipeline.
+    ///
+    /// Semantically identical to calling
+    /// [`MonitoringSession::process_interval`] once per element, in
+    /// order — detectors observe every interval individually, so phase
+    /// change sequences, summaries and region tables are byte-identical
+    /// to the per-interval path. What batching buys is everything
+    /// *around* the pipeline: the fleet ships one queue message, takes
+    /// one `catch_unwind` frame and performs one tenant-table lookup per
+    /// batch instead of per interval. Returns the number of intervals
+    /// processed.
+    pub fn run_batch(&mut self, intervals: &[Interval]) -> usize {
+        for interval in intervals {
+            self.process_interval(interval);
+        }
+        intervals.len()
+    }
+
+    /// Intervals fed into the pipeline so far. The count is bumped at
+    /// the *start* of each interval, so a caller that catches a panic
+    /// out of [`MonitoringSession::run_batch`] can reconstruct exactly
+    /// how many intervals completed (`after - before - 1`).
+    #[must_use]
+    pub fn intervals(&self) -> usize {
+        self.intervals
+    }
+
     /// The monitored-region table.
     #[must_use]
     pub fn monitor(&self) -> &RegionMonitor {

@@ -12,27 +12,58 @@
 //!   interval per running tenant per round). Per shard, the driver
 //!   maintains a *local* bounded buffer with the configured depth and
 //!   applies the queue policy to it deterministically: an overflow under
-//!   [`QueuePolicy::Block`] counts one stall and flushes the buffer
-//!   (ship + barrier — the logical equivalent of the producer waiting
-//!   for the worker to catch up); an overflow under
-//!   [`QueuePolicy::DropOldest`] evicts the buffer head and counts one
-//!   drop — that interval is truly never delivered. All counters
-//!   (stalls, drops, high-water) are thus pure functions of tenant
-//!   placement, round sizes and queue depth: same inputs, same numbers,
-//!   every run, every machine.
+//!   [`QueuePolicy::Block`] counts one stall and clears the buffer (the
+//!   logical equivalent of the producer waiting for the worker to catch
+//!   up); an overflow under [`QueuePolicy::DropOldest`] evicts the
+//!   buffer head and counts one drop — that interval is truly never
+//!   delivered. All counters (stalls, drops, high-water) are thus pure
+//!   functions of tenant placement, round sizes and queue depth: same
+//!   inputs, same numbers, every run, every machine — and independent of
+//!   the physical batching factor and of lease rebalancing, because the
+//!   simulation is keyed to *home* shards.
 //! - [`Pacing::Freerun`]: intervals are pushed straight into the shard
 //!   queues and the *real* queue counters are reported. Results per
 //!   tenant are still exact under `Block` (the queue is lossless FIFO);
 //!   only the counters vary with scheduling. This is the mode for
 //!   benchmarks and stress tests.
 //!
-//! In both modes, per-tenant interval order is preserved end-to-end, so
+//! # Interval batching
+//!
+//! With [`EngineConfig::batch`] `> 1` the driver coalesces a tenant's
+//! intervals into [`ShardMsg::Batch`] messages of up to `batch`
+//! intervals, amortizing one queue operation (and one worker
+//! `catch_unwind` frame) over the whole run of intervals. Under
+//! lockstep, intervals leave the deterministic simulation into a
+//! per-tenant *staging* vector and ship whenever a full chunk is ready;
+//! lifecycle edges (pause/evict/restart/finish/snapshot/end-of-run)
+//! force-ship the remainder first, so per-tenant message order is
+//! unchanged. Under freerun the driver pulls whole batches straight off
+//! the sampler ([`Sampler::next_batch`]). In both modes the per-tenant
+//! interval sequence — and therefore every summary and phase-change
+//! sequence — is byte-identical to the `batch = 1` path.
+//!
+//! # Work stealing
+//!
+//! With [`EngineConfig::steal`] enabled, tenant ownership may move
+//! between shards. Under freerun, idle workers steal from backlogged
+//! peers on their own (see [`crate::shard`]). Under lockstep the driver
+//! itself rebalances deterministically: at each round boundary, if the
+//! busiest shard leases at least two more producing tenants than the
+//! idlest, the lowest-id producing tenant migrates — so summaries *and*
+//! backpressure counters stay byte-identical to the pinned schedule.
+//!
+//! In all modes, per-tenant interval order is preserved end-to-end, so
 //! under `Block` every tenant's [`SessionSummary`] is byte-identical to
 //! a standalone [`MonitoringSession::run_limited`] run — the fleet
-//! equivalence tests assert exactly that, for several shard counts.
+//! equivalence tests assert exactly that, across shard counts, batch
+//! sizes and stealing modes.
 //!
+//! [`EngineConfig::batch`]: crate::EngineConfig::batch
+//! [`EngineConfig::steal`]: crate::EngineConfig::steal
+//! [`ShardMsg::Batch`]: crate::shard::ShardMsg
 //! [`MonitoringSession::run_limited`]: regmon::MonitoringSession::run_limited
 //! [`SessionSummary`]: regmon::SessionSummary
+//! [`Sampler::next_batch`]: regmon_sampling::Sampler::next_batch
 
 use std::collections::VecDeque;
 use std::time::Instant;
@@ -53,6 +84,23 @@ pub enum Pacing {
     Lockstep,
     /// Free-running production against the live bounded queues.
     Freerun,
+}
+
+impl Pacing {
+    /// Parses a CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error listing every accepted spelling.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "lockstep" => Ok(Self::Lockstep),
+            "freerun" | "free-run" | "free_run" => Ok(Self::Freerun),
+            other => Err(format!(
+                "unknown pacing {other:?}; expected one of: lockstep, freerun, free-run, free_run"
+            )),
+        }
+    }
 }
 
 /// Full configuration of a fleet run.
@@ -88,6 +136,20 @@ impl FleetConfig {
     #[must_use]
     pub fn with_pacing(mut self, pacing: Pacing) -> Self {
         self.pacing = pacing;
+        self
+    }
+
+    /// Sets the interval batching factor (1 = per-interval shipping).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.engine = self.engine.with_batch(batch);
+        self
+    }
+
+    /// Enables tenant-lease stealing / rebalancing.
+    #[must_use]
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.engine = self.engine.with_steal(steal);
         self
     }
 
@@ -184,6 +246,19 @@ impl<'a> DriverTenant<'a> {
     fn active(&self) -> bool {
         self.producing && !self.paused
     }
+
+    /// Advances the cold-streak accounting for one produced interval and
+    /// reports whether the policy fires on it.
+    fn cold_step(&mut self, interval: &Interval, policy: Option<ColdTenantPolicy>) -> bool {
+        policy.is_some_and(|ColdTenantPolicy(p)| {
+            if (interval.samples.len() as u64) < p.min_samples {
+                self.cold_streak += 1;
+            } else {
+                self.cold_streak = 0;
+            }
+            self.cold_streak >= p.cold_intervals
+        })
+    }
 }
 
 /// Deterministic per-shard backpressure accounting for lockstep pacing.
@@ -194,10 +269,96 @@ struct SimCounters {
     high_water: usize,
 }
 
+/// Lockstep state: the deterministic per-home-shard queue simulation
+/// plus the per-tenant physical staging vectors that decouple *what the
+/// counters say* (pure simulation, batching-independent) from *how
+/// intervals ship* (coalesced batch messages).
+struct Lockstep {
+    depth: usize,
+    batch: usize,
+    buffers: Vec<VecDeque<(TenantId, Interval)>>,
+    sim: Vec<SimCounters>,
+    /// Per-tenant intervals that survived the simulation and await
+    /// physical shipment (indexed by dense tenant id).
+    pending: Vec<Vec<Interval>>,
+}
+
+impl Lockstep {
+    fn new(shards: usize, depth: usize, batch: usize, tenants: usize) -> Self {
+        Self {
+            depth,
+            batch: batch.max(1),
+            buffers: (0..shards)
+                .map(|_| VecDeque::with_capacity(depth))
+                .collect(),
+            sim: vec![SimCounters::default(); shards],
+            pending: vec![Vec::new(); tenants],
+        }
+    }
+
+    /// The PR 1 simulation step, verbatim: overflow under `Block` counts
+    /// one stall and empties the buffer (into staging — physical
+    /// shipping is decoupled); overflow under `DropOldest` evicts the
+    /// buffer head, which is then truly never delivered.
+    fn push(&mut self, id: TenantId, interval: Interval, policy: QueuePolicy, shards: usize) {
+        let shard = id.shard(shards);
+        if self.buffers[shard].len() >= self.depth {
+            match policy {
+                QueuePolicy::Block => {
+                    self.sim[shard].stalls += 1;
+                    self.stage(shard);
+                }
+                QueuePolicy::DropOldest => {
+                    self.buffers[shard].pop_front();
+                    self.sim[shard].drops += 1;
+                }
+            }
+        }
+        self.buffers[shard].push_back((id, interval));
+        self.sim[shard].high_water = self.sim[shard].high_water.max(self.buffers[shard].len());
+    }
+
+    /// Moves a home shard's simulated buffer into per-tenant staging
+    /// (FIFO order preserved per tenant).
+    fn stage(&mut self, shard: usize) {
+        while let Some((id, interval)) = self.buffers[shard].pop_front() {
+            self.pending[id.0 as usize].push(interval);
+        }
+    }
+
+    /// Ships every *full* chunk staged for tenant `t`.
+    fn ship_ready(&mut self, engine: &FleetEngine, t: TenantId) {
+        let p = &mut self.pending[t.0 as usize];
+        while p.len() >= self.batch {
+            let chunk: Vec<Interval> = p.drain(..self.batch).collect();
+            let _ = engine.send_batch_blocking(t, chunk);
+        }
+    }
+
+    /// Force-ships everything staged for tenant `t` (lifecycle edges:
+    /// the next message for `t` must be FIFO-ordered after its
+    /// intervals).
+    fn ship_all(&mut self, engine: &FleetEngine, t: TenantId) {
+        let p = &mut self.pending[t.0 as usize];
+        while !p.is_empty() {
+            let n = p.len().min(self.batch);
+            let chunk: Vec<Interval> = p.drain(..n).collect();
+            let _ = engine.send_batch_blocking(t, chunk);
+        }
+    }
+
+    /// Force-ships every tenant's staging (snapshot / end of run).
+    fn ship_everything(&mut self, engine: &FleetEngine) {
+        for i in 0..self.pending.len() {
+            self.ship_all(engine, TenantId(i as u32));
+        }
+    }
+}
+
 /// Runs a whole fleet to completion and reports.
 ///
 /// Tenants are admitted in spec order, receiving dense ids `0..n`; a
-/// tenant's shard is `id % shards`. The run ends when no tenant is
+/// tenant's home shard is `id % shards`. The run ends when no tenant is
 /// producing and the schedule has no future entries.
 ///
 /// # Panics
@@ -209,89 +370,111 @@ struct SimCounters {
 pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule) -> FleetReport {
     let start = Instant::now();
     let shards = config.engine.shards;
-    let mut engine = FleetEngine::new(config.engine);
+    let lockstep = config.pacing == Pacing::Lockstep;
+    let batch = config.engine.batch.max(1);
+    // Workers only self-steal in freerun; the lockstep driver rebalances
+    // deterministically itself.
+    let mut engine = FleetEngine::with_worker_steal(config.engine, !lockstep);
     let mut tenants: Vec<DriverTenant> = specs
         .iter()
         .map(|spec| DriverTenant::new(engine.admit(spec), spec))
         .collect();
 
-    let mut buffers: Vec<VecDeque<(TenantId, Interval)>> = (0..shards)
-        .map(|_| VecDeque::with_capacity(config.engine.queue_depth))
-        .collect();
-    let mut sim: Vec<SimCounters> = vec![SimCounters::default(); shards];
+    let mut ls =
+        lockstep.then(|| Lockstep::new(shards, config.engine.queue_depth, batch, tenants.len()));
     let mut snapshots: Vec<FleetSnapshot> = Vec::new();
-
-    let lockstep = config.pacing == Pacing::Lockstep;
     let max_sched_round = schedule.max_round();
 
     let mut round = 0usize;
     loop {
         // --- lifecycle actions scheduled for this round ----------------
-        // (Lockstep buffers are empty here: every round ends in a flush.)
+        // (Simulated buffers are empty here: every round ends staged.)
         for action in schedule.at_round(round) {
             apply_action(
                 action,
                 &mut tenants,
                 &engine,
-                &mut buffers,
-                lockstep,
+                ls.as_mut(),
                 round,
                 &mut snapshots,
             );
         }
 
-        // --- produce one interval per active tenant --------------------
+        // --- produce for every active tenant ---------------------------
         let mut produced_any = false;
-        for tenant in &mut tenants {
-            if !tenant.active() {
-                continue;
-            }
-            let Some(interval) = tenant.sampler.next() else {
-                complete_tenant(tenant, &engine, &mut buffers, lockstep);
-                continue;
-            };
-            produced_any = true;
-            tenant.produced += 1;
-
-            // Cold-tenant accounting (same shape as region pruning: a
-            // streak of intervals under the sample floor evicts).
-            let cold_fire = config.cold_tenant.is_some_and(|ColdTenantPolicy(p)| {
-                if (interval.samples.len() as u64) < p.min_samples {
-                    tenant.cold_streak += 1;
-                } else {
-                    tenant.cold_streak = 0;
+        if let Some(ls) = ls.as_mut() {
+            // Lockstep: one interval per tenant per round through the
+            // deterministic simulation, exactly as the per-interval
+            // engine did it.
+            for tenant in &mut tenants {
+                if !tenant.active() {
+                    continue;
                 }
-                tenant.cold_streak >= p.cold_intervals
-            });
+                let Some(interval) = tenant.sampler.next() else {
+                    complete_tenant(tenant, &engine, Some(ls));
+                    continue;
+                };
+                produced_any = true;
+                tenant.produced += 1;
+                let cold_fire = tenant.cold_step(&interval, config.cold_tenant);
+                let id = tenant.id;
+                ls.push(id, interval, config.engine.policy, shards);
 
-            let id = tenant.id;
-            if lockstep {
-                push_lockstep(
-                    &engine,
-                    &mut buffers,
-                    &mut sim,
-                    id,
-                    interval,
-                    config.engine.policy,
-                );
-            } else {
-                // Freerun: the live queue applies the policy and counts.
-                let _ = engine.offer_interval(id, interval);
+                if cold_fire {
+                    ls.stage(id.shard(shards));
+                    ls.ship_all(&engine, id);
+                    engine.evict(id, EvictReason::Cold);
+                    tenant.producing = false;
+                } else if tenant.produced >= tenant.spec.max_intervals {
+                    complete_tenant(tenant, &engine, Some(ls));
+                }
             }
 
-            if cold_fire {
-                flush_shard(&engine, &mut buffers[id.shard(shards)], lockstep);
-                engine.evict(id, EvictReason::Cold);
-                tenant.producing = false;
-            } else if tenant.produced >= tenant.spec.max_intervals {
-                complete_tenant(tenant, &engine, &mut buffers, lockstep);
+            // --- end-of-round: stage the simulation, ship full chunks --
+            for shard in 0..shards {
+                ls.stage(shard);
             }
-        }
-
-        // --- end-of-round flush (lockstep) -----------------------------
-        if lockstep {
-            for buffer in &mut buffers {
-                flush_shard(&engine, buffer, true);
+            for i in 0..tenants.len() {
+                ls.ship_ready(&engine, TenantId(i as u32));
+            }
+            if config.engine.steal {
+                rebalance(&engine, &tenants);
+            }
+        } else {
+            // Freerun: pull whole batches straight off the sampler and
+            // ship them against the live queues.
+            for tenant in &mut tenants {
+                if !tenant.active() {
+                    continue;
+                }
+                let want = batch
+                    .min(tenant.spec.max_intervals.saturating_sub(tenant.produced))
+                    .max(1);
+                let mut intervals = tenant.sampler.next_batch(want);
+                if intervals.is_empty() {
+                    complete_tenant(tenant, &engine, None);
+                    continue;
+                }
+                produced_any = true;
+                let mut cold_fire = false;
+                let mut keep = intervals.len();
+                for (k, interval) in intervals.iter().enumerate() {
+                    if tenant.cold_step(interval, config.cold_tenant) {
+                        cold_fire = true;
+                        keep = k + 1;
+                        break;
+                    }
+                }
+                intervals.truncate(keep);
+                tenant.produced += intervals.len();
+                let id = tenant.id;
+                let _ = engine.offer_batch(id, intervals);
+                if cold_fire {
+                    engine.evict(id, EvictReason::Cold);
+                    tenant.producing = false;
+                } else if tenant.produced >= tenant.spec.max_intervals {
+                    complete_tenant(tenant, &engine, None);
+                }
             }
         }
 
@@ -302,7 +485,10 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
         round += 1;
     }
 
-    // --- shutdown and report assembly ----------------------------------
+    // --- ship stragglers (paused tenants' staging), then shut down -----
+    if let Some(ls) = ls.as_mut() {
+        ls.ship_everything(&engine);
+    }
     let finals = engine.shutdown();
 
     let mut tenant_reports: Vec<TenantReport> = Vec::with_capacity(tenants.len());
@@ -332,11 +518,12 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
     let shard_reports: Vec<ShardReport> = finals
         .iter()
         .map(|f| {
-            let (stalls, drops, high_water) = if lockstep {
-                let s = sim[f.shard];
-                (s.stalls, s.drops, s.high_water)
-            } else {
-                (f.queue.stalls, f.queue.dropped, f.queue.high_water)
+            let (stalls, drops, high_water) = match &ls {
+                Some(ls) => {
+                    let s = ls.sim[f.shard];
+                    (s.stalls, s.drops, s.high_water)
+                }
+                None => (f.queue.stalls, f.queue.dropped, f.queue.high_water),
             };
             ShardReport {
                 shard: f.shard,
@@ -345,6 +532,8 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
                 backpressure_stalls: stalls,
                 dropped_intervals: drops,
                 queue_high_water: high_water,
+                batch_sizes: f.queue.batch_sizes,
+                tenants_stolen: f.tenants_stolen,
             }
         })
         .collect();
@@ -359,81 +548,68 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
     }
 }
 
-/// Lockstep push into the driver-side bounded buffer.
-fn push_lockstep(
-    engine: &FleetEngine,
-    buffers: &mut [VecDeque<(TenantId, Interval)>],
-    sim: &mut [SimCounters],
-    id: TenantId,
-    interval: Interval,
-    policy: QueuePolicy,
-) {
-    let shard = id.shard(engine.shards());
-    let depth = engine.config().queue_depth;
-    if buffers[shard].len() >= depth {
-        match policy {
-            QueuePolicy::Block => {
-                // The producer would wait here: one stall, then the
-                // worker drains (ship + barrier).
-                sim[shard].stalls += 1;
-                flush_shard(engine, &mut buffers[shard], true);
-            }
-            QueuePolicy::DropOldest => {
-                buffers[shard].pop_front();
-                sim[shard].drops += 1;
-            }
-        }
-    }
-    buffers[shard].push_back((id, interval));
-    sim[shard].high_water = sim[shard].high_water.max(buffers[shard].len());
-}
-
-/// Ships a shard's buffered intervals and waits for the worker to fully
-/// process them (no-op outside lockstep pacing, where buffers are unused).
-fn flush_shard(engine: &FleetEngine, buffer: &mut VecDeque<(TenantId, Interval)>, lockstep: bool) {
-    if !lockstep || buffer.is_empty() {
-        return;
-    }
-    let shard = buffer
-        .front()
-        .map(|(id, _)| id.shard(engine.shards()))
-        .expect("non-empty buffer");
-    while let Some((id, interval)) = buffer.pop_front() {
-        let _ = engine.send_interval_blocking(id, interval);
-    }
-    engine.drain_shard(shard);
-}
-
-/// Marks a tenant complete, ordering the Finish after its buffered
+/// Marks a tenant complete, ordering the Finish after its staged
 /// intervals.
-fn complete_tenant(
-    tenant: &mut DriverTenant<'_>,
-    engine: &FleetEngine,
-    buffers: &mut [VecDeque<(TenantId, Interval)>],
-    lockstep: bool,
-) {
-    let shard = tenant.id.shard(engine.shards());
-    flush_shard(engine, &mut buffers[shard], lockstep);
+fn complete_tenant(tenant: &mut DriverTenant<'_>, engine: &FleetEngine, ls: Option<&mut Lockstep>) {
+    if let Some(ls) = ls {
+        ls.stage(tenant.id.shard(engine.shards()));
+        ls.ship_all(engine, tenant.id);
+    }
     engine.finish(tenant.id);
     tenant.producing = false;
 }
 
-/// Applies one schedule action (round start; lockstep buffers empty
-/// except for cold/complete flushes, which have already run).
+/// Lockstep lease rebalancing: if the busiest shard leases at least two
+/// more producing tenants than the idlest, migrate the lowest-id
+/// producing tenant. Pure function of leases and production state, so
+/// runs and stealing-mode comparisons stay byte-identical.
+fn rebalance(engine: &FleetEngine, tenants: &[DriverTenant<'_>]) {
+    let shards = engine.shards();
+    if shards < 2 {
+        return;
+    }
+    let mut counts = vec![0usize; shards];
+    for t in tenants {
+        if t.producing {
+            counts[engine.shard_of(t.id)] += 1;
+        }
+    }
+    let (mut max_s, mut min_s) = (0usize, 0usize);
+    for s in 1..shards {
+        if counts[s] > counts[max_s] {
+            max_s = s;
+        }
+        if counts[s] < counts[min_s] {
+            min_s = s;
+        }
+    }
+    if counts[max_s] >= counts[min_s] + 2 {
+        if let Some(t) = tenants
+            .iter()
+            .find(|t| t.producing && engine.shard_of(t.id) == max_s)
+        {
+            engine.migrate(t.id, min_s);
+        }
+    }
+}
+
+/// Applies one schedule action (round start; simulated buffers are
+/// empty, but a tenant may have staged intervals that must ship before
+/// its control message).
 fn apply_action(
     action: ControlAction,
     tenants: &mut [DriverTenant<'_>],
     engine: &FleetEngine,
-    buffers: &mut [VecDeque<(TenantId, Interval)>],
-    lockstep: bool,
+    mut ls: Option<&mut Lockstep>,
     round: usize,
     snapshots: &mut Vec<FleetSnapshot>,
 ) {
-    let shards = engine.shards();
     match action {
         ControlAction::Pause(id) => {
             if let Some(t) = tenants.iter_mut().find(|t| t.id == id) {
-                flush_shard(engine, &mut buffers[id.shard(shards)], lockstep);
+                if let Some(ls) = ls.as_deref_mut() {
+                    ls.ship_all(engine, id);
+                }
                 engine.pause(id);
                 t.paused = true;
             }
@@ -446,23 +622,25 @@ fn apply_action(
         }
         ControlAction::Evict(id) => {
             if let Some(t) = tenants.iter_mut().find(|t| t.id == id) {
-                flush_shard(engine, &mut buffers[id.shard(shards)], lockstep);
+                if let Some(ls) = ls.as_deref_mut() {
+                    ls.ship_all(engine, id);
+                }
                 engine.evict(id, EvictReason::Requested);
                 t.producing = false;
             }
         }
         ControlAction::Restart(id) => {
             if let Some(t) = tenants.iter_mut().find(|t| t.id == id) {
-                flush_shard(engine, &mut buffers[id.shard(shards)], lockstep);
+                if let Some(ls) = ls.as_deref_mut() {
+                    ls.ship_all(engine, id);
+                }
                 engine.restart(id);
                 t.restart();
             }
         }
         ControlAction::Snapshot => {
-            if lockstep {
-                for buffer in buffers.iter_mut() {
-                    flush_shard(engine, buffer, true);
-                }
+            if let Some(ls) = ls {
+                ls.ship_everything(engine);
                 engine.drain_barrier();
             }
             snapshots.push(FleetSnapshot {
@@ -495,6 +673,27 @@ mod tests {
             .collect()
     }
 
+    /// Specs with per-tenant interval budgets that drain shards
+    /// unevenly, so the lockstep rebalancer actually migrates. Tenants
+    /// homed on shard 1 of a 4-shard fleet (`i % 4 == 1`) outlive
+    /// everyone else by 16 rounds: once the short tenants complete,
+    /// shard 1 leases two producing tenants against zero elsewhere and
+    /// the `max >= min + 2` trigger fires.
+    fn ragged_specs(n: usize) -> Vec<TenantSpec> {
+        let names = suite::names();
+        (0..n)
+            .map(|i| {
+                let name = names[i % names.len()];
+                TenantSpec::new(
+                    format!("{name}#{i}"),
+                    suite::by_name(name).unwrap(),
+                    SessionConfig::new(45_000),
+                    4 + 16 * usize::from(i % 4 == 1),
+                )
+            })
+            .collect()
+    }
+
     #[test]
     fn lockstep_counters_are_reproducible() {
         let config = FleetConfig::new(3, 4);
@@ -506,6 +705,7 @@ mod tests {
             assert_eq!(x.dropped_intervals, y.dropped_intervals);
             assert_eq!(x.queue_high_water, y.queue_high_water);
             assert_eq!(x.messages_processed, y.messages_processed);
+            assert_eq!(x.batch_sizes, y.batch_sizes);
         }
         for (x, y) in a.tenants.iter().zip(&b.tenants) {
             assert_eq!(
@@ -568,6 +768,70 @@ mod tests {
         for t in &report.tenants {
             assert_eq!(t.state, TenantState::Evicted(EvictReason::Cold));
             assert_eq!(t.intervals_produced, 3);
+        }
+    }
+
+    #[test]
+    fn batching_preserves_lockstep_counters_and_summaries() {
+        let baseline = run_fleet(&FleetConfig::new(3, 4), &specs(9, 12), &Schedule::new());
+        for batch in [2usize, 4, 32] {
+            let batched = run_fleet(
+                &FleetConfig::new(3, 4).with_batch(batch),
+                &specs(9, 12),
+                &Schedule::new(),
+            );
+            for (x, y) in baseline.shards.iter().zip(&batched.shards) {
+                assert_eq!(
+                    x.backpressure_stalls, y.backpressure_stalls,
+                    "batch {batch}"
+                );
+                assert_eq!(x.dropped_intervals, y.dropped_intervals, "batch {batch}");
+                assert_eq!(x.queue_high_water, y.queue_high_water, "batch {batch}");
+            }
+            for (x, y) in baseline.tenants.iter().zip(&batched.tenants) {
+                assert_eq!(
+                    format!("{:?}", x.summary),
+                    format!("{:?}", y.summary),
+                    "tenant {} diverged at batch {batch}",
+                    x.id
+                );
+            }
+            // Batching must actually coalesce queue traffic.
+            let msgs =
+                |r: &FleetReport| r.shards.iter().map(|s| s.messages_processed).sum::<usize>();
+            assert!(
+                msgs(&batched) < msgs(&baseline),
+                "batch {batch} did not reduce message count"
+            );
+        }
+    }
+
+    #[test]
+    fn lockstep_rebalance_migrates_and_preserves_results() {
+        let specs = ragged_specs(8);
+        let pinned = run_fleet(&FleetConfig::new(4, 4), &specs, &Schedule::new());
+        let stolen = run_fleet(
+            &FleetConfig::new(4, 4).with_steal(true),
+            &specs,
+            &Schedule::new(),
+        );
+        assert!(
+            stolen.aggregate.tenants_migrated > 0,
+            "ragged completion must trigger at least one migration"
+        );
+        assert_eq!(pinned.aggregate.tenants_migrated, 0);
+        for (x, y) in pinned.tenants.iter().zip(&stolen.tenants) {
+            assert_eq!(
+                format!("{:?}", x.summary),
+                format!("{:?}", y.summary),
+                "tenant {} diverged under rebalancing",
+                x.id
+            );
+        }
+        for (x, y) in pinned.shards.iter().zip(&stolen.shards) {
+            assert_eq!(x.backpressure_stalls, y.backpressure_stalls);
+            assert_eq!(x.dropped_intervals, y.dropped_intervals);
+            assert_eq!(x.queue_high_water, y.queue_high_water);
         }
     }
 }

@@ -1,21 +1,40 @@
 //! The fleet engine: a fixed pool of shard workers behind bounded
-//! queues, plus the lifecycle-command surface.
+//! ring queues, plus the lifecycle-command surface.
 //!
 //! The engine is transport + workers only; it does not run samplers.
-//! Interval production (and therefore pacing and admission ordering) is
-//! the [`crate::driver::FleetDriver`]'s job. Splitting the two keeps the
+//! Interval production (and therefore pacing, batching and admission
+//! ordering) is the [`crate::driver`]'s job. Splitting the two keeps the
 //! engine free of borrows into workload storage and makes every engine
 //! operation available mid-run: tests and embedders can admit, pause,
 //! evict, restart and snapshot tenants while intervals are in flight.
+//!
+//! # Routing and leases
+//!
+//! With stealing disabled (the default), a tenant's messages go to its
+//! home shard (`id % shards`) forever — the exact pinned-shard schedule
+//! of the original engine. With [`EngineConfig::steal`] enabled, routing
+//! consults the shared [`LeaseTable`] and every tenant-addressed push
+//! re-validates the lease *inside the queue's push gate*
+//! ([`crate::RingQueue::push_checked`]): the same lock under which a
+//! thief flips the lease. A stale push comes back untouched and is
+//! retried against the new owner, so no message can land behind a
+//! `Release` on the old shard and per-tenant FIFO order is preserved
+//! across migrations.
+//!
+//! [`LeaseTable`]: crate::shard::LeaseTable
 
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use regmon_sampling::Interval;
 
-use crate::queue::{BoundedQueue, QueuePolicy};
-use crate::shard::{run_worker, AdmitMsg, ShardFinal, ShardMsg, ShardSnapshot};
+use crate::queue::{PushError, QueuePolicy, RingQueue};
+use crate::shard::{
+    run_worker, AdmitMsg, LeaseTable, MigrationGate, ShardFinal, ShardMsg, ShardSnapshot,
+    WorkerShared,
+};
 use crate::tenant::{EvictReason, TenantId, TenantSpec};
 
 /// Engine-level configuration.
@@ -27,17 +46,25 @@ pub struct EngineConfig {
     pub queue_depth: usize,
     /// Backpressure policy applied to interval traffic.
     pub policy: QueuePolicy,
+    /// Maximum intervals coalesced into one queue message (1 = the
+    /// per-interval path).
+    pub batch: usize,
+    /// Whether tenant leases may move between shards (work stealing in
+    /// freerun pacing; deterministic driver rebalancing in lockstep).
+    pub steal: bool,
 }
 
 impl EngineConfig {
     /// An engine with `shards` workers and the given queue depth,
-    /// blocking on full queues.
+    /// blocking on full queues, per-interval shipping, no stealing.
     #[must_use]
     pub fn new(shards: usize, queue_depth: usize) -> Self {
         Self {
             shards,
             queue_depth,
             policy: QueuePolicy::Block,
+            batch: 1,
+            steal: false,
         }
     }
 
@@ -47,43 +74,74 @@ impl EngineConfig {
         self.policy = policy;
         self
     }
+
+    /// Sets the interval batching factor (clamped to at least 1).
+    #[must_use]
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Enables or disables tenant-lease stealing.
+    #[must_use]
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
 }
 
-/// A running fleet: shard workers consuming from bounded queues.
+/// A running fleet: shard workers consuming from bounded ring queues.
 #[derive(Debug)]
 pub struct FleetEngine {
     config: EngineConfig,
-    queues: Vec<Arc<BoundedQueue<ShardMsg>>>,
+    shared: Arc<WorkerShared>,
     workers: Vec<JoinHandle<ShardFinal>>,
     next_id: u32,
 }
 
 impl FleetEngine {
-    /// Spawns the shard workers.
+    /// Spawns the shard workers. Worker-initiated stealing follows
+    /// [`EngineConfig::steal`]; the lockstep driver uses
+    /// [`FleetEngine::with_worker_steal`] to keep leases mobile while
+    /// rebalancing deterministically itself.
     ///
     /// # Panics
     ///
     /// Panics when `shards == 0` or `queue_depth == 0`.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
+        Self::with_worker_steal(config, config.steal)
+    }
+
+    /// As [`FleetEngine::new`], but decouples *lease mobility*
+    /// (`config.steal`) from *worker-initiated* stealing: under
+    /// lockstep pacing the driver migrates tenants deterministically,
+    /// so workers must not race it.
+    pub(crate) fn with_worker_steal(config: EngineConfig, worker_steal: bool) -> Self {
         assert!(config.shards > 0, "fleet needs at least one shard");
         let queues: Vec<_> = (0..config.shards)
-            .map(|_| Arc::new(BoundedQueue::new(config.queue_depth)))
+            .map(|_| Arc::new(RingQueue::new(config.queue_depth)))
             .collect();
-        let workers = queues
-            .iter()
-            .enumerate()
-            .map(|(shard, queue)| {
-                let queue = Arc::clone(queue);
+        let shared = Arc::new(WorkerShared {
+            queues,
+            leases: LeaseTable::default(),
+            gate: MigrationGate::default(),
+            stop_steal: std::sync::atomic::AtomicBool::new(false),
+            worker_steal: worker_steal && config.steal && config.shards > 1,
+            steal_backlog: (config.queue_depth / 2).max(1),
+        });
+        let workers = (0..config.shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("regmon-fleet-shard-{shard}"))
-                    .spawn(move || run_worker(shard, &queue))
+                    .spawn(move || run_worker(shard, &shared))
                     .expect("spawn shard worker")
             })
             .collect();
         Self {
             config,
-            queues,
+            shared,
             workers,
             next_id: 0,
         }
@@ -101,23 +159,55 @@ impl FleetEngine {
         self.config.shards
     }
 
-    fn queue_of(&self, id: TenantId) -> &BoundedQueue<ShardMsg> {
-        &self.queues[id.shard(self.config.shards)]
+    /// The shard a tenant's messages currently route to.
+    #[must_use]
+    pub fn shard_of(&self, id: TenantId) -> usize {
+        if self.config.steal {
+            self.shared.leases.get(id)
+        } else {
+            id.shard(self.config.shards)
+        }
+    }
+
+    /// Pushes a tenant-addressed message to the tenant's current owner,
+    /// re-validating the lease inside the push gate and retrying on a
+    /// stale route. Returns `false` when the queue is closed.
+    fn push_routed(&self, id: TenantId, msg: ShardMsg, policy: QueuePolicy) -> bool {
+        if !self.config.steal {
+            return self.shared.queues[id.shard(self.config.shards)]
+                .push(msg, policy)
+                .is_ok();
+        }
+        let mut msg = msg;
+        loop {
+            let shard = self.shared.leases.get(id);
+            let gate = || self.shared.leases.get(id) == shard;
+            match self.shared.queues[shard].push_checked(msg, policy, gate) {
+                Ok(()) => return true,
+                Err(PushError::Stale(again)) => msg = again, // lease moved: re-route
+                Err(PushError::Closed(_)) => return false,
+                Err(PushError::TimedOut(_)) => unreachable!("no deadline on routed push"),
+            }
+        }
     }
 
     fn control(&self, id: TenantId, msg: ShardMsg) {
         // Control messages always block (never dropped); a closed queue
         // here is a bug in shutdown ordering, so it panics loudly.
-        self.queue_of(id)
-            .push(msg, QueuePolicy::Block)
-            .expect("shard queue closed while engine alive");
+        assert!(
+            self.push_routed(id, msg, QueuePolicy::Block),
+            "shard queue closed while engine alive"
+        );
     }
 
     /// Admits a tenant, assigning the next dense [`TenantId`]. The
-    /// returned id also fixes the shard (`id % shards`).
+    /// returned id also fixes the home shard (`id % shards`), where the
+    /// tenant's lease starts.
     pub fn admit(&mut self, spec: &TenantSpec) -> TenantId {
         let id = TenantId(self.next_id);
         self.next_id += 1;
+        // The lease must exist before any message can route by it.
+        self.shared.leases.push_home(id.shard(self.config.shards));
         self.control(
             id,
             ShardMsg::Admit(Box::new(AdmitMsg {
@@ -137,19 +227,33 @@ impl FleetEngine {
     /// engine's backpressure policy. Returns `false` when the interval
     /// was rejected because the queue is closed (shutdown race).
     pub fn offer_interval(&self, id: TenantId, interval: Interval) -> bool {
-        self.queue_of(id)
-            .push(ShardMsg::Interval(id, interval), self.config.policy)
-            .is_ok()
+        self.push_routed(id, ShardMsg::Interval(id, interval), self.config.policy)
     }
 
-    /// Ships one interval with blocking semantics regardless of the
-    /// engine policy. Lockstep pacing uses this: the driver has already
-    /// applied the drop policy deterministically in its local buffer, so
-    /// the physical transfer must be lossless.
-    pub(crate) fn send_interval_blocking(&self, id: TenantId, interval: Interval) -> bool {
-        self.queue_of(id)
-            .push(ShardMsg::Interval(id, interval), QueuePolicy::Block)
-            .is_ok()
+    /// Ships a coalesced batch of consecutive intervals as one queue
+    /// message under the engine's backpressure policy. A batch of one is
+    /// shipped as a plain interval message.
+    pub fn offer_batch(&self, id: TenantId, mut intervals: Vec<Interval>) -> bool {
+        match intervals.len() {
+            0 => true,
+            1 => self.offer_interval(id, intervals.pop().expect("len checked")),
+            _ => self.push_routed(id, ShardMsg::Batch(id, intervals), self.config.policy),
+        }
+    }
+
+    /// Ships a batch with blocking semantics regardless of the engine
+    /// policy (lossless lockstep transfer; the driver already applied
+    /// the drop policy in its simulation buffers).
+    pub(crate) fn send_batch_blocking(&self, id: TenantId, mut intervals: Vec<Interval>) -> bool {
+        match intervals.len() {
+            0 => true,
+            1 => self.push_routed(
+                id,
+                ShardMsg::Interval(id, intervals.pop().expect("len checked")),
+                QueuePolicy::Block,
+            ),
+            _ => self.push_routed(id, ShardMsg::Batch(id, intervals), QueuePolicy::Block),
+        }
     }
 
     /// Pauses a tenant (its shard ignores further intervals until
@@ -179,13 +283,36 @@ impl FleetEngine {
         self.control(id, ShardMsg::Finish(id));
     }
 
+    /// Deterministically migrates a tenant to `to` (lockstep rebalance).
+    /// The driver is the sole lease flipper under lockstep pacing, and
+    /// the paired barrier drains make the hand-off complete before the
+    /// next round ships: `Release` is FIFO-ordered after everything
+    /// already queued for the tenant on the old shard, and `AdoptHandle`
+    /// before everything that will be queued on the new one.
+    pub(crate) fn migrate(&self, id: TenantId, to: usize) {
+        let from = self.shared.leases.get(id);
+        if from == to {
+            return;
+        }
+        let (tx, rx) = sync_channel(1);
+        self.shared.queues[from]
+            .push(ShardMsg::Release(id, tx), QueuePolicy::Block)
+            .expect("shard queue closed while engine alive");
+        self.shared.queues[to]
+            .push(ShardMsg::AdoptHandle(id, rx), QueuePolicy::Block)
+            .expect("shard queue closed while engine alive");
+        self.shared.leases.set(id, to);
+        self.drain_shard(from);
+        self.drain_shard(to);
+    }
+
     /// Takes a consistent per-shard snapshot of every tenant, mid-run.
     /// Each shard snapshots atomically with respect to its own queue
     /// order (the snapshot request is itself a queued message).
     #[must_use]
     pub fn snapshot(&self) -> Vec<ShardSnapshot> {
-        let mut pending = Vec::with_capacity(self.queues.len());
-        for queue in &self.queues {
+        let mut pending = Vec::with_capacity(self.shared.queues.len());
+        for queue in &self.shared.queues {
             let (tx, rx) = sync_channel(1);
             queue
                 .push(ShardMsg::Snapshot(tx), QueuePolicy::Block)
@@ -201,8 +328,8 @@ impl FleetEngine {
     /// Waits until every message queued so far on every shard has been
     /// fully processed (a barrier across the fleet).
     pub fn drain_barrier(&self) {
-        let mut pending = Vec::with_capacity(self.queues.len());
-        for queue in &self.queues {
+        let mut pending = Vec::with_capacity(self.shared.queues.len());
+        for queue in &self.shared.queues {
             let (tx, rx) = sync_channel(1);
             queue
                 .push(ShardMsg::Barrier(tx), QueuePolicy::Block)
@@ -217,14 +344,16 @@ impl FleetEngine {
     /// Waits for a single shard to fully process everything queued to it.
     pub(crate) fn drain_shard(&self, shard: usize) {
         let (tx, rx) = sync_channel(1);
-        self.queues[shard]
+        self.shared.queues[shard]
             .push(ShardMsg::Barrier(tx), QueuePolicy::Block)
             .expect("shard queue closed while engine alive");
         rx.recv().expect("shard worker gone");
     }
 
     /// Closes every queue, joins every worker and returns their final
-    /// reports in shard order.
+    /// reports in shard order. With stealing enabled, first stops new
+    /// steals and waits for in-flight migrations to land so no tenant
+    /// entry is stranded.
     ///
     /// # Panics
     ///
@@ -233,7 +362,11 @@ impl FleetEngine {
     /// an engine bug.
     #[must_use]
     pub fn shutdown(self) -> Vec<ShardFinal> {
-        for queue in &self.queues {
+        if self.config.steal {
+            self.shared.stop_steal.store(true, Ordering::Relaxed);
+            self.shared.gate.wait_idle();
+        }
+        for queue in &self.shared.queues {
             queue.close();
         }
         self.workers
@@ -320,5 +453,80 @@ mod tests {
         let t = &finals[0].tenants[0];
         assert_eq!(t.intervals_processed, 3, "paused interval must be ignored");
         assert_eq!(t.intervals_ignored, 1);
+    }
+
+    #[test]
+    fn batch_message_equals_per_interval_messages() {
+        let spec = spec(12);
+        let intervals: Vec<_> = Sampler::new(&spec.workload, spec.config.sampling)
+            .take(12)
+            .collect();
+
+        let mut per = FleetEngine::new(EngineConfig::new(1, 16));
+        let a = per.admit(&spec);
+        for interval in &intervals {
+            assert!(per.offer_interval(a, interval.clone()));
+        }
+        per.finish(a);
+        let per = per.shutdown();
+
+        let mut batched = FleetEngine::new(EngineConfig::new(1, 16).with_batch(4));
+        let b = batched.admit(&spec);
+        for chunk in intervals.chunks(4) {
+            assert!(batched.offer_batch(b, chunk.to_vec()));
+        }
+        batched.finish(b);
+        let batched = batched.shutdown();
+
+        let (pt, bt) = (&per[0].tenants[0], &batched[0].tenants[0]);
+        assert_eq!(pt.intervals_processed, bt.intervals_processed);
+        assert_eq!(
+            format!("{:?}", pt.summary),
+            format!("{:?}", bt.summary),
+            "batched summary must be byte-identical"
+        );
+        // 12 intervals in 3 batch messages + admit + finish.
+        assert_eq!(batched[0].messages_processed, 5);
+        assert_eq!(per[0].messages_processed, 14);
+    }
+
+    #[test]
+    fn explicit_migration_moves_tenant_between_shards() {
+        let spec = spec(8);
+        let intervals: Vec<_> = Sampler::new(&spec.workload, spec.config.sampling)
+            .take(8)
+            .collect();
+        // Leases mobile, but driver-orchestrated only (no worker races).
+        let mut engine =
+            FleetEngine::with_worker_steal(EngineConfig::new(2, 8).with_steal(true), false);
+        let id = engine.admit(&spec);
+        assert_eq!(engine.shard_of(id), 0);
+        for interval in &intervals[..4] {
+            assert!(engine.offer_interval(id, interval.clone()));
+        }
+        engine.migrate(id, 1);
+        assert_eq!(engine.shard_of(id), 1);
+        for interval in &intervals[4..] {
+            assert!(engine.offer_interval(id, interval.clone()));
+        }
+        engine.finish(id);
+        let finals = engine.shutdown();
+        assert!(finals[0].tenants.is_empty(), "entry left the old shard");
+        let t = &finals[1].tenants[0];
+        assert_eq!(t.intervals_processed, 8, "no interval lost in migration");
+        assert_eq!(t.state, TenantState::Completed);
+        assert_eq!(finals[1].tenants_stolen, 1);
+        // The migrated summary equals an unmigrated single-shard run.
+        let mut pinned = FleetEngine::new(EngineConfig::new(1, 8));
+        let p = pinned.admit(&spec);
+        for interval in &intervals {
+            assert!(pinned.offer_interval(p, interval.clone()));
+        }
+        pinned.finish(p);
+        let pinned = pinned.shutdown();
+        assert_eq!(
+            format!("{:?}", t.summary),
+            format!("{:?}", pinned[0].tenants[0].summary)
+        );
     }
 }

@@ -72,7 +72,10 @@ mod tenant;
 
 pub use driver::{run_fleet, ControlAction, FleetConfig, Pacing, Schedule};
 pub use engine::{EngineConfig, FleetEngine};
-pub use queue::{BoundedQueue, Closed, Droppable, QueuePolicy, QueueStats};
+pub use queue::{
+    batch_bucket_label, BoundedQueue, Closed, Droppable, Popped, PushError, QueuePolicy,
+    QueueStats, RingQueue, BATCH_BUCKETS,
+};
 pub use report::{FleetAggregate, FleetReport, FleetSnapshot, ShardReport, TenantReport};
 pub use shard::{ShardFinal, ShardSnapshot, TenantSnapshot};
 pub use tenant::{ColdTenantPolicy, EvictReason, FaultPlan, TenantId, TenantSpec, TenantState};

@@ -1,10 +1,28 @@
-//! Bounded multi-producer queue with backpressure accounting.
+//! Bounded ring-buffer queue with backpressure accounting and a
+//! lock-light fast path.
 //!
-//! The fleet engine ships every shard's traffic — interval buffers *and*
+//! The fleet engine ships every shard's traffic — interval batches *and*
 //! lifecycle control messages — through one bounded FIFO per shard. A
 //! plain `std::sync::mpsc::sync_channel` cannot express the
-//! `DropOldest` policy (there is no access to the queue head), so this
-//! is a small `Mutex<VecDeque> + Condvar` queue, standard library only.
+//! `DropOldest` policy (no access to the queue head), so this is a
+//! fixed-capacity **ring queue**: storage is one `Box<[Option<T>]>`
+//! allocated up front and addressed `(head + i) % capacity`, so neither
+//! push nor pop ever allocates or moves other entries (the classic
+//! sequence-counted MPMC ring layout, degenerated to a mutex-protected
+//! ring because this crate is `#![forbid(unsafe_code)]`).
+//!
+//! **Uncontended fast path.** The expensive part of a `Mutex + Condvar`
+//! queue is not the lock — an uncontended lock is one atomic — but the
+//! unconditional `notify_one` after every push: each notify is a
+//! potential `futex(FUTEX_WAKE)` syscall, and a fleet driver pushing
+//! thousands of intervals per second pays it even when every consumer is
+//! busy draining. This queue therefore keeps **waiter registries inside
+//! the mutex**: a consumer increments `consumer_waiters` under the lock
+//! before parking on the condvar, and a producer only notifies when that
+//! count is nonzero (symmetrically for `producer_waiters` / `not_full`).
+//! A push into a queue whose consumer is running is lock, slot write,
+//! unlock — zero syscalls, zero allocations. [`QueueStats::notifies`]
+//! counts the wakeups actually issued so tests can pin this down.
 //!
 //! Two backpressure policies:
 //!
@@ -13,12 +31,14 @@
 //!   of how often monitoring would have intruded on the critical path
 //!   with this buffer depth (§3.2.3).
 //! - [`QueuePolicy::DropOldest`]: a full queue evicts the oldest
-//!   *droppable* entry (interval buffers are droppable, control
-//!   messages never are) and counts one **drop**. The producer never
-//!   waits; monitoring degrades instead of the mutator.
+//!   *droppable* entry (interval payloads are droppable, control
+//!   messages never are) and counts its [`Droppable::units`] as
+//!   **drops**. The producer never waits; monitoring degrades instead of
+//!   the mutator. A ring full of non-droppable control messages blocks
+//!   instead — lifecycle commands are never sacrificed.
 
-use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// What to do when a shard queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,18 +49,24 @@ pub enum QueuePolicy {
     DropOldest,
 }
 
+/// Accepted spellings for [`QueuePolicy::parse`].
+const POLICY_SPELLINGS: &str = "block | drop-oldest | drop_oldest | dropoldest | drop";
+
 impl QueuePolicy {
-    /// Parses `"block"` / `"drop-oldest"` (CLI spelling).
+    /// Parses a policy name. Accepted spellings: `block`,
+    /// `drop-oldest`, `drop_oldest`, `dropoldest` and the short alias
+    /// `drop`.
     ///
     /// # Errors
     ///
-    /// Returns the unrecognized input back as the error message payload.
+    /// Returns a message naming the rejected input and listing every
+    /// accepted spelling.
     pub fn parse(s: &str) -> Result<Self, String> {
         match s {
             "block" => Ok(Self::Block),
-            "drop-oldest" | "drop_oldest" | "dropoldest" => Ok(Self::DropOldest),
+            "drop-oldest" | "drop_oldest" | "dropoldest" | "drop" => Ok(Self::DropOldest),
             other => Err(format!(
-                "unknown queue policy {other:?} (block|drop-oldest)"
+                "unknown queue policy {other:?} (accepted: {POLICY_SPELLINGS})"
             )),
         }
     }
@@ -51,6 +77,37 @@ pub trait Droppable {
     /// `true` when the entry may be dropped (interval payloads);
     /// `false` for entries that must survive (control messages).
     fn droppable(&self) -> bool;
+
+    /// How many logical payload units the entry carries: `Some(n)` for
+    /// droppable payloads (an interval batch of `n` intervals),
+    /// `None` for control messages. Evicting the entry counts `n`
+    /// drops, and pushing it records `n` in the batch-size histogram.
+    fn units(&self) -> Option<usize> {
+        if self.droppable() {
+            Some(1)
+        } else {
+            None
+        }
+    }
+}
+
+/// Buckets of the batch-size histogram in [`QueueStats`]: bucket `i`
+/// counts payload messages carrying `2^i ..= 2^(i+1) - 1` units (the
+/// last bucket is open-ended).
+pub const BATCH_BUCKETS: usize = 8;
+
+/// Human-readable label of batch-size bucket `i` (`"1"`, `"2-3"`, …,
+/// `"128+"`).
+#[must_use]
+pub fn batch_bucket_label(i: usize) -> String {
+    let lo = 1usize << i;
+    if i + 1 >= BATCH_BUCKETS {
+        format!("{lo}+")
+    } else if lo == (1 << (i + 1)) - 1 {
+        format!("{lo}")
+    } else {
+        format!("{lo}-{}", (1 << (i + 1)) - 1)
+    }
 }
 
 /// Backpressure counters of one queue, all monotone.
@@ -62,16 +119,115 @@ pub struct QueueStats {
     pub popped: usize,
     /// Wait episodes of a blocked producer ([`QueuePolicy::Block`]).
     pub stalls: usize,
-    /// Evicted entries ([`QueuePolicy::DropOldest`]).
+    /// Evicted payload units ([`QueuePolicy::DropOldest`]); an evicted
+    /// batch of `n` intervals counts `n`.
     pub dropped: usize,
     /// Maximum occupancy ever observed (after a push).
     pub high_water: usize,
+    /// Condvar wakeups actually issued by producers and consumers. The
+    /// uncontended-path contract is `notifies == 0` while the peer never
+    /// parks; this is what the wakeup-herding regression test pins.
+    pub notifies: usize,
+    /// Histogram of payload-message sizes in units (log2 buckets, see
+    /// [`BATCH_BUCKETS`]). Control messages are not counted.
+    pub batch_sizes: [usize; BATCH_BUCKETS],
+}
+
+impl QueueStats {
+    fn record_batch(&mut self, units: usize) {
+        let bucket = if units <= 1 {
+            0
+        } else {
+            (usize::BITS - 1 - units.leading_zeros()) as usize
+        };
+        self.batch_sizes[bucket.min(BATCH_BUCKETS - 1)] += 1;
+    }
+
+    /// Total payload messages recorded in the batch-size histogram.
+    #[must_use]
+    pub fn payload_messages(&self) -> usize {
+        self.batch_sizes.iter().sum()
+    }
+}
+
+/// Fixed-capacity ring storage: `slots[(head + i) % capacity]` is the
+/// `i`-th oldest entry. Entries never move on push/pop; only the rare
+/// mid-ring eviction (DropOldest skipping control messages) shifts the
+/// head-side entries by one.
+#[derive(Debug)]
+struct RingBuf<T> {
+    slots: Box<[Option<T>]>,
+    head: usize,
+    len: usize,
+}
+
+impl<T> RingBuf<T> {
+    fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity).map(|_| None).collect(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn idx(&self, i: usize) -> usize {
+        (self.head + i) % self.slots.len()
+    }
+
+    fn push_back(&mut self, item: T) {
+        debug_assert!(self.len < self.slots.len(), "ring overfull");
+        let at = self.idx(self.len);
+        debug_assert!(self.slots[at].is_none(), "ring slot clobbered");
+        self.slots[at] = Some(item);
+        self.len += 1;
+    }
+
+    fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.slots[self.head].take();
+        debug_assert!(item.is_some(), "ring slot lost");
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        item
+    }
+}
+
+impl<T: Droppable> RingBuf<T> {
+    /// Index (in age order) of the oldest droppable entry, if any.
+    fn oldest_droppable(&self) -> Option<usize> {
+        (0..self.len).find(|&i| {
+            self.slots[self.idx(i)]
+                .as_ref()
+                .is_some_and(Droppable::droppable)
+        })
+    }
+
+    /// Removes the entry at age-index `i`, shifting the (younger-than-
+    /// head, older-than-`i`) entries toward the hole and advancing
+    /// `head` — exactly `VecDeque::remove` semantics on a fixed ring.
+    fn remove_at(&mut self, i: usize) -> T {
+        debug_assert!(i < self.len);
+        let item = self.slots[self.idx(i)].take().expect("ring slot lost");
+        for j in (1..=i).rev() {
+            self.slots[self.idx(j)] = self.slots[self.idx(j - 1)].take();
+        }
+        self.head = (self.head + 1) % self.slots.len();
+        self.len -= 1;
+        item
+    }
 }
 
 #[derive(Debug)]
 struct Inner<T> {
-    items: VecDeque<T>,
+    ring: RingBuf<T>,
     closed: bool,
+    /// Consumers currently parked on `not_empty` (registered under the
+    /// lock *before* waiting, so a producer's check cannot race it).
+    consumer_waiters: usize,
+    /// Producers currently parked on `not_full`.
+    producer_waiters: usize,
     stats: QueueStats,
 }
 
@@ -79,16 +235,45 @@ struct Inner<T> {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Closed;
 
-/// A bounded FIFO connecting the fleet driver to one shard worker.
+/// Why a checked push did not enqueue; the rejected item is handed back.
 #[derive(Debug)]
-pub struct BoundedQueue<T> {
+pub enum PushError<T> {
+    /// The queue was closed.
+    Closed(T),
+    /// The routing gate returned `false` (e.g. the tenant's lease moved
+    /// to another shard between route lookup and enqueue).
+    Stale(T),
+    /// The deadline of [`RingQueue::push_checked_timeout`] passed while
+    /// the queue stayed full.
+    TimedOut(T),
+}
+
+/// Outcome of a timed pop.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped<T> {
+    /// An entry was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue still empty (and open).
+    Empty,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+/// A bounded ring FIFO connecting the fleet driver to one shard worker.
+#[derive(Debug)]
+pub struct RingQueue<T> {
     inner: Mutex<Inner<T>>,
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
 }
 
-impl<T: Droppable> BoundedQueue<T> {
+/// Backwards-compatible name: PR 1 shipped this queue as `BoundedQueue`
+/// (then a `Mutex<VecDeque>`); the ring rebuild keeps the old name as an
+/// alias so embedders and tests are unaffected.
+pub type BoundedQueue<T> = RingQueue<T>;
+
+impl<T: Droppable> RingQueue<T> {
     /// A queue holding at most `capacity` entries.
     ///
     /// # Panics
@@ -99,8 +284,10 @@ impl<T: Droppable> BoundedQueue<T> {
         assert!(capacity > 0, "queue depth must be positive");
         Self {
             inner: Mutex::new(Inner {
-                items: VecDeque::with_capacity(capacity),
+                ring: RingBuf::new(capacity),
                 closed: false,
+                consumer_waiters: 0,
+                producer_waiters: 0,
                 stats: QueueStats::default(),
             }),
             not_full: Condvar::new(),
@@ -119,43 +306,140 @@ impl<T: Droppable> BoundedQueue<T> {
     ///
     /// Returns [`Closed`] when the queue has been closed.
     pub fn push(&self, item: T, policy: QueuePolicy) -> Result<(), Closed> {
+        match self.push_checked_deadline(item, policy, || true, None) {
+            Ok(()) => Ok(()),
+            Err(PushError::Closed(_)) => Err(Closed),
+            Err(PushError::Stale(_) | PushError::TimedOut(_)) => {
+                unreachable!("constant-true gate without deadline cannot be stale or time out")
+            }
+        }
+    }
+
+    /// Enqueues `item` under `policy`, but calls `gate` **once, under
+    /// the queue lock, with delivery guaranteed**, immediately before
+    /// the slot write. If `gate` returns `false` nothing is enqueued
+    /// (and nothing is evicted) and the item comes back as
+    /// [`PushError::Stale`].
+    ///
+    /// This is the atomic route-or-retry primitive of tenant leasing: a
+    /// producer routes by the lease table, then re-validates the lease
+    /// inside the gate; a thief *flips* the lease inside the gate of its
+    /// `Release` push. Either way the lease check/flip and the enqueue
+    /// are one atomic step with respect to this queue, so no interval
+    /// can land behind the `Release` message on the old shard.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] when the queue has been closed (gate not
+    /// called), [`PushError::Stale`] when the gate rejected.
+    pub fn push_checked(
+        &self,
+        item: T,
+        policy: QueuePolicy,
+        gate: impl FnOnce() -> bool,
+    ) -> Result<(), PushError<T>> {
+        self.push_checked_deadline(item, policy, gate, None)
+    }
+
+    /// [`RingQueue::push_checked`] with an upper bound on the blocking
+    /// wait. Work stealing uses this so a thief never parks indefinitely
+    /// on a victim's full queue (which could otherwise form a cycle of
+    /// workers all waiting on each other's queues).
+    ///
+    /// # Errors
+    ///
+    /// As [`RingQueue::push_checked`], plus [`PushError::TimedOut`] when
+    /// the queue stayed full past the deadline (gate not called).
+    pub fn push_checked_timeout(
+        &self,
+        item: T,
+        policy: QueuePolicy,
+        gate: impl FnOnce() -> bool,
+        timeout: Duration,
+    ) -> Result<(), PushError<T>> {
+        self.push_checked_deadline(item, policy, gate, Some(Instant::now() + timeout))
+    }
+
+    fn push_checked_deadline(
+        &self,
+        item: T,
+        policy: QueuePolicy,
+        gate: impl FnOnce() -> bool,
+        deadline: Option<Instant>,
+    ) -> Result<(), PushError<T>> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.closed {
-            return Err(Closed);
+            return Err(PushError::Closed(item));
         }
-        if inner.items.len() >= self.capacity {
+
+        // Resolve fullness first: either an eviction victim exists, or
+        // we wait for space. The gate runs only after this, so a stale
+        // push never evicts anybody.
+        let mut evict_at = None;
+        if inner.ring.len >= self.capacity {
             let drop_allowed = policy == QueuePolicy::DropOldest && item.droppable();
-            let evicted = if drop_allowed {
-                // Evict the oldest droppable entry, preserving control
-                // messages. `position` scans from the front: the victim
-                // is genuinely the oldest droppable.
-                inner.items.iter().position(Droppable::droppable)
+            evict_at = if drop_allowed {
+                inner.ring.oldest_droppable()
             } else {
                 None
             };
-            if let Some(at) = evicted {
-                inner.items.remove(at);
-                inner.stats.dropped += 1;
-            } else {
-                // Block policy, or a DropOldest queue full of
-                // non-droppable entries: wait for space.
+            if evict_at.is_none() {
+                // Block policy, or a DropOldest ring full of
+                // non-droppable control messages: wait for space. One
+                // stall per wait episode.
                 inner.stats.stalls += 1;
-                while inner.items.len() >= self.capacity && !inner.closed {
-                    inner = self.not_full.wait(inner).expect("queue poisoned");
+                while inner.ring.len >= self.capacity && !inner.closed {
+                    inner.producer_waiters += 1;
+                    if let Some(deadline) = deadline {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            inner.producer_waiters -= 1;
+                            return Err(PushError::TimedOut(item));
+                        }
+                        let (guard, _) = self
+                            .not_full
+                            .wait_timeout(inner, deadline - now)
+                            .expect("queue poisoned");
+                        inner = guard;
+                    } else {
+                        inner = self.not_full.wait(inner).expect("queue poisoned");
+                    }
+                    inner.producer_waiters -= 1;
                 }
                 if inner.closed {
-                    return Err(Closed);
+                    return Err(PushError::Closed(item));
                 }
             }
         }
-        inner.items.push_back(item);
+
+        // Space (or a victim) is guaranteed: the gate decides, exactly
+        // once, under the lock.
+        if !gate() {
+            return Err(PushError::Stale(item));
+        }
+        if let Some(at) = evict_at {
+            let victim = inner.ring.remove_at(at);
+            inner.stats.dropped += victim.units().unwrap_or(0);
+        }
+        if let Some(units) = item.units() {
+            inner.stats.record_batch(units);
+        }
+        inner.ring.push_back(item);
         inner.stats.pushed += 1;
-        let occupancy = inner.items.len();
+        let occupancy = inner.ring.len;
         if occupancy > inner.stats.high_water {
             inner.stats.high_water = occupancy;
         }
+        // Waiter-gated wakeup: only pay the futex syscall when a
+        // consumer is actually parked.
+        let wake = inner.consumer_waiters > 0;
+        if wake {
+            inner.stats.notifies += 1;
+        }
         drop(inner);
-        self.not_empty.notify_one();
+        if wake {
+            self.not_empty.notify_one();
+        }
         Ok(())
     }
 
@@ -164,16 +448,60 @@ impl<T: Droppable> BoundedQueue<T> {
     pub fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
-            if let Some(item) = inner.items.pop_front() {
+            if let Some(item) = inner.ring.pop_front() {
                 inner.stats.popped += 1;
+                let wake = inner.producer_waiters > 0;
+                if wake {
+                    inner.stats.notifies += 1;
+                }
                 drop(inner);
-                self.not_full.notify_one();
+                if wake {
+                    self.not_full.notify_one();
+                }
                 return Some(item);
             }
             if inner.closed {
                 return None;
             }
+            inner.consumer_waiters += 1;
             inner = self.not_empty.wait(inner).expect("queue poisoned");
+            inner.consumer_waiters -= 1;
+        }
+    }
+
+    /// Dequeues the oldest entry, waiting at most `timeout` while the
+    /// queue is empty. Work-stealing workers poll with this so an idle
+    /// worker regains control to scan peer backlogs.
+    pub fn pop_timeout(&self, timeout: Duration) -> Popped<T> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.ring.pop_front() {
+                inner.stats.popped += 1;
+                let wake = inner.producer_waiters > 0;
+                if wake {
+                    inner.stats.notifies += 1;
+                }
+                drop(inner);
+                if wake {
+                    self.not_full.notify_one();
+                }
+                return Popped::Item(item);
+            }
+            if inner.closed {
+                return Popped::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Popped::Empty;
+            }
+            inner.consumer_waiters += 1;
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(inner, deadline - now)
+                .expect("queue poisoned");
+            inner = guard;
+            inner.consumer_waiters -= 1;
         }
     }
 
@@ -190,7 +518,7 @@ impl<T: Droppable> BoundedQueue<T> {
     /// Current occupancy.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.inner.lock().expect("queue poisoned").ring.len
     }
 
     /// `true` when no entries are queued.
@@ -220,12 +548,22 @@ mod tests {
     #[derive(Debug, PartialEq)]
     enum Msg {
         Data(u32),
+        /// A payload carrying several units (a fleet interval batch).
+        Pack(u32, usize),
         Ctrl(u32),
     }
 
     impl Droppable for Msg {
         fn droppable(&self) -> bool {
-            matches!(self, Msg::Data(_))
+            !matches!(self, Msg::Ctrl(_))
+        }
+
+        fn units(&self) -> Option<usize> {
+            match self {
+                Msg::Data(_) => Some(1),
+                Msg::Pack(_, n) => Some(*n),
+                Msg::Ctrl(_) => None,
+            }
         }
     }
 
@@ -245,6 +583,30 @@ mod tests {
     }
 
     #[test]
+    fn ring_wraps_without_reordering() {
+        // Interleave pushes and pops so head laps the ring repeatedly:
+        // draining two of three slots each time the ring fills advances
+        // the head by two on a three-slot array, walking every offset.
+        let q = RingQueue::new(3);
+        let mut expect = Vec::new();
+        let mut got = Vec::new();
+        for i in 0..20u32 {
+            q.push(Msg::Data(i), QueuePolicy::Block).unwrap();
+            expect.push(Msg::Data(i));
+            if q.len() == 3 {
+                got.push(q.pop().unwrap());
+                got.push(q.pop().unwrap());
+            }
+        }
+        q.close();
+        got.extend(std::iter::from_fn(|| q.pop()));
+        assert_eq!(got, expect);
+        let stats = q.stats();
+        assert_eq!(stats.pushed, 20);
+        assert_eq!(stats.popped, 20);
+    }
+
+    #[test]
     fn drop_oldest_evicts_front_droppable_only() {
         let q = BoundedQueue::new(3);
         q.push(Msg::Ctrl(0), QueuePolicy::DropOldest).unwrap();
@@ -258,6 +620,123 @@ mod tests {
         q.close();
         let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(drained, vec![Msg::Ctrl(0), Msg::Data(2), Msg::Data(3)]);
+    }
+
+    #[test]
+    fn mid_ring_eviction_survives_wrap() {
+        // Move head off zero first so the eviction shift crosses the
+        // physical end of the slot array.
+        let q = RingQueue::new(4);
+        q.push(Msg::Data(0), QueuePolicy::Block).unwrap();
+        q.push(Msg::Data(1), QueuePolicy::Block).unwrap();
+        assert_eq!(q.pop(), Some(Msg::Data(0)));
+        assert_eq!(q.pop(), Some(Msg::Data(1))); // head now at 2
+        q.push(Msg::Ctrl(10), QueuePolicy::Block).unwrap();
+        q.push(Msg::Ctrl(11), QueuePolicy::Block).unwrap();
+        q.push(Msg::Data(12), QueuePolicy::Block).unwrap();
+        q.push(Msg::Data(13), QueuePolicy::Block).unwrap();
+        // Full, wrapped. Evict oldest droppable (Data(12), age index 2).
+        q.push(Msg::Data(14), QueuePolicy::DropOldest).unwrap();
+        q.close();
+        let drained: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            drained,
+            vec![Msg::Ctrl(10), Msg::Ctrl(11), Msg::Data(13), Msg::Data(14)]
+        );
+        assert_eq!(q.stats().dropped, 1);
+    }
+
+    /// Adversarial satellite case: a ring *full of control messages*
+    /// under `DropOldest` must never evict one of them — the producer
+    /// falls back to blocking and every control message survives.
+    #[test]
+    fn drop_oldest_never_evicts_control_from_full_ring() {
+        let q = Arc::new(RingQueue::new(3));
+        for i in 0..3 {
+            q.push(Msg::Ctrl(i), QueuePolicy::DropOldest).unwrap();
+        }
+        assert_eq!(q.len(), 3, "ring full of control messages");
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push(Msg::Data(99), QueuePolicy::DropOldest))
+        };
+        // Give the producer time to (wrongly) evict; it must block.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.stats().dropped, 0, "control message sacrificed");
+        let mut drained = Vec::new();
+        drained.push(q.pop().unwrap()); // frees a slot; producer lands
+        producer.join().unwrap().unwrap();
+        q.close();
+        drained.extend(std::iter::from_fn(|| q.pop()));
+        assert_eq!(
+            drained,
+            vec![Msg::Ctrl(0), Msg::Ctrl(1), Msg::Ctrl(2), Msg::Data(99)]
+        );
+        let stats = q.stats();
+        assert_eq!(stats.dropped, 0, "DropOldest must not drop control");
+        assert_eq!(stats.stalls, 1, "producer blocked instead");
+    }
+
+    #[test]
+    fn dropped_counts_units_not_messages() {
+        let q = RingQueue::new(1);
+        q.push(Msg::Pack(0, 5), QueuePolicy::DropOldest).unwrap();
+        q.push(Msg::Pack(1, 2), QueuePolicy::DropOldest).unwrap();
+        assert_eq!(q.stats().dropped, 5, "evicted batch counts its units");
+    }
+
+    #[test]
+    fn batch_size_histogram_buckets_by_log2() {
+        let q = RingQueue::new(16);
+        for (tag, units) in [(0, 1), (1, 3), (2, 8), (3, 40)] {
+            q.push(Msg::Pack(tag, units), QueuePolicy::Block).unwrap();
+        }
+        q.push(Msg::Ctrl(9), QueuePolicy::Block).unwrap();
+        let stats = q.stats();
+        let mut expect = [0usize; BATCH_BUCKETS];
+        expect[0] = 1; // 1
+        expect[1] = 1; // 3
+        expect[3] = 1; // 8
+        expect[5] = 1; // 40
+        assert_eq!(stats.batch_sizes, expect, "control messages not counted");
+        assert_eq!(stats.payload_messages(), 4);
+        assert_eq!(batch_bucket_label(0), "1");
+        assert_eq!(batch_bucket_label(1), "2-3");
+        assert_eq!(batch_bucket_label(5), "32-63");
+        assert_eq!(batch_bucket_label(7), "128+");
+    }
+
+    /// Wakeup-herding regression: pushes with no parked consumer must
+    /// not issue a single condvar notification (PR 1 notified on every
+    /// push), while a parked consumer still gets woken.
+    #[test]
+    fn uncontended_push_is_notify_free() {
+        let q = Arc::new(RingQueue::new(32));
+        for i in 0..20 {
+            q.push(Msg::Data(i), QueuePolicy::Block).unwrap();
+        }
+        assert_eq!(
+            q.stats().notifies,
+            0,
+            "uncontended pushes must be syscall-free"
+        );
+        while q.pop().is_some() {
+            if q.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(q.stats().notifies, 0, "uncontended pops too");
+
+        // Now park a consumer and prove the wakeup still happens.
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20)); // let it park
+        q.push(Msg::Data(99), QueuePolicy::Block).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(Msg::Data(99)));
+        assert!(q.stats().notifies >= 1, "parked consumer must be notified");
+        q.close();
     }
 
     #[test]
@@ -295,5 +774,68 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(10));
         q.close();
         assert_eq!(producer.join().unwrap(), Err(Closed));
+    }
+
+    #[test]
+    fn stale_gate_rejects_without_enqueue_or_eviction() {
+        let q = RingQueue::new(1);
+        q.push(Msg::Data(0), QueuePolicy::Block).unwrap();
+        // Full ring + DropOldest + failing gate: the victim must survive.
+        match q.push_checked(Msg::Data(1), QueuePolicy::DropOldest, || false) {
+            Err(PushError::Stale(Msg::Data(1))) => {}
+            other => panic!("expected Stale, got {other:?}"),
+        }
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.stats().dropped, 0, "stale push must not evict");
+        assert_eq!(q.stats().pushed, 1);
+        q.close();
+        assert_eq!(q.pop(), Some(Msg::Data(0)));
+    }
+
+    #[test]
+    fn push_timeout_gives_item_back_when_full() {
+        let q = RingQueue::new(1);
+        q.push(Msg::Ctrl(0), QueuePolicy::Block).unwrap();
+        let start = Instant::now();
+        match q.push_checked_timeout(
+            Msg::Data(1),
+            QueuePolicy::Block,
+            || true,
+            Duration::from_millis(10),
+        ) {
+            Err(PushError::TimedOut(Msg::Data(1))) => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_timeout_distinguishes_empty_from_closed() {
+        let q: RingQueue<Msg> = RingQueue::new(4);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Popped::Empty);
+        q.push(Msg::Data(7), QueuePolicy::Block).unwrap();
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(5)),
+            Popped::Item(Msg::Data(7))
+        );
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), Popped::Closed);
+    }
+
+    #[test]
+    fn policy_parse_accepts_all_spellings_and_lists_them_on_error() {
+        assert_eq!(QueuePolicy::parse("block"), Ok(QueuePolicy::Block));
+        for alias in ["drop-oldest", "drop_oldest", "dropoldest", "drop"] {
+            assert_eq!(
+                QueuePolicy::parse(alias),
+                Ok(QueuePolicy::DropOldest),
+                "{alias}"
+            );
+        }
+        let err = QueuePolicy::parse("newest").unwrap_err();
+        for spelling in ["block", "drop-oldest", "drop_oldest", "dropoldest", "drop"] {
+            assert!(err.contains(spelling), "error {err:?} omits {spelling}");
+        }
     }
 }

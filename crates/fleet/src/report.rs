@@ -2,6 +2,7 @@
 
 use regmon::SessionSummary;
 
+use crate::queue::BATCH_BUCKETS;
 use crate::shard::ShardSnapshot;
 use crate::tenant::{TenantId, TenantState};
 
@@ -47,6 +48,13 @@ pub struct ShardReport {
     pub dropped_intervals: usize,
     /// Queue-occupancy high-water mark.
     pub queue_high_water: usize,
+    /// Histogram of payload message sizes (intervals per queue message)
+    /// in log2 buckets `1, 2-3, 4-7, …, 128+`
+    /// (see [`crate::batch_bucket_label`]).
+    pub batch_sizes: [usize; BATCH_BUCKETS],
+    /// Tenants this shard adopted from peers (work stealing / lockstep
+    /// rebalancing).
+    pub tenants_stolen: usize,
 }
 
 /// Fleet-level roll-up over every tenant and shard.
@@ -72,6 +80,8 @@ pub struct FleetAggregate {
     pub dropped_intervals: usize,
     /// Producer stall episodes across all shards.
     pub backpressure_stalls: usize,
+    /// Tenant migrations between shards across the run.
+    pub tenants_migrated: usize,
     /// Global (centroid) phase changes summed over tenants.
     pub gpd_phase_changes: usize,
     /// Mean per-tenant GPD stable-time fraction.
@@ -157,6 +167,7 @@ impl FleetReport {
         for s in shards {
             agg.dropped_intervals += s.dropped_intervals;
             agg.backpressure_stalls += s.backpressure_stalls;
+            agg.tenants_migrated += s.tenants_stolen;
         }
         agg
     }

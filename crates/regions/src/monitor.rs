@@ -191,6 +191,33 @@ impl AttributionArena {
             .record(((addr.get() - slot.start) / INST_BYTES) as usize);
     }
 
+    /// Merges a whole per-chunk histogram into `id`'s slot via the
+    /// 8-lane [`CountHistogram::accumulate`] kernel — the parallel
+    /// path's counterpart of per-sample [`AttributionArena::record`].
+    /// Histogram addition commutes, so chunk-order merging reproduces
+    /// the serial result exactly.
+    fn merge(&mut self, id: RegionId, hist: &CountHistogram, regions: &BTreeMap<RegionId, Region>) {
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        let epoch = self.epoch;
+        let slot = self.slots[idx].get_or_insert_with(|| {
+            let region = &regions[&id];
+            ArenaSlot {
+                hist: CountHistogram::new(region.slots()),
+                start: region.range().start().get(),
+                epoch: 0,
+            }
+        });
+        if slot.epoch != epoch {
+            slot.hist.clear();
+            slot.epoch = epoch;
+            self.touched.push(id);
+        }
+        slot.hist.accumulate(hist);
+    }
+
     #[inline]
     fn slot(&self, id: RegionId) -> Option<&ArenaSlot> {
         self.slots
@@ -276,13 +303,63 @@ impl AttributionView for ArenaReport<'_> {
     }
 }
 
+/// One region's chunk-local histogram inside a [`ParScratch`].
+#[derive(Debug)]
+struct MiniSlot {
+    hist: CountHistogram,
+    /// Cached region start, mirroring [`ArenaSlot`].
+    start: u64,
+    /// Last interval epoch this mini received a sample; stale minis are
+    /// logically clear without being touched.
+    epoch: u64,
+}
+
 /// Per-worker scratch for [`RegionMonitor::attribute_parallel`], pooled
 /// on the monitor so repeated parallel intervals reuse the buffers.
+///
+/// Workers accumulate chunk-local mini-histograms (dense by
+/// `RegionId.0`, epoch-cleared like the arena) instead of emitting one
+/// `(region, addr)` pair per hit; the join then merges whole histograms
+/// with the vectorised accumulate kernel rather than replaying every
+/// sample through `AttributionArena::record`.
 #[derive(Debug, Default)]
 struct ParScratch {
-    /// `(region, sample address)` hits, in the chunk's sample order.
-    hits: Vec<(RegionId, Addr)>,
+    minis: Vec<Option<MiniSlot>>,
+    /// Regions this chunk touched, in first-hit order.
+    touched: Vec<RegionId>,
     unattributed: Vec<PcSample>,
+}
+
+impl ParScratch {
+    /// Chunk-local equivalent of [`AttributionArena::record`].
+    #[inline]
+    fn record(
+        &mut self,
+        id: RegionId,
+        addr: Addr,
+        epoch: u64,
+        regions: &BTreeMap<RegionId, Region>,
+    ) {
+        let idx = id.0 as usize;
+        if idx >= self.minis.len() {
+            self.minis.resize_with(idx + 1, || None);
+        }
+        let slot = self.minis[idx].get_or_insert_with(|| {
+            let region = &regions[&id];
+            MiniSlot {
+                hist: CountHistogram::new(region.slots()),
+                start: region.range().start().get(),
+                epoch: 0,
+            }
+        });
+        if slot.epoch != epoch {
+            slot.hist.clear();
+            slot.epoch = epoch;
+            self.touched.push(id);
+        }
+        slot.hist
+            .record(((addr.get() - slot.start) / INST_BYTES) as usize);
+    }
 }
 
 /// Holds the monitored regions and their attribution index.
@@ -438,18 +515,20 @@ impl RegionMonitor {
             par_pool.resize_with(nchunks, ParScratch::default);
         }
         arena.begin(samples.len());
+        let epoch = arena.epoch;
         std::thread::scope(|scope| {
             let index: &(dyn RegionIndex + Send + Sync) = &**index;
+            let regions: &BTreeMap<RegionId, Region> = regions;
             for (scratch, chunk_samples) in par_pool.iter_mut().zip(samples.chunks(chunk)) {
                 scope.spawn(move || {
-                    scratch.hits.clear();
+                    scratch.touched.clear();
                     scratch.unattributed.clear();
                     index.stab_batch(chunk_samples, &mut |i, ids| {
                         if ids.is_empty() {
                             scratch.unattributed.push(chunk_samples[i]);
                         } else {
                             for &id in ids {
-                                scratch.hits.push((id, chunk_samples[i].addr));
+                                scratch.record(id, chunk_samples[i].addr, epoch, regions);
                             }
                         }
                     });
@@ -457,8 +536,11 @@ impl RegionMonitor {
             }
         });
         for scratch in par_pool.iter().take(nchunks) {
-            for &(id, addr) in &scratch.hits {
-                arena.record(id, addr, regions);
+            for &id in &scratch.touched {
+                let mini = scratch.minis[id.0 as usize]
+                    .as_ref()
+                    .expect("touched region has a mini histogram");
+                arena.merge(id, &mini.hist, regions);
             }
             arena.unattributed.extend_from_slice(&scratch.unattributed);
         }

@@ -273,6 +273,26 @@ impl<'a> Sampler<'a> {
     pub fn interval_count(&self) -> usize {
         (self.workload.total_cycles() / self.config.interval_cycles()) as usize
     }
+
+    /// Pulls up to `max` consecutive intervals into one `Vec` — the
+    /// producer half of the fleet's interval-batching fast path, which
+    /// ships one queue message per batch instead of per interval.
+    ///
+    /// Returns an empty vector once the workload is exhausted. The
+    /// concatenation of `next_batch` results is element-wise identical
+    /// to iterating the sampler directly, for any sequence of `max`
+    /// values.
+    #[must_use]
+    pub fn next_batch(&mut self, max: usize) -> Vec<Interval> {
+        let mut batch = Vec::with_capacity(max.min(self.size_hint().0));
+        for _ in 0..max {
+            match self.next() {
+                Some(interval) => batch.push(interval),
+                None => break,
+            }
+        }
+        batch
+    }
 }
 
 impl Iterator for Sampler<'_> {
@@ -478,5 +498,33 @@ mod tests {
     #[should_panic(expected = "skid must be smaller")]
     fn skid_at_period_panics() {
         let _ = SamplingConfig::new(100).with_skid(100);
+    }
+
+    #[test]
+    fn next_batch_concatenation_matches_iteration() {
+        let w = tiny_workload(200_000);
+        let cfg = SamplingConfig::with_buffer(50, 32).with_skid(9);
+        let direct: Vec<_> = Sampler::new(&w, cfg).collect();
+        // Mixed batch sizes, including over-asking past exhaustion.
+        for sizes in [vec![1usize; 64], vec![4, 1, 32, 7, 64], vec![64]] {
+            let mut sampler = Sampler::new(&w, cfg);
+            let mut glued: Vec<Interval> = Vec::new();
+            for max in sizes {
+                let batch = sampler.next_batch(max);
+                if batch.is_empty() {
+                    break;
+                }
+                glued.extend(batch);
+            }
+            // Drain whatever the fixed schedule left over.
+            loop {
+                let rest = sampler.next_batch(16);
+                if rest.is_empty() {
+                    break;
+                }
+                glued.extend(rest);
+            }
+            assert_eq!(glued, direct);
+        }
     }
 }

@@ -8,6 +8,53 @@
 
 use crate::pearson::{pearson_counts, PearsonError};
 
+/// Number of parallel accumulator lanes in [`add_slots`].
+///
+/// Eight `u64` lanes are two AVX2 registers (or four SSE2 / one AVX-512
+/// register); the fixed-size inner loop has no bounds checks and no side
+/// exits, which is exactly the shape LLVM's autovectorizer turns into
+/// packed adds. No target-feature detection, no external crates.
+pub const ACCUMULATE_LANES: usize = 8;
+
+/// Adds `src` into `dst` slot-wise: `dst[i] += src[i]`.
+///
+/// This is the histogram-accumulate kernel used by batch attribution
+/// (merging per-chunk scratch histograms into the attribution arena) and
+/// by [`CountHistogram::accumulate`]'s overflow-free fast path. The body
+/// walks both slices in fixed [`ACCUMULATE_LANES`]-wide chunks with a
+/// local lane array, then handles the remainder scalar — a plain wrapping
+/// loop would also vectorize, but the explicit lane structure keeps the
+/// generated code stable across rustc versions and documents the intent.
+///
+/// Overflow is the *caller's* obligation (debug builds assert): callers
+/// must guarantee `dst[i] + src[i]` fits in a `u64`, which
+/// [`CountHistogram::accumulate`] derives from its total-count check.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add_slots(dst: &mut [u64], src: &[u64]) {
+    assert_eq!(dst.len(), src.len(), "slot-count mismatch");
+    let head = dst.len() - dst.len() % ACCUMULATE_LANES;
+    let (dst_head, dst_tail) = dst.split_at_mut(head);
+    let (src_head, src_tail) = src.split_at(head);
+    for (d, s) in dst_head
+        .chunks_exact_mut(ACCUMULATE_LANES)
+        .zip(src_head.chunks_exact(ACCUMULATE_LANES))
+    {
+        let mut lanes = [0u64; ACCUMULATE_LANES];
+        for i in 0..ACCUMULATE_LANES {
+            debug_assert!(d[i].checked_add(s[i]).is_some(), "slot add overflow");
+            lanes[i] = d[i].wrapping_add(s[i]);
+        }
+        d.copy_from_slice(&lanes);
+    }
+    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
+        debug_assert!(d.checked_add(*s).is_some(), "slot add overflow");
+        *d = d.wrapping_add(*s);
+    }
+}
+
 /// A histogram of sample counts, one slot per instruction of a region.
 ///
 /// # Example
@@ -136,6 +183,16 @@ impl CountHistogram {
     /// Like [`CountHistogram::record_n`], counts saturate at `u64::MAX`
     /// rather than wrapping (debug builds assert).
     ///
+    /// **Fast path:** every well-formed histogram maintains
+    /// `counts[i] <= total` (records and accumulates bump the total by at
+    /// least as much as any slot). So when the two *totals* sum without
+    /// overflow, no individual slot pair can overflow either, and the
+    /// merge takes the branch-free vectorized [`add_slots`] kernel — this
+    /// is the hot merge in batch attribution, where per-chunk scratch
+    /// histograms fold into the arena once per region per interval. The
+    /// saturating scalar loop only runs in the (pathological) near-`u64`
+    /// regime.
+    ///
     /// # Panics
     ///
     /// Panics if the slot counts differ.
@@ -145,15 +202,20 @@ impl CountHistogram {
             other.counts.len(),
             "histograms describe different regions"
         );
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            debug_assert!(a.checked_add(*b).is_some(), "histogram count overflow");
-            *a = a.saturating_add(*b);
+        if let Some(total) = self.total.checked_add(other.total) {
+            add_slots(&mut self.counts, &other.counts);
+            self.total = total;
+        } else {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                debug_assert!(a.checked_add(*b).is_some(), "histogram count overflow");
+                *a = a.saturating_add(*b);
+            }
+            debug_assert!(
+                self.total.checked_add(other.total).is_some(),
+                "histogram total overflow"
+            );
+            self.total = self.total.saturating_add(other.total);
         }
-        debug_assert!(
-            self.total.checked_add(other.total).is_some(),
-            "histogram total overflow"
-        );
-        self.total = self.total.saturating_add(other.total);
     }
 
     /// Per-slot fractions of the total (an all-zero vector when empty).
@@ -272,6 +334,45 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.counts(), &[11, 22]);
         assert_eq!(a.total(), 33);
+    }
+
+    #[test]
+    fn add_slots_matches_scalar_for_every_remainder_shape() {
+        // Lengths straddling the 8-lane chunk boundary: 0..=2*LANES+1
+        // covers empty, tail-only, exactly-one-chunk and chunk+tail.
+        for len in 0..=(2 * ACCUMULATE_LANES + 1) {
+            let mut dst: Vec<u64> = (0..len as u64).map(|i| i * 31 + 7).collect();
+            let src: Vec<u64> = (0..len as u64).map(|i| i * 17 + 3).collect();
+            let expect: Vec<u64> = dst.iter().zip(&src).map(|(a, b)| a + b).collect();
+            add_slots(&mut dst, &src);
+            assert_eq!(dst, expect, "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slot-count mismatch")]
+    fn add_slots_length_mismatch_panics() {
+        add_slots(&mut [0; 3], &[0; 4]);
+    }
+
+    #[test]
+    fn accumulate_fast_path_equals_record_sequence() {
+        // Folding B into A via the vectorized kernel must equal recording
+        // both sample streams into one histogram.
+        let mut via_accumulate = CountHistogram::new(19);
+        let mut via_records = CountHistogram::new(19);
+        let mut b = CountHistogram::new(19);
+        for k in 0u64..500 {
+            let slot = (k.wrapping_mul(0x9E37_79B9)) as usize % 19;
+            if k % 3 == 0 {
+                via_accumulate.record(slot);
+            } else {
+                b.record(slot);
+            }
+            via_records.record(slot);
+        }
+        via_accumulate.accumulate(&b);
+        assert_eq!(via_accumulate, via_records);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod pearson;
 pub mod series;
 
 pub use descriptive::{mean, median, percentile, population_variance, sample_variance, Summary};
-pub use histogram::CountHistogram;
+pub use histogram::{add_slots, CountHistogram, ACCUMULATE_LANES};
 pub use online::OnlineStats;
 pub use pearson::{pearson_r, PearsonAccumulator, PearsonError, PearsonParts};
 pub use series::Series;

@@ -1,41 +1,57 @@
 #!/usr/bin/env bash
-# Attribution-engine performance regression guard.
+# Performance regression guards for the two committed benchmark
+# snapshots.
 #
-# Re-measures the attribution matrix and compares the headline cell
-# (64 regions, 2032-sample intervals, random locality) against the
-# committed BENCH_attribution.json snapshot:
+# Attribution engine (BENCH_attribution.json): re-measures the matrix
+# and compares the headline cell (64 regions, 2032-sample intervals,
+# random locality):
 #
 #   1. FAIL if the flat batch path's ns/sample regressed to more than
 #      2x the committed baseline.
 #   2. FAIL if the within-run speedup of batch/flat over the legacy
 #      per-sample path dropped below 3x (the repo's committed claim).
-#      This ratio compares two measurements from the *same* run on the
-#      *same* machine, so it is robust to slow CI hosts.
 #
-# Usage: scripts/bench_guard.sh [committed.json]
+# Fleet ingest transport (BENCH_fleet.json): re-measures the fleet
+# matrix and compares the headline cell (64 tenants over 8 shards):
+#
+#   3. FAIL if ring/batch-32 throughput dropped below half the
+#      committed baseline (a >2x regression).
+#   4. FAIL if the within-run speedup of ring/batch-32 over the legacy
+#      per-interval transport dropped below 3x (the ISSUE's committed
+#      acceptance floor).
+#
+# Within-run ratios compare two measurements from the *same* run on the
+# *same* machine, so they are robust to slow CI hosts.
+#
+# Usage: scripts/bench_guard.sh [attribution.json] [fleet.json]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-COMMITTED="${1:-BENCH_attribution.json}"
-FRESH="$(mktemp /tmp/attribution_matrix.XXXXXX.json)"
-trap 'rm -f "$FRESH"' EXIT
+ATTR_COMMITTED="${1:-BENCH_attribution.json}"
+FLEET_COMMITTED="${2:-BENCH_fleet.json}"
+ATTR_FRESH="$(mktemp /tmp/attribution_matrix.XXXXXX.json)"
+FLEET_FRESH="$(mktemp /tmp/fleet_matrix.XXXXXX.json)"
+trap 'rm -f "$ATTR_FRESH" "$FLEET_FRESH"' EXIT
 
-[[ -f "$COMMITTED" ]] || { echo "FAIL: $COMMITTED missing" >&2; exit 1; }
-
-cargo run -q --release -p regmon-bench --bin attribution_matrix -- "$FRESH"
+[[ -f "$ATTR_COMMITTED" ]] || { echo "FAIL: $ATTR_COMMITTED missing" >&2; exit 1; }
+[[ -f "$FLEET_COMMITTED" ]] || { echo "FAIL: $FLEET_COMMITTED missing" >&2; exit 1; }
 
 # Pull one numeric field out of the headline object (no jq dependency).
 field() { # field <file> <name>
   sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p" "$1" | head -1
 }
 
-committed_flat="$(field "$COMMITTED" flat_batch_ns_per_sample)"
-fresh_flat="$(field "$FRESH" flat_batch_ns_per_sample)"
-fresh_speedup="$(field "$FRESH" speedup)"
+# ---------------------------------------------------------------- attribution
+
+cargo run -q --release -p regmon-bench --bin attribution_matrix -- "$ATTR_FRESH"
+
+committed_flat="$(field "$ATTR_COMMITTED" flat_batch_ns_per_sample)"
+fresh_flat="$(field "$ATTR_FRESH" flat_batch_ns_per_sample)"
+fresh_speedup="$(field "$ATTR_FRESH" speedup)"
 
 [[ -n "$committed_flat" && -n "$fresh_flat" && -n "$fresh_speedup" ]] || {
-  echo "FAIL: could not parse headline fields" >&2
+  echo "FAIL: could not parse attribution headline fields" >&2
   exit 1
 }
 
@@ -52,6 +68,36 @@ awk -v fresh="$fresh_flat" -v committed="$committed_flat" 'BEGIN {
 awk -v s="$fresh_speedup" 'BEGIN {
   if (s < 3.0) {
     printf "FAIL: batch/flat speedup %.2fx over legacy dropped below the committed 3x floor\n", s
+    exit 1
+  }
+}'
+
+# ---------------------------------------------------------------------- fleet
+
+cargo run -q --release -p regmon-bench --bin fleet_matrix -- "$FLEET_FRESH"
+
+committed_ring="$(field "$FLEET_COMMITTED" ring_batch_m_intervals_per_sec)"
+fresh_ring="$(field "$FLEET_FRESH" ring_batch_m_intervals_per_sec)"
+fleet_speedup="$(field "$FLEET_FRESH" speedup)"
+
+[[ -n "$committed_ring" && -n "$fresh_ring" && -n "$fleet_speedup" ]] || {
+  echo "FAIL: could not parse fleet headline fields" >&2
+  exit 1
+}
+
+echo "bench guard: fleet ingest ${fresh_ring} M intervals/s (committed ${committed_ring})," \
+     "within-run speedup ${fleet_speedup}x over legacy per-interval transport"
+
+awk -v fresh="$fresh_ring" -v committed="$committed_ring" 'BEGIN {
+  if (fresh * 2.0 < committed) {
+    printf "FAIL: fleet ingest regressed: %.3f M intervals/s < half of committed %.3f\n", fresh, committed
+    exit 1
+  }
+}'
+
+awk -v s="$fleet_speedup" 'BEGIN {
+  if (s < 3.0) {
+    printf "FAIL: fleet ingest speedup %.2fx over the legacy transport dropped below the committed 3x floor\n", s
     exit 1
   }
 }'

@@ -41,6 +41,14 @@ if [[ "$a" != "$b" ]]; then
   exit 1
 fi
 
+step "fleet JSON determinism (batched + stealing)"
+a="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --batch 8 --steal --json)"
+b="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --batch 8 --steal --json)"
+if [[ "$a" != "$b" ]]; then
+  echo "FAIL: fleet --batch 8 --steal --json differed between identical runs" >&2
+  exit 1
+fi
+
 step "bench smoke (QUICK_BENCH=1)"
 QUICK_BENCH=1 cargo bench -q -p regmon-bench --bench fleet >/dev/null
 cargo bench -q -p regmon-bench --bench attribution -- --smoke >/dev/null

@@ -1,0 +1,163 @@
+//! Ingestion fast-path equivalence (property suite).
+//!
+//! Interval batching and tenant-lease stealing are *pure transport*:
+//! they may change how intervals travel to shard workers, but never
+//! which intervals arrive, in what per-tenant order, or what any
+//! detector decides. This suite drives randomized fleet shapes through
+//! every combination of batching factor and stealing mode and asserts:
+//!
+//! 1. **Summary identity** — every tenant's `SessionSummary` (compared
+//!    via its full `Debug` rendering, which covers GPD/LPD phase-change
+//!    sequences, stable fractions and region accounting) is
+//!    byte-identical to the per-interval (`batch = 1`, no stealing)
+//!    baseline.
+//! 2. **Counter identity (lockstep)** — the simulated backpressure
+//!    counters (stalls, drops, high-water) are keyed to *home* shards
+//!    and must not move by a single unit under batching or rebalancing,
+//!    for both `Block` and `DropOldest` policies.
+//! 3. **Reference identity (freerun)** — under the lossless `Block`
+//!    policy a free-running fleet at any batch size, with stealing on
+//!    or off, reproduces `MonitoringSession::run_limited` exactly.
+
+use proptest::prelude::*;
+
+use regmon::{MonitoringSession, SessionConfig};
+use regmon_fleet::{
+    run_fleet, FleetConfig, FleetReport, Pacing, QueuePolicy, Schedule, TenantSpec,
+};
+use regmon_workload::suite;
+
+/// Heterogeneous tenants: workloads cycle through the suite, sampling
+/// periods cycle through the paper sweep, and interval budgets are
+/// slightly ragged so tenants complete on different rounds.
+fn fleet_specs(tenants: usize, intervals: usize) -> Vec<TenantSpec> {
+    let names = suite::names();
+    (0..tenants)
+        .map(|i| {
+            let name = names[i % names.len()];
+            let period = [45_000u64, 90_000, 450_000][i % 3];
+            TenantSpec::new(
+                format!("{name}#{i}"),
+                suite::by_name(name).unwrap(),
+                SessionConfig::new(period),
+                intervals + i % 3,
+            )
+        })
+        .collect()
+}
+
+/// Everything about a tenant that transport must not perturb. The
+/// `shard` field is deliberately excluded: stealing is *allowed* to
+/// move a tenant, just not to change its results.
+fn tenant_digest(report: &FleetReport) -> Vec<String> {
+    report
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "{:?} produced={} processed={} {:?}",
+                t.state, t.intervals_produced, t.intervals_processed, t.summary
+            )
+        })
+        .collect()
+}
+
+/// The deterministic lockstep backpressure counters, per shard.
+fn shard_counters(report: &FleetReport) -> Vec<(usize, usize, usize)> {
+    report
+        .shards
+        .iter()
+        .map(|s| {
+            (
+                s.backpressure_stalls,
+                s.dropped_intervals,
+                s.queue_high_water,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn lockstep_results_invariant_under_batching_and_stealing(
+        tenants in 3usize..9,
+        shards in 1usize..5,
+        depth in 2usize..7,
+        intervals in 4usize..14,
+        drop_oldest in prop::bool::ANY,
+        batch_a in 2usize..33,
+        batch_b in 2usize..33,
+    ) {
+        let specs = fleet_specs(tenants, intervals);
+        let policy = if drop_oldest {
+            QueuePolicy::DropOldest
+        } else {
+            QueuePolicy::Block
+        };
+        let base = FleetConfig::new(shards, depth).with_policy(policy);
+        let baseline = run_fleet(&base, &specs, &Schedule::new());
+        let base_digest = tenant_digest(&baseline);
+        let base_counters = shard_counters(&baseline);
+
+        for (batch, steal) in [(batch_a, false), (batch_b, true), (1, true)] {
+            let variant = run_fleet(
+                &base.with_batch(batch).with_steal(steal),
+                &specs,
+                &Schedule::new(),
+            );
+            prop_assert_eq!(
+                &base_digest,
+                &tenant_digest(&variant),
+                "summaries diverged at batch={} steal={} policy={:?}",
+                batch, steal, policy
+            );
+            prop_assert_eq!(
+                &base_counters,
+                &shard_counters(&variant),
+                "lockstep counters diverged at batch={} steal={} policy={:?}",
+                batch, steal, policy
+            );
+        }
+    }
+
+    #[test]
+    fn freerun_block_matches_run_limited_at_any_batch(
+        shards in 1usize..5,
+        depth in 2usize..7,
+        batch in 1usize..33,
+        steal in prop::bool::ANY,
+    ) {
+        let specs = fleet_specs(6, 10);
+        let reference: Vec<String> = specs
+            .iter()
+            .map(|s| {
+                format!(
+                    "{:?}",
+                    MonitoringSession::run_limited(&s.workload, &s.config, s.max_intervals)
+                )
+            })
+            .collect();
+        let config = FleetConfig::new(shards, depth)
+            .with_policy(QueuePolicy::Block)
+            .with_pacing(Pacing::Freerun)
+            .with_batch(batch)
+            .with_steal(steal);
+        let report = run_fleet(&config, &specs, &Schedule::new());
+        prop_assert_eq!(report.aggregate.completed, specs.len());
+        prop_assert_eq!(report.aggregate.dropped_intervals, 0, "Block never drops");
+        for (i, expect) in reference.iter().enumerate() {
+            let summary = report.tenants[i]
+                .summary
+                .as_ref()
+                .expect("completed tenant has a summary");
+            prop_assert_eq!(
+                expect,
+                &format!("{summary:?}"),
+                "tenant {} diverged from run_limited (shards={} batch={} steal={})",
+                i, shards, batch, steal
+            );
+        }
+    }
+}

@@ -113,6 +113,65 @@ fn tiny_queue_drop_oldest_records_drops() {
     }
 }
 
+/// Freerun work stealing under a pathological skew: every heavy tenant
+/// is homed on shard 0 (throttled, long-running) while shard 1's
+/// tenants finish almost immediately. The idle worker must adopt
+/// tenant leases from the backlogged peer — and despite the migrations
+/// every summary must still match `run_limited` byte-for-byte.
+#[test]
+fn freerun_steal_rebalances_and_preserves_summaries() {
+    let names = suite::names();
+    let specs: Vec<TenantSpec> = (0..12)
+        .map(|i| {
+            // Even ids home on shard 0 of 2.
+            let heavy = i % 2 == 0;
+            let s = spec(names[i % names.len()], i, if heavy { 48 } else { 2 });
+            if heavy {
+                s.with_throttle_us(300)
+            } else {
+                s
+            }
+        })
+        .collect();
+    let reference: Vec<String> = specs
+        .iter()
+        .map(|s| {
+            format!(
+                "{:?}",
+                MonitoringSession::run_limited(&s.workload, &s.config, s.max_intervals)
+            )
+        })
+        .collect();
+    let config = FleetConfig::new(2, 4)
+        .with_policy(QueuePolicy::Block)
+        .with_pacing(Pacing::Freerun)
+        .with_batch(4)
+        .with_steal(true);
+    let report = run_fleet(&config, &specs, &Schedule::new());
+
+    assert_eq!(report.aggregate.completed, 12);
+    assert_eq!(report.aggregate.dropped_intervals, 0, "Block never drops");
+    assert_eq!(
+        report.aggregate.intervals_produced, report.aggregate.intervals_processed,
+        "stealing must not lose or duplicate intervals"
+    );
+    assert!(
+        report.aggregate.tenants_migrated > 0,
+        "idle shard 1 must steal from the throttled shard 0 backlog"
+    );
+    for (i, expect) in reference.iter().enumerate() {
+        let summary = report.tenants[i]
+            .summary
+            .as_ref()
+            .expect("completed tenant has a summary");
+        assert_eq!(
+            expect,
+            &format!("{summary:?}"),
+            "tenant {i} diverged under work stealing"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Eviction + restart mid-run
 // ---------------------------------------------------------------------------
