@@ -348,6 +348,51 @@ fn main() {
     let ring_mips = pick("ring", HEADLINE_BATCH);
     let speedup = ring_mips / legacy_mips;
 
+    // Telemetry overhead on the headline cell: the ring transport with
+    // the metric registry disabled (one relaxed-atomic branch per hook)
+    // vs enabled (live counters + batch histogram + journal). Off/on
+    // reps are interleaved so both populations see the same host
+    // conditions, and the gate compares the **best** rate of each side:
+    // scheduler interference on a shared host only ever slows a run
+    // down (it swung this cell ~10% between adjacent runs), so the
+    // fastest observed rate is the low-variance estimate of what the
+    // transport can actually do. Negative noise reads as zero.
+    let headline_shape = Shape {
+        tenants: HEADLINE_TENANTS,
+        shards: HEADLINE_SHARDS,
+        batch: HEADLINE_BATCH,
+        per_tenant,
+    };
+    let headline_total = HEADLINE_TENANTS * per_tenant;
+    run_ring(headline_shape); // warmup (disabled path)
+    regmon_telemetry::set_enabled(true);
+    run_ring(headline_shape); // warmup (stripe + journal thread-locals)
+    regmon_telemetry::set_enabled(false);
+    let pairs = 2 * reps + 1;
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    for pair in 0..pairs {
+        // Alternate which side goes first so within-pair ordering
+        // effects (warmed allocator, scheduler state left by the
+        // previous run's threads) cancel across the series.
+        let on_first = pair % 2 == 1;
+        for leg in 0..2 {
+            let enabled = (leg == 0) == on_first;
+            regmon_telemetry::set_enabled(enabled);
+            let rate = headline_total as f64 / run_ring(headline_shape) / 1.0e6;
+            if enabled {
+                best_on = best_on.max(rate);
+            } else {
+                best_off = best_off.max(rate);
+            }
+        }
+        regmon_telemetry::set_enabled(false);
+    }
+    regmon_telemetry::reset();
+    let telemetry_off = best_off;
+    let telemetry_on = best_on;
+    let telemetry_overhead_pct = ((telemetry_off / telemetry_on - 1.0) * 100.0).max(0.0);
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": \"regmon-fleet-matrix-v1\",\n");
@@ -369,7 +414,16 @@ fn main() {
     json.push_str(&format!(
         "    \"ring_batch_m_intervals_per_sec\": {ring_mips:.3},\n"
     ));
-    json.push_str(&format!("    \"speedup\": {speedup:.2}\n"));
+    json.push_str(&format!("    \"speedup\": {speedup:.2},\n"));
+    json.push_str(&format!(
+        "    \"telemetry_off_m_intervals_per_sec\": {telemetry_off:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"telemetry_on_m_intervals_per_sec\": {telemetry_on:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}\n"
+    ));
     json.push_str("  },\n");
     json.push_str("  \"cells\": [\n");
     let rendered: Vec<String> = cells.iter().map(fmt_cell).collect();
@@ -380,7 +434,9 @@ fn main() {
     eprintln!(
         "fleet matrix: {} cells -> {out_path} (headline speedup {speedup:.2}x: \
          legacy {legacy_mips:.2} M intervals/s vs ring/batch-{HEADLINE_BATCH} \
-         {ring_mips:.2} M intervals/s at {HEADLINE_TENANTS} tenants / {HEADLINE_SHARDS} shards)",
+         {ring_mips:.2} M intervals/s at {HEADLINE_TENANTS} tenants / {HEADLINE_SHARDS} shards; \
+         telemetry overhead {telemetry_overhead_pct:.2}% \
+         ({telemetry_off:.2} off vs {telemetry_on:.2} on))",
         cells.len()
     );
 }

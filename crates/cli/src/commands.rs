@@ -22,6 +22,7 @@ USAGE:
   regmon list
   regmon run <benchmark> [--period N] [--intervals N] [--skid N] [--interprocedural]
              [--index linear|tree|flat] [--parallel-attrib N] [--json]
+             [--trace-out FILE]
   regmon sweep <benchmark> [--intervals N]
   regmon rto <benchmark> [--period N] [--intervals N]
   regmon baselines <benchmark> [--period N] [--intervals N]
@@ -29,10 +30,19 @@ USAGE:
                [--period N] [--queue-depth N] [--policy block|drop-oldest]
                [--batch N] [--steal] [--pacing lockstep|freerun]
                [--index linear|tree|flat] [--parallel-attrib N] [--json]
+               [--metrics-every N] [--trace-out FILE]
+  regmon metrics [<benchmark>] [--intervals N] [--json]
+  regmon metrics --check FILE
   regmon help
 
 Benchmarks are the synthetic SPEC CPU2000-like models (see `regmon list`).
-Periods are cycles per PMU interrupt (paper sweep: 45000/450000/900000).";
+Periods are cycles per PMU interrupt (paper sweep: 45000/450000/900000).
+
+Telemetry is off unless requested: `--trace-out` writes a
+chrome://tracing event journal, `--metrics-every N` prints a Prometheus
+exposition to stderr every N lockstep rounds, and `regmon metrics`
+prints the registry after a short demo run (`--check` validates a
+previously written trace/snapshot/exposition file).";
 
 fn workload(name: Option<&str>) -> Result<Workload, String> {
     let name = name.ok_or("missing <benchmark> argument")?;
@@ -91,7 +101,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     config.formation.interprocedural = p.flag("interprocedural");
     config.index = IndexKind::parse(&p.value_or("index", "tree".to_string())?)?;
     config.parallel_attrib = p.value_or("parallel-attrib", 0)?;
+    let trace_out: String = p.value_or("trace-out", String::new())?;
+    if !trace_out.is_empty() {
+        regmon_telemetry::set_enabled(true);
+    }
     let summary = MonitoringSession::run_limited(&w, &config, intervals);
+    if !trace_out.is_empty() {
+        write_trace(&trace_out)?;
+    }
 
     if p.flag("json") {
         let regions: Vec<Json> = summary
@@ -237,8 +254,13 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     let pacing = Pacing::parse(&p.value_or("pacing", "lockstep".to_string())?)?;
     let index = IndexKind::parse(&p.value_or("index", "tree".to_string())?)?;
     let parallel_attrib: usize = p.value_or("parallel-attrib", 0)?;
+    let metrics_every: usize = p.value_or("metrics-every", 0)?;
+    let trace_out: String = p.value_or("trace-out", String::new())?;
     if tenants == 0 || shards == 0 || intervals == 0 || queue_depth == 0 || batch == 0 {
         return Err("--tenants/--shards/--intervals/--queue-depth/--batch must be positive".into());
+    }
+    if metrics_every > 0 || !trace_out.is_empty() {
+        regmon_telemetry::set_enabled(true);
     }
 
     let workloads: Vec<Workload> = if target == "all" {
@@ -274,9 +296,13 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         .with_policy(policy)
         .with_batch(batch)
         .with_steal(steal)
-        .with_pacing(pacing);
+        .with_pacing(pacing)
+        .with_metrics_every(metrics_every);
     let report = run_fleet(&config, &specs, &Schedule::new());
     let agg = &report.aggregate;
+    if !trace_out.is_empty() {
+        write_trace(&trace_out)?;
+    }
 
     if p.flag("json") {
         let tenants_json: Vec<Json> = report
@@ -463,6 +489,68 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             s.tenants_stolen,
             histogram
         );
+    }
+    Ok(())
+}
+
+/// Drains the event journal and writes it to `path` as chrome://tracing
+/// trace-event JSON.
+fn write_trace(path: &str) -> Result<(), String> {
+    let drained = regmon_telemetry::journal::drain();
+    let trace = regmon_telemetry::expo::trace_json(&drained.events);
+    std::fs::write(path, trace).map_err(|e| format!("--trace-out {path}: {e}"))?;
+    let lost = if drained.lost > 0 {
+        format!(" ({} lost to ring wraparound)", drained.lost)
+    } else {
+        String::new()
+    };
+    eprintln!(
+        "trace: {} events written to {path}{lost}",
+        drained.events.len()
+    );
+    Ok(())
+}
+
+/// `regmon metrics` — run a short demo and print the registry, or
+/// validate a previously written telemetry file with `--check`.
+pub fn metrics(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+
+    let check: String = p.value_or("check", String::new())?;
+    if !check.is_empty() {
+        let text = std::fs::read_to_string(&check).map_err(|e| format!("--check {check}: {e}"))?;
+        if text.trim_start().starts_with('{') {
+            let doc = regmon_telemetry::parse::parse(&text).map_err(|e| format!("{check}: {e}"))?;
+            if let Some(events) = doc.get("traceEvents").and_then(|v| v.as_array()) {
+                if events.is_empty() {
+                    return Err(format!("{check}: trace has no events"));
+                }
+                println!("ok: trace with {} events", events.len());
+            } else if doc.get("counters").is_some() {
+                println!("ok: metrics snapshot");
+            } else {
+                return Err(format!("{check}: JSON is neither a trace nor a snapshot"));
+            }
+        } else {
+            let samples = regmon_telemetry::expo::validate_prometheus(&text)
+                .map_err(|e| format!("{check}: {e}"))?;
+            if samples == 0 {
+                return Err(format!("{check}: exposition has no samples"));
+            }
+            println!("ok: prometheus exposition with {samples} samples");
+        }
+        return Ok(());
+    }
+
+    let w = workload(Some(p.positional(0).unwrap_or("181.mcf")))?;
+    let intervals: usize = p.value_or("intervals", 60)?;
+    let config = SessionConfig::new(45_000);
+    regmon_telemetry::set_enabled(true);
+    let _ = MonitoringSession::run_limited(&w, &config, intervals);
+    if p.flag("json") {
+        println!("{}", regmon_telemetry::expo::json_snapshot());
+    } else {
+        print!("{}", regmon_telemetry::expo::prometheus_text());
     }
     Ok(())
 }

@@ -7,6 +7,7 @@
 //! regmon rto 181.mcf [--period 1500000] [--intervals 200]
 //! regmon baselines 187.facerec [--period 45000] [--intervals 200]
 //! regmon fleet all [--tenants 64] [--shards 4] [--intervals 50] [--json]
+//! regmon metrics [187.facerec] [--json] | regmon metrics --check trace.json
 //! ```
 
 mod args;
@@ -43,6 +44,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "rto" => commands::rto(rest),
         "baselines" => commands::baselines(rest),
         "fleet" => commands::fleet(rest),
+        "metrics" => commands::metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())

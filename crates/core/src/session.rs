@@ -160,6 +160,12 @@ impl MonitoringSession {
     /// (maybe) pruning.
     pub fn process_interval(&mut self, interval: &Interval) -> IntervalOutcome {
         self.intervals += 1;
+        let telemetry_on = regmon_telemetry::enabled();
+        if telemetry_on {
+            regmon_telemetry::metrics::INTERVALS_PROCESSED.inc();
+            regmon_telemetry::metrics::ATTRIB_INTERVAL_SAMPLES
+                .record(interval.samples.len() as u64);
+        }
 
         // The zero-allocation hot path: samples are attributed into the
         // monitor's reusable arena (optionally across scoped worker
@@ -180,6 +186,15 @@ impl MonitoringSession {
         // the arena (and restored afterwards) because formation mutates
         // the monitor while reading the samples.
         let new_regions = if self.formation.should_trigger(ucr_fraction) {
+            if telemetry_on {
+                regmon_telemetry::metrics::UCR_BREACHES.inc();
+                regmon_telemetry::journal::record(
+                    regmon_telemetry::journal::EventKind::UcrBreach {
+                        ucr: ucr_fraction,
+                        threshold: self.config.formation.ucr_trigger,
+                    },
+                );
+            }
             let binary = self
                 .binary
                 .as_ref()
@@ -190,6 +205,14 @@ impl MonitoringSession {
                     .form(binary, &unattributed, &mut self.monitor, interval.index);
             self.monitor.restore_unattributed(unattributed);
             self.regions_formed += outcome.new_regions.len();
+            if telemetry_on {
+                regmon_telemetry::metrics::REGIONS_FORMED.add(outcome.new_regions.len() as u64);
+                for &id in &outcome.new_regions {
+                    regmon_telemetry::journal::record(
+                        regmon_telemetry::journal::EventKind::RegionFormed { region: id.0 },
+                    );
+                }
+            }
             outcome.new_regions
         } else {
             Vec::new()
@@ -211,10 +234,21 @@ impl MonitoringSession {
                     self.monitor.remove_region(id);
                 }
                 self.regions_pruned += evicted.len();
+                if telemetry_on {
+                    regmon_telemetry::metrics::REGIONS_PRUNED.add(evicted.len() as u64);
+                    for &id in &evicted {
+                        regmon_telemetry::journal::record(
+                            regmon_telemetry::journal::EventKind::RegionEvicted { region: id.0 },
+                        );
+                    }
+                }
                 evicted
             }
             None => Vec::new(),
         };
+        if telemetry_on {
+            regmon_telemetry::metrics::REGIONS_LIVE.set(self.monitor.len() as i64);
+        }
 
         IntervalOutcome {
             index: interval.index,

@@ -69,6 +69,8 @@ use std::collections::VecDeque;
 use std::time::Instant;
 
 use regmon_sampling::{Interval, Sampler};
+use regmon_telemetry as telemetry;
+use regmon_telemetry::journal;
 
 use crate::engine::{EngineConfig, FleetEngine};
 use crate::queue::QueuePolicy;
@@ -112,6 +114,10 @@ pub struct FleetConfig {
     pub pacing: Pacing,
     /// Optional cold-tenant eviction policy.
     pub cold_tenant: Option<ColdTenantPolicy>,
+    /// Emit a telemetry exposition to stderr every N driver rounds
+    /// (`None` = never). Exposition goes to stderr so `--json` stdout
+    /// stays byte-identical.
+    pub metrics_every: Option<usize>,
 }
 
 impl FleetConfig {
@@ -122,6 +128,7 @@ impl FleetConfig {
             engine: EngineConfig::new(shards, queue_depth),
             pacing: Pacing::Lockstep,
             cold_tenant: None,
+            metrics_every: None,
         }
     }
 
@@ -157,6 +164,14 @@ impl FleetConfig {
     #[must_use]
     pub fn with_cold_tenant(mut self, policy: ColdTenantPolicy) -> Self {
         self.cold_tenant = Some(policy);
+        self
+    }
+
+    /// Emits a Prometheus exposition to stderr every `rounds` driver
+    /// rounds (0 disables).
+    #[must_use]
+    pub fn with_metrics_every(mut self, rounds: usize) -> Self {
+        self.metrics_every = (rounds > 0).then_some(rounds);
         self
     }
 }
@@ -305,12 +320,20 @@ impl Lockstep {
         if self.buffers[shard].len() >= self.depth {
             match policy {
                 QueuePolicy::Block => {
-                    self.sim[shard].stalls += 1;
+                    self.sim[shard].stalls = self.sim[shard].stalls.saturating_add(1);
+                    journal::record(journal::EventKind::Backpressure {
+                        shard: shard as u64,
+                        units: 1,
+                    });
                     self.stage(shard);
                 }
                 QueuePolicy::DropOldest => {
                     self.buffers[shard].pop_front();
-                    self.sim[shard].drops += 1;
+                    self.sim[shard].drops = self.sim[shard].drops.saturating_add(1);
+                    journal::record(journal::EventKind::Backpressure {
+                        shard: shard as u64,
+                        units: 1,
+                    });
                 }
             }
         }
@@ -371,6 +394,15 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
     let start = Instant::now();
     let shards = config.engine.shards;
     let lockstep = config.pacing == Pacing::Lockstep;
+    // Virtual clock: journal timestamps are the deterministic round
+    // index in lockstep, wall-clock only in freerun, so enabling
+    // telemetry cannot perturb `fleet --json`.
+    telemetry::clock::set_mode(if lockstep {
+        telemetry::clock::ClockMode::Lockstep
+    } else {
+        telemetry::clock::ClockMode::Freerun
+    });
+    telemetry::metrics::FLEET_TENANTS.set(specs.len() as i64);
     let batch = config.engine.batch.max(1);
     // Workers only self-steal in freerun; the lockstep driver rebalances
     // deterministically itself.
@@ -387,6 +419,9 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
 
     let mut round = 0usize;
     loop {
+        if lockstep {
+            telemetry::clock::set_tick(round as u64);
+        }
         // --- lifecycle actions scheduled for this round ----------------
         // (Simulated buffers are empty here: every round ends staged.)
         for action in schedule.at_round(round) {
@@ -415,7 +450,7 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
                     continue;
                 };
                 produced_any = true;
-                tenant.produced += 1;
+                tenant.produced = tenant.produced.saturating_add(1);
                 let cold_fire = tenant.cold_step(&interval, config.cold_tenant);
                 let id = tenant.id;
                 ls.push(id, interval, config.engine.policy, shards);
@@ -466,7 +501,7 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
                     }
                 }
                 intervals.truncate(keep);
-                tenant.produced += intervals.len();
+                tenant.produced = tenant.produced.saturating_add(intervals.len());
                 let id = tenant.id;
                 let _ = engine.offer_batch(id, intervals);
                 if cold_fire {
@@ -474,6 +509,14 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
                     tenant.producing = false;
                 } else if tenant.produced >= tenant.spec.max_intervals {
                     complete_tenant(tenant, &engine, None);
+                }
+            }
+        }
+
+        if telemetry::enabled() {
+            if let Some(every) = config.metrics_every {
+                if round % every == 0 {
+                    eprint!("{}", telemetry::expo::prometheus_text());
                 }
             }
         }

@@ -120,7 +120,7 @@ impl FleetEngine {
     pub(crate) fn with_worker_steal(config: EngineConfig, worker_steal: bool) -> Self {
         assert!(config.shards > 0, "fleet needs at least one shard");
         let queues: Vec<_> = (0..config.shards)
-            .map(|_| Arc::new(RingQueue::new(config.queue_depth)))
+            .map(|shard| Arc::new(RingQueue::new(config.queue_depth).with_label(shard as u64)))
             .collect();
         let shared = Arc::new(WorkerShared {
             queues,
@@ -302,6 +302,14 @@ impl FleetEngine {
             .push(ShardMsg::AdoptHandle(id, rx), QueuePolicy::Block)
             .expect("shard queue closed while engine alive");
         self.shared.leases.set(id, to);
+        if regmon_telemetry::enabled() {
+            regmon_telemetry::metrics::FLEET_MIGRATIONS.inc();
+            regmon_telemetry::journal::record(regmon_telemetry::journal::EventKind::Migration {
+                tenant: u64::from(id.0),
+                from_shard: from as u64,
+                to_shard: to as u64,
+            });
+        }
         self.drain_shard(from);
         self.drain_shard(to);
     }

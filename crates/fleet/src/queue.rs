@@ -37,6 +37,8 @@
 //!   the mutator. A ring full of non-droppable control messages blocks
 //!   instead — lifecycle commands are never sacrificed.
 
+use regmon_stats::histogram::log2_bucket;
+use regmon_telemetry::{journal, metrics};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -135,12 +137,8 @@ pub struct QueueStats {
 
 impl QueueStats {
     fn record_batch(&mut self, units: usize) {
-        let bucket = if units <= 1 {
-            0
-        } else {
-            (usize::BITS - 1 - units.leading_zeros()) as usize
-        };
-        self.batch_sizes[bucket.min(BATCH_BUCKETS - 1)] += 1;
+        let bucket = log2_bucket(units as u64, BATCH_BUCKETS);
+        self.batch_sizes[bucket] = self.batch_sizes[bucket].saturating_add(1);
     }
 
     /// Total payload messages recorded in the batch-size histogram.
@@ -266,6 +264,8 @@ pub struct RingQueue<T> {
     not_full: Condvar,
     not_empty: Condvar,
     capacity: usize,
+    /// Shard id stamped on telemetry events emitted by this queue.
+    label: u64,
 }
 
 /// Backwards-compatible name: PR 1 shipped this queue as `BoundedQueue`
@@ -293,7 +293,17 @@ impl<T: Droppable> RingQueue<T> {
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             capacity,
+            label: 0,
         }
+    }
+
+    /// Stamp telemetry events from this queue with `label` (the owning
+    /// shard's id). Builder-style so construction sites stay one
+    /// expression.
+    #[must_use]
+    pub fn with_label(mut self, label: u64) -> Self {
+        self.label = label;
+        self
     }
 
     /// Enqueues `item` under `policy`.
@@ -376,6 +386,7 @@ impl<T: Droppable> RingQueue<T> {
         // we wait for space. The gate runs only after this, so a stale
         // push never evicts anybody.
         let mut evict_at = None;
+        let mut stalled = false;
         if inner.ring.len >= self.capacity {
             let drop_allowed = policy == QueuePolicy::DropOldest && item.droppable();
             evict_at = if drop_allowed {
@@ -386,8 +397,14 @@ impl<T: Droppable> RingQueue<T> {
             if evict_at.is_none() {
                 // Block policy, or a DropOldest ring full of
                 // non-droppable control messages: wait for space. One
-                // stall per wait episode.
-                inner.stats.stalls += 1;
+                // stall per wait episode. Only the striped counter runs
+                // under the lock; the journal write (mutex + clock) is
+                // deferred to the post-push telemetry block so a
+                // stalled producer never stretches the critical section
+                // consumers drain through.
+                inner.stats.stalls = inner.stats.stalls.saturating_add(1);
+                metrics::QUEUE_STALLS.inc();
+                stalled = true;
                 while inner.ring.len >= self.capacity && !inner.closed {
                     inner.producer_waiters += 1;
                     if let Some(deadline) = deadline {
@@ -419,24 +436,54 @@ impl<T: Droppable> RingQueue<T> {
         }
         if let Some(at) = evict_at {
             let victim = inner.ring.remove_at(at);
-            inner.stats.dropped += victim.units().unwrap_or(0);
+            let units = victim.units().unwrap_or(0);
+            inner.stats.dropped = inner.stats.dropped.saturating_add(units);
+            metrics::QUEUE_DROPPED.add(units as u64);
         }
-        if let Some(units) = item.units() {
+        let units = item.units();
+        if let Some(units) = units {
             inner.stats.record_batch(units);
         }
         inner.ring.push_back(item);
-        inner.stats.pushed += 1;
+        inner.stats.pushed = inner.stats.pushed.saturating_add(1);
         let occupancy = inner.ring.len;
-        if occupancy > inner.stats.high_water {
+        let high_water = occupancy > inner.stats.high_water;
+        if high_water {
             inner.stats.high_water = occupancy;
         }
         // Waiter-gated wakeup: only pay the futex syscall when a
         // consumer is actually parked.
         let wake = inner.consumer_waiters > 0;
         if wake {
-            inner.stats.notifies += 1;
+            inner.stats.notifies = inner.stats.notifies.saturating_add(1);
         }
         drop(inner);
+        // Telemetry outside the queue lock: one relaxed load + branch
+        // when disabled.
+        if regmon_telemetry::enabled() {
+            metrics::QUEUE_PUSHED.inc();
+            if let Some(units) = units {
+                metrics::QUEUE_BATCH_UNITS.record(units as u64);
+            }
+            if stalled {
+                // Stall episodes that end in Closed/TimedOut/Stale
+                // return early and are visible only in the counter.
+                journal::record(journal::EventKind::Backpressure {
+                    shard: self.label,
+                    units: units.unwrap_or(0) as u64,
+                });
+            }
+            if wake {
+                metrics::QUEUE_NOTIFIES.inc();
+            }
+            if high_water {
+                metrics::QUEUE_HIGH_WATER.set_max(occupancy as i64);
+                journal::record(journal::EventKind::QueueHighWater {
+                    shard: self.label,
+                    depth: occupancy as u64,
+                });
+            }
+        }
         if wake {
             self.not_empty.notify_one();
         }
@@ -449,12 +496,18 @@ impl<T: Droppable> RingQueue<T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
             if let Some(item) = inner.ring.pop_front() {
-                inner.stats.popped += 1;
+                inner.stats.popped = inner.stats.popped.saturating_add(1);
                 let wake = inner.producer_waiters > 0;
                 if wake {
-                    inner.stats.notifies += 1;
+                    inner.stats.notifies = inner.stats.notifies.saturating_add(1);
                 }
                 drop(inner);
+                if regmon_telemetry::enabled() {
+                    metrics::QUEUE_POPPED.inc();
+                    if wake {
+                        metrics::QUEUE_NOTIFIES.inc();
+                    }
+                }
                 if wake {
                     self.not_full.notify_one();
                 }
@@ -477,12 +530,18 @@ impl<T: Droppable> RingQueue<T> {
         let mut inner = self.inner.lock().expect("queue poisoned");
         loop {
             if let Some(item) = inner.ring.pop_front() {
-                inner.stats.popped += 1;
+                inner.stats.popped = inner.stats.popped.saturating_add(1);
                 let wake = inner.producer_waiters > 0;
                 if wake {
-                    inner.stats.notifies += 1;
+                    inner.stats.notifies = inner.stats.notifies.saturating_add(1);
                 }
                 drop(inner);
+                if regmon_telemetry::enabled() {
+                    metrics::QUEUE_POPPED.inc();
+                    if wake {
+                        metrics::QUEUE_NOTIFIES.inc();
+                    }
+                }
                 if wake {
                     self.not_full.notify_one();
                 }

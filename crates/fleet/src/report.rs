@@ -145,8 +145,12 @@ impl FleetReport {
                 TenantState::Running => {}
             }
             agg.restarts += t.restarts;
-            agg.intervals_produced += t.intervals_produced;
-            agg.intervals_processed += t.intervals_processed;
+            // Per-tenant counters may already be saturated; keep the
+            // fleet-wide sums from panicking in debug builds too.
+            agg.intervals_produced = agg.intervals_produced.saturating_add(t.intervals_produced);
+            agg.intervals_processed = agg
+                .intervals_processed
+                .saturating_add(t.intervals_processed);
             if let Some(s) = &t.summary {
                 summarized += 1;
                 agg.gpd_phase_changes += s.gpd.phase_changes;
@@ -165,9 +169,11 @@ impl FleetReport {
             agg.ucr_median_mean /= n;
         }
         for s in shards {
-            agg.dropped_intervals += s.dropped_intervals;
-            agg.backpressure_stalls += s.backpressure_stalls;
-            agg.tenants_migrated += s.tenants_stolen;
+            agg.dropped_intervals = agg.dropped_intervals.saturating_add(s.dropped_intervals);
+            agg.backpressure_stalls = agg
+                .backpressure_stalls
+                .saturating_add(s.backpressure_stalls);
+            agg.tenants_migrated = agg.tenants_migrated.saturating_add(s.tenants_stolen);
         }
         agg
     }

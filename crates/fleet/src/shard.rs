@@ -39,6 +39,7 @@ use std::time::Duration;
 use regmon::{MonitoringSession, SessionConfig, SessionSummary};
 use regmon_binary::Binary;
 use regmon_sampling::Interval;
+use regmon_telemetry::{journal, metrics};
 
 use crate::queue::{Droppable, Popped, PushError, QueuePolicy, QueueStats, RingQueue};
 use crate::tenant::{EvictReason, FaultPlan, TenantId, TenantState};
@@ -352,6 +353,7 @@ impl TenantEntry {
 #[derive(Debug)]
 struct Adoption {
     rx: Receiver<MigrationPacket>,
+    from: usize,
     buffered: Vec<ShardMsg>,
 }
 
@@ -393,7 +395,7 @@ pub(crate) fn run_worker(shard: usize, shared: &WorkerShared) -> ShardFinal {
             queue.pop()
         };
         let Some(msg) = msg else { break };
-        w.messages += 1;
+        w.messages = w.messages.saturating_add(1);
         w.dispatch(msg);
     }
     // Shutdown orders stop-steal + gate.wait_idle() before closing the
@@ -427,7 +429,15 @@ impl Worker {
             let adoption = self.adoptions.remove(&t).expect("adoption present");
             if let Some(entry) = entry {
                 self.tenants.insert(t, *entry);
-                self.stolen += 1;
+                self.stolen = self.stolen.saturating_add(1);
+                if regmon_telemetry::enabled() {
+                    metrics::FLEET_STEALS.inc();
+                    journal::record(journal::EventKind::Steal {
+                        tenant: u64::from(t.0),
+                        from_shard: adoption.from as u64,
+                        to_shard: self.shard as u64,
+                    });
+                }
             }
             for msg in adoption.buffered {
                 self.dispatch(msg);
@@ -465,6 +475,7 @@ impl Worker {
             t,
             Adoption {
                 rx,
+                from: victim,
                 buffered: Vec::new(),
             },
         );
@@ -521,11 +532,15 @@ impl Worker {
             }
             ShardMsg::Interval(id, interval) => {
                 let entry = self.tenants.get_mut(&id).expect("routed tenant present");
+                journal::set_tenant(u64::from(id.0));
                 process_interval(entry, &interval);
+                journal::set_tenant(0);
             }
             ShardMsg::Batch(id, intervals) => {
                 let entry = self.tenants.get_mut(&id).expect("routed tenant present");
+                journal::set_tenant(u64::from(id.0));
                 process_batch(entry, &intervals);
+                journal::set_tenant(0);
             }
             ShardMsg::Pause(id) => {
                 let entry = self.tenants.get_mut(&id).expect("routed tenant present");
@@ -576,7 +591,7 @@ impl Worker {
                 if let Ok(packet) = rx.recv() {
                     if let Some(entry) = packet.entry {
                         self.tenants.insert(id, *entry);
-                        self.stolen += 1;
+                        self.stolen = self.stolen.saturating_add(1);
                     }
                 }
             }
@@ -623,7 +638,7 @@ fn process_interval(entry: &mut TenantEntry, interval: &Interval) {
         // Paused / evicted / failed / completed tenants ignore in-flight
         // intervals (the queue is FIFO per shard, so these only occur
         // when a lifecycle command raced an already-queued interval).
-        entry.intervals_ignored += 1;
+        entry.intervals_ignored = entry.intervals_ignored.saturating_add(1);
         return;
     }
     if entry.throttle_us > 0 {
@@ -633,7 +648,7 @@ fn process_interval(entry: &mut TenantEntry, interval: &Interval) {
         .fault
         .is_some_and(|f| entry.intervals_processed >= f.panic_after);
     let Some(session) = entry.session.as_mut() else {
-        entry.intervals_ignored += 1;
+        entry.intervals_ignored = entry.intervals_ignored.saturating_add(1);
         return;
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -645,8 +660,9 @@ fn process_interval(entry: &mut TenantEntry, interval: &Interval) {
         session.process_interval(interval);
     }));
     match outcome {
-        Ok(()) => entry.intervals_processed += 1,
+        Ok(()) => entry.intervals_processed = entry.intervals_processed.saturating_add(1),
         Err(payload) => {
+            metrics::FLEET_PANICS.inc();
             let msg = panic_message(payload.as_ref());
             entry.state = TenantState::Failed(msg);
             entry.session = None; // the session may be mid-mutation; discard
@@ -663,7 +679,7 @@ fn process_interval(entry: &mut TenantEntry, interval: &Interval) {
 /// the per-interval path exactly.
 fn process_batch(entry: &mut TenantEntry, intervals: &[Interval]) {
     if entry.state != TenantState::Running {
-        entry.intervals_ignored += intervals.len();
+        entry.intervals_ignored = entry.intervals_ignored.saturating_add(intervals.len());
         return;
     }
     if entry.fault.is_some() || entry.throttle_us > 0 {
@@ -675,20 +691,23 @@ fn process_batch(entry: &mut TenantEntry, intervals: &[Interval]) {
         return;
     }
     let Some(session) = entry.session.as_mut() else {
-        entry.intervals_ignored += intervals.len();
+        entry.intervals_ignored = entry.intervals_ignored.saturating_add(intervals.len());
         return;
     };
     let before = session.intervals();
     let outcome = catch_unwind(AssertUnwindSafe(|| session.run_batch(intervals)));
     match outcome {
-        Ok(n) => entry.intervals_processed += n,
+        Ok(n) => entry.intervals_processed = entry.intervals_processed.saturating_add(n),
         Err(payload) => {
+            metrics::FLEET_PANICS.inc();
             // `intervals()` bumps at interval start: the panicking
             // interval is counted there but completed nowhere.
             let done = (session.intervals() - before).saturating_sub(1);
             let msg = panic_message(payload.as_ref());
-            entry.intervals_processed += done;
-            entry.intervals_ignored += intervals.len() - done - 1;
+            entry.intervals_processed = entry.intervals_processed.saturating_add(done);
+            entry.intervals_ignored = entry
+                .intervals_ignored
+                .saturating_add(intervals.len() - done - 1);
             entry.state = TenantState::Failed(msg);
             entry.session = None; // the session may be mid-mutation; discard
         }

@@ -106,6 +106,16 @@ impl GpdState {
     pub fn is_stable(self) -> bool {
         matches!(self, Self::Stable)
     }
+
+    /// The state's display name, as used in telemetry events.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Unstable => "Unstable",
+            Self::LessStable => "LessStable",
+            Self::Stable => "Stable",
+        }
+    }
 }
 
 /// What [`CentroidDetector::observe`] saw and decided for one interval.
@@ -286,6 +296,23 @@ impl CentroidDetector {
         }
         if phase_changed {
             self.stats.phase_changes += 1;
+        }
+
+        if regmon_telemetry::enabled() {
+            if state_before != next {
+                regmon_telemetry::metrics::GPD_TRANSITIONS.inc();
+                regmon_telemetry::journal::record(
+                    regmon_telemetry::journal::EventKind::GpdTransition {
+                        from: state_before.name(),
+                        to: next.name(),
+                        drift: delta_rel,
+                        phase_change: phase_changed,
+                    },
+                );
+            }
+            if phase_changed {
+                regmon_telemetry::metrics::GPD_PHASE_CHANGES.inc();
+            }
         }
 
         Some(GpdObservation {

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use regmon_regions::{AttributionView, RegionId, RegionMonitor};
 
+use crate::adaptive::ThresholdPolicy;
 use crate::detector::{LpdConfig, LpdObservation, RegionPhaseDetector, RegionPhaseStats};
 
 /// Owns one [`RegionPhaseDetector`] per monitored region and routes each
@@ -58,6 +59,7 @@ impl LpdManager {
             }
         }
 
+        let telemetry_on = regmon_telemetry::enabled();
         let mut out = Vec::with_capacity(monitor.len());
         for region in monitor.regions() {
             let id = region.id();
@@ -67,11 +69,40 @@ impl LpdManager {
             if slots < 2 {
                 continue;
             }
-            let det = self
-                .detectors
-                .entry(id)
-                .or_insert_with(|| RegionPhaseDetector::new(slots, self.config));
+            let config = self.config;
+            let det = self.detectors.entry(id).or_insert_with(|| {
+                let det = RegionPhaseDetector::new(slots, config);
+                if telemetry_on {
+                    // An adaptive policy that actually relaxed below its
+                    // base threshold is a per-region tuning decision
+                    // worth surfacing.
+                    if let ThresholdPolicy::Adaptive { base, .. } = config.threshold {
+                        if det.rt() < base {
+                            regmon_telemetry::metrics::LPD_ADAPTIVE_RELAXATIONS.inc();
+                        }
+                    }
+                }
+                det
+            });
             let obs = det.observe(report.histogram(id));
+            if telemetry_on {
+                if obs.state_before != obs.state_after {
+                    regmon_telemetry::metrics::LPD_TRANSITIONS.inc();
+                    regmon_telemetry::journal::record(
+                        regmon_telemetry::journal::EventKind::LpdTransition {
+                            region: id.0,
+                            from: obs.state_before.name(),
+                            to: obs.state_after.name(),
+                            r: obs.r,
+                            rt: det.rt(),
+                            phase_change: obs.phase_changed,
+                        },
+                    );
+                }
+                if obs.phase_changed {
+                    regmon_telemetry::metrics::LPD_PHASE_CHANGES.inc();
+                }
+            }
             out.push((id, obs));
         }
         out

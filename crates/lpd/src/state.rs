@@ -23,6 +23,16 @@ impl LpdState {
         matches!(self, Self::Stable)
     }
 
+    /// The state's display name, as used in telemetry events.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Unstable => "Unstable",
+            Self::LessUnstable => "LessUnstable",
+            Self::Stable => "Stable",
+        }
+    }
+
     /// The next state given whether the interval's correlation met the
     /// threshold.
     #[must_use]

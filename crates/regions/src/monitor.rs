@@ -163,6 +163,11 @@ impl AttributionArena {
     /// region-id order, exactly like the owned [`DistributionReport`].
     fn finish(&mut self) {
         self.touched.sort_unstable();
+        if regmon_telemetry::enabled() {
+            regmon_telemetry::metrics::ATTRIB_EPOCHS.inc();
+            regmon_telemetry::metrics::ATTRIB_SAMPLES.add(self.total_samples as u64);
+            regmon_telemetry::metrics::ATTRIB_UNATTRIBUTED.add(self.unattributed.len() as u64);
+        }
     }
 
     /// Records one sample for `id` at `addr`. `regions` is consulted only

@@ -55,6 +55,23 @@ pub fn add_slots(dst: &mut [u64], src: &[u64]) {
     }
 }
 
+/// Log2 bucket index of `value` in a `buckets`-wide histogram: bucket
+/// `i` covers `2^i ..= 2^(i+1) - 1`, bucket 0 also absorbs zero, and
+/// the last bucket is open-ended.
+///
+/// Shared by the fleet queue's batch-size histogram and the telemetry
+/// registry's histograms so both expose identical bucket boundaries.
+#[must_use]
+pub fn log2_bucket(value: u64, buckets: usize) -> usize {
+    debug_assert!(buckets > 0, "log2_bucket needs at least one bucket");
+    let bucket = if value <= 1 {
+        0
+    } else {
+        (u64::BITS - 1 - value.leading_zeros()) as usize
+    };
+    bucket.min(buckets.saturating_sub(1))
+}
+
 /// A histogram of sample counts, one slot per instruction of a region.
 ///
 /// # Example

@@ -1,0 +1,240 @@
+//! The registry's metric catalogue: every metric the workspace records
+//! is a `static` handle defined here, so instrumentation sites pay no
+//! lookup and exposition can walk a fixed list.
+//!
+//! Naming follows Prometheus conventions: `regmon_` prefix, `_total`
+//! suffix on counters, base units in the name.
+
+use crate::registry::{Counter, Gauge, Histogram};
+
+// ------------------------------------------------------------- queues
+
+/// Messages accepted by shard ring queues.
+pub static QUEUE_PUSHED: Counter = Counter::new(
+    "regmon_queue_pushed_total",
+    "Messages accepted by shard ring queues",
+);
+
+/// Messages handed to shard consumers.
+pub static QUEUE_POPPED: Counter = Counter::new(
+    "regmon_queue_popped_total",
+    "Messages handed to shard consumers",
+);
+
+/// Payload units evicted under the drop-oldest policy.
+pub static QUEUE_DROPPED: Counter = Counter::new(
+    "regmon_queue_dropped_total",
+    "Payload units evicted under the drop-oldest queue policy",
+);
+
+/// Producer wait episodes under blocking backpressure.
+pub static QUEUE_STALLS: Counter = Counter::new(
+    "regmon_queue_stalls_total",
+    "Producer wait episodes under blocking queue backpressure",
+);
+
+/// Condvar wakeups actually issued by queue producers and consumers.
+pub static QUEUE_NOTIFIES: Counter = Counter::new(
+    "regmon_queue_notifies_total",
+    "Condvar wakeups issued by queue producers and consumers",
+);
+
+/// Highest ring-queue occupancy observed, in payload units.
+pub static QUEUE_HIGH_WATER: Gauge = Gauge::new(
+    "regmon_queue_high_water",
+    "Highest ring-queue occupancy observed across shards (payload units)",
+);
+
+/// Payload units per queue message (log2 buckets).
+pub static QUEUE_BATCH_UNITS: Histogram = Histogram::new(
+    "regmon_queue_batch_units",
+    "Payload units carried per queue message",
+);
+
+// -------------------------------------------------------------- fleet
+
+/// Tenants adopted through work stealing.
+pub static FLEET_STEALS: Counter = Counter::new(
+    "regmon_fleet_steals_total",
+    "Tenants adopted by an idle shard through work stealing",
+);
+
+/// Explicit tenant migrations between shards.
+pub static FLEET_MIGRATIONS: Counter = Counter::new(
+    "regmon_fleet_migrations_total",
+    "Explicit tenant migrations between shards",
+);
+
+/// Tenant sessions quarantined after a panic.
+pub static FLEET_PANICS: Counter = Counter::new(
+    "regmon_fleet_tenant_panics_total",
+    "Tenant sessions quarantined after a panic",
+);
+
+/// Tenants admitted in the most recent fleet run.
+pub static FLEET_TENANTS: Gauge = Gauge::new(
+    "regmon_fleet_tenants",
+    "Tenants admitted in the most recent fleet run",
+);
+
+// ---------------------------------------------------------- detectors
+
+/// LPD per-region state-machine transitions (state actually changed).
+pub static LPD_TRANSITIONS: Counter = Counter::new(
+    "regmon_lpd_transitions_total",
+    "LPD per-region state-machine transitions",
+);
+
+/// LPD phase-change signals raised to the optimizer.
+pub static LPD_PHASE_CHANGES: Counter = Counter::new(
+    "regmon_lpd_phase_changes_total",
+    "LPD phase-change signals raised to the optimizer",
+);
+
+/// Detectors created with an adaptively relaxed Pearson threshold.
+pub static LPD_ADAPTIVE_RELAXATIONS: Counter = Counter::new(
+    "regmon_lpd_adaptive_relaxations_total",
+    "LPD detectors created with an adaptively relaxed Pearson threshold",
+);
+
+/// GPD state-machine transitions (state actually changed).
+pub static GPD_TRANSITIONS: Counter = Counter::new(
+    "regmon_gpd_transitions_total",
+    "GPD centroid state-machine transitions",
+);
+
+/// GPD global phase changes.
+pub static GPD_PHASE_CHANGES: Counter = Counter::new(
+    "regmon_gpd_phase_changes_total",
+    "GPD global phase-change signals",
+);
+
+// --------------------------------------------------- regions & UCR
+
+/// Regions formed from unattributed-sample hot spots.
+pub static REGIONS_FORMED: Counter = Counter::new(
+    "regmon_regions_formed_total",
+    "Regions formed from unattributed-sample hot spots",
+);
+
+/// Regions retired by the pruning policy.
+pub static REGIONS_PRUNED: Counter = Counter::new(
+    "regmon_regions_pruned_total",
+    "Regions retired by the pruning policy",
+);
+
+/// Monitored regions alive at the last published snapshot.
+pub static REGIONS_LIVE: Gauge = Gauge::new(
+    "regmon_regions_live",
+    "Monitored regions alive at the last published snapshot",
+);
+
+/// Intervals whose unattributed-coverage ratio breached the
+/// region-formation threshold.
+pub static UCR_BREACHES: Counter = Counter::new(
+    "regmon_ucr_breaches_total",
+    "Intervals whose unattributed-coverage ratio breached the formation threshold",
+);
+
+// -------------------------------------------------------- attribution
+
+/// Attribution arena epochs (one per attributed interval).
+pub static ATTRIB_EPOCHS: Counter = Counter::new(
+    "regmon_attrib_epochs_total",
+    "Attribution arena epochs (one per attributed interval)",
+);
+
+/// PC samples attributed to a monitored region.
+pub static ATTRIB_SAMPLES: Counter = Counter::new(
+    "regmon_attrib_samples_total",
+    "PC samples attributed to a monitored region",
+);
+
+/// PC samples that fell outside every monitored region.
+pub static ATTRIB_UNATTRIBUTED: Counter = Counter::new(
+    "regmon_attrib_unattributed_total",
+    "PC samples that fell outside every monitored region",
+);
+
+/// PC samples per attributed interval (log2 buckets).
+pub static ATTRIB_INTERVAL_SAMPLES: Histogram = Histogram::new(
+    "regmon_attrib_interval_samples",
+    "PC samples per attributed interval",
+);
+
+// ------------------------------------------------------------ session
+
+/// Profiling intervals processed by monitoring sessions.
+pub static INTERVALS_PROCESSED: Counter = Counter::new(
+    "regmon_intervals_processed_total",
+    "Profiling intervals processed by monitoring sessions",
+);
+
+static COUNTERS: [&Counter; 20] = [
+    &QUEUE_PUSHED,
+    &QUEUE_POPPED,
+    &QUEUE_DROPPED,
+    &QUEUE_STALLS,
+    &QUEUE_NOTIFIES,
+    &FLEET_STEALS,
+    &FLEET_MIGRATIONS,
+    &FLEET_PANICS,
+    &LPD_TRANSITIONS,
+    &LPD_PHASE_CHANGES,
+    &LPD_ADAPTIVE_RELAXATIONS,
+    &GPD_TRANSITIONS,
+    &GPD_PHASE_CHANGES,
+    &REGIONS_FORMED,
+    &REGIONS_PRUNED,
+    &UCR_BREACHES,
+    &ATTRIB_EPOCHS,
+    &ATTRIB_SAMPLES,
+    &ATTRIB_UNATTRIBUTED,
+    &INTERVALS_PROCESSED,
+];
+
+static GAUGES: [&Gauge; 3] = [&QUEUE_HIGH_WATER, &FLEET_TENANTS, &REGIONS_LIVE];
+
+static HISTOGRAMS: [&Histogram; 2] = [&QUEUE_BATCH_UNITS, &ATTRIB_INTERVAL_SAMPLES];
+
+/// Every registered counter, in exposition order.
+#[must_use]
+pub fn counters() -> &'static [&'static Counter] {
+    &COUNTERS
+}
+
+/// Every registered gauge, in exposition order.
+#[must_use]
+pub fn gauges() -> &'static [&'static Gauge] {
+    &GAUGES
+}
+
+/// Every registered histogram, in exposition order.
+#[must_use]
+pub fn histograms() -> &'static [&'static Histogram] {
+    &HISTOGRAMS
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn catalogue_names_are_unique_and_prefixed() {
+        let mut names: Vec<&str> = super::counters().iter().map(|c| c.name()).collect();
+        names.extend(super::gauges().iter().map(|g| g.name()));
+        names.extend(super::histograms().iter().map(|h| h.name()));
+        for n in &names {
+            assert!(n.starts_with("regmon_"), "{n} lacks the regmon_ prefix");
+        }
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate metric name");
+    }
+
+    #[test]
+    fn counter_names_carry_total_suffix() {
+        for c in super::counters() {
+            assert!(c.name().ends_with("_total"), "{} lacks _total", c.name());
+        }
+    }
+}

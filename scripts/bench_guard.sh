@@ -19,6 +19,8 @@
 #   4. FAIL if the within-run speedup of ring/batch-32 over the legacy
 #      per-interval transport dropped below 3x (the ISSUE's committed
 #      acceptance floor).
+#   5. FAIL if enabling telemetry costs more than 2% throughput on the
+#      headline cell (within-run: telemetry-off vs telemetry-on).
 #
 # Within-run ratios compare two measurements from the *same* run on the
 # *same* machine, so they are robust to slow CI hosts.
@@ -98,6 +100,21 @@ awk -v fresh="$fresh_ring" -v committed="$committed_ring" 'BEGIN {
 awk -v s="$fleet_speedup" 'BEGIN {
   if (s < 3.0) {
     printf "FAIL: fleet ingest speedup %.2fx over the legacy transport dropped below the committed 3x floor\n", s
+    exit 1
+  }
+}'
+
+telemetry_overhead="$(field "$FLEET_FRESH" telemetry_overhead_pct)"
+[[ -n "$telemetry_overhead" ]] || {
+  echo "FAIL: could not parse telemetry_overhead_pct from fleet headline" >&2
+  exit 1
+}
+
+echo "bench guard: telemetry overhead ${telemetry_overhead}% on the headline fleet cell"
+
+awk -v o="$telemetry_overhead" 'BEGIN {
+  if (o > 2.0) {
+    printf "FAIL: telemetry overhead %.2f%% exceeds the 2%% budget on the headline fleet cell\n", o
     exit 1
   }
 }'

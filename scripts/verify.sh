@@ -41,6 +41,19 @@ if [[ "$a" != "$b" ]]; then
   exit 1
 fi
 
+step "telemetry smoke (byte-identical JSON, exposition parses, journal non-empty)"
+trace="$(mktemp /tmp/regmon_trace.XXXXXX.json)"
+expo="$(mktemp /tmp/regmon_expo.XXXXXX.txt)"
+c="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --metrics-every 1 --trace-out "$trace" --json 2>"$expo")"
+if [[ "$a" != "$c" ]]; then
+  echo "FAIL: fleet --json changed when telemetry was enabled" >&2
+  exit 1
+fi
+grep -E '^(#|regmon_)' "$expo" > "$expo.prom"
+cargo run -q --release -p regmon-cli -- metrics --check "$expo.prom"
+cargo run -q --release -p regmon-cli -- metrics --check "$trace"
+rm -f "$trace" "$expo" "$expo.prom"
+
 step "fleet JSON determinism (batched + stealing)"
 a="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --batch 8 --steal --json)"
 b="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --batch 8 --steal --json)"

@@ -1,0 +1,195 @@
+//! Event-journal integration tests: ring wraparound accounting,
+//! drain-while-writing from many threads, and trace-event schema
+//! round-trips.
+//!
+//! All tests flip the process-global telemetry switch, so they share
+//! one mutex (the test harness runs `#[test]`s concurrently in one
+//! process).
+
+use regmon_telemetry::journal::{self, EventKind, JOURNAL_CAPACITY};
+use regmon_telemetry::parse::JsonValue;
+use regmon_telemetry::{clock, expo, parse};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[test]
+fn wraparound_keeps_newest_events_and_counts_lost() {
+    let _guard = telemetry_lock();
+    regmon_telemetry::set_enabled(true);
+    journal::discard();
+    let extra = 37;
+    let total = JOURNAL_CAPACITY + extra;
+    let first_seq = journal::recorded();
+    for i in 0..total {
+        journal::record(EventKind::RegionFormed { region: i as u64 });
+    }
+    let drained = journal::drain();
+    regmon_telemetry::set_enabled(false);
+
+    assert_eq!(drained.events.len(), JOURNAL_CAPACITY);
+    assert_eq!(
+        drained.lost, extra as u64,
+        "overwritten events must be counted"
+    );
+    // The survivors are exactly the newest JOURNAL_CAPACITY events, in
+    // order.
+    for (i, ev) in drained.events.iter().enumerate() {
+        assert_eq!(ev.seq, first_seq + (extra + i) as u64);
+        assert_eq!(
+            ev.kind,
+            EventKind::RegionFormed {
+                region: (extra + i) as u64
+            }
+        );
+    }
+}
+
+#[test]
+fn draining_while_writers_write_loses_nothing_within_capacity() {
+    let _guard = telemetry_lock();
+    regmon_telemetry::set_enabled(true);
+    journal::discard();
+
+    const WRITERS: usize = 4;
+    // Stay well under per-thread capacity so nothing can legitimately
+    // wrap; every event must then be delivered exactly once.
+    const PER_WRITER: usize = JOURNAL_CAPACITY / 2;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut collected = Vec::new();
+            let mut lost = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let d = journal::drain();
+                lost += d.lost;
+                collected.extend(d.events);
+                std::thread::yield_now();
+            }
+            let d = journal::drain();
+            lost += d.lost;
+            collected.extend(d.events);
+            (collected, lost)
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                journal::set_tenant(w as u64 + 1);
+                for i in 0..PER_WRITER {
+                    journal::record(EventKind::QueueHighWater {
+                        shard: w as u64,
+                        depth: i as u64,
+                    });
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (collected, lost) = drainer.join().unwrap();
+    regmon_telemetry::set_enabled(false);
+
+    assert_eq!(lost, 0, "no ring wrapped, so nothing may be lost");
+    assert_eq!(collected.len(), WRITERS * PER_WRITER);
+    // Exactly-once delivery: each (shard, depth) pair appears once.
+    let mut seen = vec![[false; PER_WRITER]; WRITERS];
+    for ev in &collected {
+        match ev.kind {
+            EventKind::QueueHighWater { shard, depth } => {
+                let (s, d) = (shard as usize, depth as usize);
+                assert!(!seen[s][d], "event delivered twice");
+                seen[s][d] = true;
+                assert_eq!(ev.tenant, shard + 1, "tenant scope label lost");
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
+    }
+    // Seq stamps must be unique.
+    let mut seqs: Vec<u64> = collected.iter().map(|e| e.seq).collect();
+    seqs.sort_unstable();
+    seqs.dedup();
+    assert_eq!(seqs.len(), collected.len(), "duplicate seq stamp");
+}
+
+#[test]
+fn lockstep_events_carry_virtual_ticks_and_trace_round_trips() {
+    let _guard = telemetry_lock();
+    regmon_telemetry::set_enabled(true);
+    journal::discard();
+    clock::set_mode(clock::ClockMode::Lockstep);
+    for round in 0..5u64 {
+        clock::set_tick(round);
+        journal::record(EventKind::LpdTransition {
+            region: 2,
+            from: "Unstable",
+            to: "Stable",
+            r: 0.97,
+            rt: 0.5,
+            phase_change: false,
+        });
+    }
+    let drained = journal::drain();
+    // Render while still in lockstep so otherData.clock records it.
+    let trace = expo::trace_json(&drained.events);
+    clock::set_mode(clock::ClockMode::Freerun);
+    regmon_telemetry::set_enabled(false);
+
+    let ticks: Vec<u64> = drained.events.iter().map(|e| e.tick).collect();
+    assert_eq!(
+        ticks,
+        vec![0, 1, 2, 3, 4],
+        "virtual clock must stamp round indices"
+    );
+    let doc = parse::parse(&trace).expect("trace-event JSON must parse");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents");
+    assert_eq!(events.len(), 5);
+    for (i, ev) in events.iter().enumerate() {
+        assert_eq!(
+            ev.get("name").and_then(JsonValue::as_str),
+            Some("lpd_transition")
+        );
+        assert_eq!(ev.get("cat").and_then(JsonValue::as_str), Some("lpd"));
+        assert_eq!(ev.get("ts").and_then(JsonValue::as_f64), Some(i as f64));
+        let args = ev.get("args").expect("args");
+        assert_eq!(args.get("r").and_then(JsonValue::as_f64), Some(0.97));
+        assert_eq!(args.get("rt").and_then(JsonValue::as_f64), Some(0.5));
+        assert_eq!(args.get("to").and_then(JsonValue::as_str), Some("Stable"));
+    }
+    assert_eq!(
+        doc.get("otherData")
+            .and_then(|o| o.get("clock"))
+            .and_then(JsonValue::as_str),
+        Some("lockstep")
+    );
+}
+
+#[test]
+fn prometheus_exposition_validates_after_fleet_style_updates() {
+    let _guard = telemetry_lock();
+    regmon_telemetry::set_enabled(true);
+    regmon_telemetry::metrics::QUEUE_PUSHED.add(128);
+    regmon_telemetry::metrics::QUEUE_BATCH_UNITS.record(32);
+    regmon_telemetry::metrics::QUEUE_HIGH_WATER.set_max(17);
+    let text = expo::prometheus_text();
+    regmon_telemetry::set_enabled(false);
+    let samples = expo::validate_prometheus(&text).expect("prometheus text must validate");
+    assert!(samples > 0);
+    assert!(text.contains("regmon_queue_pushed_total"));
+    assert!(text.contains("regmon_queue_batch_units_bucket{le=\"+Inf\"}"));
+    regmon_telemetry::reset();
+}
