@@ -18,6 +18,11 @@
 //!   waiter-gated notifications (uncontended pushes are syscall-free)
 //!   and `--batch N` interval coalescing (one message per N intervals
 //!   of one tenant, exactly like the driver's shipping policy).
+//! * `wire` — the `regmon serve` ingest path: pre-encoded
+//!   `regmon-wire-v1` Batch frames are CRC-checked and decoded on the
+//!   producer side (as a connection thread would) and the decoded
+//!   intervals travel through the same `RingQueue`s. The delta against
+//!   `ring` is the out-of-process wire-codec tax.
 //!
 //! Usage: `fleet_matrix [OUTPUT.json]` (default `BENCH_fleet.json` in
 //! the current directory). The `headline` object compares the legacy
@@ -32,7 +37,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
 
+use regmon_binary::Addr;
 use regmon_fleet::{Droppable, QueuePolicy, RingQueue};
+use regmon_sampling::{Interval, PcSample};
+use regmon_serve::wire::{read_frame, Frame};
 
 /// Samples per synthetic interval payload (the payload travels by move,
 /// so this sets consumer accounting work, not copy volume).
@@ -51,6 +59,8 @@ enum Msg {
     Interval(u32, Vec<u64>),
     /// A coalesced chunk of one tenant's intervals.
     Batch(u32, Vec<Vec<u64>>),
+    /// Intervals decoded from a `regmon-wire-v1` Batch frame.
+    Wire(u32, Vec<Interval>),
 }
 
 impl Droppable for Msg {
@@ -62,6 +72,7 @@ impl Droppable for Msg {
         match self {
             Msg::Interval(..) => Some(1),
             Msg::Batch(_, chunk) => Some(chunk.len()),
+            Msg::Wire(_, intervals) => Some(intervals.len()),
         }
     }
 }
@@ -95,6 +106,16 @@ fn account(msg: &Msg) -> usize {
                 black_box((*tag, checksum(pcs)));
             }
             chunk.len()
+        }
+        Msg::Wire(tag, intervals) => {
+            for interval in intervals {
+                let sum = interval
+                    .samples
+                    .iter()
+                    .fold(0u64, |acc, s| acc.wrapping_add(s.addr.get()));
+                black_box((*tag, sum));
+            }
+            intervals.len()
         }
     }
 }
@@ -267,6 +288,102 @@ fn run_ring(shape: Shape) -> f64 {
     )
 }
 
+/// One synthetic interval for the wire transport: the same PC payload
+/// as the in-memory transports, carried as real `PcSample`s.
+fn wire_interval(tenant: u32, seq: usize) -> Interval {
+    let base = seq as u64 * PAYLOAD_PCS as u64;
+    Interval {
+        index: seq,
+        start_cycle: base,
+        end_cycle: base + PAYLOAD_PCS as u64,
+        samples: payload(tenant, seq)
+            .into_iter()
+            .enumerate()
+            .map(|(k, pc)| PcSample {
+                addr: Addr::new(pc),
+                cycle: base + k as u64,
+            })
+            .collect(),
+    }
+}
+
+/// Pre-encodes the cell's whole production schedule as wire frames, in
+/// the exact (round, tenant) order `run_ingest` ships: one Batch frame
+/// per message, tagged with its destination shard. Encoding is producer
+/// work and stays outside the timed region; decoding is what the serve
+/// ingest path pays per message and is timed in [`run_wire`].
+fn encode_wire_frames(shape: Shape) -> Vec<(usize, Vec<u8>)> {
+    let mut frames = Vec::new();
+    let rounds = shape.per_tenant.div_ceil(shape.batch);
+    for round in 0..rounds {
+        for t in 0..shape.tenants {
+            let produced = round * shape.batch;
+            let want = shape.batch.min(shape.per_tenant - produced);
+            if want == 0 {
+                continue;
+            }
+            let tag = u32::try_from(t).expect("tenant tag");
+            let frame = Frame::Batch {
+                tenant: tag,
+                intervals: (0..want)
+                    .map(|k| wire_interval(tag, produced + k))
+                    .collect(),
+            };
+            frames.push((t % shape.shards, frame.encode()));
+        }
+    }
+    frames
+}
+
+/// The serve ingest path: CRC-check + decode each pre-encoded frame
+/// (connection-thread work) and ship the decoded intervals through the
+/// ring queues. Returns elapsed seconds.
+fn run_wire(shape: Shape, frames: &[(usize, Vec<u8>)]) -> f64 {
+    let queues: Vec<Arc<RingQueue<Msg>>> = (0..shape.shards)
+        .map(|_| Arc::new(RingQueue::new(QUEUE_DEPTH)))
+        .collect();
+    let consumers: Vec<thread::JoinHandle<usize>> = queues
+        .iter()
+        .map(|q| {
+            let q = Arc::clone(q);
+            thread::spawn(move || {
+                let mut seen = 0usize;
+                while let Some(msg) = q.pop() {
+                    seen += account(&msg);
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let start = Instant::now();
+    for (shard, bytes) in frames {
+        let frame = read_frame(&mut bytes.as_slice())
+            .expect("pre-encoded frame decodes")
+            .expect("one frame per message");
+        let Frame::Batch { tenant, intervals } = frame else {
+            unreachable!("only Batch frames are encoded")
+        };
+        queues[*shard]
+            .push(Msg::Wire(tenant, intervals), QueuePolicy::Block)
+            .expect("queue open");
+    }
+    for q in &queues {
+        q.close();
+    }
+    let seen: usize = consumers
+        .into_iter()
+        .map(|c| c.join().expect("consumer panicked"))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        seen,
+        shape.tenants * shape.per_tenant,
+        "wire transport lost intervals"
+    );
+    elapsed
+}
+
 /// Median throughput in million intervals per second over `reps` runs.
 fn median_mips<F: FnMut() -> f64>(total_intervals: usize, reps: usize, mut run: F) -> f64 {
     run(); // warmup
@@ -329,6 +446,18 @@ fn main() {
                     mips,
                 });
             }
+            for &batch in &BATCHES {
+                let shape = Shape { batch, ..shape };
+                let frames = encode_wire_frames(shape);
+                let mips = median_mips(total, reps, || run_wire(shape, &frames));
+                cells.push(Cell {
+                    transport: "wire",
+                    batch,
+                    tenants,
+                    shards,
+                    mips,
+                });
+            }
         }
     }
 
@@ -346,6 +475,7 @@ fn main() {
     };
     let legacy_mips = pick("legacy", 1);
     let ring_mips = pick("ring", HEADLINE_BATCH);
+    let wire_mips = pick("wire", HEADLINE_BATCH);
     let speedup = ring_mips / legacy_mips;
 
     // Telemetry overhead on the headline cell: the ring transport with
@@ -357,18 +487,23 @@ fn main() {
     // down (it swung this cell ~10% between adjacent runs), so the
     // fastest observed rate is the low-variance estimate of what the
     // transport can actually do. Negative noise reads as zero.
+    // The estimator ignores QUICK_BENCH sizing: it measures one shape,
+    // so full-length runs and a fixed pair budget cost well under a
+    // second, while quick-mode runs are too short (~1 ms on a small
+    // host) to resolve a 2%-budget gate above scheduler jitter.
+    let estimator_per_tenant = 600;
     let headline_shape = Shape {
         tenants: HEADLINE_TENANTS,
         shards: HEADLINE_SHARDS,
         batch: HEADLINE_BATCH,
-        per_tenant,
+        per_tenant: estimator_per_tenant,
     };
-    let headline_total = HEADLINE_TENANTS * per_tenant;
+    let headline_total = HEADLINE_TENANTS * estimator_per_tenant;
     run_ring(headline_shape); // warmup (disabled path)
     regmon_telemetry::set_enabled(true);
     run_ring(headline_shape); // warmup (stripe + journal thread-locals)
     regmon_telemetry::set_enabled(false);
-    let pairs = 2 * reps + 1;
+    let pairs = 25;
     let mut best_off = 0.0f64;
     let mut best_on = 0.0f64;
     for pair in 0..pairs {
@@ -402,7 +537,9 @@ fn main() {
         "  \"note\": \"median million intervals/sec through the shard ingest transport; \
          legacy = Mutex<VecDeque> + unconditional notify, one interval per message \
          (the seed's shard queue); ring = RingQueue with waiter-gated notifies and \
-         per-tenant interval batching (PR 3 fast path)\",\n",
+         per-tenant interval batching (PR 3 fast path); wire = regmon-wire-v1 frame \
+         CRC-check + decode on the producer side feeding the same ring queues \
+         (the serve-mode ingest path)\",\n",
     );
     json.push_str("  \"headline\": {\n");
     json.push_str(&format!("    \"tenants\": {HEADLINE_TENANTS},\n"));
@@ -413,6 +550,9 @@ fn main() {
     ));
     json.push_str(&format!(
         "    \"ring_batch_m_intervals_per_sec\": {ring_mips:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"wire_m_intervals_per_sec\": {wire_mips:.3},\n"
     ));
     json.push_str(&format!("    \"speedup\": {speedup:.2},\n"));
     json.push_str(&format!(
@@ -435,6 +575,7 @@ fn main() {
         "fleet matrix: {} cells -> {out_path} (headline speedup {speedup:.2}x: \
          legacy {legacy_mips:.2} M intervals/s vs ring/batch-{HEADLINE_BATCH} \
          {ring_mips:.2} M intervals/s at {HEADLINE_TENANTS} tenants / {HEADLINE_SHARDS} shards; \
+         wire ingest {wire_mips:.2} M intervals/s; \
          telemetry overhead {telemetry_overhead_pct:.2}% \
          ({telemetry_off:.2} off vs {telemetry_on:.2} on))",
         cells.len()

@@ -1,15 +1,19 @@
 //! The CLI subcommands.
 
+use std::path::{Path, PathBuf};
+
 use regmon::regions::IndexKind;
 use regmon::rto::{simulate, speedup_percent, RtoConfig, RtoMode};
 use regmon::sampling::Sampler;
 use regmon::workload::{suite, Workload};
-use regmon::{MonitoringSession, SessionConfig};
+use regmon::{MonitoringSession, SessionConfig, SessionSummary};
 use regmon_baselines::{BbvConfig, BbvDetector, WssConfig, WssDetector};
 use regmon_fleet::{
     batch_bucket_label, run_fleet, FleetConfig, Pacing, QueuePolicy, Schedule, TenantSpec,
     BATCH_BUCKETS,
 };
+use regmon_serve::replay::ReplayOptions;
+use regmon_serve::server::{ServeOptions, ServeReport};
 
 use crate::args::parse;
 use crate::json::Json;
@@ -22,7 +26,7 @@ USAGE:
   regmon list
   regmon run <benchmark> [--period N] [--intervals N] [--skid N] [--interprocedural]
              [--index linear|tree|flat] [--parallel-attrib N] [--json]
-             [--trace-out FILE]
+             [--trace-out FILE] [--record FILE]
   regmon sweep <benchmark> [--intervals N]
   regmon rto <benchmark> [--period N] [--intervals N]
   regmon baselines <benchmark> [--period N] [--intervals N]
@@ -30,13 +34,25 @@ USAGE:
                [--period N] [--queue-depth N] [--policy block|drop-oldest]
                [--batch N] [--steal] [--pacing lockstep|freerun]
                [--index linear|tree|flat] [--parallel-attrib N] [--json]
-               [--metrics-every N] [--trace-out FILE]
+               [--metrics-every N] [--trace-out FILE] [--record DIR]
+  regmon replay <journal> [--json] [--snapshot-at N] [--snapshot-out FILE]
+               [--resume FILE]
+  regmon serve (--unix PATH | --tcp ADDR) [--shards N] [--queue-depth N]
+               [--expect-sessions N] [--json] [--trace-out FILE]
+  regmon send <journal> (--unix PATH | --tcp ADDR)
   regmon metrics [<benchmark>] [--intervals N] [--json]
   regmon metrics --check FILE
   regmon help
 
 Benchmarks are the synthetic SPEC CPU2000-like models (see `regmon list`).
 Periods are cycles per PMU interrupt (paper sweep: 45000/450000/900000).
+
+Out-of-process ingestion: `--record` writes the sampled intervals as a
+`regmon-wire-v1` frame journal; `regmon replay` re-processes a journal
+byte-identically to the run that recorded it (optionally checkpointing
+with --snapshot-at/--snapshot-out, or resuming with --resume);
+`regmon serve` ingests journals streamed by `regmon send` over a unix
+socket or TCP and reports each finished session like `regmon run`.
 
 Telemetry is off unless requested: `--trace-out` writes a
 chrome://tracing event journal, `--metrics-every N` prints a Prometheus
@@ -109,42 +125,62 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if !trace_out.is_empty() {
         write_trace(&trace_out)?;
     }
-
-    if p.flag("json") {
-        let regions: Vec<Json> = summary
-            .lpd
-            .iter()
-            .map(|(id, s)| {
-                Json::obj(vec![
-                    ("region", Json::Str(id.to_string())),
-                    ("intervals", Json::Num(s.intervals as f64)),
-                    ("active", Json::Num(s.active_intervals as f64)),
-                    ("stable_fraction", Json::Num(s.stable_fraction())),
-                    ("phase_changes", Json::Num(s.phase_changes as f64)),
-                ])
-            })
-            .collect();
-        let out = Json::obj(vec![
-            ("benchmark", Json::Str(summary.workload.clone())),
-            ("period", Json::Num(summary.period as f64)),
-            ("intervals", Json::Num(summary.intervals as f64)),
-            ("interprocedural", Json::Bool(p.flag("interprocedural"))),
-            (
-                "gpd_phase_changes",
-                Json::Num(summary.gpd.phase_changes as f64),
-            ),
-            (
-                "gpd_stable_fraction",
-                Json::Num(summary.gpd.stable_fraction()),
-            ),
-            ("ucr_median", Json::Num(summary.ucr_median)),
-            ("regions_formed", Json::Num(summary.regions_formed as f64)),
-            ("regions", Json::Arr(regions)),
-        ]);
-        println!("{}", out.render());
-        return Ok(());
+    let record: String = p.value_or("record", String::new())?;
+    if !record.is_empty() {
+        regmon_serve::record_run(Path::new(&record), &w, &config, intervals)
+            .map_err(|e| format!("--record {record}: {e}"))?;
+        eprintln!("record: wire journal written to {record}");
     }
 
+    if p.flag("json") {
+        println!(
+            "{}",
+            summary_json(p.flag("interprocedural"), &summary).render()
+        );
+        return Ok(());
+    }
+    print_summary_text(&summary);
+    Ok(())
+}
+
+/// The `regmon run --json` document for one finished session; shared
+/// with `replay` and `serve` so all three transports emit byte-identical
+/// reports for equivalent sessions.
+fn summary_json(interprocedural: bool, summary: &SessionSummary) -> Json {
+    let regions: Vec<Json> = summary
+        .lpd
+        .iter()
+        .map(|(id, s)| {
+            Json::obj(vec![
+                ("region", Json::Str(id.to_string())),
+                ("intervals", Json::Num(s.intervals as f64)),
+                ("active", Json::Num(s.active_intervals as f64)),
+                ("stable_fraction", Json::Num(s.stable_fraction())),
+                ("phase_changes", Json::Num(s.phase_changes as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("benchmark", Json::Str(summary.workload.clone())),
+        ("period", Json::Num(summary.period as f64)),
+        ("intervals", Json::Num(summary.intervals as f64)),
+        ("interprocedural", Json::Bool(interprocedural)),
+        (
+            "gpd_phase_changes",
+            Json::Num(summary.gpd.phase_changes as f64),
+        ),
+        (
+            "gpd_stable_fraction",
+            Json::Num(summary.gpd.stable_fraction()),
+        ),
+        ("ucr_median", Json::Num(summary.ucr_median)),
+        ("regions_formed", Json::Num(summary.regions_formed as f64)),
+        ("regions", Json::Arr(regions)),
+    ])
+}
+
+/// The `regmon run` text report for one finished session.
+fn print_summary_text(summary: &SessionSummary) {
     println!(
         "== {} @ {} cycles/interrupt ==",
         summary.workload, summary.period
@@ -171,7 +207,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             s.phase_changes
         );
     }
-    Ok(())
 }
 
 /// `regmon sweep <benchmark>` — the paper's three sampling periods.
@@ -256,6 +291,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     let parallel_attrib: usize = p.value_or("parallel-attrib", 0)?;
     let metrics_every: usize = p.value_or("metrics-every", 0)?;
     let trace_out: String = p.value_or("trace-out", String::new())?;
+    let record: String = p.value_or("record", String::new())?;
     if tenants == 0 || shards == 0 || intervals == 0 || queue_depth == 0 || batch == 0 {
         return Err("--tenants/--shards/--intervals/--queue-depth/--batch must be positive".into());
     }
@@ -277,20 +313,37 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     } else {
         workloads[0].name().to_string()
     };
-    let specs: Vec<TenantSpec> = (0..tenants)
-        .map(|i| {
-            let w = &workloads[i % workloads.len()];
-            let p = if period > 0 {
-                period
-            } else {
-                [45_000, 90_000, 450_000][i % 3]
-            };
-            let mut config = SessionConfig::new(p);
-            config.index = index;
-            config.parallel_attrib = parallel_attrib;
-            TenantSpec::new(format!("{}#{i}", w.name()), w.clone(), config, intervals)
-        })
-        .collect();
+    if !record.is_empty() {
+        std::fs::create_dir_all(&record).map_err(|e| format!("--record {record}: {e}"))?;
+    }
+    let mut specs: Vec<TenantSpec> = Vec::with_capacity(tenants);
+    for i in 0..tenants {
+        let w = &workloads[i % workloads.len()];
+        let tenant_period = if period > 0 {
+            period
+        } else {
+            [45_000, 90_000, 450_000][i % 3]
+        };
+        let mut config = SessionConfig::new(tenant_period);
+        config.index = index;
+        config.parallel_attrib = parallel_attrib;
+        if !record.is_empty() {
+            // One single-tenant journal per tenant (wire tenant id 0 in
+            // each file), replayable with `regmon replay`.
+            let path = Path::new(&record).join(format!("tenant-{i:03}.rgj"));
+            regmon_serve::record_run(&path, w, &config, intervals)
+                .map_err(|e| format!("--record {}: {e}", path.display()))?;
+        }
+        specs.push(TenantSpec::new(
+            format!("{}#{i}", w.name()),
+            w.clone(),
+            config,
+            intervals,
+        ));
+    }
+    if !record.is_empty() {
+        eprintln!("record: {tenants} wire journal(s) written to {record}/");
+    }
 
     let config = FleetConfig::new(shards, queue_depth)
         .with_policy(policy)
@@ -490,6 +543,151 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             histogram
         );
     }
+    Ok(())
+}
+
+/// `regmon replay <journal>` — re-process a recorded frame journal.
+///
+/// The replay is byte-identical to the run that recorded the journal:
+/// with `--json` the output matches the equivalent `regmon run --json`
+/// exactly. `--snapshot-at N --snapshot-out FILE` checkpoints the
+/// session after N intervals (and continues); `--resume FILE` restores
+/// a checkpoint and skips the intervals it already covers.
+pub fn replay(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let journal = p.positional(0).ok_or("missing <journal> argument")?;
+    let snapshot_at: usize = p.value_or("snapshot-at", 0)?;
+    let snapshot_out: String = p.value_or("snapshot-out", String::new())?;
+    let resume: String = p.value_or("resume", String::new())?;
+    if (snapshot_at > 0) == snapshot_out.is_empty() {
+        return Err("--snapshot-at and --snapshot-out must be given together".into());
+    }
+    let options = ReplayOptions {
+        snapshot_at: (snapshot_at > 0).then_some(snapshot_at),
+        snapshot_out: (!snapshot_out.is_empty()).then(|| PathBuf::from(&snapshot_out)),
+        resume: (!resume.is_empty()).then(|| PathBuf::from(&resume)),
+    };
+    let outcome = regmon_serve::replay::replay(Path::new(journal), &options)
+        .map_err(|e| format!("{journal}: {e}"))?;
+    if !snapshot_out.is_empty() {
+        eprintln!("snapshot: session checkpoint written to {snapshot_out}");
+    }
+    for tenant in &outcome.tenants {
+        if p.flag("json") {
+            println!(
+                "{}",
+                summary_json(tenant.config.formation.interprocedural, &tenant.summary).render()
+            );
+        } else {
+            print_summary_text(&tenant.summary);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn serve_over_unix(path: &str, options: ServeOptions) -> Result<ServeReport, String> {
+    regmon_serve::serve_unix(Path::new(path), options).map_err(|e| format!("--unix {path}: {e}"))
+}
+
+#[cfg(not(unix))]
+fn serve_over_unix(_path: &str, _options: ServeOptions) -> Result<ServeReport, String> {
+    Err("unix sockets are unavailable on this platform; use --tcp ADDR".into())
+}
+
+/// `regmon serve` — ingest wire streams from producer processes.
+///
+/// Accepts `--expect-sessions N` producer sessions over a unix socket
+/// or TCP listener, demultiplexes their frames into the fleet engine,
+/// then drains and reports every finished session in admission order —
+/// with `--json`, one `regmon run --json`-shaped document per session.
+pub fn serve(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let unix: String = p.value_or("unix", String::new())?;
+    let tcp: String = p.value_or("tcp", String::new())?;
+    if unix.is_empty() == tcp.is_empty() {
+        return Err("serve needs exactly one of --unix PATH or --tcp ADDR".into());
+    }
+    let options = ServeOptions {
+        shards: p.value_or("shards", 2)?,
+        queue_depth: p.value_or("queue-depth", 256)?,
+        expect_sessions: p.value_or("expect-sessions", 1)?,
+    };
+    if options.shards == 0 || options.queue_depth == 0 || options.expect_sessions == 0 {
+        return Err("--shards/--queue-depth/--expect-sessions must be positive".into());
+    }
+    let trace_out: String = p.value_or("trace-out", String::new())?;
+    if !trace_out.is_empty() {
+        regmon_telemetry::set_enabled(true);
+    }
+
+    let report = if unix.is_empty() {
+        regmon_serve::serve_tcp(&tcp, options).map_err(|e| format!("--tcp {tcp}: {e}"))?
+    } else {
+        serve_over_unix(&unix, options)?
+    };
+    if !trace_out.is_empty() {
+        write_trace(&trace_out)?;
+    }
+
+    eprintln!(
+        "serve: {} session(s) over {} connection(s), {} frames, {} bytes",
+        report.sessions.len(),
+        report.connections,
+        report.frames,
+        report.bytes
+    );
+    for err in &report.errors {
+        eprintln!("serve: connection error: {err}");
+    }
+    for session in &report.sessions {
+        let Some(summary) = &session.summary else {
+            eprintln!("serve: session {:?} never finished", session.name);
+            continue;
+        };
+        if p.flag("json") {
+            println!(
+                "{}",
+                summary_json(session.config.formation.interprocedural, summary).render()
+            );
+        } else {
+            print_summary_text(summary);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn send_over_unix(path: &str, journal: &mut impl std::io::Read) -> Result<u64, String> {
+    let mut stream =
+        std::os::unix::net::UnixStream::connect(path).map_err(|e| format!("--unix {path}: {e}"))?;
+    std::io::copy(journal, &mut stream).map_err(|e| format!("--unix {path}: {e}"))
+}
+
+#[cfg(not(unix))]
+fn send_over_unix(_path: &str, _journal: &mut impl std::io::Read) -> Result<u64, String> {
+    Err("unix sockets are unavailable on this platform; use --tcp ADDR".into())
+}
+
+/// `regmon send <journal>` — stream a recorded journal to a live server.
+pub fn send(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let journal = p.positional(0).ok_or("missing <journal> argument")?;
+    let unix: String = p.value_or("unix", String::new())?;
+    let tcp: String = p.value_or("tcp", String::new())?;
+    if unix.is_empty() == tcp.is_empty() {
+        return Err("send needs exactly one of --unix PATH or --tcp ADDR".into());
+    }
+    let file = std::fs::File::open(journal).map_err(|e| format!("{journal}: {e}"))?;
+    let mut reader = std::io::BufReader::new(file);
+    let sent = if unix.is_empty() {
+        let mut stream =
+            std::net::TcpStream::connect(&tcp).map_err(|e| format!("--tcp {tcp}: {e}"))?;
+        std::io::copy(&mut reader, &mut stream).map_err(|e| format!("--tcp {tcp}: {e}"))?
+    } else {
+        send_over_unix(&unix, &mut reader)?
+    };
+    eprintln!("send: {sent} bytes streamed from {journal}");
     Ok(())
 }
 

@@ -7,6 +7,9 @@
 //! regmon rto 181.mcf [--period 1500000] [--intervals 200]
 //! regmon baselines 187.facerec [--period 45000] [--intervals 200]
 //! regmon fleet all [--tenants 64] [--shards 4] [--intervals 50] [--json]
+//! regmon replay session.rgj [--json] [--snapshot-at 20 --snapshot-out ck.rgsn]
+//! regmon serve --unix /tmp/regmon.sock [--expect-sessions 4] [--json]
+//! regmon send session.rgj --unix /tmp/regmon.sock
 //! regmon metrics [187.facerec] [--json] | regmon metrics --check trace.json
 //! ```
 
@@ -44,6 +47,9 @@ fn run(argv: &[String]) -> Result<(), String> {
         "rto" => commands::rto(rest),
         "baselines" => commands::baselines(rest),
         "fleet" => commands::fleet(rest),
+        "replay" => commands::replay(rest),
+        "serve" => commands::serve(rest),
+        "send" => commands::send(rest),
         "metrics" => commands::metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

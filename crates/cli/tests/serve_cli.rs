@@ -1,0 +1,239 @@
+//! End-to-end tests of the serve-mode subcommands: `--record`,
+//! `replay`, `serve` and `send`.
+//!
+//! The core guarantee under test: every transport — in-process run,
+//! journal replay, checkpoint/resume replay, and a served wire stream —
+//! emits *byte-identical* `--json` reports for the same session.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn regmon(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_regmon"))
+        .args(args)
+        .output()
+        .expect("spawn regmon");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_dir(stem: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("regmon-serve-cli-{stem}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn record_then_replay_is_byte_identical_to_run() {
+    let dir = temp_dir("replay");
+    let journal = dir.join("session.rgj");
+    let journal = journal.to_str().unwrap();
+
+    let (ok, run_json, _) = regmon(&[
+        "run",
+        "181.mcf",
+        "--intervals",
+        "30",
+        "--json",
+        "--record",
+        journal,
+    ]);
+    assert!(ok);
+    let (ok, replay_json, _) = regmon(&["replay", journal, "--json"]);
+    assert!(ok);
+    assert_eq!(
+        run_json, replay_json,
+        "replay --json diverged from run --json"
+    );
+
+    // Text mode agrees too.
+    let (ok, run_text, _) = regmon(&["run", "181.mcf", "--intervals", "30"]);
+    assert!(ok);
+    let (ok, replay_text, _) = regmon(&["replay", journal]);
+    assert!(ok);
+    assert_eq!(run_text, replay_text);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_and_resume_replays_match_the_straight_run() {
+    let dir = temp_dir("resume");
+    let journal = dir.join("session.rgj");
+    let journal = journal.to_str().unwrap();
+    let checkpoint = dir.join("ck.rgsn");
+    let checkpoint = checkpoint.to_str().unwrap();
+
+    let (ok, run_json, _) = regmon(&[
+        "run",
+        "254.gap",
+        "--intervals",
+        "36",
+        "--json",
+        "--record",
+        journal,
+    ]);
+    assert!(ok);
+    let (ok, snap_json, stderr) = regmon(&[
+        "replay",
+        journal,
+        "--json",
+        "--snapshot-at",
+        "13",
+        "--snapshot-out",
+        checkpoint,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("checkpoint written"));
+    let (ok, resume_json, _) = regmon(&["replay", journal, "--json", "--resume", checkpoint]);
+    assert!(ok);
+    assert_eq!(run_json, snap_json, "checkpointing perturbed the replay");
+    assert_eq!(run_json, resume_json, "resumed replay diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleet_record_writes_replayable_per_tenant_journals() {
+    let dir = temp_dir("fleet");
+    let journals = dir.join("journals");
+    let journals_s = journals.to_str().unwrap();
+
+    let (ok, _, stderr) = regmon(&[
+        "fleet",
+        "mcf",
+        "--tenants",
+        "3",
+        "--shards",
+        "2",
+        "--intervals",
+        "8",
+        "--period",
+        "90000",
+        "--record",
+        journals_s,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("3 wire journal(s)"));
+
+    // Each journal replays to the equivalent single run.
+    let (ok, run_json, _) = regmon(&[
+        "run",
+        "181.mcf",
+        "--period",
+        "90000",
+        "--intervals",
+        "8",
+        "--json",
+    ]);
+    assert!(ok);
+    for i in 0..3 {
+        let journal = journals.join(format!("tenant-{i:03}.rgj"));
+        assert!(journal.is_file(), "{} missing", journal.display());
+        let (ok, replay_json, _) = regmon(&["replay", journal.to_str().unwrap(), "--json"]);
+        assert!(ok);
+        assert_eq!(run_json, replay_json, "tenant {i} journal diverged");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_journal_is_refused_by_replay() {
+    let dir = temp_dir("corrupt");
+    let journal = dir.join("session.rgj");
+    let journal_s = journal.to_str().unwrap();
+    let (ok, _, _) = regmon(&[
+        "run",
+        "172.mgrid",
+        "--intervals",
+        "6",
+        "--json",
+        "--record",
+        journal_s,
+    ]);
+    assert!(ok);
+
+    let mut bytes = std::fs::read(&journal).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&journal, &bytes).unwrap();
+    let (ok, _, stderr) = regmon(&["replay", journal_s, "--json"]);
+    assert!(!ok, "corrupted journal must be refused");
+    assert!(stderr.contains("error"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replay_flag_pairing_is_enforced() {
+    let (ok, _, stderr) = regmon(&["replay", "whatever.rgj", "--snapshot-at", "5"]);
+    assert!(!ok);
+    assert!(stderr.contains("--snapshot-out"));
+    let (ok, _, stderr) = regmon(&["serve"]);
+    assert!(!ok);
+    assert!(stderr.contains("--unix PATH or --tcp ADDR"));
+    let (ok, _, stderr) = regmon(&["send", "whatever.rgj"]);
+    assert!(!ok);
+    assert!(stderr.contains("--unix PATH or --tcp ADDR"));
+}
+
+/// The serve smoke: a server on a unix socket, a producer streaming a
+/// recorded journal with `regmon send`, and the served `--json` report
+/// byte-identical to the in-process `regmon run --json`.
+#[cfg(unix)]
+#[test]
+fn served_session_json_matches_in_process_run() {
+    use std::process::Stdio;
+    use std::time::{Duration, Instant};
+
+    let dir = temp_dir("serve");
+    let journal = dir.join("session.rgj");
+    let journal_s = journal.to_str().unwrap();
+    let sock = dir.join("regmon.sock");
+    let sock_s = sock.to_str().unwrap();
+
+    let (ok, run_json, _) = regmon(&[
+        "run",
+        "181.mcf",
+        "--intervals",
+        "25",
+        "--json",
+        "--record",
+        journal_s,
+    ]);
+    assert!(ok);
+
+    let server = Command::new(env!("CARGO_BIN_EXE_regmon"))
+        .args([
+            "serve",
+            "--unix",
+            sock_s,
+            "--expect-sessions",
+            "1",
+            "--json",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn regmon serve");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "server socket never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (ok, _, stderr) = regmon(&["send", journal_s, "--unix", sock_s]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("bytes streamed"));
+
+    let out = server.wait_with_output().expect("server exit");
+    let served_json = String::from_utf8_lossy(&out.stdout).into_owned();
+    let served_err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "{served_err}");
+    assert!(served_err.contains("1 session(s)"), "{served_err}");
+    assert_eq!(
+        run_json, served_json,
+        "served --json diverged from run --json"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -70,5 +70,6 @@ mod session;
 pub mod threaded;
 
 pub use session::{
-    IntervalOutcome, MonitoringSession, PruningConfig, SessionConfig, SessionSummary,
+    IntervalOutcome, MonitoringSession, PruningConfig, SessionConfig, SessionSnapshot,
+    SessionSummary,
 };

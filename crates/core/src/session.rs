@@ -2,10 +2,11 @@
 
 use std::collections::BTreeMap;
 
-use regmon_gpd::{CentroidDetector, GpdConfig, GpdObservation, PhaseStats};
-use regmon_lpd::{LpdConfig, LpdManager, LpdObservation, RegionPhaseStats};
+use regmon_gpd::{CentroidDetector, GpdConfig, GpdObservation, GpdSnapshot, PhaseStats};
+use regmon_lpd::{LpdConfig, LpdManager, LpdManagerSnapshot, LpdObservation, RegionPhaseStats};
 use regmon_regions::{
-    FormationConfig, IndexKind, Pruner, RegionFormation, RegionId, RegionMonitor, UcrTracker,
+    FormationConfig, IndexKind, MonitorSnapshot, Pruner, RegionFormation, RegionId, RegionMonitor,
+    UcrTracker,
 };
 use regmon_sampling::{Interval, Sampler, SamplingConfig};
 use regmon_workload::Workload;
@@ -115,6 +116,44 @@ impl SessionSummary {
             .sum::<f64>()
             / self.lpd.len() as f64
     }
+}
+
+/// A complete checkpoint of a [`MonitoringSession`] taken at an
+/// interval boundary.
+///
+/// Contains everything needed to reconstruct the session on another
+/// process (or after a restart) such that continuing the sample stream
+/// produces byte-identical reports to the uninterrupted run: the full
+/// configuration, the region table (with the id allocator position),
+/// the global and per-region detector states, the UCR timeline, the
+/// pruner's cold streaks and the lifetime counters.
+///
+/// The attribution arena is deliberately *not* captured: it is scratch
+/// space that is rebuilt from scratch every interval, so a snapshot at
+/// an interval boundary needs none of it. The attached binary image is
+/// also excluded — the restoring side re-attaches it from the workload
+/// name (see [`MonitoringSession::attach_binary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSnapshot {
+    /// Full session configuration.
+    pub config: SessionConfig,
+    /// Intervals processed so far.
+    pub intervals: usize,
+    /// Total regions ever formed.
+    pub regions_formed: usize,
+    /// Total regions pruned.
+    pub regions_pruned: usize,
+    /// Region table + id allocator.
+    pub monitor: MonitorSnapshot,
+    /// Global (centroid) detector state.
+    pub gpd: GpdSnapshot,
+    /// Per-region local detector states (live + retired).
+    pub lpd: LpdManagerSnapshot,
+    /// Per-interval UCR fractions, oldest first.
+    pub ucr_timeline: Vec<f64>,
+    /// Pruner cold streaks, ascending by region id (empty when pruning
+    /// is disabled).
+    pub pruner_streaks: Vec<(RegionId, usize)>,
 }
 
 /// The assembled pipeline: region monitor + formation + UCR + GPD + LPD
@@ -347,6 +386,59 @@ impl MonitoringSession {
         session.summary(workload.name())
     }
 
+    // --- checkpoint / restore --------------------------------------------
+
+    /// Exports a full checkpoint of the session. Must be called at an
+    /// interval boundary (i.e. between `process_interval` calls), which
+    /// is the only time the pipeline has no in-flight arena state.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            config: self.config.clone(),
+            intervals: self.intervals,
+            regions_formed: self.regions_formed,
+            regions_pruned: self.regions_pruned,
+            monitor: self.monitor.export(),
+            gpd: self.gpd.export(),
+            lpd: self.lpd.export(),
+            ucr_timeline: self.ucr.timeline().to_vec(),
+            pruner_streaks: self
+                .pruner
+                .as_ref()
+                .map(Pruner::cold_streaks)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Reconstructs a session from a checkpoint. The restored session
+    /// has no binary attached — call [`MonitoringSession::attach_binary`]
+    /// (or [`MonitoringSession::attach_binary_image`]) before processing
+    /// further intervals. Continuing the identical interval stream from
+    /// the checkpoint position yields byte-identical results to the
+    /// uninterrupted session.
+    #[must_use]
+    pub fn from_snapshot(snapshot: SessionSnapshot) -> Self {
+        let config = snapshot.config;
+        let pruner = config.pruning.map(|p| {
+            let mut pruner = Pruner::new(p.cold_intervals, p.min_samples);
+            pruner.restore_streaks(&snapshot.pruner_streaks);
+            pruner
+        });
+        Self {
+            monitor: RegionMonitor::restore(config.index, snapshot.monitor),
+            formation: RegionFormation::new(config.formation),
+            gpd: CentroidDetector::restore(config.gpd, snapshot.gpd),
+            lpd: LpdManager::restore(config.lpd, snapshot.lpd),
+            ucr: UcrTracker::from_timeline(snapshot.ucr_timeline),
+            pruner,
+            binary: None,
+            config,
+            intervals: snapshot.intervals,
+            regions_formed: snapshot.regions_formed,
+            regions_pruned: snapshot.regions_pruned,
+        }
+    }
+
     // --- binary plumbing -------------------------------------------------
     //
     // Formation needs the program image to find loops around hot samples.
@@ -408,6 +500,54 @@ mod tests {
             session.process_interval(&interval)
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        // Across index kinds and with pruning on, a session checkpointed
+        // mid-stream and restored must finish byte-identical to the
+        // uninterrupted run.
+        let w = suite::by_name("172.mgrid").unwrap();
+        for index in [
+            IndexKind::Linear,
+            IndexKind::IntervalTree,
+            IndexKind::FlatSorted,
+        ] {
+            let mut config = SessionConfig::new(45_000);
+            config.index = index;
+            config.pruning = Some(PruningConfig {
+                cold_intervals: 8,
+                min_samples: 2,
+            });
+
+            let intervals: Vec<Interval> = Sampler::new(&w, config.sampling).take(40).collect();
+
+            let mut baseline = MonitoringSession::new(config.clone());
+            baseline.attach_binary(&w);
+            for interval in &intervals {
+                baseline.process_interval(interval);
+            }
+
+            let mut first = MonitoringSession::new(config.clone());
+            first.attach_binary(&w);
+            for interval in &intervals[..17] {
+                first.process_interval(interval);
+            }
+            let snap = first.snapshot();
+            assert_eq!(snap.intervals, 17);
+            // Restored session re-exports the same snapshot.
+            let mut resumed = MonitoringSession::from_snapshot(snap.clone());
+            assert_eq!(resumed.snapshot(), snap);
+            resumed.attach_binary(&w);
+            for interval in &intervals[17..] {
+                resumed.process_interval(interval);
+            }
+
+            let a = baseline.summary(w.name());
+            let b = resumed.summary(w.name());
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "index {index:?}");
+            assert_eq!(baseline.snapshot(), resumed.snapshot(), "index {index:?}");
+        }
     }
 
     #[test]

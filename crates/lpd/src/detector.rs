@@ -239,6 +239,74 @@ impl RegionPhaseDetector {
     }
 }
 
+/// Plain-data image of one [`RegionPhaseDetector`]'s mutable state, the
+/// unit the serve-mode snapshot format serializes. The Pearson cache is
+/// deliberately absent: it is a pure function of `prev_hist` and is
+/// rebuilt on restore, which reproduces it bit-identically (see
+/// [`PearsonCache`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpdDetectorSnapshot {
+    /// The effective correlation threshold (frozen at creation).
+    pub rt: f64,
+    /// The stable (or tracking) histogram's slot counts.
+    pub prev_hist: Vec<u64>,
+    /// `true` until the region's first active interval.
+    pub prev_empty: bool,
+    /// State-machine position.
+    pub state: LpdState,
+    /// Most recent similarity value.
+    pub last_r: f64,
+    /// Lifetime statistics.
+    pub stats: RegionPhaseStats,
+}
+
+impl RegionPhaseDetector {
+    /// Exports the detector's mutable state for checkpointing.
+    #[must_use]
+    pub fn export(&self) -> LpdDetectorSnapshot {
+        LpdDetectorSnapshot {
+            rt: self.rt,
+            prev_hist: self.prev_hist.counts().to_vec(),
+            prev_empty: self.prev_empty,
+            state: self.state,
+            last_r: self.last_r,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuilds a detector from an exported snapshot. Future
+    /// observations are bit-identical to the original detector's:
+    /// the Pearson cache is reconstructed from the restored stable
+    /// histogram, which [`PearsonCache::rebuild`] makes exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's histogram has fewer than 2 slots.
+    #[must_use]
+    pub fn restore(config: LpdConfig, snapshot: LpdDetectorSnapshot) -> Self {
+        assert!(
+            snapshot.prev_hist.len() >= 2,
+            "local phase detection needs at least 2 slots"
+        );
+        let prev_hist = CountHistogram::from_counts(snapshot.prev_hist);
+        let pearson_cache = (config.similarity == SimilarityKind::Pearson).then(|| {
+            let mut cache = PearsonCache::new();
+            cache.rebuild(&prev_hist);
+            cache
+        });
+        Self {
+            config,
+            rt: snapshot.rt,
+            prev_hist,
+            pearson_cache,
+            prev_empty: snapshot.prev_empty,
+            state: snapshot.state,
+            last_r: snapshot.last_r,
+            stats: snapshot.stats,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +457,33 @@ mod tests {
     #[should_panic(expected = "at least 2 slots")]
     fn one_slot_region_panics() {
         let _ = RegionPhaseDetector::new(1, LpdConfig::default());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_continues_identically() {
+        for similarity in [
+            SimilarityKind::Pearson,
+            SimilarityKind::Cosine,
+            SimilarityKind::Manhattan,
+            SimilarityKind::Rank,
+        ] {
+            let config = LpdConfig {
+                similarity,
+                ..LpdConfig::default()
+            };
+            let mut d = RegionPhaseDetector::new(8, config);
+            d.observe(Some(&h(&SHAPE)));
+            d.observe(Some(&h(&SHAPE)));
+            let mut restored = RegionPhaseDetector::restore(config, d.export());
+            let shifted = [1, 1, 9, 40, 200, 30, 8, 2];
+            for counts in [SHAPE, shifted, shifted, SHAPE, SHAPE] {
+                let a = d.observe(Some(&h(&counts)));
+                let b = restored.observe(Some(&h(&counts)));
+                assert_eq!(a, b, "{similarity:?}");
+                assert_eq!(a.r.to_bits(), b.r.to_bits(), "{similarity:?}");
+            }
+            assert_eq!(d.export(), restored.export(), "{similarity:?}");
+        }
     }
 
     #[test]

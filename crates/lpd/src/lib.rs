@@ -51,8 +51,10 @@ pub mod similarity;
 pub mod state;
 
 pub use adaptive::ThresholdPolicy;
-pub use detector::{LpdConfig, LpdObservation, RegionPhaseDetector, RegionPhaseStats};
-pub use manager::LpdManager;
+pub use detector::{
+    LpdConfig, LpdDetectorSnapshot, LpdObservation, RegionPhaseDetector, RegionPhaseStats,
+};
+pub use manager::{LpdManager, LpdManagerSnapshot};
 pub use similarity::{PearsonCache, Similarity, SimilarityKind};
 pub use state::LpdState;
 

@@ -5,7 +5,19 @@ use std::collections::BTreeMap;
 use regmon_regions::{AttributionView, RegionId, RegionMonitor};
 
 use crate::adaptive::ThresholdPolicy;
-use crate::detector::{LpdConfig, LpdObservation, RegionPhaseDetector, RegionPhaseStats};
+use crate::detector::{
+    LpdConfig, LpdDetectorSnapshot, LpdObservation, RegionPhaseDetector, RegionPhaseStats,
+};
+
+/// Plain-data image of an [`LpdManager`]: every live detector's state
+/// plus the stats of retired (pruned) regions, both in region-id order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpdManagerSnapshot {
+    /// Live detectors, ascending by region id.
+    pub detectors: Vec<(RegionId, LpdDetectorSnapshot)>,
+    /// Retired regions' frozen lifetime stats, ascending by region id.
+    pub retired: Vec<(RegionId, RegionPhaseStats)>,
+}
 
 /// Owns one [`RegionPhaseDetector`] per monitored region and routes each
 /// interval's histograms to them.
@@ -146,6 +158,34 @@ impl LpdManager {
     #[must_use]
     pub fn all_stable(&self) -> bool {
         self.detectors.values().all(RegionPhaseDetector::is_stable)
+    }
+
+    /// Exports every detector's state for checkpointing.
+    #[must_use]
+    pub fn export(&self) -> LpdManagerSnapshot {
+        LpdManagerSnapshot {
+            detectors: self
+                .detectors
+                .iter()
+                .map(|(id, det)| (*id, det.export()))
+                .collect(),
+            retired: self.retired.iter().map(|(id, s)| (*id, *s)).collect(),
+        }
+    }
+
+    /// Rebuilds a manager from an exported snapshot; future interval
+    /// observations are bit-identical to the original manager's.
+    #[must_use]
+    pub fn restore(config: LpdConfig, snapshot: LpdManagerSnapshot) -> Self {
+        Self {
+            config,
+            detectors: snapshot
+                .detectors
+                .into_iter()
+                .map(|(id, det)| (id, RegionPhaseDetector::restore(config, det)))
+                .collect(),
+            retired: snapshot.retired.into_iter().collect(),
+        }
     }
 }
 

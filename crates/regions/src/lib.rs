@@ -63,7 +63,9 @@ pub use index::{
     FlatSortedIndex, HitCache, IndexKind, IntervalTreeIndex, LinearIndex, RegionIndex,
 };
 pub use interval_tree::IntervalTree;
-pub use monitor::{ArenaReport, AttributionView, DistributionReport, RegionMonitor};
+pub use monitor::{
+    ArenaReport, AttributionView, DistributionReport, MonitorSnapshot, RegionMonitor, RegionRecord,
+};
 pub use pruning::Pruner;
 pub use region::{Region, RegionId, RegionKind};
 pub use traces::{Trace, TraceConfig, TraceFormation};

@@ -367,6 +367,34 @@ impl ParScratch {
     }
 }
 
+/// Durable identity of one monitored region — what [`MonitorSnapshot`]
+/// records per region. Everything else the monitor holds (index
+/// structures, range table, arena) is derived state rebuilt on restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionRecord {
+    /// The region's id (preserved across restore; ids are never reused).
+    pub id: RegionId,
+    /// Monitored address range.
+    pub range: AddrRange,
+    /// What formed the region.
+    pub kind: RegionKind,
+    /// Interval index at formation time.
+    pub created_interval: usize,
+}
+
+/// Plain-data image of a [`RegionMonitor`]'s durable state. Snapshots
+/// are taken at interval boundaries, where the attribution arena is
+/// logically clear, so only the region table and the id allocator need
+/// to survive; the attribution index and range table are pure functions
+/// of the region set and are rebuilt on restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorSnapshot {
+    /// Every monitored region, ascending by id.
+    pub regions: Vec<RegionRecord>,
+    /// The next id the monitor would hand out.
+    pub next_id: u64,
+}
+
 /// Holds the monitored regions and their attribution index.
 #[derive(Debug)]
 pub struct RegionMonitor {
@@ -587,6 +615,71 @@ impl RegionMonitor {
         self.attribute(samples);
         self.report().to_owned_report()
     }
+
+    /// Exports the monitor's durable state for checkpointing. Must be
+    /// called at an interval boundary (after the last interval's
+    /// consumers are done with [`RegionMonitor::report`]): the arena's
+    /// per-interval contents are deliberately not captured.
+    #[must_use]
+    pub fn export(&self) -> MonitorSnapshot {
+        MonitorSnapshot {
+            regions: self
+                .regions
+                .values()
+                .map(|r| RegionRecord {
+                    id: r.id(),
+                    range: r.range(),
+                    kind: r.kind(),
+                    created_interval: r.created_interval(),
+                })
+                .collect(),
+            next_id: self.next_id,
+        }
+    }
+
+    /// Rebuilds a monitor from an exported snapshot: region ids are
+    /// preserved (so downstream per-region state keyed by id stays
+    /// valid), the attribution index and range table are reconstructed,
+    /// and the arena starts fresh — exactly the state an original
+    /// monitor has at the same interval boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's regions are not strictly ascending by
+    /// id or an id is not below `next_id`.
+    #[must_use]
+    pub fn restore(index: IndexKind, snapshot: MonitorSnapshot) -> Self {
+        let mut monitor = Self::new(index);
+        let mut prev: Option<RegionId> = None;
+        for record in snapshot.regions {
+            assert!(
+                prev.map_or(true, |p| p < record.id),
+                "snapshot regions must be strictly ascending by id"
+            );
+            assert!(
+                record.id.0 < snapshot.next_id,
+                "snapshot region id {} not below next_id {}",
+                record.id,
+                snapshot.next_id
+            );
+            prev = Some(record.id);
+            let region = Region::new(
+                record.id,
+                record.range,
+                record.kind,
+                record.created_interval,
+            );
+            monitor.index.insert(record.id, record.range);
+            monitor
+                .by_range
+                .entry(record.range)
+                .or_default()
+                .push(record.id);
+            monitor.regions.insert(record.id, region);
+        }
+        monitor.next_id = snapshot.next_id;
+        monitor
+    }
 }
 
 #[cfg(test)]
@@ -786,6 +879,58 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn export_restore_preserves_regions_ids_and_attribution() {
+        for kind in [
+            IndexKind::Linear,
+            IndexKind::IntervalTree,
+            IndexKind::FlatSorted,
+        ] {
+            let mut mon = RegionMonitor::new(kind);
+            let a = mon.add_region(range(0x100, 0x180), RegionKind::Loop { depth: 1 }, 2);
+            mon.add_region(range(0x140, 0x1c0), RegionKind::Custom, 3);
+            mon.remove_region(a);
+            let c = mon.add_region(range(0x300, 0x340), RegionKind::Procedure, 5);
+            let snap = mon.export();
+            let mut restored = RegionMonitor::restore(kind, snap.clone());
+            assert_eq!(restored.export(), snap, "{kind:?}");
+            assert_eq!(restored.len(), mon.len());
+            assert_eq!(restored.region(c).unwrap().created_interval(), 5);
+            // Ids keep advancing past the snapshot's allocator position.
+            let d = restored.add_region(range(0x500, 0x540), RegionKind::Custom, 7);
+            assert_eq!(
+                d,
+                mon.add_region(range(0x500, 0x540), RegionKind::Custom, 7)
+            );
+            // Attribution through the rebuilt index matches the original.
+            let samples: Vec<PcSample> =
+                (0..300).map(|i| sample(0x100 + (i * 7) % 0x500)).collect();
+            assert_eq!(
+                restored.distribute(&samples),
+                mon.distribute(&samples),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn restore_rejects_unsorted_snapshot() {
+        let record = |id: u64| RegionRecord {
+            id: RegionId(id),
+            range: range(0x100 * (id + 1), 0x100 * (id + 1) + 0x40),
+            kind: RegionKind::Custom,
+            created_interval: 0,
+        };
+        let _ = RegionMonitor::restore(
+            IndexKind::Linear,
+            MonitorSnapshot {
+                regions: vec![record(3), record(1)],
+                next_id: 4,
+            },
+        );
     }
 
     #[test]

@@ -36,6 +36,22 @@ impl Pruner {
         }
     }
 
+    /// Exports the per-region cold streaks, ascending by region id
+    /// (checkpointing; the policy parameters live in the session
+    /// config).
+    #[must_use]
+    pub fn cold_streaks(&self) -> Vec<(RegionId, usize)> {
+        let mut streaks: Vec<(RegionId, usize)> =
+            self.cold_streak.iter().map(|(id, s)| (*id, *s)).collect();
+        streaks.sort_unstable_by_key(|(id, _)| *id);
+        streaks
+    }
+
+    /// Restores previously exported cold streaks into a fresh pruner.
+    pub fn restore_streaks(&mut self, streaks: &[(RegionId, usize)]) {
+        self.cold_streak = streaks.iter().copied().collect();
+    }
+
     /// Updates streaks from this interval's report and returns the
     /// regions whose streak reached the limit, **without** removing them
     /// from the monitor. The borrow-based arena report keeps the monitor

@@ -30,6 +30,23 @@ impl UcrTracker {
         Self::default()
     }
 
+    /// Rebuilds a tracker from a previously exported
+    /// [`UcrTracker::timeline`] (checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fraction is outside `[0, 1]`.
+    #[must_use]
+    pub fn from_timeline(timeline: Vec<f64>) -> Self {
+        assert!(
+            timeline.iter().all(|f| (0.0..=1.0).contains(f)),
+            "UCR fraction must be in [0,1]"
+        );
+        Self {
+            fractions: timeline,
+        }
+    }
+
     /// Records one interval's UCR fraction.
     ///
     /// # Panics

@@ -1,0 +1,55 @@
+//! The serve layer's error type: wire failures plus stream-level
+//! protocol violations the frame codec cannot see.
+
+use std::fmt;
+use std::io;
+
+use crate::wire::WireError;
+
+/// Why ingesting a wire stream (live or journaled) failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The frame layer rejected the stream.
+    Wire(WireError),
+    /// The frames were individually valid but violated the stream
+    /// protocol (e.g. `Batch` before `Admit`, missing `Hello`,
+    /// duplicate tenant id).
+    Protocol(String),
+    /// An `Admit` frame named a workload the suite does not contain.
+    UnknownWorkload(String),
+    /// A filesystem or socket operation failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Wire(e) => write!(f, "{e}"),
+            Self::Protocol(what) => write!(f, "protocol violation: {what}"),
+            Self::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Wire(e) => Some(e),
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}

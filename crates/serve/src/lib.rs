@@ -1,0 +1,70 @@
+//! Out-of-process ingestion for regmon: wire protocol, snapshots,
+//! journals, replay and the serve-mode server.
+//!
+//! The paper's monitoring pipeline runs inside the profiled process;
+//! this crate lets it run *outside* one. A producer samples (or
+//! records) PC-sample intervals and streams them as `regmon-wire-v1`
+//! frames — length-prefixed, CRC-checked, versioned — over a unix
+//! socket, TCP connection or file. Three consumers understand the
+//! stream and agree byte-identically:
+//!
+//! * [`server::Server`] (`regmon serve`) — demultiplexes N concurrent
+//!   producer connections into [`regmon_fleet::FleetEngine`] shard
+//!   workers;
+//! * [`replay::replay`] (`regmon replay`) — re-processes a journal file
+//!   in-process, optionally checkpointing mid-stream;
+//! * [`journal::read_journal`] — plain decoding for tooling.
+//!
+//! Checkpointing rides on [`regmon::SessionSnapshot`]: the
+//! [`snapshot`] module serializes the full session state (regions,
+//! histograms, detector state machines, UCR timeline, pruner streaks)
+//! with floats as raw bit patterns, so a session can be saved on one
+//! `serve` process, moved, restored on another and *continue
+//! byte-identically*.
+//!
+//! # Example
+//!
+//! ```
+//! use regmon::{MonitoringSession, SessionConfig};
+//! use regmon_serve::journal::record_run;
+//! use regmon_serve::replay::{replay, ReplayOptions};
+//! use regmon_workload::suite;
+//!
+//! let w = suite::by_name("181.mcf").unwrap();
+//! let config = SessionConfig::new(450_000);
+//! let dir = std::env::temp_dir();
+//! let path = dir.join(format!("doc-{}.rgj", std::process::id()));
+//!
+//! // Record 10 intervals, then replay them.
+//! record_run(&path, &w, &config, 10).unwrap();
+//! let outcome = replay(&path, &ReplayOptions::default()).unwrap();
+//! std::fs::remove_file(&path).ok();
+//!
+//! // The replay is byte-identical to the in-process run.
+//! let direct = MonitoringSession::run_limited(&w, &config, 10);
+//! assert_eq!(
+//!     format!("{:?}", outcome.tenants[0].summary),
+//!     format!("{direct:?}"),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod crc;
+pub mod error;
+pub mod journal;
+pub mod replay;
+pub mod server;
+pub mod snapshot;
+pub mod wire;
+
+pub use error::ServeError;
+pub use journal::{read_journal, record_run, JournalWriter};
+pub use replay::{replay, ReplayOptions, ReplayOutcome, ReplayTenant};
+pub use server::{serve_tcp, ServeOptions, ServeReport, ServedSession, Server};
+pub use snapshot::{load_snapshot, save_snapshot};
+pub use wire::{read_frame, write_frame, AdmitFrame, Frame, FrameReader, WireError, WIRE_VERSION};
+
+#[cfg(unix)]
+pub use server::serve_unix;

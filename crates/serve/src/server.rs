@@ -1,0 +1,557 @@
+//! `regmon serve`: a wire-ingesting server over the fleet engine.
+//!
+//! The server accepts N concurrent producer connections (unix socket or
+//! TCP), decodes their `regmon-wire-v1` frames and demultiplexes the
+//! intervals into [`FleetEngine`] shard workers — the same bounded ring
+//! queues, batching and telemetry the in-process fleet driver uses.
+//! Each connection's wire tenant ids are remapped to engine-global
+//! tenant ids at admission, so independent producers can both call
+//! their first session "tenant 0".
+//!
+//! Shutdown is graceful by construction: [`Server::finish`] first runs
+//! the engine's drain barrier (every queued frame is fully processed),
+//! then joins the shard workers and collects their final summaries.
+//! Because the pipeline is deterministic and the wire codec bit-exact,
+//! a session streamed through the server finishes byte-identical to the
+//! same session run in-process.
+
+use std::collections::HashMap;
+use std::io::Read;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use regmon::{SessionConfig, SessionSummary};
+use regmon_fleet::{EngineConfig, FleetEngine, TenantId, TenantSpec};
+use regmon_workload::suite;
+
+use crate::error::ServeError;
+use crate::wire::{Frame, FrameReader};
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Shard worker threads.
+    pub shards: usize,
+    /// Ring-queue depth per shard, in payload units.
+    pub queue_depth: usize,
+    /// Stop accepting and shut down once this many sessions finished.
+    pub expect_sessions: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            shards: 2,
+            queue_depth: 256,
+            expect_sessions: 1,
+        }
+    }
+}
+
+/// One finished wire session, in admission order.
+#[derive(Debug, Clone)]
+pub struct ServedSession {
+    /// Tenant display name from the `Admit` frame.
+    pub name: String,
+    /// The configuration the producer streamed.
+    pub config: SessionConfig,
+    /// The finished session's summary (`None` only if the tenant's
+    /// stream never finished or its session failed).
+    pub summary: Option<SessionSummary>,
+}
+
+/// What a server run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Every admitted session, in admission order.
+    pub sessions: Vec<ServedSession>,
+    /// Producer connections handled.
+    pub connections: usize,
+    /// Frames decoded across all connections.
+    pub frames: u64,
+    /// Wire bytes received across all connections.
+    pub bytes: u64,
+    /// Connection-level errors, in arrival order (the server keeps
+    /// serving other connections when one stream goes bad).
+    pub errors: Vec<String>,
+}
+
+struct SessionEntry {
+    engine_id: TenantId,
+    name: String,
+    config: SessionConfig,
+    /// Highest interval index seen, for the frame-lag histogram.
+    last_interval: Option<usize>,
+    finished: bool,
+}
+
+struct ServerState {
+    engine: Option<FleetEngine>,
+    sessions: Vec<SessionEntry>,
+    finished: usize,
+    connections: usize,
+    frames: u64,
+    bytes: u64,
+    errors: Vec<String>,
+}
+
+/// The ingestion server: share it across connection-handler threads
+/// with an [`Arc`], then call [`Server::finish`] to drain and collect.
+pub struct Server {
+    state: Mutex<ServerState>,
+    options: ServeOptions,
+    done: AtomicBool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("options", &self.options)
+            .field("done", &self.done.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Creates a server with a fresh fleet engine.
+    #[must_use]
+    pub fn new(options: ServeOptions) -> Self {
+        let engine = FleetEngine::new(EngineConfig::new(options.shards, options.queue_depth));
+        Self {
+            state: Mutex::new(ServerState {
+                engine: Some(engine),
+                sessions: Vec::new(),
+                finished: 0,
+                connections: 0,
+                frames: 0,
+                bytes: 0,
+                errors: Vec::new(),
+            }),
+            options,
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// `true` once [`ServeOptions::expect_sessions`] sessions finished.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Handles one producer connection to completion, demultiplexing
+    /// its frames into the engine. Returns the number of sessions the
+    /// connection finished.
+    ///
+    /// # Errors
+    ///
+    /// Wire-layer failures and stream protocol violations. State fed
+    /// before the failure stays fed — the engine keeps processing other
+    /// connections' tenants.
+    pub fn handle(&self, stream: impl Read) -> Result<usize, ServeError> {
+        let telemetry_on = regmon_telemetry::enabled();
+        if telemetry_on {
+            regmon_telemetry::metrics::SERVE_CONNECTIONS.inc();
+        }
+        {
+            let mut state = self.state.lock().expect("server state poisoned");
+            state.connections += 1;
+        }
+        let result = self.pump_frames(stream, telemetry_on);
+        if telemetry_on {
+            regmon_telemetry::metrics::SERVE_CONNECTIONS_CLOSED.inc();
+        }
+        if let Err(e) = &result {
+            if telemetry_on {
+                regmon_telemetry::metrics::SERVE_FRAMES_REJECTED.inc();
+            }
+            let mut state = self.state.lock().expect("server state poisoned");
+            state.errors.push(e.to_string());
+        }
+        result
+    }
+
+    fn pump_frames(&self, stream: impl Read, telemetry_on: bool) -> Result<usize, ServeError> {
+        let mut reader = FrameReader::new(stream);
+        // Wire tenant id (connection-scoped) → index into state.sessions.
+        let mut local: HashMap<u32, usize> = HashMap::new();
+        let mut saw_hello = false;
+        let mut finished_here = 0usize;
+        let mut last_bytes = 0u64;
+        loop {
+            let frame = match reader.next_frame() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(e) => {
+                    self.account(reader.bytes_read() - last_bytes, 0, telemetry_on);
+                    return Err(e.into());
+                }
+            };
+            let new_bytes = reader.bytes_read() - last_bytes;
+            last_bytes = reader.bytes_read();
+            self.account(new_bytes, 1, telemetry_on);
+            match frame {
+                Frame::Hello { .. } => {
+                    if saw_hello {
+                        return Err(ServeError::Protocol("duplicate Hello frame".into()));
+                    }
+                    saw_hello = true;
+                }
+                _ if !saw_hello => {
+                    return Err(ServeError::Protocol(
+                        "stream must open with a Hello frame".into(),
+                    ));
+                }
+                Frame::Admit(admit) => {
+                    if local.contains_key(&admit.tenant) {
+                        return Err(ServeError::Protocol(format!(
+                            "duplicate Admit for tenant {}",
+                            admit.tenant
+                        )));
+                    }
+                    let workload = suite::by_name(&admit.workload)
+                        .ok_or_else(|| ServeError::UnknownWorkload(admit.workload.clone()))?;
+                    let spec = TenantSpec::new(
+                        admit.name.clone(),
+                        workload,
+                        admit.config.clone(),
+                        admit.max_intervals as usize,
+                    );
+                    let mut state = self.state.lock().expect("server state poisoned");
+                    let engine = state
+                        .engine
+                        .as_mut()
+                        .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
+                    let engine_id = engine.admit(&spec);
+                    local.insert(admit.tenant, state.sessions.len());
+                    state.sessions.push(SessionEntry {
+                        engine_id,
+                        name: admit.name,
+                        config: admit.config,
+                        last_interval: None,
+                        finished: false,
+                    });
+                    if telemetry_on {
+                        regmon_telemetry::metrics::SERVE_SESSIONS
+                            .set((state.sessions.len() - state.finished) as i64);
+                    }
+                }
+                Frame::Batch {
+                    tenant: id,
+                    intervals,
+                } => {
+                    let &slot = local.get(&id).ok_or_else(|| {
+                        ServeError::Protocol(format!("Batch for unadmitted tenant {id}"))
+                    })?;
+                    let mut state = self.state.lock().expect("server state poisoned");
+                    let entry = &mut state.sessions[slot];
+                    if entry.finished {
+                        return Err(ServeError::Protocol(format!(
+                            "Batch after Finish for tenant {id}"
+                        )));
+                    }
+                    if telemetry_on {
+                        if let (Some(last), Some(first)) =
+                            (entry.last_interval, intervals.first().map(|i| i.index))
+                        {
+                            let lag = first.saturating_sub(last + 1);
+                            regmon_telemetry::metrics::SERVE_FRAME_LAG.record(lag as u64);
+                        }
+                    }
+                    if let Some(interval) = intervals.last() {
+                        entry.last_interval = Some(interval.index);
+                    }
+                    let engine_id = entry.engine_id;
+                    let engine = state
+                        .engine
+                        .as_ref()
+                        .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
+                    engine.offer_batch(engine_id, intervals);
+                }
+                Frame::Finish { tenant: id } => {
+                    let &slot = local.get(&id).ok_or_else(|| {
+                        ServeError::Protocol(format!("Finish for unadmitted tenant {id}"))
+                    })?;
+                    let mut state = self.state.lock().expect("server state poisoned");
+                    if state.sessions[slot].finished {
+                        return Err(ServeError::Protocol(format!(
+                            "duplicate Finish for tenant {id}"
+                        )));
+                    }
+                    state.sessions[slot].finished = true;
+                    state.finished += 1;
+                    finished_here += 1;
+                    let engine_id = state.sessions[slot].engine_id;
+                    if let Some(engine) = state.engine.as_ref() {
+                        engine.finish(engine_id);
+                    }
+                    if telemetry_on {
+                        regmon_telemetry::metrics::SERVE_SESSIONS
+                            .set((state.sessions.len() - state.finished) as i64);
+                    }
+                    if state.finished >= self.options.expect_sessions {
+                        self.done.store(true, Ordering::Release);
+                    }
+                }
+            }
+        }
+        Ok(finished_here)
+    }
+
+    fn account(&self, bytes: u64, frames: u64, telemetry_on: bool) {
+        if bytes == 0 && frames == 0 {
+            return;
+        }
+        if telemetry_on {
+            if bytes > 0 {
+                regmon_telemetry::metrics::SERVE_RECEIVED_BYTES.add(bytes);
+            }
+            if frames > 0 {
+                regmon_telemetry::metrics::SERVE_FRAMES.add(frames);
+            }
+        }
+        let mut state = self.state.lock().expect("server state poisoned");
+        state.bytes += bytes;
+        state.frames += frames;
+    }
+
+    /// Drains every queued frame, shuts the engine down and collects
+    /// per-session summaries in admission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice (the engine is consumed by shutdown).
+    #[must_use]
+    pub fn finish(&self) -> ServeReport {
+        let engine = {
+            let mut state = self.state.lock().expect("server state poisoned");
+            state.engine.take().expect("Server::finish called twice")
+        };
+        engine.drain_barrier();
+        let finals = engine.shutdown();
+        let mut by_id: HashMap<TenantId, Option<SessionSummary>> = HashMap::new();
+        for shard in finals {
+            for tenant in shard.tenants {
+                by_id.insert(tenant.id, tenant.summary);
+            }
+        }
+        let state = self.state.lock().expect("server state poisoned");
+        ServeReport {
+            sessions: state
+                .sessions
+                .iter()
+                .map(|entry| ServedSession {
+                    name: entry.name.clone(),
+                    config: entry.config.clone(),
+                    summary: by_id.get(&entry.engine_id).cloned().flatten(),
+                })
+                .collect(),
+            connections: state.connections,
+            frames: state.frames,
+            bytes: state.bytes,
+            errors: state.errors.clone(),
+        }
+    }
+}
+
+// ------------------------------------------------------------ listeners
+
+fn run_listener<L, S>(
+    listener: L,
+    accept: impl Fn(&L) -> std::io::Result<S>,
+    options: ServeOptions,
+) -> Result<ServeReport, ServeError>
+where
+    S: Read + Send + 'static,
+    L: Send,
+{
+    let server = Arc::new(Server::new(options));
+    let mut handles = Vec::new();
+    while !server.done() {
+        match accept(&listener) {
+            Ok(stream) => {
+                let server = Arc::clone(&server);
+                handles.push(std::thread::spawn(move || {
+                    // Errors are recorded in the report; a bad producer
+                    // must not take the server down.
+                    let _ = server.handle(stream);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(server.finish())
+}
+
+/// Serves producers over a unix domain socket until
+/// [`ServeOptions::expect_sessions`] sessions finished, then drains and
+/// reports. A pre-existing socket file at `path` is replaced.
+///
+/// # Errors
+///
+/// Socket setup failures; per-connection errors land in
+/// [`ServeReport::errors`] instead.
+#[cfg(unix)]
+pub fn serve_unix(path: &Path, options: ServeOptions) -> Result<ServeReport, ServeError> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let report = run_listener(
+        listener,
+        |l| {
+            let (stream, _) = l.accept()?;
+            stream.set_nonblocking(false)?;
+            Ok(stream)
+        },
+        options,
+    );
+    let _ = std::fs::remove_file(path);
+    report
+}
+
+/// Serves producers over TCP until [`ServeOptions::expect_sessions`]
+/// sessions finished, then drains and reports.
+///
+/// # Errors
+///
+/// Socket setup failures; per-connection errors land in
+/// [`ServeReport::errors`] instead.
+pub fn serve_tcp(addr: &str, options: ServeOptions) -> Result<ServeReport, ServeError> {
+    use std::net::TcpListener;
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    run_listener(
+        listener,
+        |l| {
+            let (stream, _) = l.accept()?;
+            stream.set_nonblocking(false)?;
+            Ok(stream)
+        },
+        options,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::JournalWriter;
+    use crate::wire::AdmitFrame;
+    use regmon::MonitoringSession;
+    use regmon_sampling::Sampler;
+
+    fn stream_for(workload: &str, config: &SessionConfig, n: usize, tenant: u32) -> Vec<u8> {
+        let w = suite::by_name(workload).unwrap();
+        let mut journal = JournalWriter::new(Vec::new()).unwrap();
+        journal
+            .admit(AdmitFrame {
+                tenant,
+                name: format!("{workload}#{tenant}"),
+                workload: workload.to_string(),
+                config: config.clone(),
+                max_intervals: n as u64,
+            })
+            .unwrap();
+        let intervals: Vec<_> = Sampler::new(&w, config.sampling).take(n).collect();
+        // Mixed batching: some frames carry one interval, some three.
+        for chunk in intervals.chunks(3) {
+            journal.batch(tenant, chunk.to_vec()).unwrap();
+        }
+        journal.finish(tenant).unwrap();
+        journal.into_inner().unwrap()
+    }
+
+    #[test]
+    fn served_session_matches_in_process_run() {
+        let config = SessionConfig::new(45_000);
+        let server = Server::new(ServeOptions {
+            shards: 2,
+            queue_depth: 16,
+            expect_sessions: 1,
+        });
+        let bytes = stream_for("172.mgrid", &config, 20, 0);
+        server.handle(bytes.as_slice()).unwrap();
+        assert!(server.done());
+        let report = server.finish();
+        assert_eq!(report.connections, 1);
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.sessions.len(), 1);
+
+        let w = suite::by_name("172.mgrid").unwrap();
+        let direct = MonitoringSession::run_limited(&w, &config, 20);
+        let served = report.sessions[0].summary.as_ref().unwrap();
+        assert_eq!(format!("{served:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn two_connections_with_clashing_wire_ids_are_remapped() {
+        let config_a = SessionConfig::new(45_000);
+        let config_b = SessionConfig::new(450_000);
+        let server = Arc::new(Server::new(ServeOptions {
+            shards: 2,
+            queue_depth: 16,
+            expect_sessions: 2,
+        }));
+        // Both producers call their session "tenant 0".
+        let a = stream_for("172.mgrid", &config_a, 12, 0);
+        let b = stream_for("181.mcf", &config_b, 12, 0);
+        let sa = Arc::clone(&server);
+        let ta = std::thread::spawn(move || sa.handle(a.as_slice()).unwrap());
+        let sb = Arc::clone(&server);
+        let tb = std::thread::spawn(move || sb.handle(b.as_slice()).unwrap());
+        assert_eq!(ta.join().unwrap() + tb.join().unwrap(), 2);
+        let report = server.finish();
+        assert_eq!(report.connections, 2);
+        assert_eq!(report.sessions.len(), 2);
+        for session in &report.sessions {
+            assert!(session.summary.is_some(), "{} lost", session.name);
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected_but_server_survives() {
+        let config = SessionConfig::new(45_000);
+        let server = Server::new(ServeOptions {
+            shards: 1,
+            queue_depth: 16,
+            expect_sessions: 1,
+        });
+        let mut bad = stream_for("172.mgrid", &config, 6, 0);
+        let idx = bad.len() / 2;
+        bad[idx] ^= 0xFF;
+        assert!(server.handle(bad.as_slice()).is_err());
+        // A clean producer still gets through.
+        let good = stream_for("172.mgrid", &config, 6, 0);
+        server.handle(good.as_slice()).unwrap();
+        let report = server.finish();
+        assert_eq!(report.errors.len(), 1);
+        assert!(report
+            .sessions
+            .iter()
+            .any(|s| s.summary.as_ref().is_some_and(|sum| sum.intervals == 6)));
+    }
+
+    #[test]
+    fn batch_before_admit_is_a_protocol_error() {
+        let server = Server::new(ServeOptions::default());
+        let mut bytes = Vec::new();
+        crate::wire::write_frame(&mut bytes, &Frame::hello()).unwrap();
+        crate::wire::write_frame(
+            &mut bytes,
+            &Frame::Batch {
+                tenant: 7,
+                intervals: Vec::new(),
+            },
+        )
+        .unwrap();
+        let err = server.handle(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    }
+}

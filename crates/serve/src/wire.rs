@@ -1,0 +1,850 @@
+//! `regmon-wire-v1`: the framed binary ingestion protocol.
+//!
+//! Every frame on the wire is laid out as
+//!
+//! ```text
+//! ┌────────────┬────────────┬───────────┬──────────────────────┐
+//! │ len: u32LE │ crc: u32LE │ type: u8  │ payload (len-1 bytes)│
+//! └────────────┴────────────┴───────────┴──────────────────────┘
+//! ```
+//!
+//! where `len` counts the type byte plus the payload and `crc` is the
+//! CRC-32 (IEEE) of the type byte plus the payload. A stream is a
+//! `Hello` frame followed by any interleaving of `Admit`, `Batch` and
+//! `Finish` frames for the connection's tenants. All integers are
+//! little-endian; floats travel as raw IEEE-754 bit patterns so decoded
+//! configurations are *bit-identical* to what the producer encoded —
+//! the whole determinism contract rests on that.
+//!
+//! Decoding is strict: truncated streams, corrupt checksums, foreign
+//! magic, unknown frame types and out-of-range field values are all
+//! rejected with a typed [`WireError`] naming the failure, never a
+//! panic and never a silently wrong value.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use regmon::{PruningConfig, SessionConfig};
+use regmon_binary::Addr;
+use regmon_gpd::GpdConfig;
+use regmon_lpd::{LpdConfig, SimilarityKind, ThresholdPolicy};
+use regmon_regions::{FormationConfig, IndexKind};
+use regmon_sampling::{Interval, PcSample, SamplingConfig};
+
+use crate::crc::{crc32, Crc32};
+
+/// Magic bytes opening every `Hello` frame and snapshot file header.
+pub const WIRE_MAGIC: [u8; 4] = *b"RGMN";
+
+/// The protocol version this build speaks.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Upper bound on a single frame's `len` field (64 MiB). A frame
+/// claiming more is rejected before any allocation happens.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Upper bound on an encoded string field (tenant / workload names).
+const MAX_STRING_LEN: u32 = 4096;
+
+const TYPE_HELLO: u8 = 1;
+const TYPE_ADMIT: u8 = 2;
+const TYPE_BATCH: u8 = 3;
+const TYPE_FINISH: u8 = 4;
+
+/// Why a wire stream failed to decode.
+#[derive(Debug)]
+pub enum WireError {
+    /// The stream ended inside a frame (torn write, killed producer).
+    Truncated,
+    /// A `Hello` frame carried foreign magic bytes.
+    BadMagic,
+    /// The producer speaks a protocol version this build does not.
+    BadVersion {
+        /// The version the producer announced.
+        got: u16,
+    },
+    /// The frame body does not hash to the checksum in the header.
+    BadCrc {
+        /// Checksum the header claimed.
+        want: u32,
+        /// Checksum the body actually hashes to.
+        got: u32,
+    },
+    /// The frame type byte names no known frame.
+    UnknownFrameType(u8),
+    /// A structurally invalid payload (short field, bad enum tag,
+    /// out-of-range value, invalid UTF-8).
+    Malformed(&'static str),
+    /// A frame header claimed a body larger than [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+    /// The underlying transport failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "wire stream truncated mid-frame"),
+            Self::BadMagic => write!(f, "bad magic (expected \"RGMN\")"),
+            Self::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (this build speaks {WIRE_VERSION})"
+                )
+            }
+            Self::BadCrc { want, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch (header {want:#010x}, body {got:#010x})"
+                )
+            }
+            Self::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            Self::Malformed(what) => write!(f, "malformed frame: {what}"),
+            Self::FrameTooLarge(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            Self::Io(e) => write!(f, "wire transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            Self::Truncated
+        } else {
+            Self::Io(e)
+        }
+    }
+}
+
+/// A tenant admission: everything a server needs to start the session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmitFrame {
+    /// Producer-chosen tenant id, scoping later `Batch`/`Finish` frames
+    /// on the same connection.
+    pub tenant: u32,
+    /// Display name of the tenant.
+    pub name: String,
+    /// Workload (suite binary) name the server resolves the program
+    /// image from.
+    pub workload: String,
+    /// Full session configuration, bit-exact.
+    pub config: SessionConfig,
+    /// Intervals the producer intends to stream (0 = unknown).
+    pub max_intervals: u64,
+}
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Stream opener: magic + protocol version.
+    Hello {
+        /// Protocol version the producer speaks.
+        version: u16,
+    },
+    /// Admits a tenant session.
+    Admit(Box<AdmitFrame>),
+    /// A batch of sampled intervals for one tenant, in stream order.
+    Batch {
+        /// The tenant these intervals belong to.
+        tenant: u32,
+        /// The intervals, oldest first.
+        intervals: Vec<Interval>,
+    },
+    /// Marks a tenant's stream complete.
+    Finish {
+        /// The finished tenant.
+        tenant: u32,
+    },
+}
+
+// --------------------------------------------------------- raw helpers
+
+pub(crate) fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn push_f64(out: &mut Vec<u8>, v: f64) {
+    push_u64(out, v.to_bits());
+}
+
+pub(crate) fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked reader over one frame's payload.
+#[derive(Debug)]
+pub(crate) struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(WireError::Malformed("field runs past the payload"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()?;
+        if len > MAX_STRING_LEN {
+            return Err(WireError::Malformed("string field too long"));
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("invalid UTF-8"))
+    }
+
+    pub(crate) fn usize_field(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?).map_err(|_| WireError::Malformed("usize field overflows"))
+    }
+
+    pub(crate) fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+// ----------------------------------------------------- config codec
+
+/// Serializes a full [`SessionConfig`] into `out`, bit-exact.
+pub fn encode_config(config: &SessionConfig, out: &mut Vec<u8>) {
+    // Sampling.
+    push_u64(out, config.sampling.period());
+    push_u64(out, config.sampling.buffer_capacity() as u64);
+    push_u64(out, config.sampling.max_skid());
+    // Formation.
+    push_f64(out, config.formation.ucr_trigger);
+    push_u64(out, config.formation.min_region_samples as u64);
+    out.push(u8::from(config.formation.interprocedural));
+    // Index.
+    out.push(match config.index {
+        IndexKind::Linear => 0,
+        IndexKind::IntervalTree => 1,
+        IndexKind::FlatSorted => 2,
+    });
+    // GPD.
+    push_u64(out, config.gpd.history_len as u64);
+    push_f64(out, config.gpd.th1);
+    push_f64(out, config.gpd.th2);
+    push_f64(out, config.gpd.th3);
+    push_f64(out, config.gpd.th4);
+    push_u64(out, config.gpd.stable_timer as u64);
+    push_f64(out, config.gpd.max_band_ratio);
+    // LPD.
+    match config.lpd.threshold {
+        ThresholdPolicy::Fixed(rt) => {
+            out.push(0);
+            push_f64(out, rt);
+        }
+        ThresholdPolicy::Adaptive {
+            base,
+            reference_slots,
+            slope,
+            floor,
+        } => {
+            out.push(1);
+            push_f64(out, base);
+            push_u64(out, reference_slots as u64);
+            push_f64(out, slope);
+            push_f64(out, floor);
+        }
+    }
+    out.push(match config.lpd.similarity {
+        SimilarityKind::Pearson => 0,
+        SimilarityKind::Cosine => 1,
+        SimilarityKind::Manhattan => 2,
+        SimilarityKind::Rank => 3,
+    });
+    push_u64(out, config.lpd.min_samples);
+    // Pruning.
+    match config.pruning {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            push_u64(out, p.cold_intervals as u64);
+            push_u64(out, p.min_samples);
+        }
+    }
+    // Attribution parallelism.
+    push_u64(out, config.parallel_attrib as u64);
+}
+
+pub(crate) fn decode_config(cur: &mut Cursor<'_>) -> Result<SessionConfig, WireError> {
+    let period = cur.u64()?;
+    let buffer_capacity = cur.usize_field()?;
+    let max_skid = cur.u64()?;
+    if period == 0 || buffer_capacity == 0 {
+        return Err(WireError::Malformed(
+            "sampling period/buffer must be positive",
+        ));
+    }
+    if max_skid >= period {
+        return Err(WireError::Malformed(
+            "sampling skid must be below the period",
+        ));
+    }
+    let sampling = SamplingConfig::with_buffer(period, buffer_capacity).with_skid(max_skid);
+
+    let formation = FormationConfig {
+        ucr_trigger: cur.f64()?,
+        min_region_samples: cur.usize_field()?,
+        interprocedural: match cur.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(WireError::Malformed("bad interprocedural flag")),
+        },
+    };
+    if !(0.0..=1.0).contains(&formation.ucr_trigger) {
+        return Err(WireError::Malformed("ucr_trigger outside [0,1]"));
+    }
+
+    let index = match cur.u8()? {
+        0 => IndexKind::Linear,
+        1 => IndexKind::IntervalTree,
+        2 => IndexKind::FlatSorted,
+        _ => return Err(WireError::Malformed("bad index kind")),
+    };
+
+    let gpd = GpdConfig {
+        history_len: cur.usize_field()?,
+        th1: cur.f64()?,
+        th2: cur.f64()?,
+        th3: cur.f64()?,
+        th4: cur.f64()?,
+        stable_timer: cur.usize_field()?,
+        max_band_ratio: cur.f64()?,
+    };
+    if gpd.history_len == 0 {
+        return Err(WireError::Malformed("gpd history_len must be positive"));
+    }
+
+    let threshold = match cur.u8()? {
+        0 => ThresholdPolicy::Fixed(cur.f64()?),
+        1 => ThresholdPolicy::Adaptive {
+            base: cur.f64()?,
+            reference_slots: cur.usize_field()?,
+            slope: cur.f64()?,
+            floor: cur.f64()?,
+        },
+        _ => return Err(WireError::Malformed("bad threshold policy tag")),
+    };
+    let similarity = match cur.u8()? {
+        0 => SimilarityKind::Pearson,
+        1 => SimilarityKind::Cosine,
+        2 => SimilarityKind::Manhattan,
+        3 => SimilarityKind::Rank,
+        _ => return Err(WireError::Malformed("bad similarity kind")),
+    };
+    let lpd = LpdConfig {
+        threshold,
+        similarity,
+        min_samples: cur.u64()?,
+    };
+
+    let pruning = match cur.u8()? {
+        0 => None,
+        1 => {
+            let cold_intervals = cur.usize_field()?;
+            let min_samples = cur.u64()?;
+            if cold_intervals == 0 {
+                return Err(WireError::Malformed(
+                    "pruning cold_intervals must be positive",
+                ));
+            }
+            Some(PruningConfig {
+                cold_intervals,
+                min_samples,
+            })
+        }
+        _ => return Err(WireError::Malformed("bad pruning flag")),
+    };
+
+    let parallel_attrib = cur.usize_field()?;
+
+    Ok(SessionConfig {
+        sampling,
+        formation,
+        index,
+        gpd,
+        lpd,
+        pruning,
+        parallel_attrib,
+    })
+}
+
+// --------------------------------------------------- interval codec
+
+fn encode_interval(interval: &Interval, out: &mut Vec<u8>) {
+    push_u64(out, interval.index as u64);
+    push_u64(out, interval.start_cycle);
+    push_u64(out, interval.end_cycle);
+    push_u32(out, interval.samples.len() as u32);
+    for sample in &interval.samples {
+        push_u64(out, sample.addr.get());
+        push_u64(out, sample.cycle);
+    }
+}
+
+fn decode_interval(cur: &mut Cursor<'_>) -> Result<Interval, WireError> {
+    let index = cur.usize_field()?;
+    let start_cycle = cur.u64()?;
+    let end_cycle = cur.u64()?;
+    let nsamples = cur.u32()? as usize;
+    // Each sample is 16 bytes; refuse counts the payload cannot hold
+    // before allocating.
+    if nsamples.saturating_mul(16) > cur.bytes.len() - cur.pos {
+        return Err(WireError::Malformed("sample count exceeds payload"));
+    }
+    let mut samples = Vec::with_capacity(nsamples);
+    for _ in 0..nsamples {
+        samples.push(PcSample {
+            addr: Addr::new(cur.u64()?),
+            cycle: cur.u64()?,
+        });
+    }
+    Ok(Interval {
+        index,
+        start_cycle,
+        end_cycle,
+        samples,
+    })
+}
+
+// ------------------------------------------------------ frame codec
+
+impl Frame {
+    /// The stream-opening frame this build emits.
+    #[must_use]
+    pub fn hello() -> Self {
+        Self::Hello {
+            version: WIRE_VERSION,
+        }
+    }
+
+    fn type_byte(&self) -> u8 {
+        match self {
+            Self::Hello { .. } => TYPE_HELLO,
+            Self::Admit(_) => TYPE_ADMIT,
+            Self::Batch { .. } => TYPE_BATCH,
+            Self::Finish { .. } => TYPE_FINISH,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::Hello { version } => {
+                out.extend_from_slice(&WIRE_MAGIC);
+                push_u16(out, *version);
+            }
+            Self::Admit(admit) => {
+                push_u32(out, admit.tenant);
+                push_str(out, &admit.name);
+                push_str(out, &admit.workload);
+                encode_config(&admit.config, out);
+                push_u64(out, admit.max_intervals);
+            }
+            Self::Batch { tenant, intervals } => {
+                push_u32(out, *tenant);
+                push_u32(out, intervals.len() as u32);
+                for interval in intervals {
+                    encode_interval(interval, out);
+                }
+            }
+            Self::Finish { tenant } => push_u32(out, *tenant),
+        }
+    }
+
+    fn decode(frame_type: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut cur = Cursor::new(payload);
+        let frame = match frame_type {
+            TYPE_HELLO => {
+                if cur.take(4)? != WIRE_MAGIC {
+                    return Err(WireError::BadMagic);
+                }
+                let version = cur.u16()?;
+                if version != WIRE_VERSION {
+                    return Err(WireError::BadVersion { got: version });
+                }
+                Self::Hello { version }
+            }
+            TYPE_ADMIT => {
+                let tenant = cur.u32()?;
+                let name = cur.string()?;
+                let workload = cur.string()?;
+                let config = decode_config(&mut cur)?;
+                let max_intervals = cur.u64()?;
+                Self::Admit(Box::new(AdmitFrame {
+                    tenant,
+                    name,
+                    workload,
+                    config,
+                    max_intervals,
+                }))
+            }
+            TYPE_BATCH => {
+                let tenant = cur.u32()?;
+                let count = cur.u32()? as usize;
+                let mut intervals = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    intervals.push(decode_interval(&mut cur)?);
+                }
+                Self::Batch { tenant, intervals }
+            }
+            TYPE_FINISH => Self::Finish { tenant: cur.u32()? },
+            other => return Err(WireError::UnknownFrameType(other)),
+        };
+        cur.finish()?;
+        Ok(frame)
+    }
+
+    /// Serializes the frame into its full wire representation
+    /// (header + checksum + body).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = vec![self.type_byte()];
+        self.encode_payload(&mut body);
+        let mut out = Vec::with_capacity(8 + body.len());
+        push_u32(&mut out, body.len() as u32);
+        push_u32(&mut out, crc32(&body));
+        out.extend_from_slice(&body);
+        out
+    }
+}
+
+/// Writes one frame to a transport.
+///
+/// # Errors
+///
+/// Propagates transport write failures.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())
+}
+
+/// Reads one frame from a transport. Returns `Ok(None)` on a clean
+/// end-of-stream (EOF exactly on a frame boundary); EOF anywhere inside
+/// a frame is [`WireError::Truncated`].
+///
+/// # Errors
+///
+/// Any [`WireError`]: truncation, checksum mismatch, unknown type,
+/// malformed payload or transport failure.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
+    let mut reader = FrameReader::new(r);
+    reader.next_frame()
+}
+
+/// A frame decoder over a byte stream that also tracks how many wire
+/// bytes it has consumed (for ingestion telemetry).
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    bytes_read: u64,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps a transport.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            bytes_read: 0,
+        }
+    }
+
+    /// Total wire bytes consumed so far (headers included).
+    #[must_use]
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Reads the next frame; `Ok(None)` on clean end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; see [`read_frame`].
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let mut len_buf = [0u8; 4];
+        match read_exact_or_eof(&mut self.inner, &mut len_buf)? {
+            ReadOutcome::CleanEof => return Ok(None),
+            ReadOutcome::Partial => return Err(WireError::Truncated),
+            ReadOutcome::Full => {}
+        }
+        self.bytes_read += 4;
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        if len == 0 {
+            return Err(WireError::Malformed("zero-length frame"));
+        }
+        let mut crc_buf = [0u8; 4];
+        self.inner.read_exact(&mut crc_buf)?;
+        self.bytes_read += 4;
+        let want = u32::from_le_bytes(crc_buf);
+        let mut body = vec![0u8; len as usize];
+        self.inner.read_exact(&mut body)?;
+        self.bytes_read += u64::from(len);
+        let mut crc = Crc32::new();
+        crc.update(&body);
+        let got = crc.finish();
+        if got != want {
+            return Err(WireError::BadCrc { want, got });
+        }
+        let frame = Frame::decode(body[0], &body[1..])?;
+        Ok(Some(frame))
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    CleanEof,
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::CleanEof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_config() -> SessionConfig {
+        let mut config = SessionConfig::new(45_000);
+        config.sampling = SamplingConfig::with_buffer(45_000, 512).with_skid(7);
+        config.index = IndexKind::FlatSorted;
+        config.lpd.threshold = ThresholdPolicy::Adaptive {
+            base: 0.8,
+            reference_slots: 64,
+            slope: 0.05,
+            floor: 0.6,
+        };
+        config.lpd.similarity = SimilarityKind::Rank;
+        config.pruning = Some(PruningConfig {
+            cold_intervals: 9,
+            min_samples: 3,
+        });
+        config.parallel_attrib = 4;
+        config
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::hello(),
+            Frame::Admit(Box::new(AdmitFrame {
+                tenant: 3,
+                name: "mgrid#3".into(),
+                workload: "172.mgrid".into(),
+                config: sample_config(),
+                max_intervals: 40,
+            })),
+            Frame::Batch {
+                tenant: 3,
+                intervals: vec![Interval {
+                    index: 0,
+                    start_cycle: 0,
+                    end_cycle: 45_000 * 3,
+                    samples: vec![
+                        PcSample {
+                            addr: Addr::new(0x4000_1000),
+                            cycle: 45_000,
+                        },
+                        PcSample {
+                            addr: Addr::new(0x4000_1008),
+                            cycle: 90_000,
+                        },
+                    ],
+                }],
+            },
+            Frame::Finish { tenant: 3 },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut stream = Vec::new();
+        let frames = sample_frames();
+        for frame in &frames {
+            write_frame(&mut stream, frame).unwrap();
+        }
+        let mut reader = FrameReader::new(stream.as_slice());
+        for frame in &frames {
+            assert_eq!(reader.next_frame().unwrap().unwrap(), *frame);
+        }
+        assert!(reader.next_frame().unwrap().is_none());
+        assert_eq!(reader.bytes_read(), stream.len() as u64);
+    }
+
+    #[test]
+    fn config_codec_is_bit_exact() {
+        let config = sample_config();
+        let mut bytes = Vec::new();
+        encode_config(&config, &mut bytes);
+        let mut cur = Cursor::new(&bytes);
+        let decoded = decode_config(&mut cur).unwrap();
+        cur.finish().unwrap();
+        assert_eq!(decoded, config);
+    }
+
+    #[test]
+    fn corrupt_byte_is_bad_crc() {
+        for frame in sample_frames() {
+            let mut bytes = frame.encode();
+            // Flip a bit inside the body (past the 8-byte header).
+            let idx = bytes.len() - 1;
+            bytes[idx] ^= 0x01;
+            let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+            assert!(matches!(err, WireError::BadCrc { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_cut() {
+        let bytes = Frame::hello().encode();
+        for cut in 1..bytes.len() {
+            let err = read_frame(&mut &bytes[..cut]).unwrap_err();
+            assert!(matches!(err, WireError::Truncated), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let bytes = Frame::Hello {
+            version: WIRE_VERSION + 1,
+        }
+        .encode();
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, WireError::BadVersion { got } if got == WIRE_VERSION + 1));
+    }
+
+    #[test]
+    fn foreign_magic_rejected() {
+        let mut body = vec![TYPE_HELLO];
+        body.extend_from_slice(b"NOPE");
+        body.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        let mut bytes = Vec::new();
+        push_u32(&mut bytes, body.len() as u32);
+        push_u32(&mut bytes, crc32(&body));
+        bytes.extend_from_slice(&body);
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, WireError::BadMagic));
+    }
+
+    #[test]
+    fn unknown_frame_type_rejected() {
+        let body = vec![99u8, 1, 2, 3];
+        let mut bytes = Vec::new();
+        push_u32(&mut bytes, body.len() as u32);
+        push_u32(&mut bytes, crc32(&body));
+        bytes.extend_from_slice(&body);
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, WireError::UnknownFrameType(99)));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        push_u32(&mut bytes, MAX_FRAME_LEN + 1);
+        push_u32(&mut bytes, 0);
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, WireError::FrameTooLarge(_)));
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_rejected() {
+        let mut body = vec![TYPE_FINISH];
+        push_u32(&mut body, 7);
+        body.push(0xAB); // one byte too many
+        let mut bytes = Vec::new();
+        push_u32(&mut bytes, body.len() as u32);
+        push_u32(&mut bytes, crc32(&body));
+        bytes.extend_from_slice(&body);
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)));
+    }
+
+    #[test]
+    fn batch_sample_count_is_bounds_checked() {
+        // A Batch frame claiming 1M samples in a tiny payload must be
+        // rejected without a huge allocation.
+        let mut body = vec![TYPE_BATCH];
+        push_u32(&mut body, 0); // tenant
+        push_u32(&mut body, 1); // one interval
+        push_u64(&mut body, 0); // index
+        push_u64(&mut body, 0); // start
+        push_u64(&mut body, 1); // end
+        push_u32(&mut body, 1_000_000); // claimed samples
+        let mut bytes = Vec::new();
+        push_u32(&mut bytes, body.len() as u32);
+        push_u32(&mut bytes, crc32(&body));
+        bytes.extend_from_slice(&body);
+        let err = read_frame(&mut bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, WireError::Malformed(_)));
+    }
+}

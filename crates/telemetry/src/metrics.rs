@@ -170,7 +170,64 @@ pub static INTERVALS_PROCESSED: Counter = Counter::new(
     "Profiling intervals processed by monitoring sessions",
 );
 
-static COUNTERS: [&Counter; 20] = [
+// -------------------------------------------------- serve & snapshots
+
+/// Producer connections accepted by `regmon serve`.
+pub static SERVE_CONNECTIONS: Counter = Counter::new(
+    "regmon_serve_connections_total",
+    "Producer connections accepted by the serve listener",
+);
+
+/// Producer connections closed (cleanly or on error).
+pub static SERVE_CONNECTIONS_CLOSED: Counter = Counter::new(
+    "regmon_serve_connections_closed_total",
+    "Producer connections closed by the serve listener",
+);
+
+/// Wire frames decoded successfully.
+pub static SERVE_FRAMES: Counter = Counter::new(
+    "regmon_serve_frames_total",
+    "Wire frames decoded successfully by the serve layer",
+);
+
+/// Wire frames rejected (bad CRC, truncation, version mismatch, …).
+pub static SERVE_FRAMES_REJECTED: Counter = Counter::new(
+    "regmon_serve_frames_rejected_total",
+    "Wire frames rejected by the serve layer",
+);
+
+/// Payload bytes received over the wire (frame headers included).
+pub static SERVE_RECEIVED_BYTES: Counter = Counter::new(
+    "regmon_serve_received_bytes_total",
+    "Bytes received over the wire by the serve layer",
+);
+
+/// Session snapshots written.
+pub static SNAPSHOT_SAVES: Counter = Counter::new(
+    "regmon_snapshot_saves_total",
+    "Session snapshots serialized to disk",
+);
+
+/// Session snapshots restored.
+pub static SNAPSHOT_RESTORES: Counter = Counter::new(
+    "regmon_snapshot_restores_total",
+    "Session snapshots deserialized and resumed",
+);
+
+/// Wire sessions currently admitted and not yet finished.
+pub static SERVE_SESSIONS: Gauge = Gauge::new(
+    "regmon_serve_sessions",
+    "Wire sessions currently admitted and not yet finished",
+);
+
+/// Gap between consecutive interval indices of one wire tenant
+/// (0 = contiguous; log2 buckets).
+pub static SERVE_FRAME_LAG: Histogram = Histogram::new(
+    "regmon_serve_frame_lag_intervals",
+    "Interval-index gap between consecutive frames of one wire tenant",
+);
+
+static COUNTERS: [&Counter; 27] = [
     &QUEUE_PUSHED,
     &QUEUE_POPPED,
     &QUEUE_DROPPED,
@@ -191,11 +248,27 @@ static COUNTERS: [&Counter; 20] = [
     &ATTRIB_SAMPLES,
     &ATTRIB_UNATTRIBUTED,
     &INTERVALS_PROCESSED,
+    &SERVE_CONNECTIONS,
+    &SERVE_CONNECTIONS_CLOSED,
+    &SERVE_FRAMES,
+    &SERVE_FRAMES_REJECTED,
+    &SERVE_RECEIVED_BYTES,
+    &SNAPSHOT_SAVES,
+    &SNAPSHOT_RESTORES,
 ];
 
-static GAUGES: [&Gauge; 3] = [&QUEUE_HIGH_WATER, &FLEET_TENANTS, &REGIONS_LIVE];
+static GAUGES: [&Gauge; 4] = [
+    &QUEUE_HIGH_WATER,
+    &FLEET_TENANTS,
+    &REGIONS_LIVE,
+    &SERVE_SESSIONS,
+];
 
-static HISTOGRAMS: [&Histogram; 2] = [&QUEUE_BATCH_UNITS, &ATTRIB_INTERVAL_SAMPLES];
+static HISTOGRAMS: [&Histogram; 3] = [
+    &QUEUE_BATCH_UNITS,
+    &ATTRIB_INTERVAL_SAMPLES,
+    &SERVE_FRAME_LAG,
+];
 
 /// Every registered counter, in exposition order.
 #[must_use]

@@ -21,6 +21,9 @@
 #      acceptance floor).
 #   5. FAIL if enabling telemetry costs more than 2% throughput on the
 #      headline cell (within-run: telemetry-off vs telemetry-on).
+#   6. FAIL if wire-frame ingest (CRC-check + decode feeding the ring
+#      queues — the `regmon serve` path) dropped below half the
+#      committed baseline.
 #
 # Within-run ratios compare two measurements from the *same* run on the
 # *same* machine, so they are robust to slow CI hosts.
@@ -100,6 +103,22 @@ awk -v fresh="$fresh_ring" -v committed="$committed_ring" 'BEGIN {
 awk -v s="$fleet_speedup" 'BEGIN {
   if (s < 3.0) {
     printf "FAIL: fleet ingest speedup %.2fx over the legacy transport dropped below the committed 3x floor\n", s
+    exit 1
+  }
+}'
+
+committed_wire="$(field "$FLEET_COMMITTED" wire_m_intervals_per_sec)"
+fresh_wire="$(field "$FLEET_FRESH" wire_m_intervals_per_sec)"
+[[ -n "$committed_wire" && -n "$fresh_wire" ]] || {
+  echo "FAIL: could not parse wire_m_intervals_per_sec from fleet headline" >&2
+  exit 1
+}
+
+echo "bench guard: wire ingest ${fresh_wire} M intervals/s (committed ${committed_wire})"
+
+awk -v fresh="$fresh_wire" -v committed="$committed_wire" 'BEGIN {
+  if (fresh * 2.0 < committed) {
+    printf "FAIL: wire ingest regressed: %.3f M intervals/s < half of committed %.3f\n", fresh, committed
     exit 1
   }
 }'

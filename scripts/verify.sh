@@ -62,6 +62,34 @@ if [[ "$a" != "$b" ]]; then
   exit 1
 fi
 
+step "serve smoke (record -> replay/serve/resume all byte-identical to run)"
+serve_dir="$(mktemp -d /tmp/regmon_serve.XXXXXX)"
+run_json="$(cargo run -q --release -p regmon-cli -- run 181.mcf --intervals 30 --json --record "$serve_dir/session.rgj" 2>/dev/null)"
+replay_json="$(cargo run -q --release -p regmon-cli -- replay "$serve_dir/session.rgj" --json)"
+if [[ "$run_json" != "$replay_json" ]]; then
+  echo "FAIL: replay --json differed from the recorded run --json" >&2
+  exit 1
+fi
+snap_json="$(cargo run -q --release -p regmon-cli -- replay "$serve_dir/session.rgj" --json --snapshot-at 12 --snapshot-out "$serve_dir/ck.rgsn" 2>/dev/null)"
+resume_json="$(cargo run -q --release -p regmon-cli -- replay "$serve_dir/session.rgj" --json --resume "$serve_dir/ck.rgsn")"
+if [[ "$run_json" != "$snap_json" || "$run_json" != "$resume_json" ]]; then
+  echo "FAIL: checkpoint/resume replay differed from the recorded run" >&2
+  exit 1
+fi
+cargo run -q --release -p regmon-cli -- serve --unix "$serve_dir/regmon.sock" --expect-sessions 1 --json >"$serve_dir/served.json" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do [[ -S "$serve_dir/regmon.sock" ]] && break; sleep 0.1; done
+cargo run -q --release -p regmon-cli -- send "$serve_dir/session.rgj" --unix "$serve_dir/regmon.sock" 2>/dev/null
+wait "$serve_pid"
+if [[ "$run_json" != "$(cat "$serve_dir/served.json")" ]]; then
+  echo "FAIL: served --json differed from the recorded run --json" >&2
+  exit 1
+fi
+rm -rf "$serve_dir"
+
+step "serve demo example"
+cargo run -q --release -p regmon-serve --example serve_demo >/dev/null
+
 step "bench smoke (QUICK_BENCH=1)"
 QUICK_BENCH=1 cargo bench -q -p regmon-bench --bench fleet >/dev/null
 cargo bench -q -p regmon-bench --bench attribution -- --smoke >/dev/null

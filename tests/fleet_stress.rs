@@ -100,9 +100,15 @@ fn tiny_queue_drop_oldest_records_drops() {
         let config = FleetConfig::new(2, 1)
             .with_policy(QueuePolicy::DropOldest)
             .with_pacing(pacing);
-        let report = run_fleet(&config, &specs, &Schedule::new());
-        let drops: usize = report.shards.iter().map(|s| s.dropped_intervals).sum();
-        assert!(drops > 0, "depth-1 DropOldest must drop ({pacing:?})");
+        // Lockstep drops are deterministic driver-side decisions; freerun
+        // drops need the producer to genuinely outrun a depth-1 queue,
+        // which the scheduler on a single-core host does not guarantee in
+        // any one run — so the freerun leg gets a few attempts.
+        let attempts = if pacing == Pacing::Freerun { 10 } else { 1 };
+        let report = (0..attempts)
+            .map(|_| run_fleet(&config, &specs, &Schedule::new()))
+            .find(|r| r.shards.iter().map(|s| s.dropped_intervals).sum::<usize>() > 0)
+            .unwrap_or_else(|| panic!("depth-1 DropOldest must drop ({pacing:?})"));
         assert!(
             report.aggregate.intervals_processed < report.aggregate.intervals_produced,
             "drops must be real ({pacing:?})"
