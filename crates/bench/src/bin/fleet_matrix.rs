@@ -41,6 +41,7 @@ use regmon_binary::Addr;
 use regmon_fleet::{Droppable, QueuePolicy, RingQueue};
 use regmon_sampling::{Interval, PcSample};
 use regmon_serve::wire::{read_frame, Frame};
+use regmon_stats::{simd, SimdLevel};
 
 /// Samples per synthetic interval payload (the payload travels by move,
 /// so this sets consumer accounting work, not copy volume).
@@ -384,6 +385,106 @@ fn run_wire(shape: Shape, frames: &[(usize, Vec<u8>)]) -> f64 {
     elapsed
 }
 
+// ---------------------------------------------------------------------------
+// The seed's wire codec, reconstructed as the decode baseline
+// ---------------------------------------------------------------------------
+
+/// The seed's byte-at-a-time CRC-32 (IEEE) — the loop-carried-dependency
+/// form the slice-by-8 kernel in `regmon-serve` replaced. Checksum
+/// values are identical; only the throughput differs.
+fn legacy_crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        const POLY: u32 = 0xEDB8_8320;
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut state = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        state = (state >> 8) ^ TABLE[((state ^ u32::from(b)) & 0xFF) as usize];
+    }
+    state ^ 0xFFFF_FFFF
+}
+
+/// The seed's Batch-frame decode, reconstructed exactly: bytewise CRC
+/// over the body plus a per-sample cursor loop (two bounds-checked
+/// reads per sample) instead of today's prevalidated bulk copy. This is
+/// the baseline the committed `wire_decode_speedup` measures against,
+/// the same way `LegacyQueue` anchors the transport rows.
+fn legacy_decode_batch(bytes: &[u8]) -> (u32, Vec<Interval>) {
+    struct Cur<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+    impl Cur<'_> {
+        fn u32(&mut self) -> u32 {
+            let v = u32::from_le_bytes(
+                self.bytes[self.pos..self.pos + 4]
+                    .try_into()
+                    .expect("four bytes"),
+            );
+            self.pos += 4;
+            v
+        }
+        fn u64(&mut self) -> u64 {
+            let v = u64::from_le_bytes(
+                self.bytes[self.pos..self.pos + 8]
+                    .try_into()
+                    .expect("eight bytes"),
+            );
+            self.pos += 8;
+            v
+        }
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("len")) as usize;
+    let want = u32::from_le_bytes(bytes[4..8].try_into().expect("crc"));
+    let body = &bytes[8..8 + len];
+    assert_eq!(legacy_crc32(body), want, "reconstructed CRC mismatch");
+    assert_eq!(body[0], 3, "expected a Batch frame");
+    let mut cur = Cur {
+        bytes: body,
+        pos: 1,
+    };
+    let tenant = cur.u32();
+    let count = cur.u32() as usize;
+    let mut intervals = Vec::with_capacity(count);
+    for _ in 0..count {
+        let index = cur.u64() as usize;
+        let start_cycle = cur.u64();
+        let end_cycle = cur.u64();
+        let nsamples = cur.u32() as usize;
+        let mut samples = Vec::with_capacity(nsamples);
+        for _ in 0..nsamples {
+            samples.push(PcSample {
+                addr: Addr::new(cur.u64()),
+                cycle: cur.u64(),
+            });
+        }
+        intervals.push(Interval {
+            index,
+            start_cycle,
+            end_cycle,
+            samples,
+        });
+    }
+    assert_eq!(cur.pos, body.len(), "trailing bytes in Batch frame");
+    (tenant, intervals)
+}
+
 /// Median throughput in million intervals per second over `reps` runs.
 fn median_mips<F: FnMut() -> f64>(total_intervals: usize, reps: usize, mut run: F) -> f64 {
     run(); // warmup
@@ -461,6 +562,87 @@ fn main() {
         }
     }
 
+    // Wire-decode microbench: the serve connection-thread codec in
+    // isolation — CRC check, frame parse, and the bulk sample decode of
+    // the pre-encoded headline frames — with no queues or consumer
+    // threads, so the rows isolate the codec the kernel port targets.
+    // The baseline is the seed's codec reconstructed below (bytewise
+    // CRC + per-sample cursor decode), and every supported SIMD level
+    // of today's codec is timed within the same run (forced via
+    // `simd::force`), which keeps the committed speedup meaningful
+    // across hosts of different absolute speed. The forced-scalar row
+    // shows the bulk-decode restructuring alone; the vector rows add
+    // the SIMD copies, which must match it byte-for-byte.
+    let decode_shape = Shape {
+        tenants: HEADLINE_TENANTS,
+        shards: HEADLINE_SHARDS,
+        batch: HEADLINE_BATCH,
+        per_tenant,
+    };
+    let decode_frames = encode_wire_frames(decode_shape);
+    let decode_total = HEADLINE_TENANTS * per_tenant;
+    let decode_all = |frames: &[(usize, Vec<u8>)]| -> f64 {
+        let start = Instant::now();
+        let mut seen = 0usize;
+        for (_, bytes) in frames {
+            let frame = read_frame(&mut bytes.as_slice())
+                .expect("pre-encoded frame decodes")
+                .expect("one frame per message");
+            let Frame::Batch { intervals, .. } = frame else {
+                unreachable!("only Batch frames are encoded")
+            };
+            seen += intervals.len();
+            black_box(intervals);
+        }
+        assert_eq!(seen, decode_total, "decode lost intervals");
+        start.elapsed().as_secs_f64()
+    };
+    // The reconstructed seed codec must produce the exact intervals the
+    // current decoder does — checked once, outside the timed region.
+    {
+        let (_, bytes) = &decode_frames[0];
+        let (legacy_tenant, legacy_intervals) = legacy_decode_batch(bytes);
+        let Frame::Batch { tenant, intervals } = read_frame(&mut bytes.as_slice())
+            .expect("pre-encoded frame decodes")
+            .expect("one frame per message")
+        else {
+            unreachable!("only Batch frames are encoded")
+        };
+        assert_eq!(legacy_tenant, tenant, "legacy codec tenant mismatch");
+        assert_eq!(
+            legacy_intervals, intervals,
+            "legacy codec interval mismatch"
+        );
+    }
+    let decode_legacy_mips = median_mips(decode_total, reps, || {
+        let start = Instant::now();
+        let mut seen = 0usize;
+        for (_, bytes) in &decode_frames {
+            let (tenant, intervals) = legacy_decode_batch(bytes);
+            seen += intervals.len();
+            black_box((tenant, intervals));
+        }
+        assert_eq!(seen, decode_total, "legacy decode lost intervals");
+        start.elapsed().as_secs_f64()
+    });
+    let level_before = simd::active();
+    let mut decode_rows: Vec<(SimdLevel, f64)> = Vec::new();
+    for level in SimdLevel::ALL {
+        if simd::force(level) != level {
+            continue; // level not supported on this host
+        }
+        let mips = median_mips(decode_total, reps, || decode_all(&decode_frames));
+        decode_rows.push((level, mips));
+    }
+    simd::force(level_before);
+    let decode_scalar_mips = decode_rows
+        .iter()
+        .find(|(level, _)| *level == SimdLevel::Scalar)
+        .expect("scalar decode row")
+        .1;
+    let &(decode_level, decode_simd_mips) = decode_rows.last().expect("decode rows");
+    let decode_speedup = decode_simd_mips / decode_legacy_mips;
+
     let pick = |transport: &str, batch: usize| -> f64 {
         cells
             .iter()
@@ -490,7 +672,8 @@ fn main() {
     // The estimator ignores QUICK_BENCH sizing: it measures one shape,
     // so full-length runs and a fixed pair budget cost well under a
     // second, while quick-mode runs are too short (~1 ms on a small
-    // host) to resolve a 2%-budget gate above scheduler jitter.
+    // host) to resolve a few-percent-budget gate above scheduler
+    // jitter.
     let estimator_per_tenant = 600;
     let headline_shape = Shape {
         tenants: HEADLINE_TENANTS,
@@ -556,6 +739,22 @@ fn main() {
     ));
     json.push_str(&format!("    \"speedup\": {speedup:.2},\n"));
     json.push_str(&format!(
+        "    \"wire_decode_legacy_m_intervals_per_sec\": {decode_legacy_mips:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"wire_decode_scalar_m_intervals_per_sec\": {decode_scalar_mips:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"wire_decode_simd_m_intervals_per_sec\": {decode_simd_mips:.3},\n"
+    ));
+    json.push_str(&format!(
+        "    \"wire_decode_simd_level\": \"{}\",\n",
+        decode_level.label()
+    ));
+    json.push_str(&format!(
+        "    \"wire_decode_speedup\": {decode_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
         "    \"telemetry_off_m_intervals_per_sec\": {telemetry_off:.3},\n"
     ));
     json.push_str(&format!(
@@ -565,6 +764,22 @@ fn main() {
         "    \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}\n"
     ));
     json.push_str("  },\n");
+    json.push_str("  \"simd\": [\n");
+    let mut decode_rendered = vec![format!(
+        "    {{\"kernel\": \"wire_decode_legacy\", \"level\": \"seed\", \
+         \"tenants\": {HEADLINE_TENANTS}, \"batch\": {HEADLINE_BATCH}, \
+         \"m_intervals_per_sec\": {decode_legacy_mips:.3}}}"
+    )];
+    decode_rendered.extend(decode_rows.iter().map(|(level, mips)| {
+        format!(
+            "    {{\"kernel\": \"wire_decode\", \"level\": \"{}\", \
+             \"tenants\": {HEADLINE_TENANTS}, \"batch\": {HEADLINE_BATCH}, \
+             \"m_intervals_per_sec\": {mips:.3}}}",
+            level.label()
+        )
+    }));
+    json.push_str(&decode_rendered.join(",\n"));
+    json.push_str("\n  ],\n");
     json.push_str("  \"cells\": [\n");
     let rendered: Vec<String> = cells.iter().map(fmt_cell).collect();
     json.push_str(&rendered.join(",\n"));
@@ -576,8 +791,12 @@ fn main() {
          legacy {legacy_mips:.2} M intervals/s vs ring/batch-{HEADLINE_BATCH} \
          {ring_mips:.2} M intervals/s at {HEADLINE_TENANTS} tenants / {HEADLINE_SHARDS} shards; \
          wire ingest {wire_mips:.2} M intervals/s; \
+         wire decode {} vs seed codec {decode_speedup:.2}x \
+         ({decode_legacy_mips:.2} -> {decode_simd_mips:.2} M intervals/s, \
+         forced-scalar bulk {decode_scalar_mips:.2}); \
          telemetry overhead {telemetry_overhead_pct:.2}% \
          ({telemetry_off:.2} off vs {telemetry_on:.2} on))",
-        cells.len()
+        cells.len(),
+        decode_level.label()
     );
 }

@@ -23,7 +23,11 @@ use core::ops::{Add, Sub};
 /// assert_eq!(a.to_string(), "146f0");
 /// assert_eq!((a + 0x80).get(), 0x14770);
 /// ```
+// `repr(transparent)`: guarantees `Addr` has exactly the layout of its
+// `u64`, which the serve wire decoder relies on for bulk little-endian
+// sample decoding on matching targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct Addr(u64);
 
 impl Addr {

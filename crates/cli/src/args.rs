@@ -8,7 +8,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 3] = ["json", "interprocedural", "steal"];
+const BOOL_FLAGS: [&str; 4] = ["json", "interprocedural", "steal", "pin"];
 
 /// Parses `argv` into positionals and options.
 ///
@@ -95,6 +95,14 @@ mod tests {
         let p = parse(&argv(&["--steal", "--batch", "8"])).unwrap();
         assert!(p.flag("steal"));
         assert_eq!(p.value_or("batch", 1usize).unwrap(), 8);
+    }
+
+    #[test]
+    fn pin_is_a_bool_flag() {
+        // `--pin --json` must leave `--json` intact, not eat it as a value.
+        let p = parse(&argv(&["--pin", "--json"])).unwrap();
+        assert!(p.flag("pin"));
+        assert!(p.flag("json"));
     }
 
     #[test]

@@ -14,8 +14,9 @@ use regmon_fleet::{
 };
 use regmon_serve::replay::ReplayOptions;
 use regmon_serve::server::{ServeOptions, ServeReport};
+use regmon_stats::{simd, SimdLevel};
 
-use crate::args::parse;
+use crate::args::{parse, Parsed};
 use crate::json::Json;
 
 /// Usage text.
@@ -26,15 +27,17 @@ USAGE:
   regmon list
   regmon run <benchmark> [--period N] [--intervals N] [--skid N] [--interprocedural]
              [--index linear|tree|flat] [--parallel-attrib N] [--json]
-             [--trace-out FILE] [--record FILE]
+             [--simd scalar|sse2|avx2] [--trace-out FILE] [--record FILE]
+  regmon features [--simd scalar|sse2|avx2] [--json]
   regmon sweep <benchmark> [--intervals N]
   regmon rto <benchmark> [--period N] [--intervals N]
   regmon baselines <benchmark> [--period N] [--intervals N]
   regmon fleet <benchmark|all> [--tenants N] [--shards N] [--intervals N]
                [--period N] [--queue-depth N] [--policy block|drop-oldest]
-               [--batch N] [--steal] [--pacing lockstep|freerun]
+               [--batch N] [--steal] [--pin] [--pacing lockstep|freerun]
                [--index linear|tree|flat] [--parallel-attrib N] [--json]
-               [--metrics-every N] [--trace-out FILE] [--record DIR]
+               [--simd scalar|sse2|avx2] [--metrics-every N]
+               [--trace-out FILE] [--record DIR]
   regmon replay <journal> [--json] [--snapshot-at N] [--snapshot-out FILE]
                [--resume FILE]
   regmon serve (--unix PATH | --tcp ADDR) [--shards N] [--queue-depth N]
@@ -54,11 +57,38 @@ with --snapshot-at/--snapshot-out, or resuming with --resume);
 `regmon serve` ingests journals streamed by `regmon send` over a unix
 socket or TCP and reports each finished session like `regmon run`.
 
+SIMD kernel dispatch resolves at startup (`regmon features` shows the
+detected level); `--simd` or the REGMON_SIMD env var dial it down —
+results are bitwise identical at every level. `regmon fleet --pin`
+pins shard workers to CPUs (best-effort, Linux only; never affects
+results).
+
 Telemetry is off unless requested: `--trace-out` writes a
 chrome://tracing event journal, `--metrics-every N` prints a Prometheus
 exposition to stderr every N lockstep rounds, and `regmon metrics`
 prints the registry after a short demo run (`--check` validates a
 previously written trace/snapshot/exposition file).";
+
+/// Applies a `--simd LEVEL` override: the in-process equivalent of
+/// setting `REGMON_SIMD`, scoped to this invocation. Safe to dial
+/// anywhere because every dispatch level is bitwise-identical; errors
+/// when the host cannot honor the request.
+fn apply_simd_flag(p: &Parsed) -> Result<(), String> {
+    let want: String = p.value_or("simd", String::new())?;
+    if want.is_empty() {
+        return Ok(());
+    }
+    let level = SimdLevel::parse(&want)
+        .ok_or_else(|| format!("--simd {want:?}: expected scalar|sse2|avx2"))?;
+    if simd::force(level) != level {
+        return Err(format!(
+            "--simd {}: unsupported on this host (detected {})",
+            level.label(),
+            simd::detected().label()
+        ));
+    }
+    Ok(())
+}
 
 fn workload(name: Option<&str>) -> Result<Workload, String> {
     let name = name.ok_or("missing <benchmark> argument")?;
@@ -105,6 +135,7 @@ pub fn list() {
 /// `regmon run <benchmark>`
 pub fn run(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
+    apply_simd_flag(&p)?;
     let w = workload(p.positional(0))?;
     let period: u64 = p.value_or("period", 45_000)?;
     let intervals: usize = p.value_or("intervals", 200)?;
@@ -165,6 +196,11 @@ fn summary_json(interprocedural: bool, summary: &SessionSummary) -> Json {
         ("period", Json::Num(summary.period as f64)),
         ("intervals", Json::Num(summary.intervals as f64)),
         ("interprocedural", Json::Bool(interprocedural)),
+        // The *hardware* level, not the dispatched one: every dispatch
+        // level is bitwise-identical, so this document must not vary
+        // with REGMON_SIMD/--simd (see `regmon features` for the
+        // active level).
+        ("host_simd", Json::Str(simd::detected().label().to_string())),
         (
             "gpd_phase_changes",
             Json::Num(summary.gpd.phase_changes as f64),
@@ -207,6 +243,67 @@ fn print_summary_text(summary: &SessionSummary) {
             s.phase_changes
         );
     }
+}
+
+/// `regmon features` — detected SIMD level, dispatch state and CPU
+/// placement capabilities. The one place where *active* (as opposed to
+/// hardware-detected) settings are reported, so every other `--json`
+/// document can stay byte-identical across `REGMON_SIMD`/`--simd`/
+/// `--pin`.
+pub fn features(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    apply_simd_flag(&p)?;
+    let detected = simd::detected();
+    let active = simd::active();
+    let env = simd::env_override();
+    let cpus = regmon_fleet::available_cpus();
+    let pinning = regmon_fleet::pinning_supported();
+    let supported: Vec<&str> = SimdLevel::ALL
+        .iter()
+        .filter(|l| l.is_supported())
+        .map(|l| l.label())
+        .collect();
+
+    if p.flag("json") {
+        let out = Json::obj(vec![
+            ("host_simd", Json::Str(detected.label().to_string())),
+            ("active_simd", Json::Str(active.label().to_string())),
+            ("simd_env", env.map_or(Json::Null, Json::Str)),
+            (
+                "simd_levels",
+                Json::Arr(
+                    supported
+                        .iter()
+                        .map(|l| Json::Str((*l).to_string()))
+                        .collect(),
+                ),
+            ),
+            ("pinning_supported", Json::Bool(pinning)),
+            ("cpus", Json::Num(cpus as f64)),
+        ]);
+        println!("{}", out.render());
+        return Ok(());
+    }
+    println!("host SIMD        : {}", detected.label());
+    println!(
+        "active dispatch  : {}{}",
+        active.label(),
+        match simd::env_override() {
+            Some(e) => format!("  ({}={e})", simd::SIMD_ENV),
+            None => String::new(),
+        }
+    );
+    println!("levels supported : {}", supported.join(", "));
+    println!(
+        "worker pinning   : {}",
+        if pinning {
+            "available (sched_setaffinity)"
+        } else {
+            "unavailable on this platform"
+        }
+    );
+    println!("cpus             : {cpus}");
+    Ok(())
 }
 
 /// `regmon sweep <benchmark>` — the paper's three sampling periods.
@@ -277,6 +374,7 @@ pub fn rto(argv: &[String]) -> Result<(), String> {
 /// invocations yield byte-identical output).
 pub fn fleet(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
+    apply_simd_flag(&p)?;
     let target = p.positional(0).ok_or("missing <benchmark|all> argument")?;
     let tenants: usize = p.value_or("tenants", 32)?;
     let shards: usize = p.value_or("shards", 4)?;
@@ -286,6 +384,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     let policy = QueuePolicy::parse(&p.value_or("policy", "block".to_string())?)?;
     let batch: usize = p.value_or("batch", 1)?;
     let steal = p.flag("steal");
+    let pin = p.flag("pin");
     let pacing = Pacing::parse(&p.value_or("pacing", "lockstep".to_string())?)?;
     let index = IndexKind::parse(&p.value_or("index", "tree".to_string())?)?;
     let parallel_attrib: usize = p.value_or("parallel-attrib", 0)?;
@@ -349,6 +448,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         .with_policy(policy)
         .with_batch(batch)
         .with_steal(steal)
+        .with_pin(pin)
         .with_pacing(pacing)
         .with_metrics_every(metrics_every);
     let report = run_fleet(&config, &specs, &Schedule::new());
@@ -429,6 +529,14 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             ("queue_depth", Json::Num(queue_depth as f64)),
             ("batch", Json::Num(batch as f64)),
             ("steal", Json::Bool(steal)),
+            // Host capabilities, not per-run placement: this document
+            // stays byte-identical with --pin/--simd on or off (the
+            // active settings live in `regmon features`).
+            ("host_simd", Json::Str(simd::detected().label().to_string())),
+            (
+                "pinning_supported",
+                Json::Bool(regmon_fleet::pinning_supported()),
+            ),
             (
                 "pacing",
                 Json::Str(
@@ -493,8 +601,9 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     }
 
     println!(
-        "== fleet: {target} x {tenants} tenants over {shards} shards (depth {queue_depth}, {policy:?}, batch {batch}{}) ==",
-        if steal { ", steal" } else { "" }
+        "== fleet: {target} x {tenants} tenants over {shards} shards (depth {queue_depth}, {policy:?}, batch {batch}{}{}) ==",
+        if steal { ", steal" } else { "" },
+        if pin { ", pin" } else { "" }
     );
     println!(
         "completed {}  evicted {}  failed {}  restarts {}  migrations {}",
@@ -555,6 +664,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
 /// a checkpoint and skips the intervals it already covers.
 pub fn replay(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
+    apply_simd_flag(&p)?;
     let journal = p.positional(0).ok_or("missing <journal> argument")?;
     let snapshot_at: usize = p.value_or("snapshot-at", 0)?;
     let snapshot_out: String = p.value_or("snapshot-out", String::new())?;
@@ -603,6 +713,7 @@ fn serve_over_unix(_path: &str, _options: ServeOptions) -> Result<ServeReport, S
 /// with `--json`, one `regmon run --json`-shaped document per session.
 pub fn serve(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
+    apply_simd_flag(&p)?;
     let unix: String = p.value_or("unix", String::new())?;
     let tcp: String = p.value_or("tcp", String::new())?;
     if unix.is_empty() == tcp.is_empty() {

@@ -12,6 +12,8 @@ pub enum Json {
     Str(String),
     /// A JSON boolean.
     Bool(bool),
+    /// JSON `null`.
+    Null,
     /// An ordered object.
     Obj(Vec<(String, Json)>),
     /// An array.
@@ -43,6 +45,7 @@ impl Json {
             Self::Bool(b) => {
                 let _ = write!(out, "{b}");
             }
+            Self::Null => out.push_str("null"),
             Self::Str(s) => {
                 out.push('"');
                 for c in s.chars() {

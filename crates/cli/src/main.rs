@@ -43,6 +43,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             Ok(())
         }
         "run" => commands::run(rest),
+        "features" => commands::features(rest),
         "sweep" => commands::sweep(rest),
         "rto" => commands::rto(rest),
         "baselines" => commands::baselines(rest),

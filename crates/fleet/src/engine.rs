@@ -52,6 +52,11 @@ pub struct EngineConfig {
     /// Whether tenant leases may move between shards (work stealing in
     /// freerun pacing; deterministic driver rebalancing in lockstep).
     pub steal: bool,
+    /// Whether shard workers pin themselves to CPUs (best-effort
+    /// `sched_setaffinity` on Linux, silently unpinned elsewhere).
+    /// Placement never affects results — outputs are byte-identical
+    /// with pinning on or off.
+    pub pin: bool,
 }
 
 impl EngineConfig {
@@ -65,6 +70,7 @@ impl EngineConfig {
             policy: QueuePolicy::Block,
             batch: 1,
             steal: false,
+            pin: false,
         }
     }
 
@@ -86,6 +92,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_steal(mut self, steal: bool) -> Self {
         self.steal = steal;
+        self
+    }
+
+    /// Enables or disables best-effort worker CPU pinning.
+    #[must_use]
+    pub fn with_pin(mut self, pin: bool) -> Self {
+        self.pin = pin;
         self
     }
 }
@@ -129,6 +142,9 @@ impl FleetEngine {
             stop_steal: std::sync::atomic::AtomicBool::new(false),
             worker_steal: worker_steal && config.steal && config.shards > 1,
             steal_backlog: (config.queue_depth / 2).max(1),
+            pin: config.pin,
+            topology: crate::affinity::Topology::detect(),
+            cpus: crate::affinity::available_cpus(),
         });
         let workers = (0..config.shards)
             .map(|shard| {
@@ -349,6 +365,29 @@ impl FleetEngine {
         }
     }
 
+    /// Parks shard `shard`'s worker deterministically: the returned
+    /// guard holds the worker inside a queued `Hold` message until it
+    /// is dropped (or [`ShardHold::release`]d). While held, nothing is
+    /// popped from the shard's queue, so a producer *provably* outruns
+    /// it — backpressure tests can force stalls and drops without
+    /// wall-clock races. This call returns only after the worker has
+    /// acknowledged the hold, i.e. everything queued before it has been
+    /// fully processed (a barrier) and the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shard queue is closed (engine shut down).
+    #[must_use]
+    pub fn hold_shard(&self, shard: usize) -> ShardHold {
+        let (ack_tx, ack_rx) = sync_channel(1);
+        let (gate_tx, gate_rx) = sync_channel::<()>(1);
+        self.shared.queues[shard]
+            .push(ShardMsg::Hold(ack_tx, gate_rx), QueuePolicy::Block)
+            .expect("shard queue closed while engine alive");
+        ack_rx.recv().expect("shard worker gone");
+        ShardHold { _gate: gate_tx }
+    }
+
     /// Waits for a single shard to fully process everything queued to it.
     pub(crate) fn drain_shard(&self, shard: usize) {
         let (tx, rx) = sync_channel(1);
@@ -382,6 +421,18 @@ impl FleetEngine {
             .map(|w| w.join().expect("shard worker panicked (engine bug)"))
             .collect()
     }
+}
+
+/// A deterministic worker park issued by [`FleetEngine::hold_shard`].
+/// Dropping it releases the worker.
+#[derive(Debug)]
+pub struct ShardHold {
+    _gate: std::sync::mpsc::SyncSender<()>,
+}
+
+impl ShardHold {
+    /// Releases the held worker (equivalent to dropping the guard).
+    pub fn release(self) {}
 }
 
 #[cfg(test)]

@@ -60,9 +60,13 @@
 //! [`MonitoringSession`]: regmon::MonitoringSession
 //! [`MonitoringSession::run_limited`]: regmon::MonitoringSession::run_limited
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `affinity::linux` carries the scoped
+// `allow(unsafe_code)` in this crate, for the raw `sched_setaffinity`
+// declarations (best-effort worker pinning, no external crate).
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod affinity;
 mod driver;
 mod engine;
 mod queue;
@@ -70,8 +74,9 @@ mod report;
 mod shard;
 mod tenant;
 
+pub use affinity::{available_cpus, pinning_supported};
 pub use driver::{run_fleet, ControlAction, FleetConfig, Pacing, Schedule};
-pub use engine::{EngineConfig, FleetEngine};
+pub use engine::{EngineConfig, FleetEngine, ShardHold};
 pub use queue::{
     batch_bucket_label, BoundedQueue, Closed, Droppable, Popped, PushError, QueuePolicy,
     QueueStats, RingQueue, BATCH_BUCKETS,

@@ -8,7 +8,7 @@
 //! bench (`similarity.rs` in `regmon-bench`) compares their cost and
 //! their agreement with Pearson.
 
-use regmon_stats::{CountHistogram, PearsonAccumulator, PearsonParts};
+use regmon_stats::{simd, CountHistogram, PearsonAccumulator, PearsonParts};
 
 /// A similarity score between two same-region histograms.
 ///
@@ -102,16 +102,10 @@ impl PearsonCache {
     pub fn rebuild(&mut self, stable: &CountHistogram) {
         let counts = stable.counts();
         self.x0 = counts.first().map_or(0.0, |&c| c as f64);
-        self.sx = 0.0;
-        self.sxx = 0.0;
-        self.dx.clear();
-        self.dx.reserve(counts.len());
-        for &c in counts {
-            let dx = c as f64 - self.x0;
-            self.dx.push(dx);
-            self.sx += dx;
-            self.sxx += dx * dx;
-        }
+        // The element-wise stages vectorize; the order-sensitive sums
+        // always run scalar in index order, so the cached sums are
+        // bitwise identical at every dispatch level.
+        (self.sx, self.sxx) = simd::shifted_deltas(counts, self.x0, &mut self.dx, simd::active());
     }
 
     /// Scores `current` against the cached stable histogram. Bit-identical
@@ -133,26 +127,11 @@ impl PearsonCache {
             return 0.0; // Pearson undefined, same as the full path.
         }
         let y0 = counts[0] as f64;
-        let (mut sy, mut syy, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
-        if y0 == 0.0 {
-            // dy == y_i: zero-count slots contribute signed zeros to
-            // every sum, so skipping them is exact (see type docs).
-            for (i, &c) in counts.iter().enumerate() {
-                if c != 0 {
-                    let dy = c as f64;
-                    sy += dy;
-                    syy += dy * dy;
-                    sxy += self.dx[i] * dy;
-                }
-            }
-        } else {
-            for (&c, &dx) in counts.iter().zip(&self.dx) {
-                let dy = c as f64 - y0;
-                sy += dy;
-                syy += dy * dy;
-                sxy += dx * dy;
-            }
-        }
+        // Scalar keeps the sparse y0 == 0 skip (zero-count slots
+        // contribute signed zeros to every sum, so skipping them is
+        // exact — see type docs); the vector levels process every slot
+        // with ordered scalar reductions. Both are bitwise identical.
+        let (sy, syy, sxy) = simd::current_sums(counts, y0, &self.dx, simd::active());
         PearsonAccumulator::from_parts(PearsonParts {
             n: counts.len() as u64,
             x0: self.x0,

@@ -134,6 +134,13 @@ pub trait RegionIndex: fmt::Debug {
             }
         });
     }
+
+    /// Downcast hook for the monitor's fused flat-index attribution
+    /// kernel ([`crate::RegionMonitor::attribute`]); only
+    /// [`FlatSortedIndex`] returns itself.
+    fn as_flat(&self) -> Option<&FlatSortedIndex> {
+        None
+    }
 }
 
 /// Which index implementation a [`crate::RegionMonitor`] uses.
@@ -295,7 +302,7 @@ std::thread_local! {
 }
 
 /// Sentinel segment meaning "outside every elementary segment".
-const NO_SEG: u32 = u32::MAX;
+pub(crate) const NO_SEG: u32 = u32::MAX;
 
 /// Upper bound on the bucket table's entry count (128 KiB of `u32`s).
 /// The shift widens until the covered span fits.
@@ -402,11 +409,17 @@ impl FlatSortedIndex {
         }
 
         // Bucket table over the covered span [cuts[0], cuts[last]).
+        // Sizing: ~4 buckets per segment keeps the correction scan at
+        // zero or one step while staying L1-resident for realistic
+        // region sets (the old span-only policy built tables up to
+        // [`TABLE_MAX_ENTRIES`] even when a few hundred buckets would
+        // do, pushing every random-order lookup out to L2).
         let lo = self.cuts[0];
         let hi = *self.cuts.last().expect("non-empty cuts");
         let span = hi - lo;
+        let target = (4 * segs).next_power_of_two().clamp(64, TABLE_MAX_ENTRIES);
         let mut shift = 0u32;
-        while ((span >> shift) as usize).saturating_add(1) > TABLE_MAX_ENTRIES {
+        while ((span >> shift) as usize).saturating_add(1) > target {
             shift += 1;
         }
         self.table_base = lo;
@@ -448,13 +461,153 @@ impl FlatSortedIndex {
 
     /// The answer set of segment `seg` (empty for [`NO_SEG`]).
     #[inline]
-    fn seg_ids(&self, seg: u32) -> &[RegionId] {
+    pub(crate) fn seg_ids(&self, seg: u32) -> &[RegionId] {
         if seg == NO_SEG {
             &[]
         } else {
             let s = self.offsets[seg as usize] as usize;
             let e = self.offsets[seg as usize + 1] as usize;
             &self.ids[s..e]
+        }
+    }
+
+    /// The validity window of `addr` given its segment: the segment's
+    /// span, or the constant-empty gap up to the nearest boundary when
+    /// `addr` is outside the covered span.
+    #[inline]
+    fn window_of_seg(&self, addr: u64, seg: u32) -> (u64, u64) {
+        if seg == NO_SEG {
+            if self.cuts.is_empty() {
+                (0, u64::MAX)
+            } else if addr < self.cuts[0] {
+                (0, self.cuts[0])
+            } else {
+                (*self.cuts.last().expect("non-empty"), u64::MAX)
+            }
+        } else {
+            (self.cuts[seg as usize], self.cuts[seg as usize + 1])
+        }
+    }
+
+    /// The scalar batch stab: per-sample bucket-table lookup behind an
+    /// inline validity-window cache. Kept as the oracle for the SIMD
+    /// block path (emissions are a pure function of each sample's
+    /// address, so both paths emit identical id slices in identical
+    /// order).
+    fn stab_batch_scalar(&self, samples: &[PcSample], emit: &mut dyn FnMut(usize, &[RegionId])) {
+        let mut lo = 1u64;
+        let mut hi = 0u64; // empty window: the first sample always misses
+        let mut ids: &[RegionId] = &[];
+        for (i, sample) in samples.iter().enumerate() {
+            let a = sample.addr.get();
+            if a < lo || a >= hi {
+                let seg = self.segment_of(a);
+                ids = self.seg_ids(seg);
+                (lo, hi) = self.window_of_seg(a, seg);
+            }
+            emit(i, ids);
+        }
+    }
+
+    /// Number of elementary segments currently compiled.
+    pub(crate) fn nsegs(&self) -> usize {
+        self.cuts.len().saturating_sub(1)
+    }
+
+    /// `true` when the bucket table is compiled (at least one non-empty
+    /// region) — the precondition of the bulk segment resolvers.
+    pub(crate) fn has_table(&self) -> bool {
+        !self.table.is_empty()
+    }
+
+    /// The half-open address span of elementary segment `seg`.
+    pub(crate) fn seg_span(&self, seg: u32) -> (u64, u64) {
+        (self.cuts[seg as usize], self.cuts[seg as usize + 1])
+    }
+
+    /// Resolves every sample's elementary segment into `segs` (one
+    /// entry per sample), eight samples per AVX2 block with the same
+    /// validity-window fast path as
+    /// [`FlatSortedIndex::stab_batch_avx2`]. Out-of-span samples get
+    /// [`FlatSortedIndex::nsegs`] — one past the last segment — so the
+    /// caller can index a `nsegs + 1`-entry side table without
+    /// clamping. This is the vector front half of the monitor's fused
+    /// attribution kernel.
+    ///
+    /// Caller contract: AVX2 dispatch is active and
+    /// [`FlatSortedIndex::has_table`] holds.
+    #[cfg(target_arch = "x86_64")]
+    pub(crate) fn segments_bulk_avx2(&self, samples: &[PcSample], segs: &mut Vec<u32>) {
+        let sentinel = self.nsegs() as u32;
+        segs.clear();
+        segs.resize(samples.len(), sentinel);
+        stab_x86::resolve_all(
+            &self.cuts,
+            &self.table,
+            self.table_base,
+            self.table_shift,
+            sentinel,
+            samples,
+            segs,
+        );
+    }
+
+    /// The AVX2 batch stab: samples resolve in 8-wide blocks. A packed
+    /// unsigned compare tests the whole block against the current
+    /// validity window (the loop-dominated steady state answers eight
+    /// samples with two compares); on a miss, the block's buckets are
+    /// computed with packed subtract/shift and the bucket table is
+    /// loaded with a masked 8-lane gather, leaving only the short
+    /// cut-scan per lane scalar. Emissions are bitwise identical to
+    /// [`FlatSortedIndex::stab_batch_scalar`] — integer compares and
+    /// loads only, no reassociation anywhere.
+    #[cfg(target_arch = "x86_64")]
+    fn stab_batch_avx2(&self, samples: &[PcSample], emit: &mut dyn FnMut(usize, &[RegionId])) {
+        use stab_x86::BLOCK;
+        let mut lo = 1u64;
+        let mut hi = 0u64; // empty window: the first block always misses
+        let mut ids: &[RegionId] = &[];
+        let mut addrs = [0u64; BLOCK];
+        let mut segs = [NO_SEG; BLOCK];
+        let mut base_i = 0usize;
+        let mut chunks = samples.chunks_exact(BLOCK);
+        for chunk in chunks.by_ref() {
+            for (a, s) in addrs.iter_mut().zip(chunk) {
+                *a = s.addr.get();
+            }
+            if stab_x86::all_in_window(&addrs, lo, hi) {
+                for i in 0..BLOCK {
+                    emit(base_i + i, ids);
+                }
+            } else {
+                stab_x86::segments(
+                    &self.cuts,
+                    &self.table,
+                    self.table_base,
+                    self.table_shift,
+                    &addrs,
+                    &mut segs,
+                );
+                for (i, &seg) in segs.iter().enumerate() {
+                    emit(base_i + i, self.seg_ids(seg));
+                }
+                // Carry the last sample's window into the next block —
+                // the same invariant the scalar loop maintains (its
+                // window always contains the last processed sample).
+                let last = BLOCK - 1;
+                (lo, hi) = self.window_of_seg(addrs[last], segs[last]);
+                ids = self.seg_ids(segs[last]);
+            }
+            base_i += BLOCK;
+        }
+        for (i, sample) in chunks.remainder().iter().enumerate() {
+            let a = sample.addr.get();
+            if a < lo || a >= hi {
+                let seg = self.segment_of(a);
+                ids = self.seg_ids(seg);
+                (lo, hi) = self.window_of_seg(a, seg);
+            }
+            emit(base_i + i, ids);
         }
     }
 }
@@ -501,40 +654,331 @@ impl RegionIndex for FlatSortedIndex {
     }
 
     fn stab_batch(&self, samples: &[PcSample], emit: &mut dyn FnMut(usize, &[RegionId])) {
-        // Per-sample bucket-table lookup behind an inline validity-window
-        // cache: consecutive samples inside one elementary segment (the
-        // loop-dominated steady state) reuse the previous answer with a
-        // two-compare check, and a cache miss costs one shift + one load
-        // + a short scan. No sorting, no scratch, no allocation.
-        let mut lo = 1u64;
-        let mut hi = 0u64; // empty window: the first sample always misses
-        let mut ids: &[RegionId] = &[];
-        for (i, sample) in samples.iter().enumerate() {
-            let a = sample.addr.get();
-            if a < lo || a >= hi {
-                let seg = self.segment_of(a);
-                ids = self.seg_ids(seg);
-                if seg == NO_SEG {
-                    // Outside the covered span: constant-empty up to the
-                    // nearest boundary on each side.
-                    if self.cuts.is_empty() {
-                        (lo, hi) = (0, u64::MAX);
-                    } else if a < self.cuts[0] {
-                        (lo, hi) = (0, self.cuts[0]);
-                    } else {
-                        (lo, hi) = (*self.cuts.last().expect("non-empty"), u64::MAX);
-                    }
-                } else {
-                    lo = self.cuts[seg as usize];
-                    hi = self.cuts[seg as usize + 1];
-                }
-            }
-            emit(i, ids);
+        // Bucket-table lookups behind an inline validity-window cache;
+        // on AVX2 hardware (unless `REGMON_SIMD` dials dispatch down)
+        // samples resolve in 8-wide blocks. Both paths emit identical
+        // id slices in identical order. SSE2 has no packed 64-bit
+        // unsigned compare or gather, so it shares the scalar path.
+        #[cfg(target_arch = "x86_64")]
+        if regmon_stats::simd::active() == regmon_stats::SimdLevel::Avx2 && !self.table.is_empty() {
+            return self.stab_batch_avx2(samples, emit);
         }
+        self.stab_batch_scalar(samples, emit)
     }
 
     fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    fn as_flat(&self) -> Option<&FlatSortedIndex> {
+        Some(self)
+    }
+}
+
+/// AVX2 bodies for the 8-wide [`FlatSortedIndex`] batch stab — the only
+/// unsafe code in this crate. All comparisons are unsigned 64-bit,
+/// realized as signed compares after flipping the sign bit.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod stab_x86 {
+    use core::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_andnot_si256, _mm256_castsi256_pd, _mm256_cmpgt_epi64,
+        _mm256_loadu_si256, _mm256_movemask_epi8, _mm256_movemask_pd, _mm256_permute4x64_epi64,
+        _mm256_set1_epi64x, _mm256_srl_epi64, _mm256_storeu_si256, _mm256_sub_epi64,
+        _mm256_unpacklo_epi64, _mm256_xor_si256, _mm_cvtsi32_si128,
+    };
+
+    use regmon_sampling::PcSample;
+
+    /// Samples resolved per block (two 256-bit registers of addresses).
+    pub const BLOCK: usize = 8;
+
+    const SIGN: u64 = 1 << 63;
+
+    /// Resolves every sample's elementary segment into `segs`
+    /// (out-of-span lanes get the caller-chosen `empty` value, which
+    /// must not collide with a real segment index). One
+    /// `target_feature` function owns the whole loop so
+    /// the window fast path, the packed range checks and the packed
+    /// bucket arithmetic all inline together and the broadcast constants
+    /// are hoisted out of the per-block path — calling the 8-wide
+    /// kernels per block through the dispatch boundary costs more than
+    /// the kernels themselves.
+    ///
+    /// Same dispatch invariant as [`all_in_window`]; `cuts`, `table`,
+    /// `base` and `shift` must be a [`super::FlatSortedIndex`]'s
+    /// compiled state with a non-empty table, and `segs.len() ==
+    /// samples.len()`.
+    pub fn resolve_all(
+        cuts: &[u64],
+        table: &[u32],
+        base: u64,
+        shift: u32,
+        empty: u32,
+        samples: &[PcSample],
+        segs: &mut [u32],
+    ) {
+        debug_assert!(regmon_stats::SimdLevel::Avx2.is_supported());
+        debug_assert_eq!(samples.len(), segs.len());
+        // SAFETY: AVX2 is active (dispatch invariant above).
+        unsafe { resolve_all_avx2(cuts, table, base, shift, empty, samples, segs) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2, plus the [`resolve_all`] shape contract:
+    /// `table.len() == ((cuts.last() - base) >> shift) + 1` and
+    /// `table[b] <=` the segment of bucket `b`'s first address (the
+    /// `FlatSortedIndex` rebuild invariant), so every in-range lane's
+    /// bucket load and cut scan stay in bounds.
+    #[target_feature(enable = "avx2")]
+    unsafe fn resolve_all_avx2(
+        cuts: &[u64],
+        table: &[u32],
+        base: u64,
+        shift: u32,
+        empty: u32,
+        samples: &[PcSample],
+        segs: &mut [u32],
+    ) {
+        let cuts_last = *cuts.last().expect("table implies cuts");
+        let cuts_first = cuts[0];
+        // SAFETY: intrinsics are guarded by the avx2 target feature;
+        // the unchecked loads are covered by the rebuild invariant
+        // (`bucket` bounded for in-range lanes, cut scan stops before
+        // `cuts.len()` because in-range lanes have `a < cuts[last]`).
+        unsafe {
+            let bias = _mm256_set1_epi64x(SIGN as i64);
+            let basev = _mm256_set1_epi64x((base ^ SIGN) as i64);
+            let lastv = _mm256_set1_epi64x((cuts_last ^ SIGN) as i64);
+            let base_raw = _mm256_set1_epi64x(base as i64);
+            let cnt = _mm_cvtsi32_si128(shift as i32);
+            let mut lo = 1u64;
+            let mut hi = 0u64; // empty window: the first block misses
+            let mut wseg = empty;
+            let mut lov = _mm256_set1_epi64x((lo ^ SIGN) as i64);
+            let mut hiv = _mm256_set1_epi64x((hi ^ SIGN) as i64);
+            let mut addrs = [0u64; BLOCK];
+            let n = samples.len();
+            let mut i = 0usize;
+            while i + BLOCK <= n {
+                // `PcSample` is `repr(C)` `{ Addr(u64), cycle: u64 }`,
+                // so eight samples are four 256-bit words with the
+                // addresses in the even qword lanes; unpack + permute
+                // packs them without a scalar bounce buffer.
+                let p = samples.as_ptr().add(i).cast::<__m256i>();
+                let s01 = _mm256_loadu_si256(p);
+                let s23 = _mm256_loadu_si256(p.add(1));
+                let s45 = _mm256_loadu_si256(p.add(2));
+                let s67 = _mm256_loadu_si256(p.add(3));
+                let raw0 = _mm256_permute4x64_epi64(_mm256_unpacklo_epi64(s01, s23), 0xD8);
+                let raw1 = _mm256_permute4x64_epi64(_mm256_unpacklo_epi64(s45, s67), 0xD8);
+                let x0 = _mm256_xor_si256(raw0, bias);
+                let x1 = _mm256_xor_si256(raw1, bias);
+                // Whole-block validity-window test: two compares per
+                // half answer all eight samples in the loop-dominated
+                // steady state.
+                let w0 =
+                    _mm256_andnot_si256(_mm256_cmpgt_epi64(lov, x0), _mm256_cmpgt_epi64(hiv, x0));
+                let w1 =
+                    _mm256_andnot_si256(_mm256_cmpgt_epi64(lov, x1), _mm256_cmpgt_epi64(hiv, x1));
+                if _mm256_movemask_epi8(_mm256_and_si256(w0, w1)) == -1 {
+                    segs[i..i + BLOCK].fill(wseg);
+                    i += BLOCK;
+                    continue;
+                }
+                // The per-lane correction below wants scalar addresses;
+                // spill the packed registers only on the miss path.
+                _mm256_storeu_si256(addrs.as_mut_ptr().cast::<__m256i>(), raw0);
+                _mm256_storeu_si256(addrs.as_mut_ptr().add(4).cast::<__m256i>(), raw1);
+                for (half, (raw, x)) in [(raw0, x0), (raw1, x1)].into_iter().enumerate() {
+                    let in_range = _mm256_andnot_si256(
+                        _mm256_cmpgt_epi64(basev, x), // a < base
+                        _mm256_cmpgt_epi64(lastv, x), // a < cuts[last]
+                    );
+                    // Out-of-range lanes are squashed to bucket 0 so
+                    // every lane's table load is unconditionally in
+                    // bounds.
+                    let bucket = _mm256_and_si256(
+                        _mm256_srl_epi64(_mm256_sub_epi64(raw, base_raw), cnt),
+                        in_range,
+                    );
+                    let ok = _mm256_movemask_pd(_mm256_castsi256_pd(in_range));
+                    let mut buckets = [0u64; 4];
+                    _mm256_storeu_si256(buckets.as_mut_ptr().cast::<__m256i>(), bucket);
+                    for (lane, &b) in buckets.iter().enumerate() {
+                        let k = half * 4 + lane;
+                        segs[i + k] = if ok & (1 << lane) != 0 {
+                            let a = addrs[k];
+                            let mut seg = *table.get_unchecked(b as usize) as usize;
+                            while *cuts.get_unchecked(seg + 1) <= a {
+                                seg += 1;
+                            }
+                            seg as u32
+                        } else {
+                            empty
+                        };
+                    }
+                }
+                // Carry the last lane's window into the next block —
+                // the same invariant the scalar loop maintains.
+                wseg = segs[i + BLOCK - 1];
+                let a = addrs[BLOCK - 1];
+                (lo, hi) = if wseg == empty {
+                    if a < cuts_first {
+                        (0, cuts_first)
+                    } else {
+                        (cuts_last, u64::MAX)
+                    }
+                } else {
+                    (cuts[wseg as usize], cuts[wseg as usize + 1])
+                };
+                lov = _mm256_set1_epi64x((lo ^ SIGN) as i64);
+                hiv = _mm256_set1_epi64x((hi ^ SIGN) as i64);
+                i += BLOCK;
+            }
+            // Scalar remainder under the same carried window.
+            while i < n {
+                let a = samples[i].addr.get();
+                if a < lo || a >= hi {
+                    wseg = if a < base || a >= cuts_last {
+                        empty
+                    } else {
+                        let mut seg = table[((a - base) >> shift) as usize] as usize;
+                        while cuts[seg + 1] <= a {
+                            seg += 1;
+                        }
+                        seg as u32
+                    };
+                    (lo, hi) = if wseg == empty {
+                        if a < cuts_first {
+                            (0, cuts_first)
+                        } else {
+                            (cuts_last, u64::MAX)
+                        }
+                    } else {
+                        (cuts[wseg as usize], cuts[wseg as usize + 1])
+                    };
+                }
+                segs[i] = wseg;
+                i += 1;
+            }
+        }
+    }
+
+    /// `true` when every lane of `addrs` lies in `[lo, hi)` (unsigned).
+    ///
+    /// Callers dispatch on [`regmon_stats::SimdLevel::Avx2`], which is
+    /// only ever active after runtime detection (debug-asserted here).
+    pub fn all_in_window(addrs: &[u64; BLOCK], lo: u64, hi: u64) -> bool {
+        debug_assert!(regmon_stats::SimdLevel::Avx2.is_supported());
+        // SAFETY: AVX2 is active (dispatch invariant above).
+        unsafe { all_in_window_avx2(addrs, lo, hi) }
+    }
+
+    /// Resolves the elementary segment of every lane (or
+    /// [`super::NO_SEG`]) via packed range checks and packed bucket
+    /// arithmetic; the bucket-table loads themselves stay scalar (two
+    /// loads per cycle beat a microcoded masked gather on every
+    /// deployment target measured).
+    ///
+    /// Same dispatch invariant as [`all_in_window`]; `cuts`, `table`,
+    /// `base` and `shift` must be a [`super::FlatSortedIndex`]'s
+    /// compiled state with a non-empty table.
+    pub fn segments(
+        cuts: &[u64],
+        table: &[u32],
+        base: u64,
+        shift: u32,
+        addrs: &[u64; BLOCK],
+        segs: &mut [u32; BLOCK],
+    ) {
+        debug_assert!(regmon_stats::SimdLevel::Avx2.is_supported());
+        // SAFETY: AVX2 is active (dispatch invariant above).
+        unsafe { segments_avx2(cuts, table, base, shift, addrs, segs) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn all_in_window_avx2(addrs: &[u64; BLOCK], lo: u64, hi: u64) -> bool {
+        // SAFETY: `addrs` is 8 lanes = two unaligned 256-bit loads.
+        unsafe {
+            let bias = _mm256_set1_epi64x(SIGN as i64);
+            let lov = _mm256_set1_epi64x((lo ^ SIGN) as i64);
+            let hiv = _mm256_set1_epi64x((hi ^ SIGN) as i64);
+            let mut ok = -1i32;
+            for half in 0..2 {
+                let x = _mm256_xor_si256(
+                    _mm256_loadu_si256(addrs.as_ptr().add(half * 4).cast::<__m256i>()),
+                    bias,
+                );
+                let lt_lo = _mm256_cmpgt_epi64(lov, x); // a < lo
+                let lt_hi = _mm256_cmpgt_epi64(hiv, x); // a < hi
+                ok &= _mm256_movemask_epi8(_mm256_andnot_si256(lt_lo, lt_hi));
+            }
+            ok == -1
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2. `table.len() == ((cuts.last() - base) >> shift) + 1`
+    /// (the `FlatSortedIndex` rebuild invariant), so every in-range
+    /// lane's bucket indexes `table` in bounds; out-of-range lanes get
+    /// bucket 0 and resolve to [`super::NO_SEG`].
+    #[target_feature(enable = "avx2")]
+    unsafe fn segments_avx2(
+        cuts: &[u64],
+        table: &[u32],
+        base: u64,
+        shift: u32,
+        addrs: &[u64; BLOCK],
+        segs: &mut [u32; BLOCK],
+    ) {
+        let cuts_last = *cuts.last().expect("table implies cuts");
+        // SAFETY: lane arithmetic is bounded by BLOCK; `bucket` is
+        // zeroed on out-of-range lanes and bounded by the rebuild
+        // invariant on in-range ones, and the cut scan stops before
+        // `cuts.len()` because every in-range lane has
+        // `addr < cuts[last]`.
+        unsafe {
+            let bias = _mm256_set1_epi64x(SIGN as i64);
+            let basev = _mm256_set1_epi64x((base ^ SIGN) as i64);
+            let lastv = _mm256_set1_epi64x((cuts_last ^ SIGN) as i64);
+            let base_raw = _mm256_set1_epi64x(base as i64);
+            let cnt = _mm_cvtsi32_si128(shift as i32);
+            for half in 0..2 {
+                let raw = _mm256_loadu_si256(addrs.as_ptr().add(half * 4).cast::<__m256i>());
+                let x = _mm256_xor_si256(raw, bias);
+                let lt_base = _mm256_cmpgt_epi64(basev, x); // a < base
+                let lt_last = _mm256_cmpgt_epi64(lastv, x); // a < cuts[last]
+                let in_range = _mm256_andnot_si256(lt_base, lt_last);
+                // Out-of-range lanes are squashed to bucket 0 so every
+                // lane's table load below is unconditionally in bounds.
+                let bucket = _mm256_and_si256(
+                    _mm256_srl_epi64(_mm256_sub_epi64(raw, base_raw), cnt),
+                    in_range,
+                );
+                let ok = _mm256_movemask_pd(_mm256_castsi256_pd(in_range));
+                let mut buckets = [0u64; 4];
+                _mm256_storeu_si256(buckets.as_mut_ptr().cast::<__m256i>(), bucket);
+                for lane in 0..4 {
+                    let i = half * 4 + lane;
+                    segs[i] = if ok & (1 << lane) != 0 {
+                        let a = addrs[i];
+                        let mut seg = table[buckets[lane] as usize] as usize;
+                        while cuts[seg + 1] <= a {
+                            seg += 1;
+                        }
+                        seg as u32
+                    } else {
+                        super::NO_SEG
+                    };
+                }
+            }
+        }
     }
 }
 
@@ -688,6 +1132,85 @@ mod tests {
                 expect.sort();
                 assert_eq!(ids, &expect, "{kind:?} sample {i}");
             }
+        }
+    }
+
+    /// Collects `(sample index, sorted ids)` emissions of one batch.
+    #[cfg(target_arch = "x86_64")]
+    fn emissions(
+        idx: &FlatSortedIndex,
+        samples: &[PcSample],
+        path: impl Fn(&FlatSortedIndex, &[PcSample], &mut dyn FnMut(usize, &[RegionId])),
+    ) -> Vec<(usize, Vec<RegionId>)> {
+        let mut seen = Vec::new();
+        path(idx, samples, &mut |i, ids| seen.push((i, ids.to_vec())));
+        seen
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn simd_stab_batch_matches_scalar_for_every_remainder_shape() {
+        // Every batch length 0..4*BLOCK (straddling the 8-wide block
+        // boundary) over a mix of covered, gap, below-span and
+        // above-span addresses — the SIMD block path must emit exactly
+        // what the scalar oracle emits, in the same order.
+        if regmon_stats::SimdLevel::Avx2 != regmon_stats::simd::detected() {
+            return; // no AVX2 path to compare on this host
+        }
+        let mut idx = FlatSortedIndex::new();
+        for (id, range) in [
+            (1u64, r(0x100, 0x180)),
+            (2, r(0x140, 0x1c0)),
+            (3, r(0x400, 0x500)),
+            (4, r(0x4f0, 0x4f1)),
+        ] {
+            idx.insert(RegionId(id), range);
+        }
+        for len in 0..=32usize {
+            let samples: Vec<PcSample> = (0..len as u64)
+                .map(|i| {
+                    // Deterministic pseudo-random walk over interesting
+                    // addresses: in-region, gaps, and out-of-span.
+                    let a = match i % 5 {
+                        0 => 0x100 + (i * 37) % 0x100,
+                        1 => 0x400 + (i * 53) % 0x110,
+                        2 => (i * 29) % 0x100,        // below span
+                        3 => 0x200 + (i * 31) % 0x80, // gap
+                        _ => 0x600 + i,               // above span
+                    };
+                    PcSample {
+                        addr: Addr::new(a),
+                        cycle: i,
+                    }
+                })
+                .collect();
+            let scalar = emissions(&idx, &samples, |x, s, e| x.stab_batch_scalar(s, e));
+            let simd = emissions(&idx, &samples, |x, s, e| x.stab_batch_avx2(s, e));
+            assert_eq!(simd, scalar, "len {len}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    proptest! {
+        #[test]
+        fn simd_stab_batch_always_matches_scalar(
+            ranges in prop::collection::vec((0u64..500, 1u64..80), 1..10),
+            addrs in prop::collection::vec(0u64..700, 0..64),
+        ) {
+            if regmon_stats::SimdLevel::Avx2 != regmon_stats::simd::detected() {
+                return;
+            }
+            let mut idx = FlatSortedIndex::new();
+            for (i, (start, len)) in ranges.iter().enumerate() {
+                idx.insert(RegionId(i as u64 + 1), r(*start, start + len));
+            }
+            let samples: Vec<PcSample> = addrs
+                .iter()
+                .map(|&a| PcSample { addr: Addr::new(a), cycle: a })
+                .collect();
+            let scalar = emissions(&idx, &samples, |x, s, e| x.stab_batch_scalar(s, e));
+            let simd = emissions(&idx, &samples, |x, s, e| x.stab_batch_avx2(s, e));
+            prop_assert_eq!(simd, scalar);
         }
     }
 

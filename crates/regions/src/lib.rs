@@ -46,7 +46,10 @@
 //! assert!((report.ucr_fraction() - 0.5).abs() < 1e-12);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `index::stab_x86` carries the one
+// scoped `allow(unsafe_code)` in this crate, for the AVX2 batch-stab
+// intrinsic bodies behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod formation;

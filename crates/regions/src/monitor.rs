@@ -170,10 +170,12 @@ impl AttributionArena {
         }
     }
 
-    /// Records one sample for `id` at `addr`. `regions` is consulted only
-    /// on the very first sample a region ever receives (slot creation).
+    /// Ensures `id`'s slot exists and is current for this epoch (lazy
+    /// clear + touched-set registration), returning it. `regions` is
+    /// consulted only on the very first sample a region ever receives
+    /// (slot creation).
     #[inline]
-    fn record(&mut self, id: RegionId, addr: Addr, regions: &BTreeMap<RegionId, Region>) {
+    fn ensure(&mut self, id: RegionId, regions: &BTreeMap<RegionId, Region>) -> &mut ArenaSlot {
         let idx = id.0 as usize;
         if idx >= self.slots.len() {
             self.slots.resize_with(idx + 1, || None);
@@ -192,8 +194,15 @@ impl AttributionArena {
             slot.epoch = epoch;
             self.touched.push(id);
         }
-        slot.hist
-            .record(((addr.get() - slot.start) / INST_BYTES) as usize);
+        slot
+    }
+
+    /// Records one sample for `id` at `addr`.
+    #[inline]
+    fn record(&mut self, id: RegionId, addr: Addr, regions: &BTreeMap<RegionId, Region>) {
+        let slot = self.ensure(id, regions);
+        let off = addr.get() - slot.start;
+        slot.hist.record((off / INST_BYTES) as usize);
     }
 
     /// Merges a whole per-chunk histogram into `id`'s slot via the
@@ -202,25 +211,7 @@ impl AttributionArena {
     /// Histogram addition commutes, so chunk-order merging reproduces
     /// the serial result exactly.
     fn merge(&mut self, id: RegionId, hist: &CountHistogram, regions: &BTreeMap<RegionId, Region>) {
-        let idx = id.0 as usize;
-        if idx >= self.slots.len() {
-            self.slots.resize_with(idx + 1, || None);
-        }
-        let epoch = self.epoch;
-        let slot = self.slots[idx].get_or_insert_with(|| {
-            let region = &regions[&id];
-            ArenaSlot {
-                hist: CountHistogram::new(region.slots()),
-                start: region.range().start().get(),
-                epoch: 0,
-            }
-        });
-        if slot.epoch != epoch {
-            slot.hist.clear();
-            slot.epoch = epoch;
-            self.touched.push(id);
-        }
-        slot.hist.accumulate(hist);
+        self.ensure(id, regions).hist.accumulate(hist);
     }
 
     #[inline]
@@ -407,6 +398,9 @@ pub struct RegionMonitor {
     next_id: u64,
     arena: AttributionArena,
     par_pool: Vec<ParScratch>,
+    /// Reusable buffers of the fused flat-index attribution kernel.
+    #[cfg(target_arch = "x86_64")]
+    flat_scratch: flat_attrib::FlatScratch,
 }
 
 impl RegionMonitor {
@@ -420,6 +414,8 @@ impl RegionMonitor {
             next_id: 0,
             arena: AttributionArena::default(),
             par_pool: Vec::new(),
+            #[cfg(target_arch = "x86_64")]
+            flat_scratch: flat_attrib::FlatScratch::default(),
         }
     }
 
@@ -504,13 +500,35 @@ impl RegionMonitor {
     /// the zero-allocation hot path. Read the result through
     /// [`RegionMonitor::report`].
     pub fn attribute(&mut self, samples: &[PcSample]) {
+        self.arena.begin(samples.len());
+        // On AVX2 dispatch, a flat index takes the fused kernel: bulk
+        // segment resolution (8-wide) followed by a branch-light
+        // histogram fill. Histogram addition commutes and the kernel
+        // preserves sample order for the UCR buffer, so its results are
+        // identical to the per-sample path below (proven by the
+        // equivalence suites at every dispatch level).
+        #[cfg(target_arch = "x86_64")]
+        if regmon_stats::simd::active() == regmon_stats::SimdLevel::Avx2 {
+            if let Some(flat) = self.index.as_flat() {
+                if flat.has_table() {
+                    flat_attrib::attribute_fused(
+                        flat,
+                        &self.regions,
+                        &mut self.arena,
+                        &mut self.flat_scratch,
+                        samples,
+                    );
+                    self.arena.finish();
+                    return;
+                }
+            }
+        }
         let Self {
             regions,
             index,
             arena,
             ..
         } = self;
-        arena.begin(samples.len());
         index.stab_batch(samples, &mut |i, ids| {
             if ids.is_empty() {
                 arena.unattributed.push(samples[i]);
@@ -679,6 +697,263 @@ impl RegionMonitor {
         }
         monitor.next_id = snapshot.next_id;
         monitor
+    }
+}
+
+/// The fused flat-index attribution kernel (AVX2 dispatch only).
+///
+/// Instead of funnelling every sample through the `stab_batch` emit
+/// callback and a per-sample arena lookup, the interval is attributed
+/// in two passes:
+///
+/// 1. **Segment resolution** — [`FlatSortedIndex::segments_bulk_avx2`]
+///    maps all samples to elementary segments, eight at a time.
+/// 2. **Fill** — one branch-light pass bumps histogram slots through
+///    per-segment *descriptors*: each distinct segment's first sample
+///    builds a cursor into its (single) region's arena histogram — slot
+///    ensure/clear/touched bookkeeping once per segment instead of once
+///    per sample — and every later sample is a masked add through that
+///    cursor. UCR samples append to the unattributed buffer
+///    branchlessly (write, then conditionally advance) while their
+///    histogram write lands in a sink cell; samples in multi-id
+///    (overlapping-region) segments are deferred to the ordinary
+///    `record` path.
+///
+/// Equivalence with the per-sample oracle: histogram addition over u64
+/// commutes, the UCR buffer is filled in input order, and the touched
+/// set is sorted by [`AttributionArena::finish`] — so every observable
+/// output is identical (the SIMD equivalence suites assert this
+/// end-to-end at each dispatch level).
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod flat_attrib {
+    use std::collections::BTreeMap;
+
+    use regmon_binary::INST_BYTES;
+    use regmon_sampling::PcSample;
+
+    use super::AttributionArena;
+    use crate::index::FlatSortedIndex;
+    use crate::region::{Region, RegionId};
+
+    /// Exactly one region claims the segment: samples bump its arena
+    /// histogram straight through the descriptor cursor.
+    const KIND_SINGLE: u8 = 0;
+    /// No region claims the segment (UCR): samples append to the
+    /// unattributed buffer.
+    const KIND_UCR: u8 = 1;
+    /// Overlapping regions: samples defer to the ordinary `record`
+    /// path.
+    const KIND_MULTI: u8 = 2;
+
+    /// One segment's attribution cursor, rebuilt lazily each interval
+    /// (an entry is live only while its tag's epoch matches the
+    /// arena's). The histogram pointer is carried as `usize` so the
+    /// scratch stays plain data and the monitor stays `Send`; it is
+    /// only ever formed and dereferenced inside one
+    /// [`attribute_fused`] call.
+    #[derive(Debug, Clone, Copy)]
+    struct SegDesc {
+        /// `epoch << 2 | KIND_*`: the fill loop's single compare
+        /// against `epoch << 2` answers "live and single-region?" in
+        /// one branch (arena epochs are far below 2^62).
+        tag: u64,
+        /// The region's arena histogram slot buffer (`KIND_SINGLE`
+        /// only; 0 otherwise, never dereferenced).
+        base: usize,
+        /// Region start (slot 0's address); 0 for UCR/multi.
+        start: u64,
+        /// The segment's inclusive slot range in the region histogram
+        /// (`KIND_SINGLE` only): settle sums it to recover the hit
+        /// count instead of bumping a counter per sample. Segments are
+        /// disjoint address runs, so their slot ranges are disjoint
+        /// even within one region.
+        slot_lo: u32,
+        slot_hi: u32,
+        /// Region receiving the hits (`KIND_SINGLE` only).
+        id: RegionId,
+    }
+
+    impl SegDesc {
+        fn kind(&self) -> u8 {
+            (self.tag & 3) as u8
+        }
+    }
+
+    const STALE: SegDesc = SegDesc {
+        tag: KIND_UCR as u64, // epoch 0: never a live interval
+        base: 0,
+        start: 0,
+        slot_lo: 0,
+        slot_hi: 0,
+        id: RegionId(0),
+    };
+
+    /// Reusable buffers; plain data only (see [`SegDesc`]).
+    #[derive(Debug, Default)]
+    pub(super) struct FlatScratch {
+        /// Per-sample elementary segment (pass 1 output).
+        segs: Vec<u32>,
+        /// Per-segment descriptors, indexed by segment (one trailing
+        /// entry for the out-of-span sentinel).
+        descs: Vec<SegDesc>,
+        /// Segments with a live descriptor this interval.
+        uniq: Vec<u32>,
+        /// Sample indices deferred to the multi-id slow path.
+        multi: Vec<u32>,
+    }
+
+    /// See the module docs. Caller contract: AVX2 dispatch is active,
+    /// `flat.has_table()`, and `arena.begin` has been called for this
+    /// interval.
+    pub(super) fn attribute_fused(
+        flat: &FlatSortedIndex,
+        regions: &BTreeMap<RegionId, Region>,
+        arena: &mut AttributionArena,
+        scratch: &mut FlatScratch,
+        samples: &[PcSample],
+    ) {
+        let FlatScratch {
+            segs,
+            descs,
+            uniq,
+            multi,
+        } = scratch;
+        flat.segments_bulk_avx2(samples, segs);
+
+        // The resolver writes `nsegs` for out-of-span samples, so every
+        // entry of `segs` indexes the `nsegs + 1`-entry descriptor
+        // table directly. `epoch` is bumped by `arena.begin`, so stale
+        // descriptors (earlier intervals, or an index recompile between
+        // intervals) never match and `STALE` (epoch 0) never collides.
+        let nsegs = flat.nsegs();
+        if descs.len() < nsegs + 1 {
+            descs.resize(nsegs + 1, STALE);
+        }
+        let epoch = arena.epoch;
+        uniq.clear();
+        multi.clear();
+
+        let mut unattr = std::mem::take(&mut arena.unattributed);
+        debug_assert!(unattr.is_empty(), "begin() clears the UCR buffer");
+        unattr.reserve(samples.len());
+        let uptr = unattr.as_mut_ptr();
+        let mut ulen = 0usize;
+        let live_single = epoch << 2; // | KIND_SINGLE
+        let dptr = descs.as_mut_ptr();
+        for (i, (sample, &seg32)) in samples.iter().zip(segs.iter()).enumerate() {
+            // SAFETY: the resolver writes `seg32 <= nsegs` and `descs`
+            // holds `nsegs + 1` live entries.
+            let d = unsafe { &mut *dptr.add(seg32 as usize) };
+            if d.tag != live_single {
+                // Cold: stale descriptor, UCR or multi.
+                if d.tag >> 2 != epoch {
+                    *d = build_desc(flat, regions, arena, seg32, seg32 as usize == nsegs, epoch);
+                    uniq.push(seg32);
+                }
+                if d.kind() == KIND_UCR {
+                    // SAFETY: `ulen` advances at most once per sample
+                    // and `unattr` reserved `samples.len()`; committed
+                    // below via `set_len(ulen)`.
+                    unsafe { uptr.add(ulen).write(*sample) };
+                    ulen += 1;
+                    continue;
+                }
+                if d.kind() == KIND_MULTI {
+                    multi.push(i as u32);
+                    continue;
+                }
+            }
+            let slot = (sample.addr.get().wrapping_sub(d.start) / INST_BYTES) as usize;
+            // SAFETY: `build_desc` checked that the whole segment span
+            // maps into the histogram, and segment resolution
+            // guarantees the sample's address lies in that span. The
+            // buffer itself is kept alive and unmoved by the arena for
+            // the whole pass — slot buffers never shrink or relocate.
+            unsafe { *(d.base as *mut u64).add(slot) += 1 };
+        }
+        // SAFETY: exactly `ulen` leading cells were initialised above.
+        unsafe { unattr.set_len(ulen) };
+        arena.unattributed = unattr;
+
+        // Settle histogram totals (counts were bumped raw): each
+        // single-region descriptor's hits are the sum of its disjoint
+        // slot range, all contributed by this interval's fill (the
+        // range was cleared when the descriptor ensured its slot, and
+        // the deferred multi replay below goes through `record`, which
+        // keeps counts and total consistent by itself). Per-interval
+        // counts are bounded by the interval's sample count, so the
+        // totals cannot saturate.
+        for &seg in uniq.iter() {
+            let d = descs[seg as usize];
+            if d.kind() == KIND_SINGLE {
+                let hist = &mut arena.ensure(d.id, regions).hist;
+                let hits: u64 = hist.counts()[d.slot_lo as usize..=d.slot_hi as usize]
+                    .iter()
+                    .sum();
+                if hits > 0 {
+                    hist.note_bulk_records(hits);
+                }
+            }
+        }
+        for &i in multi.iter() {
+            let sample = &samples[i as usize];
+            for &id in flat.seg_ids(segs[i as usize]) {
+                arena.record(id, sample.addr, regions);
+            }
+        }
+    }
+
+    /// Builds the descriptor of one segment, ensuring its region's
+    /// arena slot (single-id segments reserve their histogram cursor
+    /// here; multi-id segments are handled entirely by the deferred
+    /// `record` path, which does its own ensures).
+    fn build_desc(
+        flat: &FlatSortedIndex,
+        regions: &BTreeMap<RegionId, Region>,
+        arena: &mut AttributionArena,
+        raw_seg: u32,
+        out_of_span: bool,
+        epoch: u64,
+    ) -> SegDesc {
+        let ids = if out_of_span {
+            &[][..]
+        } else {
+            flat.seg_ids(raw_seg)
+        };
+        match ids {
+            [] => SegDesc {
+                tag: epoch << 2 | KIND_UCR as u64,
+                ..STALE
+            },
+            &[id] => {
+                let slot = arena.ensure(id, regions);
+                let (seg_lo, seg_hi) = flat.seg_span(raw_seg);
+                // Hoisted bounds proof for the raw adds in the fill
+                // loop: the segment's highest address must map inside
+                // the histogram (same contract `CountHistogram::record`
+                // enforces per sample).
+                debug_assert!(seg_lo >= slot.start, "segment below its region");
+                let slot_lo = (seg_lo - slot.start) / INST_BYTES;
+                let slot_hi = (seg_hi - 1).wrapping_sub(slot.start) / INST_BYTES;
+                assert!(
+                    (slot_hi as usize) < slot.hist.slots(),
+                    "attribution slot out of bounds"
+                );
+                SegDesc {
+                    tag: epoch << 2 | KIND_SINGLE as u64,
+                    base: slot.hist.counts_mut().as_mut_ptr() as usize,
+                    start: slot.start,
+                    slot_lo: slot_lo as u32,
+                    slot_hi: slot_hi as u32,
+                    id,
+                }
+            }
+            _ => SegDesc {
+                tag: epoch << 2 | KIND_MULTI as u64,
+                ..STALE
+            },
+        }
     }
 }
 

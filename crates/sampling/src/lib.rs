@@ -42,7 +42,12 @@ pub const SWEEP_PERIODS: [u64; 3] = [45_000, 450_000, 900_000];
 pub const RTO_PERIODS: [u64; 3] = [100_000, 800_000, 1_500_000];
 
 /// One performance-counter interrupt: the sampled PC and when it fired.
+// `repr(C)`: fixes the field order as declared — `addr` then `cycle`,
+// 16 bytes, no padding — which happens to be exactly the wire layout of
+// an encoded sample. The serve wire decoder exploits that for bulk
+// decoding on little-endian targets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
 pub struct PcSample {
     /// The interrupted program counter.
     pub addr: Addr,

@@ -1,15 +1,26 @@
-//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//! CRC-32 (IEEE 802.3 polynomial), slice-by-8 table-driven.
 //!
 //! Every wire frame and snapshot file carries a CRC so that torn writes,
 //! bit rot and truncated streams are rejected with a typed error rather
-//! than silently decoding into garbage state. The table is built at
+//! than silently decoding into garbage state. The tables are built at
 //! compile time — no lazy initialization, no dependencies.
+//!
+//! The kernel is the classic slice-by-8 scheme: eight derived tables let
+//! one loop iteration fold eight message bytes into the state with eight
+//! independent table loads, breaking the byte-at-a-time loop-carried
+//! dependency that caps the naive form at one byte per ~3 cycles. The
+//! checksum value is identical to the bytewise definition (same
+//! polynomial, same reflection), so wire frames and snapshot files are
+//! byte-compatible in both directions.
 
 /// The reflected IEEE polynomial (as used by zlib, PNG, Ethernet).
 const POLY: u32 = 0xEDB8_8320;
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+/// `TABLES[0]` is the classic bytewise table; `TABLES[k][i]` advances
+/// the contribution of a byte that sits `k` positions before the end of
+/// an eight-byte group (`TABLES[k][i] = shift8(TABLES[k-1][i])`).
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -22,13 +33,23 @@ const fn build_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 }
 
-static TABLE: [u32; 256] = build_table();
+static TABLES: [[u32; 256]; 8] = build_tables();
 
 /// Streaming CRC-32 state.
 #[derive(Debug, Clone, Copy)]
@@ -51,10 +72,24 @@ impl Crc32 {
 
     /// Feeds bytes into the checksum.
     pub fn update(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
-            self.state = (self.state >> 8) ^ TABLE[idx];
+        let mut state = self.state;
+        let mut groups = bytes.chunks_exact(8);
+        for group in &mut groups {
+            let lo = u32::from_le_bytes(group[..4].try_into().expect("four bytes")) ^ state;
+            let hi = u32::from_le_bytes(group[4..].try_into().expect("four bytes"));
+            state = TABLES[7][(lo & 0xFF) as usize]
+                ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+                ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+                ^ TABLES[4][(lo >> 24) as usize]
+                ^ TABLES[3][(hi & 0xFF) as usize]
+                ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+                ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+                ^ TABLES[0][(hi >> 24) as usize];
         }
+        for &b in groups.remainder() {
+            state = (state >> 8) ^ TABLES[0][((state ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = state;
     }
 
     /// Finishes and returns the checksum value.
@@ -92,6 +127,37 @@ mod tests {
             crc.update(chunk);
         }
         assert_eq!(crc.finish(), crc32(data));
+    }
+
+    /// The textbook byte-at-a-time loop, kept as the oracle the
+    /// slice-by-8 kernel must match on every input length.
+    fn crc32_bytewise(bytes: &[u8]) -> u32 {
+        let mut state = 0xFFFF_FFFFu32;
+        for &b in bytes {
+            state = (state >> 8) ^ TABLES[0][((state ^ u32::from(b)) & 0xFF) as usize];
+        }
+        state ^ 0xFFFF_FFFF
+    }
+
+    #[test]
+    fn slice_by_8_matches_bytewise_at_every_length() {
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(0x9E37_79B9) >> 24) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(
+                crc32(&data[..len]),
+                crc32_bytewise(&data[..len]),
+                "len {len}"
+            );
+        }
+        // Split points that leave the streaming state mid-group.
+        for split in [1, 3, 7, 8, 9, 63, 100] {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), crc32_bytewise(&data));
+        }
     }
 
     #[test]

@@ -48,7 +48,10 @@
 //! );
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `wire::bulk` carries the one scoped
+// `allow(unsafe_code)` in this crate, for the SIMD bulk sample decode
+// behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod crc;

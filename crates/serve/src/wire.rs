@@ -25,11 +25,10 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use regmon::{PruningConfig, SessionConfig};
-use regmon_binary::Addr;
 use regmon_gpd::GpdConfig;
 use regmon_lpd::{LpdConfig, SimilarityKind, ThresholdPolicy};
 use regmon_regions::{FormationConfig, IndexKind};
-use regmon_sampling::{Interval, PcSample, SamplingConfig};
+use regmon_sampling::{Interval, SamplingConfig};
 
 use crate::crc::{crc32, Crc32};
 
@@ -443,23 +442,144 @@ fn decode_interval(cur: &mut Cursor<'_>) -> Result<Interval, WireError> {
     let end_cycle = cur.u64()?;
     let nsamples = cur.u32()? as usize;
     // Each sample is 16 bytes; refuse counts the payload cannot hold
-    // before allocating.
-    if nsamples.saturating_mul(16) > cur.bytes.len() - cur.pos {
+    // before allocating. With the whole run bounds-prevalidated here,
+    // the decode below is one `take` and a bulk pass — no per-sample
+    // cursor arithmetic.
+    if nsamples.saturating_mul(bulk::SAMPLE_BYTES) > cur.bytes.len() - cur.pos {
         return Err(WireError::Malformed("sample count exceeds payload"));
     }
-    let mut samples = Vec::with_capacity(nsamples);
-    for _ in 0..nsamples {
-        samples.push(PcSample {
-            addr: Addr::new(cur.u64()?),
-            cycle: cur.u64()?,
-        });
-    }
+    let bytes = cur.take(nsamples * bulk::SAMPLE_BYTES)?;
+    let samples = bulk::decode_samples(bytes, regmon_stats::simd::active());
     Ok(Interval {
         index,
         start_cycle,
         end_cycle,
         samples,
     })
+}
+
+/// Bulk sample decode: the Batch payload hot path.
+///
+/// An encoded sample is `[addr: u64 LE][cycle: u64 LE]` — sixteen bytes.
+/// On little-endian targets that is *exactly* the in-memory layout of
+/// [`PcSample`] (`repr(C)` of a `repr(transparent)` [`Addr`] and a
+/// `u64`, size 16, no padding), so once the whole run is
+/// bounds-prevalidated, decoding degenerates to a straight copy. The
+/// SIMD paths move 16/32 bytes per unaligned vector load/store; the
+/// scalar path is the portable `from_le_bytes` loop and the oracle the
+/// SIMD paths must match byte-for-byte.
+pub(crate) mod bulk {
+    use regmon_sampling::PcSample;
+    use regmon_stats::SimdLevel;
+
+    /// Encoded size of one sample on the wire.
+    pub(crate) const SAMPLE_BYTES: usize = 16;
+
+    /// Decodes a bounds-prevalidated run of encoded samples.
+    ///
+    /// `bytes.len()` must be a multiple of [`SAMPLE_BYTES`]; the sample
+    /// count is implied. Every byte pattern is a valid sample, so this
+    /// never fails.
+    pub(crate) fn decode_samples(bytes: &[u8], level: SimdLevel) -> Vec<PcSample> {
+        debug_assert_eq!(bytes.len() % SAMPLE_BYTES, 0);
+        let n = bytes.len() / SAMPLE_BYTES;
+        #[cfg(target_arch = "x86_64")]
+        if level >= SimdLevel::Sse2 {
+            if let Some(samples) = x86::decode(bytes, n, level) {
+                return samples;
+            }
+        }
+        let _ = level;
+        decode_samples_scalar(bytes, n)
+    }
+
+    /// The portable decode loop — the oracle for the SIMD paths.
+    pub(crate) fn decode_samples_scalar(bytes: &[u8], n: usize) -> Vec<PcSample> {
+        let mut samples = Vec::with_capacity(n);
+        for rec in bytes.chunks_exact(SAMPLE_BYTES) {
+            samples.push(PcSample {
+                addr: regmon_binary::Addr::new(u64::from_le_bytes(
+                    rec[..8].try_into().expect("eight bytes"),
+                )),
+                cycle: u64::from_le_bytes(rec[8..].try_into().expect("eight bytes")),
+            });
+        }
+        samples
+    }
+
+    /// The x86-64 fast path: a vector copy straight into the sample
+    /// buffer. x86-64 is always little-endian, so the wire layout and
+    /// the `repr(C)` in-memory layout coincide.
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    mod x86 {
+        use super::{PcSample, SAMPLE_BYTES};
+        use core::arch::x86_64::{
+            __m128i, __m256i, _mm256_loadu_si256, _mm256_storeu_si256, _mm_loadu_si128,
+            _mm_storeu_si128,
+        };
+        use regmon_stats::SimdLevel;
+
+        /// Decodes `n` samples from `bytes` with vector copies, or
+        /// `None` when the requested level has no vector path here.
+        pub(super) fn decode(bytes: &[u8], n: usize, level: SimdLevel) -> Option<Vec<PcSample>> {
+            if level < SimdLevel::Sse2 || !level.is_supported() {
+                return None;
+            }
+            debug_assert_eq!(bytes.len(), n * SAMPLE_BYTES);
+            let mut samples: Vec<PcSample> = Vec::with_capacity(n);
+            // SAFETY: `PcSample` is `repr(C)` { `Addr` (`repr(transparent)`
+            // u64), u64 } — 16 bytes, no padding, every bit pattern
+            // valid — and x86-64 is little-endian, so the encoded bytes
+            // *are* valid `PcSample` values. The destination has
+            // capacity for `n` samples (`n * 16` bytes), the source
+            // slice is exactly that long, and the copy below writes
+            // every one of those bytes before `set_len(n)` publishes
+            // them.
+            unsafe {
+                let dst = samples.as_mut_ptr().cast::<u8>();
+                if level >= SimdLevel::Avx2 {
+                    copy_avx2(bytes.as_ptr(), dst, bytes.len());
+                } else {
+                    copy_sse2(bytes.as_ptr(), dst, bytes.len());
+                }
+                samples.set_len(n);
+            }
+            Some(samples)
+        }
+
+        /// # Safety
+        /// `src..src+len` must be readable, `dst..dst+len` writable,
+        /// `len` a multiple of 16, and SSE2 available (always true on
+        /// x86-64).
+        #[target_feature(enable = "sse2")]
+        unsafe fn copy_sse2(src: *const u8, dst: *mut u8, len: usize) {
+            let mut off = 0;
+            while off < len {
+                let v = _mm_loadu_si128(src.add(off).cast::<__m128i>());
+                _mm_storeu_si128(dst.add(off).cast::<__m128i>(), v);
+                off += 16;
+            }
+        }
+
+        /// # Safety
+        /// `src..src+len` must be readable, `dst..dst+len` writable,
+        /// `len` a multiple of 16, and AVX2 available.
+        #[target_feature(enable = "avx2")]
+        unsafe fn copy_avx2(src: *const u8, dst: *mut u8, len: usize) {
+            let mut off = 0;
+            while off + 32 <= len {
+                let v = _mm256_loadu_si256(src.add(off).cast::<__m256i>());
+                _mm256_storeu_si256(dst.add(off).cast::<__m256i>(), v);
+                off += 32;
+            }
+            if off < len {
+                // One trailing 16-byte record.
+                let v = _mm_loadu_si128(src.add(off).cast::<__m128i>());
+                _mm_storeu_si128(dst.add(off).cast::<__m128i>(), v);
+            }
+        }
+    }
 }
 
 // ------------------------------------------------------ frame codec
@@ -674,6 +794,9 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, W
 #[cfg(test)]
 mod tests {
     use super::*;
+    use regmon_binary::Addr;
+    use regmon_sampling::PcSample;
+    use regmon_stats::SimdLevel;
 
     fn sample_config() -> SessionConfig {
         let mut config = SessionConfig::new(45_000);
@@ -846,5 +969,53 @@ mod tests {
         bytes.extend_from_slice(&body);
         let err = read_frame(&mut bytes.as_slice()).unwrap_err();
         assert!(matches!(err, WireError::Malformed(_)));
+    }
+
+    #[test]
+    fn bulk_decode_matches_scalar_for_every_remainder_shape() {
+        // Every sample count 0..=64 (straddling both the 32-byte AVX2
+        // stride and the 16-byte SSE2 stride) decoded at every
+        // supported level must reproduce the scalar oracle exactly.
+        for n in 0..=64usize {
+            let samples: Vec<PcSample> = (0..n as u64)
+                .map(|i| PcSample {
+                    addr: Addr::new(0x4000_0000 + i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    cycle: i.wrapping_mul(45_000) ^ (i << 56),
+                })
+                .collect();
+            let mut bytes = Vec::new();
+            for s in &samples {
+                push_u64(&mut bytes, s.addr.get());
+                push_u64(&mut bytes, s.cycle);
+            }
+            let oracle = bulk::decode_samples_scalar(&bytes, n);
+            assert_eq!(oracle, samples, "scalar oracle, n {n}");
+            for level in SimdLevel::ALL {
+                if !level.is_supported() {
+                    continue;
+                }
+                let decoded = bulk::decode_samples(&bytes, level);
+                assert_eq!(decoded, oracle, "{} n {n}", level.label());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_is_identical_at_every_simd_level() {
+        // The full frame codec must produce the same decoded Batch no
+        // matter which level `REGMON_SIMD` dials dispatch to.
+        let frame = &sample_frames()[2];
+        let bytes = frame.encode();
+        let baseline = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+        assert_eq!(baseline, *frame);
+        let before = regmon_stats::simd::active();
+        for level in SimdLevel::ALL {
+            if regmon_stats::simd::force(level) != level {
+                continue;
+            }
+            let decoded = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+            assert_eq!(decoded, baseline, "{}", level.label());
+        }
+        regmon_stats::simd::force(before);
     }
 }

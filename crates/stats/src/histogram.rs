@@ -11,9 +11,9 @@ use crate::pearson::{pearson_counts, PearsonError};
 /// Number of parallel accumulator lanes in [`add_slots`].
 ///
 /// Eight `u64` lanes are two AVX2 registers (or four SSE2 / one AVX-512
-/// register); the fixed-size inner loop has no bounds checks and no side
-/// exits, which is exactly the shape LLVM's autovectorizer turns into
-/// packed adds. No target-feature detection, no external crates.
+/// register); both the scalar oracle and the AVX2 intrinsic kernel walk
+/// slots in this stride, so the generated code and the remainder shapes
+/// stay aligned across dispatch levels.
 pub const ACCUMULATE_LANES: usize = 8;
 
 /// Adds `src` into `dst` slot-wise: `dst[i] += src[i]`.
@@ -21,10 +21,11 @@ pub const ACCUMULATE_LANES: usize = 8;
 /// This is the histogram-accumulate kernel used by batch attribution
 /// (merging per-chunk scratch histograms into the attribution arena) and
 /// by [`CountHistogram::accumulate`]'s overflow-free fast path. The body
-/// walks both slices in fixed [`ACCUMULATE_LANES`]-wide chunks with a
-/// local lane array, then handles the remainder scalar — a plain wrapping
-/// loop would also vectorize, but the explicit lane structure keeps the
-/// generated code stable across rustc versions and documents the intent.
+/// dispatches on [`crate::simd::active`]: explicit SSE2/AVX2 packed
+/// 64-bit adds on x86-64, with the former lane-structured loop kept as
+/// the scalar fallback and property-test oracle
+/// ([`crate::simd::accumulate_u64_scalar`]). Wrapping integer addition
+/// is exactly reassociable, so every level is bitwise identical.
 ///
 /// Overflow is the *caller's* obligation (debug builds assert): callers
 /// must guarantee `dst[i] + src[i]` fits in a `u64`, which
@@ -35,24 +36,11 @@ pub const ACCUMULATE_LANES: usize = 8;
 /// Panics if the slices have different lengths.
 pub fn add_slots(dst: &mut [u64], src: &[u64]) {
     assert_eq!(dst.len(), src.len(), "slot-count mismatch");
-    let head = dst.len() - dst.len() % ACCUMULATE_LANES;
-    let (dst_head, dst_tail) = dst.split_at_mut(head);
-    let (src_head, src_tail) = src.split_at(head);
-    for (d, s) in dst_head
-        .chunks_exact_mut(ACCUMULATE_LANES)
-        .zip(src_head.chunks_exact(ACCUMULATE_LANES))
-    {
-        let mut lanes = [0u64; ACCUMULATE_LANES];
-        for i in 0..ACCUMULATE_LANES {
-            debug_assert!(d[i].checked_add(s[i]).is_some(), "slot add overflow");
-            lanes[i] = d[i].wrapping_add(s[i]);
-        }
-        d.copy_from_slice(&lanes);
-    }
-    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
+    #[cfg(debug_assertions)]
+    for (d, s) in dst.iter().zip(src) {
         debug_assert!(d.checked_add(*s).is_some(), "slot add overflow");
-        *d = d.wrapping_add(*s);
     }
+    crate::simd::accumulate_u64(dst, src, crate::simd::active());
 }
 
 /// Log2 bucket index of `value` in a `buckets`-wide histogram: bucket
@@ -167,6 +155,29 @@ impl CountHistogram {
             "histogram count overflow (slot {slot}, n {n})"
         );
         self.counts[slot] = self.counts[slot].saturating_add(n);
+        self.total = self.total.saturating_add(n);
+    }
+
+    /// The raw slot buffer, for bulk attribution kernels that bump
+    /// counts directly instead of going through
+    /// [`CountHistogram::record`] per sample.
+    ///
+    /// Invariant: `total()` must stay equal to the sum of the counts —
+    /// a kernel that writes `n` samples' worth of increments through
+    /// this buffer must follow up with
+    /// [`CountHistogram::note_bulk_records`]`(n)`.
+    pub fn counts_mut(&mut self) -> &mut [u64] {
+        &mut self.counts
+    }
+
+    /// Accounts for `n` samples recorded directly through
+    /// [`CountHistogram::counts_mut`] (same saturation behaviour as
+    /// [`CountHistogram::record_n`]).
+    pub fn note_bulk_records(&mut self, n: u64) {
+        debug_assert!(
+            self.total.checked_add(n).is_some(),
+            "histogram total overflow (bulk n {n})"
+        );
         self.total = self.total.saturating_add(n);
     }
 
@@ -355,15 +366,26 @@ mod tests {
 
     #[test]
     fn add_slots_matches_scalar_for_every_remainder_shape() {
-        // Lengths straddling the 8-lane chunk boundary: 0..=2*LANES+1
-        // covers empty, tail-only, exactly-one-chunk and chunk+tail.
-        for len in 0..=(2 * ACCUMULATE_LANES + 1) {
-            let mut dst: Vec<u64> = (0..len as u64).map(|i| i * 31 + 7).collect();
-            let src: Vec<u64> = (0..len as u64).map(|i| i * 17 + 3).collect();
-            let expect: Vec<u64> = dst.iter().zip(&src).map(|(a, b)| a + b).collect();
-            add_slots(&mut dst, &src);
-            assert_eq!(dst, expect, "len {len}");
+        // Lengths 0..=4*LANES cover empty, tail-only, exact blocks and
+        // block+tail for every dispatch stride (2-lane SSE2, 8-lane
+        // AVX2 and the 8-lane scalar oracle) — and the kernel must be
+        // bitwise identical at every supported level.
+        for level in crate::simd::SimdLevel::ALL {
+            if !level.is_supported() {
+                continue;
+            }
+            for len in 0..=(4 * ACCUMULATE_LANES) {
+                let mut dst: Vec<u64> = (0..len as u64).map(|i| i * 31 + 7).collect();
+                let src: Vec<u64> = (0..len as u64).map(|i| i * 17 + 3).collect();
+                let expect: Vec<u64> = dst.iter().zip(&src).map(|(a, b)| a + b).collect();
+                crate::simd::accumulate_u64(&mut dst, &src, level);
+                assert_eq!(dst, expect, "level {} len {len}", level.label());
+            }
         }
+        // And the public entry point dispatches on the active level.
+        let mut dst = vec![1u64, 2, 3];
+        add_slots(&mut dst, &[10, 20, 30]);
+        assert_eq!(dst, vec![11, 22, 33]);
     }
 
     #[test]

@@ -33,7 +33,10 @@
 //! assert!(pearson_r(&stable, &shifted).unwrap() < 0.5);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module carries the one
+// scoped `allow(unsafe_code)` in this crate, for `core::arch`
+// intrinsic bodies behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod descriptive;
@@ -41,9 +44,11 @@ pub mod histogram;
 pub mod online;
 pub mod pearson;
 pub mod series;
+pub mod simd;
 
 pub use descriptive::{mean, median, percentile, population_variance, sample_variance, Summary};
 pub use histogram::{add_slots, CountHistogram, ACCUMULATE_LANES};
 pub use online::OnlineStats;
 pub use pearson::{pearson_r, PearsonAccumulator, PearsonError, PearsonParts};
 pub use series::Series;
+pub use simd::SimdLevel;

@@ -1,0 +1,743 @@
+//! Runtime-dispatched x86-64 SIMD kernels and the process-global
+//! dispatch level.
+//!
+//! The hot loops of the region monitor — histogram accumulation,
+//! Pearson's shifted sums, batch segment stabs and wire-v1 sample
+//! decode — are straight-line slot/segment scans. This module owns the
+//! *dispatch* for all of them: a process-global [`SimdLevel`] resolved
+//! once (hardware detection via `is_x86_feature_detected!`, overridable
+//! through the `REGMON_SIMD` environment variable or [`force`]), plus
+//! the kernels that live naturally next to the statistics types. Other
+//! crates (`regmon-regions` for stabs, `regmon-serve` for wire decode)
+//! keep their kernels local but consult [`active`] here so there is
+//! exactly one switch.
+//!
+//! # Bitwise-identity contract
+//!
+//! Every kernel in this module produces output **bitwise identical** to
+//! its scalar reference at every level — the scalar implementations are
+//! kept as the property-test oracle, and `REGMON_SIMD=scalar` must
+//! never change a single output byte:
+//!
+//! * Integer kernels ([`accumulate_u64`]) are freely reassociable —
+//!   wrapping `u64` addition is associative and commutative.
+//! * Float kernels ([`shifted_deltas`], [`current_sums`]) are **not**:
+//!   IEEE-754 addition is order-sensitive. They therefore vectorize only
+//!   the *element-wise* stages (convert, subtract, multiply — exact per
+//!   element, identical in packed and scalar form) and always run the
+//!   order-sensitive reductions scalar, in index order, exactly like
+//!   the reference. The win is smaller than for integer kernels, by
+//!   design; reordering the sums would change `r` bits and break the
+//!   `PearsonParts` round-trip contract.
+//!
+//! # Levels
+//!
+//! [`SimdLevel::Scalar`] is compiled on every target and is the only
+//! level on non-x86-64 builds. [`SimdLevel::Sse2`] is the x86-64
+//! baseline (every x86-64 CPU has it); [`SimdLevel::Avx2`] is used only
+//! when the running CPU reports it. Requesting a level the CPU lacks
+//! (env or [`force`]) clamps down to the detected level, so a test
+//! matrix can unconditionally set `REGMON_SIMD=avx2` and still run
+//! everywhere.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// An instruction-set tier for the hot kernels.
+///
+/// Ordered: a higher level implies every lower one is available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SimdLevel {
+    /// Portable scalar Rust — compiled on every target, the
+    /// property-test oracle for the vector paths.
+    Scalar,
+    /// 128-bit SSE2 intrinsics (architectural baseline on x86-64).
+    Sse2,
+    /// 256-bit AVX2 intrinsics, used only after runtime detection.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// All levels, lowest first.
+    pub const ALL: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2];
+
+    /// Stable lowercase name (`scalar` / `sse2` / `avx2`), the same
+    /// vocabulary `REGMON_SIMD` and `--simd` accept.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Parses a level name as accepted by `REGMON_SIMD` / `--simd`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<SimdLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdLevel::Scalar),
+            "sse2" => Some(SimdLevel::Sse2),
+            "avx2" => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Whether the running CPU can execute this level.
+    #[must_use]
+    pub fn is_supported(self) -> bool {
+        self <= detected()
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            SimdLevel::Scalar => 1,
+            SimdLevel::Sse2 => 2,
+            SimdLevel::Avx2 => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<SimdLevel> {
+        match v {
+            1 => Some(SimdLevel::Scalar),
+            2 => Some(SimdLevel::Sse2),
+            3 => Some(SimdLevel::Avx2),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = unresolved; otherwise `SimdLevel::to_u8`.
+static DETECTED: AtomicU8 = AtomicU8::new(0);
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+/// The name of the environment variable that overrides dispatch.
+pub const SIMD_ENV: &str = "REGMON_SIMD";
+
+fn detect() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return SimdLevel::Sse2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The highest level the running CPU supports, independent of any
+/// override. Stable for the life of the process (and across
+/// `REGMON_SIMD` values), which is why the CLI reports *this* in
+/// byte-stable `--json` metadata.
+#[must_use]
+pub fn detected() -> SimdLevel {
+    match SimdLevel::from_u8(DETECTED.load(Ordering::Relaxed)) {
+        Some(level) => level,
+        None => {
+            let level = detect();
+            DETECTED.store(level.to_u8(), Ordering::Relaxed);
+            level
+        }
+    }
+}
+
+/// The raw `REGMON_SIMD` value, if set (unparsed — `regmon features`
+/// reports unrecognized values instead of silently ignoring them).
+#[must_use]
+pub fn env_override() -> Option<String> {
+    std::env::var(SIMD_ENV).ok()
+}
+
+/// The level the kernels dispatch on, resolved once per process:
+/// `REGMON_SIMD` (clamped to [`detected`]; unrecognized values are
+/// ignored) or else [`detected`]. One relaxed atomic load after the
+/// first call.
+#[must_use]
+pub fn active() -> SimdLevel {
+    match SimdLevel::from_u8(ACTIVE.load(Ordering::Relaxed)) {
+        Some(level) => level,
+        None => {
+            let level = env_override()
+                .and_then(|raw| SimdLevel::parse(&raw))
+                .map_or_else(detected, |req| req.min(detected()));
+            ACTIVE.store(level.to_u8(), Ordering::Relaxed);
+            level
+        }
+    }
+}
+
+/// Forces the active level (clamped to [`detected`]) and returns the
+/// level actually applied. Used by `--simd` plumbing and by the bench
+/// binaries to measure scalar-vs-vector within one process — safe at
+/// any time precisely because every level is bitwise identical.
+pub fn force(level: SimdLevel) -> SimdLevel {
+    let applied = level.min(detected());
+    ACTIVE.store(applied.to_u8(), Ordering::Relaxed);
+    applied
+}
+
+// ------------------------------------------------------------------
+// u64 slot accumulate (histogram merge)
+// ------------------------------------------------------------------
+
+/// `dst[i] = dst[i].wrapping_add(src[i])` at an explicit level.
+///
+/// The scalar body is the former `add_slots` lane loop and remains the
+/// oracle; SSE2/AVX2 use packed 64-bit adds (`_mm_add_epi64` /
+/// `_mm256_add_epi64`). Wrapping integer addition is exactly
+/// reassociable, so every level is bitwise identical. Overflow remains
+/// the caller's obligation (checked by `add_slots` in debug builds).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accumulate_u64(dst: &mut [u64], src: &[u64], level: SimdLevel) {
+    assert_eq!(dst.len(), src.len(), "slot-count mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if x86::accumulate(dst, src, level) {
+        return;
+    }
+    let _ = level;
+    accumulate_u64_scalar(dst, src);
+}
+
+/// The scalar oracle for [`accumulate_u64`]: fixed 8-lane chunks with a
+/// local lane array (the shape LLVM's autovectorizer handles well),
+/// then a scalar tail.
+pub fn accumulate_u64_scalar(dst: &mut [u64], src: &[u64]) {
+    const LANES: usize = 8;
+    assert_eq!(dst.len(), src.len(), "slot-count mismatch");
+    let head = dst.len() - dst.len() % LANES;
+    let (dst_head, dst_tail) = dst.split_at_mut(head);
+    let (src_head, src_tail) = src.split_at(head);
+    for (d, s) in dst_head
+        .chunks_exact_mut(LANES)
+        .zip(src_head.chunks_exact(LANES))
+    {
+        let mut lanes = [0u64; LANES];
+        for i in 0..LANES {
+            lanes[i] = d[i].wrapping_add(s[i]);
+        }
+        d.copy_from_slice(&lanes);
+    }
+    for (d, s) in dst_tail.iter_mut().zip(src_tail) {
+        *d = d.wrapping_add(*s);
+    }
+}
+
+// ------------------------------------------------------------------
+// Pearson shifted sums (stable side + current side)
+// ------------------------------------------------------------------
+
+/// Rebuilds the stable-side shifted deltas: fills
+/// `dx[i] = counts[i] as f64 − x0` and returns `(Σ dx, Σ dx²)` with the
+/// additions performed scalar in index order at every level.
+///
+/// Conversion, subtraction and multiplication are exact per element
+/// (IEEE-754 ops round identically packed or scalar), so only the
+/// additions are order-sensitive — and those never vectorize.
+pub fn shifted_deltas(counts: &[u64], x0: f64, dx: &mut Vec<f64>, level: SimdLevel) -> (f64, f64) {
+    dx.clear();
+    dx.reserve(counts.len());
+    #[cfg(target_arch = "x86_64")]
+    if let Some(sums) = x86::shifted(counts, x0, dx, level) {
+        return sums;
+    }
+    let _ = level;
+    shifted_deltas_scalar(counts, x0, dx)
+}
+
+/// The scalar oracle for [`shifted_deltas`].
+pub fn shifted_deltas_scalar(counts: &[u64], x0: f64, dx: &mut Vec<f64>) -> (f64, f64) {
+    let (mut sx, mut sxx) = (0.0f64, 0.0f64);
+    for &c in counts {
+        let d = c as f64 - x0;
+        dx.push(d);
+        sx += d;
+        sxx += d * d;
+    }
+    (sx, sxx)
+}
+
+/// Current-side shifted sums against cached stable deltas: returns
+/// `(Σ dy, Σ dy², Σ dx·dy)` with `dy = counts[i] as f64 − y0`, the
+/// additions performed scalar in index order at every level.
+///
+/// The scalar oracle keeps the sparse `y0 == 0` skip path; the vector
+/// levels process every slot. Both are bitwise identical: a zero-count
+/// slot under `y0 == 0` contributes `+0.0` to `sy`/`syy` and a signed
+/// zero to `sxy`, and adding a signed zero to a running sum that
+/// started at `+0.0` never changes its bits.
+///
+/// # Panics
+///
+/// Panics if `counts` and `dx` have different lengths.
+pub fn current_sums(counts: &[u64], y0: f64, dx: &[f64], level: SimdLevel) -> (f64, f64, f64) {
+    assert_eq!(counts.len(), dx.len(), "slot-count mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if let Some(sums) = x86::current(counts, y0, dx, level) {
+        return sums;
+    }
+    let _ = level;
+    current_sums_scalar(counts, y0, dx)
+}
+
+/// The scalar oracle for [`current_sums`] (including the exact sparse
+/// skip for `y0 == 0`, see there).
+///
+/// # Panics
+///
+/// Panics if `counts` and `dx` have different lengths.
+pub fn current_sums_scalar(counts: &[u64], y0: f64, dx: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(counts.len(), dx.len(), "slot-count mismatch");
+    let (mut sy, mut syy, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
+    if y0 == 0.0 {
+        for (i, &c) in counts.iter().enumerate() {
+            if c != 0 {
+                let dy = c as f64;
+                sy += dy;
+                syy += dy * dy;
+                sxy += dx[i] * dy;
+            }
+        }
+    } else {
+        for (&c, &d) in counts.iter().zip(dx) {
+            let dy = c as f64 - y0;
+            sy += dy;
+            syy += dy * dy;
+            sxy += d * dy;
+        }
+    }
+    (sy, syy, sxy)
+}
+
+// ------------------------------------------------------------------
+// x86-64 intrinsic bodies
+// ------------------------------------------------------------------
+
+/// The only unsafe code in this crate: `core::arch` intrinsic bodies.
+/// Every function is `unsafe fn` with a `#[target_feature]` gate; the
+/// dispatchers above are the sole callers and only after detection.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::SimdLevel;
+    use core::arch::x86_64::{
+        __m128i, __m256i, _mm256_add_epi64, _mm256_loadu_pd, _mm256_loadu_si256, _mm256_mul_pd,
+        _mm256_storeu_pd, _mm256_storeu_si256, _mm256_sub_pd, _mm_add_epi64, _mm_loadu_pd,
+        _mm_loadu_si128, _mm_mul_pd, _mm_storeu_pd, _mm_storeu_si128, _mm_sub_pd,
+    };
+
+    /// Safe dispatch shim for [`super::accumulate_u64`]: `true` when a
+    /// vector level handled the call.
+    pub fn accumulate(dst: &mut [u64], src: &[u64], level: SimdLevel) -> bool {
+        match level {
+            // SAFETY: SSE2 is the x86-64 baseline; AVX2 is dispatched
+            // only when `detected()` reported it (force/active clamp).
+            SimdLevel::Avx2 => unsafe { accumulate_u64_avx2(dst, src) },
+            SimdLevel::Sse2 => unsafe { accumulate_u64_sse2(dst, src) },
+            SimdLevel::Scalar => return false,
+        }
+        true
+    }
+
+    /// Safe dispatch shim for [`super::shifted_deltas`].
+    pub fn shifted(
+        counts: &[u64],
+        x0: f64,
+        dx: &mut Vec<f64>,
+        level: SimdLevel,
+    ) -> Option<(f64, f64)> {
+        match level {
+            // SAFETY: level clamped to detected (see `accumulate`).
+            SimdLevel::Avx2 => Some(unsafe { shifted_deltas_avx2(counts, x0, dx) }),
+            SimdLevel::Sse2 => Some(unsafe { shifted_deltas_sse2(counts, x0, dx) }),
+            SimdLevel::Scalar => None,
+        }
+    }
+
+    /// Safe dispatch shim for [`super::current_sums`].
+    pub fn current(
+        counts: &[u64],
+        y0: f64,
+        dx: &[f64],
+        level: SimdLevel,
+    ) -> Option<(f64, f64, f64)> {
+        match level {
+            // SAFETY: level clamped to detected (see `accumulate`).
+            SimdLevel::Avx2 => Some(unsafe { current_sums_avx2(counts, y0, dx) }),
+            SimdLevel::Sse2 => Some(unsafe { current_sums_sse2(counts, y0, dx) }),
+            SimdLevel::Scalar => None,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires SSE2 (the x86-64 baseline).
+    #[target_feature(enable = "sse2")]
+    unsafe fn accumulate_u64_sse2(dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut i = 0usize;
+        // SAFETY: `i + 2 <= n` bounds every 128-bit (2-lane) access;
+        // loadu/storeu tolerate arbitrary alignment.
+        unsafe {
+            while i + 2 <= n {
+                let a = _mm_loadu_si128(d.add(i).cast::<__m128i>());
+                let b = _mm_loadu_si128(s.add(i).cast::<__m128i>());
+                _mm_storeu_si128(d.add(i).cast::<__m128i>(), _mm_add_epi64(a, b));
+                i += 2;
+            }
+            if i < n {
+                *d.add(i) = (*d.add(i)).wrapping_add(*s.add(i));
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2 (runtime-detected before dispatch).
+    #[target_feature(enable = "avx2")]
+    unsafe fn accumulate_u64_avx2(dst: &mut [u64], src: &[u64]) {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let d = dst.as_mut_ptr();
+        let s = src.as_ptr();
+        let mut i = 0usize;
+        // SAFETY: `i + k <= n` bounds every access; unaligned ops.
+        unsafe {
+            // 8 lanes (two 256-bit registers) per iteration: the same
+            // shape as ACCUMULATE_LANES in the scalar oracle.
+            while i + 8 <= n {
+                let a0 = _mm256_loadu_si256(d.add(i).cast::<__m256i>());
+                let b0 = _mm256_loadu_si256(s.add(i).cast::<__m256i>());
+                let a1 = _mm256_loadu_si256(d.add(i + 4).cast::<__m256i>());
+                let b1 = _mm256_loadu_si256(s.add(i + 4).cast::<__m256i>());
+                _mm256_storeu_si256(d.add(i).cast::<__m256i>(), _mm256_add_epi64(a0, b0));
+                _mm256_storeu_si256(d.add(i + 4).cast::<__m256i>(), _mm256_add_epi64(a1, b1));
+                i += 8;
+            }
+            while i + 2 <= n {
+                let a = _mm_loadu_si128(d.add(i).cast::<__m128i>());
+                let b = _mm_loadu_si128(s.add(i).cast::<__m128i>());
+                _mm_storeu_si128(d.add(i).cast::<__m128i>(), _mm_add_epi64(a, b));
+                i += 2;
+            }
+            if i < n {
+                *d.add(i) = (*d.add(i)).wrapping_add(*s.add(i));
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires SSE2.
+    #[target_feature(enable = "sse2")]
+    unsafe fn shifted_deltas_sse2(counts: &[u64], x0: f64, dx: &mut Vec<f64>) -> (f64, f64) {
+        let n = counts.len();
+        dx.resize(n, 0.0);
+        let out = dx.as_mut_ptr();
+        let (mut sx, mut sxx) = (0.0f64, 0.0f64);
+        let mut i = 0usize;
+        // SAFETY: `i + 2 <= n` bounds every 2-lane access into
+        // `counts`/`dx`; unaligned loads/stores.
+        unsafe {
+            while i + 2 <= n {
+                // u64 -> f64 converts scalar (no packed form before
+                // AVX-512), packed subtract/multiply — both exact per
+                // element — then strictly ordered scalar adds.
+                let conv = [counts[i] as f64, counts[i + 1] as f64];
+                let v = _mm_loadu_pd(conv.as_ptr());
+                let d = _mm_sub_pd(v, core::arch::x86_64::_mm_set1_pd(x0));
+                _mm_storeu_pd(out.add(i), d);
+                let sq = _mm_mul_pd(d, d);
+                let mut dbuf = [0.0f64; 2];
+                let mut qbuf = [0.0f64; 2];
+                _mm_storeu_pd(dbuf.as_mut_ptr(), d);
+                _mm_storeu_pd(qbuf.as_mut_ptr(), sq);
+                sx += dbuf[0];
+                sxx += qbuf[0];
+                sx += dbuf[1];
+                sxx += qbuf[1];
+                i += 2;
+            }
+            while i < n {
+                let d = counts[i] as f64 - x0;
+                *out.add(i) = d;
+                sx += d;
+                sxx += d * d;
+                i += 1;
+            }
+        }
+        (sx, sxx)
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn shifted_deltas_avx2(counts: &[u64], x0: f64, dx: &mut Vec<f64>) -> (f64, f64) {
+        let n = counts.len();
+        dx.resize(n, 0.0);
+        let out = dx.as_mut_ptr();
+        let (mut sx, mut sxx) = (0.0f64, 0.0f64);
+        let mut i = 0usize;
+        // SAFETY: `i + 4 <= n` bounds every 4-lane access.
+        unsafe {
+            let x0v = core::arch::x86_64::_mm256_set1_pd(x0);
+            while i + 4 <= n {
+                let conv = [
+                    counts[i] as f64,
+                    counts[i + 1] as f64,
+                    counts[i + 2] as f64,
+                    counts[i + 3] as f64,
+                ];
+                let v = _mm256_loadu_pd(conv.as_ptr());
+                let d = _mm256_sub_pd(v, x0v);
+                _mm256_storeu_pd(out.add(i), d);
+                let sq = _mm256_mul_pd(d, d);
+                let mut dbuf = [0.0f64; 4];
+                let mut qbuf = [0.0f64; 4];
+                _mm256_storeu_pd(dbuf.as_mut_ptr(), d);
+                _mm256_storeu_pd(qbuf.as_mut_ptr(), sq);
+                for k in 0..4 {
+                    sx += dbuf[k];
+                    sxx += qbuf[k];
+                }
+                i += 4;
+            }
+            while i < n {
+                let d = counts[i] as f64 - x0;
+                *out.add(i) = d;
+                sx += d;
+                sxx += d * d;
+                i += 1;
+            }
+        }
+        (sx, sxx)
+    }
+
+    /// # Safety
+    ///
+    /// Requires SSE2. `counts.len() == dx.len()` (checked by dispatch).
+    #[target_feature(enable = "sse2")]
+    unsafe fn current_sums_sse2(counts: &[u64], y0: f64, dx: &[f64]) -> (f64, f64, f64) {
+        let n = counts.len();
+        let (mut sy, mut syy, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
+        let mut i = 0usize;
+        // SAFETY: `i + 2 <= n` bounds every 2-lane access.
+        unsafe {
+            let y0v = core::arch::x86_64::_mm_set1_pd(y0);
+            while i + 2 <= n {
+                let conv = [counts[i] as f64, counts[i + 1] as f64];
+                let yv = _mm_sub_pd(_mm_loadu_pd(conv.as_ptr()), y0v);
+                let xv = _mm_loadu_pd(dx.as_ptr().add(i));
+                let yy = _mm_mul_pd(yv, yv);
+                let xy = _mm_mul_pd(xv, yv);
+                let mut ybuf = [0.0f64; 2];
+                let mut yybuf = [0.0f64; 2];
+                let mut xybuf = [0.0f64; 2];
+                _mm_storeu_pd(ybuf.as_mut_ptr(), yv);
+                _mm_storeu_pd(yybuf.as_mut_ptr(), yy);
+                _mm_storeu_pd(xybuf.as_mut_ptr(), xy);
+                for k in 0..2 {
+                    sy += ybuf[k];
+                    syy += yybuf[k];
+                    sxy += xybuf[k];
+                }
+                i += 2;
+            }
+            while i < n {
+                let dy = counts[i] as f64 - y0;
+                sy += dy;
+                syy += dy * dy;
+                sxy += dx[i] * dy;
+                i += 1;
+            }
+        }
+        (sy, syy, sxy)
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2. `counts.len() == dx.len()` (checked by dispatch).
+    #[target_feature(enable = "avx2")]
+    unsafe fn current_sums_avx2(counts: &[u64], y0: f64, dx: &[f64]) -> (f64, f64, f64) {
+        let n = counts.len();
+        let (mut sy, mut syy, mut sxy) = (0.0f64, 0.0f64, 0.0f64);
+        let mut i = 0usize;
+        // SAFETY: `i + 4 <= n` bounds every 4-lane access.
+        unsafe {
+            let y0v = core::arch::x86_64::_mm256_set1_pd(y0);
+            while i + 4 <= n {
+                let conv = [
+                    counts[i] as f64,
+                    counts[i + 1] as f64,
+                    counts[i + 2] as f64,
+                    counts[i + 3] as f64,
+                ];
+                let yv = _mm256_sub_pd(_mm256_loadu_pd(conv.as_ptr()), y0v);
+                let xv = _mm256_loadu_pd(dx.as_ptr().add(i));
+                let yy = _mm256_mul_pd(yv, yv);
+                let xy = _mm256_mul_pd(xv, yv);
+                let mut ybuf = [0.0f64; 4];
+                let mut yybuf = [0.0f64; 4];
+                let mut xybuf = [0.0f64; 4];
+                _mm256_storeu_pd(ybuf.as_mut_ptr(), yv);
+                _mm256_storeu_pd(yybuf.as_mut_ptr(), yy);
+                _mm256_storeu_pd(xybuf.as_mut_ptr(), xy);
+                for k in 0..4 {
+                    sy += ybuf[k];
+                    syy += yybuf[k];
+                    sxy += xybuf[k];
+                }
+                i += 4;
+            }
+            while i < n {
+                let dy = counts[i] as f64 - y0;
+                sy += dy;
+                syy += dy * dy;
+                sxy += dx[i] * dy;
+                i += 1;
+            }
+        }
+        (sy, syy, sxy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The levels the running CPU can actually execute.
+    fn testable_levels() -> Vec<SimdLevel> {
+        SimdLevel::ALL
+            .into_iter()
+            .filter(|l| l.is_supported())
+            .collect()
+    }
+
+    #[test]
+    fn level_order_and_labels() {
+        assert!(SimdLevel::Scalar < SimdLevel::Sse2);
+        assert!(SimdLevel::Sse2 < SimdLevel::Avx2);
+        for level in SimdLevel::ALL {
+            assert_eq!(SimdLevel::parse(level.label()), Some(level));
+        }
+        assert_eq!(SimdLevel::parse("AVX2"), Some(SimdLevel::Avx2));
+        assert_eq!(SimdLevel::parse("neon"), None);
+    }
+
+    #[test]
+    fn detected_is_stable_and_scalar_always_supported() {
+        assert_eq!(detected(), detected());
+        assert!(SimdLevel::Scalar.is_supported());
+        #[cfg(target_arch = "x86_64")]
+        assert!(SimdLevel::Sse2.is_supported());
+    }
+
+    #[test]
+    fn force_clamps_to_detected() {
+        let prev = active();
+        let applied = force(SimdLevel::Avx2);
+        assert!(applied <= detected());
+        assert_eq!(active(), applied);
+        force(prev);
+    }
+
+    #[test]
+    fn accumulate_matches_scalar_for_every_level_and_remainder_shape() {
+        // 0..4*lanes covers empty, tails, exact blocks and block+tail
+        // for both the 2-lane SSE2 and 8-lane AVX2 strides.
+        for level in testable_levels() {
+            for len in 0..=32usize {
+                let mut dst: Vec<u64> = (0..len as u64).map(|i| i * 31 + 7).collect();
+                let mut oracle = dst.clone();
+                let src: Vec<u64> = (0..len as u64)
+                    .map(|i| i.wrapping_mul(0x9E37_79B9) + 3)
+                    .collect();
+                accumulate_u64(&mut dst, &src, level);
+                accumulate_u64_scalar(&mut oracle, &src);
+                assert_eq!(dst, oracle, "level {} len {len}", level.label());
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_wraps_identically() {
+        for level in testable_levels() {
+            let mut dst = vec![u64::MAX, 1, u64::MAX - 5, 0];
+            let src = vec![2u64, u64::MAX, 10, 0];
+            accumulate_u64(&mut dst, &src, level);
+            assert_eq!(dst, vec![1, 0, 4, 0], "level {}", level.label());
+        }
+    }
+
+    #[test]
+    fn shifted_deltas_bitwise_identical_across_levels() {
+        for level in testable_levels() {
+            for len in 0..=32usize {
+                let counts: Vec<u64> = (0..len as u64).map(|i| (i * 37) % 11).collect();
+                let x0 = counts.first().map_or(0.0, |&c| c as f64);
+                let mut dx = Vec::new();
+                let mut dx_ref = Vec::new();
+                let (sx, sxx) = shifted_deltas(&counts, x0, &mut dx, level);
+                let (rx, rxx) = shifted_deltas_scalar(&counts, x0, &mut dx_ref);
+                assert_eq!(
+                    sx.to_bits(),
+                    rx.to_bits(),
+                    "sx level {} len {len}",
+                    level.label()
+                );
+                assert_eq!(
+                    sxx.to_bits(),
+                    rxx.to_bits(),
+                    "sxx level {} len {len}",
+                    level.label()
+                );
+                let a: Vec<u64> = dx.iter().map(|d| d.to_bits()).collect();
+                let b: Vec<u64> = dx_ref.iter().map(|d| d.to_bits()).collect();
+                assert_eq!(a, b, "dx level {} len {len}", level.label());
+            }
+        }
+    }
+
+    #[test]
+    fn current_sums_bitwise_identical_across_levels_and_sparsity() {
+        for level in testable_levels() {
+            for len in 2..=32usize {
+                // Sparse (y0 == 0, exercising the scalar skip path) and
+                // dense variants.
+                for dense in [false, true] {
+                    let counts: Vec<u64> = (0..len as u64)
+                        .map(|i| {
+                            if dense {
+                                i * 13 + 1
+                            } else if i % 3 == 0 {
+                                0
+                            } else {
+                                i * 13
+                            }
+                        })
+                        .collect();
+                    let stable: Vec<u64> = (0..len as u64).map(|i| (i * 29) % 17).collect();
+                    let x0 = stable[0] as f64;
+                    let mut dx = Vec::new();
+                    shifted_deltas_scalar(&stable, x0, &mut dx);
+                    let y0 = counts[0] as f64;
+                    let (sy, syy, sxy) = current_sums(&counts, y0, &dx, level);
+                    let (ry, ryy, rxy) = current_sums_scalar(&counts, y0, &dx);
+                    assert_eq!(
+                        (sy.to_bits(), syy.to_bits(), sxy.to_bits()),
+                        (ry.to_bits(), ryy.to_bits(), rxy.to_bits()),
+                        "level {} len {len} dense {dense}",
+                        level.label()
+                    );
+                }
+            }
+        }
+    }
+}

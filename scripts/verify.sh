@@ -33,6 +33,9 @@ fi
 step "cargo test"
 cargo test -q
 
+step "cargo test (REGMON_SIMD=scalar — vector kernels must be bitwise-inert)"
+REGMON_SIMD=scalar cargo test -q
+
 step "fleet JSON determinism"
 a="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --json)"
 b="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --json)"
@@ -53,6 +56,18 @@ grep -E '^(#|regmon_)' "$expo" > "$expo.prom"
 cargo run -q --release -p regmon-cli -- metrics --check "$expo.prom"
 cargo run -q --release -p regmon-cli -- metrics --check "$trace"
 rm -f "$trace" "$expo" "$expo.prom"
+
+step "fleet JSON invariance (REGMON_SIMD=scalar and --pin must not change a byte)"
+s="$(REGMON_SIMD=scalar cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --json)"
+if [[ "$a" != "$s" ]]; then
+  echo "FAIL: fleet --json differed under REGMON_SIMD=scalar" >&2
+  exit 1
+fi
+p="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --pin --json)"
+if [[ "$a" != "$p" ]]; then
+  echo "FAIL: fleet --json differed under --pin" >&2
+  exit 1
+fi
 
 step "fleet JSON determinism (batched + stealing)"
 a="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 16 --shards 4 --intervals 10 --batch 8 --steal --json)"

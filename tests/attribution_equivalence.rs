@@ -98,6 +98,40 @@ fn pruning_decisions_are_path_invariant() {
 }
 
 #[test]
+fn outcomes_are_simd_level_invariant() {
+    // The SIMD kernels (histogram accumulate, Pearson sums, batch stab)
+    // promise bitwise-identical results at every dispatch level; here
+    // that contract is proven end-to-end: full interval outcomes under
+    // forced scalar, sse2 and avx2 dispatch are equal, for the flat
+    // index (the one with a vectorized batch-stab path) and the tree.
+    use regmon_stats::{simd, SimdLevel};
+    let before = simd::active();
+    for kind in [IndexKind::FlatSorted, IndexKind::IntervalTree] {
+        let mut reference: Option<Vec<IntervalOutcome>> = None;
+        for level in SimdLevel::ALL {
+            if simd::force(level) != level {
+                continue; // not supported on this host
+            }
+            let got = outcomes("172.mgrid", 45_000, 50, kind, 0, None);
+            match &reference {
+                None => reference = Some(got),
+                Some(expect) => {
+                    for (i, (a, b)) in expect.iter().zip(&got).enumerate() {
+                        assert_eq!(
+                            a,
+                            b,
+                            "{kind:?} diverged at interval {i} under {}",
+                            level.label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+    simd::force(before);
+}
+
+#[test]
 fn summaries_match_across_all_paths() {
     // Coarser check over a longer run: full SessionSummary equality of
     // lifetime stats (phase changes, stable fractions, UCR median).

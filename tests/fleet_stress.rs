@@ -7,9 +7,10 @@
 
 use regmon::{MonitoringSession, SessionConfig};
 use regmon_fleet::{
-    run_fleet, ControlAction, EvictReason, FleetConfig, Pacing, QueuePolicy, Schedule, TenantId,
-    TenantSpec, TenantState,
+    run_fleet, ControlAction, EngineConfig, EvictReason, FleetConfig, FleetEngine, Pacing,
+    QueuePolicy, Schedule, TenantId, TenantSpec, TenantState,
 };
+use regmon_sampling::Sampler;
 use regmon_workload::suite;
 
 fn spec(name: &str, tag: usize, intervals: usize) -> TenantSpec {
@@ -86,37 +87,56 @@ fn tiny_queue_block_stalls_lockstep_deterministic() {
 /// dropped intervals are genuinely not processed.
 #[test]
 fn tiny_queue_drop_oldest_records_drops() {
-    for pacing in [Pacing::Lockstep, Pacing::Freerun] {
-        let specs: Vec<TenantSpec> = mixed_specs(4, 30)
-            .into_iter()
-            .map(|s| {
-                if pacing == Pacing::Freerun {
-                    s.with_throttle_us(300)
-                } else {
-                    s
-                }
-            })
-            .collect();
-        let config = FleetConfig::new(2, 1)
-            .with_policy(QueuePolicy::DropOldest)
-            .with_pacing(pacing);
-        // Lockstep drops are deterministic driver-side decisions; freerun
-        // drops need the producer to genuinely outrun a depth-1 queue,
-        // which the scheduler on a single-core host does not guarantee in
-        // any one run — so the freerun leg gets a few attempts.
-        let attempts = if pacing == Pacing::Freerun { 10 } else { 1 };
-        let report = (0..attempts)
-            .map(|_| run_fleet(&config, &specs, &Schedule::new()))
-            .find(|r| r.shards.iter().map(|s| s.dropped_intervals).sum::<usize>() > 0)
-            .unwrap_or_else(|| panic!("depth-1 DropOldest must drop ({pacing:?})"));
-        assert!(
-            report.aggregate.intervals_processed < report.aggregate.intervals_produced,
-            "drops must be real ({pacing:?})"
-        );
-        // The fleet still completes: DropOldest degrades monitoring
-        // fidelity, never liveness.
-        assert_eq!(report.aggregate.completed, 4, "({pacing:?})");
+    // Lockstep leg: drops are deterministic driver-side decisions, a
+    // pure function of the configuration — one run suffices.
+    let config = FleetConfig::new(2, 1).with_policy(QueuePolicy::DropOldest);
+    let report = run_fleet(&config, &mixed_specs(4, 30), &Schedule::new());
+    assert!(
+        report
+            .shards
+            .iter()
+            .map(|s| s.dropped_intervals)
+            .sum::<usize>()
+            > 0,
+        "depth-1 DropOldest must drop (Lockstep)"
+    );
+    assert!(
+        report.aggregate.intervals_processed < report.aggregate.intervals_produced,
+        "drops must be real (Lockstep)"
+    );
+    // The fleet still completes: DropOldest degrades monitoring
+    // fidelity, never liveness.
+    assert_eq!(report.aggregate.completed, 4, "(Lockstep)");
+}
+
+/// Freerun drops, deterministically: parking the shard worker with
+/// [`FleetEngine::hold_shard`] makes the producer *provably* outrun the
+/// depth-1 queue, so the exact drop count is asserted — no wall-clock
+/// throttling, no retry loop, no scheduler luck (the old form of this
+/// test needed up to 10 attempts on a single-core host).
+#[test]
+fn freerun_drop_oldest_drops_deterministically() {
+    let mut engine = FleetEngine::new(EngineConfig::new(1, 1).with_policy(QueuePolicy::DropOldest));
+    let spec = spec("172.mgrid", 0, 3);
+    let id = engine.admit(&spec);
+    // Returns once the worker has processed the Admit and parked:
+    // from here until release, nothing leaves the queue.
+    let hold = engine.hold_shard(0);
+    let intervals: Vec<_> = Sampler::new(&spec.workload, spec.config.sampling)
+        .take(3)
+        .collect();
+    for interval in intervals {
+        assert!(engine.offer_interval(id, interval));
     }
+    hold.release();
+    engine.finish(id);
+    let finals = engine.shutdown();
+    // Depth 1, worker held: the second interval evicted the first, the
+    // third evicted the second — exactly two drops, one survivor.
+    assert_eq!(finals[0].queue.dropped, 2);
+    let t = &finals[0].tenants[0];
+    assert_eq!(t.intervals_processed, 1, "only the survivor is processed");
+    assert_eq!(t.state, TenantState::Completed);
 }
 
 /// Freerun work stealing under a pathological skew: every heavy tenant

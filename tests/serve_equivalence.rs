@@ -217,6 +217,30 @@ proptest! {
     }
 }
 
+/// The whole out-of-process path — wire decode included — is invariant
+/// under the SIMD dispatch level: a journal replayed under forced
+/// scalar, sse2 and avx2 dispatch yields byte-identical summaries.
+#[test]
+fn replay_is_simd_level_invariant() {
+    use regmon_stats::{simd, SimdLevel};
+    let config = config_for(2, 0, false, 0);
+    let bytes = journal_bytes(WORKLOADS[0], &config, 12, 3);
+    let before = simd::active();
+    let mut reference: Option<String> = None;
+    for level in SimdLevel::ALL {
+        if simd::force(level) != level {
+            continue; // not supported on this host
+        }
+        let outcome = replay_stream(bytes.as_slice(), &ReplayOptions::default()).unwrap();
+        let summary = format!("{:?}", outcome.tenants[0].summary);
+        match &reference {
+            None => reference = Some(summary),
+            Some(expect) => assert_eq!(expect, &summary, "diverged under {}", level.label()),
+        }
+    }
+    simd::force(before);
+}
+
 #[test]
 fn version_bumped_stream_is_refused() {
     use regmon_serve::wire::{write_frame, Frame};
