@@ -8,7 +8,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 4] = ["json", "interprocedural", "steal", "pin"];
+const BOOL_FLAGS: [&str; 5] = ["json", "interprocedural", "steal", "pin", "compress"];
 
 /// Parses `argv` into positionals and options.
 ///

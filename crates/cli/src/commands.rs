@@ -13,7 +13,8 @@ use regmon_fleet::{
     BATCH_BUCKETS,
 };
 use regmon_serve::replay::ReplayOptions;
-use regmon_serve::server::{ServeOptions, ServeReport};
+use regmon_serve::server::{ServeMode, ServeOptions, ServeReport};
+use regmon_serve::wire::{Frame, WireDialect};
 use regmon_stats::{simd, SimdLevel};
 
 use crate::args::{parse, Parsed};
@@ -41,8 +42,13 @@ USAGE:
   regmon replay <journal> [--json] [--snapshot-at N] [--snapshot-out FILE]
                [--resume FILE]
   regmon serve (--unix PATH | --tcp ADDR) [--shards N] [--queue-depth N]
-               [--expect-sessions N] [--json] [--trace-out FILE]
+               [--expect-sessions N] [--serve-loop threads|events]
+               [--event-workers N] [--wire-version 1|2|auto]
+               [--json] [--trace-out FILE]
   regmon send <journal> (--unix PATH | --tcp ADDR)
+               [--wire-version 1|2|auto] [--compress]
+  regmon migrate <journal> --at N (--from PATH | --from-tcp ADDR)
+               (--to PATH | --to-tcp ADDR) [--compress]
   regmon metrics [<benchmark>] [--intervals N] [--json]
   regmon metrics --check FILE
   regmon help
@@ -51,11 +57,22 @@ Benchmarks are the synthetic SPEC CPU2000-like models (see `regmon list`).
 Periods are cycles per PMU interrupt (paper sweep: 45000/450000/900000).
 
 Out-of-process ingestion: `--record` writes the sampled intervals as a
-`regmon-wire-v1` frame journal; `regmon replay` re-processes a journal
+wire frame journal; `regmon replay` re-processes a journal
 byte-identically to the run that recorded it (optionally checkpointing
 with --snapshot-at/--snapshot-out, or resuming with --resume);
 `regmon serve` ingests journals streamed by `regmon send` over a unix
 socket or TCP and reports each finished session like `regmon run`.
+
+The wire speaks two versions, settled per connection: v1 (the original
+raw-sample frames, byte-identical forever) and v2 (delta-encoded
+columnar batches, roughly 8x smaller, optionally LZ-compressed with
+--compress). `regmon send` negotiates by default (--wire-version auto)
+and falls back to v1 against an old server; results are byte-identical
+over every version/compression combination. `--serve-loop events`
+multiplexes all connections over a fixed pool of poll(2) workers
+instead of one thread per connection. `regmon migrate` moves a live
+session between two servers mid-stream: the first server checkpoints
+and retires the tenant, the second resumes it byte-identically.
 
 SIMD kernel dispatch resolves at startup (`regmon features` shows the
 detected level); `--simd` or the REGMON_SIMD env var dial it down —
@@ -723,9 +740,20 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         shards: p.value_or("shards", 2)?,
         queue_depth: p.value_or("queue-depth", 256)?,
         expect_sessions: p.value_or("expect-sessions", 1)?,
+        mode: ServeMode::parse(&p.value_or("serve-loop", "threads".to_string())?)
+            .map_err(|e| format!("--serve-loop: {e}"))?,
+        event_workers: p.value_or("event-workers", 2)?,
+        max_wire_version: parse_wire_version(&p.value_or("wire-version", "auto".to_string())?)?
+            .unwrap_or(regmon_serve::WIRE_VERSION),
     };
-    if options.shards == 0 || options.queue_depth == 0 || options.expect_sessions == 0 {
-        return Err("--shards/--queue-depth/--expect-sessions must be positive".into());
+    if options.shards == 0
+        || options.queue_depth == 0
+        || options.expect_sessions == 0
+        || options.event_workers == 0
+    {
+        return Err(
+            "--shards/--queue-depth/--expect-sessions/--event-workers must be positive".into(),
+        );
     }
     let trace_out: String = p.value_or("trace-out", String::new())?;
     if !trace_out.is_empty() {
@@ -742,16 +770,22 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     }
 
     eprintln!(
-        "serve: {} session(s) over {} connection(s), {} frames, {} bytes",
+        "serve: {} session(s) over {} connection(s), {} frames, {} bytes, peak {} handler(s) [{}]",
         report.sessions.len(),
         report.connections,
         report.frames,
-        report.bytes
+        report.bytes,
+        report.peak_handlers,
+        options.mode.label()
     );
     for err in &report.errors {
         eprintln!("serve: connection error: {err}");
     }
     for session in &report.sessions {
+        if session.migrated {
+            eprintln!("serve: session {:?} migrated away", session.name);
+            continue;
+        }
         let Some(summary) = &session.summary else {
             eprintln!("serve: session {:?} never finished", session.name);
             continue;
@@ -768,19 +802,77 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// A bidirectional client transport (unix or TCP socket).
+trait Transport: std::io::Read + std::io::Write {}
+impl<T: std::io::Read + std::io::Write> Transport for T {}
+
 #[cfg(unix)]
-fn send_over_unix(path: &str, journal: &mut impl std::io::Read) -> Result<u64, String> {
-    let mut stream =
-        std::os::unix::net::UnixStream::connect(path).map_err(|e| format!("--unix {path}: {e}"))?;
-    std::io::copy(journal, &mut stream).map_err(|e| format!("--unix {path}: {e}"))
+fn connect_stream(unix: &str, tcp: &str) -> Result<Box<dyn Transport>, String> {
+    if unix.is_empty() {
+        let stream = std::net::TcpStream::connect(tcp).map_err(|e| format!("--tcp {tcp}: {e}"))?;
+        Ok(Box::new(stream))
+    } else {
+        let stream = std::os::unix::net::UnixStream::connect(unix)
+            .map_err(|e| format!("--unix {unix}: {e}"))?;
+        Ok(Box::new(stream))
+    }
 }
 
 #[cfg(not(unix))]
-fn send_over_unix(_path: &str, _journal: &mut impl std::io::Read) -> Result<u64, String> {
-    Err("unix sockets are unavailable on this platform; use --tcp ADDR".into())
+fn connect_stream(unix: &str, tcp: &str) -> Result<Box<dyn Transport>, String> {
+    if !unix.is_empty() {
+        return Err("unix sockets are unavailable on this platform; use --tcp ADDR".into());
+    }
+    let stream = std::net::TcpStream::connect(tcp).map_err(|e| format!("--tcp {tcp}: {e}"))?;
+    Ok(Box::new(stream))
+}
+
+/// Parses a `--wire-version` value: `None` means negotiate (auto).
+fn parse_wire_version(s: &str) -> Result<Option<u16>, String> {
+    match s {
+        "auto" | "negotiate" => Ok(None),
+        "1" | "v1" => Ok(Some(1)),
+        "2" | "v2" => Ok(Some(2)),
+        other => Err(format!(
+            "unknown wire version {other:?} (accepted: \"1\", \"2\", \"auto\")"
+        )),
+    }
+}
+
+/// Offers wire v2 to the server and settles on the answered version.
+fn negotiate_dialect(stream: &mut dyn Transport, compress: bool) -> Result<WireDialect, String> {
+    use regmon_serve::WIRE_VERSION;
+    stream
+        .write_all(
+            &Frame::Hello {
+                version: WIRE_VERSION,
+            }
+            .encode(),
+        )
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("wire negotiation: {e}"))?;
+    let mut reader = stream;
+    match regmon_serve::wire::read_frame(&mut reader) {
+        Ok(Some(Frame::Hello { version })) => {
+            Ok(WireDialect::settle(version, WIRE_VERSION, compress))
+        }
+        Ok(Some(other)) => Err(format!(
+            "wire negotiation: expected a Hello answer, got {other:?}"
+        )),
+        Ok(None) => Err("wire negotiation: server closed without answering Hello".into()),
+        Err(e) => Err(format!("wire negotiation: {e}")),
+    }
 }
 
 /// `regmon send <journal>` — stream a recorded journal to a live server.
+///
+/// By default (`--wire-version auto`) the sender offers wire v2 and
+/// settles on whatever the server answers, transcoding the journal's
+/// frames into the settled dialect — so a v1 journal can travel as
+/// delta-encoded (optionally `--compress`ed) v2 frames, and an old v1
+/// server still gets byte-identical v1 frames. `--wire-version 1`
+/// skips negotiation entirely and streams one-way, exactly like the
+/// original sender.
 pub fn send(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
     let journal = p.positional(0).ok_or("missing <journal> argument")?;
@@ -789,16 +881,219 @@ pub fn send(argv: &[String]) -> Result<(), String> {
     if unix.is_empty() == tcp.is_empty() {
         return Err("send needs exactly one of --unix PATH or --tcp ADDR".into());
     }
+    let compress = p.flag("compress");
+    let want = parse_wire_version(&p.value_or("wire-version", "auto".to_string())?)
+        .map_err(|e| format!("--wire-version: {e}"))?;
+    if want == Some(1) && compress {
+        return Err("--compress requires wire v2 (drop --wire-version 1)".into());
+    }
+
     let file = std::fs::File::open(journal).map_err(|e| format!("{journal}: {e}"))?;
-    let mut reader = std::io::BufReader::new(file);
-    let sent = if unix.is_empty() {
-        let mut stream =
-            std::net::TcpStream::connect(&tcp).map_err(|e| format!("--tcp {tcp}: {e}"))?;
-        std::io::copy(&mut reader, &mut stream).map_err(|e| format!("--tcp {tcp}: {e}"))?
+    let mut frames = regmon_serve::wire::FrameReader::new(std::io::BufReader::new(file));
+    let mut stream = connect_stream(&unix, &tcp)?;
+    let started = std::time::Instant::now();
+    let negotiated = want != Some(1);
+    let dialect = if negotiated {
+        negotiate_dialect(stream.as_mut(), compress)?
     } else {
-        send_over_unix(&unix, &mut reader)?
+        WireDialect::V1
     };
-    eprintln!("send: {sent} bytes streamed from {journal}");
+
+    let mut sent_frames: u64 = 0;
+    let mut sent_bytes: u64 = 0;
+    let mut intervals: u64 = 0;
+    let mut buffer = Vec::with_capacity(64 * 1024);
+    loop {
+        let frame = match frames.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) => return Err(format!("{journal}: {e}")),
+        };
+        let frame = match frame {
+            // A negotiated connection already said Hello above; the
+            // unnegotiated v1 path re-announces v1.
+            Frame::Hello { .. } => {
+                if negotiated {
+                    continue;
+                }
+                Frame::Hello { version: 1 }
+            }
+            Frame::Batch {
+                tenant,
+                intervals: batch,
+            } => {
+                intervals += batch.len() as u64;
+                Frame::Batch {
+                    tenant,
+                    intervals: batch,
+                }
+            }
+            other => other,
+        };
+        let encoded = dialect.encode_frame(&frame);
+        sent_frames += 1;
+        sent_bytes += encoded.len() as u64;
+        buffer.extend_from_slice(&encoded);
+        if buffer.len() >= 48 * 1024 {
+            stream
+                .write_all(&buffer)
+                .map_err(|e| format!("send: {e}"))?;
+            buffer.clear();
+        }
+    }
+    if negotiated {
+        // The negotiated Hello counts toward the stream.
+        sent_frames += 1;
+        sent_bytes += Frame::Hello {
+            version: regmon_serve::WIRE_VERSION,
+        }
+        .encode()
+        .len() as u64;
+    }
+    stream
+        .write_all(&buffer)
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("send: {e}"))?;
+    drop(stream);
+
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    eprintln!(
+        "send: {sent_frames} frames, {sent_bytes} bytes streamed, {intervals} intervals, \
+         {:.1} ms, {:.3} M intervals/s (wire v{}{})",
+        elapsed * 1e3,
+        intervals as f64 / elapsed / 1e6,
+        dialect.version,
+        if dialect.compress { ", compressed" } else { "" }
+    );
+    Ok(())
+}
+
+/// `regmon migrate <journal>` — hand a live session from one server to
+/// another mid-stream.
+///
+/// The journal (single tenant) is split at `--at N` intervals: the
+/// first server ingests the prefix, a `Checkpoint` frame freezes and
+/// retires the tenant there, and the returned session snapshot plus
+/// the remaining intervals go to the second server, which finishes the
+/// session byte-identically to an uninterrupted run. Both servers must
+/// speak wire v2.
+pub fn migrate(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    let journal = p.positional(0).ok_or("missing <journal> argument")?;
+    let at: usize = p.value_or("at", 0)?;
+    if at == 0 {
+        return Err(
+            "--at N (intervals before the hand-off) is required and must be positive".into(),
+        );
+    }
+    let from: String = p.value_or("from", String::new())?;
+    let from_tcp: String = p.value_or("from-tcp", String::new())?;
+    let to: String = p.value_or("to", String::new())?;
+    let to_tcp: String = p.value_or("to-tcp", String::new())?;
+    if from.is_empty() == from_tcp.is_empty() {
+        return Err("migrate needs exactly one of --from PATH or --from-tcp ADDR".into());
+    }
+    if to.is_empty() == to_tcp.is_empty() {
+        return Err("migrate needs exactly one of --to PATH or --to-tcp ADDR".into());
+    }
+    let compress = p.flag("compress");
+
+    // Load and validate the journal: exactly one tenant, finished.
+    let frames =
+        regmon_serve::read_journal(Path::new(journal)).map_err(|e| format!("{journal}: {e}"))?;
+    let mut admit = None;
+    let mut intervals = Vec::new();
+    let mut finished = false;
+    for frame in frames {
+        match frame {
+            Frame::Hello { .. } => {}
+            Frame::Admit(a) => {
+                if admit.is_some() {
+                    return Err(format!("{journal}: migrate needs a single-tenant journal"));
+                }
+                admit = Some(a);
+            }
+            Frame::Batch {
+                intervals: batch, ..
+            } => intervals.extend(batch),
+            Frame::Finish { .. } => finished = true,
+            other => {
+                return Err(format!(
+                    "{journal}: unexpected frame {other:?} in a journal"
+                ));
+            }
+        }
+    }
+    let admit = admit.ok_or_else(|| format!("{journal}: journal admits no tenant"))?;
+    if !finished {
+        return Err(format!("{journal}: journal has no Finish frame"));
+    }
+    if at >= intervals.len() {
+        return Err(format!(
+            "--at {at}: journal only has {} intervals (the hand-off must happen mid-stream)",
+            intervals.len()
+        ));
+    }
+    let tenant = admit.tenant;
+
+    // First server: prefix, then checkpoint-and-retire.
+    let mut first = connect_stream(&from, &from_tcp)?;
+    let dialect = negotiate_dialect(first.as_mut(), compress)?;
+    if dialect.version < 2 {
+        return Err("--from server only speaks wire v1; migration needs v2".into());
+    }
+    let mut prefix = dialect.encode_frame(&Frame::Admit(admit.clone()));
+    for chunk in intervals[..at].chunks(32) {
+        prefix.extend_from_slice(&dialect.encode_frame(&Frame::Batch {
+            tenant,
+            intervals: chunk.to_vec(),
+        }));
+    }
+    prefix.extend_from_slice(&dialect.encode_frame(&Frame::Checkpoint { tenant }));
+    first
+        .write_all(&prefix)
+        .and_then(|()| first.flush())
+        .map_err(|e| format!("migrate (first server): {e}"))?;
+    let mut reader = first.as_mut();
+    let snapshot_frame = match regmon_serve::wire::read_frame(&mut reader) {
+        Ok(Some(frame @ Frame::Snapshot(_))) => frame,
+        Ok(Some(other)) => {
+            return Err(format!(
+                "migrate: expected a Snapshot answer to Checkpoint, got {other:?}"
+            ))
+        }
+        Ok(None) => return Err("migrate: first server closed before answering Checkpoint".into()),
+        Err(e) => return Err(format!("migrate (first server): {e}")),
+    };
+    drop(first);
+
+    // Second server: adopt the snapshot, stream the rest.
+    let mut second = connect_stream(&to, &to_tcp)?;
+    let dialect = negotiate_dialect(second.as_mut(), compress)?;
+    if dialect.version < 2 {
+        return Err("--to server only speaks wire v1; migration needs v2".into());
+    }
+    let mut suffix = dialect.encode_frame(&snapshot_frame);
+    for chunk in intervals[at..].chunks(32) {
+        suffix.extend_from_slice(&dialect.encode_frame(&Frame::Batch {
+            tenant,
+            intervals: chunk.to_vec(),
+        }));
+    }
+    suffix.extend_from_slice(&dialect.encode_frame(&Frame::Finish { tenant }));
+    second
+        .write_all(&suffix)
+        .and_then(|()| second.flush())
+        .map_err(|e| format!("migrate (second server): {e}"))?;
+    drop(second);
+
+    eprintln!(
+        "migrate: session {:?} handed off after {at}/{} intervals (wire v{}{})",
+        admit.name,
+        intervals.len(),
+        dialect.version,
+        if dialect.compress { ", compressed" } else { "" }
+    );
     Ok(())
 }
 

@@ -9,7 +9,8 @@
 //! regmon fleet all [--tenants 64] [--shards 4] [--intervals 50] [--json]
 //! regmon replay session.rgj [--json] [--snapshot-at 20 --snapshot-out ck.rgsn]
 //! regmon serve --unix /tmp/regmon.sock [--expect-sessions 4] [--json]
-//! regmon send session.rgj --unix /tmp/regmon.sock
+//! regmon send session.rgj --unix /tmp/regmon.sock [--wire-version auto] [--compress]
+//! regmon migrate session.rgj --at 20 --from /tmp/a.sock --to /tmp/b.sock
 //! regmon metrics [187.facerec] [--json] | regmon metrics --check trace.json
 //! ```
 
@@ -51,6 +52,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "replay" => commands::replay(rest),
         "serve" => commands::serve(rest),
         "send" => commands::send(rest),
+        "migrate" => commands::migrate(rest),
         "metrics" => commands::metrics(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

@@ -177,6 +177,166 @@ fn replay_flag_pairing_is_enforced() {
     assert!(stderr.contains("--unix PATH or --tcp ADDR"));
 }
 
+/// Spawns `regmon serve --unix <sock> --expect-sessions 1 --json
+/// <extra...>` and waits for the socket to appear.
+#[cfg(unix)]
+fn spawn_server(sock: &std::path::Path, extra: &[&str]) -> std::process::Child {
+    use std::process::Stdio;
+    use std::time::{Duration, Instant};
+    let mut args = vec![
+        "serve",
+        "--unix",
+        sock.to_str().unwrap(),
+        "--expect-sessions",
+        "1",
+        "--json",
+    ];
+    args.extend_from_slice(extra);
+    let server = Command::new(env!("CARGO_BIN_EXE_regmon"))
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn regmon serve");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "server socket never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server
+}
+
+/// Every wire version × compression × serve loop combination must emit
+/// the byte-identical `--json` report of the in-process run — including
+/// both halves of version negotiation (new client × old server, old
+/// client × new server).
+#[cfg(unix)]
+#[test]
+fn wire_version_matrix_is_byte_identical_to_run() {
+    let dir = temp_dir("matrix");
+    let journal = dir.join("session.rgj");
+    let journal_s = journal.to_str().unwrap();
+
+    let (ok, run_json, _) = regmon(&[
+        "run",
+        "181.mcf",
+        "--intervals",
+        "20",
+        "--json",
+        "--record",
+        journal_s,
+    ]);
+    assert!(ok);
+
+    let cases: &[(&str, &[&str], &[&str])] = &[
+        ("v2 server, v1 sender", &[], &["--wire-version", "1"]),
+        ("v1 server, v2 sender", &["--wire-version", "1"], &[]),
+        ("v2 negotiated", &[], &["--wire-version", "2"]),
+        ("v2 compressed", &[], &["--compress"]),
+        (
+            "event loop, v2 compressed",
+            &["--serve-loop", "events", "--event-workers", "2"],
+            &["--compress"],
+        ),
+        (
+            "event loop, v1 sender",
+            &["--serve-loop", "events"],
+            &["--wire-version", "1"],
+        ),
+    ];
+    for (label, serve_extra, send_extra) in cases {
+        let sock = dir.join("regmon.sock");
+        let server = spawn_server(&sock, serve_extra);
+        let mut send_args = vec!["send", journal_s, "--unix", sock.to_str().unwrap()];
+        send_args.extend_from_slice(send_extra);
+        let (ok, _, send_err) = regmon(&send_args);
+        assert!(ok, "{label}: {send_err}");
+        assert!(send_err.contains("bytes streamed"), "{label}: {send_err}");
+
+        let out = server.wait_with_output().expect("server exit");
+        let served_json = String::from_utf8_lossy(&out.stdout).into_owned();
+        let served_err = String::from_utf8_lossy(&out.stderr).into_owned();
+        assert!(out.status.success(), "{label}: {served_err}");
+        assert_eq!(
+            run_json, served_json,
+            "{label}: served --json diverged from run --json"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `regmon migrate` hands a session from server A to server B
+/// mid-stream; B's report must be byte-identical to the uninterrupted
+/// run and A must account the tenant as migrated, not lost.
+#[cfg(unix)]
+#[test]
+fn migrated_session_resumes_byte_identically() {
+    let dir = temp_dir("migrate");
+    let journal = dir.join("session.rgj");
+    let journal_s = journal.to_str().unwrap();
+
+    let (ok, run_json, _) = regmon(&[
+        "run",
+        "172.mgrid",
+        "--intervals",
+        "24",
+        "--json",
+        "--record",
+        journal_s,
+    ]);
+    assert!(ok);
+
+    let sock_a = dir.join("a.sock");
+    let sock_b = dir.join("b.sock");
+    let server_a = spawn_server(&sock_a, &[]);
+    let server_b = spawn_server(&sock_b, &[]);
+
+    let (ok, _, stderr) = regmon(&[
+        "migrate",
+        journal_s,
+        "--at",
+        "11",
+        "--from",
+        sock_a.to_str().unwrap(),
+        "--to",
+        sock_b.to_str().unwrap(),
+        "--compress",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("handed off after 11/24"), "{stderr}");
+
+    let out_a = server_a.wait_with_output().expect("server A exit");
+    let err_a = String::from_utf8_lossy(&out_a.stderr).into_owned();
+    assert!(out_a.status.success(), "{err_a}");
+    assert!(err_a.contains("migrated away"), "{err_a}");
+    assert_eq!(
+        String::from_utf8_lossy(&out_a.stdout),
+        "",
+        "the migrated-away session must not be reported by server A"
+    );
+
+    let out_b = server_b.wait_with_output().expect("server B exit");
+    let err_b = String::from_utf8_lossy(&out_b.stderr).into_owned();
+    assert!(out_b.status.success(), "{err_b}");
+    let served_json = String::from_utf8_lossy(&out_b.stdout).into_owned();
+    assert_eq!(
+        run_json, served_json,
+        "migrated session diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wire_flag_typos_get_spelling_help() {
+    let (ok, _, stderr) = regmon(&["send", "x.rgj", "--unix", "/nope", "--wire-version", "3"]);
+    assert!(!ok);
+    assert!(stderr.contains("\"auto\""), "{stderr}");
+    let (ok, _, stderr) = regmon(&["serve", "--unix", "/nope", "--serve-loop", "eventz"]);
+    assert!(!ok);
+    assert!(stderr.contains("\"events\""), "{stderr}");
+    assert!(stderr.contains("\"threads\""), "{stderr}");
+}
+
 /// The serve smoke: a server on a unix socket, a producer streaming a
 /// recorded journal with `regmon send`, and the served `--json` report
 /// byte-identical to the in-process `regmon run --json`.

@@ -220,6 +220,27 @@ impl FleetEngine {
     /// returned id also fixes the home shard (`id % shards`), where the
     /// tenant's lease starts.
     pub fn admit(&mut self, spec: &TenantSpec) -> TenantId {
+        self.admit_inner(spec, None)
+    }
+
+    /// Admits a tenant whose session resumes from `snapshot` instead of
+    /// starting fresh (live migration: the checkpoint travelled here
+    /// over the wire). Continuing the identical interval stream from
+    /// the checkpoint position yields byte-identical results to the
+    /// uninterrupted session.
+    pub fn admit_from_snapshot(
+        &mut self,
+        spec: &TenantSpec,
+        snapshot: regmon::SessionSnapshot,
+    ) -> TenantId {
+        self.admit_inner(spec, Some(Box::new(snapshot)))
+    }
+
+    fn admit_inner(
+        &mut self,
+        spec: &TenantSpec,
+        snapshot: Option<Box<regmon::SessionSnapshot>>,
+    ) -> TenantId {
         let id = TenantId(self.next_id);
         self.next_id += 1;
         // The lease must exist before any message can route by it.
@@ -234,9 +255,24 @@ impl FleetEngine {
                 workload_name: spec.workload.name().to_string(),
                 fault: spec.fault,
                 throttle_us: spec.throttle_us,
+                snapshot,
             })),
         );
         id
+    }
+
+    /// Freezes a tenant and returns its full session snapshot (live
+    /// migration hand-off). The entry is retired from its shard: it no
+    /// longer appears in shard finals, and later messages for the id
+    /// are ignored. Per-shard FIFO order guarantees every interval
+    /// offered before this call is folded into the snapshot. Returns
+    /// `None` when the tenant is unknown or its session is gone
+    /// (failed / evicted).
+    #[must_use]
+    pub fn checkpoint(&self, id: TenantId) -> Option<regmon::SessionSnapshot> {
+        let (tx, rx) = sync_channel(1);
+        self.control(id, ShardMsg::Checkpoint(id, tx));
+        rx.recv().expect("shard worker gone").map(|boxed| *boxed)
     }
 
     /// Ships one sampled interval to the tenant's shard under the

@@ -85,6 +85,13 @@ pub(crate) enum ShardMsg {
     AdoptHandle(TenantId, Receiver<MigrationPacket>),
     /// Requests a consistent snapshot of this shard's tenants.
     Snapshot(SyncSender<ShardSnapshot>),
+    /// Freezes one tenant and hands its full session snapshot to the
+    /// sender (live migration): the entry is retired from this shard
+    /// and the tenant resumes wherever the snapshot is re-admitted.
+    /// Answers `None` when the tenant is unknown here or its session
+    /// is already gone (finished tenants still carry a live session
+    /// and *can* be checked out).
+    Checkpoint(TenantId, SyncSender<Option<Box<regmon::SessionSnapshot>>>),
     /// Lockstep pacing: acknowledge that every earlier message has been
     /// fully processed.
     Barrier(SyncSender<()>),
@@ -106,6 +113,10 @@ pub(crate) struct AdmitMsg {
     pub workload_name: String,
     pub fault: Option<FaultPlan>,
     pub throttle_us: u64,
+    /// Resume from this checkpoint instead of a fresh session (live
+    /// migration hand-off). The continued stream is byte-identical to
+    /// an uninterrupted session.
+    pub snapshot: Option<Box<regmon::SessionSnapshot>>,
 }
 
 /// A tenant entry in flight between two workers.
@@ -558,6 +569,7 @@ impl Worker {
         }
         match msg {
             ShardMsg::Admit(admit) => {
+                let snapshot = admit.snapshot;
                 let mut entry = TenantEntry {
                     name: admit.name,
                     workload_name: admit.workload_name,
@@ -572,7 +584,14 @@ impl Worker {
                     intervals_ignored: 0,
                     restarts: 0,
                 };
-                entry.session = Some(entry.fresh_session());
+                entry.session = Some(match snapshot {
+                    Some(snap) => {
+                        let mut session = MonitoringSession::from_snapshot(*snap);
+                        session.attach_binary_image(entry.binary.clone());
+                        session
+                    }
+                    None => entry.fresh_session(),
+                });
                 self.tenants.insert(admit.tenant, entry);
             }
             ShardMsg::Interval(id, interval) => {
@@ -649,6 +668,22 @@ impl Worker {
                 // The driver may have given up waiting; ignore send errors.
                 let _ = reply.send(snap);
             }
+            ShardMsg::Checkpoint(id, reply) => {
+                // Freeze-and-retire: the session leaves this fleet with
+                // the snapshot; the entry is gone from the final report
+                // (the adopting server reports the tenant instead).
+                // FIFO queue order guarantees every batch pushed before
+                // the checkpoint request is already folded in.
+                let packet = match self.tenants.get(&id) {
+                    Some(entry) if entry.session.is_some() => {
+                        let mut entry = self.tenants.remove(&id).expect("present");
+                        let session = entry.session.take().expect("session checked");
+                        Some(Box::new(session.snapshot()))
+                    }
+                    _ => None,
+                };
+                let _ = reply.send(packet);
+            }
             ShardMsg::Barrier(reply) => {
                 let _ = reply.send(());
             }
@@ -662,9 +697,9 @@ impl Worker {
 }
 
 /// The tenant a message is addressed to, for adoption buffering.
-/// `Admit` installs its own entry, `Release` answers `None`-on-unknown
-/// by design, and `AdoptHandle`/`Snapshot`/`Barrier` are not
-/// tenant-state lookups — none of them buffer.
+/// `Admit` installs its own entry, `Release` and `Checkpoint` answer
+/// `None`-on-unknown by design, and `AdoptHandle`/`Snapshot`/`Barrier`
+/// are not tenant-state lookups — none of them buffer.
 fn routed_tenant(msg: &ShardMsg) -> Option<TenantId> {
     match msg {
         ShardMsg::Interval(id, _)
@@ -678,6 +713,7 @@ fn routed_tenant(msg: &ShardMsg) -> Option<TenantId> {
         | ShardMsg::Release(..)
         | ShardMsg::AdoptHandle(..)
         | ShardMsg::Snapshot(_)
+        | ShardMsg::Checkpoint(..)
         | ShardMsg::Barrier(_)
         | ShardMsg::Hold(..) => None,
     }

@@ -1,0 +1,262 @@
+//! A small deterministic LZSS codec for wire-v2 `Compressed` frames.
+//!
+//! The format is a flat stream of token groups: one control byte whose
+//! bits (LSB first) flag the next eight tokens, `0` = one literal byte,
+//! `1` = a back-reference `[len-3: u8][dist: u16 LE]` copying `len`
+//! (3..=258) bytes from `dist` (1..=65535) bytes back in the output.
+//! Matches are found greedily through a 4-byte-prefix hash table over a
+//! 64 KiB window — no external dependency, no allocation surprises, and
+//! the same input always compresses to the same bytes (the checksum of
+//! a compressed frame is as deterministic as everything else on the
+//! wire).
+//!
+//! Decompression is strict: a reference past the start of the output,
+//! an output overrun past the declared length, or a short input all
+//! fail with a typed [`WireError`] — never a panic, never a silently
+//! wrong byte.
+
+use crate::wire::WireError;
+
+/// Shortest back-reference worth a 3-byte token.
+const MIN_MATCH: usize = 3;
+
+/// Longest back-reference one token can express (`len-3` in a `u8`).
+const MAX_MATCH: usize = 258;
+
+/// Farthest back a reference can reach (`dist` in a `u16`).
+const MAX_DIST: usize = 65_535;
+
+/// Hash-table slots for 4-byte prefixes (64 Ki entries).
+const HASH_BITS: u32 = 16;
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes(bytes[..4].try_into().expect("four bytes"));
+    (v.wrapping_mul(0x9E37_79B9) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`; returns `None` when the result would not be
+/// smaller (incompressible payloads ride uncompressed).
+#[must_use]
+pub(crate) fn compress_if_smaller(input: &[u8]) -> Option<Vec<u8>> {
+    let packed = compress(input);
+    (packed.len() < input.len()).then_some(packed)
+}
+
+/// Compresses `input` with greedy hash-4 LZSS matching.
+#[must_use]
+pub(crate) fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut flag_at = usize::MAX; // index of the current control byte
+    let mut flag_bit = 8u32; // 8 = group full, start a new one
+    while pos < input.len() {
+        if flag_bit == 8 {
+            flag_at = out.len();
+            out.push(0);
+            flag_bit = 0;
+        }
+        let mut emitted_match = false;
+        if pos + 4 <= input.len() {
+            let h = hash4(&input[pos..]);
+            let cand = table[h];
+            table[h] = pos;
+            if cand != usize::MAX && pos - cand <= MAX_DIST {
+                let limit = (input.len() - pos).min(MAX_MATCH);
+                let mut len = 0;
+                while len < limit && input[cand + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len >= MIN_MATCH {
+                    out[flag_at] |= 1 << flag_bit;
+                    out.push((len - MIN_MATCH) as u8);
+                    out.extend_from_slice(&((pos - cand) as u16).to_le_bytes());
+                    // Seed the table through the matched run (sparsely:
+                    // every other position keeps this O(n) and is close
+                    // enough on the byte-repetitive payloads we carry).
+                    let mut p = pos + 1;
+                    while p + 4 <= input.len() && p < pos + len {
+                        table[hash4(&input[p..])] = p;
+                        p += 2;
+                    }
+                    pos += len;
+                    emitted_match = true;
+                }
+            }
+        }
+        if !emitted_match {
+            out.push(input[pos]);
+            pos += 1;
+        }
+        flag_bit += 1;
+    }
+    out
+}
+
+/// Decompresses exactly `expected_len` bytes.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on a reference before the start of the
+/// output, an overrun past `expected_len`, or a short input.
+pub(crate) fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    'groups: while out.len() < expected_len {
+        let Some(&flags) = input.get(pos) else {
+            return Err(WireError::Malformed("compressed payload underruns"));
+        };
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == expected_len {
+                break 'groups;
+            }
+            if flags & (1 << bit) == 0 {
+                let Some(&b) = input.get(pos) else {
+                    return Err(WireError::Malformed("compressed payload underruns"));
+                };
+                pos += 1;
+                out.push(b);
+            } else {
+                let Some(token) = input.get(pos..pos + 3) else {
+                    return Err(WireError::Malformed("compressed payload underruns"));
+                };
+                pos += 3;
+                let len = MIN_MATCH + token[0] as usize;
+                let dist = u16::from_le_bytes(token[1..].try_into().expect("two bytes")) as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(WireError::Malformed("back-reference before output start"));
+                }
+                if out.len() + len > expected_len {
+                    return Err(WireError::Malformed("compressed payload overruns"));
+                }
+                // Byte-at-a-time: overlapping references (dist < len)
+                // replicate the run, exactly as they were compressed.
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    if pos != input.len() {
+        return Err(WireError::Malformed("trailing bytes after compressed data"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &[u8]) {
+        let packed = compress(input);
+        let unpacked = decompress(&packed, input.len()).unwrap();
+        assert_eq!(unpacked, input, "len {}", input.len());
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_roundtrip() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_input_shrinks_and_roundtrips() {
+        let input: Vec<u8> = std::iter::repeat(b"regmon-wire-v2 ".as_slice())
+            .take(64)
+            .flatten()
+            .copied()
+            .collect();
+        let packed = compress(&input);
+        assert!(packed.len() < input.len() / 4, "{} bytes", packed.len());
+        assert_eq!(decompress(&packed, input.len()).unwrap(), input);
+    }
+
+    #[test]
+    fn overlapping_runs_roundtrip() {
+        // A run of one byte compresses to back-references with
+        // dist < len — the overlap case.
+        roundtrip(&[0xAB; 1000]);
+    }
+
+    #[test]
+    fn incompressible_input_roundtrips() {
+        // A xorshift stream has no 4-byte repeats to speak of.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let input: Vec<u8> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        roundtrip(&input);
+    }
+
+    #[test]
+    fn pseudorandom_structured_inputs_roundtrip() {
+        // Property-style sweep: interleaved structure + noise at many
+        // lengths, including every group-boundary remainder.
+        let mut state = 1u64;
+        for len in (0..200).chain([1000, 4093, 65_540]) {
+            let input: Vec<u8> = (0..len)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1);
+                    if i % 3 == 0 {
+                        (i / 7) as u8
+                    } else {
+                        (state >> 33) as u8
+                    }
+                })
+                .collect();
+            roundtrip(&input);
+        }
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let input: Vec<u8> = (0..10_000u32).flat_map(|i| (i / 5).to_le_bytes()).collect();
+        assert_eq!(compress(&input), compress(&input));
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let input: Vec<u8> = std::iter::repeat(b"abcdef".as_slice())
+            .take(50)
+            .flatten()
+            .copied()
+            .collect();
+        let packed = compress(&input);
+        for cut in 0..packed.len() {
+            assert!(
+                decompress(&packed[..cut], input.len()).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_back_reference_is_rejected() {
+        // flags=0b10 → literal 'a', then a match reaching 9 bytes back
+        // into 1 byte of output.
+        let bad = [0b0000_0010u8, b'a', 0, 9, 0];
+        assert!(decompress(&bad, 10).is_err());
+        // dist == 0 is never valid.
+        let zero = [0b0000_0001u8, 0, 0, 0];
+        assert!(decompress(&zero, 3).is_err());
+    }
+
+    #[test]
+    fn overrun_is_rejected() {
+        // One literal + a 258-byte match into an expected_len of 5.
+        let packed = compress(&[7u8; 300]);
+        assert!(decompress(&packed, 5).is_err());
+    }
+}

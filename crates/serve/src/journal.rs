@@ -1,12 +1,18 @@
 //! Frame journals: a wire stream captured to a file.
 //!
-//! A journal is byte-for-byte the `regmon-wire-v1` stream a producer
-//! would send over a socket — `Hello`, then `Admit`/`Batch`/`Finish`
-//! frames. That identity is the point: `regmon record` writes one,
-//! `regmon replay` re-processes it in-process, and `regmon send`
-//! streams the very same bytes at a live `regmon serve`, so one
-//! artifact exercises every ingestion path and all three must agree
-//! byte-identically.
+//! A journal is byte-for-byte the wire stream a producer would send
+//! over a socket — `Hello`, then `Admit`/`Batch`/`Finish` frames. That
+//! identity is the point: `regmon record` writes one, `regmon replay`
+//! re-processes it in-process, and `regmon send` streams the very same
+//! bytes at a live `regmon serve`, so one artifact exercises every
+//! ingestion path and all three must agree byte-identically.
+//!
+//! Journals default to the **v1 dialect** (and stay byte-identical to
+//! every journal ever recorded): a journal is a one-way recording with
+//! nobody on the other end to negotiate with. Pass a v2
+//! [`WireDialect`] to [`JournalWriter::with_dialect`] to record
+//! delta-encoded (optionally compressed) batches instead — the replay
+//! and serve paths decode both identically.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -16,24 +22,38 @@ use regmon::SessionConfig;
 use regmon_sampling::{Interval, Sampler};
 use regmon_workload::Workload;
 
-use crate::wire::{write_frame, AdmitFrame, Frame, FrameReader, WireError};
+use crate::wire::{AdmitFrame, Frame, FrameReader, WireDialect, WireError};
 
 /// Writes a wire stream, one frame at a time. The `Hello` opener is
 /// emitted on construction.
 #[derive(Debug)]
 pub struct JournalWriter<W: Write> {
     inner: W,
+    dialect: WireDialect,
 }
 
 impl<W: Write> JournalWriter<W> {
-    /// Opens a journal on a transport, writing the `Hello` frame.
+    /// Opens a v1-dialect journal on a transport, writing the `Hello`
+    /// frame.
     ///
     /// # Errors
     ///
     /// Propagates transport write failures.
-    pub fn new(mut inner: W) -> std::io::Result<Self> {
-        write_frame(&mut inner, &Frame::hello())?;
-        Ok(Self { inner })
+    pub fn new(inner: W) -> std::io::Result<Self> {
+        Self::with_dialect(inner, WireDialect::V1)
+    }
+
+    /// Opens a journal in an explicit wire dialect, writing a `Hello`
+    /// frame that advertises the dialect's version.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport write failures.
+    pub fn with_dialect(mut inner: W, dialect: WireDialect) -> std::io::Result<Self> {
+        inner.write_all(&dialect.encode_frame(&Frame::Hello {
+            version: dialect.version,
+        }))?;
+        Ok(Self { inner, dialect })
     }
 
     /// Records a tenant admission.
@@ -42,7 +62,7 @@ impl<W: Write> JournalWriter<W> {
     ///
     /// Propagates transport write failures.
     pub fn admit(&mut self, admit: AdmitFrame) -> std::io::Result<()> {
-        write_frame(&mut self.inner, &Frame::Admit(Box::new(admit)))
+        self.write(&Frame::Admit(Box::new(admit)))
     }
 
     /// Records a batch of intervals for a tenant.
@@ -51,7 +71,7 @@ impl<W: Write> JournalWriter<W> {
     ///
     /// Propagates transport write failures.
     pub fn batch(&mut self, tenant: u32, intervals: Vec<Interval>) -> std::io::Result<()> {
-        write_frame(&mut self.inner, &Frame::Batch { tenant, intervals })
+        self.write(&Frame::Batch { tenant, intervals })
     }
 
     /// Records a tenant's end-of-stream.
@@ -60,7 +80,11 @@ impl<W: Write> JournalWriter<W> {
     ///
     /// Propagates transport write failures.
     pub fn finish(&mut self, tenant: u32) -> std::io::Result<()> {
-        write_frame(&mut self.inner, &Frame::Finish { tenant })
+        self.write(&Frame::Finish { tenant })
+    }
+
+    fn write(&mut self, frame: &Frame) -> std::io::Result<()> {
+        self.inner.write_all(&self.dialect.encode_frame(frame))
     }
 
     /// Flushes and returns the transport.

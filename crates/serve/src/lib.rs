@@ -48,14 +48,19 @@
 //! );
 //! ```
 
-// `deny` rather than `forbid`: `wire::bulk` carries the one scoped
-// `allow(unsafe_code)` in this crate, for the SIMD bulk sample decode
-// behind runtime feature detection.
+// `deny` rather than `forbid`: the scoped `allow(unsafe_code)` blocks
+// in this crate are `wire::bulk` (SIMD bulk sample decode behind
+// runtime feature detection) and `event_loop::sys` (direct `poll(2)`
+// declarations against libc, matching the fleet `affinity.rs`
+// precedent).
 #![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod compress;
 pub mod crc;
 pub mod error;
+#[cfg(unix)]
+pub mod event_loop;
 pub mod journal;
 pub mod replay;
 pub mod server;
@@ -65,9 +70,12 @@ pub mod wire;
 pub use error::ServeError;
 pub use journal::{read_journal, record_run, JournalWriter};
 pub use replay::{replay, ReplayOptions, ReplayOutcome, ReplayTenant};
-pub use server::{serve_tcp, ServeOptions, ServeReport, ServedSession, Server};
+pub use server::{serve_tcp, ServeMode, ServeOptions, ServeReport, ServedSession, Server};
 pub use snapshot::{load_snapshot, save_snapshot};
-pub use wire::{read_frame, write_frame, AdmitFrame, Frame, FrameReader, WireError, WIRE_VERSION};
+pub use wire::{
+    read_frame, write_frame, AdmitFrame, Frame, FrameParser, FrameReader, SnapshotFrame,
+    WireDialect, WireError, WIRE_VERSION, WIRE_VERSION_MIN,
+};
 
 #[cfg(unix)]
 pub use server::serve_unix;

@@ -188,6 +188,13 @@ pub fn replay_stream(
                 }
                 tenant.summary = Some(tenant.session.summary(&tenant.name.clone()));
             }
+            Frame::Snapshot(_) | Frame::Checkpoint { .. } => {
+                // Migration frames belong to a live server conversation,
+                // not a recorded journal.
+                return Err(ServeError::Protocol(
+                    "migration frame in a replay journal".into(),
+                ));
+            }
         }
     }
 

@@ -1,24 +1,44 @@
 //! `regmon serve`: a wire-ingesting server over the fleet engine.
 //!
 //! The server accepts N concurrent producer connections (unix socket or
-//! TCP), decodes their `regmon-wire-v1` frames and demultiplexes the
-//! intervals into [`FleetEngine`] shard workers — the same bounded ring
-//! queues, batching and telemetry the in-process fleet driver uses.
-//! Each connection's wire tenant ids are remapped to engine-global
-//! tenant ids at admission, so independent producers can both call
-//! their first session "tenant 0".
+//! TCP), decodes their `regmon-wire` frames (v1 or v2, settled per
+//! connection in the `Hello` exchange) and demultiplexes the intervals
+//! into [`FleetEngine`] shard workers — the same bounded ring queues,
+//! batching and telemetry the in-process fleet driver uses. Each
+//! connection's wire tenant ids are remapped to engine-global tenant
+//! ids at admission, so independent producers can both call their first
+//! session "tenant 0".
+//!
+//! Connections are served in one of two modes ([`ServeMode`]):
+//!
+//! * **Threads** — the classic thread-per-connection loop: simple, and
+//!   fine up to a few dozen producers.
+//! * **Events** — a readiness loop ([`crate::event_loop`], unix only):
+//!   a small fixed pool of workers multiplexes *all* connections over
+//!   nonblocking `poll(2)`, so hundreds of mostly-idle producers cost
+//!   two pollfds each instead of a parked thread each.
+//!
+//! Both modes drive the same per-connection [`Conn`] state machine, so
+//! results are byte-identical between them.
 //!
 //! Shutdown is graceful by construction: [`Server::finish`] first runs
 //! the engine's drain barrier (every queued frame is fully processed),
 //! then joins the shard workers and collects their final summaries.
 //! Because the pipeline is deterministic and the wire codec bit-exact,
 //! a session streamed through the server finishes byte-identical to the
-//! same session run in-process.
+//! same session run in-process — over either wire version, compressed
+//! or not, in either serve mode.
+//!
+//! Wire-v2 additionally lets a producer *move* a live session: a
+//! `Checkpoint` frame freezes the tenant and sends its full RGSN
+//! session snapshot back down the same connection, and a `Snapshot`
+//! frame admits such a checkpoint on another server, which continues
+//! byte-identically (`regmon migrate`).
 
 use std::collections::HashMap;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -27,7 +47,47 @@ use regmon_fleet::{EngineConfig, FleetEngine, TenantId, TenantSpec};
 use regmon_workload::suite;
 
 use crate::error::ServeError;
-use crate::wire::{Frame, FrameReader};
+use crate::wire::{Frame, FrameParser, SnapshotFrame, WIRE_VERSION};
+
+/// How connections are multiplexed onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// One handler thread per producer connection.
+    #[default]
+    Threads,
+    /// A fixed pool of readiness-loop workers over nonblocking
+    /// `poll(2)` (unix only; other platforms fall back to threads).
+    Events,
+}
+
+/// Accepted spellings, quoted in parse errors.
+const MODE_SPELLINGS: &str = "\"threads\", \"events\"";
+
+impl ServeMode {
+    /// Parses a mode name, accepting common alternate spellings.
+    ///
+    /// # Errors
+    ///
+    /// An unknown spelling, with the accepted ones listed.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "threads" | "thread" => Ok(Self::Threads),
+            "events" | "event" | "epoll" | "poll" => Ok(Self::Events),
+            other => Err(format!(
+                "unknown serve loop {other:?} (accepted: {MODE_SPELLINGS})"
+            )),
+        }
+    }
+
+    /// Canonical display name.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Threads => "threads",
+            Self::Events => "events",
+        }
+    }
+}
 
 /// Server construction knobs.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +98,13 @@ pub struct ServeOptions {
     pub queue_depth: usize,
     /// Stop accepting and shut down once this many sessions finished.
     pub expect_sessions: usize,
+    /// Connection multiplexing mode.
+    pub mode: ServeMode,
+    /// Readiness-loop workers (events mode only).
+    pub event_workers: usize,
+    /// Highest wire version this server negotiates down to (pin to 1
+    /// to serve as a v1-only peer).
+    pub max_wire_version: u16,
 }
 
 impl Default for ServeOptions {
@@ -46,20 +113,26 @@ impl Default for ServeOptions {
             shards: 2,
             queue_depth: 256,
             expect_sessions: 1,
+            mode: ServeMode::Threads,
+            event_workers: 2,
+            max_wire_version: WIRE_VERSION,
         }
     }
 }
 
-/// One finished wire session, in admission order.
+/// One admitted wire session, in admission order.
 #[derive(Debug, Clone)]
 pub struct ServedSession {
     /// Tenant display name from the `Admit` frame.
     pub name: String,
     /// The configuration the producer streamed.
     pub config: SessionConfig,
-    /// The finished session's summary (`None` only if the tenant's
-    /// stream never finished or its session failed).
+    /// The finished session's summary (`None` if the tenant's stream
+    /// never finished, its session failed, or it migrated away).
     pub summary: Option<SessionSummary>,
+    /// Whether the session was checked out to another server mid-run
+    /// (its summary belongs to whoever adopted it).
+    pub migrated: bool,
 }
 
 /// What a server run produced.
@@ -76,15 +149,22 @@ pub struct ServeReport {
     /// Connection-level errors, in arrival order (the server keeps
     /// serving other connections when one stream goes bad).
     pub errors: Vec<String>,
+    /// Peak concurrent connection handlers: handler threads in threads
+    /// mode, the (fixed) worker-pool size in events mode. The
+    /// connection-scaling story in one number.
+    pub peak_handlers: usize,
 }
 
 struct SessionEntry {
     engine_id: TenantId,
     name: String,
+    workload: String,
     config: SessionConfig,
+    max_intervals: u64,
     /// Highest interval index seen, for the frame-lag histogram.
     last_interval: Option<usize>,
     finished: bool,
+    migrated: bool,
 }
 
 struct ServerState {
@@ -114,6 +194,285 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// The per-connection protocol state machine, shared by both serve
+/// modes: frames go in via [`Conn::on_frame`], reply bytes (negotiated
+/// `Hello`, migration `Snapshot`s) come out via the `out` buffer.
+pub(crate) struct Conn {
+    saw_hello: bool,
+    /// Wire version settled for this connection (caps which frame
+    /// types the feeding parser accepts).
+    version: u16,
+    /// Wire tenant id (connection-scoped) → index into state.sessions.
+    local: HashMap<u32, usize>,
+    /// Sessions this connection finished (or migrated away).
+    finished: usize,
+    /// Pending reply bytes, not yet written to the peer.
+    pub(crate) out: Vec<u8>,
+}
+
+impl Conn {
+    pub(crate) fn new() -> Self {
+        Self {
+            saw_hello: false,
+            version: WIRE_VERSION,
+            local: HashMap::new(),
+            finished: 0,
+            out: Vec::new(),
+        }
+    }
+
+    /// The settled wire version (defaults to the build maximum until
+    /// the `Hello` exchange caps it).
+    pub(crate) fn version(&self) -> u16 {
+        self.version
+    }
+
+    pub(crate) fn finished_sessions(&self) -> usize {
+        self.finished
+    }
+
+    /// Feeds one decoded frame through the protocol state machine,
+    /// appending any reply to `self.out`.
+    pub(crate) fn on_frame(
+        &mut self,
+        frame: Frame,
+        server: &Server,
+        telemetry_on: bool,
+    ) -> Result<(), ServeError> {
+        match frame {
+            Frame::Hello { version } => {
+                if self.saw_hello {
+                    return Err(ServeError::Protocol("duplicate Hello frame".into()));
+                }
+                self.saw_hello = true;
+                self.version = version.min(server.options.max_wire_version);
+                if version >= 2 {
+                    // v2 producers wait for the negotiated version; v1
+                    // producers are one-way and never read, so writing
+                    // to them could deadlock against an unread socket.
+                    self.out.extend_from_slice(
+                        &Frame::Hello {
+                            version: self.version,
+                        }
+                        .encode(),
+                    );
+                }
+            }
+            _ if !self.saw_hello => {
+                return Err(ServeError::Protocol(
+                    "stream must open with a Hello frame".into(),
+                ));
+            }
+            Frame::Admit(admit) => {
+                if self.local.contains_key(&admit.tenant) {
+                    return Err(ServeError::Protocol(format!(
+                        "duplicate Admit for tenant {}",
+                        admit.tenant
+                    )));
+                }
+                let workload = suite::by_name(&admit.workload)
+                    .ok_or_else(|| ServeError::UnknownWorkload(admit.workload.clone()))?;
+                let spec = TenantSpec::new(
+                    admit.name.clone(),
+                    workload,
+                    admit.config.clone(),
+                    admit.max_intervals as usize,
+                );
+                let mut state = server.state.lock().expect("server state poisoned");
+                let engine = state
+                    .engine
+                    .as_mut()
+                    .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
+                let engine_id = engine.admit(&spec);
+                self.local.insert(admit.tenant, state.sessions.len());
+                state.sessions.push(SessionEntry {
+                    engine_id,
+                    name: admit.name,
+                    workload: admit.workload,
+                    config: admit.config,
+                    max_intervals: admit.max_intervals,
+                    last_interval: None,
+                    finished: false,
+                    migrated: false,
+                });
+                if telemetry_on {
+                    regmon_telemetry::metrics::SERVE_SESSIONS
+                        .set((state.sessions.len() - state.finished) as i64);
+                }
+            }
+            Frame::Snapshot(snap) => {
+                // Admit-with-state: the migration hand-off's second half.
+                if self.local.contains_key(&snap.tenant) {
+                    return Err(ServeError::Protocol(format!(
+                        "duplicate Admit for tenant {}",
+                        snap.tenant
+                    )));
+                }
+                let workload = suite::by_name(&snap.workload)
+                    .ok_or_else(|| ServeError::UnknownWorkload(snap.workload.clone()))?;
+                let snapshot = crate::snapshot::decode_snapshot(&snap.snapshot)?;
+                let spec = TenantSpec::new(
+                    snap.name.clone(),
+                    workload,
+                    snapshot.config.clone(),
+                    snap.max_intervals as usize,
+                );
+                let config = snapshot.config.clone();
+                let mut state = server.state.lock().expect("server state poisoned");
+                let engine = state
+                    .engine
+                    .as_mut()
+                    .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
+                let engine_id = engine.admit_from_snapshot(&spec, snapshot);
+                self.local.insert(snap.tenant, state.sessions.len());
+                state.sessions.push(SessionEntry {
+                    engine_id,
+                    name: snap.name.clone(),
+                    workload: snap.workload.clone(),
+                    config,
+                    max_intervals: snap.max_intervals,
+                    last_interval: None,
+                    finished: false,
+                    migrated: false,
+                });
+                if telemetry_on {
+                    regmon_telemetry::metrics::SNAPSHOT_RESTORES.inc();
+                    regmon_telemetry::metrics::SERVE_SESSIONS
+                        .set((state.sessions.len() - state.finished) as i64);
+                }
+            }
+            Frame::Batch {
+                tenant: id,
+                intervals,
+            } => {
+                let &slot = self.local.get(&id).ok_or_else(|| {
+                    ServeError::Protocol(format!("Batch for unadmitted tenant {id}"))
+                })?;
+                let mut state = server.state.lock().expect("server state poisoned");
+                let entry = &mut state.sessions[slot];
+                if entry.finished {
+                    return Err(ServeError::Protocol(format!(
+                        "Batch after Finish for tenant {id}"
+                    )));
+                }
+                if telemetry_on {
+                    if let (Some(last), Some(first)) =
+                        (entry.last_interval, intervals.first().map(|i| i.index))
+                    {
+                        let lag = first.saturating_sub(last + 1);
+                        regmon_telemetry::metrics::SERVE_FRAME_LAG.record(lag as u64);
+                    }
+                }
+                if let Some(interval) = intervals.last() {
+                    entry.last_interval = Some(interval.index);
+                }
+                let engine_id = entry.engine_id;
+                let engine = state
+                    .engine
+                    .as_ref()
+                    .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
+                engine.offer_batch(engine_id, intervals);
+            }
+            Frame::Checkpoint { tenant: id } => {
+                // Freeze the tenant, ship its session back as a
+                // Snapshot frame, and retire it here: the tenant now
+                // counts as finished for shutdown purposes, but its
+                // summary belongs to whoever adopts the snapshot.
+                let &slot = self.local.get(&id).ok_or_else(|| {
+                    ServeError::Protocol(format!("Checkpoint for unadmitted tenant {id}"))
+                })?;
+                let mut state = server.state.lock().expect("server state poisoned");
+                if state.sessions[slot].finished {
+                    return Err(ServeError::Protocol(format!(
+                        "Checkpoint after Finish for tenant {id}"
+                    )));
+                }
+                let engine_id = state.sessions[slot].engine_id;
+                // Per-shard FIFO order makes the checkpoint consistent:
+                // every batch offered above is folded in before the
+                // worker answers.
+                let snapshot = state
+                    .engine
+                    .as_ref()
+                    .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?
+                    .checkpoint(engine_id)
+                    .ok_or_else(|| {
+                        ServeError::Protocol(format!("tenant {id} has no live session"))
+                    })?;
+                let entry = &mut state.sessions[slot];
+                let reply = Frame::Snapshot(Box::new(SnapshotFrame {
+                    tenant: id,
+                    name: entry.name.clone(),
+                    workload: entry.workload.clone(),
+                    max_intervals: entry.max_intervals,
+                    snapshot: crate::snapshot::encode_snapshot(&snapshot),
+                }));
+                entry.finished = true;
+                entry.migrated = true;
+                state.finished += 1;
+                self.finished += 1;
+                self.out.extend_from_slice(&reply.encode());
+                if telemetry_on {
+                    regmon_telemetry::metrics::SERVE_MIGRATIONS.inc();
+                    regmon_telemetry::metrics::SNAPSHOT_SAVES.inc();
+                    regmon_telemetry::metrics::SERVE_SESSIONS
+                        .set((state.sessions.len() - state.finished) as i64);
+                }
+                if state.finished >= server.options.expect_sessions {
+                    server.done.store(true, Ordering::Release);
+                }
+            }
+            Frame::Finish { tenant: id } => {
+                let &slot = self.local.get(&id).ok_or_else(|| {
+                    ServeError::Protocol(format!("Finish for unadmitted tenant {id}"))
+                })?;
+                let mut state = server.state.lock().expect("server state poisoned");
+                if state.sessions[slot].finished {
+                    return Err(ServeError::Protocol(format!(
+                        "duplicate Finish for tenant {id}"
+                    )));
+                }
+                state.sessions[slot].finished = true;
+                state.finished += 1;
+                self.finished += 1;
+                let engine_id = state.sessions[slot].engine_id;
+                if let Some(engine) = state.engine.as_ref() {
+                    engine.finish(engine_id);
+                }
+                if telemetry_on {
+                    regmon_telemetry::metrics::SERVE_SESSIONS
+                        .set((state.sessions.len() - state.finished) as i64);
+                }
+                if state.finished >= server.options.expect_sessions {
+                    server.done.store(true, Ordering::Release);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Adapts a read-only transport (a byte slice, a recorded journal) to
+/// the read-write shape the connection pump wants: replies are simply
+/// discarded, exactly as a one-way v1 producer would never read them.
+struct SinkWrites<R>(R);
+
+impl<R: Read> Read for SinkWrites<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+impl<R> Write for SinkWrites<R> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 impl Server {
     /// Creates a server with a fresh fleet engine.
     #[must_use]
@@ -134,15 +493,21 @@ impl Server {
         }
     }
 
+    /// The options this server was built with.
+    #[must_use]
+    pub fn options(&self) -> ServeOptions {
+        self.options
+    }
+
     /// `true` once [`ServeOptions::expect_sessions`] sessions finished.
     #[must_use]
     pub fn done(&self) -> bool {
         self.done.load(Ordering::Acquire)
     }
 
-    /// Handles one producer connection to completion, demultiplexing
-    /// its frames into the engine. Returns the number of sessions the
-    /// connection finished.
+    /// Handles one read-only producer stream to completion (reply
+    /// frames are discarded — the v1 one-way shape). Returns the number
+    /// of sessions the stream finished.
     ///
     /// # Errors
     ///
@@ -150,156 +515,113 @@ impl Server {
     /// before the failure stays fed — the engine keeps processing other
     /// connections' tenants.
     pub fn handle(&self, stream: impl Read) -> Result<usize, ServeError> {
+        self.handle_io(SinkWrites(stream))
+    }
+
+    /// Handles one producer connection to completion, writing reply
+    /// frames (negotiated `Hello`, migration `Snapshot`s) back to the
+    /// peer promptly. Returns the number of sessions the connection
+    /// finished.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::handle`].
+    pub fn handle_io(&self, stream: impl Read + Write) -> Result<usize, ServeError> {
         let telemetry_on = regmon_telemetry::enabled();
-        if telemetry_on {
-            regmon_telemetry::metrics::SERVE_CONNECTIONS.inc();
-        }
-        {
-            let mut state = self.state.lock().expect("server state poisoned");
-            state.connections += 1;
-        }
-        let result = self.pump_frames(stream, telemetry_on);
-        if telemetry_on {
-            regmon_telemetry::metrics::SERVE_CONNECTIONS_CLOSED.inc();
-        }
-        if let Err(e) = &result {
-            if telemetry_on {
-                regmon_telemetry::metrics::SERVE_FRAMES_REJECTED.inc();
-            }
-            let mut state = self.state.lock().expect("server state poisoned");
-            state.errors.push(e.to_string());
-        }
+        self.conn_opened(telemetry_on);
+        let result = self.pump(stream, telemetry_on);
+        self.conn_closed(&result, telemetry_on);
         result
     }
 
-    fn pump_frames(&self, stream: impl Read, telemetry_on: bool) -> Result<usize, ServeError> {
-        let mut reader = FrameReader::new(stream);
-        // Wire tenant id (connection-scoped) → index into state.sessions.
-        let mut local: HashMap<u32, usize> = HashMap::new();
-        let mut saw_hello = false;
-        let mut finished_here = 0usize;
-        let mut last_bytes = 0u64;
+    fn pump(&self, mut stream: impl Read + Write, telemetry_on: bool) -> Result<usize, ServeError> {
+        let mut parser = FrameParser::new();
+        let mut conn = Conn::new();
+        let mut buf = [0u8; 16 * 1024];
         loop {
-            let frame = match reader.next_frame() {
+            if !conn.out.is_empty() {
+                stream.write_all(&conn.out).map_err(ServeError::Io)?;
+                stream.flush().map_err(ServeError::Io)?;
+                conn.out.clear();
+            }
+            let n = match stream.read(&mut buf) {
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ServeError::Io(e)),
+            };
+            if n == 0 {
+                parser.finish_eof()?;
+                break;
+            }
+            self.account(n as u64, 0, telemetry_on);
+            parser.feed(&buf[..n]);
+            self.drain_parser(&mut parser, &mut conn, telemetry_on)?;
+        }
+        if !conn.out.is_empty() {
+            stream.write_all(&conn.out).map_err(ServeError::Io)?;
+            stream.flush().map_err(ServeError::Io)?;
+            conn.out.clear();
+        }
+        Ok(conn.finished_sessions())
+    }
+
+    /// Decodes every complete frame buffered in `parser` through
+    /// `conn`, keeping the parser's version cap in lockstep with the
+    /// negotiated connection version. Shared by both serve modes.
+    pub(crate) fn drain_parser(
+        &self,
+        parser: &mut FrameParser,
+        conn: &mut Conn,
+        telemetry_on: bool,
+    ) -> Result<(), ServeError> {
+        loop {
+            let before_v2 = parser.v2_frames();
+            let before_packed = parser.compressed_frames();
+            let frame = match parser.next_frame() {
                 Ok(Some(frame)) => frame,
-                Ok(None) => break,
+                Ok(None) => return Ok(()),
                 Err(e) => {
-                    self.account(reader.bytes_read() - last_bytes, 0, telemetry_on);
+                    if telemetry_on {
+                        regmon_telemetry::metrics::SERVE_FRAMES_REJECTED.inc();
+                    }
                     return Err(e.into());
                 }
             };
-            let new_bytes = reader.bytes_read() - last_bytes;
-            last_bytes = reader.bytes_read();
-            self.account(new_bytes, 1, telemetry_on);
-            match frame {
-                Frame::Hello { .. } => {
-                    if saw_hello {
-                        return Err(ServeError::Protocol("duplicate Hello frame".into()));
-                    }
-                    saw_hello = true;
+            self.account(0, 1, telemetry_on);
+            if telemetry_on {
+                let v2 = parser.v2_frames() - before_v2;
+                if v2 > 0 {
+                    regmon_telemetry::metrics::WIRE_V2_FRAMES.add(v2);
                 }
-                _ if !saw_hello => {
-                    return Err(ServeError::Protocol(
-                        "stream must open with a Hello frame".into(),
-                    ));
-                }
-                Frame::Admit(admit) => {
-                    if local.contains_key(&admit.tenant) {
-                        return Err(ServeError::Protocol(format!(
-                            "duplicate Admit for tenant {}",
-                            admit.tenant
-                        )));
-                    }
-                    let workload = suite::by_name(&admit.workload)
-                        .ok_or_else(|| ServeError::UnknownWorkload(admit.workload.clone()))?;
-                    let spec = TenantSpec::new(
-                        admit.name.clone(),
-                        workload,
-                        admit.config.clone(),
-                        admit.max_intervals as usize,
-                    );
-                    let mut state = self.state.lock().expect("server state poisoned");
-                    let engine = state
-                        .engine
-                        .as_mut()
-                        .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
-                    let engine_id = engine.admit(&spec);
-                    local.insert(admit.tenant, state.sessions.len());
-                    state.sessions.push(SessionEntry {
-                        engine_id,
-                        name: admit.name,
-                        config: admit.config,
-                        last_interval: None,
-                        finished: false,
-                    });
-                    if telemetry_on {
-                        regmon_telemetry::metrics::SERVE_SESSIONS
-                            .set((state.sessions.len() - state.finished) as i64);
-                    }
-                }
-                Frame::Batch {
-                    tenant: id,
-                    intervals,
-                } => {
-                    let &slot = local.get(&id).ok_or_else(|| {
-                        ServeError::Protocol(format!("Batch for unadmitted tenant {id}"))
-                    })?;
-                    let mut state = self.state.lock().expect("server state poisoned");
-                    let entry = &mut state.sessions[slot];
-                    if entry.finished {
-                        return Err(ServeError::Protocol(format!(
-                            "Batch after Finish for tenant {id}"
-                        )));
-                    }
-                    if telemetry_on {
-                        if let (Some(last), Some(first)) =
-                            (entry.last_interval, intervals.first().map(|i| i.index))
-                        {
-                            let lag = first.saturating_sub(last + 1);
-                            regmon_telemetry::metrics::SERVE_FRAME_LAG.record(lag as u64);
-                        }
-                    }
-                    if let Some(interval) = intervals.last() {
-                        entry.last_interval = Some(interval.index);
-                    }
-                    let engine_id = entry.engine_id;
-                    let engine = state
-                        .engine
-                        .as_ref()
-                        .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
-                    engine.offer_batch(engine_id, intervals);
-                }
-                Frame::Finish { tenant: id } => {
-                    let &slot = local.get(&id).ok_or_else(|| {
-                        ServeError::Protocol(format!("Finish for unadmitted tenant {id}"))
-                    })?;
-                    let mut state = self.state.lock().expect("server state poisoned");
-                    if state.sessions[slot].finished {
-                        return Err(ServeError::Protocol(format!(
-                            "duplicate Finish for tenant {id}"
-                        )));
-                    }
-                    state.sessions[slot].finished = true;
-                    state.finished += 1;
-                    finished_here += 1;
-                    let engine_id = state.sessions[slot].engine_id;
-                    if let Some(engine) = state.engine.as_ref() {
-                        engine.finish(engine_id);
-                    }
-                    if telemetry_on {
-                        regmon_telemetry::metrics::SERVE_SESSIONS
-                            .set((state.sessions.len() - state.finished) as i64);
-                    }
-                    if state.finished >= self.options.expect_sessions {
-                        self.done.store(true, Ordering::Release);
-                    }
+                let packed = parser.compressed_frames() - before_packed;
+                if packed > 0 {
+                    regmon_telemetry::metrics::WIRE_COMPRESSED_FRAMES.add(packed);
                 }
             }
+            conn.on_frame(frame, self, telemetry_on)?;
+            parser.set_max_version(conn.version());
         }
-        Ok(finished_here)
     }
 
-    fn account(&self, bytes: u64, frames: u64, telemetry_on: bool) {
+    pub(crate) fn conn_opened(&self, telemetry_on: bool) {
+        if telemetry_on {
+            regmon_telemetry::metrics::SERVE_CONNECTIONS.inc();
+        }
+        let mut state = self.state.lock().expect("server state poisoned");
+        state.connections += 1;
+    }
+
+    pub(crate) fn conn_closed(&self, result: &Result<usize, ServeError>, telemetry_on: bool) {
+        if telemetry_on {
+            regmon_telemetry::metrics::SERVE_CONNECTIONS_CLOSED.inc();
+        }
+        if let Err(e) = result {
+            let mut state = self.state.lock().expect("server state poisoned");
+            state.errors.push(e.to_string());
+        }
+    }
+
+    pub(crate) fn account(&self, bytes: u64, frames: u64, telemetry_on: bool) {
         if bytes == 0 && frames == 0 {
             return;
         }
@@ -345,12 +667,14 @@ impl Server {
                     name: entry.name.clone(),
                     config: entry.config.clone(),
                     summary: by_id.get(&entry.engine_id).cloned().flatten(),
+                    migrated: entry.migrated,
                 })
                 .collect(),
             connections: state.connections,
             frames: state.frames,
             bytes: state.bytes,
             errors: state.errors.clone(),
+            peak_handlers: 0,
         }
     }
 }
@@ -363,19 +687,26 @@ fn run_listener<L, S>(
     options: ServeOptions,
 ) -> Result<ServeReport, ServeError>
 where
-    S: Read + Send + 'static,
+    S: Read + Write + Send + 'static,
     L: Send,
 {
     let server = Arc::new(Server::new(options));
+    let live = Arc::new(AtomicUsize::new(0));
+    let peak = Arc::new(AtomicUsize::new(0));
     let mut handles = Vec::new();
     while !server.done() {
         match accept(&listener) {
             Ok(stream) => {
                 let server = Arc::clone(&server);
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
                 handles.push(std::thread::spawn(move || {
+                    let now = live.fetch_add(1, Ordering::Relaxed) + 1;
+                    peak.fetch_max(now, Ordering::Relaxed);
                     // Errors are recorded in the report; a bad producer
                     // must not take the server down.
-                    let _ = server.handle(stream);
+                    let _ = server.handle_io(stream);
+                    live.fetch_sub(1, Ordering::Relaxed);
                 }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -387,7 +718,9 @@ where
     for handle in handles {
         let _ = handle.join();
     }
-    Ok(server.finish())
+    let mut report = server.finish();
+    report.peak_handlers = peak.load(Ordering::Relaxed);
+    Ok(report)
 }
 
 /// Serves producers over a unix domain socket until
@@ -404,15 +737,26 @@ pub fn serve_unix(path: &Path, options: ServeOptions) -> Result<ServeReport, Ser
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
-    let report = run_listener(
-        listener,
-        |l| {
-            let (stream, _) = l.accept()?;
-            stream.set_nonblocking(false)?;
-            Ok(stream)
-        },
-        options,
-    );
+    let report = match options.mode {
+        ServeMode::Threads => run_listener(
+            listener,
+            |l| {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(stream)
+            },
+            options,
+        ),
+        ServeMode::Events => crate::event_loop::serve_events(
+            listener,
+            |l| {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(true)?;
+                Ok(stream)
+            },
+            options,
+        ),
+    };
     let _ = std::fs::remove_file(path);
     report
 }
@@ -428,6 +772,18 @@ pub fn serve_tcp(addr: &str, options: ServeOptions) -> Result<ServeReport, Serve
     use std::net::TcpListener;
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
+    #[cfg(unix)]
+    if options.mode == ServeMode::Events {
+        return crate::event_loop::serve_events(
+            listener,
+            |l| {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(true)?;
+                Ok(stream)
+            },
+            options,
+        );
+    }
     run_listener(
         listener,
         |l| {
@@ -443,7 +799,7 @@ pub fn serve_tcp(addr: &str, options: ServeOptions) -> Result<ServeReport, Serve
 mod tests {
     use super::*;
     use crate::journal::JournalWriter;
-    use crate::wire::AdmitFrame;
+    use crate::wire::{read_frame, AdmitFrame, FrameReader, WireDialect};
     use regmon::MonitoringSession;
     use regmon_sampling::Sampler;
 
@@ -468,6 +824,47 @@ mod tests {
         journal.into_inner().unwrap()
     }
 
+    /// Re-encodes a v1 byte stream in the given dialect (Hello carries
+    /// the dialect's version, batches its representation).
+    fn transcode(bytes: &[u8], dialect: WireDialect) -> Vec<u8> {
+        let mut reader = FrameReader::new(bytes);
+        let mut out = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            let frame = match frame {
+                Frame::Hello { .. } => Frame::Hello {
+                    version: dialect.version,
+                },
+                other => other,
+            };
+            out.extend_from_slice(&dialect.encode_frame(&frame));
+        }
+        out
+    }
+
+    /// A loopback transport: reads from a canned request, collects
+    /// replies.
+    struct Loopback<'a> {
+        input: &'a [u8],
+        replies: Vec<u8>,
+    }
+
+    impl Read for Loopback<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Loopback<'_> {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.replies.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
     #[test]
     fn served_session_matches_in_process_run() {
         let config = SessionConfig::new(45_000);
@@ -475,6 +872,7 @@ mod tests {
             shards: 2,
             queue_depth: 16,
             expect_sessions: 1,
+            ..ServeOptions::default()
         });
         let bytes = stream_for("172.mgrid", &config, 20, 0);
         server.handle(bytes.as_slice()).unwrap();
@@ -491,6 +889,147 @@ mod tests {
     }
 
     #[test]
+    fn v2_stream_matches_v1_stream_byte_identically() {
+        // The same session over wire v1, v2 and v2+compress must land
+        // identically in the engine.
+        let config = SessionConfig::new(45_000);
+        let v1 = stream_for("172.mgrid", &config, 20, 0);
+        let mut summaries = Vec::new();
+        for dialect in [
+            WireDialect::V1,
+            WireDialect::v2(false),
+            WireDialect::v2(true),
+        ] {
+            let bytes = transcode(&v1, dialect);
+            let server = Server::new(ServeOptions {
+                shards: 2,
+                queue_depth: 16,
+                expect_sessions: 1,
+                ..ServeOptions::default()
+            });
+            server.handle(bytes.as_slice()).unwrap();
+            let report = server.finish();
+            assert!(report.errors.is_empty(), "{dialect:?}: {:?}", report.errors);
+            summaries.push(format!("{:?}", report.sessions[0].summary));
+        }
+        assert_eq!(summaries[0], summaries[1]);
+        assert_eq!(summaries[0], summaries[2]);
+    }
+
+    #[test]
+    fn v2_hello_is_answered_and_version_settles() {
+        // A v2 offer against a v2 server settles on 2; against a
+        // pinned-v1 server settles on 1 (still answered — the offerer
+        // is waiting). A v1 offer is never answered.
+        let cases = [(WIRE_VERSION, 2, 2u16), (1, 2, 1), (WIRE_VERSION, 1, 0)];
+        for (server_max, offer, want_reply) in cases {
+            let server = Server::new(ServeOptions {
+                max_wire_version: server_max,
+                ..ServeOptions::default()
+            });
+            let request = Frame::Hello { version: offer }.encode();
+            let mut transport = Loopback {
+                input: &request,
+                replies: Vec::new(),
+            };
+            server.handle_io(&mut transport).unwrap();
+            if want_reply == 0 {
+                assert!(transport.replies.is_empty(), "v1 offers are one-way");
+            } else {
+                let reply = read_frame(&mut transport.replies.as_slice())
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(
+                    reply,
+                    Frame::Hello {
+                        version: want_reply
+                    },
+                    "server_max {server_max}, offer {offer}"
+                );
+            }
+            // Engine still alive; shut it down cleanly.
+            let _ = server.finish();
+        }
+    }
+
+    #[test]
+    fn migration_handoff_resumes_byte_identically() {
+        // Server A ingests the first half of a session, checkpoints it
+        // over the wire; server B adopts the snapshot and ingests the
+        // rest. B's summary must be byte-identical to an uninterrupted
+        // in-process run, and A must count the tenant as finished.
+        let config = SessionConfig::new(45_000);
+        let w = suite::by_name("172.mgrid").unwrap();
+        let n = 24;
+        let split = 11;
+        let intervals: Vec<_> = Sampler::new(&w, config.sampling).take(n).collect();
+        let admit = AdmitFrame {
+            tenant: 0,
+            name: "mgrid#0".into(),
+            workload: "172.mgrid".into(),
+            config: config.clone(),
+            max_intervals: n as u64,
+        };
+
+        // --- server A: Hello(2), Admit, first half, Checkpoint.
+        let mut request = Vec::new();
+        request.extend_from_slice(&Frame::hello().encode());
+        request.extend_from_slice(&Frame::Admit(Box::new(admit.clone())).encode());
+        for chunk in intervals[..split].chunks(4) {
+            request.extend_from_slice(&WireDialect::v2(false).encode_frame(&Frame::Batch {
+                tenant: 0,
+                intervals: chunk.to_vec(),
+            }));
+        }
+        request.extend_from_slice(&Frame::Checkpoint { tenant: 0 }.encode());
+        let server_a = Server::new(ServeOptions::default());
+        let mut transport = Loopback {
+            input: &request,
+            replies: Vec::new(),
+        };
+        assert_eq!(server_a.handle_io(&mut transport).unwrap(), 1);
+        assert!(server_a.done(), "migration counts toward expect_sessions");
+        let report_a = server_a.finish();
+        assert!(report_a.errors.is_empty(), "{:?}", report_a.errors);
+        assert!(report_a.sessions[0].migrated);
+        assert!(report_a.sessions[0].summary.is_none());
+
+        // The replies: a Hello answer, then the Snapshot frame.
+        let mut replies = FrameReader::new(transport.replies.as_slice());
+        assert_eq!(
+            replies.next_frame().unwrap().unwrap(),
+            Frame::Hello {
+                version: WIRE_VERSION
+            }
+        );
+        let snapshot_frame = replies.next_frame().unwrap().unwrap();
+        let Frame::Snapshot(snap) = &snapshot_frame else {
+            panic!("expected Snapshot reply, got {snapshot_frame:?}");
+        };
+        assert_eq!(snap.workload, "172.mgrid");
+
+        // --- server B: Hello(2), Snapshot, second half, Finish.
+        let mut request = Vec::new();
+        request.extend_from_slice(&Frame::hello().encode());
+        request.extend_from_slice(&snapshot_frame.encode());
+        for chunk in intervals[split..].chunks(4) {
+            request.extend_from_slice(&WireDialect::v2(true).encode_frame(&Frame::Batch {
+                tenant: 0,
+                intervals: chunk.to_vec(),
+            }));
+        }
+        request.extend_from_slice(&Frame::Finish { tenant: 0 }.encode());
+        let server_b = Server::new(ServeOptions::default());
+        server_b.handle(request.as_slice()).unwrap();
+        let report_b = server_b.finish();
+        assert!(report_b.errors.is_empty(), "{:?}", report_b.errors);
+
+        let direct = MonitoringSession::run_limited(&w, &config, n);
+        let served = report_b.sessions[0].summary.as_ref().unwrap();
+        assert_eq!(format!("{served:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
     fn two_connections_with_clashing_wire_ids_are_remapped() {
         let config_a = SessionConfig::new(45_000);
         let config_b = SessionConfig::new(450_000);
@@ -498,6 +1037,7 @@ mod tests {
             shards: 2,
             queue_depth: 16,
             expect_sessions: 2,
+            ..ServeOptions::default()
         }));
         // Both producers call their session "tenant 0".
         let a = stream_for("172.mgrid", &config_a, 12, 0);
@@ -522,6 +1062,7 @@ mod tests {
             shards: 1,
             queue_depth: 16,
             expect_sessions: 1,
+            ..ServeOptions::default()
         });
         let mut bad = stream_for("172.mgrid", &config, 6, 0);
         let idx = bad.len() / 2;
@@ -553,5 +1094,17 @@ mod tests {
         .unwrap();
         let err = server.handle(bytes.as_slice()).unwrap_err();
         assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    }
+
+    #[test]
+    fn serve_mode_parse_accepts_spellings_and_suggests_on_typo() {
+        assert_eq!(ServeMode::parse("threads").unwrap(), ServeMode::Threads);
+        assert_eq!(ServeMode::parse("thread").unwrap(), ServeMode::Threads);
+        assert_eq!(ServeMode::parse("events").unwrap(), ServeMode::Events);
+        assert_eq!(ServeMode::parse("epoll").unwrap(), ServeMode::Events);
+        assert_eq!(ServeMode::parse("poll").unwrap(), ServeMode::Events);
+        let err = ServeMode::parse("eventz").unwrap_err();
+        assert!(err.contains("\"threads\""), "{err}");
+        assert!(err.contains("\"events\""), "{err}");
     }
 }

@@ -291,7 +291,10 @@ fn decode_lpd(cur: &mut Cursor<'_>) -> Result<LpdManagerSnapshot, WireError> {
 /// damage.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<SessionSnapshot, WireError> {
     if bytes.len() < 10 {
-        return Err(WireError::Truncated);
+        return Err(WireError::Truncated {
+            offset: 0,
+            frame: 0,
+        });
     }
     let (body, trailer) = bytes.split_at(bytes.len() - 4);
     let want = u32::from_le_bytes(trailer.try_into().unwrap());

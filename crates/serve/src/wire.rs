@@ -1,4 +1,4 @@
-//! `regmon-wire-v1`: the framed binary ingestion protocol.
+//! `regmon-wire`: the framed binary ingestion protocol (v1 and v2).
 //!
 //! Every frame on the wire is laid out as
 //!
@@ -16,6 +16,26 @@
 //! configurations are *bit-identical* to what the producer encoded —
 //! the whole determinism contract rests on that.
 //!
+//! **Wire-v2** adds, under the same frame envelope:
+//!
+//! * `Batch2` — the delta-columnar batch representation: per interval
+//!   the addr and cycle streams travel as separate columns, each a
+//!   `[width u8][base u64][deltas…]` run of zigzag-encoded wrapping
+//!   deltas narrowed to the smallest of {1, 2, 4} bytes that fits (or
+//!   raw 8-byte values when deltas do not help). PC streams are
+//!   overwhelmingly local, so real batches shrink roughly 8x — and the
+//!   CRC and decode passes shrink with them. A `Batch2` decodes into
+//!   the same [`Frame::Batch`] value v1 produces, bit-identical.
+//! * `Compressed` — an optional LZ wrapper ([`crate::compress`]) around
+//!   another frame's payload, negotiated per producer via `--compress`.
+//! * `Snapshot` / `Checkpoint` — the live-migration handshake: a
+//!   checkpoint request pulls a tenant's RGSN session snapshot back
+//!   over the wire, and a snapshot frame admits that tenant elsewhere.
+//!
+//! The version settles in the `Hello` exchange: a v2 producer offers 2
+//! and the server answers with `min(offer, own)`; a v1 producer sends
+//! the same one-way byte stream as before and is served byte-identically.
+//!
 //! Decoding is strict: truncated streams, corrupt checksums, foreign
 //! magic, unknown frame types and out-of-range field values are all
 //! rejected with a typed [`WireError`] naming the failure, never a
@@ -30,13 +50,17 @@ use regmon_lpd::{LpdConfig, SimilarityKind, ThresholdPolicy};
 use regmon_regions::{FormationConfig, IndexKind};
 use regmon_sampling::{Interval, SamplingConfig};
 
+use crate::compress;
 use crate::crc::{crc32, Crc32};
 
 /// Magic bytes opening every `Hello` frame and snapshot file header.
 pub const WIRE_MAGIC: [u8; 4] = *b"RGMN";
 
-/// The protocol version this build speaks.
-pub const WIRE_VERSION: u16 = 1;
+/// The newest protocol version this build speaks (and offers).
+pub const WIRE_VERSION: u16 = 2;
+
+/// The oldest protocol version this build still accepts.
+pub const WIRE_VERSION_MIN: u16 = 1;
 
 /// Upper bound on a single frame's `len` field (64 MiB). A frame
 /// claiming more is rejected before any allocation happens.
@@ -49,12 +73,22 @@ const TYPE_HELLO: u8 = 1;
 const TYPE_ADMIT: u8 = 2;
 const TYPE_BATCH: u8 = 3;
 const TYPE_FINISH: u8 = 4;
+// Wire-v2 frame types: rejected as unknown on a settled-v1 connection.
+const TYPE_BATCH2: u8 = 5;
+const TYPE_COMPRESSED: u8 = 6;
+const TYPE_SNAPSHOT: u8 = 7;
+const TYPE_CHECKPOINT: u8 = 8;
 
 /// Why a wire stream failed to decode.
 #[derive(Debug)]
 pub enum WireError {
     /// The stream ended inside a frame (torn write, killed producer).
-    Truncated,
+    Truncated {
+        /// Byte offset of the start of the frame the stream died inside.
+        offset: u64,
+        /// Zero-based index of that frame within the stream.
+        frame: u64,
+    },
     /// A `Hello` frame carried foreign magic bytes.
     BadMagic,
     /// The producer speaks a protocol version this build does not.
@@ -83,12 +117,15 @@ pub enum WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Truncated => write!(f, "wire stream truncated mid-frame"),
+            Self::Truncated { offset, frame } => write!(
+                f,
+                "wire stream truncated mid-frame (frame {frame} at byte offset {offset})"
+            ),
             Self::BadMagic => write!(f, "bad magic (expected \"RGMN\")"),
             Self::BadVersion { got } => {
                 write!(
                     f,
-                    "unsupported wire version {got} (this build speaks {WIRE_VERSION})"
+                    "unsupported wire version {got} (this build speaks {WIRE_VERSION_MIN}..={WIRE_VERSION})"
                 )
             }
             Self::BadCrc { want, got } => {
@@ -119,7 +156,13 @@ impl std::error::Error for WireError {
 impl From<io::Error> for WireError {
     fn from(e: io::Error) -> Self {
         if e.kind() == io::ErrorKind::UnexpectedEof {
-            Self::Truncated
+            // Positionless contexts (snapshot files) have no frame
+            // cursor; [`FrameReader`] maps EOF itself to report the
+            // real offset and frame index.
+            Self::Truncated {
+                offset: 0,
+                frame: 0,
+            }
         } else {
             Self::Io(e)
         }
@@ -143,6 +186,25 @@ pub struct AdmitFrame {
     pub max_intervals: u64,
 }
 
+/// A live tenant hand-off (wire-v2): everything `Admit` carries plus
+/// the RGSN session snapshot to resume from. Flows server → client as
+/// the `Checkpoint` reply and client → server as an admit-with-state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotFrame {
+    /// Producer-chosen tenant id, scoping later frames.
+    pub tenant: u32,
+    /// Display name of the tenant.
+    pub name: String,
+    /// Workload (suite binary) name the server resolves the program
+    /// image from.
+    pub workload: String,
+    /// Intervals the producer intends to stream in total (0 = unknown).
+    pub max_intervals: u64,
+    /// The encoded RGSN snapshot (validated at decode; see
+    /// [`crate::snapshot::decode_snapshot`]).
+    pub snapshot: Vec<u8>,
+}
+
 /// One decoded wire frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
@@ -163,6 +225,15 @@ pub enum Frame {
     /// Marks a tenant's stream complete.
     Finish {
         /// The finished tenant.
+        tenant: u32,
+    },
+    /// Wire-v2: admits a tenant mid-stream from a session snapshot
+    /// (migration hand-off).
+    Snapshot(Box<SnapshotFrame>),
+    /// Wire-v2: asks the server to freeze a tenant and return its
+    /// session as a `Snapshot` frame.
+    Checkpoint {
+        /// The tenant to check out.
         tenant: u32,
     },
 }
@@ -458,6 +529,168 @@ fn decode_interval(cur: &mut Cursor<'_>) -> Result<Interval, WireError> {
     })
 }
 
+// ------------------------------------------- delta-columnar codec (v2)
+
+/// Zigzag-folds a signed delta so small magnitudes of either sign get
+/// small codes. A bijection on all 64 bits (`i64::MIN` included).
+fn zigzag(v: i64) -> u64 {
+    ((v as u64) << 1) ^ ((v >> 63) as u64)
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Encodes one value column as `[width u8][base u64][deltas…]`.
+///
+/// The base is the first value verbatim; the remaining `n-1` entries
+/// are zigzag-folded *wrapping* deltas narrowed to the smallest of
+/// {1, 2, 4} bytes that holds every fold. When even 4 bytes do not fit
+/// the column falls back to width 8: raw values (no deltas), which the
+/// SIMD bulk copy decodes — so the worst case costs what v1 cost.
+/// Wrapping arithmetic makes the round trip exact for every `u64`
+/// input, including columns that wrap past zero.
+fn encode_column(values: &[u64], out: &mut Vec<u8>) {
+    let Some((&base, rest)) = values.split_first() else {
+        return; // empty column: nsamples == 0 says it all
+    };
+    let mut max_fold = 0u64;
+    let mut prev = base;
+    for &v in rest {
+        max_fold = max_fold.max(zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+    let width: u8 = match max_fold {
+        0..=0xFF => 1,
+        0x100..=0xFFFF => 2,
+        0x1_0000..=0xFFFF_FFFF => 4,
+        _ => 8,
+    };
+    out.push(width);
+    push_u64(out, base);
+    let mut prev = base;
+    for &v in rest {
+        let fold = zigzag(v.wrapping_sub(prev) as i64);
+        match width {
+            1 => out.push(fold as u8),
+            2 => push_u16(out, fold as u16),
+            4 => push_u32(out, fold as u32),
+            _ => push_u64(out, v),
+        }
+        prev = v;
+    }
+}
+
+/// Walks an `n`-entry column written by [`encode_column`], writing each
+/// decoded value into the matching `out` slot via `set`. Decoding in
+/// place lets [`decode_interval_v2`] fill the final `PcSample` vector
+/// directly — no intermediate per-column `Vec<u64>` on the hot path.
+fn decode_column_into<T>(
+    cur: &mut Cursor<'_>,
+    out: &mut [T],
+    mut set: impl FnMut(&mut T, u64),
+) -> Result<(), WireError> {
+    let Some((first, rest)) = out.split_first_mut() else {
+        return Ok(());
+    };
+    let width = cur.u8()?;
+    let base = cur.u64()?;
+    let payload = match width {
+        1 | 2 | 4 | 8 => rest.len().saturating_mul(width as usize),
+        _ => return Err(WireError::Malformed("bad column width")),
+    };
+    // Refuse counts the payload cannot hold before allocating.
+    if payload > cur.bytes.len() - cur.pos {
+        return Err(WireError::Malformed("sample count exceeds payload"));
+    }
+    let bytes = cur.take(payload)?;
+    set(first, base);
+    let mut prev = base;
+    match width {
+        1 => {
+            for (slot, &b) in rest.iter_mut().zip(bytes) {
+                prev = prev.wrapping_add(unzigzag(u64::from(b)) as u64);
+                set(slot, prev);
+            }
+        }
+        2 => {
+            for (slot, rec) in rest.iter_mut().zip(bytes.chunks_exact(2)) {
+                let fold = u64::from(u16::from_le_bytes(rec.try_into().expect("two bytes")));
+                prev = prev.wrapping_add(unzigzag(fold) as u64);
+                set(slot, prev);
+            }
+        }
+        4 => {
+            for (slot, rec) in rest.iter_mut().zip(bytes.chunks_exact(4)) {
+                let fold = u64::from(u32::from_le_bytes(rec.try_into().expect("four bytes")));
+                prev = prev.wrapping_add(unzigzag(fold) as u64);
+                set(slot, prev);
+            }
+        }
+        _ => {
+            // Raw values: a straight bulk copy, no delta chain to walk.
+            for (slot, v) in rest
+                .iter_mut()
+                .zip(bulk::decode_u64s(bytes, regmon_stats::simd::active()))
+            {
+                set(slot, v);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes an `n`-value column written by [`encode_column`].
+#[cfg(test)]
+fn decode_column(cur: &mut Cursor<'_>, n: usize) -> Result<Vec<u64>, WireError> {
+    let mut values = vec![0u64; n];
+    decode_column_into(cur, &mut values, |slot, v| *slot = v)?;
+    Ok(values)
+}
+
+/// Encodes one interval in the v2 delta-columnar layout.
+fn encode_interval_v2(interval: &Interval, out: &mut Vec<u8>) {
+    push_u64(out, interval.index as u64);
+    push_u64(out, interval.start_cycle);
+    push_u64(out, interval.end_cycle);
+    push_u32(out, interval.samples.len() as u32);
+    let addrs: Vec<u64> = interval.samples.iter().map(|s| s.addr.get()).collect();
+    let cycles: Vec<u64> = interval.samples.iter().map(|s| s.cycle).collect();
+    encode_column(&addrs, out);
+    encode_column(&cycles, out);
+}
+
+/// Decodes a v2 interval into the exact [`Interval`] v1 would carry.
+fn decode_interval_v2(cur: &mut Cursor<'_>) -> Result<Interval, WireError> {
+    let index = cur.usize_field()?;
+    let start_cycle = cur.u64()?;
+    let end_cycle = cur.u64()?;
+    let nsamples = cur.u32()? as usize;
+    // Each non-base sample costs at least one delta byte per column;
+    // refuse counts the payload cannot hold before allocating.
+    if nsamples > 0 && nsamples - 1 > cur.bytes.len() - cur.pos {
+        return Err(WireError::Malformed("sample count exceeds payload"));
+    }
+    let mut samples = vec![
+        regmon_sampling::PcSample {
+            addr: regmon_binary::Addr::new(0),
+            cycle: 0,
+        };
+        nsamples
+    ];
+    decode_column_into(cur, &mut samples, |s, v| {
+        s.addr = regmon_binary::Addr::new(v)
+    })?;
+    decode_column_into(cur, &mut samples, |s, v| s.cycle = v)?;
+    Ok(Interval {
+        index,
+        start_cycle,
+        end_cycle,
+        samples,
+    })
+}
+
 /// Bulk sample decode: the Batch payload hot path.
 ///
 /// An encoded sample is `[addr: u64 LE][cycle: u64 LE]` — sixteen bytes.
@@ -507,6 +740,30 @@ pub(crate) mod bulk {
         samples
     }
 
+    /// Decodes a bounds-prevalidated run of `u64 LE` values (a width-8
+    /// wire-v2 column). `bytes.len()` must be a multiple of 8.
+    pub(crate) fn decode_u64s(bytes: &[u8], level: SimdLevel) -> Vec<u64> {
+        debug_assert_eq!(bytes.len() % 8, 0);
+        let n = bytes.len() / 8;
+        #[cfg(target_arch = "x86_64")]
+        if level >= SimdLevel::Sse2 {
+            if let Some(values) = x86::decode_u64s(bytes, n, level) {
+                return values;
+            }
+        }
+        let _ = level;
+        decode_u64s_scalar(bytes, n)
+    }
+
+    /// The portable `u64` column loop — the oracle for the SIMD path.
+    pub(crate) fn decode_u64s_scalar(bytes: &[u8], n: usize) -> Vec<u64> {
+        let mut values = Vec::with_capacity(n);
+        for rec in bytes.chunks_exact(8) {
+            values.push(u64::from_le_bytes(rec.try_into().expect("eight bytes")));
+        }
+        values
+    }
+
     /// The x86-64 fast path: a vector copy straight into the sample
     /// buffer. x86-64 is always little-endian, so the wire layout and
     /// the `repr(C)` in-memory layout coincide.
@@ -546,6 +803,39 @@ pub(crate) mod bulk {
                 samples.set_len(n);
             }
             Some(samples)
+        }
+
+        /// Decodes `n` `u64 LE` values with vector copies over the
+        /// 16-byte-aligned run and one scalar tail word, or `None`
+        /// when the requested level has no vector path here.
+        pub(super) fn decode_u64s(bytes: &[u8], n: usize, level: SimdLevel) -> Option<Vec<u64>> {
+            if level < SimdLevel::Sse2 || !level.is_supported() {
+                return None;
+            }
+            debug_assert_eq!(bytes.len(), n * 8);
+            let vec_len = bytes.len() & !15; // multiple-of-16 prefix
+            let mut values: Vec<u64> = Vec::with_capacity(n);
+            // SAFETY: `u64` is 8 bytes with every bit pattern valid and
+            // x86-64 is little-endian, so the encoded bytes *are* valid
+            // `u64` values. The destination has capacity for `n` words
+            // (`n * 8` bytes); the vector copy writes the first
+            // `vec_len` bytes, the scalar write covers the one possible
+            // trailing word, and only then does `set_len(n)` publish.
+            unsafe {
+                let dst = values.as_mut_ptr().cast::<u8>();
+                if level >= SimdLevel::Avx2 {
+                    copy_avx2(bytes.as_ptr(), dst, vec_len);
+                } else {
+                    copy_sse2(bytes.as_ptr(), dst, vec_len);
+                }
+                if vec_len < bytes.len() {
+                    let word =
+                        u64::from_le_bytes(bytes[vec_len..].try_into().expect("eight bytes"));
+                    values.as_mut_ptr().add(vec_len / 8).write(word);
+                }
+                values.set_len(n);
+            }
+            Some(values)
         }
 
         /// # Safety
@@ -599,6 +889,8 @@ impl Frame {
             Self::Admit(_) => TYPE_ADMIT,
             Self::Batch { .. } => TYPE_BATCH,
             Self::Finish { .. } => TYPE_FINISH,
+            Self::Snapshot(_) => TYPE_SNAPSHOT,
+            Self::Checkpoint { .. } => TYPE_CHECKPOINT,
         }
     }
 
@@ -623,18 +915,49 @@ impl Frame {
                 }
             }
             Self::Finish { tenant } => push_u32(out, *tenant),
+            Self::Snapshot(snap) => {
+                push_u32(out, snap.tenant);
+                push_str(out, &snap.name);
+                push_str(out, &snap.workload);
+                push_u64(out, snap.max_intervals);
+                push_u32(out, snap.snapshot.len() as u32);
+                out.extend_from_slice(&snap.snapshot);
+            }
+            Self::Checkpoint { tenant } => push_u32(out, *tenant),
         }
     }
 
-    fn decode(frame_type: u8, payload: &[u8]) -> Result<Self, WireError> {
+    /// Encodes the Batch payload in the v2 delta-columnar layout
+    /// (`TYPE_BATCH2`).
+    fn encode_payload_batch2(tenant: u32, intervals: &[Interval], out: &mut Vec<u8>) {
+        push_u32(out, tenant);
+        push_u32(out, intervals.len() as u32);
+        for interval in intervals {
+            encode_interval_v2(interval, out);
+        }
+    }
+
+    fn decode(frame_type: u8, payload: &[u8], max_version: u16) -> Result<Self, WireError> {
+        if matches!(
+            frame_type,
+            TYPE_BATCH2 | TYPE_COMPRESSED | TYPE_SNAPSHOT | TYPE_CHECKPOINT
+        ) && max_version < 2
+        {
+            // Wire-v2 frames on a settled-v1 connection are as foreign
+            // as any unassigned type byte.
+            return Err(WireError::UnknownFrameType(frame_type));
+        }
         let mut cur = Cursor::new(payload);
         let frame = match frame_type {
             TYPE_HELLO => {
                 if cur.take(4)? != WIRE_MAGIC {
                     return Err(WireError::BadMagic);
                 }
+                // The offer is checked against what this *build* can
+                // speak, not the connection's settled cap: negotiation
+                // (picking min(offer, own)) happens above the codec.
                 let version = cur.u16()?;
-                if version != WIRE_VERSION {
+                if !(WIRE_VERSION_MIN..=WIRE_VERSION).contains(&version) {
                     return Err(WireError::BadVersion { got: version });
                 }
                 Self::Hello { version }
@@ -663,6 +986,49 @@ impl Frame {
                 Self::Batch { tenant, intervals }
             }
             TYPE_FINISH => Self::Finish { tenant: cur.u32()? },
+            TYPE_BATCH2 => {
+                let tenant = cur.u32()?;
+                let count = cur.u32()? as usize;
+                let mut intervals = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    intervals.push(decode_interval_v2(&mut cur)?);
+                }
+                // Same variant as v1: downstream consumers never see
+                // which representation travelled.
+                Self::Batch { tenant, intervals }
+            }
+            TYPE_COMPRESSED => {
+                let inner_type = cur.u8()?;
+                if inner_type == TYPE_COMPRESSED {
+                    return Err(WireError::Malformed("nested compressed frame"));
+                }
+                let uncompressed_len = cur.u32()?;
+                if uncompressed_len > MAX_FRAME_LEN {
+                    return Err(WireError::FrameTooLarge(uncompressed_len));
+                }
+                let packed = cur.take(cur.bytes.len() - cur.pos)?;
+                let payload = compress::decompress(packed, uncompressed_len as usize)?;
+                return Self::decode(inner_type, &payload, max_version);
+            }
+            TYPE_SNAPSHOT => {
+                let tenant = cur.u32()?;
+                let name = cur.string()?;
+                let workload = cur.string()?;
+                let max_intervals = cur.u64()?;
+                let len = cur.u32()? as usize;
+                let snapshot = cur.take(len)?.to_vec();
+                // Validate the embedded RGSN blob eagerly: a corrupt
+                // snapshot must fail at the wire, not at admit time.
+                crate::snapshot::decode_snapshot(&snapshot)?;
+                Self::Snapshot(Box::new(SnapshotFrame {
+                    tenant,
+                    name,
+                    workload,
+                    max_intervals,
+                    snapshot,
+                }))
+            }
+            TYPE_CHECKPOINT => Self::Checkpoint { tenant: cur.u32()? },
             other => return Err(WireError::UnknownFrameType(other)),
         };
         cur.finish()?;
@@ -670,16 +1036,103 @@ impl Frame {
     }
 
     /// Serializes the frame into its full wire representation
-    /// (header + checksum + body).
+    /// (header + checksum + body), in the v1 dialect for frames v1 can
+    /// express. `Snapshot`/`Checkpoint` have no v1 spelling and encode
+    /// as their v2 types. Byte-identical to what this crate has always
+    /// emitted for Hello/Admit/Batch/Finish.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut body = vec![self.type_byte()];
         self.encode_payload(&mut body);
-        let mut out = Vec::with_capacity(8 + body.len());
-        push_u32(&mut out, body.len() as u32);
-        push_u32(&mut out, crc32(&body));
-        out.extend_from_slice(&body);
-        out
+        seal_frame(body)
+    }
+}
+
+/// Wraps a complete frame body (type byte + payload) in the length +
+/// checksum envelope.
+fn seal_frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + body.len());
+    push_u32(&mut out, body.len() as u32);
+    push_u32(&mut out, crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+/// A settled wire dialect: which protocol version frames are encoded
+/// in, and whether v2 payloads are LZ-compressed. Decoding does not
+/// need one — the frame type byte says it all — so the dialect is an
+/// encoder concern only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireDialect {
+    /// Protocol version to encode (1 or 2).
+    pub version: u16,
+    /// Whether to LZ-compress v2 batch/snapshot payloads (kept only
+    /// when it actually shrinks the frame). Ignored at version 1.
+    pub compress: bool,
+}
+
+impl Default for WireDialect {
+    fn default() -> Self {
+        Self::V1
+    }
+}
+
+impl WireDialect {
+    /// The v1 dialect: exactly the bytes this crate emitted before v2
+    /// existed.
+    pub const V1: Self = Self {
+        version: 1,
+        compress: false,
+    };
+
+    /// The v2 dialect.
+    #[must_use]
+    pub fn v2(compress: bool) -> Self {
+        Self {
+            version: 2,
+            compress,
+        }
+    }
+
+    /// The dialect settled between an offered and a supported version.
+    #[must_use]
+    pub fn settle(offer: u16, own: u16, compress: bool) -> Self {
+        let version = offer.min(own);
+        Self {
+            version,
+            compress: compress && version >= 2,
+        }
+    }
+
+    /// Serializes `frame` in this dialect (header + checksum + body).
+    #[must_use]
+    pub fn encode_frame(&self, frame: &Frame) -> Vec<u8> {
+        if self.version < 2 {
+            return frame.encode();
+        }
+        let mut body = match frame {
+            Frame::Batch { tenant, intervals } => {
+                let mut body = vec![TYPE_BATCH2];
+                Frame::encode_payload_batch2(*tenant, intervals, &mut body);
+                body
+            }
+            _ => {
+                let mut body = vec![frame.type_byte()];
+                frame.encode_payload(&mut body);
+                body
+            }
+        };
+        if self.compress && matches!(body[0], TYPE_BATCH2 | TYPE_SNAPSHOT) {
+            if let Some(packed) = compress::compress_if_smaller(&body[1..]) {
+                let mut wrapped = vec![TYPE_COMPRESSED, body[0]];
+                push_u32(&mut wrapped, (body.len() - 1) as u32);
+                wrapped.extend_from_slice(&packed);
+                if wrapped.len() < body.len() {
+                    body = wrapped;
+                }
+            }
+        }
+        seal_frame(body)
     }
 }
 
@@ -706,20 +1159,31 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, WireError> {
 }
 
 /// A frame decoder over a byte stream that also tracks how many wire
-/// bytes it has consumed (for ingestion telemetry).
+/// bytes it has consumed (for ingestion telemetry) and which frame it
+/// is in (for truncation reports).
 #[derive(Debug)]
 pub struct FrameReader<R> {
     inner: R,
     bytes_read: u64,
+    frames_read: u64,
+    max_version: u16,
 }
 
 impl<R: Read> FrameReader<R> {
-    /// Wraps a transport.
+    /// Wraps a transport, accepting every frame this build can decode.
     pub fn new(inner: R) -> Self {
         Self {
             inner,
             bytes_read: 0,
+            frames_read: 0,
+            max_version: WIRE_VERSION,
         }
+    }
+
+    /// Caps the frames this reader accepts at `version` (a settled-v1
+    /// connection rejects v2 frame types as unknown).
+    pub fn set_max_version(&mut self, version: u16) {
+        self.max_version = version;
     }
 
     /// Total wire bytes consumed so far (headers included).
@@ -728,16 +1192,43 @@ impl<R: Read> FrameReader<R> {
         self.bytes_read
     }
 
+    /// Frames fully decoded so far.
+    #[must_use]
+    pub fn frames_read(&self) -> u64 {
+        self.frames_read
+    }
+
+    /// The [`WireError::Truncated`] naming the frame currently being
+    /// read: it starts at `start` and is frame number `frames_read`.
+    fn truncated_at(&self, start: u64) -> WireError {
+        WireError::Truncated {
+            offset: start,
+            frame: self.frames_read,
+        }
+    }
+
+    /// Reads exactly `buf`, mapping EOF to a positioned truncation.
+    fn read_exact_at(&mut self, start: u64, buf: &mut [u8]) -> Result<(), WireError> {
+        match read_exact_or_eof(&mut self.inner, buf)? {
+            ReadOutcome::Full => {
+                self.bytes_read += buf.len() as u64;
+                Ok(())
+            }
+            ReadOutcome::Partial | ReadOutcome::CleanEof => Err(self.truncated_at(start)),
+        }
+    }
+
     /// Reads the next frame; `Ok(None)` on clean end-of-stream.
     ///
     /// # Errors
     ///
     /// Any [`WireError`]; see [`read_frame`].
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let start = self.bytes_read;
         let mut len_buf = [0u8; 4];
         match read_exact_or_eof(&mut self.inner, &mut len_buf)? {
             ReadOutcome::CleanEof => return Ok(None),
-            ReadOutcome::Partial => return Err(WireError::Truncated),
+            ReadOutcome::Partial => return Err(self.truncated_at(start)),
             ReadOutcome::Full => {}
         }
         self.bytes_read += 4;
@@ -749,20 +1240,143 @@ impl<R: Read> FrameReader<R> {
             return Err(WireError::Malformed("zero-length frame"));
         }
         let mut crc_buf = [0u8; 4];
-        self.inner.read_exact(&mut crc_buf)?;
-        self.bytes_read += 4;
+        self.read_exact_at(start, &mut crc_buf)?;
         let want = u32::from_le_bytes(crc_buf);
         let mut body = vec![0u8; len as usize];
-        self.inner.read_exact(&mut body)?;
-        self.bytes_read += u64::from(len);
+        self.read_exact_at(start, &mut body)?;
         let mut crc = Crc32::new();
         crc.update(&body);
         let got = crc.finish();
         if got != want {
             return Err(WireError::BadCrc { want, got });
         }
-        let frame = Frame::decode(body[0], &body[1..])?;
+        let frame = Frame::decode(body[0], &body[1..], self.max_version)?;
+        self.frames_read += 1;
         Ok(Some(frame))
+    }
+}
+
+/// An incremental (push-fed) frame parser for nonblocking transports:
+/// the event loop feeds whatever bytes `read(2)` produced and drains
+/// the complete frames, with the same validation and accounting as
+/// [`FrameReader`].
+#[derive(Debug, Default)]
+pub struct FrameParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames (compacted
+    /// away lazily so feeding is amortized O(1)).
+    pos: usize,
+    /// Stream offset of `buf[pos]`.
+    offset: u64,
+    frames_read: u64,
+    v2_frames: u64,
+    compressed_frames: u64,
+    max_version: u16,
+}
+
+impl FrameParser {
+    /// A parser accepting every frame this build can decode.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            max_version: WIRE_VERSION,
+            ..Self::default()
+        }
+    }
+
+    /// Caps the frames this parser accepts at `version`.
+    pub fn set_max_version(&mut self, version: u16) {
+        self.max_version = version;
+    }
+
+    /// Appends transport bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Frames fully decoded so far.
+    #[must_use]
+    pub fn frames_read(&self) -> u64 {
+        self.frames_read
+    }
+
+    /// Wire-v2 frames (new frame types) decoded so far.
+    #[must_use]
+    pub fn v2_frames(&self) -> u64 {
+        self.v2_frames
+    }
+
+    /// Compression-wrapped frames decoded so far.
+    #[must_use]
+    pub fn compressed_frames(&self) -> u64 {
+        self.compressed_frames
+    }
+
+    /// Decodes the next complete frame out of the buffer; `Ok(None)`
+    /// means more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] except `Truncated` (only [`FrameParser::finish_eof`]
+    /// can know the stream ended).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("four bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        if len == 0 {
+            return Err(WireError::Malformed("zero-length frame"));
+        }
+        let total = 8 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let want = u32::from_le_bytes(avail[4..8].try_into().expect("four bytes"));
+        let body = &avail[8..total];
+        let mut crc = Crc32::new();
+        crc.update(body);
+        let got = crc.finish();
+        if got != want {
+            return Err(WireError::BadCrc { want, got });
+        }
+        let frame = Frame::decode(body[0], &body[1..], self.max_version)?;
+        match body[0] {
+            TYPE_COMPRESSED => {
+                self.v2_frames += 1;
+                self.compressed_frames += 1;
+            }
+            TYPE_BATCH2 | TYPE_SNAPSHOT | TYPE_CHECKPOINT => self.v2_frames += 1,
+            _ => {}
+        }
+        self.pos += total;
+        self.offset += total as u64;
+        self.frames_read += 1;
+        Ok(Some(frame))
+    }
+
+    /// Declares end-of-stream: any buffered partial frame is a
+    /// positioned truncation.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] naming the frame the stream died inside.
+    pub fn finish_eof(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Truncated {
+                offset: self.offset,
+                frame: self.frames_read,
+            })
+        }
     }
 }
 
@@ -892,7 +1506,43 @@ mod tests {
         let bytes = Frame::hello().encode();
         for cut in 1..bytes.len() {
             let err = read_frame(&mut &bytes[..cut]).unwrap_err();
-            assert!(matches!(err, WireError::Truncated), "cut {cut}: {err}");
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated {
+                        offset: 0,
+                        frame: 0
+                    }
+                ),
+                "cut {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_reports_the_offset_and_index_of_the_torn_frame() {
+        // Two whole frames, then a torn third: the error must name
+        // frame 2 and the byte offset where it starts.
+        let frames = sample_frames();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&frames[0].encode());
+        bytes.extend_from_slice(&frames[1].encode());
+        let boundary = bytes.len() as u64;
+        let torn = frames[2].encode();
+        for cut in 1..torn.len() {
+            let mut stream = bytes.clone();
+            stream.extend_from_slice(&torn[..cut]);
+            let mut reader = FrameReader::new(stream.as_slice());
+            assert!(reader.next_frame().unwrap().is_some());
+            assert!(reader.next_frame().unwrap().is_some());
+            let err = reader.next_frame().unwrap_err();
+            match err {
+                WireError::Truncated { offset, frame } => {
+                    assert_eq!(offset, boundary, "cut {cut}");
+                    assert_eq!(frame, 2, "cut {cut}");
+                }
+                other => panic!("cut {cut}: expected Truncated, got {other}"),
+            }
         }
     }
 
@@ -1017,5 +1667,272 @@ mod tests {
             assert_eq!(decoded, baseline, "{}", level.label());
         }
         regmon_stats::simd::force(before);
+    }
+
+    // ------------------------------------------------- wire-v2 tests
+
+    /// A batch whose columns exercise every delta width: tight local
+    /// strides (1), page-sized hops (2), far jumps (4) and wrap-around
+    /// chaos (8).
+    fn stress_batch(n: usize) -> Frame {
+        let samples: Vec<PcSample> = (0..n as u64)
+            .map(|i| PcSample {
+                addr: match i % 4 {
+                    0 => Addr::new(0x4000_0000 + i * 4),
+                    1 => Addr::new(0x4000_0000 + i * 0x1000),
+                    2 => Addr::new(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    _ => Addr::new(u64::MAX - i),
+                },
+                cycle: i.wrapping_mul(45_000) ^ (i << 56),
+            })
+            .collect();
+        Frame::Batch {
+            tenant: 7,
+            intervals: vec![Interval {
+                index: 3,
+                start_cycle: 1,
+                end_cycle: u64::MAX - 2,
+                samples,
+            }],
+        }
+    }
+
+    #[test]
+    fn batch2_roundtrips_bit_identically_for_every_remainder_shape() {
+        // Every sample count 0..=64 must survive the delta-columnar
+        // round trip exactly — including the width-8 SIMD column tail.
+        for n in 0..=64usize {
+            let frame = stress_batch(n);
+            let bytes = WireDialect::v2(false).encode_frame(&frame);
+            let decoded = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+            assert_eq!(decoded, frame, "n {n}");
+        }
+    }
+
+    #[test]
+    fn batch2_roundtrip_is_identical_at_every_simd_level() {
+        let frame = stress_batch(64);
+        for compress in [false, true] {
+            let bytes = WireDialect::v2(compress).encode_frame(&frame);
+            let before = regmon_stats::simd::active();
+            for level in SimdLevel::ALL {
+                if regmon_stats::simd::force(level) != level {
+                    continue;
+                }
+                let decoded = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+                assert_eq!(decoded, frame, "{} compress {compress}", level.label());
+            }
+            regmon_stats::simd::force(before);
+        }
+    }
+
+    #[test]
+    fn every_column_width_is_chosen_and_roundtrips() {
+        // Constant stride 4 → width 1; stride 300 → 2; stride 100k → 4;
+        // pseudorandom → 8. Each must decode back exactly.
+        for (stride, want_width) in [(4u64, 1u8), (300, 2), (100_000, 4)] {
+            let values: Vec<u64> = (0..50).map(|i| 0x4000_0000 + i * stride).collect();
+            let mut out = Vec::new();
+            encode_column(&values, &mut out);
+            assert_eq!(out[0], want_width, "stride {stride}");
+            let mut cur = Cursor::new(&out);
+            assert_eq!(decode_column(&mut cur, values.len()).unwrap(), values);
+            cur.finish().unwrap();
+        }
+        let values: Vec<u64> = (0..50u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut out = Vec::new();
+        encode_column(&values, &mut out);
+        assert_eq!(out[0], 8);
+        let mut cur = Cursor::new(&out);
+        assert_eq!(decode_column(&mut cur, values.len()).unwrap(), values);
+    }
+
+    #[test]
+    fn columns_wrap_around_u64_space_exactly() {
+        let values = vec![u64::MAX - 1, u64::MAX, 0, 1, u64::MAX, 3];
+        let mut out = Vec::new();
+        encode_column(&values, &mut out);
+        let mut cur = Cursor::new(&out);
+        assert_eq!(decode_column(&mut cur, values.len()).unwrap(), values);
+        cur.finish().unwrap();
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_at_the_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, 12345, -12345] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn v2_batches_are_much_smaller_on_local_streams() {
+        // The bench-shaped payload (constant strides) must shrink
+        // enough to carry the ≥2x ingest win: v1 spends 16 bytes per
+        // sample, v2 about 2.
+        let samples: Vec<PcSample> = (0..2048u64)
+            .map(|i| PcSample {
+                addr: Addr::new(0x4000_0000 + i * 4),
+                cycle: 45_000 + i,
+            })
+            .collect();
+        let frame = Frame::Batch {
+            tenant: 0,
+            intervals: vec![Interval {
+                index: 0,
+                start_cycle: 0,
+                end_cycle: 90_000,
+                samples,
+            }],
+        };
+        let v1 = frame.encode();
+        let v2 = WireDialect::v2(false).encode_frame(&frame);
+        assert!(v2.len() * 4 < v1.len(), "v1 {} v2 {}", v1.len(), v2.len());
+    }
+
+    #[test]
+    fn compressed_frames_roundtrip_and_shrink() {
+        let frame = Frame::Batch {
+            tenant: 1,
+            intervals: vec![Interval {
+                index: 0,
+                start_cycle: 0,
+                end_cycle: 1000,
+                samples: (0..512u64)
+                    .map(|i| PcSample {
+                        addr: Addr::new(0x4000_0000 + (i % 8) * 16),
+                        cycle: i,
+                    })
+                    .collect(),
+            }],
+        };
+        let plain = WireDialect::v2(false).encode_frame(&frame);
+        let packed = WireDialect::v2(true).encode_frame(&frame);
+        assert!(
+            packed.len() < plain.len(),
+            "{} vs {}",
+            packed.len(),
+            plain.len()
+        );
+        let decoded = read_frame(&mut packed.as_slice()).unwrap().unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn v1_dialect_is_byte_identical_to_plain_encode() {
+        for frame in sample_frames() {
+            assert_eq!(WireDialect::V1.encode_frame(&frame), frame.encode());
+        }
+    }
+
+    #[test]
+    fn v2_frame_types_are_unknown_on_a_settled_v1_connection() {
+        let frames = [
+            WireDialect::v2(false).encode_frame(&stress_batch(8)),
+            Frame::Checkpoint { tenant: 0 }.encode(),
+        ];
+        for bytes in frames {
+            let mut reader = FrameReader::new(bytes.as_slice());
+            reader.set_max_version(1);
+            let err = reader.next_frame().unwrap_err();
+            assert!(matches!(err, WireError::UnknownFrameType(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn hello_accepts_both_supported_versions() {
+        for version in [1u16, 2] {
+            let bytes = Frame::Hello { version }.encode();
+            let frame = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+            assert_eq!(frame, Frame::Hello { version });
+        }
+    }
+
+    #[test]
+    fn dialect_settles_on_the_minimum() {
+        assert_eq!(WireDialect::settle(2, 2, false), WireDialect::v2(false));
+        assert_eq!(WireDialect::settle(2, 2, true), WireDialect::v2(true));
+        assert_eq!(WireDialect::settle(2, 1, true), WireDialect::V1);
+        assert_eq!(WireDialect::settle(1, 2, true), WireDialect::V1);
+    }
+
+    #[test]
+    fn checkpoint_frame_roundtrips() {
+        let frame = Frame::Checkpoint { tenant: 42 };
+        let bytes = frame.encode();
+        assert_eq!(read_frame(&mut bytes.as_slice()).unwrap().unwrap(), frame);
+    }
+
+    #[test]
+    fn frame_parser_matches_frame_reader_at_every_chunk_size() {
+        let mut stream = Vec::new();
+        for frame in sample_frames() {
+            stream.extend_from_slice(&WireDialect::v2(true).encode_frame(&frame));
+        }
+        let mut reader = FrameReader::new(stream.as_slice());
+        let mut want = Vec::new();
+        while let Some(frame) = reader.next_frame().unwrap() {
+            want.push(frame);
+        }
+        for chunk in [1usize, 3, 7, 64, stream.len()] {
+            let mut parser = FrameParser::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                parser.feed(piece);
+                while let Some(frame) = parser.next_frame().unwrap() {
+                    got.push(frame);
+                }
+            }
+            parser.finish_eof().unwrap();
+            assert_eq!(got, want, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn frame_parser_reports_truncation_position_at_eof() {
+        let whole = Frame::hello().encode();
+        let torn = sample_frames()[1].encode();
+        let mut parser = FrameParser::new();
+        parser.feed(&whole);
+        parser.feed(&torn[..torn.len() - 1]);
+        assert!(parser.next_frame().unwrap().is_some());
+        assert!(parser.next_frame().unwrap().is_none());
+        let err = parser.finish_eof().unwrap_err();
+        match err {
+            WireError::Truncated { offset, frame } => {
+                assert_eq!(offset, whole.len() as u64);
+                assert_eq!(frame, 1);
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_frame_roundtrips_and_rejects_corrupt_blobs() {
+        let session = regmon::MonitoringSession::new(sample_config());
+        let blob = crate::snapshot::encode_snapshot(&session.snapshot());
+        let frame = Frame::Snapshot(Box::new(SnapshotFrame {
+            tenant: 5,
+            name: "mcf#5".into(),
+            workload: "181.mcf".into(),
+            max_intervals: 64,
+            snapshot: blob.clone(),
+        }));
+        let bytes = frame.encode();
+        assert_eq!(read_frame(&mut bytes.as_slice()).unwrap().unwrap(), frame);
+
+        let mut corrupt = blob;
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        let bad = Frame::Snapshot(Box::new(SnapshotFrame {
+            tenant: 5,
+            name: "mcf#5".into(),
+            workload: "181.mcf".into(),
+            max_intervals: 64,
+            snapshot: corrupt,
+        }))
+        .encode();
+        assert!(read_frame(&mut bad.as_slice()).is_err());
     }
 }

@@ -214,6 +214,31 @@ pub static SNAPSHOT_RESTORES: Counter = Counter::new(
     "Session snapshots deserialized and resumed",
 );
 
+/// Wire-v2 frames (delta-columnar batches, compressed wrappers,
+/// migration frames) decoded successfully.
+pub static WIRE_V2_FRAMES: Counter = Counter::new(
+    "regmon_wire_v2_frames_total",
+    "Wire-v2 frames decoded successfully by the serve layer",
+);
+
+/// Compressed wire frames decoded successfully.
+pub static WIRE_COMPRESSED_FRAMES: Counter = Counter::new(
+    "regmon_wire_compressed_frames_total",
+    "LZ-compressed wire frames decoded successfully by the serve layer",
+);
+
+/// Readiness wake-ups taken by serve event-loop workers.
+pub static SERVE_EVENT_WAKEUPS: Counter = Counter::new(
+    "regmon_serve_event_wakeups_total",
+    "poll(2) wake-ups taken by serve event-loop workers",
+);
+
+/// Tenants migrated out of a serve process over the wire.
+pub static SERVE_MIGRATIONS: Counter = Counter::new(
+    "regmon_serve_migrations_total",
+    "Tenant sessions checked out of a serve process over the wire",
+);
+
 /// Wire sessions currently admitted and not yet finished.
 pub static SERVE_SESSIONS: Gauge = Gauge::new(
     "regmon_serve_sessions",
@@ -227,7 +252,7 @@ pub static SERVE_FRAME_LAG: Histogram = Histogram::new(
     "Interval-index gap between consecutive frames of one wire tenant",
 );
 
-static COUNTERS: [&Counter; 27] = [
+static COUNTERS: [&Counter; 31] = [
     &QUEUE_PUSHED,
     &QUEUE_POPPED,
     &QUEUE_DROPPED,
@@ -255,6 +280,10 @@ static COUNTERS: [&Counter; 27] = [
     &SERVE_RECEIVED_BYTES,
     &SNAPSHOT_SAVES,
     &SNAPSHOT_RESTORES,
+    &WIRE_V2_FRAMES,
+    &WIRE_COMPRESSED_FRAMES,
+    &SERVE_EVENT_WAKEUPS,
+    &SERVE_MIGRATIONS,
 ];
 
 static GAUGES: [&Gauge; 4] = [

@@ -30,6 +30,7 @@ fn main() {
         shards: 2,
         queue_depth: 64,
         expect_sessions: 1,
+        ..ServeOptions::default()
     }));
     let ingest = {
         let server = Arc::clone(&server);

@@ -100,6 +100,45 @@ if [[ "$run_json" != "$(cat "$serve_dir/served.json")" ]]; then
   echo "FAIL: served --json differed from the recorded run --json" >&2
   exit 1
 fi
+
+step "serve smoke (wire-v2 + compression, negotiated)"
+cargo run -q --release -p regmon-cli -- serve --unix "$serve_dir/regmon.sock" --expect-sessions 1 --json >"$serve_dir/served_v2.json" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do [[ -S "$serve_dir/regmon.sock" ]] && break; sleep 0.1; done
+cargo run -q --release -p regmon-cli -- send "$serve_dir/session.rgj" --unix "$serve_dir/regmon.sock" --wire-version 2 --compress 2>/dev/null
+wait "$serve_pid"
+if [[ "$run_json" != "$(cat "$serve_dir/served_v2.json")" ]]; then
+  echo "FAIL: wire-v2 served --json differed from the recorded run --json" >&2
+  exit 1
+fi
+
+step "serve smoke (event-loop serve mode)"
+cargo run -q --release -p regmon-cli -- serve --unix "$serve_dir/regmon.sock" --expect-sessions 1 --serve-loop events --json >"$serve_dir/served_ev.json" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do [[ -S "$serve_dir/regmon.sock" ]] && break; sleep 0.1; done
+cargo run -q --release -p regmon-cli -- send "$serve_dir/session.rgj" --unix "$serve_dir/regmon.sock" 2>/dev/null
+wait "$serve_pid"
+if [[ "$run_json" != "$(cat "$serve_dir/served_ev.json")" ]]; then
+  echo "FAIL: event-loop served --json differed from the recorded run --json" >&2
+  exit 1
+fi
+
+step "migrate round-trip (mid-session handoff between two live servers)"
+cargo run -q --release -p regmon-cli -- serve --unix "$serve_dir/a.sock" --expect-sessions 1 --json >"$serve_dir/migrate_a.json" 2>/dev/null &
+a_pid=$!
+cargo run -q --release -p regmon-cli -- serve --unix "$serve_dir/b.sock" --expect-sessions 1 --json >"$serve_dir/migrate_b.json" 2>/dev/null &
+b_pid=$!
+for _ in $(seq 1 100); do [[ -S "$serve_dir/a.sock" && -S "$serve_dir/b.sock" ]] && break; sleep 0.1; done
+cargo run -q --release -p regmon-cli -- migrate "$serve_dir/session.rgj" --at 12 --from "$serve_dir/a.sock" --to "$serve_dir/b.sock" 2>/dev/null
+wait "$a_pid" "$b_pid"
+if [[ -s "$serve_dir/migrate_a.json" ]]; then
+  echo "FAIL: the migrated-away server still reported the session on stdout" >&2
+  exit 1
+fi
+if [[ "$run_json" != "$(cat "$serve_dir/migrate_b.json")" ]]; then
+  echo "FAIL: migrated session --json differed from the recorded run --json" >&2
+  exit 1
+fi
 rm -rf "$serve_dir"
 
 step "serve demo example"

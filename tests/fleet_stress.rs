@@ -173,29 +173,41 @@ fn freerun_steal_rebalances_and_preserves_summaries() {
         .with_pacing(Pacing::Freerun)
         .with_batch(4)
         .with_steal(true);
-    let report = run_fleet(&config, &specs, &Schedule::new());
 
-    assert_eq!(report.aggregate.completed, 12);
-    assert_eq!(report.aggregate.dropped_intervals, 0, "Block never drops");
-    assert_eq!(
-        report.aggregate.intervals_produced, report.aggregate.intervals_processed,
-        "stealing must not lose or duplicate intervals"
-    );
-    assert!(
-        report.aggregate.tenants_migrated > 0,
-        "idle shard 1 must steal from the throttled shard 0 backlog"
-    );
-    for (i, expect) in reference.iter().enumerate() {
-        let summary = report.tenants[i]
-            .summary
-            .as_ref()
-            .expect("completed tenant has a summary");
+    // Whether a steal fires at all depends on the host scheduler: a
+    // starved run can drain shard 0 before shard 1 ever goes idle. The
+    // correctness invariants must hold on *every* run; the migration
+    // count only has to be demonstrated on one of a few attempts.
+    let mut stole = false;
+    for _ in 0..5 {
+        let report = run_fleet(&config, &specs, &Schedule::new());
+
+        assert_eq!(report.aggregate.completed, 12);
+        assert_eq!(report.aggregate.dropped_intervals, 0, "Block never drops");
         assert_eq!(
-            expect,
-            &format!("{summary:?}"),
-            "tenant {i} diverged under work stealing"
+            report.aggregate.intervals_produced, report.aggregate.intervals_processed,
+            "stealing must not lose or duplicate intervals"
         );
+        for (i, expect) in reference.iter().enumerate() {
+            let summary = report.tenants[i]
+                .summary
+                .as_ref()
+                .expect("completed tenant has a summary");
+            assert_eq!(
+                expect,
+                &format!("{summary:?}"),
+                "tenant {i} diverged under work stealing"
+            );
+        }
+        if report.aggregate.tenants_migrated > 0 {
+            stole = true;
+            break;
+        }
     }
+    assert!(
+        stole,
+        "idle shard 1 never stole from the throttled shard 0 backlog in 5 runs"
+    );
 }
 
 // ---------------------------------------------------------------------------

@@ -27,7 +27,7 @@ use regmon_sampling::Sampler;
 use regmon_serve::journal::JournalWriter;
 use regmon_serve::replay::{replay_stream, ReplayOptions};
 use regmon_serve::snapshot::{decode_snapshot, encode_snapshot};
-use regmon_serve::wire::{AdmitFrame, WireError};
+use regmon_serve::wire::{AdmitFrame, WireDialect, WireError};
 use regmon_workload::suite;
 
 const WORKLOADS: [&str; 3] = ["172.mgrid", "181.mcf", "254.gap"];
@@ -56,8 +56,20 @@ fn config_for(index: u8, similarity: u8, pruning: bool, period_sel: u8) -> Sessi
 
 /// A single-tenant wire stream with the given frame batching.
 fn journal_bytes(workload: &str, config: &SessionConfig, n: usize, chunk: usize) -> Vec<u8> {
+    journal_bytes_dialect(workload, config, n, chunk, WireDialect::V1)
+}
+
+/// Same stream, recorded through an explicit wire dialect (v1, v2, or
+/// v2 + compression).
+fn journal_bytes_dialect(
+    workload: &str,
+    config: &SessionConfig,
+    n: usize,
+    chunk: usize,
+    dialect: WireDialect,
+) -> Vec<u8> {
     let w = suite::by_name(workload).unwrap();
-    let mut journal = JournalWriter::new(Vec::new()).unwrap();
+    let mut journal = JournalWriter::with_dialect(Vec::new(), dialect).unwrap();
     journal
         .admit(AdmitFrame {
             tenant: 0,
@@ -215,6 +227,102 @@ proptest! {
         let result = replay_stream(&bytes[..cut], &ReplayOptions::default());
         prop_assert!(result.is_err(), "cut at {} accepted", cut);
     }
+
+    /// Wire-v2 streams (delta-encoded batches, optionally LZ-wrapped)
+    /// replay byte-identically to the v1 recording of the same session:
+    /// the dialect changes the bytes on the wire, never the result.
+    #[test]
+    fn v2_journal_replays_identically(
+        index in 0u8..3,
+        chunk in 1usize..6,
+        compress in prop::bool::ANY,
+        workload_sel in 0usize..3,
+    ) {
+        let config = config_for(index, 0, false, workload_sel as u8);
+        let workload = WORKLOADS[workload_sel];
+        let n = 14;
+        let w = suite::by_name(workload).unwrap();
+        let direct = MonitoringSession::run_limited(&w, &config, n);
+        let bytes =
+            journal_bytes_dialect(workload, &config, n, chunk, WireDialect::v2(compress));
+        let outcome = replay_stream(bytes.as_slice(), &ReplayOptions::default()).unwrap();
+        prop_assert_eq!(outcome.tenants.len(), 1);
+        prop_assert_eq!(
+            format!("{:?}", &outcome.tenants[0].summary),
+            format!("{direct:?}")
+        );
+    }
+
+    /// Any single corrupted byte of a wire-v2 journal — header, varint
+    /// delta column, or compressed body — is rejected, never decoded
+    /// into a different stream.
+    #[test]
+    fn corrupt_v2_journal_byte_is_rejected(
+        flip_bit in 0u32..8,
+        compress in prop::bool::ANY,
+        position in 0usize..10_000,
+    ) {
+        let config = config_for(1, 0, false, 0);
+        let mut bytes = journal_bytes_dialect(
+            "172.mgrid", &config, 6, 2, WireDialect::v2(compress));
+        let idx = position * (bytes.len() - 1) / 10_000;
+        bytes[idx] ^= 1 << flip_bit;
+        let result = replay_stream(bytes.as_slice(), &ReplayOptions::default());
+        prop_assert!(result.is_err(), "flip at {} accepted", idx);
+    }
+
+    /// Truncating a wire-v2 journal anywhere is rejected; a cut that
+    /// lands *inside* a frame reports [`WireError::Truncated`] carrying
+    /// the offset where that frame began and its zero-based index.
+    #[test]
+    fn truncated_v2_journal_is_rejected_with_position(
+        compress in prop::bool::ANY,
+        position in 0usize..10_000,
+    ) {
+        let config = config_for(0, 0, false, 0);
+        let bytes = journal_bytes_dialect(
+            "172.mgrid", &config, 4, 1, WireDialect::v2(compress));
+        let starts = frame_starts(&bytes);
+        let cut = 1 + position * (bytes.len() - 2) / 10_000;
+        let result = replay_stream(&bytes[..cut], &ReplayOptions::default());
+        prop_assert!(result.is_err(), "cut at {} accepted", cut);
+        let err = result.unwrap_err();
+        // Mid-frame cuts must name the interrupted frame exactly.
+        if !starts.contains(&cut) {
+            let (frame, offset) = starts
+                .iter()
+                .enumerate()
+                .take_while(|(_, start)| **start < cut)
+                .map(|(i, start)| (i as u64, *start as u64))
+                .last()
+                .expect("cut >= 1 lies past the first frame start");
+            prop_assert!(
+                matches!(
+                    err,
+                    regmon_serve::ServeError::Wire(WireError::Truncated {
+                        offset: o,
+                        frame: f,
+                    }) if o == offset && f == frame
+                ),
+                "cut at {} (inside frame {} at offset {}): got {}",
+                cut, frame, offset, err
+            );
+        }
+    }
+}
+
+/// Byte offsets where each wire frame begins (`[len][crc][type ...]`
+/// headers make the stream self-describing without decoding bodies).
+fn frame_starts(bytes: &[u8]) -> Vec<usize> {
+    let mut starts = Vec::new();
+    let mut pos = 0;
+    while pos + 8 <= bytes.len() {
+        starts.push(pos);
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 8 + len;
+    }
+    assert_eq!(pos, bytes.len(), "journal ends mid-frame");
+    starts
 }
 
 /// The whole out-of-process path — wire decode included — is invariant
