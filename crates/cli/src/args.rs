@@ -8,7 +8,15 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 5] = ["json", "interprocedural", "steal", "pin", "compress"];
+const BOOL_FLAGS: [&str; 7] = [
+    "json",
+    "interprocedural",
+    "steal",
+    "pin",
+    "compress",
+    "no-finish",
+    "resume",
+];
 
 /// Parses `argv` into positionals and options.
 ///

@@ -14,7 +14,7 @@ use regmon_fleet::{
 };
 use regmon_serve::replay::ReplayOptions;
 use regmon_serve::server::{ServeMode, ServeOptions, ServeReport};
-use regmon_serve::wire::{Frame, WireDialect};
+use regmon_serve::wire::Frame;
 use regmon_stats::{simd, SimdLevel};
 
 use crate::args::{parse, Parsed};
@@ -44,11 +44,16 @@ USAGE:
   regmon serve (--unix PATH | --tcp ADDR) [--shards N] [--queue-depth N]
                [--expect-sessions N] [--serve-loop threads|events]
                [--event-workers N] [--wire-version 1|2|auto]
+               [--durable DIR | --recover DIR] [--checkpoint-every N]
+               [--fsync always|checkpoint|never] [--idle-timeout-ms N]
+               [--max-conns N] [--drain-deadline-ms N]
                [--json] [--trace-out FILE]
   regmon send <journal> (--unix PATH | --tcp ADDR)
-               [--wire-version 1|2|auto] [--compress]
+               [--wire-version 1|2|auto] [--compress] [--retries N]
+               [--timeout-ms N] [--backoff-ms N] [--resume] [--no-finish]
   regmon migrate <journal> --at N (--from PATH | --from-tcp ADDR)
-               (--to PATH | --to-tcp ADDR) [--compress]
+               (--to PATH | --to-tcp ADDR) [--compress] [--retries N]
+               [--timeout-ms N] [--backoff-ms N]
   regmon metrics [<benchmark>] [--intervals N] [--json]
   regmon metrics --check FILE
   regmon help
@@ -73,6 +78,18 @@ multiplexes all connections over a fixed pool of poll(2) workers
 instead of one thread per connection. `regmon migrate` moves a live
 session between two servers mid-stream: the first server checkpoints
 and retires the tenant, the second resumes it byte-identically.
+
+Durability: `serve --durable DIR` write-ahead-logs every admitted
+batch (CRC-checked wire frames) and checkpoints each session's RGSN
+atomically every --checkpoint-every intervals; after a crash,
+`serve --recover DIR` replays the WAL tails past the last checkpoint
+and every session resumes byte-identically (torn tails are truncated,
+never fatal). `send --retries N` reconnects with deterministic
+exponential backoff and resumes from the last acknowledged interval;
+on giving up it exits nonzero reporting the exact frame/interval
+position. `--max-conns` sheds excess connections with a Busy reply,
+--idle-timeout-ms reaps silent peers, and --drain-deadline-ms bounds
+shutdown when a peer wedges mid-frame.
 
 SIMD kernel dispatch resolves at startup (`regmon features` shows the
 detected level); `--simd` or the REGMON_SIMD env var dial it down —
@@ -736,6 +753,29 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
     if unix.is_empty() == tcp.is_empty() {
         return Err("serve needs exactly one of --unix PATH or --tcp ADDR".into());
     }
+    let durable_dir: String = p.value_or("durable", String::new())?;
+    let recover_dir: String = p.value_or("recover", String::new())?;
+    if !durable_dir.is_empty() && !recover_dir.is_empty() && durable_dir != recover_dir {
+        return Err("--durable and --recover must name the same directory".into());
+    }
+    let dir = if recover_dir.is_empty() {
+        durable_dir
+    } else {
+        recover_dir.clone()
+    };
+    let durable = if dir.is_empty() {
+        None
+    } else {
+        Some(regmon_serve::DurableOptions {
+            dir: PathBuf::from(dir),
+            checkpoint_every: p.value_or("checkpoint-every", 32u64)?,
+            fsync: regmon_serve::FsyncPolicy::parse(
+                &p.value_or("fsync", "checkpoint".to_string())?,
+            )
+            .map_err(|e| format!("--fsync: {e}"))?,
+        })
+    };
+    let idle_ms: u64 = p.value_or("idle-timeout-ms", 30_000u64)?;
     let options = ServeOptions {
         shards: p.value_or("shards", 2)?,
         queue_depth: p.value_or("queue-depth", 256)?,
@@ -745,6 +785,13 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         event_workers: p.value_or("event-workers", 2)?,
         max_wire_version: parse_wire_version(&p.value_or("wire-version", "auto".to_string())?)?
             .unwrap_or(regmon_serve::WIRE_VERSION),
+        durable,
+        recover: !recover_dir.is_empty(),
+        idle_timeout: (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms)),
+        max_conns: p.value_or("max-conns", 0usize)?,
+        drain_deadline: std::time::Duration::from_millis(
+            p.value_or("drain-deadline-ms", 5_000u64)?,
+        ),
     };
     if options.shards == 0
         || options.queue_depth == 0
@@ -755,6 +802,7 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
             "--shards/--queue-depth/--expect-sessions/--event-workers must be positive".into(),
         );
     }
+    let mode_label = options.mode.label();
     let trace_out: String = p.value_or("trace-out", String::new())?;
     if !trace_out.is_empty() {
         regmon_telemetry::set_enabled(true);
@@ -776,8 +824,26 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
         report.frames,
         report.bytes,
         report.peak_handlers,
-        options.mode.label()
+        mode_label
     );
+    if report.recovered > 0 {
+        eprintln!(
+            "serve: {} session(s) recovered from the write-ahead log",
+            report.recovered
+        );
+    }
+    if report.shed > 0 {
+        eprintln!(
+            "serve: {} connection(s) shed at the --max-conns limit",
+            report.shed
+        );
+    }
+    if report.stragglers > 0 {
+        eprintln!(
+            "serve: {} straggler connection(s) abandoned at the drain deadline",
+            report.stragglers
+        );
+    }
     for err in &report.errors {
         eprintln!("serve: connection error: {err}");
     }
@@ -803,8 +869,23 @@ pub fn serve(argv: &[String]) -> Result<(), String> {
 }
 
 /// A bidirectional client transport (unix or TCP socket).
-trait Transport: std::io::Read + std::io::Write {}
-impl<T: std::io::Read + std::io::Write> Transport for T {}
+trait Transport: std::io::Read + std::io::Write {
+    /// Arms the socket read deadline (`None` waits forever).
+    fn set_read_deadline(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()>;
+}
+
+impl Transport for std::net::TcpStream {
+    fn set_read_deadline(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+#[cfg(unix)]
+impl Transport for std::os::unix::net::UnixStream {
+    fn set_read_deadline(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
 
 #[cfg(unix)]
 fn connect_stream(unix: &str, tcp: &str) -> Result<Box<dyn Transport>, String> {
@@ -827,6 +908,15 @@ fn connect_stream(unix: &str, tcp: &str) -> Result<Box<dyn Transport>, String> {
     Ok(Box::new(stream))
 }
 
+/// Parses the shared `--retries/--timeout-ms/--backoff-ms` retry knobs.
+fn parse_retry_policy(p: &crate::args::Parsed) -> Result<regmon_serve::RetryPolicy, String> {
+    Ok(regmon_serve::RetryPolicy {
+        retries: p.value_or("retries", 0u32)?,
+        timeout: std::time::Duration::from_millis(p.value_or("timeout-ms", 5_000u64)?),
+        backoff: std::time::Duration::from_millis(p.value_or("backoff-ms", 50u64)?),
+    })
+}
+
 /// Parses a `--wire-version` value: `None` means negotiate (auto).
 fn parse_wire_version(s: &str) -> Result<Option<u16>, String> {
     match s {
@@ -839,31 +929,6 @@ fn parse_wire_version(s: &str) -> Result<Option<u16>, String> {
     }
 }
 
-/// Offers wire v2 to the server and settles on the answered version.
-fn negotiate_dialect(stream: &mut dyn Transport, compress: bool) -> Result<WireDialect, String> {
-    use regmon_serve::WIRE_VERSION;
-    stream
-        .write_all(
-            &Frame::Hello {
-                version: WIRE_VERSION,
-            }
-            .encode(),
-        )
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("wire negotiation: {e}"))?;
-    let mut reader = stream;
-    match regmon_serve::wire::read_frame(&mut reader) {
-        Ok(Some(Frame::Hello { version })) => {
-            Ok(WireDialect::settle(version, WIRE_VERSION, compress))
-        }
-        Ok(Some(other)) => Err(format!(
-            "wire negotiation: expected a Hello answer, got {other:?}"
-        )),
-        Ok(None) => Err("wire negotiation: server closed without answering Hello".into()),
-        Err(e) => Err(format!("wire negotiation: {e}")),
-    }
-}
-
 /// `regmon send <journal>` — stream a recorded journal to a live server.
 ///
 /// By default (`--wire-version auto`) the sender offers wire v2 and
@@ -873,6 +938,15 @@ fn negotiate_dialect(stream: &mut dyn Transport, compress: bool) -> Result<WireD
 /// server still gets byte-identical v1 frames. `--wire-version 1`
 /// skips negotiation entirely and streams one-way, exactly like the
 /// original sender.
+///
+/// With `--retries N` a dropped connection reconnects after a
+/// deterministic exponential backoff and resumes from the last
+/// interval the server acknowledged (wire v2 only); `--resume` opens
+/// even the first connection with the resume handshake, continuing a
+/// stream a previous process started. On giving up the exit is
+/// nonzero and the error reports the exact frame / interval position
+/// reached. `--no-finish` streams the journal but leaves every
+/// session open (for hand-off to a later `send --resume`).
 pub fn send(argv: &[String]) -> Result<(), String> {
     let p = parse(argv)?;
     let journal = p.positional(0).ok_or("missing <journal> argument")?;
@@ -882,88 +956,61 @@ pub fn send(argv: &[String]) -> Result<(), String> {
         return Err("send needs exactly one of --unix PATH or --tcp ADDR".into());
     }
     let compress = p.flag("compress");
+    let resume = p.flag("resume");
     let want = parse_wire_version(&p.value_or("wire-version", "auto".to_string())?)
         .map_err(|e| format!("--wire-version: {e}"))?;
     if want == Some(1) && compress {
         return Err("--compress requires wire v2 (drop --wire-version 1)".into());
     }
+    let policy = parse_retry_policy(&p)?;
 
-    let file = std::fs::File::open(journal).map_err(|e| format!("{journal}: {e}"))?;
-    let mut frames = regmon_serve::wire::FrameReader::new(std::io::BufReader::new(file));
-    let mut stream = connect_stream(&unix, &tcp)?;
+    let frames =
+        regmon_serve::read_journal(Path::new(journal)).map_err(|e| format!("{journal}: {e}"))?;
+    let mut plan =
+        regmon_serve::SendPlan::from_frames(frames).map_err(|e| format!("{journal}: {e}"))?;
+    if p.flag("no-finish") {
+        for session in &mut plan.sessions {
+            session.finish = false;
+        }
+    }
+
+    let deadline = (!policy.timeout.is_zero()).then_some(policy.timeout);
     let started = std::time::Instant::now();
-    let negotiated = want != Some(1);
-    let dialect = if negotiated {
-        negotiate_dialect(stream.as_mut(), compress)?
-    } else {
-        WireDialect::V1
-    };
-
-    let mut sent_frames: u64 = 0;
-    let mut sent_bytes: u64 = 0;
-    let mut intervals: u64 = 0;
-    let mut buffer = Vec::with_capacity(64 * 1024);
-    loop {
-        let frame = match frames.next_frame() {
-            Ok(Some(frame)) => frame,
-            Ok(None) => break,
-            Err(e) => return Err(format!("{journal}: {e}")),
-        };
-        let frame = match frame {
-            // A negotiated connection already said Hello above; the
-            // unnegotiated v1 path re-announces v1.
-            Frame::Hello { .. } => {
-                if negotiated {
-                    continue;
-                }
-                Frame::Hello { version: 1 }
-            }
-            Frame::Batch {
-                tenant,
-                intervals: batch,
-            } => {
-                intervals += batch.len() as u64;
-                Frame::Batch {
-                    tenant,
-                    intervals: batch,
-                }
-            }
-            other => other,
-        };
-        let encoded = dialect.encode_frame(&frame);
-        sent_frames += 1;
-        sent_bytes += encoded.len() as u64;
-        buffer.extend_from_slice(&encoded);
-        if buffer.len() >= 48 * 1024 {
-            stream
-                .write_all(&buffer)
-                .map_err(|e| format!("send: {e}"))?;
-            buffer.clear();
-        }
-    }
-    if negotiated {
-        // The negotiated Hello counts toward the stream.
-        sent_frames += 1;
-        sent_bytes += Frame::Hello {
-            version: regmon_serve::WIRE_VERSION,
-        }
-        .encode()
-        .len() as u64;
-    }
-    stream
-        .write_all(&buffer)
-        .and_then(|()| stream.flush())
-        .map_err(|e| format!("send: {e}"))?;
-    drop(stream);
+    let outcome = regmon_serve::send_plan(
+        || {
+            let stream = connect_stream(&unix, &tcp).map_err(std::io::Error::other)?;
+            stream.set_read_deadline(deadline)?;
+            Ok(stream)
+        },
+        &plan,
+        want,
+        compress,
+        &policy,
+        resume,
+        None,
+    )
+    .map_err(|e| format!("send: {e}"))?;
 
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let retried = if outcome.retries > 0 {
+        format!(", {} reconnect(s)", outcome.retries)
+    } else {
+        String::new()
+    };
     eprintln!(
-        "send: {sent_frames} frames, {sent_bytes} bytes streamed, {intervals} intervals, \
-         {:.1} ms, {:.3} M intervals/s (wire v{}{})",
+        "send: {} frames, {} bytes streamed, {} intervals, \
+         {:.1} ms, {:.3} M intervals/s (wire v{}{}{retried})",
+        outcome.frames,
+        outcome.bytes,
+        outcome.intervals,
         elapsed * 1e3,
-        intervals as f64 / elapsed / 1e6,
-        dialect.version,
-        if dialect.compress { ", compressed" } else { "" }
+        outcome.intervals as f64 / elapsed / 1e6,
+        outcome.dialect.version,
+        if outcome.dialect.compress {
+            ", compressed"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -997,102 +1044,108 @@ pub fn migrate(argv: &[String]) -> Result<(), String> {
         return Err("migrate needs exactly one of --to PATH or --to-tcp ADDR".into());
     }
     let compress = p.flag("compress");
+    let policy = parse_retry_policy(&p)?;
+    let deadline = (!policy.timeout.is_zero()).then_some(policy.timeout);
 
     // Load and validate the journal: exactly one tenant, finished.
     let frames =
         regmon_serve::read_journal(Path::new(journal)).map_err(|e| format!("{journal}: {e}"))?;
-    let mut admit = None;
-    let mut intervals = Vec::new();
-    let mut finished = false;
-    for frame in frames {
-        match frame {
-            Frame::Hello { .. } => {}
-            Frame::Admit(a) => {
-                if admit.is_some() {
-                    return Err(format!("{journal}: migrate needs a single-tenant journal"));
-                }
-                admit = Some(a);
-            }
-            Frame::Batch {
-                intervals: batch, ..
-            } => intervals.extend(batch),
-            Frame::Finish { .. } => finished = true,
-            other => {
-                return Err(format!(
-                    "{journal}: unexpected frame {other:?} in a journal"
-                ));
-            }
-        }
-    }
-    let admit = admit.ok_or_else(|| format!("{journal}: journal admits no tenant"))?;
-    if !finished {
+    let full =
+        regmon_serve::SendPlan::from_frames(frames).map_err(|e| format!("{journal}: {e}"))?;
+    let session = match full.sessions.as_slice() {
+        [] => return Err(format!("{journal}: journal admits no tenant")),
+        [one] => one,
+        _ => return Err(format!("{journal}: migrate needs a single-tenant journal")),
+    };
+    if !session.finish {
         return Err(format!("{journal}: journal has no Finish frame"));
     }
+    let intervals = session.batches.concat();
     if at >= intervals.len() {
         return Err(format!(
             "--at {at}: journal only has {} intervals (the hand-off must happen mid-stream)",
             intervals.len()
         ));
     }
+    let admit = session.admit.clone();
     let tenant = admit.tenant;
-
-    // First server: prefix, then checkpoint-and-retire.
-    let mut first = connect_stream(&from, &from_tcp)?;
-    let dialect = negotiate_dialect(first.as_mut(), compress)?;
-    if dialect.version < 2 {
-        return Err("--from server only speaks wire v1; migration needs v2".into());
-    }
-    let mut prefix = dialect.encode_frame(&Frame::Admit(admit.clone()));
-    for chunk in intervals[..at].chunks(32) {
-        prefix.extend_from_slice(&dialect.encode_frame(&Frame::Batch {
-            tenant,
-            intervals: chunk.to_vec(),
-        }));
-    }
-    prefix.extend_from_slice(&dialect.encode_frame(&Frame::Checkpoint { tenant }));
-    first
-        .write_all(&prefix)
-        .and_then(|()| first.flush())
-        .map_err(|e| format!("migrate (first server): {e}"))?;
-    let mut reader = first.as_mut();
-    let snapshot_frame = match regmon_serve::wire::read_frame(&mut reader) {
-        Ok(Some(frame @ Frame::Snapshot(_))) => frame,
-        Ok(Some(other)) => {
-            return Err(format!(
-                "migrate: expected a Snapshot answer to Checkpoint, got {other:?}"
-            ))
+    let connect = |unix: &str, tcp: &str| {
+        let unix = unix.to_string();
+        let tcp = tcp.to_string();
+        move || -> std::io::Result<Box<dyn Transport>> {
+            let stream = connect_stream(&unix, &tcp).map_err(std::io::Error::other)?;
+            stream.set_read_deadline(deadline)?;
+            Ok(stream)
         }
-        Ok(None) => return Err("migrate: first server closed before answering Checkpoint".into()),
-        Err(e) => return Err(format!("migrate (first server): {e}")),
     };
-    drop(first);
+
+    // First server: prefix, then checkpoint-and-retire. Retrying is
+    // safe on this leg — resume re-attaches to the half-fed session.
+    let prefix = regmon_serve::SendPlan {
+        sessions: vec![regmon_serve::SessionStream {
+            admit: admit.clone(),
+            snapshot: None,
+            base: 0,
+            batches: intervals[..at].chunks(32).map(<[_]>::to_vec).collect(),
+            finish: false,
+            checkpoint: true,
+        }],
+    };
+    let first = regmon_serve::send_plan(
+        connect(&from, &from_tcp),
+        &prefix,
+        None,
+        compress,
+        &policy,
+        false,
+        None,
+    )
+    .map_err(|e| format!("migrate (first server): {e}"))?;
+    let snapshot = first
+        .snapshots
+        .into_iter()
+        .next()
+        .flatten()
+        .ok_or("migrate: first server sent no Snapshot answer to Checkpoint")?;
 
     // Second server: adopt the snapshot, stream the rest.
-    let mut second = connect_stream(&to, &to_tcp)?;
-    let dialect = negotiate_dialect(second.as_mut(), compress)?;
-    if dialect.version < 2 {
-        return Err("--to server only speaks wire v1; migration needs v2".into());
-    }
-    let mut suffix = dialect.encode_frame(&snapshot_frame);
+    let mut suffix_frames = vec![Frame::Snapshot(Box::new(snapshot))];
     for chunk in intervals[at..].chunks(32) {
-        suffix.extend_from_slice(&dialect.encode_frame(&Frame::Batch {
+        suffix_frames.push(Frame::Batch {
             tenant,
             intervals: chunk.to_vec(),
-        }));
+        });
     }
-    suffix.extend_from_slice(&dialect.encode_frame(&Frame::Finish { tenant }));
-    second
-        .write_all(&suffix)
-        .and_then(|()| second.flush())
-        .map_err(|e| format!("migrate (second server): {e}"))?;
-    drop(second);
+    suffix_frames.push(Frame::Finish { tenant });
+    let suffix =
+        regmon_serve::SendPlan::from_frames(suffix_frames).map_err(|e| format!("migrate: {e}"))?;
+    let second = regmon_serve::send_plan(
+        connect(&to, &to_tcp),
+        &suffix,
+        None,
+        compress,
+        &policy,
+        false,
+        None,
+    )
+    .map_err(|e| format!("migrate (second server): {e}"))?;
 
+    let retried = first.retries + second.retries;
+    let retried = if retried > 0 {
+        format!(", {retried} reconnect(s)")
+    } else {
+        String::new()
+    };
     eprintln!(
-        "migrate: session {:?} handed off after {at}/{} intervals (wire v{}{})",
+        "migrate: session {:?} handed off after {at}/{} intervals (wire v{}{}{retried})",
         admit.name,
         intervals.len(),
-        dialect.version,
-        if dialect.compress { ", compressed" } else { "" }
+        second.dialect.version,
+        if second.dialect.compress {
+            ", compressed"
+        } else {
+            ""
+        }
     );
     Ok(())
 }

@@ -326,6 +326,108 @@ fn migrated_session_resumes_byte_identically() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The durability smoke, end to end through the CLI: a `--durable`
+/// server is SIGKILLed mid-ingest, restarted with `--recover`, and a
+/// `send --resume` completes the stream — the final `--json` report is
+/// byte-identical to the uninterrupted in-process run.
+#[cfg(unix)]
+#[test]
+fn kill9_recovery_resumes_byte_identically() {
+    use std::time::{Duration, Instant};
+
+    let dir = temp_dir("kill9");
+    let wal_dir = dir.join("wal");
+    let wal_dir_s = wal_dir.to_str().unwrap();
+    let full = dir.join("full.rgj");
+    let full_s = full.to_str().unwrap();
+    let prefix = dir.join("prefix.rgj");
+    let prefix_s = prefix.to_str().unwrap();
+    let sock = dir.join("regmon.sock");
+    let sock_s = sock.to_str().unwrap();
+
+    // The same workload/config samples identically, so the 12-interval
+    // journal is an exact prefix of the 30-interval one.
+    let (ok, run_json, _) = regmon(&[
+        "run",
+        "181.mcf",
+        "--intervals",
+        "30",
+        "--json",
+        "--record",
+        full_s,
+    ]);
+    assert!(ok);
+    let (ok, _, _) = regmon(&["run", "181.mcf", "--intervals", "12", "--record", prefix_s]);
+    assert!(ok);
+
+    let mut server = spawn_server(&sock, &["--durable", wal_dir_s, "--checkpoint-every", "5"]);
+    let (ok, _, stderr) = regmon(&["send", prefix_s, "--unix", sock_s, "--no-finish"]);
+    assert!(ok, "{stderr}");
+
+    // Wait for the write-ahead log to exist, then SIGKILL mid-session.
+    let wal = wal_dir.join("session-0000.wal");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while std::fs::metadata(&wal).map_or(true, |m| m.len() == 0) {
+        assert!(Instant::now() < deadline, "WAL never appeared");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.kill().expect("kill -9 the server");
+    server.wait().expect("reap the killed server");
+    std::fs::remove_file(&sock).ok();
+
+    let server = spawn_server(&sock, &["--recover", wal_dir_s]);
+    let (ok, _, stderr) = regmon(&[
+        "send",
+        full_s,
+        "--unix",
+        sock_s,
+        "--resume",
+        "--retries",
+        "3",
+    ]);
+    assert!(ok, "{stderr}");
+
+    let out = server.wait_with_output().expect("server exit");
+    let served_json = String::from_utf8_lossy(&out.stdout).into_owned();
+    let served_err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "{served_err}");
+    assert!(served_err.contains("recovered"), "{served_err}");
+    assert_eq!(
+        run_json, served_json,
+        "recovered session diverged from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A send whose retry budget is exhausted exits nonzero and reports
+/// the exact stream position it reached.
+#[test]
+fn exhausted_send_reports_position_and_exits_nonzero() {
+    let dir = temp_dir("exhausted");
+    let journal = dir.join("session.rgj");
+    let journal_s = journal.to_str().unwrap();
+    let (ok, _, _) = regmon(&["run", "181.mcf", "--intervals", "6", "--record", journal_s]);
+    assert!(ok);
+
+    // Nobody is listening: connection refused on every attempt.
+    let (ok, _, stderr) = regmon(&[
+        "send",
+        journal_s,
+        "--tcp",
+        "127.0.0.1:1",
+        "--retries",
+        "1",
+        "--backoff-ms",
+        "1",
+    ]);
+    assert!(!ok, "send against a dead server must fail");
+    assert!(
+        stderr.contains("connection dropped at frame") && stderr.contains("after 2 attempt(s)"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn wire_flag_typos_get_spelling_help() {
     let (ok, _, stderr) = regmon(&["send", "x.rgj", "--unix", "/nope", "--wire-version", "3"]);

@@ -275,6 +275,20 @@ impl FleetEngine {
         rx.recv().expect("shard worker gone").map(|boxed| *boxed)
     }
 
+    /// Clones a consistent session snapshot of a live tenant without
+    /// retiring it (the durable-serve checkpoint path). Per-shard FIFO
+    /// order guarantees every interval offered before this call is
+    /// folded into the snapshot, and the tenant keeps running — the
+    /// peek never perturbs session state, so checkpointed and
+    /// checkpoint-free runs stay byte-identical. Returns `None` when
+    /// the tenant is unknown or its session is gone.
+    #[must_use]
+    pub fn peek_snapshot(&self, id: TenantId) -> Option<regmon::SessionSnapshot> {
+        let (tx, rx) = sync_channel(1);
+        self.control(id, ShardMsg::Peek(id, tx));
+        rx.recv().expect("shard worker gone").map(|boxed| *boxed)
+    }
+
     /// Ships one sampled interval to the tenant's shard under the
     /// engine's backpressure policy. Returns `false` when the interval
     /// was rejected because the queue is closed (shutdown race).
@@ -399,6 +413,32 @@ impl FleetEngine {
         for rx in pending {
             rx.recv().expect("shard worker gone");
         }
+    }
+
+    /// [`FleetEngine::drain_barrier`] with a wall-clock bound: waits at
+    /// most `deadline` (total, across all shards) for the barrier to
+    /// clear. Returns `true` when every shard acknowledged in time and
+    /// `false` on timeout — the barrier messages stay queued, so a
+    /// later unbounded drain or shutdown still observes them, but the
+    /// caller regains control instead of hanging behind a stuck shard.
+    #[must_use]
+    pub fn drain_barrier_timeout(&self, deadline: std::time::Duration) -> bool {
+        let start = std::time::Instant::now();
+        let mut pending = Vec::with_capacity(self.shared.queues.len());
+        for queue in &self.shared.queues {
+            let (tx, rx) = sync_channel(1);
+            queue
+                .push(ShardMsg::Barrier(tx), QueuePolicy::Block)
+                .expect("shard queue closed while engine alive");
+            pending.push(rx);
+        }
+        for rx in pending {
+            let remaining = deadline.saturating_sub(start.elapsed());
+            if rx.recv_timeout(remaining).is_err() {
+                return false;
+            }
+        }
+        true
     }
 
     /// Parks shard `shard`'s worker deterministically: the returned

@@ -92,6 +92,13 @@ pub(crate) enum ShardMsg {
     /// is already gone (finished tenants still carry a live session
     /// and *can* be checked out).
     Checkpoint(TenantId, SyncSender<Option<Box<regmon::SessionSnapshot>>>),
+    /// Non-retiring sibling of `Checkpoint`: clones a consistent session
+    /// snapshot while the tenant keeps running on this shard (durable
+    /// serve uses it for periodic crash-recovery checkpoints). FIFO
+    /// queue order guarantees every batch pushed before the peek is
+    /// already folded in. Answers `None` when the tenant is unknown or
+    /// its session is gone.
+    Peek(TenantId, SyncSender<Option<Box<regmon::SessionSnapshot>>>),
     /// Lockstep pacing: acknowledge that every earlier message has been
     /// fully processed.
     Barrier(SyncSender<()>),
@@ -684,6 +691,16 @@ impl Worker {
                 };
                 let _ = reply.send(packet);
             }
+            ShardMsg::Peek(id, reply) => {
+                // Same consistency argument as `Checkpoint`, but the
+                // entry stays live: the snapshot is a pure read.
+                let packet = self
+                    .tenants
+                    .get(&id)
+                    .and_then(|entry| entry.session.as_ref())
+                    .map(|session| Box::new(session.snapshot()));
+                let _ = reply.send(packet);
+            }
             ShardMsg::Barrier(reply) => {
                 let _ = reply.send(());
             }
@@ -697,8 +714,8 @@ impl Worker {
 }
 
 /// The tenant a message is addressed to, for adoption buffering.
-/// `Admit` installs its own entry, `Release` and `Checkpoint` answer
-/// `None`-on-unknown by design, and `AdoptHandle`/`Snapshot`/`Barrier`
+/// `Admit` installs its own entry, `Release`, `Checkpoint` and `Peek`
+/// answer `None`-on-unknown by design, and `AdoptHandle`/`Snapshot`/`Barrier`
 /// are not tenant-state lookups — none of them buffer.
 fn routed_tenant(msg: &ShardMsg) -> Option<TenantId> {
     match msg {
@@ -714,6 +731,7 @@ fn routed_tenant(msg: &ShardMsg) -> Option<TenantId> {
         | ShardMsg::AdoptHandle(..)
         | ShardMsg::Snapshot(_)
         | ShardMsg::Checkpoint(..)
+        | ShardMsg::Peek(..)
         | ShardMsg::Barrier(_)
         | ShardMsg::Hold(..) => None,
     }

@@ -1,0 +1,389 @@
+//! Durable serve: per-tenant write-ahead logs and atomic checkpoints.
+//!
+//! `regmon serve --durable DIR` makes ingestion crash-safe. Every
+//! admitted session gets its own WAL file (`session-NNNN.wal`) holding
+//! the exact wire frames the server folded in — the opener (`Admit` or
+//! `Snapshot`), each deduplicated `Batch`, and the closing `Finish` or
+//! `Checkpoint`. Records reuse the wire envelope (`[len][crc32][body]`),
+//! so the WAL inherits the codec's bit-exactness and corruption
+//! detection for free, and recovery is just a replay of the frames a
+//! live connection would have delivered.
+//!
+//! Periodically (every [`DurableOptions::checkpoint_every`] intervals)
+//! the server additionally snapshots the live session into
+//! `session-NNNN.rgsn` via tmp+rename rotation: the checkpoint is
+//! either the complete old one or the complete new one, never a torn
+//! mix. Recovery loads the checkpoint when present and valid, then
+//! replays only the WAL tail past it — a corrupt or missing checkpoint
+//! silently falls back to full WAL replay.
+//!
+//! Torn WAL tails are expected (that is what a crash looks like) and
+//! never fatal: [`read_wal`] stops at the first incomplete or
+//! corrupt record and truncates the file back to the last complete
+//! one, so the reopened WAL appends cleanly.
+//!
+//! WAL appends go straight to the file descriptor — no user-space
+//! buffering — so everything a client was acknowledged past survives a
+//! `SIGKILL` of the serve process. The fsync policy only matters for
+//! power loss: [`FsyncPolicy::Checkpoint`] (the default) syncs at
+//! checkpoint boundaries and on finish, [`FsyncPolicy::Always`] after
+//! every record, [`FsyncPolicy::Never`] leaves flushing to the OS.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use regmon::SessionSnapshot;
+
+use crate::crc::crc32;
+use crate::snapshot::{decode_snapshot, encode_snapshot};
+use crate::wire::{Frame, MAX_FRAME_LEN, WIRE_VERSION};
+
+/// When durable serve calls `fsync` on its WAL and checkpoint files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fsync` after every WAL record (safest, slowest).
+    Always,
+    /// `fsync` at checkpoint boundaries and on session finish (the
+    /// default; records already survive process death without it).
+    #[default]
+    Checkpoint,
+    /// Never `fsync`; the OS flushes on its own schedule.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses a policy name.
+    ///
+    /// # Errors
+    ///
+    /// An unknown spelling, with the accepted ones listed.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(Self::Always),
+            "checkpoint" => Ok(Self::Checkpoint),
+            "never" => Ok(Self::Never),
+            other => Err(format!(
+                "unknown fsync policy {other:?} (accepted: \"always\", \"checkpoint\", \"never\")"
+            )),
+        }
+    }
+
+    /// Canonical display name.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Always => "always",
+            Self::Checkpoint => "checkpoint",
+            Self::Never => "never",
+        }
+    }
+}
+
+/// Durability knobs for one serve run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableOptions {
+    /// Directory holding the per-session WAL and checkpoint files
+    /// (created if missing).
+    pub dir: PathBuf,
+    /// Write an atomic RGSN checkpoint every this many ingested
+    /// intervals per session (0 disables periodic checkpoints; the WAL
+    /// alone still recovers everything).
+    pub checkpoint_every: u64,
+    /// When to `fsync`.
+    pub fsync: FsyncPolicy,
+}
+
+impl DurableOptions {
+    /// Durability rooted at `dir` with default checkpoint cadence and
+    /// fsync policy.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            checkpoint_every: 32,
+            fsync: FsyncPolicy::default(),
+        }
+    }
+}
+
+/// The WAL file backing session slot `slot`.
+#[must_use]
+pub fn wal_path(dir: &Path, slot: usize) -> PathBuf {
+    dir.join(format!("session-{slot:04}.wal"))
+}
+
+/// The checkpoint file backing session slot `slot`.
+#[must_use]
+pub fn checkpoint_path(dir: &Path, slot: usize) -> PathBuf {
+    dir.join(format!("session-{slot:04}.rgsn"))
+}
+
+/// An append handle on one session's WAL.
+#[derive(Debug)]
+pub(crate) struct WalWriter {
+    file: File,
+    fsync: FsyncPolicy,
+    /// Intervals appended since the last durable checkpoint (drives
+    /// the periodic-checkpoint cadence across recoveries).
+    pub(crate) since_checkpoint: u64,
+}
+
+impl WalWriter {
+    /// Creates (truncating any stale file) the WAL for a fresh session.
+    pub(crate) fn create(dir: &Path, slot: usize, fsync: FsyncPolicy) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let file = File::create(wal_path(dir, slot))?;
+        Ok(Self {
+            file,
+            fsync,
+            since_checkpoint: 0,
+        })
+    }
+
+    /// Reopens a recovered WAL for further appends.
+    pub(crate) fn open_append(
+        path: &Path,
+        fsync: FsyncPolicy,
+        since_checkpoint: u64,
+    ) -> std::io::Result<Self> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Self {
+            file,
+            fsync,
+            since_checkpoint,
+        })
+    }
+
+    /// Appends one frame record, unbuffered, write-ahead of the engine.
+    pub(crate) fn append(&mut self, frame: &Frame) -> std::io::Result<()> {
+        self.file.write_all(&frame.encode())?;
+        if self.fsync == FsyncPolicy::Always {
+            self.file.sync_data()?;
+        }
+        if regmon_telemetry::enabled() {
+            regmon_telemetry::metrics::WAL_RECORDS.inc();
+        }
+        Ok(())
+    }
+
+    /// Syncs at a policy boundary (checkpoint written, session
+    /// finished). No-op under [`FsyncPolicy::Never`].
+    pub(crate) fn sync_boundary(&mut self) -> std::io::Result<()> {
+        if self.fsync != FsyncPolicy::Never {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// Splits a WAL byte image into its complete, CRC-valid frames and the
+/// byte length they span. Anything past the returned length — a short
+/// header, a short body, a checksum mismatch, an undecodable frame —
+/// is a torn tail: the crash interrupted an append mid-record.
+#[must_use]
+pub fn parse_wal(bytes: &[u8]) -> (Vec<Frame>, usize) {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while let Some(header) = bytes.get(pos..pos + 8) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("8-byte header"));
+        let want_crc = u32::from_le_bytes(header[4..].try_into().expect("8-byte header"));
+        if len == 0 || len > MAX_FRAME_LEN {
+            break;
+        }
+        let Some(body) = bytes.get(pos + 8..pos + 8 + len as usize) else {
+            break;
+        };
+        if crc32(body) != want_crc {
+            break;
+        }
+        let Ok(frame) = Frame::decode(body[0], &body[1..], WIRE_VERSION) else {
+            break;
+        };
+        frames.push(frame);
+        pos += 8 + len as usize;
+    }
+    (frames, pos)
+}
+
+/// One recovered WAL file.
+#[derive(Debug)]
+pub struct WalRecovery {
+    /// The complete records, in append order.
+    pub frames: Vec<Frame>,
+    /// Torn-tail bytes dropped from the end of the file (`0` when the
+    /// WAL ended exactly on a record boundary).
+    pub torn_bytes: u64,
+}
+
+/// Reads a WAL file, truncating any torn tail in place so the file
+/// ends exactly on the last complete record (never fatal — that is the
+/// normal post-crash state).
+///
+/// # Errors
+///
+/// Filesystem failures only; corruption is handled by truncation.
+pub fn read_wal(path: &Path) -> std::io::Result<WalRecovery> {
+    let bytes = std::fs::read(path)?;
+    let (frames, good) = parse_wal(&bytes);
+    let torn = (bytes.len() - good) as u64;
+    if torn > 0 {
+        OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(good as u64)?;
+    }
+    Ok(WalRecovery {
+        frames,
+        torn_bytes: torn,
+    })
+}
+
+/// Atomically replaces session `slot`'s checkpoint with `snapshot`
+/// (write to `.tmp`, optionally fsync, rename over the old one).
+pub(crate) fn write_checkpoint(
+    dir: &Path,
+    slot: usize,
+    snapshot: &SessionSnapshot,
+    fsync: FsyncPolicy,
+) -> std::io::Result<()> {
+    let path = checkpoint_path(dir, slot);
+    let tmp = path.with_extension("rgsn.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(&encode_snapshot(snapshot))?;
+    if fsync != FsyncPolicy::Never {
+        file.sync_data()?;
+    }
+    drop(file);
+    std::fs::rename(&tmp, &path)
+}
+
+/// Loads session `slot`'s checkpoint if one exists and validates
+/// (missing or corrupt checkpoints degrade to full WAL replay).
+#[must_use]
+pub(crate) fn load_checkpoint(dir: &Path, slot: usize) -> Option<SessionSnapshot> {
+    let bytes = std::fs::read(checkpoint_path(dir, slot)).ok()?;
+    decode_snapshot(&bytes).ok()
+}
+
+/// Lists the WAL files under `dir` in slot order (slot order is
+/// admission order — recovery re-admits sessions exactly as the
+/// crashed process did).
+///
+/// # Errors
+///
+/// Filesystem failures (a missing directory recovers zero sessions).
+pub fn wal_slots(dir: &Path) -> std::io::Result<Vec<(usize, PathBuf)>> {
+    let mut slots = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(slots),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(slot) = name
+            .strip_prefix("session-")
+            .and_then(|rest| rest.strip_suffix(".wal"))
+            .and_then(|digits| digits.parse::<usize>().ok())
+        {
+            slots.push((slot, path));
+        }
+    }
+    slots.sort_unstable_by_key(|(slot, _)| *slot);
+    Ok(slots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::AdmitFrame;
+    use regmon::SessionConfig;
+
+    fn temp_dir(stem: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "regmon-serve-durable-test-{stem}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Admit(Box::new(AdmitFrame {
+                tenant: 0,
+                name: "t0".into(),
+                workload: "172.mgrid".into(),
+                config: SessionConfig::new(45_000),
+                max_intervals: 3,
+            })),
+            Frame::Finish { tenant: 0 },
+        ]
+    }
+
+    #[test]
+    fn wal_round_trips_and_truncates_torn_tails() {
+        let dir = temp_dir("roundtrip");
+        let mut wal = WalWriter::create(&dir, 0, FsyncPolicy::Never).unwrap();
+        let frames = sample_frames();
+        for frame in &frames {
+            wal.append(frame).unwrap();
+        }
+        drop(wal);
+        let path = wal_path(&dir, 0);
+        let clean = read_wal(&path).unwrap();
+        assert_eq!(clean.frames, frames);
+        assert_eq!(clean.torn_bytes, 0);
+
+        // A torn tail (half a record) truncates back to the boundary.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let good = bytes.len();
+        bytes.extend_from_slice(&frames[1].encode()[..5]);
+        std::fs::write(&path, &bytes).unwrap();
+        let torn = read_wal(&path).unwrap();
+        assert_eq!(torn.frames, frames);
+        assert_eq!(torn.torn_bytes, 5);
+        assert_eq!(std::fs::read(&path).unwrap().len(), good);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rotation_is_atomic_and_lenient() {
+        let dir = temp_dir("checkpoint");
+        assert!(load_checkpoint(&dir, 0).is_none());
+        let snapshot = regmon::MonitoringSession::new(SessionConfig::new(45_000)).snapshot();
+        write_checkpoint(&dir, 0, &snapshot, FsyncPolicy::Checkpoint).unwrap();
+        let loaded = load_checkpoint(&dir, 0).unwrap();
+        assert_eq!(loaded.intervals, snapshot.intervals);
+        // Corrupt checkpoints degrade to None (full WAL replay).
+        let path = checkpoint_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_checkpoint(&dir, 0).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_slots_sort_by_admission_order() {
+        let dir = temp_dir("slots");
+        for slot in [2usize, 0, 1] {
+            WalWriter::create(&dir, slot, FsyncPolicy::Never).unwrap();
+        }
+        std::fs::write(dir.join("not-a-wal.txt"), b"x").unwrap();
+        let slots = wal_slots(&dir).unwrap();
+        assert_eq!(
+            slots.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert!(wal_slots(Path::new("/nonexistent/regmon-wal-dir"))
+            .unwrap()
+            .is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

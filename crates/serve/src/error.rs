@@ -17,6 +17,9 @@ pub enum ServeError {
     Protocol(String),
     /// An `Admit` frame named a workload the suite does not contain.
     UnknownWorkload(String),
+    /// A connection blew a read/idle deadline, or a drain barrier
+    /// missed its shutdown deadline.
+    Timeout(String),
     /// A filesystem or socket operation failed.
     Io(io::Error),
 }
@@ -27,6 +30,7 @@ impl fmt::Display for ServeError {
             Self::Wire(e) => write!(f, "{e}"),
             Self::Protocol(what) => write!(f, "protocol violation: {what}"),
             Self::UnknownWorkload(name) => write!(f, "unknown workload {name:?}"),
+            Self::Timeout(what) => write!(f, "timeout: {what}"),
             Self::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -28,9 +28,9 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
 use crate::server::{Conn, ServeOptions, ServeReport, Server};
@@ -87,6 +87,19 @@ struct EventConn<S> {
     stream: S,
     parser: FrameParser,
     conn: Conn,
+    /// Last time this socket showed readiness; drives idle reaping.
+    last_activity: Instant,
+}
+
+/// State shared between the accept loop and the worker pool.
+struct WorkerShared {
+    /// The listener is still accepting; workers exit once this drops
+    /// and their connection set drains.
+    accepting: AtomicBool,
+    /// Live multiplexed connections, for admission control.
+    live: AtomicUsize,
+    /// Connections force-dropped at the drain deadline.
+    stragglers: AtomicUsize,
 }
 
 /// Writes as much pending reply as the socket will take without
@@ -118,6 +131,7 @@ fn service<S: Read + Write>(
     server: &Server,
     c: &mut EventConn<S>,
     telemetry_on: bool,
+    flush_deadline: Duration,
 ) -> Result<bool, ServeError> {
     flush_replies(c)?;
     let mut buf = [0u8; 16 * 1024];
@@ -128,11 +142,18 @@ fn service<S: Read + Write>(
                 // Final replies (e.g. a Snapshot answering a Checkpoint
                 // that closed the stream): the peer half-closed its
                 // write side but still reads, so retry through
-                // WouldBlock briefly instead of dropping them.
+                // WouldBlock — bounded, so a peer that never reads
+                // cannot pin this worker past the drain deadline.
+                let deadline = Instant::now() + flush_deadline;
                 while !c.conn.out.is_empty() {
                     let before = c.conn.out.len();
                     flush_replies(c)?;
                     if c.conn.out.len() == before {
+                        if Instant::now() >= deadline {
+                            return Err(ServeError::Timeout(
+                                "peer stopped reading its final replies".into(),
+                            ));
+                        }
                         std::thread::sleep(Duration::from_millis(1));
                     }
                 }
@@ -154,11 +175,14 @@ fn service<S: Read + Write>(
 fn worker_loop<S: Read + Write + AsRawFd>(
     server: &Server,
     injector: &Mutex<Vec<S>>,
-    accepting: &AtomicBool,
+    shared: &WorkerShared,
     telemetry_on: bool,
+    idle: Option<Duration>,
+    drain_deadline: Duration,
 ) {
     let mut conns: Vec<EventConn<S>> = Vec::new();
     let mut fds: Vec<sys::pollfd> = Vec::new();
+    let mut drain_since: Option<Instant> = None;
     loop {
         for stream in injector.lock().expect("injector poisoned").drain(..) {
             server.conn_opened(telemetry_on);
@@ -166,14 +190,36 @@ fn worker_loop<S: Read + Write + AsRawFd>(
                 stream,
                 parser: FrameParser::new(),
                 conn: Conn::new(),
+                last_activity: Instant::now(),
             });
         }
+        let accepting = shared.accepting.load(Ordering::Acquire);
         if conns.is_empty() {
-            if !accepting.load(Ordering::Acquire) {
+            if !accepting {
                 return;
             }
             std::thread::sleep(Duration::from_millis(1));
             continue;
+        }
+        if !accepting {
+            // Bounded drain: give straggling connections up to the
+            // deadline to reach EOF, then force-drop them — one stuck
+            // peer must never hang shutdown.
+            let since = *drain_since.get_or_insert_with(Instant::now);
+            if since.elapsed() >= drain_deadline {
+                let n = conns.len();
+                shared.stragglers.fetch_add(n, Ordering::Relaxed);
+                shared.live.fetch_sub(n, Ordering::Relaxed);
+                for _ in conns.drain(..) {
+                    server.conn_closed(
+                        &Err(ServeError::Timeout(
+                            "connection unfinished at the drain deadline".into(),
+                        )),
+                        telemetry_on,
+                    );
+                }
+                return;
+            }
         }
         fds.clear();
         for c in &conns {
@@ -195,28 +241,47 @@ fn worker_loop<S: Read + Write + AsRawFd>(
                 continue;
             }
         };
-        if ready == 0 {
-            continue;
-        }
-        if telemetry_on {
+        if telemetry_on && ready > 0 {
             regmon_telemetry::metrics::SERVE_EVENT_WAKEUPS.inc();
         }
+        let now = Instant::now();
         // Reverse order so swap_remove never disturbs an index still
         // to be visited.
         for i in (0..conns.len()).rev() {
             // POLLERR/POLLHUP arrive unrequested; any readiness bit
             // means "go find out via read/write".
             if fds[i].revents == 0 {
+                // No readiness: reap the connection if it has been
+                // idle past the deadline (the events-mode analogue of
+                // the threaded mode's socket read timeout).
+                if let Some(idle) = idle {
+                    if now.duration_since(conns[i].last_activity) >= idle {
+                        conns.swap_remove(i);
+                        shared.live.fetch_sub(1, Ordering::Relaxed);
+                        if telemetry_on {
+                            regmon_telemetry::metrics::SERVE_TIMEOUTS.inc();
+                        }
+                        server.conn_closed(
+                            &Err(ServeError::Timeout(
+                                "connection idle past the read deadline".into(),
+                            )),
+                            telemetry_on,
+                        );
+                    }
+                }
                 continue;
             }
-            match service(server, &mut conns[i], telemetry_on) {
+            conns[i].last_activity = now;
+            match service(server, &mut conns[i], telemetry_on, drain_deadline) {
                 Ok(true) => {}
                 Ok(false) => {
                     let c = conns.swap_remove(i);
+                    shared.live.fetch_sub(1, Ordering::Relaxed);
                     server.conn_closed(&Ok(c.conn.finished_sessions()), telemetry_on);
                 }
                 Err(e) => {
                     conns.swap_remove(i);
+                    shared.live.fetch_sub(1, Ordering::Relaxed);
                     server.conn_closed(&Err(e), telemetry_on);
                 }
             }
@@ -240,10 +305,18 @@ pub(crate) fn serve_events<L, S>(
 where
     S: Read + Write + AsRawFd + Send + 'static,
 {
-    let server = Arc::new(Server::new(options));
     let telemetry_on = regmon_telemetry::enabled();
     let workers = options.event_workers.max(1);
-    let accepting = Arc::new(AtomicBool::new(true));
+    let max_conns = options.max_conns;
+    let idle = options.idle_timeout;
+    let drain_deadline = options.drain_deadline;
+    let server = Arc::new(Server::new(options));
+    server.recover()?;
+    let shared = Arc::new(WorkerShared {
+        accepting: AtomicBool::new(true),
+        live: AtomicUsize::new(0),
+        stragglers: AtomicUsize::new(0),
+    });
     let injectors: Vec<Arc<Mutex<Vec<S>>>> = (0..workers)
         .map(|_| Arc::new(Mutex::new(Vec::new())))
         .collect();
@@ -252,15 +325,31 @@ where
         .map(|injector| {
             let server = Arc::clone(&server);
             let injector = Arc::clone(injector);
-            let accepting = Arc::clone(&accepting);
-            std::thread::spawn(move || worker_loop(&server, &injector, &accepting, telemetry_on))
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                worker_loop(
+                    &server,
+                    &injector,
+                    &shared,
+                    telemetry_on,
+                    idle,
+                    drain_deadline,
+                )
+            })
         })
         .collect();
     let mut next = 0usize;
     let mut listen_error = None;
     while !server.done() {
         match accept(&listener) {
-            Ok(stream) => {
+            Ok(mut stream) => {
+                // Admission control at accept time: beyond the cap the
+                // connection gets a graceful Busy reply, not a handler.
+                if max_conns > 0 && shared.live.load(Ordering::Relaxed) >= max_conns {
+                    server.shed(&mut stream, telemetry_on);
+                    continue;
+                }
+                shared.live.fetch_add(1, Ordering::Relaxed);
                 injectors[next % workers]
                     .lock()
                     .expect("injector poisoned")
@@ -276,7 +365,7 @@ where
             }
         }
     }
-    accepting.store(false, Ordering::Release);
+    shared.accepting.store(false, Ordering::Release);
     for handle in handles {
         let _ = handle.join();
     }
@@ -287,6 +376,7 @@ where
     }
     let mut report = server.finish();
     report.peak_handlers = workers;
+    report.stragglers = shared.stragglers.load(Ordering::Relaxed);
     Ok(report)
 }
 

@@ -1,0 +1,141 @@
+//! Deterministic wire-fault injection.
+//!
+//! A [`FaultPlan`] scripts failures at the wire I/O boundary — drop the
+//! connection before frame N, truncate frame N mid-record, flip a bit
+//! in it, or stall before sending it. The plan is either spelled out
+//! explicitly or derived from a seed ([`FaultPlan::seeded`]) with a
+//! local splitmix64 generator, so every run of a fault suite injects
+//! the exact same failures at the exact same frames: a failing case is
+//! reproducible from its seed alone.
+//!
+//! The retrying client ([`crate::client`]) consumes a plan while
+//! streaming: each wire frame it is about to put on the wire is checked
+//! against the plan (frames are numbered cumulatively across reconnect
+//! attempts), the scripted mangling is applied, and connection-killing
+//! faults surface as transport errors — exactly what a flaky network
+//! or a killed server looks like from the producer's side. Each fault
+//! fires once.
+
+use std::collections::BTreeSet;
+
+/// What happens to the targeted frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The connection dies before the frame is written (the server
+    /// sees a clean or mid-stream EOF, the client a broken pipe).
+    Drop,
+    /// Only a prefix of the frame reaches the wire, then the
+    /// connection dies (the server sees a torn record).
+    Truncate,
+    /// One bit of the frame is flipped in flight, then the connection
+    /// dies (the server sees a CRC mismatch).
+    BitFlip,
+    /// The frame is delayed by this many milliseconds, then sent
+    /// intact (exercises read/idle deadlines; non-fatal).
+    Delay(u64),
+}
+
+/// One scripted fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Zero-based index of the targeted frame, counted cumulatively
+    /// over every frame the client writes (reconnect attempts
+    /// included).
+    pub frame: u64,
+    /// The mangling to apply.
+    pub kind: FaultKind,
+}
+
+/// A deterministic schedule of wire faults. Each entry fires once.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit faults (kept in frame order).
+    #[must_use]
+    pub fn new(mut faults: Vec<Fault>) -> Self {
+        faults.sort_unstable_by_key(|f| f.frame);
+        Self { faults }
+    }
+
+    /// Derives `count` faults over frames `0..horizon` from `seed`.
+    /// The same `(seed, horizon, count)` always yields the same plan.
+    #[must_use]
+    pub fn seeded(seed: u64, horizon: u64, count: usize) -> Self {
+        let mut state = seed;
+        let mut frames = BTreeSet::new();
+        let want = count.min(horizon as usize);
+        // splitmix64: tiny, seedable, and plenty for scheduling.
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        while frames.len() < want {
+            frames.insert(next() % horizon.max(1));
+        }
+        let faults = frames
+            .into_iter()
+            .map(|frame| {
+                let kind = match next() % 4 {
+                    0 => FaultKind::Drop,
+                    1 => FaultKind::Truncate,
+                    2 => FaultKind::BitFlip,
+                    _ => FaultKind::Delay(1 + next() % 3),
+                };
+                Fault { frame, kind }
+            })
+            .collect();
+        Self { faults }
+    }
+
+    /// Faults still pending.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Consumes and returns the fault scripted for `frame`, if any.
+    pub fn take(&mut self, frame: u64) -> Option<FaultKind> {
+        let at = self.faults.iter().position(|f| f.frame == frame)?;
+        Some(self.faults.remove(at).kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_distinct() {
+        let a = FaultPlan::seeded(7, 40, 5);
+        let b = FaultPlan::seeded(7, 40, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.remaining(), 5);
+        let c = FaultPlan::seeded(8, 40, 5);
+        assert_ne!(a, c, "different seeds should schedule differently");
+    }
+
+    #[test]
+    fn faults_fire_once_in_frame_order() {
+        let mut plan = FaultPlan::new(vec![
+            Fault {
+                frame: 3,
+                kind: FaultKind::Drop,
+            },
+            Fault {
+                frame: 1,
+                kind: FaultKind::Delay(2),
+            },
+        ]);
+        assert_eq!(plan.take(0), None);
+        assert_eq!(plan.take(1), Some(FaultKind::Delay(2)));
+        assert_eq!(plan.take(1), None, "each fault fires once");
+        assert_eq!(plan.take(3), Some(FaultKind::Drop));
+        assert_eq!(plan.remaining(), 0);
+    }
+}

@@ -56,18 +56,24 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod client;
 pub mod compress;
 pub mod crc;
+pub mod durable;
 pub mod error;
 #[cfg(unix)]
 pub mod event_loop;
+pub mod fault;
 pub mod journal;
 pub mod replay;
 pub mod server;
 pub mod snapshot;
 pub mod wire;
 
+pub use client::{send_plan, ClientError, RetryPolicy, SendOutcome, SendPlan, SessionStream};
+pub use durable::{parse_wal, read_wal, DurableOptions, FsyncPolicy, WalRecovery};
 pub use error::ServeError;
+pub use fault::{Fault, FaultKind, FaultPlan};
 pub use journal::{read_journal, record_run, JournalWriter};
 pub use replay::{replay, ReplayOptions, ReplayOutcome, ReplayTenant};
 pub use server::{serve_tcp, ServeMode, ServeOptions, ServeReport, ServedSession, Server};

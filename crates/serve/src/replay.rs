@@ -188,11 +188,15 @@ pub fn replay_stream(
                 }
                 tenant.summary = Some(tenant.session.summary(&tenant.name.clone()));
             }
-            Frame::Snapshot(_) | Frame::Checkpoint { .. } => {
-                // Migration frames belong to a live server conversation,
-                // not a recorded journal.
+            Frame::Snapshot(_)
+            | Frame::Checkpoint { .. }
+            | Frame::Resume(_)
+            | Frame::ResumeAck { .. }
+            | Frame::Busy { .. } => {
+                // Migration / reconnect frames belong to a live server
+                // conversation, not a recorded journal.
                 return Err(ServeError::Protocol(
-                    "migration frame in a replay journal".into(),
+                    "live-connection frame in a replay journal".into(),
                 ));
             }
         }

@@ -46,6 +46,7 @@ use regmon::{SessionConfig, SessionSummary};
 use regmon_fleet::{EngineConfig, FleetEngine, TenantId, TenantSpec};
 use regmon_workload::suite;
 
+use crate::durable::{self, DurableOptions, WalWriter};
 use crate::error::ServeError;
 use crate::wire::{Frame, FrameParser, SnapshotFrame, WIRE_VERSION};
 
@@ -90,7 +91,7 @@ impl ServeMode {
 }
 
 /// Server construction knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeOptions {
     /// Shard worker threads.
     pub shards: usize,
@@ -105,6 +106,23 @@ pub struct ServeOptions {
     /// Highest wire version this server negotiates down to (pin to 1
     /// to serve as a v1-only peer).
     pub max_wire_version: u16,
+    /// Write a per-tenant WAL plus periodic checkpoints under this
+    /// directory, so a crashed server can be restarted with
+    /// [`ServeOptions::recover`] and resume byte-identically.
+    pub durable: Option<DurableOptions>,
+    /// Rebuild sessions from [`ServeOptions::durable`]'s directory
+    /// (checkpoint restore plus WAL tail replay) before accepting.
+    pub recover: bool,
+    /// Per-connection read/idle deadline (threads mode arms it as the
+    /// socket read timeout, events mode reaps idle connections).
+    /// `None` waits forever.
+    pub idle_timeout: Option<Duration>,
+    /// Admission control: beyond this many live connections, new ones
+    /// are shed with a `Busy` reply (0 = unlimited).
+    pub max_conns: usize,
+    /// How long shutdown waits for straggling connections and the
+    /// engine drain barrier before detaching them.
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServeOptions {
@@ -116,6 +134,11 @@ impl Default for ServeOptions {
             mode: ServeMode::Threads,
             event_workers: 2,
             max_wire_version: WIRE_VERSION,
+            durable: None,
+            recover: false,
+            idle_timeout: Some(Duration::from_secs(30)),
+            max_conns: 0,
+            drain_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -153,6 +176,13 @@ pub struct ServeReport {
     /// mode, the (fixed) worker-pool size in events mode. The
     /// connection-scaling story in one number.
     pub peak_handlers: usize,
+    /// Sessions rebuilt from the durable directory at startup.
+    pub recovered: usize,
+    /// Connections still unfinished when the drain deadline expired at
+    /// shutdown (they were detached, not waited for).
+    pub stragglers: usize,
+    /// Connections shed with a `Busy` reply at the connection cap.
+    pub shed: usize,
 }
 
 struct SessionEntry {
@@ -161,8 +191,11 @@ struct SessionEntry {
     workload: String,
     config: SessionConfig,
     max_intervals: u64,
-    /// Highest interval index seen, for the frame-lag histogram.
+    /// Highest interval index folded in: drives the frame-lag
+    /// histogram, duplicate-interval dropping and `ResumeAck`.
     last_interval: Option<usize>,
+    /// This session's write-ahead log (durable mode only).
+    wal: Option<WalWriter>,
     finished: bool,
     migrated: bool,
 }
@@ -175,6 +208,8 @@ struct ServerState {
     frames: u64,
     bytes: u64,
     errors: Vec<String>,
+    recovered: usize,
+    shed: usize,
 }
 
 /// The ingestion server: share it across connection-handler threads
@@ -284,7 +319,16 @@ impl Conn {
                     .as_mut()
                     .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
                 let engine_id = engine.admit(&spec);
-                self.local.insert(admit.tenant, state.sessions.len());
+                let slot = state.sessions.len();
+                let wal = match &server.options.durable {
+                    Some(opts) => {
+                        let mut wal = WalWriter::create(&opts.dir, slot, opts.fsync)?;
+                        wal.append(&Frame::Admit(admit.clone()))?;
+                        Some(wal)
+                    }
+                    None => None,
+                };
+                self.local.insert(admit.tenant, slot);
                 state.sessions.push(SessionEntry {
                     engine_id,
                     name: admit.name,
@@ -292,6 +336,7 @@ impl Conn {
                     config: admit.config,
                     max_intervals: admit.max_intervals,
                     last_interval: None,
+                    wal,
                     finished: false,
                     migrated: false,
                 });
@@ -318,20 +363,33 @@ impl Conn {
                     snap.max_intervals as usize,
                 );
                 let config = snapshot.config.clone();
+                let covered = snapshot.intervals;
                 let mut state = server.state.lock().expect("server state poisoned");
                 let engine = state
                     .engine
                     .as_mut()
                     .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
                 let engine_id = engine.admit_from_snapshot(&spec, snapshot);
-                self.local.insert(snap.tenant, state.sessions.len());
+                let slot = state.sessions.len();
+                let wal = match &server.options.durable {
+                    Some(opts) => {
+                        let mut wal = WalWriter::create(&opts.dir, slot, opts.fsync)?;
+                        wal.append(&Frame::Snapshot(snap.clone()))?;
+                        Some(wal)
+                    }
+                    None => None,
+                };
+                self.local.insert(snap.tenant, slot);
                 state.sessions.push(SessionEntry {
                     engine_id,
                     name: snap.name.clone(),
                     workload: snap.workload.clone(),
                     config,
                     max_intervals: snap.max_intervals,
-                    last_interval: None,
+                    // The snapshot already covers `covered` intervals;
+                    // duplicate dropping and resume count from there.
+                    last_interval: covered.checked_sub(1),
+                    wal,
                     finished: false,
                     migrated: false,
                 });
@@ -343,17 +401,30 @@ impl Conn {
             }
             Frame::Batch {
                 tenant: id,
-                intervals,
+                mut intervals,
             } => {
                 let &slot = self.local.get(&id).ok_or_else(|| {
                     ServeError::Protocol(format!("Batch for unadmitted tenant {id}"))
                 })?;
                 let mut state = server.state.lock().expect("server state poisoned");
+                let state = &mut *state;
                 let entry = &mut state.sessions[slot];
                 if entry.finished {
                     return Err(ServeError::Protocol(format!(
                         "Batch after Finish for tenant {id}"
                     )));
+                }
+                // Drop intervals already folded in: a resumed producer
+                // re-sends from its last acknowledged position, so
+                // at-least-once delivery becomes exactly-once here.
+                if let Some(last) = entry.last_interval {
+                    let dup = intervals.iter().take_while(|i| i.index <= last).count();
+                    if dup > 0 {
+                        intervals.drain(..dup);
+                    }
+                }
+                if intervals.is_empty() {
+                    return Ok(());
                 }
                 if telemetry_on {
                     if let (Some(last), Some(first)) =
@@ -366,12 +437,36 @@ impl Conn {
                 if let Some(interval) = intervals.last() {
                     entry.last_interval = Some(interval.index);
                 }
+                // Write-ahead: the WAL record lands before the engine
+                // sees the batch, so everything the engine folds in is
+                // recoverable.
+                if let Some(wal) = entry.wal.as_mut() {
+                    wal.append(&Frame::Batch {
+                        tenant: id,
+                        intervals: intervals.clone(),
+                    })?;
+                    wal.since_checkpoint += intervals.len() as u64;
+                }
                 let engine_id = entry.engine_id;
                 let engine = state
                     .engine
                     .as_ref()
                     .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
                 engine.offer_batch(engine_id, intervals);
+                // Periodic checkpoint: the peek rides the same FIFO
+                // shard queue, so it observes the batch just offered.
+                if let (Some(opts), Some(wal)) = (&server.options.durable, entry.wal.as_mut()) {
+                    if opts.checkpoint_every > 0 && wal.since_checkpoint >= opts.checkpoint_every {
+                        if let Some(snapshot) = engine.peek_snapshot(engine_id) {
+                            durable::write_checkpoint(&opts.dir, slot, &snapshot, opts.fsync)?;
+                            wal.sync_boundary()?;
+                            wal.since_checkpoint = 0;
+                            if telemetry_on {
+                                regmon_telemetry::metrics::SNAPSHOT_SAVES.inc();
+                            }
+                        }
+                    }
+                }
             }
             Frame::Checkpoint { tenant: id } => {
                 // Freeze the tenant, ship its session back as a
@@ -407,6 +502,14 @@ impl Conn {
                     max_intervals: entry.max_intervals,
                     snapshot: crate::snapshot::encode_snapshot(&snapshot),
                 }));
+                // A closing Checkpoint record marks the WAL as
+                // migrated-away: recovery re-creates the entry but
+                // does not re-admit the tenant.
+                if let Some(wal) = entry.wal.as_mut() {
+                    wal.append(&Frame::Checkpoint { tenant: id })?;
+                    wal.sync_boundary()?;
+                }
+                entry.wal = None;
                 entry.finished = true;
                 entry.migrated = true;
                 state.finished += 1;
@@ -432,6 +535,10 @@ impl Conn {
                         "duplicate Finish for tenant {id}"
                     )));
                 }
+                if let Some(wal) = state.sessions[slot].wal.as_mut() {
+                    wal.append(&Frame::Finish { tenant: id })?;
+                    wal.sync_boundary()?;
+                }
                 state.sessions[slot].finished = true;
                 state.finished += 1;
                 self.finished += 1;
@@ -446,6 +553,67 @@ impl Conn {
                 if state.finished >= server.options.expect_sessions {
                     server.done.store(true, Ordering::Release);
                 }
+            }
+            Frame::Resume(admit) => {
+                // A reconnecting producer asks where its session's
+                // stream left off. The lookup is by NAME — wire tenant
+                // ids are connection-scoped and the original
+                // connection is gone. A miss is answered, never
+                // admitted: the client re-sends its own opener (which
+                // may be a Snapshot frame this server cannot invent).
+                let state = server.state.lock().expect("server state poisoned");
+                let found = state
+                    .sessions
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, e)| e.name == admit.name)
+                    .map(|(slot, _)| slot);
+                let reply = match found {
+                    None => Frame::ResumeAck {
+                        tenant: admit.tenant,
+                        found: false,
+                        done: false,
+                        next_interval: 0,
+                    },
+                    Some(slot) => {
+                        let entry = &state.sessions[slot];
+                        if entry.workload != admit.workload || entry.config != admit.config {
+                            return Err(ServeError::Protocol(format!(
+                                "Resume for session {:?} does not match its admitted \
+                                 workload/config",
+                                admit.name
+                            )));
+                        }
+                        if entry.finished {
+                            Frame::ResumeAck {
+                                tenant: admit.tenant,
+                                found: true,
+                                done: true,
+                                next_interval: 0,
+                            }
+                        } else {
+                            self.local.insert(admit.tenant, slot);
+                            Frame::ResumeAck {
+                                tenant: admit.tenant,
+                                found: true,
+                                done: false,
+                                next_interval: entry
+                                    .last_interval
+                                    .map_or(0, |last| last as u64 + 1),
+                            }
+                        }
+                    }
+                };
+                drop(state);
+                self.out.extend_from_slice(&reply.encode());
+            }
+            Frame::ResumeAck { .. } | Frame::Busy { .. } => {
+                // Server-to-client frames have no business arriving
+                // from a producer.
+                return Err(ServeError::Protocol(
+                    "client-bound frame from a producer".into(),
+                ));
             }
         }
         Ok(())
@@ -487,6 +655,8 @@ impl Server {
                 frames: 0,
                 bytes: 0,
                 errors: Vec::new(),
+                recovered: 0,
+                shed: 0,
             }),
             options,
             done: AtomicBool::new(false),
@@ -495,8 +665,184 @@ impl Server {
 
     /// The options this server was built with.
     #[must_use]
-    pub fn options(&self) -> ServeOptions {
-        self.options
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Rebuilds sessions from the durable directory: per slot, restore
+    /// the newest valid checkpoint (if any), replay the WAL tail past
+    /// it, and reopen the WAL for further appends. Because the WAL
+    /// holds the exact deduplicated wire frames the crashed process
+    /// folded in — and the pipeline is deterministic — the recovered
+    /// sessions are byte-identical to an uninterrupted run at the same
+    /// position. Torn WAL tails were already truncated by
+    /// [`durable::read_wal`]; they are how a crash looks, never fatal.
+    ///
+    /// Returns the number of sessions recovered (0 when
+    /// [`ServeOptions::recover`] is off).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures and structurally broken WALs (an opener
+    /// that is not `Admit`/`Snapshot`, unknown workloads).
+    pub fn recover(&self) -> Result<usize, ServeError> {
+        if !self.options.recover {
+            return Ok(0);
+        }
+        let Some(opts) = self.options.durable.clone() else {
+            return Ok(0);
+        };
+        let telemetry_on = regmon_telemetry::enabled();
+        let mut state = self.state.lock().expect("server state poisoned");
+        let state = &mut *state;
+        for (slot, path) in durable::wal_slots(&opts.dir)? {
+            if slot != state.sessions.len() {
+                return Err(ServeError::Protocol(format!(
+                    "durable dir {}: WAL slot {slot} breaks admission order",
+                    opts.dir.display()
+                )));
+            }
+            let recovery = durable::read_wal(&path)?;
+            let mut frames = recovery.frames.into_iter();
+            let opener = frames.next().ok_or_else(|| {
+                ServeError::Protocol(format!("{}: WAL has no opener record", path.display()))
+            })?;
+            let (name, workload_name, config, max_intervals, opener_covered) = match &opener {
+                Frame::Admit(admit) => (
+                    admit.name.clone(),
+                    admit.workload.clone(),
+                    admit.config.clone(),
+                    admit.max_intervals,
+                    0usize,
+                ),
+                Frame::Snapshot(snap) => {
+                    let decoded = crate::snapshot::decode_snapshot(&snap.snapshot)?;
+                    (
+                        snap.name.clone(),
+                        snap.workload.clone(),
+                        decoded.config.clone(),
+                        snap.max_intervals,
+                        decoded.intervals,
+                    )
+                }
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "{}: WAL opener is {other:?}, not Admit/Snapshot",
+                        path.display()
+                    )))
+                }
+            };
+            let frames: Vec<Frame> = frames.collect();
+            let migrated = frames.iter().any(|f| matches!(f, Frame::Checkpoint { .. }));
+            let finished = frames.iter().any(|f| matches!(f, Frame::Finish { .. }));
+            let mut last_interval = opener_covered.checked_sub(1);
+            for frame in &frames {
+                if let Frame::Batch { intervals, .. } = frame {
+                    if let Some(interval) = intervals.last() {
+                        last_interval = Some(interval.index);
+                    }
+                }
+            }
+
+            if migrated {
+                // The session was checked out to another server before
+                // the crash; keep the slot (admission order) but do
+                // not re-admit. The dummy engine id matches nothing in
+                // the final summaries, exactly like a live migration.
+                state.sessions.push(SessionEntry {
+                    engine_id: TenantId(u32::MAX - slot as u32),
+                    name,
+                    workload: workload_name,
+                    config,
+                    max_intervals,
+                    last_interval,
+                    wal: None,
+                    finished: true,
+                    migrated: true,
+                });
+                state.finished += 1;
+                state.recovered += 1;
+                continue;
+            }
+
+            let workload = suite::by_name(&workload_name)
+                .ok_or_else(|| ServeError::UnknownWorkload(workload_name.clone()))?;
+            let spec = TenantSpec::new(
+                name.clone(),
+                workload,
+                config.clone(),
+                max_intervals as usize,
+            );
+            let engine = state
+                .engine
+                .as_mut()
+                .ok_or_else(|| ServeError::Protocol("server already shut down".into()))?;
+            // Base state: the checkpoint when it covers at least the
+            // opener, else the opener itself. A corrupt checkpoint
+            // already degraded to None (full WAL replay).
+            let checkpoint = durable::load_checkpoint(&opts.dir, slot)
+                .filter(|ck| ck.config == config && ck.intervals >= opener_covered);
+            let (engine_id, covered) = match checkpoint {
+                Some(ck) => {
+                    let covered = ck.intervals;
+                    (engine.admit_from_snapshot(&spec, ck), covered)
+                }
+                None => match opener {
+                    Frame::Admit(_) => (engine.admit(&spec), 0),
+                    Frame::Snapshot(snap) => {
+                        let decoded = crate::snapshot::decode_snapshot(&snap.snapshot)?;
+                        (engine.admit_from_snapshot(&spec, decoded), opener_covered)
+                    }
+                    _ => unreachable!("opener checked above"),
+                },
+            };
+            // Replay the WAL tail past the base state. Dedup against
+            // `covered` keeps checkpoint restore + replay exactly-once.
+            for frame in frames {
+                match frame {
+                    Frame::Batch { intervals, .. } => {
+                        let tail: Vec<_> = intervals
+                            .into_iter()
+                            .filter(|i| i.index >= covered)
+                            .collect();
+                        if !tail.is_empty() {
+                            engine.offer_batch(engine_id, tail);
+                        }
+                    }
+                    Frame::Finish { .. } => engine.finish(engine_id),
+                    _ => {}
+                }
+            }
+            let wal = if finished {
+                None
+            } else {
+                Some(WalWriter::open_append(&path, opts.fsync, 0)?)
+            };
+            state.sessions.push(SessionEntry {
+                engine_id,
+                name,
+                workload: workload_name,
+                config,
+                max_intervals,
+                last_interval,
+                wal,
+                finished,
+                migrated: false,
+            });
+            if finished {
+                state.finished += 1;
+            }
+            state.recovered += 1;
+        }
+        if telemetry_on && state.recovered > 0 {
+            regmon_telemetry::metrics::SERVE_RECOVERIES.add(state.recovered as u64);
+            regmon_telemetry::metrics::SERVE_SESSIONS
+                .set((state.sessions.len() - state.finished) as i64);
+        }
+        if state.finished >= self.options.expect_sessions {
+            self.done.store(true, Ordering::Release);
+        }
+        Ok(state.recovered)
     }
 
     /// `true` once [`ServeOptions::expect_sessions`] sessions finished.
@@ -547,6 +893,21 @@ impl Server {
             let n = match stream.read(&mut buf) {
                 Ok(n) => n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // The socket read deadline fired: a stuck or
+                    // vanished peer must not hold its handler forever.
+                    if telemetry_on {
+                        regmon_telemetry::metrics::SERVE_TIMEOUTS.inc();
+                    }
+                    return Err(ServeError::Timeout(
+                        "connection idle past the read deadline".into(),
+                    ));
+                }
                 Err(e) => return Err(ServeError::Io(e)),
             };
             if n == 0 {
@@ -603,6 +964,23 @@ impl Server {
         }
     }
 
+    /// Sheds a connection at the admission-control cap: a graceful
+    /// `Busy` reply is written (best-effort) and the stream dropped,
+    /// so a v2 client backs off and retries instead of hanging.
+    pub(crate) fn shed(&self, stream: &mut impl Write, telemetry_on: bool) {
+        let busy = Frame::Busy {
+            message: "connection limit reached; retry with backoff".into(),
+        }
+        .encode();
+        let _ = stream.write_all(&busy);
+        let _ = stream.flush();
+        if telemetry_on {
+            regmon_telemetry::metrics::SERVE_CONNS_SHED.inc();
+        }
+        let mut state = self.state.lock().expect("server state poisoned");
+        state.shed += 1;
+    }
+
     pub(crate) fn conn_opened(&self, telemetry_on: bool) {
         if telemetry_on {
             regmon_telemetry::metrics::SERVE_CONNECTIONS.inc();
@@ -650,7 +1028,12 @@ impl Server {
             let mut state = self.state.lock().expect("server state poisoned");
             state.engine.take().expect("Server::finish called twice")
         };
-        engine.drain_barrier();
+        if !engine.drain_barrier_timeout(self.options.drain_deadline) {
+            let mut state = self.state.lock().expect("server state poisoned");
+            state
+                .errors
+                .push("timeout: engine drain barrier missed the shutdown deadline".into());
+        }
         let finals = engine.shutdown();
         let mut by_id: HashMap<TenantId, Option<SessionSummary>> = HashMap::new();
         for shard in finals {
@@ -675,6 +1058,9 @@ impl Server {
             bytes: state.bytes,
             errors: state.errors.clone(),
             peak_handlers: 0,
+            recovered: state.recovered,
+            stragglers: 0,
+            shed: state.shed,
         }
     }
 }
@@ -690,19 +1076,28 @@ where
     S: Read + Write + Send + 'static,
     L: Send,
 {
+    let telemetry_on = regmon_telemetry::enabled();
+    let max_conns = options.max_conns;
+    let drain_deadline = options.drain_deadline;
     let server = Arc::new(Server::new(options));
+    server.recover()?;
     let live = Arc::new(AtomicUsize::new(0));
     let peak = Arc::new(AtomicUsize::new(0));
     let mut handles = Vec::new();
     while !server.done() {
         match accept(&listener) {
-            Ok(stream) => {
+            Ok(mut stream) => {
+                // Admission control happens at accept time, before a
+                // handler exists: the cap is exact, not racy.
+                if max_conns > 0 && live.load(Ordering::Relaxed) >= max_conns {
+                    server.shed(&mut stream, telemetry_on);
+                    continue;
+                }
+                let now = live.fetch_add(1, Ordering::Relaxed) + 1;
+                peak.fetch_max(now, Ordering::Relaxed);
                 let server = Arc::clone(&server);
                 let live = Arc::clone(&live);
-                let peak = Arc::clone(&peak);
                 handles.push(std::thread::spawn(move || {
-                    let now = live.fetch_add(1, Ordering::Relaxed) + 1;
-                    peak.fetch_max(now, Ordering::Relaxed);
                     // Errors are recorded in the report; a bad producer
                     // must not take the server down.
                     let _ = server.handle_io(stream);
@@ -715,11 +1110,28 @@ where
             Err(e) => return Err(ServeError::Io(e)),
         }
     }
+    // Bounded drain: wait for handlers up to the deadline, then detach
+    // the stragglers — one stuck peer must never hang shutdown. A
+    // detached handler that wakes later meets "server already shut
+    // down" protocol errors, which is safe.
+    let deadline = std::time::Instant::now() + drain_deadline;
+    let mut stragglers = 0usize;
     for handle in handles {
-        let _ = handle.join();
+        loop {
+            if handle.is_finished() {
+                let _ = handle.join();
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                stragglers += 1;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
     let mut report = server.finish();
     report.peak_handlers = peak.load(Ordering::Relaxed);
+    report.stragglers = stragglers;
     Ok(report)
 }
 
@@ -737,12 +1149,14 @@ pub fn serve_unix(path: &Path, options: ServeOptions) -> Result<ServeReport, Ser
     let _ = std::fs::remove_file(path);
     let listener = UnixListener::bind(path)?;
     listener.set_nonblocking(true)?;
+    let idle = options.idle_timeout;
     let report = match options.mode {
         ServeMode::Threads => run_listener(
             listener,
-            |l| {
+            move |l| {
                 let (stream, _) = l.accept()?;
                 stream.set_nonblocking(false)?;
+                stream.set_read_timeout(idle)?;
                 Ok(stream)
             },
             options,
@@ -784,11 +1198,13 @@ pub fn serve_tcp(addr: &str, options: ServeOptions) -> Result<ServeReport, Serve
             options,
         );
     }
+    let idle = options.idle_timeout;
     run_listener(
         listener,
-        |l| {
+        move |l| {
             let (stream, _) = l.accept()?;
             stream.set_nonblocking(false)?;
+            stream.set_read_timeout(idle)?;
             Ok(stream)
         },
         options,

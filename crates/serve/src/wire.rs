@@ -78,6 +78,9 @@ const TYPE_BATCH2: u8 = 5;
 const TYPE_COMPRESSED: u8 = 6;
 const TYPE_SNAPSHOT: u8 = 7;
 const TYPE_CHECKPOINT: u8 = 8;
+const TYPE_RESUME: u8 = 9;
+const TYPE_RESUME_ACK: u8 = 10;
+const TYPE_BUSY: u8 = 11;
 
 /// Why a wire stream failed to decode.
 #[derive(Debug)]
@@ -235,6 +238,29 @@ pub enum Frame {
     Checkpoint {
         /// The tenant to check out.
         tenant: u32,
+    },
+    /// Wire-v2: reconnect-and-resume opener. Same payload as `Admit`,
+    /// but asks the server to attach to an existing live session *by
+    /// name* (wire tenant ids are connection-scoped, so a reconnecting
+    /// producer cannot rely on them). The server answers `ResumeAck`;
+    /// it never admits on a miss — the producer re-opens explicitly.
+    Resume(Box<AdmitFrame>),
+    /// Wire-v2 server reply to `Resume`: where the stream left off.
+    ResumeAck {
+        /// Echo of the producer-chosen tenant id from the `Resume`.
+        tenant: u32,
+        /// Whether a matching live session was found and attached.
+        found: bool,
+        /// Whether that session already finished (nothing left to send).
+        done: bool,
+        /// First interval index the server has not yet folded in.
+        next_interval: u64,
+    },
+    /// Wire-v2: graceful server refusal (admission control). The peer
+    /// should back off and retry, or give up.
+    Busy {
+        /// Human-readable reason.
+        message: String,
     },
 }
 
@@ -891,6 +917,9 @@ impl Frame {
             Self::Finish { .. } => TYPE_FINISH,
             Self::Snapshot(_) => TYPE_SNAPSHOT,
             Self::Checkpoint { .. } => TYPE_CHECKPOINT,
+            Self::Resume(_) => TYPE_RESUME,
+            Self::ResumeAck { .. } => TYPE_RESUME_ACK,
+            Self::Busy { .. } => TYPE_BUSY,
         }
     }
 
@@ -900,7 +929,7 @@ impl Frame {
                 out.extend_from_slice(&WIRE_MAGIC);
                 push_u16(out, *version);
             }
-            Self::Admit(admit) => {
+            Self::Admit(admit) | Self::Resume(admit) => {
                 push_u32(out, admit.tenant);
                 push_str(out, &admit.name);
                 push_str(out, &admit.workload);
@@ -924,6 +953,18 @@ impl Frame {
                 out.extend_from_slice(&snap.snapshot);
             }
             Self::Checkpoint { tenant } => push_u32(out, *tenant),
+            Self::ResumeAck {
+                tenant,
+                found,
+                done,
+                next_interval,
+            } => {
+                push_u32(out, *tenant);
+                out.push(u8::from(*found));
+                out.push(u8::from(*done));
+                push_u64(out, *next_interval);
+            }
+            Self::Busy { message } => push_str(out, message),
         }
     }
 
@@ -937,10 +978,20 @@ impl Frame {
         }
     }
 
-    fn decode(frame_type: u8, payload: &[u8], max_version: u16) -> Result<Self, WireError> {
+    pub(crate) fn decode(
+        frame_type: u8,
+        payload: &[u8],
+        max_version: u16,
+    ) -> Result<Self, WireError> {
         if matches!(
             frame_type,
-            TYPE_BATCH2 | TYPE_COMPRESSED | TYPE_SNAPSHOT | TYPE_CHECKPOINT
+            TYPE_BATCH2
+                | TYPE_COMPRESSED
+                | TYPE_SNAPSHOT
+                | TYPE_CHECKPOINT
+                | TYPE_RESUME
+                | TYPE_RESUME_ACK
+                | TYPE_BUSY
         ) && max_version < 2
         {
             // Wire-v2 frames on a settled-v1 connection are as foreign
@@ -1029,6 +1080,43 @@ impl Frame {
                 }))
             }
             TYPE_CHECKPOINT => Self::Checkpoint { tenant: cur.u32()? },
+            TYPE_RESUME => {
+                let tenant = cur.u32()?;
+                let name = cur.string()?;
+                let workload = cur.string()?;
+                let config = decode_config(&mut cur)?;
+                let max_intervals = cur.u64()?;
+                Self::Resume(Box::new(AdmitFrame {
+                    tenant,
+                    name,
+                    workload,
+                    config,
+                    max_intervals,
+                }))
+            }
+            TYPE_RESUME_ACK => {
+                let tenant = cur.u32()?;
+                let found = match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("resume-ack found flag")),
+                };
+                let done = match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("resume-ack done flag")),
+                };
+                let next_interval = cur.u64()?;
+                Self::ResumeAck {
+                    tenant,
+                    found,
+                    done,
+                    next_interval,
+                }
+            }
+            TYPE_BUSY => Self::Busy {
+                message: cur.string()?,
+            },
             other => return Err(WireError::UnknownFrameType(other)),
         };
         cur.finish()?;
@@ -1037,9 +1125,10 @@ impl Frame {
 
     /// Serializes the frame into its full wire representation
     /// (header + checksum + body), in the v1 dialect for frames v1 can
-    /// express. `Snapshot`/`Checkpoint` have no v1 spelling and encode
-    /// as their v2 types. Byte-identical to what this crate has always
-    /// emitted for Hello/Admit/Batch/Finish.
+    /// express. `Snapshot`/`Checkpoint`/`Resume`/`ResumeAck`/`Busy`
+    /// have no v1 spelling and encode as their v2 types. Byte-identical
+    /// to what this crate has always emitted for
+    /// Hello/Admit/Batch/Finish.
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut body = vec![self.type_byte()];
@@ -1353,7 +1442,8 @@ impl FrameParser {
                 self.v2_frames += 1;
                 self.compressed_frames += 1;
             }
-            TYPE_BATCH2 | TYPE_SNAPSHOT | TYPE_CHECKPOINT => self.v2_frames += 1,
+            TYPE_BATCH2 | TYPE_SNAPSHOT | TYPE_CHECKPOINT | TYPE_RESUME | TYPE_RESUME_ACK
+            | TYPE_BUSY => self.v2_frames += 1,
             _ => {}
         }
         self.pos += total;

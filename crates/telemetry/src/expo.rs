@@ -298,6 +298,35 @@ mod tests {
     }
 
     #[test]
+    fn durability_counters_round_trip_through_exposition() {
+        let _guard = crate::test_guard();
+        crate::set_enabled(true);
+        metrics::SERVE_RECOVERIES.inc();
+        metrics::WAL_RECORDS.add(7);
+        metrics::SEND_RETRIES.add(2);
+        metrics::SERVE_TIMEOUTS.inc();
+        metrics::SERVE_CONNS_SHED.inc();
+        let text = prometheus_text();
+        let snap = json_snapshot();
+        crate::set_enabled(false);
+        validate_prometheus(&text).expect("exposition must parse");
+        for (name, value) in [
+            ("regmon_serve_recoveries_total", "1"),
+            ("regmon_wal_records_total", "7"),
+            ("regmon_send_retries_total", "2"),
+            ("regmon_serve_timeouts_total", "1"),
+            ("regmon_serve_conns_shed_total", "1"),
+        ] {
+            assert!(
+                text.contains(&format!("{name} {value}")),
+                "{name} missing from exposition:\n{text}"
+            );
+            assert!(snap.contains(name), "{name} missing from JSON snapshot");
+        }
+        crate::reset();
+    }
+
+    #[test]
     fn validate_rejects_garbage() {
         assert!(validate_prometheus("not a metric line").is_err());
         assert!(validate_prometheus("# HELP").is_err());

@@ -239,6 +239,36 @@ pub static SERVE_MIGRATIONS: Counter = Counter::new(
     "Tenant sessions checked out of a serve process over the wire",
 );
 
+/// Sessions rebuilt from a durable directory after a crash.
+pub static SERVE_RECOVERIES: Counter = Counter::new(
+    "regmon_serve_recoveries_total",
+    "Wire sessions recovered from checkpoint plus WAL replay",
+);
+
+/// Frames appended to per-tenant write-ahead logs.
+pub static WAL_RECORDS: Counter = Counter::new(
+    "regmon_wal_records_total",
+    "Frames appended to durable write-ahead logs",
+);
+
+/// Client reconnect attempts taken by `regmon send`/`migrate`.
+pub static SEND_RETRIES: Counter = Counter::new(
+    "regmon_send_retries_total",
+    "Wire client reconnect attempts after a transport failure",
+);
+
+/// Serve connections closed for blowing a read/idle deadline.
+pub static SERVE_TIMEOUTS: Counter = Counter::new(
+    "regmon_serve_timeouts_total",
+    "Serve connections closed on a read or idle deadline",
+);
+
+/// Serve connections refused at the admission-control cap.
+pub static SERVE_CONNS_SHED: Counter = Counter::new(
+    "regmon_serve_conns_shed_total",
+    "Serve connections shed with a Busy reply at the connection cap",
+);
+
 /// Wire sessions currently admitted and not yet finished.
 pub static SERVE_SESSIONS: Gauge = Gauge::new(
     "regmon_serve_sessions",
@@ -252,7 +282,7 @@ pub static SERVE_FRAME_LAG: Histogram = Histogram::new(
     "Interval-index gap between consecutive frames of one wire tenant",
 );
 
-static COUNTERS: [&Counter; 31] = [
+static COUNTERS: [&Counter; 36] = [
     &QUEUE_PUSHED,
     &QUEUE_POPPED,
     &QUEUE_DROPPED,
@@ -284,6 +314,11 @@ static COUNTERS: [&Counter; 31] = [
     &WIRE_COMPRESSED_FRAMES,
     &SERVE_EVENT_WAKEUPS,
     &SERVE_MIGRATIONS,
+    &SERVE_RECOVERIES,
+    &WAL_RECORDS,
+    &SEND_RETRIES,
+    &SERVE_TIMEOUTS,
+    &SERVE_CONNS_SHED,
 ];
 
 static GAUGES: [&Gauge; 4] = [

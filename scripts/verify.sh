@@ -139,6 +139,28 @@ if [[ "$run_json" != "$(cat "$serve_dir/migrate_b.json")" ]]; then
   echo "FAIL: migrated session --json differed from the recorded run --json" >&2
   exit 1
 fi
+step "fault-injection suite (scripted drops/torn frames/bit flips)"
+cargo test -q -p regmon-serve --test serve_faults
+
+step "kill -9 recovery smoke (--durable, SIGKILL mid-ingest, --recover, byte-compare)"
+cargo run -q --release -p regmon-cli -- run 181.mcf --intervals 12 --record "$serve_dir/prefix.rgj" >/dev/null 2>&1
+cargo run -q --release -p regmon-cli -- serve --unix "$serve_dir/regmon.sock" --expect-sessions 1 --durable "$serve_dir/wal" --checkpoint-every 5 --json >"$serve_dir/unused.json" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do [[ -S "$serve_dir/regmon.sock" ]] && break; sleep 0.1; done
+cargo run -q --release -p regmon-cli -- send "$serve_dir/prefix.rgj" --unix "$serve_dir/regmon.sock" --no-finish 2>/dev/null
+for _ in $(seq 1 100); do [[ -s "$serve_dir/wal/session-0000.wal" ]] && break; sleep 0.1; done
+kill -9 "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+rm -f "$serve_dir/regmon.sock"
+cargo run -q --release -p regmon-cli -- serve --unix "$serve_dir/regmon.sock" --expect-sessions 1 --recover "$serve_dir/wal" --json >"$serve_dir/recovered.json" 2>/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do [[ -S "$serve_dir/regmon.sock" ]] && break; sleep 0.1; done
+cargo run -q --release -p regmon-cli -- send "$serve_dir/session.rgj" --unix "$serve_dir/regmon.sock" --resume --retries 3 2>/dev/null
+wait "$serve_pid"
+if [[ "$run_json" != "$(cat "$serve_dir/recovered.json")" ]]; then
+  echo "FAIL: kill -9 recovery --json differed from the uninterrupted run --json" >&2
+  exit 1
+fi
 rm -rf "$serve_dir"
 
 step "serve demo example"
