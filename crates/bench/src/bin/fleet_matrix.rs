@@ -38,6 +38,7 @@ use std::thread;
 use std::time::Instant;
 
 use regmon_binary::Addr;
+use regmon_cpd::{CpdHub, Metric, SeriesKey, StreamConfig, NO_REGION};
 use regmon_fleet::{Droppable, QueuePolicy, RingQueue};
 use regmon_sampling::{Interval, PcSample};
 use regmon_serve::wire::{read_frame, Frame, WireDialect};
@@ -610,6 +611,41 @@ fn legacy_decode_batch(bytes: &[u8]) -> (u32, Vec<Interval>) {
     (tenant, intervals)
 }
 
+/// One timed pass of the fleet's change-point hub: the exact shape the
+/// `--cpd` driver feeds it — one UCR point per tenant per round, with a
+/// step regression planted in every eighth tenant halfway through so
+/// the detection scans (the expensive path: windowed E-divisive with a
+/// permutation test every `detect_every` points) actually fire and
+/// find something. A deterministic sub-1% wobble keeps the flat series
+/// from being degenerate constants. Returns elapsed seconds.
+fn run_cpd(tenants: usize, rounds: usize) -> f64 {
+    let mut hub = CpdHub::new(StreamConfig::default());
+    let start = Instant::now();
+    for round in 0..rounds {
+        for t in 0..tenants {
+            let key = SeriesKey {
+                tenant: t as u64,
+                region: NO_REGION,
+                metric: Metric::Ucr,
+            };
+            let base = if t % 8 == 3 && round >= rounds / 2 {
+                0.9
+            } else {
+                0.1
+            };
+            let h = (round as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(t as u64)
+                .wrapping_mul(0xD1B5_4A32_D192_ED03);
+            let wobble = (h >> 40) as f64 / (1u64 << 24) as f64 * 0.005;
+            hub.observe(key, round as u64, base + wobble);
+        }
+    }
+    hub.flush();
+    black_box(hub.take_detections());
+    start.elapsed().as_secs_f64()
+}
+
 /// Median throughput in million intervals per second over `reps` runs.
 fn median_mips<F: FnMut() -> f64>(total_intervals: usize, reps: usize, mut run: F) -> f64 {
     run(); // warmup
@@ -873,6 +909,15 @@ fn main() {
     let telemetry_overhead_min_pct = overheads[0];
     let telemetry_overhead_median_pct = overheads[overheads.len() / 2];
 
+    // Change-point detection throughput: the `--cpd` hub at the
+    // headline tenant count, measured in points (observations) per
+    // second. The guarded figure is what bounds how many telemetry
+    // series a fleet can watch per round before detection becomes the
+    // bottleneck rather than ingest.
+    let cpd_rounds = per_tenant;
+    let cpd_total = HEADLINE_TENANTS * cpd_rounds;
+    let cpd_mpps = median_mips(cpd_total, reps, || run_cpd(HEADLINE_TENANTS, cpd_rounds));
+
     // Connection scaling: a live `regmon serve` over a unix socket,
     // many mostly-idle connections plus a core of active producers, in
     // both serve modes. These rows time the whole server (wire decode +
@@ -928,7 +973,8 @@ fn main() {
          (the serve-mode ingest path); wire2 = the same path over delta-encoded \
          columnar wire-v2 Batch frames; serve_scaling = a live unix-socket server \
          (decode + transport + session compute) under idle connection fan-in, \
-         threads vs events serve loop\",\n",
+         threads vs events serve loop; cpd = the --cpd change-point hub fed one \
+         UCR point per tenant per round (million points/sec)\",\n",
     );
     json.push_str("  \"headline\": {\n");
     json.push_str(&format!("    \"tenants\": {HEADLINE_TENANTS},\n"));
@@ -967,6 +1013,7 @@ fn main() {
     json.push_str(&format!(
         "    \"wire_decode_speedup\": {decode_speedup:.2},\n"
     ));
+    json.push_str(&format!("    \"cpd_m_points_per_sec\": {cpd_mpps:.3},\n"));
     json.push_str(&format!(
         "    \"telemetry_off_m_intervals_per_sec\": {telemetry_off:.3},\n"
     ));
@@ -1016,7 +1063,8 @@ fn main() {
          forced-scalar bulk {decode_scalar_mips:.2}); \
          telemetry overhead min {telemetry_overhead_min_pct:.2}% / \
          median {telemetry_overhead_median_pct:.2}% \
-         (best {telemetry_off:.2} off vs {telemetry_on:.2} on))",
+         (best {telemetry_off:.2} off vs {telemetry_on:.2} on); \
+         cpd hub {cpd_mpps:.3} M points/s)",
         cells.len(),
         decode_level.label()
     );

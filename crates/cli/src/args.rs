@@ -8,7 +8,7 @@ pub struct Parsed {
 }
 
 /// Flags that take no value.
-const BOOL_FLAGS: [&str; 7] = [
+const BOOL_FLAGS: [&str; 8] = [
     "json",
     "interprocedural",
     "steal",
@@ -16,6 +16,7 @@ const BOOL_FLAGS: [&str; 7] = [
     "compress",
     "no-finish",
     "resume",
+    "cpd",
 ];
 
 /// Parses `argv` into positionals and options.

@@ -8,9 +8,10 @@ use regmon::sampling::Sampler;
 use regmon::workload::{suite, Workload};
 use regmon::{MonitoringSession, SessionConfig, SessionSummary};
 use regmon_baselines::{BbvConfig, BbvDetector, WssConfig, WssDetector};
+use regmon_cpd::{CpdHub, EDivConfig, Metric, SeriesKey, StreamConfig, NO_REGION, NO_TENANT};
 use regmon_fleet::{
-    batch_bucket_label, run_fleet, FleetConfig, Pacing, QueuePolicy, Schedule, TenantSpec,
-    BATCH_BUCKETS,
+    batch_bucket_label, run_fleet, CpdReport, FleetConfig, Pacing, QueuePolicy, Schedule,
+    TenantSpec, BATCH_BUCKETS,
 };
 use regmon_serve::replay::ReplayOptions;
 use regmon_serve::server::{ServeMode, ServeOptions, ServeReport};
@@ -39,6 +40,7 @@ USAGE:
                [--index linear|tree|flat] [--parallel-attrib N] [--json]
                [--simd scalar|sse2|avx2] [--metrics-every N]
                [--trace-out FILE] [--record DIR]
+               [--cpd] [--degrade TENANT:INTERVAL]
   regmon replay <journal> [--json] [--snapshot-at N] [--snapshot-out FILE]
                [--resume FILE]
   regmon serve (--unix PATH | --tcp ADDR) [--shards N] [--queue-depth N]
@@ -56,6 +58,8 @@ USAGE:
                [--timeout-ms N] [--backoff-ms N]
   regmon metrics [<benchmark>] [--intervals N] [--json]
   regmon metrics --check FILE
+  regmon cpd (--trace FILE | --bench FILE[,FILE...]) [--top N] [--json]
+               [--simd scalar|sse2|avx2]
   regmon help
 
 Benchmarks are the synthetic SPEC CPU2000-like models (see `regmon list`).
@@ -101,7 +105,17 @@ Telemetry is off unless requested: `--trace-out` writes a
 chrome://tracing event journal, `--metrics-every N` prints a Prometheus
 exposition to stderr every N lockstep rounds, and `regmon metrics`
 prints the registry after a short demo run (`--check` validates a
-previously written trace/snapshot/exposition file).";
+previously written trace/snapshot/exposition file).
+
+Change-point detection: `fleet --cpd` runs streaming E-divisive
+detectors over every tenant's UCR and per-region r/rt series plus
+per-shard queue stalls, reporting which series shifted, at which
+interval, by how much, and with what permutation-test confidence —
+deterministically (byte-identical across batch/steal/simd, and the
+JSON without `--cpd` is unchanged). `--degrade TENANT:INTERVAL` plants
+a synthetic regression to exercise it. Offline, `regmon cpd --trace`
+re-hunts a recorded trace artifact and finds the same points, and
+`regmon cpd --bench` watches the committed BENCH_*.json history.";
 
 /// Applies a `--simd LEVEL` override: the in-process equivalent of
 /// setting `REGMON_SIMD`, scoped to this invocation. Safe to dial
@@ -140,6 +154,34 @@ fn workload(name: Option<&str>) -> Result<Workload, String> {
         [] => Err(format!("unknown benchmark {name:?}; try `regmon list`")),
         many => Err(format!("ambiguous benchmark {name:?}: {many:?}")),
     }
+}
+
+/// The candidate closest to `given` by edit distance, when close
+/// enough to plausibly be a typo — powers `did you mean ...?` errors.
+pub fn closest<'a>(given: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    candidates
+        .iter()
+        .map(|c| (edit_distance(given, c), *c))
+        .min_by_key(|(d, _)| *d)
+        .filter(|(d, _)| *d <= 2.max(given.len() / 3))
+        .map(|(_, c)| c)
+}
+
+/// Classic Levenshtein distance (two-row dynamic program).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let subst = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = subst.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// `regmon list`
@@ -425,10 +467,38 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
     let metrics_every: usize = p.value_or("metrics-every", 0)?;
     let trace_out: String = p.value_or("trace-out", String::new())?;
     let record: String = p.value_or("record", String::new())?;
+    let cpd_on = p.flag("cpd");
+    let degrade: String = p.value_or("degrade", String::new())?;
     if tenants == 0 || shards == 0 || intervals == 0 || queue_depth == 0 || batch == 0 {
         return Err("--tenants/--shards/--intervals/--queue-depth/--batch must be positive".into());
     }
-    if metrics_every > 0 || !trace_out.is_empty() {
+    if cpd_on && pacing == Pacing::Freerun {
+        return Err(
+            "--cpd needs --pacing lockstep (the detector is driven off the deterministic \
+             round tick)"
+                .into(),
+        );
+    }
+    let degrade: Option<(usize, usize)> = if degrade.is_empty() {
+        None
+    } else {
+        let (t, n) = degrade
+            .split_once(':')
+            .ok_or("--degrade expects TENANT:INTERVAL (e.g. --degrade 3:40)")?;
+        let t: usize = t
+            .parse()
+            .map_err(|_| format!("--degrade: cannot parse tenant {t:?}"))?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("--degrade: cannot parse interval {n:?}"))?;
+        if t >= tenants || n >= intervals {
+            return Err(format!(
+                "--degrade {t}:{n}: tenant must be < {tenants} and interval < {intervals}"
+            ));
+        }
+        Some((t, n))
+    };
+    if metrics_every > 0 || !trace_out.is_empty() || cpd_on {
         regmon_telemetry::set_enabled(true);
     }
 
@@ -467,12 +537,13 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             regmon_serve::record_run(&path, w, &config, intervals)
                 .map_err(|e| format!("--record {}: {e}", path.display()))?;
         }
-        specs.push(TenantSpec::new(
-            format!("{}#{i}", w.name()),
-            w.clone(),
-            config,
-            intervals,
-        ));
+        let mut spec = TenantSpec::new(format!("{}#{i}", w.name()), w.clone(), config, intervals);
+        if let Some((t, n)) = degrade {
+            if t == i {
+                spec = spec.with_degrade_from(n);
+            }
+        }
+        specs.push(spec);
     }
     if !record.is_empty() {
         eprintln!("record: {tenants} wire journal(s) written to {record}/");
@@ -484,11 +555,17 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
         .with_steal(steal)
         .with_pin(pin)
         .with_pacing(pacing)
-        .with_metrics_every(metrics_every);
+        .with_metrics_every(metrics_every)
+        .with_cpd(cpd_on);
     let report = run_fleet(&config, &specs, &Schedule::new());
     let agg = &report.aggregate;
     if !trace_out.is_empty() {
-        write_trace(&trace_out)?;
+        // The change-point feed drains the journal as it runs, so the
+        // trace artifact comes from its event log instead.
+        match &report.cpd {
+            Some(c) => write_trace_events(&trace_out, &c.events, c.lost)?,
+            None => write_trace(&trace_out)?,
+        }
     }
 
     if p.flag("json") {
@@ -555,7 +632,7 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
                 ])
             })
             .collect();
-        let out = Json::obj(vec![
+        let mut top = vec![
             ("benchmark", Json::Str(target.to_string())),
             ("tenants", Json::Num(tenants as f64)),
             ("shards", Json::Num(shards as f64)),
@@ -629,8 +706,13 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             ),
             ("shards_detail", Json::Arr(shards_json)),
             ("tenants_detail", Json::Arr(tenants_json)),
-        ]);
-        println!("{}", out.render());
+        ];
+        // Appended last so output with `--cpd` off is byte-identical to
+        // a CPD-less build, and stripping the suffix recovers it.
+        if let Some(c) = &report.cpd {
+            top.push(("cpd", cpd_json(c)));
+        }
+        println!("{}", Json::obj(top).render());
         return Ok(());
     }
 
@@ -686,7 +768,68 @@ pub fn fleet(argv: &[String]) -> Result<(), String> {
             histogram
         );
     }
+    if let Some(c) = &report.cpd {
+        println!(
+            "== change points: {} detected over {} series / {} points ==",
+            c.change_points.len(),
+            c.series_tracked,
+            c.points_ingested
+        );
+        for cp in &c.change_points {
+            println!(
+                "{:<34} round {:>4}  magnitude {:+.4}  confidence {:>5.1}%",
+                cp.series.label(),
+                cp.round,
+                cp.magnitude,
+                cp.confidence * 100.0
+            );
+        }
+        if c.change_points.is_empty() {
+            println!("(no change points; all series stationary)");
+        }
+    }
     Ok(())
+}
+
+/// The `"cpd"` member of `fleet --json`: detections plus hub totals.
+/// `CpdReport::lost` is deliberately absent — drain timing makes it
+/// scheduling-dependent, like `wall_ms`.
+fn cpd_json(c: &CpdReport) -> Json {
+    let points: Vec<Json> = c
+        .change_points
+        .iter()
+        .map(|cp| {
+            Json::obj(vec![
+                ("series", Json::Str(cp.series.label())),
+                (
+                    "tenant",
+                    if cp.series.tenant == NO_TENANT {
+                        Json::Null
+                    } else {
+                        Json::Num(cp.series.tenant as f64)
+                    },
+                ),
+                (
+                    // Queue series store the shard index here.
+                    "region",
+                    if cp.series.region == NO_REGION {
+                        Json::Null
+                    } else {
+                        Json::Num(cp.series.region as f64)
+                    },
+                ),
+                ("metric", Json::Str(cp.series.metric.name().to_string())),
+                ("round", Json::Num(cp.round as f64)),
+                ("magnitude", Json::Num(cp.magnitude)),
+                ("confidence", Json::Num(cp.confidence)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("series_tracked", Json::Num(c.series_tracked as f64)),
+        ("points_ingested", Json::Num(c.points_ingested as f64)),
+        ("change_points", Json::Arr(points)),
+    ])
 }
 
 /// `regmon replay <journal>` — re-process a recorded frame journal.
@@ -1154,17 +1297,24 @@ pub fn migrate(argv: &[String]) -> Result<(), String> {
 /// trace-event JSON.
 fn write_trace(path: &str) -> Result<(), String> {
     let drained = regmon_telemetry::journal::drain();
-    let trace = regmon_telemetry::expo::trace_json(&drained.events);
+    write_trace_events(path, &drained.events, drained.lost)
+}
+
+/// Writes already-drained journal events to `path` as chrome://tracing
+/// trace-event JSON.
+fn write_trace_events(
+    path: &str,
+    events: &[regmon_telemetry::journal::Event],
+    lost: u64,
+) -> Result<(), String> {
+    let trace = regmon_telemetry::expo::trace_json(events);
     std::fs::write(path, trace).map_err(|e| format!("--trace-out {path}: {e}"))?;
-    let lost = if drained.lost > 0 {
-        format!(" ({} lost to ring wraparound)", drained.lost)
+    let lost = if lost > 0 {
+        format!(" ({lost} lost to ring wraparound)")
     } else {
         String::new()
     };
-    eprintln!(
-        "trace: {} events written to {path}{lost}",
-        drained.events.len()
-    );
+    eprintln!("trace: {} events written to {path}{lost}", events.len());
     Ok(())
 }
 
@@ -1182,7 +1332,18 @@ pub fn metrics(argv: &[String]) -> Result<(), String> {
                 if events.is_empty() {
                     return Err(format!("{check}: trace has no events"));
                 }
-                println!("ok: trace with {} events", events.len());
+                let change_points = events
+                    .iter()
+                    .filter(|e| e.get("cat").and_then(|c| c.as_str()) == Some("cpd"))
+                    .count();
+                if change_points > 0 {
+                    println!(
+                        "ok: trace with {} events ({change_points} change-point)",
+                        events.len()
+                    );
+                } else {
+                    println!("ok: trace with {} events", events.len());
+                }
             } else if doc.get("counters").is_some() {
                 println!("ok: metrics snapshot");
             } else {
@@ -1194,7 +1355,15 @@ pub fn metrics(argv: &[String]) -> Result<(), String> {
             if samples == 0 {
                 return Err(format!("{check}: exposition has no samples"));
             }
-            println!("ok: prometheus exposition with {samples} samples");
+            let cpd_samples = text
+                .lines()
+                .filter(|l| l.trim_start().starts_with("regmon_cpd_"))
+                .count();
+            if cpd_samples > 0 {
+                println!("ok: prometheus exposition with {samples} samples ({cpd_samples} cpd)");
+            } else {
+                println!("ok: prometheus exposition with {samples} samples");
+            }
         }
         return Ok(());
     }
@@ -1210,6 +1379,255 @@ pub fn metrics(argv: &[String]) -> Result<(), String> {
         print!("{}", regmon_telemetry::expo::prometheus_text());
     }
     Ok(())
+}
+
+/// `regmon cpd` — offline change-point hunting over recorded telemetry.
+///
+/// `--trace FILE` replays a chrome://tracing journal (written by
+/// `fleet --trace-out`) through the same streaming detectors the online
+/// `fleet --cpd` path uses, so it finds the same change points;
+/// `--bench FILE[,FILE...]` treats the numeric headline fields of
+/// BENCH_*.json documents as one series per field across the files in
+/// order — change-point detection over the repo's own committed bench
+/// history. Output is ranked by confidence, then magnitude.
+pub fn cpd(argv: &[String]) -> Result<(), String> {
+    let p = parse(argv)?;
+    apply_simd_flag(&p)?;
+    let trace: String = p.value_or("trace", String::new())?;
+    let bench: String = p.value_or("bench", String::new())?;
+    if trace.is_empty() == bench.is_empty() {
+        if let Some(pos) = p.positional(0) {
+            if let Some(best) = closest(pos, &["--trace", "--bench"]) {
+                return Err(format!(
+                    "cpd does not take positional argument {pos:?}; did you mean {best}?"
+                ));
+            }
+        }
+        return Err("cpd needs exactly one of --trace FILE or --bench FILE[,FILE...]".into());
+    }
+    let ranked = if trace.is_empty() {
+        cpd_over_bench_history(&bench)?
+    } else {
+        cpd_over_trace(&trace)?
+    };
+    let top: usize = p.value_or("top", 0)?;
+    let shown: &[ChangePointRow] = if top > 0 && top < ranked.len() {
+        &ranked[..top]
+    } else {
+        &ranked
+    };
+
+    if p.flag("json") {
+        let rows: Vec<Json> = shown
+            .iter()
+            .map(|row| {
+                Json::obj(vec![
+                    ("series", Json::Str(row.label.clone())),
+                    ("round", Json::Num(row.round as f64)),
+                    ("magnitude", Json::Num(row.magnitude)),
+                    ("confidence", Json::Num(row.confidence)),
+                ])
+            })
+            .collect();
+        let out = Json::obj(vec![
+            (
+                "source",
+                Json::Str(if trace.is_empty() { bench } else { trace }),
+            ),
+            ("change_points", Json::Arr(rows)),
+        ]);
+        println!("{}", out.render());
+        return Ok(());
+    }
+
+    if shown.is_empty() {
+        println!("no change points detected");
+        return Ok(());
+    }
+    println!(
+        "{:<40} {:>6} {:>12} {:>11}",
+        "series", "round", "magnitude", "confidence"
+    );
+    for row in shown {
+        println!(
+            "{:<40} {:>6} {:>+12.4} {:>10.1}%",
+            row.label,
+            row.round,
+            row.magnitude,
+            row.confidence * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// One ranked offline detection, already labeled for display.
+struct ChangePointRow {
+    label: String,
+    round: u64,
+    magnitude: f64,
+    confidence: f64,
+}
+
+/// Ranks detections by confidence, then |magnitude|, breaking ties by
+/// label and round so the output is deterministic.
+fn rank_rows(mut rows: Vec<ChangePointRow>) -> Vec<ChangePointRow> {
+    rows.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then(b.magnitude.abs().total_cmp(&a.magnitude.abs()))
+            .then_with(|| a.label.cmp(&b.label))
+            .then(a.round.cmp(&b.round))
+    });
+    rows
+}
+
+/// Replays a trace artifact through the online feed's series mapping:
+/// `interval_end` markers carry each tenant's dense UCR series (and
+/// assign interval ordinals), `lpd_transition` events carry per-region
+/// r/rt. Identical per-series point sequences mean identical
+/// detections to `fleet --cpd`.
+fn cpd_over_trace(path: &str) -> Result<Vec<ChangePointRow>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("--trace {path}: {e}"))?;
+    let doc = regmon_telemetry::parse::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| format!("{path}: not a trace (no traceEvents array)"))?;
+
+    let mut hub = CpdHub::new(StreamConfig::default());
+    let mut intervals_seen: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let field =
+        |ev: &regmon_telemetry::parse::JsonValue, key: &str| ev.get(key).and_then(|v| v.as_f64());
+    for ev in events {
+        let Some(name) = ev.get("name").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        let Some(tenant) = field(ev, "pid") else {
+            continue;
+        };
+        let tenant = tenant as u64;
+        let Some(args) = ev.get("args") else {
+            continue;
+        };
+        match name {
+            "interval_end" => {
+                let (Some(interval), Some(ucr)) = (field(args, "interval"), field(args, "ucr"))
+                else {
+                    continue;
+                };
+                let interval = interval as u64;
+                intervals_seen.insert(tenant, interval + 1);
+                hub.observe(
+                    SeriesKey {
+                        tenant,
+                        region: NO_REGION,
+                        metric: Metric::Ucr,
+                    },
+                    interval,
+                    ucr,
+                );
+            }
+            "lpd_transition" => {
+                let (Some(region), Some(r), Some(rt)) =
+                    (field(args, "region"), field(args, "r"), field(args, "rt"))
+                else {
+                    continue;
+                };
+                let ordinal = intervals_seen.get(&tenant).copied().unwrap_or(0);
+                let region = region as u64;
+                hub.observe(
+                    SeriesKey {
+                        tenant,
+                        region,
+                        metric: Metric::PearsonR,
+                    },
+                    ordinal,
+                    r,
+                );
+                hub.observe(
+                    SeriesKey {
+                        tenant,
+                        region,
+                        metric: Metric::SimilarityThreshold,
+                    },
+                    ordinal,
+                    rt,
+                );
+            }
+            _ => {}
+        }
+    }
+    hub.flush();
+    let rows = hub
+        .take_detections()
+        .into_iter()
+        .map(|cp| ChangePointRow {
+            label: cp.series.label(),
+            round: cp.round,
+            magnitude: cp.magnitude,
+            confidence: cp.confidence,
+        })
+        .collect();
+    Ok(rank_rows(rows))
+}
+
+/// Batch change-point detection over bench-history documents: each
+/// top-level numeric field of each file is one point in that field's
+/// series, in file order. Histories are short, so the kernel runs with
+/// a small minimum segment and more permutations.
+fn cpd_over_bench_history(list: &str) -> Result<Vec<ChangePointRow>, String> {
+    let files: Vec<&str> = list.split(',').filter(|f| !f.is_empty()).collect();
+    if files.is_empty() {
+        return Err("--bench: no files given".into());
+    }
+    let mut series: std::collections::BTreeMap<String, Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("--bench {file}: {e}"))?;
+        let doc = regmon_telemetry::parse::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+        let members = doc
+            .as_object()
+            .ok_or_else(|| format!("{file}: not a JSON object"))?;
+        for (key, value) in members {
+            if let Some(v) = value.as_f64() {
+                series.entry(key.clone()).or_default().push(v);
+            } else if let Some(obj) = value.as_object() {
+                // One level of nesting covers the snapshots' `headline`
+                // objects, where the guarded figures live.
+                for (inner, value) in obj {
+                    if let Some(v) = value.as_f64() {
+                        series.entry(format!("{key}.{inner}")).or_default().push(v);
+                    }
+                }
+            }
+        }
+    }
+    let config = EDivConfig {
+        min_segment: 2,
+        permutations: 199,
+        ..EDivConfig::default()
+    };
+    let mut rows = Vec::new();
+    for (name, values) in &series {
+        for d in regmon_cpd::detect(values, &config) {
+            rows.push(ChangePointRow {
+                label: name.clone(),
+                round: d.index as u64,
+                magnitude: d.magnitude,
+                confidence: d.confidence,
+            });
+        }
+    }
+    if series.values().all(|v| v.len() < 2 * config.min_segment) {
+        eprintln!(
+            "note: {} file(s) give series of at most {} point(s); change-point detection \
+             needs at least {}",
+            files.len(),
+            series.values().map(Vec::len).max().unwrap_or(0),
+            2 * config.min_segment
+        );
+    }
+    Ok(rank_rows(rows))
 }
 
 /// `regmon baselines <benchmark>` — all three global schemes side by side.

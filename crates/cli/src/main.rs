@@ -12,6 +12,7 @@
 //! regmon send session.rgj --unix /tmp/regmon.sock [--wire-version auto] [--compress]
 //! regmon migrate session.rgj --at 20 --from /tmp/a.sock --to /tmp/b.sock
 //! regmon metrics [187.facerec] [--json] | regmon metrics --check trace.json
+//! regmon cpd --trace trace.json [--json] | regmon cpd --bench BENCH_a.json,BENCH_b.json
 //! ```
 
 mod args;
@@ -54,10 +55,36 @@ fn run(argv: &[String]) -> Result<(), String> {
         "send" => commands::send(rest),
         "migrate" => commands::migrate(rest),
         "metrics" => commands::metrics(rest),
+        "cpd" => commands::cpd(rest),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(unknown_subcommand(other)),
+    }
+}
+
+const SUBCOMMANDS: [&str; 13] = [
+    "list",
+    "run",
+    "features",
+    "sweep",
+    "rto",
+    "baselines",
+    "fleet",
+    "replay",
+    "serve",
+    "send",
+    "migrate",
+    "metrics",
+    "cpd",
+];
+
+/// `unknown subcommand "cdp"; did you mean "cpd"?` — the same
+/// ergonomics the benchmark argument already has.
+fn unknown_subcommand(given: &str) -> String {
+    match commands::closest(given, &SUBCOMMANDS) {
+        Some(best) => format!("unknown subcommand {given:?}; did you mean {best:?}?"),
+        None => format!("unknown subcommand {given:?}"),
     }
 }

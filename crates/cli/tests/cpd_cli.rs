@@ -1,0 +1,232 @@
+//! End-to-end CLI contract for change-point detection:
+//!
+//! - `fleet --json` must be byte-identical with `--cpd` off, and with
+//!   it on the document must be the same bytes plus one trailing
+//!   `"cpd"` member — across the batching and stealing matrix.
+//! - Offline `regmon cpd --trace` must find the same planted change
+//!   point the online run reported.
+//! - `regmon cpd` output must be byte-identical across `--simd` levels
+//!   and across the shard (worker thread) count of the recording run.
+//! - Typos get spelling suggestions, and `metrics --check` understands
+//!   traces that carry change-point events.
+
+use std::process::Command;
+
+fn regmon(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_regmon"))
+        .args(args)
+        .output()
+        .expect("spawn regmon");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_path(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("regmon_cpd_cli_{}_{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn fleet_json_gains_only_a_trailing_cpd_member() {
+    for &batch in &["1", "8"] {
+        for &steal in &[false, true] {
+            let mut base = vec![
+                "fleet",
+                "all",
+                "--tenants",
+                "6",
+                "--shards",
+                "2",
+                "--intervals",
+                "48",
+                "--batch",
+                batch,
+                "--degrade",
+                "3:20",
+                "--json",
+            ];
+            if steal {
+                base.push("--steal");
+            }
+            let (ok, plain, _) = regmon(&base);
+            assert!(ok, "plain fleet run failed (batch {batch} steal {steal})");
+
+            let mut with_cpd = base.clone();
+            with_cpd.push("--cpd");
+            let (ok, cpd, _) = regmon(&with_cpd);
+            assert!(ok, "cpd fleet run failed (batch {batch} steal {steal})");
+
+            // Identical prefix: strip the final `}` from the plain doc,
+            // the cpd doc must continue it with exactly `,"cpd":`.
+            let prefix = plain.trim_end().strip_suffix('}').expect("json object");
+            assert!(
+                cpd.starts_with(prefix),
+                "--cpd perturbed earlier fields (batch {batch} steal {steal})"
+            );
+            assert!(
+                cpd[prefix.len()..].starts_with(",\"cpd\":{"),
+                "--cpd must only append a trailing member, got {:?}",
+                &cpd[prefix.len()..cpd.len().min(prefix.len() + 40)]
+            );
+        }
+    }
+}
+
+#[test]
+fn cpd_detections_are_identical_across_batch_and_steal() {
+    let mut outputs = Vec::new();
+    for &batch in &["1", "8"] {
+        for &steal in &[false, true] {
+            let mut args = vec![
+                "fleet",
+                "all",
+                "--tenants",
+                "6",
+                "--shards",
+                "2",
+                "--intervals",
+                "48",
+                "--batch",
+                batch,
+                "--cpd",
+                "--degrade",
+                "3:20",
+                "--json",
+            ];
+            if steal {
+                args.push("--steal");
+            }
+            let (ok, out, _) = regmon(&args);
+            assert!(ok);
+            // The document as a whole legitimately encodes the batch
+            // and steal settings; the detection member may not.
+            let cpd_member = out
+                .find("\"cpd\":")
+                .map(|i| out[i..].to_string())
+                .expect("cpd member present");
+            outputs.push(cpd_member);
+        }
+    }
+    for other in &outputs[1..] {
+        assert_eq!(
+            other, &outputs[0],
+            "cpd detections must be byte-identical across batch x steal"
+        );
+    }
+}
+
+#[test]
+fn offline_trace_finds_the_online_change_point() {
+    let trace = temp_path("trace.json");
+    let (ok, online, _) = regmon(&[
+        "fleet",
+        "all",
+        "--tenants",
+        "6",
+        "--shards",
+        "2",
+        "--intervals",
+        "96",
+        "--cpd",
+        "--degrade",
+        "3:40",
+        "--json",
+        "--trace-out",
+        &trace,
+    ]);
+    assert!(ok, "online run failed");
+    let needle = "\"tenant\":3,\"region\":null,\"metric\":\"ucr\",\"round\":40";
+    assert!(
+        online.contains(needle),
+        "online --cpd must attribute the planted regression: {online}"
+    );
+
+    let (ok, offline, _) = regmon(&["cpd", "--trace", &trace, "--json"]);
+    assert!(ok, "offline analysis failed");
+    assert!(
+        offline.contains("\"series\":\"tenant 3 ucr\",\"round\":40"),
+        "offline --trace must find the same change point: {offline}"
+    );
+
+    // metrics --check recognizes the change-point events in the trace.
+    let (ok, check, _) = regmon(&["metrics", "--check", &trace]);
+    assert!(ok);
+    assert!(
+        check.contains("change-point"),
+        "metrics --check must count cpd events: {check}"
+    );
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn cpd_output_is_byte_identical_across_simd_and_worker_counts() {
+    // Two recordings of the same tenants over different worker (shard)
+    // counts: the per-tenant series in the trace are equivalence-
+    // guaranteed, so the offline analysis must not see a difference.
+    let mut outputs = Vec::new();
+    for (shards, name) in [("2", "s2.json"), ("4", "s4.json")] {
+        let trace = temp_path(name);
+        let (ok, _, _) = regmon(&[
+            "fleet",
+            "all",
+            "--tenants",
+            "6",
+            "--shards",
+            shards,
+            "--intervals",
+            "64",
+            "--cpd",
+            "--degrade",
+            "3:30",
+            "--trace-out",
+            &trace,
+        ]);
+        assert!(ok);
+        for simd in [None, Some("scalar")] {
+            let mut args = vec!["cpd", "--trace", trace.as_str(), "--json"];
+            if let Some(level) = simd {
+                args.extend(["--simd", level]);
+            }
+            let (ok, out, _) = regmon(&args);
+            assert!(ok, "cpd --trace failed (shards {shards} simd {simd:?})");
+            // Outputs carry the trace path; normalize it away so the
+            // two recordings compare.
+            outputs.push(out.replace(trace.as_str(), "TRACE"));
+        }
+        let _ = std::fs::remove_file(&trace);
+    }
+    for other in &outputs[1..] {
+        assert_eq!(
+            other, &outputs[0],
+            "offline cpd output must be byte-identical across simd levels and shard counts"
+        );
+    }
+}
+
+#[test]
+fn typos_get_spelling_suggestions() {
+    let (ok, _, err) = regmon(&["cdp"]);
+    assert!(!ok);
+    assert!(
+        err.contains("did you mean \"cpd\"?"),
+        "subcommand typo must suggest cpd: {err}"
+    );
+
+    let (ok, _, err) = regmon(&["cpd", "trace"]);
+    assert!(!ok);
+    assert!(
+        err.contains("did you mean --trace?"),
+        "positional mode must suggest the flag: {err}"
+    );
+
+    let (ok, _, err) = regmon(&["fleet", "all", "--cpd", "--pacing", "freerun"]);
+    assert!(!ok);
+    assert!(
+        err.contains("lockstep"),
+        "--cpd under freerun must explain the pacing requirement: {err}"
+    );
+}

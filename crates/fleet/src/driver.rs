@@ -72,6 +72,7 @@ use regmon_sampling::{Interval, Sampler};
 use regmon_telemetry as telemetry;
 use regmon_telemetry::journal;
 
+use crate::cpdfeed::CpdFeed;
 use crate::engine::{EngineConfig, FleetEngine};
 use crate::queue::QueuePolicy;
 use crate::report::{FleetReport, FleetSnapshot, ShardReport, TenantReport};
@@ -118,6 +119,13 @@ pub struct FleetConfig {
     /// (`None` = never). Exposition goes to stderr so `--json` stdout
     /// stays byte-identical.
     pub metrics_every: Option<usize>,
+    /// Run the online change-point detector over the run's telemetry
+    /// (requires lockstep pacing and enabled telemetry; see
+    /// [`crate::CpdFeed`]). The detections land in
+    /// [`FleetReport::cpd`].
+    ///
+    /// [`FleetReport::cpd`]: crate::FleetReport::cpd
+    pub cpd: bool,
 }
 
 impl FleetConfig {
@@ -129,6 +137,7 @@ impl FleetConfig {
             pacing: Pacing::Lockstep,
             cold_tenant: None,
             metrics_every: None,
+            cpd: false,
         }
     }
 
@@ -179,6 +188,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_metrics_every(mut self, rounds: usize) -> Self {
         self.metrics_every = (rounds > 0).then_some(rounds);
+        self
+    }
+
+    /// Enables the online change-point detector.
+    #[must_use]
+    pub fn with_cpd(mut self, cpd: bool) -> Self {
+        self.cpd = cpd;
         self
     }
 }
@@ -421,6 +437,9 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
 
     let mut ls =
         lockstep.then(|| Lockstep::new(shards, config.engine.queue_depth, batch, tenants.len()));
+    // Change-point detection needs the deterministic round/interval
+    // axes only lockstep provides; under freerun the flag is ignored.
+    let mut feed = (config.cpd && lockstep).then(|| CpdFeed::new(shards));
     let mut snapshots: Vec<FleetSnapshot> = Vec::new();
     let max_sched_round = schedule.max_round();
 
@@ -452,10 +471,17 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
                 if !tenant.active() {
                     continue;
                 }
-                let Some(interval) = tenant.sampler.next() else {
+                let Some(mut interval) = tenant.sampler.next() else {
                     complete_tenant(tenant, &engine, Some(ls));
                     continue;
                 };
+                if tenant
+                    .spec
+                    .degrade_from
+                    .is_some_and(|n| interval.index >= n)
+                {
+                    degrade_interval(&mut interval);
+                }
                 produced_any = true;
                 tenant.produced = tenant.produced.saturating_add(1);
                 let cold_fire = tenant.cold_step(&interval, config.cold_tenant);
@@ -497,6 +523,11 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
                     complete_tenant(tenant, &engine, None);
                     continue;
                 }
+                if let Some(n) = tenant.spec.degrade_from {
+                    for interval in intervals.iter_mut().filter(|i| i.index >= n) {
+                        degrade_interval(interval);
+                    }
+                }
                 produced_any = true;
                 let mut cold_fire = false;
                 let mut keep = intervals.len();
@@ -520,6 +551,16 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
             }
         }
 
+        // --- change-point feed: catch the workers up, drain, detect ----
+        if let Some(feed) = feed.as_mut() {
+            engine.drain_barrier();
+            let queue_totals: Vec<u64> = ls
+                .as_ref()
+                .map(|ls| ls.sim.iter().map(|s| (s.stalls + s.drops) as u64).collect())
+                .unwrap_or_default();
+            feed.end_round(round as u64, &queue_totals);
+        }
+
         if telemetry::enabled() {
             if let Some(every) = config.metrics_every {
                 if round % every == 0 {
@@ -540,6 +581,8 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
         ls.ship_everything(&engine);
     }
     let finals = engine.shutdown();
+    // Workers are gone: the final drain below sees every event.
+    let cpd = feed.map(CpdFeed::finish);
 
     let mut tenant_reports: Vec<TenantReport> = Vec::with_capacity(tenants.len());
     for f in &finals {
@@ -594,7 +637,19 @@ pub fn run_fleet(config: &FleetConfig, specs: &[TenantSpec], schedule: &Schedule
         shards: shard_reports,
         aggregate,
         snapshots,
+        cpd,
         wall_ms: start.elapsed().as_millis(),
+    }
+}
+
+/// Applies the planted regression: shifts every sample PC far outside
+/// the synthetic binary's address space, so region formation stops
+/// attributing samples and the tenant's UCR steps up. Deterministic and
+/// reversible only by re-running without the flag.
+fn degrade_interval(interval: &mut Interval) {
+    const DEGRADE_BIT: u64 = 1 << 40;
+    for s in &mut interval.samples {
+        s.addr = regmon_binary::Addr::new(s.addr.get() | DEGRADE_BIT);
     }
 }
 

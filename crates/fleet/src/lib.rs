@@ -67,6 +67,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod affinity;
+mod cpdfeed;
 mod driver;
 mod engine;
 mod queue;
@@ -75,6 +76,7 @@ mod shard;
 mod tenant;
 
 pub use affinity::{available_cpus, pinning_supported};
+pub use cpdfeed::{CpdFeed, CpdReport};
 pub use driver::{run_fleet, ControlAction, FleetConfig, Pacing, Schedule};
 pub use engine::{EngineConfig, FleetEngine, ShardHold};
 pub use queue::{

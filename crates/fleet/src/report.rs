@@ -2,6 +2,7 @@
 
 use regmon::SessionSummary;
 
+use crate::cpdfeed::CpdReport;
 use crate::queue::BATCH_BUCKETS;
 use crate::shard::ShardSnapshot;
 use crate::tenant::{TenantId, TenantState};
@@ -119,7 +120,11 @@ pub struct FleetReport {
     pub aggregate: FleetAggregate,
     /// Mid-run snapshots requested by the schedule, in round order.
     pub snapshots: Vec<FleetSnapshot>,
-    /// Wall-clock duration of the run in milliseconds — the only
+    /// Change-point detections (`Some` only when the run enabled CPD).
+    /// Deterministic except for `CpdReport::lost`, which is excluded
+    /// from `--json` output alongside `wall_ms`.
+    pub cpd: Option<CpdReport>,
+    /// Wall-clock duration of the run in milliseconds — a
     /// non-deterministic field; excluded from `--json` output so equal
     /// seeds yield byte-identical JSON.
     pub wall_ms: u128,

@@ -443,7 +443,12 @@ pub(crate) fn run_worker(shard: usize, shared: &WorkerShared) -> ShardFinal {
             queue.pop()
         };
         let Some(msg) = msg else { break };
-        w.messages = w.messages.saturating_add(1);
+        // Barriers are engine-internal sync points, not workload
+        // messages — counting them would make `messages_processed`
+        // depend on who drained (snapshots, the change-point feed).
+        if !matches!(msg, ShardMsg::Barrier(_)) {
+            w.messages = w.messages.saturating_add(1);
+        }
         w.dispatch(msg);
     }
     // Shutdown orders stop-steal + gate.wait_idle() before closing the

@@ -115,6 +115,12 @@ pub struct TenantSpec {
     /// (testing/chaos: makes a shard worker measurably slower than its
     /// producer so backpressure paths actually trigger).
     pub throttle_us: u64,
+    /// Optional planted regression: from this interval index on, the
+    /// driver deterministically perturbs the tenant's sample PCs out of
+    /// the monitored address space, so UCR steps up and region
+    /// correlations collapse — the ground truth the change-point
+    /// detector is expected to find.
+    pub degrade_from: Option<usize>,
 }
 
 impl TenantSpec {
@@ -133,6 +139,7 @@ impl TenantSpec {
             max_intervals,
             fault: None,
             throttle_us: 0,
+            degrade_from: None,
         }
     }
 
@@ -147,6 +154,13 @@ impl TenantSpec {
     #[must_use]
     pub fn with_throttle_us(mut self, us: u64) -> Self {
         self.throttle_us = us;
+        self
+    }
+
+    /// Plants a deterministic regression starting at interval `index`.
+    #[must_use]
+    pub fn with_degrade_from(mut self, index: usize) -> Self {
+        self.degrade_from = Some(index);
         self
     }
 }

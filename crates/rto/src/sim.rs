@@ -368,6 +368,7 @@ mod tests {
         c.model.hostile_ranges = vec![hostile];
         c.self_monitor = Some(SelfMonitorConfig {
             evaluation_intervals: 3,
+            ..Default::default()
         });
         let with_sm = simulate(&w, &c, RtoMode::Local);
         assert_eq!(with_sm.blacklisted_regions, 1);

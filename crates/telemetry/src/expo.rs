@@ -176,6 +176,22 @@ fn trace_args(out: &mut String, kind: &EventKind) {
         EventKind::QueueHighWater { shard, depth } => {
             let _ = write!(out, "{{\"shard\":{shard},\"depth\":{depth}}}");
         }
+        EventKind::IntervalEnd { interval, ucr } => {
+            let _ = write!(out, "{{\"interval\":{interval},\"ucr\":{}}}", finite(ucr));
+        }
+        EventKind::ChangePoint {
+            region,
+            metric,
+            magnitude,
+            confidence,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"region\":{region},\"metric\":\"{metric}\",\"magnitude\":{},\"confidence\":{}}}",
+                finite(magnitude),
+                finite(confidence)
+            );
+        }
     }
 }
 
@@ -387,6 +403,16 @@ mod tests {
             EventKind::QueueHighWater {
                 shard: 2,
                 depth: 32,
+            },
+            EventKind::IntervalEnd {
+                interval: 17,
+                ucr: 0.25,
+            },
+            EventKind::ChangePoint {
+                region: u64::MAX,
+                metric: "ucr",
+                magnitude: 0.4,
+                confidence: 0.984375,
             },
         ];
         let events: Vec<journal::Event> = kinds

@@ -104,6 +104,29 @@ pub enum EventKind {
         /// New maximum occupancy in payload units.
         depth: u64,
     },
+    /// A monitoring session finished processing one interval. The
+    /// interval index is the tenant's own deterministic x-axis (ticks
+    /// drift under batching), which is what the change-point hub keys
+    /// its per-tenant series on.
+    IntervalEnd {
+        /// Zero-based interval index within the tenant's session.
+        interval: u64,
+        /// Unattributed-coverage ratio observed for the interval.
+        ucr: f64,
+    },
+    /// The change-point hub detected a regime shift in one series.
+    ChangePoint {
+        /// Region id of the affected series (shard index for queue
+        /// series, `u64::MAX` for tenant-wide series).
+        region: u64,
+        /// Metric name of the affected series (`"r"`, `"rt"`,
+        /// `"ucr"`, `"queue_stalls"`).
+        metric: &'static str,
+        /// `mean(after) − mean(before)` across the detected split.
+        magnitude: f64,
+        /// `1 − p` from the permutation significance test.
+        confidence: f64,
+    },
 }
 
 impl EventKind {
@@ -120,6 +143,8 @@ impl EventKind {
             EventKind::Migration { .. } => "fleet_migration",
             EventKind::Backpressure { .. } => "queue_backpressure",
             EventKind::QueueHighWater { .. } => "queue_high_water",
+            EventKind::IntervalEnd { .. } => "interval_end",
+            EventKind::ChangePoint { .. } => "change_point",
         }
     }
 
@@ -135,6 +160,8 @@ impl EventKind {
             | EventKind::RegionEvicted { .. } => "regions",
             EventKind::Steal { .. } | EventKind::Migration { .. } => "fleet",
             EventKind::Backpressure { .. } | EventKind::QueueHighWater { .. } => "queue",
+            EventKind::IntervalEnd { .. } => "session",
+            EventKind::ChangePoint { .. } => "cpd",
         }
     }
 
@@ -151,7 +178,18 @@ impl EventKind {
             EventKind::Backpressure { shard, .. } | EventKind::QueueHighWater { shard, .. } => {
                 shard
             }
-            EventKind::GpdTransition { .. } | EventKind::UcrBreach { .. } => 0,
+            // Tenant-wide series use u64::MAX as "no region"; render
+            // those on track 0 rather than an astronomically large tid.
+            EventKind::ChangePoint { region, .. } => {
+                if region == u64::MAX {
+                    0
+                } else {
+                    region
+                }
+            }
+            EventKind::GpdTransition { .. }
+            | EventKind::UcrBreach { .. }
+            | EventKind::IntervalEnd { .. } => 0,
         }
     }
 }

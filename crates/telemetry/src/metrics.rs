@@ -282,7 +282,27 @@ pub static SERVE_FRAME_LAG: Histogram = Histogram::new(
     "Interval-index gap between consecutive frames of one wire tenant",
 );
 
-static COUNTERS: [&Counter; 36] = [
+// ----------------------------------------------------- change points
+
+/// Telemetry points ingested by the fleet change-point hub.
+pub static CPD_POINTS_INGESTED: Counter = Counter::new(
+    "regmon_cpd_points_ingested_total",
+    "Telemetry points ingested by the fleet change-point hub",
+);
+
+/// Change points detected across all tracked series.
+pub static CPD_CHANGEPOINTS: Counter = Counter::new(
+    "regmon_cpd_changepoints_total",
+    "Change points detected across all tracked telemetry series",
+);
+
+/// Distinct series tracked by the fleet change-point hub.
+pub static CPD_SERIES_TRACKED: Gauge = Gauge::new(
+    "regmon_cpd_series_tracked",
+    "Distinct series tracked by the fleet change-point hub",
+);
+
+static COUNTERS: [&Counter; 38] = [
     &QUEUE_PUSHED,
     &QUEUE_POPPED,
     &QUEUE_DROPPED,
@@ -319,13 +339,16 @@ static COUNTERS: [&Counter; 36] = [
     &SEND_RETRIES,
     &SERVE_TIMEOUTS,
     &SERVE_CONNS_SHED,
+    &CPD_POINTS_INGESTED,
+    &CPD_CHANGEPOINTS,
 ];
 
-static GAUGES: [&Gauge; 4] = [
+static GAUGES: [&Gauge; 5] = [
     &QUEUE_HIGH_WATER,
     &FLEET_TENANTS,
     &REGIONS_LIVE,
     &SERVE_SESSIONS,
+    &CPD_SERIES_TRACKED,
 ];
 
 static HISTOGRAMS: [&Histogram; 3] = [

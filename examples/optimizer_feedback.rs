@@ -35,6 +35,7 @@ fn main() {
     // With self-monitoring: negative benefit gets the trace undone.
     config.self_monitor = Some(SelfMonitorConfig {
         evaluation_intervals: 4,
+        ..Default::default()
     });
     let guarded = simulate(&workload, &config, RtoMode::Local);
 

@@ -44,9 +44,16 @@
 #      of the gain.
 #   9. FAIL if wire-v2 ingest (delta-encoded columnar Batch frames over
 #      the same path) fell below 2x the *committed* wire-v1 rate — the
-#      PR 8 acceptance floor — or below 1.5x the within-run wire-v1
+#      PR 7 acceptance floor — or below 1.5x the within-run wire-v1
 #      rate (the host-independent backstop: v2 frames carry ~8x fewer
 #      payload bytes per interval, so CRC + decode sweep far less).
+#  10. FAIL if change-point hub throughput (the `--cpd` detection path,
+#      one UCR point per tenant per round) dropped below half the
+#      committed baseline. Afterwards the guard dogfoods the offline
+#      analyzer itself — `regmon cpd --bench` over the committed and
+#      fresh fleet snapshots — informationally: with only two points
+#      per series nothing can be detected yet, but the command must
+#      parse both files and exit cleanly.
 #
 # Within-run ratios compare two measurements from the *same* run on the
 # *same* machine, so they are robust to slow CI hosts.
@@ -237,5 +244,27 @@ awk -v o="$telemetry_overhead_min" 'BEGIN {
     exit 1
   }
 }'
+
+committed_cpd="$(field "$FLEET_COMMITTED" cpd_m_points_per_sec)"
+fresh_cpd="$(field "$FLEET_FRESH" cpd_m_points_per_sec)"
+[[ -n "$committed_cpd" && -n "$fresh_cpd" ]] || {
+  echo "FAIL: could not parse cpd_m_points_per_sec from fleet headline" >&2
+  exit 1
+}
+
+echo "bench guard: cpd hub ${fresh_cpd} M points/s (committed ${committed_cpd})"
+
+awk -v fresh="$fresh_cpd" -v committed="$committed_cpd" 'BEGIN {
+  if (fresh * 2.0 < committed) {
+    printf "FAIL: cpd hub regressed: %.3f M points/s < half of committed %.3f\n", fresh, committed
+    exit 1
+  }
+}'
+
+# Dogfood the offline analyzer over the bench history. Informational:
+# the detections (normally none — two points per series is below the
+# minimum segment) are printed for the log, but the run must succeed.
+echo "bench guard: regmon cpd --bench over committed + fresh fleet snapshots:"
+cargo run -q --release -p regmon-cli -- cpd --bench "$FLEET_COMMITTED,$FLEET_FRESH"
 
 echo "bench guard: OK"

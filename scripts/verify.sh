@@ -77,6 +77,25 @@ if [[ "$a" != "$b" ]]; then
   exit 1
 fi
 
+step "change-point smoke (--cpd appends only; planted regression found online and offline)"
+cpd_dir="$(mktemp -d /tmp/regmon_cpd.XXXXXX)"
+plain="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 6 --shards 2 --intervals 96 --degrade 3:40 --json)"
+with_cpd="$(cargo run -q --release -p regmon-cli -- fleet all --tenants 6 --shards 2 --intervals 96 --degrade 3:40 --cpd --json --trace-out "$cpd_dir/trace.json")"
+if [[ "$with_cpd" != "${plain%\}}"* ]]; then
+  echo "FAIL: --cpd perturbed the fleet --json document instead of appending to it" >&2
+  exit 1
+fi
+if [[ "$with_cpd" != *'"tenant":3,"region":null,"metric":"ucr","round":40'* ]]; then
+  echo "FAIL: online --cpd missed the planted tenant-3 regression at interval 40" >&2
+  exit 1
+fi
+offline="$(cargo run -q --release -p regmon-cli -- cpd --trace "$cpd_dir/trace.json" --json)"
+if [[ "$offline" != *'"series":"tenant 3 ucr","round":40'* ]]; then
+  echo "FAIL: offline regmon cpd --trace missed the planted change point" >&2
+  exit 1
+fi
+rm -rf "$cpd_dir"
+
 step "serve smoke (record -> replay/serve/resume all byte-identical to run)"
 serve_dir="$(mktemp -d /tmp/regmon_serve.XXXXXX)"
 run_json="$(cargo run -q --release -p regmon-cli -- run 181.mcf --intervals 30 --json --record "$serve_dir/session.rgj" 2>/dev/null)"
